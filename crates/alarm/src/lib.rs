@@ -1,0 +1,21 @@
+//! Alarm mechanism — the paper's future work, built.
+//!
+//! "We would like to implement a general alarm mechanism that tracks the
+//! data and automatically identify situations that should be relayed to
+//! a human observer. This feature will become increasingly important as
+//! the size of the monitor tree grows." (paper §5)
+//!
+//! The engine evaluates [`rule::Rule`]s against Ganglia documents (full
+//! detail or summary form — so it works anywhere in the multi-resolution
+//! tree) and runs a hysteresis state machine per `(rule, subject)`: a
+//! condition must hold for a rule's `hold_secs` before the alarm fires,
+//! and an alarm clears only when the condition stops holding. Raised and
+//! cleared transitions are delivered to an [`sink::AlarmSink`].
+
+pub mod engine;
+pub mod rule;
+pub mod sink;
+
+pub use engine::{AlarmEngine, AlarmEvent, AlarmKind, AlarmStatus};
+pub use rule::{Comparison, Matcher, Rule, Signal};
+pub use sink::{AlarmSink, MemorySink};

@@ -1,0 +1,174 @@
+//! Alarm rules: what to watch and when to complain.
+
+use ganglia_query::RegexLite;
+
+/// Selects clusters or hosts by name.
+#[derive(Debug, Clone)]
+pub enum Matcher {
+    /// Matches everything.
+    Any,
+    /// Exact name.
+    Exact(String),
+    /// Regular-expression match (search semantics).
+    Pattern(RegexLite),
+}
+
+impl Matcher {
+    /// Whether `name` is selected.
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            Matcher::Any => true,
+            Matcher::Exact(exact) => exact == name,
+            Matcher::Pattern(re) => re.is_match(name),
+        }
+    }
+
+    /// Parse the rule-file syntax: `*` = any, `~re` = pattern, anything
+    /// else exact.
+    pub fn parse(raw: &str) -> Result<Matcher, String> {
+        if raw == "*" {
+            return Ok(Matcher::Any);
+        }
+        if let Some(pattern) = raw.strip_prefix('~') {
+            return RegexLite::new(pattern)
+                .map(Matcher::Pattern)
+                .map_err(|e| e.to_string());
+        }
+        Ok(Matcher::Exact(raw.to_string()))
+    }
+}
+
+/// What quantity a rule watches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// A numeric metric by name. On a host subject this is the value; on
+    /// a cluster/grid subject it is the summary **mean** (the only
+    /// statistic summaries support besides the sum, paper §3.2).
+    Metric(String),
+    /// The number of hosts currently down in a cluster/grid summary.
+    HostsDown,
+}
+
+/// The alarm condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Comparison {
+    Above(f64),
+    Below(f64),
+}
+
+impl Comparison {
+    /// Whether `value` violates the condition (i.e. should alarm).
+    pub fn violated_by(&self, value: f64) -> bool {
+        match self {
+            Comparison::Above(limit) => value > *limit,
+            Comparison::Below(limit) => value < *limit,
+        }
+    }
+}
+
+/// One alarm rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Rule identifier (unique within an engine).
+    pub name: String,
+    /// Which clusters/grids to inspect.
+    pub cluster: Matcher,
+    /// Which hosts to inspect; `None` makes this a summary-level rule.
+    pub host: Option<Matcher>,
+    /// The watched quantity.
+    pub signal: Signal,
+    /// When to complain.
+    pub comparison: Comparison,
+    /// Seconds the condition must hold before the alarm fires (0 =
+    /// immediately).
+    pub hold_secs: u64,
+}
+
+impl Rule {
+    /// A summary-level rule over cluster/grid reductions.
+    pub fn summary(
+        name: impl Into<String>,
+        cluster: Matcher,
+        signal: Signal,
+        comparison: Comparison,
+    ) -> Rule {
+        Rule {
+            name: name.into(),
+            cluster,
+            host: None,
+            signal,
+            comparison,
+            hold_secs: 0,
+        }
+    }
+
+    /// A host-level rule over full-resolution cluster views.
+    pub fn per_host(
+        name: impl Into<String>,
+        cluster: Matcher,
+        host: Matcher,
+        metric: impl Into<String>,
+        comparison: Comparison,
+    ) -> Rule {
+        Rule {
+            name: name.into(),
+            cluster,
+            host: Some(host),
+            signal: Signal::Metric(metric.into()),
+            comparison,
+            hold_secs: 0,
+        }
+    }
+
+    /// Builder: require the condition to hold for `secs` seconds.
+    pub fn hold_for(mut self, secs: u64) -> Rule {
+        self.hold_secs = secs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_semantics() {
+        assert!(Matcher::Any.matches("anything"));
+        assert!(Matcher::parse("meteor").unwrap().matches("meteor"));
+        assert!(!Matcher::parse("meteor").unwrap().matches("meteor2"));
+        let pattern = Matcher::parse("~^compute-\\d+$").unwrap();
+        assert!(pattern.matches("compute-42"));
+        assert!(!pattern.matches("compute-x"));
+        assert!(Matcher::parse("~(").is_err());
+        assert!(Matcher::parse("*").unwrap().matches("x"));
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        assert!(Comparison::Above(5.0).violated_by(5.1));
+        assert!(!Comparison::Above(5.0).violated_by(5.0));
+        assert!(Comparison::Below(1.0).violated_by(0.5));
+        assert!(!Comparison::Below(1.0).violated_by(1.0));
+    }
+
+    #[test]
+    fn builders() {
+        let rule = Rule::summary(
+            "grid-load",
+            Matcher::Any,
+            Signal::Metric("load_one".into()),
+            Comparison::Above(4.0),
+        )
+        .hold_for(60);
+        assert_eq!(rule.hold_secs, 60);
+        assert!(rule.host.is_none());
+        let rule = Rule::per_host(
+            "hot-host",
+            Matcher::Exact("meteor".into()),
+            Matcher::Any,
+            "load_one",
+            Comparison::Above(8.0),
+        );
+        assert!(rule.host.is_some());
+    }
+}

@@ -1,0 +1,68 @@
+//! Where alarm transitions go.
+
+use std::sync::Mutex;
+
+use crate::engine::AlarmEvent;
+
+/// Receives alarm transitions — a pager, a log, a dashboard.
+pub trait AlarmSink {
+    /// Deliver one transition.
+    fn notify(&self, event: &AlarmEvent);
+}
+
+/// Collects events in memory (tests, examples).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<AlarmEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Everything delivered so far.
+    pub fn events(&self) -> Vec<AlarmEvent> {
+        self.events.lock().expect("not poisoned").clone()
+    }
+}
+
+impl AlarmSink for MemorySink {
+    fn notify(&self, event: &AlarmEvent) {
+        self.events.lock().expect("not poisoned").push(event.clone());
+    }
+}
+
+/// Writes one line per transition to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl AlarmSink for StderrSink {
+    fn notify(&self, event: &AlarmEvent) {
+        eprintln!(
+            "[alarm] {:?} {} on {} (value {:.3}) at t={}",
+            event.kind, event.rule, event.subject, event.value, event.at
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AlarmKind;
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        let event = AlarmEvent {
+            rule: "r".into(),
+            subject: "s".into(),
+            kind: AlarmKind::Raised,
+            value: 1.0,
+            at: 0,
+        };
+        sink.notify(&event);
+        assert_eq!(sink.events(), vec![event]);
+    }
+}

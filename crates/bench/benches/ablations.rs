@@ -1,0 +1,198 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * `summary_vs_union` — isolate the additive-reduction saving (§3.2):
+//!   a parent polling a child gmetad that reports summaries vs one that
+//!   reports the union of its subtree.
+//! * `hash_store_vs_scan` — isolate the three-level hash store (§3.3.2)
+//!   against a linear DOM-style scan for host lookup.
+//! * `background_vs_query_time_parse` — isolate the two-time-scale
+//!   decision (§3.3.1): answering from the pre-parsed store vs parsing
+//!   the child XML at query time.
+//! * `archive_full_vs_summary` — isolate §4.3's "superfluous metric
+//!   archives": per-round RRD update cost for full host archives vs
+//!   summary-only archives of the same grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ganglia_core::{
+    archive, poller, query_engine, GmetadConfig, Store, TreeMode, WorkMeter,
+};
+use ganglia_gmond::PseudoGmond;
+use ganglia_metrics::model::ClusterBody;
+use ganglia_metrics::{parse_document, GridItem};
+use ganglia_query::Query;
+use ganglia_rrd::RrdSet;
+use ganglia_rrd::{DataSourceDef, RraDef, RrdSpec};
+
+fn compact_set() -> RrdSet {
+    RrdSet::with_spec_factory(|key, start| RrdSpec {
+        step: 15,
+        start,
+        data_sources: vec![DataSourceDef::gauge(key.metric.clone(), 120)],
+        archives: vec![RraDef::average(1, 64)],
+    })
+}
+
+/// Child report in summary form vs union form: parse + store cost at
+/// the parent.
+fn ablation_summary_vs_union(c: &mut Criterion) {
+    let meter = WorkMeter::new();
+    // A child gmetad over four 50-host clusters.
+    let child_store = Store::new();
+    for i in 0..4 {
+        let pseudo = PseudoGmond::new(format!("c{i}"), 50, i as u64, 0);
+        let doc = parse_document(pseudo.xml()).unwrap();
+        child_store.replace(poller::build_state(
+            &format!("c{i}"),
+            doc,
+            TreeMode::NLevel,
+            &meter,
+            0,
+        ));
+    }
+    let child_cfg = GmetadConfig::new("child");
+    let root_query = Query::parse("/").unwrap();
+    let summary_query = Query::parse("/?filter=summary").unwrap();
+    // What the parent would download under each policy.
+    let union_xml = query_engine::answer(&child_store, &child_cfg, &root_query, 0);
+    let summary_xml = query_engine::answer(&child_store, &child_cfg, &summary_query, 0);
+    assert!(union_xml.len() > summary_xml.len() * 4);
+
+    let mut group = c.benchmark_group("ablation_summary_vs_union");
+    group.sample_size(20);
+    group.bench_function("parent_ingests_union", |b| {
+        b.iter(|| {
+            let doc = parse_document(black_box(&union_xml)).unwrap();
+            black_box(poller::build_state("child", doc, TreeMode::OneLevel, &meter, 0))
+        });
+    });
+    group.bench_function("parent_ingests_summary", |b| {
+        b.iter(|| {
+            let doc = parse_document(black_box(&summary_xml)).unwrap();
+            black_box(poller::build_state("child", doc, TreeMode::NLevel, &meter, 0))
+        });
+    });
+    group.finish();
+}
+
+/// O(1) hash host lookup vs linear scan over the cluster.
+fn ablation_hash_store_vs_scan(c: &mut Criterion) {
+    let meter = WorkMeter::new();
+    let pseudo = PseudoGmond::new("meteor", 500, 42, 0);
+    let doc = parse_document(pseudo.xml()).unwrap();
+    let state = poller::build_state("meteor", doc, TreeMode::NLevel, &meter, 0);
+    let target = "meteor-0499"; // worst case for the scan
+
+    let mut group = c.benchmark_group("ablation_hash_store_vs_scan");
+    group.bench_function("hash_lookup", |b| {
+        b.iter(|| black_box(state.host(black_box(target))).unwrap());
+    });
+    group.bench_function("linear_scan", |b| {
+        let ganglia_core::SourceData::Cluster(cluster) = &state.data else {
+            unreachable!()
+        };
+        let ClusterBody::Hosts(hosts) = &cluster.body else {
+            unreachable!()
+        };
+        b.iter(|| {
+            black_box(
+                hosts
+                    .iter()
+                    .find(|h| h.name == black_box(target))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Serving a host query from the store vs re-parsing the cluster XML at
+/// query time.
+fn ablation_background_parse(c: &mut Criterion) {
+    let meter = WorkMeter::new();
+    let pseudo = PseudoGmond::new("meteor", 200, 42, 0);
+    let xml = pseudo.xml().to_string();
+    let store = Store::new();
+    let doc = parse_document(&xml).unwrap();
+    store.replace(poller::build_state("meteor", doc, TreeMode::NLevel, &meter, 0));
+    let config = GmetadConfig::new("sdsc");
+    let query = Query::parse("/meteor/meteor-0100").unwrap();
+
+    let mut group = c.benchmark_group("ablation_background_parse");
+    group.sample_size(20);
+    group.bench_function("from_parsed_store", |b| {
+        b.iter(|| black_box(query_engine::answer(&store, &config, &query, 0)));
+    });
+    group.bench_function("parse_at_query_time", |b| {
+        b.iter(|| {
+            // The design the paper rejects: parse on the query path.
+            let fresh = Store::new();
+            let doc = parse_document(black_box(&xml)).unwrap();
+            fresh.replace(poller::build_state("meteor", doc, TreeMode::NLevel, &meter, 0));
+            black_box(query_engine::answer(&fresh, &config, &query, 0))
+        });
+    });
+    group.finish();
+}
+
+/// Full per-host archives vs summary-only archives for the same remote
+/// grid (the 1-level root's duplicate-archive burden).
+fn ablation_archive_modes(c: &mut Criterion) {
+    let meter = WorkMeter::new();
+    // A grid holding four 50-host clusters, fully expanded.
+    let mut items = Vec::new();
+    for i in 0..4 {
+        let pseudo = PseudoGmond::new(format!("c{i}"), 50, i as u64, 0);
+        let doc = parse_document(pseudo.xml()).unwrap();
+        items.extend(doc.items);
+    }
+    let grid = ganglia_metrics::model::GridNode::with_items("child", items);
+    let expanded_doc = ganglia_metrics::GangliaDoc {
+        version: "2.5.4".into(),
+        source: "gmetad".into(),
+        items: vec![GridItem::Grid(grid)],
+    };
+    let one_state =
+        poller::build_state("child", expanded_doc.clone(), TreeMode::OneLevel, &meter, 0);
+    let n_state = poller::build_state("child", expanded_doc, TreeMode::NLevel, &meter, 0);
+
+    let mut group = c.benchmark_group("ablation_archive_modes");
+    group.sample_size(10);
+    group.bench_function("full_host_archives", |b| {
+        let mut set = compact_set();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            black_box(archive::archive_source(
+                &mut set,
+                &one_state,
+                TreeMode::OneLevel,
+                t,
+            ))
+        });
+    });
+    group.bench_function("summary_only_archives", |b| {
+        let mut set = compact_set();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            black_box(archive::archive_source(
+                &mut set,
+                &n_state,
+                TreeMode::NLevel,
+                t,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_summary_vs_union,
+    ablation_hash_store_vs_scan,
+    ablation_background_parse,
+    ablation_archive_modes
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5 as a criterion bench: the cost of one full poll round of
+//! the figure-2 tree, per design. The wall-clock ratio between the two
+//! designs here is the aggregate-load ratio the figure reports; the
+//! per-monitor breakdown comes from `repro_fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ganglia_core::TreeMode;
+use ganglia_sim::{fig2_tree, Deployment, DeploymentParams};
+
+fn bench_tree_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_tree_load");
+    group.sample_size(10);
+    for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)] {
+        group.bench_with_input(
+            BenchmarkId::new("poll_round_50_hosts", label),
+            &mode,
+            |b, &mode| {
+                let mut deployment = Deployment::build(
+                    fig2_tree(50),
+                    DeploymentParams::default().with_mode(mode),
+                );
+                deployment.run_rounds(1); // warm archives
+                b.iter(|| deployment.run_round());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_round);
+criterion_main!(benches);

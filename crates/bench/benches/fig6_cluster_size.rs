@@ -1,0 +1,35 @@
+//! Figure 6 as a criterion bench: poll-round cost of the figure-2 tree
+//! as the monitored clusters grow. The N-level series should grow with
+//! a visibly lower slope than the 1-level one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ganglia_core::TreeMode;
+use ganglia_sim::{fig2_tree, Deployment, DeploymentParams};
+
+fn bench_cluster_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_cluster_size");
+    group.sample_size(10);
+    for hosts in [10usize, 50, 100] {
+        group.throughput(Throughput::Elements((hosts * 12) as u64));
+        for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, hosts),
+                &(mode, hosts),
+                |b, &(mode, hosts)| {
+                    let mut deployment = Deployment::build(
+                        fig2_tree(hosts),
+                        DeploymentParams::default().with_mode(mode),
+                    );
+                    deployment.run_rounds(1);
+                    b.iter(|| deployment.run_round());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_sizes);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Microbenchmarks of the hot paths the paper's design arguments rest
+//! on: XML parsing (the dominant gmetad cost, §3.3.1), additive
+//! summarization (§3.2), the three-level hash-store query path (fig 4),
+//! and RRD archiving (§3.1, §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ganglia_core::{GmetadConfig, Store};
+use ganglia_gmond::PseudoGmond;
+use ganglia_metrics::model::SummaryBody;
+use ganglia_metrics::{parse_document, GridItem};
+use ganglia_query::Query;
+use ganglia_rrd::{ganglia_default_spec, Rrd};
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    group.sample_size(20);
+    for hosts in [10usize, 100] {
+        let xml = PseudoGmond::new("meteor", hosts, 42, 0).xml().to_string();
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("cluster", hosts), &xml, |b, xml| {
+            b.iter(|| parse_document(black_box(xml)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_summarize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("summarize");
+    group.sample_size(20);
+    for hosts in [100usize, 500] {
+        let pseudo = PseudoGmond::new("meteor", hosts, 42, 0);
+        let GridItem::Cluster(cluster) = &pseudo.doc().items[0] else {
+            unreachable!()
+        };
+        group.throughput(Throughput::Elements(hosts as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cluster", hosts),
+            cluster,
+            |b, cluster| {
+                b.iter(|| black_box(cluster.summary()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 4: query processing over the hash-table store.
+fn bench_query_latency(c: &mut Criterion) {
+    let store = Store::new();
+    let meter = ganglia_core::WorkMeter::new();
+    for i in 0..12 {
+        let pseudo = PseudoGmond::new(format!("cluster-{i:02}"), 100, i as u64, 0);
+        let doc = parse_document(pseudo.xml()).unwrap();
+        let state = ganglia_core::poller::build_state(
+            &format!("cluster-{i:02}"),
+            doc,
+            ganglia_core::TreeMode::NLevel,
+            &meter,
+            0,
+        );
+        store.replace(state);
+    }
+    let config = GmetadConfig::new("sdsc");
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(30);
+    for (label, query) in [
+        ("root_full", "/"),
+        ("meta_summary", "/?filter=summary"),
+        ("cluster_full", "/cluster-03"),
+        ("cluster_summary", "/cluster-03?filter=summary"),
+        ("host", "/cluster-03/cluster-03-0042"),
+        ("metric", "/cluster-03/cluster-03-0042/load_one"),
+    ] {
+        let parsed = Query::parse(query).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(ganglia_core::query_engine::answer(
+                    &store,
+                    &config,
+                    black_box(&parsed),
+                    0,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rrd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rrd_update");
+    group.sample_size(20);
+    group.bench_function("ganglia_ladder_update", |b| {
+        let mut rrd = Rrd::create(ganglia_default_spec("load_one", 0)).unwrap();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 15;
+            rrd.update(t, &[1.25]).unwrap();
+        });
+    });
+    group.bench_function("summary_merge", |b| {
+        let pseudo = PseudoGmond::new("meteor", 100, 42, 0);
+        let GridItem::Cluster(cluster) = &pseudo.doc().items[0] else {
+            unreachable!()
+        };
+        let child = cluster.summary();
+        b.iter(|| {
+            let mut total = SummaryBody::default();
+            for _ in 0..12 {
+                total.merge(black_box(&child));
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xml_parse,
+    bench_summarize,
+    bench_query_latency,
+    bench_rrd
+);
+criterion_main!(benches);

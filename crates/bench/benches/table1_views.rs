@@ -1,0 +1,48 @@
+//! Table 1 as a criterion bench: each web view under each design,
+//! against the sdsc gmeta of a 50-host-cluster figure-2 deployment.
+//! The expected ordering is large N-level wins for the meta and host
+//! views, a modest one for the full-resolution cluster view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ganglia_core::TreeMode;
+use ganglia_sim::{fig2_tree, Deployment, DeploymentParams};
+use ganglia_web::{Frontend, NLevelFrontend, OneLevelFrontend};
+
+fn deployment(mode: TreeMode) -> Deployment {
+    let mut deployment = Deployment::build(
+        fig2_tree(50),
+        DeploymentParams {
+            mode,
+            archive: false,
+            ..DeploymentParams::default()
+        },
+    );
+    deployment.run_rounds(2);
+    deployment
+}
+
+fn bench_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_views");
+    group.sample_size(10);
+    for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)] {
+        let deployment = deployment(mode);
+        let frontend: Box<dyn Frontend> = match mode {
+            TreeMode::OneLevel => Box::new(OneLevelFrontend::new(deployment.viewer("sdsc"))),
+            TreeMode::NLevel => Box::new(NLevelFrontend::new(deployment.viewer("sdsc"))),
+        };
+        group.bench_function(BenchmarkId::new("meta", label), |b| {
+            b.iter(|| frontend.meta_view().unwrap());
+        });
+        group.bench_function(BenchmarkId::new("cluster", label), |b| {
+            b.iter(|| frontend.cluster_view("sdsc-c0").unwrap());
+        });
+        group.bench_function(BenchmarkId::new("host", label), |b| {
+            b.iter(|| frontend.host_view("sdsc-c0", "sdsc-c0-0000").unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Run every experiment in the paper's evaluation section and print the
+//! results in the paper's layout — the input for EXPERIMENTS.md.
+//!
+//! Usage: `repro_all [--quick]` (`--quick` runs reduced scales for a
+//! fast smoke pass).
+
+use ganglia_bench::{render_fig5, render_fig6, render_table1};
+use ganglia_sim::experiments::fig5::{run_fig5, Fig5Params};
+use ganglia_sim::experiments::fig6::{run_fig6, Fig6Params};
+use ganglia_sim::experiments::table1::{run_table1, Table1Params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (fig5_hosts, fig5_rounds) = if quick { (30, 3) } else { (100, 8) };
+    let fig6_sizes = if quick {
+        vec![10, 50, 100]
+    } else {
+        vec![10, 50, 100, 150, 200, 300, 400, 500]
+    };
+    let fig6_rounds = if quick { 2 } else { 4 };
+    let (t1_hosts, t1_samples) = if quick { (40, 3) } else { (100, 5) };
+
+    eprintln!("== figure 5 ==");
+    let fig5 = run_fig5(&Fig5Params {
+        hosts_per_cluster: fig5_hosts,
+        warmup_rounds: 2,
+        measured_rounds: fig5_rounds,
+        seed: 42,
+    });
+    println!("{}", render_fig5(&fig5));
+
+    eprintln!("== figure 6 ==");
+    let fig6 = run_fig6(&Fig6Params {
+        cluster_sizes: fig6_sizes,
+        warmup_rounds: 1,
+        measured_rounds: fig6_rounds,
+        seed: 42,
+    });
+    println!("{}", render_fig6(&fig6));
+
+    eprintln!("== table 1 ==");
+    let table1 = run_table1(&Table1Params {
+        hosts_per_cluster: t1_hosts,
+        samples: t1_samples,
+        viewer_target: "sdsc".to_string(),
+        seed: 42,
+    });
+    println!("{}", render_table1(&table1));
+}

@@ -1,0 +1,28 @@
+//! Regenerate figure 5 at the paper's scale: per-gmeta CPU% in the
+//! figure-2 monitoring tree, 12 clusters × 100 hosts, 1-level vs
+//! N-level.
+//!
+//! Usage: `repro_fig5 [hosts_per_cluster] [measured_rounds]`
+
+use ganglia_bench::render_fig5;
+use ganglia_sim::experiments::fig5::{run_fig5, Fig5Params};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let hosts = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100usize);
+    let rounds = args.next().and_then(|a| a.parse().ok()).unwrap_or(8u64);
+    let params = Fig5Params {
+        hosts_per_cluster: hosts,
+        warmup_rounds: 2,
+        measured_rounds: rounds,
+        seed: 42,
+    };
+    eprintln!(
+        "running figure 5: {hosts} hosts/cluster, {rounds} measured rounds per design..."
+    );
+    let result = run_fig5(&params);
+    print!("{}", render_fig5(&result));
+}

@@ -1,0 +1,30 @@
+//! Regenerate figure 6: aggregate CPU% over the six gmeta nodes as the
+//! twelve clusters grow from 10 to 500 hosts, 1-level vs N-level.
+//!
+//! Usage: `repro_fig6 [measured_rounds] [size,size,...]`
+
+use ganglia_bench::render_fig6;
+use ganglia_sim::experiments::fig6::{run_fig6, Fig6Params};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rounds = args.next().and_then(|a| a.parse().ok()).unwrap_or(4u64);
+    let sizes: Vec<usize> = args
+        .next()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![10, 50, 100, 150, 200, 300, 400, 500]);
+    eprintln!("running figure 6: sizes {sizes:?}, {rounds} measured rounds per point...");
+    let params = Fig6Params {
+        cluster_sizes: sizes,
+        warmup_rounds: 1,
+        measured_rounds: rounds,
+        seed: 42,
+    };
+    let result = run_fig6(&params);
+    print!("{}", render_fig6(&result));
+}

@@ -1,0 +1,63 @@
+//! Regenerate the §5 limitation measurements: RRD archiving work vs
+//! metrics-per-host, and per-monitor upstream traffic under both
+//! designs (§3.2's data-volume claim).
+//!
+//! Usage: `repro_limits [hosts] [rounds]`
+
+use ganglia_sim::experiments::bandwidth::run_bandwidth;
+use ganglia_sim::experiments::limits::run_limits;
+use ganglia_sim::experiments::traffic::run_traffic;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let hosts = args.next().and_then(|a| a.parse().ok()).unwrap_or(50usize);
+    let rounds = args.next().and_then(|a| a.parse().ok()).unwrap_or(4u64);
+
+    eprintln!("running §5 archiving sweep ({hosts} hosts)...");
+    let limits = run_limits(hosts, &[10, 20, 40, 80, 160], rounds);
+    println!("§5 — RRD archiving cost vs metrics per host ({hosts} hosts)");
+    println!(
+        "{:>16} {:>18} {:>16}",
+        "metrics/host", "updates/round", "time/round"
+    );
+    for row in &limits.rows {
+        println!(
+            "{:>16} {:>18} {:>16?}",
+            row.metrics_per_host, row.updates_per_round, row.archive_time
+        );
+    }
+    println!(
+        "updates scale linearly with metric count: {}\n",
+        limits.updates_scale_linearly()
+    );
+
+    eprintln!("running §3.1 local-area bandwidth measurement (128 nodes)...");
+    let bw = run_bandwidth(128, 300, 42);
+    println!(
+        "§3.1 — gmond multicast bandwidth, {}-node cluster: {:.1} kbps \
+         ({} packets / {} bytes over {}s; paper: <56 kbps)\n",
+        bw.nodes, bw.kbps, bw.packets, bw.bytes, bw.window_secs
+    );
+
+    eprintln!("running upstream-traffic measurement...");
+    let traffic = run_traffic(hosts, rounds, 42);
+    println!(
+        "§3.2 — bytes served upstream per monitor ({} rounds, {} hosts/cluster)",
+        traffic.rounds, traffic.hosts_per_cluster
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>8}",
+        "monitor", "1-level bytes", "N-level bytes", "ratio"
+    );
+    for row in &traffic.rows {
+        let ratio = if row.n_level_bytes == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}x", row.one_level_bytes as f64 / row.n_level_bytes as f64)
+        };
+        println!(
+            "{:<10} {:>16} {:>16} {:>8}",
+            row.monitor, row.one_level_bytes, row.n_level_bytes, ratio
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerate table 1: web-frontend download+parse time for the meta,
+//! cluster, and host views against the sdsc gmeta node (100-host
+//! clusters), 1-level vs N-level, with the speedup row.
+//!
+//! Usage: `repro_table1 [hosts_per_cluster] [samples]`
+
+use ganglia_bench::render_table1;
+use ganglia_sim::experiments::table1::{run_table1, Table1Params};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let hosts = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100usize);
+    let samples = args.next().and_then(|a| a.parse().ok()).unwrap_or(5u32);
+    eprintln!("running table 1: {hosts} hosts/cluster, {samples} samples per cell...");
+    let params = Table1Params {
+        hosts_per_cluster: hosts,
+        samples,
+        viewer_target: "sdsc".to_string(),
+        seed: 42,
+    };
+    let result = run_table1(&params);
+    print!("{}", render_table1(&result));
+}

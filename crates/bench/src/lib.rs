@@ -1,0 +1,155 @@
+//! Shared helpers for the reproduction binaries and criterion benches.
+//!
+//! Each table/figure in the paper has a binary that regenerates it
+//! (`repro_fig5`, `repro_fig6`, `repro_table1`; `repro_all` runs the
+//! lot) and a criterion bench over the same code. The helpers here
+//! render results in the paper's layout so the output reads against the
+//! original figures directly.
+
+use std::fmt::Write;
+
+use ganglia_sim::experiments::{Fig5Result, Fig6Result, Table1Result};
+use ganglia_sim::experiments::table1::View;
+
+/// Render figure 5 as an aligned table (one bar pair per monitor).
+pub fn render_fig5(result: &Fig5Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — Wide-Area Scalability: CPU%% by gmeta monitor \
+         ({} hosts/cluster, 12 clusters)",
+        result.params_hosts
+    );
+    let _ = writeln!(out, "{:<10} {:>12} {:>12}", "monitor", "1-level %", "N-level %");
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.4} {:>12.4}",
+            row.monitor, row.one_level_pct, row.n_level_pct
+        );
+    }
+    let (one, n) = result.aggregates();
+    let _ = writeln!(out, "{:<10} {:>12.4} {:>12.4}   (sum over monitors)", "TOTAL", one, n);
+    out
+}
+
+/// Render figure 6 as an aligned table (one point per cluster size).
+pub fn render_fig6(result: &Fig6Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 6 — Aggregate CPU%% over 6 gmeta nodes vs cluster size"
+    );
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>12}",
+        "cluster size", "1-level %", "N-level %"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12.4} {:>12.4}",
+            row.cluster_size, row.one_level_aggregate_pct, row.n_level_aggregate_pct
+        );
+    }
+    let (one_slope, n_slope) = result.slopes();
+    let _ = writeln!(
+        out,
+        "slope (CPU%% per host): 1-level {one_slope:.6}, N-level {n_slope:.6}"
+    );
+    out
+}
+
+/// Render table 1 in the paper's exact row/column layout.
+pub fn render_table1(result: &Table1Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — Time (in sec) for the web frontend to query and parse \
+         Ganglia XML from the sdsc gmeta node"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>12}",
+        "", "Meta", "Cluster", "Host"
+    );
+    let row = |label: &str, f: &dyn Fn(View) -> String, out: &mut String| {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>12}",
+            label,
+            f(View::Meta),
+            f(View::Cluster),
+            f(View::Host)
+        );
+    };
+    row(
+        "1-level",
+        &|v| format!("{:.6}", result.view(v).one_level.download_and_parse().as_secs_f64()),
+        &mut out,
+    );
+    row(
+        "N-level",
+        &|v| format!("{:.6}", result.view(v).n_level.download_and_parse().as_secs_f64()),
+        &mut out,
+    );
+    row(
+        "Speedup",
+        &|v| format!("{:.1}", result.view(v).speedup()),
+        &mut out,
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "XML bytes downloaded per view: meta {} -> {}, cluster {} -> {}, host {} -> {}",
+        result.view(View::Meta).one_level.xml_bytes,
+        result.view(View::Meta).n_level.xml_bytes,
+        result.view(View::Cluster).one_level.xml_bytes,
+        result.view(View::Cluster).n_level.xml_bytes,
+        result.view(View::Host).one_level.xml_bytes,
+        result.view(View::Host).n_level.xml_bytes,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_sim::experiments::{run_fig5, run_fig6, run_table1};
+    use ganglia_sim::experiments::fig5::Fig5Params;
+    use ganglia_sim::experiments::fig6::Fig6Params;
+    use ganglia_sim::experiments::table1::Table1Params;
+
+    #[test]
+    fn renderers_produce_paper_shaped_output() {
+        let fig5 = run_fig5(&Fig5Params {
+            hosts_per_cluster: 5,
+            warmup_rounds: 1,
+            measured_rounds: 1,
+            seed: 1,
+        });
+        let text = render_fig5(&fig5);
+        assert!(text.contains("root"));
+        assert!(text.contains("attic"));
+        assert!(text.contains("TOTAL"));
+
+        let fig6 = run_fig6(&Fig6Params {
+            cluster_sizes: vec![5, 10],
+            warmup_rounds: 1,
+            measured_rounds: 1,
+            seed: 1,
+        });
+        let text = render_fig6(&fig6);
+        assert!(text.contains("slope"));
+
+        let table1 = run_table1(&Table1Params {
+            hosts_per_cluster: 5,
+            samples: 1,
+            viewer_target: "sdsc".into(),
+            seed: 1,
+        });
+        let text = render_table1(&table1);
+        assert!(text.contains("Speedup"));
+        assert!(text.contains("Meta"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Metric archiving policy.
+//!
+//! What gets archived is *the* difference between the two designs
+//! (paper §4.3): the 1-level monitor keeps full per-host archives for
+//! every cluster in its subtree ("every monitor between a cluster and
+//! the root will keep identical metric archives for that cluster",
+//! §2.1), while the N-level monitor keeps full archives only for its
+//! local clusters and "only summary archives of descendants".
+//!
+//! During downtime the archiver records explicitly-unknown samples — the
+//! "zero record" that aids "time-of-death forensic analysis" (§3.1).
+
+use ganglia_metrics::model::{ClusterBody, ClusterNode, GridBody, GridItem, GridNode, SummaryBody};
+use ganglia_rrd::{MetricKey, RrdSet};
+
+use crate::config::TreeMode;
+use crate::store::{SourceData, SourceState};
+
+/// Archive one freshly-parsed source snapshot. Returns the number of
+/// RRD updates applied.
+pub fn archive_source(set: &mut RrdSet, state: &SourceState, mode: TreeMode, now: u64) -> u64 {
+    let before = set.update_count();
+    match &state.data {
+        SourceData::Cluster(cluster) => {
+            archive_cluster(set, &state.name, cluster, &state.summary, now);
+        }
+        SourceData::Grid(grid) => match mode {
+            TreeMode::NLevel => {
+                // Secondary interest only: the authority keeps the detail.
+                archive_summary(set, &state.name, &state.summary, now);
+            }
+            TreeMode::OneLevel => {
+                archive_grid_recursive(set, &state.name, grid, now);
+            }
+        },
+    }
+    set.update_count() - before
+}
+
+fn archive_grid_recursive(set: &mut RrdSet, prefix: &str, grid: &GridNode, now: u64) {
+    match &grid.body {
+        GridBody::Summary(summary) => archive_summary(set, prefix, summary, now),
+        GridBody::Items(items) => {
+            archive_summary(set, prefix, &grid.summary(), now);
+            for item in items {
+                let path = format!("{prefix}/{}", item.name());
+                match item {
+                    GridItem::Cluster(cluster) => {
+                        archive_cluster(set, &path, cluster, &cluster.summary(), now)
+                    }
+                    GridItem::Grid(inner) => archive_grid_recursive(set, &path, inner, now),
+                }
+            }
+        }
+    }
+}
+
+fn archive_cluster(
+    set: &mut RrdSet,
+    source: &str,
+    cluster: &ClusterNode,
+    summary: &SummaryBody,
+    now: u64,
+) {
+    if let ClusterBody::Hosts(hosts) = &cluster.body {
+        for host in hosts {
+            for metric in &host.metrics {
+                let Some(value) = metric.value.as_f64() else {
+                    continue; // non-numeric metrics have no history
+                };
+                let key = MetricKey::host_metric(source, &host.name, &metric.name);
+                // A down host gets unknown samples: its last-known values
+                // must not masquerade as fresh history.
+                let sample = if host.is_up() { value } else { f64::NAN };
+                let _ = set.update(&key, now, sample);
+            }
+        }
+    }
+    archive_summary(set, source, summary, now);
+}
+
+fn archive_summary(set: &mut RrdSet, source: &str, summary: &SummaryBody, now: u64) {
+    for metric in &summary.metrics {
+        let key = MetricKey::summary_metric(source, &metric.name);
+        let _ = set.update(&key, now, metric.sum);
+    }
+}
+
+/// Record explicitly-unknown samples for every archive under `source`
+/// (including 1-level nested paths `source/...`). Called while a source
+/// is unreachable so its downtime is visible in the history.
+pub fn write_unknowns(set: &mut RrdSet, source: &str, now: u64) -> u64 {
+    let nested_prefix = format!("{source}/");
+    let keys: Vec<MetricKey> = set
+        .keys()
+        .filter(|k| k.source == source || k.source.starts_with(&nested_prefix))
+        .cloned()
+        .collect();
+    let before = set.update_count();
+    for key in &keys {
+        let _ = set.update(key, now, f64::NAN);
+    }
+    set.update_count() - before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SourceState;
+    use ganglia_metrics::model::{HostNode, MetricEntry};
+    use ganglia_metrics::MetricValue;
+    use ganglia_rrd::ConsolidationFn;
+
+    fn cluster_with(hosts: usize) -> ClusterNode {
+        let hosts: Vec<HostNode> = (0..hosts)
+            .map(|i| {
+                let mut h = HostNode::new(format!("n{i}"), "10.0.0.1");
+                h.metrics
+                    .push(MetricEntry::new("load_one", MetricValue::Double(1.0)));
+                h.metrics.push(MetricEntry::new(
+                    "os_name",
+                    MetricValue::String("Linux".into()),
+                ));
+                h
+            })
+            .collect();
+        ClusterNode::with_hosts("meteor", hosts)
+    }
+
+    fn state_of(cluster: ClusterNode, now: u64) -> SourceState {
+        let summary = cluster.summary();
+        SourceState::cluster("meteor", cluster, summary, now)
+    }
+
+    #[test]
+    fn cluster_archives_hosts_and_summary_not_strings() {
+        let mut set = RrdSet::new();
+        let state = state_of(cluster_with(3), 15);
+        let updates = archive_source(&mut set, &state, TreeMode::NLevel, 15);
+        // 3 hosts × 1 numeric metric + 1 summary metric.
+        assert_eq!(updates, 4);
+        assert!(set
+            .get(&MetricKey::host_metric("meteor", "n0", "load_one"))
+            .is_some());
+        assert!(set
+            .get(&MetricKey::host_metric("meteor", "n0", "os_name"))
+            .is_none());
+        assert!(set
+            .get(&MetricKey::summary_metric("meteor", "load_one"))
+            .is_some());
+    }
+
+    #[test]
+    fn nlevel_grid_archives_summaries_only() {
+        let mut set = RrdSet::new();
+        let grid = GridNode {
+            name: "attic".into(),
+            authority: String::new(),
+            localtime: 0,
+            body: GridBody::Summary(SummaryBody {
+                hosts_up: 10,
+                hosts_down: 0,
+                metrics: vec![ganglia_metrics::MetricSummary {
+                    name: "load_one".into(),
+                    sum: 17.56,
+                    num: 10,
+                    ty: ganglia_metrics::MetricType::Float,
+                    units: String::new(),
+                    slope: ganglia_metrics::Slope::Both,
+                    source: "gmond".into(),
+                }],
+            }),
+        };
+        let summary = grid.summary();
+        let state = SourceState::grid("attic", grid, summary, 15);
+        let updates = archive_source(&mut set, &state, TreeMode::NLevel, 15);
+        assert_eq!(updates, 1);
+        assert_eq!(set.len(), 1);
+        assert!(set.keys().all(|k| k.is_summary()));
+    }
+
+    #[test]
+    fn onelevel_grid_archives_every_nested_host() {
+        let mut set = RrdSet::new();
+        // A grid holding two clusters of 2 hosts each, fully expanded.
+        let grid = GridNode::with_items(
+            "ucsd",
+            vec![
+                GridItem::Cluster({
+                    let mut c = cluster_with(2);
+                    c.name = "physics-cluster".into();
+                    c
+                }),
+                GridItem::Cluster({
+                    let mut c = cluster_with(2);
+                    c.name = "math-cluster".into();
+                    c
+                }),
+            ],
+        );
+        let summary = grid.summary();
+        let state = SourceState::grid("ucsd", grid, summary, 15);
+        let updates = archive_source(&mut set, &state, TreeMode::OneLevel, 15);
+        // 4 host metrics + 2 cluster summaries + 1 grid summary.
+        assert_eq!(updates, 7);
+        assert!(set
+            .get(&MetricKey::host_metric(
+                "ucsd/physics-cluster",
+                "n0",
+                "load_one"
+            ))
+            .is_some());
+        assert!(set
+            .get(&MetricKey::summary_metric("ucsd", "load_one"))
+            .is_some());
+    }
+
+    #[test]
+    fn down_hosts_get_unknown_samples() {
+        let mut set = RrdSet::new();
+        let mut cluster = cluster_with(2);
+        if let ClusterBody::Hosts(hosts) = &mut cluster.body {
+            hosts[0].tn = 10_000; // down
+        }
+        let state = state_of(cluster, 15);
+        archive_source(&mut set, &state, TreeMode::NLevel, 15);
+        // Advance and archive again so a PDP completes.
+        let state2 = SourceState {
+            updated_at: 30,
+            ..state.clone()
+        };
+        archive_source(&mut set, &state2, TreeMode::NLevel, 30);
+        let down = set
+            .fetch(
+                &MetricKey::host_metric("meteor", "n0", "load_one"),
+                ConsolidationFn::Average,
+                0,
+                30,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(down.known_count(), 0, "down host history is unknown");
+        let up = set
+            .fetch(
+                &MetricKey::host_metric("meteor", "n1", "load_one"),
+                ConsolidationFn::Average,
+                0,
+                30,
+            )
+            .unwrap()
+            .unwrap();
+        assert!(up.known_count() > 0);
+    }
+
+    #[test]
+    fn write_unknowns_covers_nested_paths() {
+        let mut set = RrdSet::new();
+        set.update(&MetricKey::host_metric("ucsd/phys", "n0", "m"), 15, 1.0)
+            .unwrap();
+        set.update(&MetricKey::summary_metric("ucsd", "m"), 15, 1.0)
+            .unwrap();
+        set.update(&MetricKey::host_metric("other", "n0", "m"), 15, 1.0)
+            .unwrap();
+        let written = write_unknowns(&mut set, "ucsd", 30);
+        assert_eq!(written, 2, "both ucsd archives, not `other`");
+        // `ucsdX` must not match the `ucsd` prefix.
+        set.update(&MetricKey::host_metric("ucsdX", "n0", "m"), 15, 1.0)
+            .unwrap();
+        assert_eq!(write_unknowns(&mut set, "ucsd", 45), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! The standalone gmetad daemon.
+//!
+//! Reads a `gmetad.conf` (see [`ganglia_core::conf`] for the format),
+//! binds the query engine on the interactive port, and polls its data
+//! sources on the configured interval until killed.
+//!
+//! ```sh
+//! gmetad --conf /etc/ganglia/gmetad.conf
+//! gmetad --conf gmetad.conf --once      # single poll round, then exit
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ganglia_core::conf::parse_conf;
+use ganglia_core::Gmetad;
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, TcpTransport};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gmetad --conf <path> [--once]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut conf_path: Option<String> = None;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--conf" | "-c" => match args.next() {
+                Some(path) => conf_path = Some(path),
+                None => return usage(),
+            },
+            "--once" => once = true,
+            "--help" | "-h" => {
+                return usage();
+            }
+            other => {
+                eprintln!("gmetad: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(conf_path) = conf_path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&conf_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("gmetad: cannot read {conf_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match parse_conf(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("gmetad: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "gmetad: grid {:?}, {} data source(s), {:?} mode, polling every {}s",
+        parsed.config.grid_name,
+        parsed.config.data_sources.len(),
+        parsed.config.tree_mode,
+        parsed.config.poll_interval,
+    );
+
+    let transport = TcpTransport::new();
+    let daemon = Gmetad::new(parsed.config);
+    let bind = Addr::new(format!("{}:{}", parsed.bind, parsed.interactive_port));
+    let guard = match daemon.serve_on(&transport, &bind) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("gmetad: cannot bind {bind}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("gmetad: query engine listening on {}", guard.addr());
+
+    if once {
+        let now = wall_secs();
+        for (cfg, result) in daemon
+            .config()
+            .data_sources.to_vec()
+            .iter()
+            .zip(daemon.poll_all(&transport, now))
+        {
+            match result {
+                Ok(()) => eprintln!("gmetad: polled {:?} ok", cfg.name),
+                Err(e) => eprintln!("gmetad: {e}"),
+            }
+        }
+        let _ = daemon.flush_archives();
+        println!("{}", daemon.query("/?filter=summary"));
+        return ExitCode::SUCCESS;
+    }
+
+    // Run until killed; flush archives after every round.
+    let stop = Arc::new(AtomicBool::new(false));
+    let transport_arc: Arc<dyn Transport> = Arc::new(transport);
+    let handle = Arc::clone(&daemon).run_background(transport_arc, Arc::clone(&stop));
+    let flush_interval = std::time::Duration::from_secs(
+        daemon.config().poll_interval.max(1),
+    );
+    loop {
+        std::thread::sleep(flush_interval);
+        if let Err(e) = daemon.flush_archives() {
+            eprintln!("gmetad: archive flush failed: {e}");
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let _ = handle.join();
+    ExitCode::SUCCESS
+}
+
+fn wall_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

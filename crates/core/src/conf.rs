@@ -1,0 +1,342 @@
+//! `gmetad.conf` parsing.
+//!
+//! The on-disk configuration format follows gmetad 2.5's, one directive
+//! per line:
+//!
+//! ```text
+//! # The grid this daemon is the authority for.
+//! gridname "SDSC"
+//! authority "http://sdsc/ganglia/"
+//!
+//! # data_source "<name>" [poll_interval] <host> [<host> ...]
+//! data_source "meteor" 15 meteor-n0:8649 meteor-n1:8649
+//! data_source "attic"  attic-gmeta:8651
+//!
+//! interactive_port 8652
+//! rrd_rootdir "/var/lib/ganglia/rrds"
+//!
+//! # Extension: run the legacy design for comparisons.
+//! tree_mode "n-level"    # or "1-level"
+//! ```
+//!
+//! Unknown directives are errors (typos in monitoring configs should
+//! not be silent). `#` starts a comment anywhere outside quotes.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ganglia_net::Addr;
+
+use crate::config::{ArchiveMode, DataSourceCfg, GmetadConfig, TreeMode};
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl fmt::Display for ConfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gmetad.conf line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+/// Result of parsing: the daemon config plus serving options that live
+/// outside [`GmetadConfig`].
+#[derive(Debug, Clone)]
+pub struct ParsedConf {
+    pub config: GmetadConfig,
+    /// TCP port for the query engine (`interactive_port`, default 8652).
+    pub interactive_port: u16,
+    /// Address to bind (default `0.0.0.0`).
+    pub bind: String,
+}
+
+/// Parse a complete `gmetad.conf` document.
+pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
+    let mut config = GmetadConfig::new("unspecified");
+    let mut interactive_port = 8652u16;
+    let mut bind = "0.0.0.0".to_string();
+    let mut saw_gridname = false;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |reason: String| ConfError {
+            line: line_no,
+            reason,
+        };
+        let tokens = tokenize(raw_line).map_err(&err)?;
+        let Some((directive, args)) = tokens.split_first() else {
+            continue; // blank or comment-only line
+        };
+        match directive.as_str() {
+            "gridname" => {
+                let [name] = args else {
+                    return Err(err("gridname takes exactly one value".into()));
+                };
+                config.grid_name = name.clone();
+                saw_gridname = true;
+            }
+            "authority" => {
+                let [url] = args else {
+                    return Err(err("authority takes exactly one value".into()));
+                };
+                config.authority_url = url.clone();
+            }
+            "data_source" => {
+                let Some((name, rest)) = args.split_first() else {
+                    return Err(err("data_source needs a name".into()));
+                };
+                // Optional leading poll interval (a bare integer), like
+                // gmetad's per-source polling interval.
+                let (interval, hosts) = match rest.split_first() {
+                    Some((first, more)) if first.chars().all(|c| c.is_ascii_digit()) => {
+                        let interval: u64 = first
+                            .parse()
+                            .map_err(|_| err(format!("bad interval {first:?}")))?;
+                        (Some(interval), more)
+                    }
+                    _ => (None, rest),
+                };
+                if hosts.is_empty() {
+                    return Err(err(format!(
+                        "data_source {name:?} lists no hosts"
+                    )));
+                }
+                if let Some(interval) = interval {
+                    if interval == 0 {
+                        return Err(err("poll interval must be positive".into()));
+                    }
+                    // gmetad has one global poll loop; honour the
+                    // smallest requested interval.
+                    config.poll_interval = config.poll_interval.min(interval);
+                }
+                if config.data_sources.iter().any(|s| &s.name == name) {
+                    return Err(err(format!("duplicate data_source {name:?}")));
+                }
+                config.data_sources.push(DataSourceCfg::new(
+                    name,
+                    hosts.iter().map(Addr::new).collect(),
+                ));
+            }
+            "interactive_port" => {
+                let [port] = args else {
+                    return Err(err("interactive_port takes one value".into()));
+                };
+                interactive_port = port
+                    .parse()
+                    .map_err(|_| err(format!("bad port {port:?}")))?;
+            }
+            "bind" => {
+                let [addr] = args else {
+                    return Err(err("bind takes one value".into()));
+                };
+                bind = addr.clone();
+            }
+            "rrd_rootdir" => {
+                let [dir] = args else {
+                    return Err(err("rrd_rootdir takes one value".into()));
+                };
+                config.archive = ArchiveMode::Directory(PathBuf::from(dir));
+            }
+            "no_archives" => {
+                if !args.is_empty() {
+                    return Err(err("no_archives takes no values".into()));
+                }
+                config.archive = ArchiveMode::Off;
+            }
+            "tree_mode" => {
+                let [mode] = args else {
+                    return Err(err("tree_mode takes one value".into()));
+                };
+                config.tree_mode = match mode.as_str() {
+                    "n-level" | "nlevel" => TreeMode::NLevel,
+                    "1-level" | "one-level" | "onelevel" => TreeMode::OneLevel,
+                    other => {
+                        return Err(err(format!(
+                            "unknown tree_mode {other:?} (use \"n-level\" or \"1-level\")"
+                        )))
+                    }
+                };
+            }
+            "fetch_timeout_secs" => {
+                let [secs] = args else {
+                    return Err(err("fetch_timeout_secs takes one value".into()));
+                };
+                let secs: u64 = secs
+                    .parse()
+                    .map_err(|_| err(format!("bad timeout {secs:?}")))?;
+                config.fetch_timeout = Duration::from_secs(secs);
+            }
+            other => {
+                return Err(err(format!("unknown directive {other:?}")));
+            }
+        }
+    }
+    if !saw_gridname {
+        return Err(ConfError {
+            line: 0,
+            reason: "missing required directive: gridname".into(),
+        });
+    }
+    if config.authority_url.contains("unspecified") {
+        config.authority_url = format!("http://{}/ganglia/", config.grid_name);
+    }
+    Ok(ParsedConf {
+        config,
+        interactive_port,
+        bind,
+    })
+}
+
+/// Split one line into tokens: whitespace-separated words and
+/// double-quoted strings; `#` begins a comment.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None | Some('#') => break,
+            Some('"') => {
+                chars.next();
+                let mut token = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated quoted string".into()),
+                        Some('"') => break,
+                        Some(c) => token.push(c),
+                    }
+                }
+                tokens.push(token);
+            }
+            Some(_) => {
+                let mut token = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '#' {
+                        break;
+                    }
+                    token.push(c);
+                    chars.next();
+                }
+                tokens.push(token);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Example gmetad configuration.
+gridname "SDSC"
+authority "http://sdsc/ganglia/"
+
+data_source "meteor" 15 meteor-n0:8649 meteor-n1:8649  # redundant gmonds
+data_source "attic" attic-gmeta:8651
+
+interactive_port 8652
+rrd_rootdir "/var/lib/ganglia/rrds"
+tree_mode "n-level"
+fetch_timeout_secs 5
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let parsed = parse_conf(SAMPLE).unwrap();
+        let config = &parsed.config;
+        assert_eq!(config.grid_name, "SDSC");
+        assert_eq!(config.authority_url, "http://sdsc/ganglia/");
+        assert_eq!(config.data_sources.len(), 2);
+        assert_eq!(config.data_sources[0].name, "meteor");
+        assert_eq!(config.data_sources[0].addrs.len(), 2);
+        assert_eq!(config.data_sources[1].addrs[0], Addr::new("attic-gmeta:8651"));
+        assert_eq!(config.poll_interval, 15);
+        assert_eq!(config.tree_mode, TreeMode::NLevel);
+        assert_eq!(config.fetch_timeout, Duration::from_secs(5));
+        assert_eq!(
+            config.archive,
+            ArchiveMode::Directory(PathBuf::from("/var/lib/ganglia/rrds"))
+        );
+        assert_eq!(parsed.interactive_port, 8652);
+        assert_eq!(parsed.bind, "0.0.0.0");
+    }
+
+    #[test]
+    fn defaults_when_optional_directives_missing() {
+        let parsed = parse_conf("gridname \"X\"\ndata_source \"c\" h:1\n").unwrap();
+        assert_eq!(parsed.interactive_port, 8652);
+        assert_eq!(parsed.config.tree_mode, TreeMode::NLevel);
+        assert_eq!(parsed.config.authority_url, "http://X/ganglia/");
+    }
+
+    #[test]
+    fn gridname_is_required() {
+        let err = parse_conf("data_source \"c\" h:1\n").unwrap_err();
+        assert!(err.reason.contains("gridname"));
+    }
+
+    #[test]
+    fn one_level_mode() {
+        let parsed =
+            parse_conf("gridname \"X\"\ntree_mode \"1-level\"\n").unwrap();
+        assert_eq!(parsed.config.tree_mode, TreeMode::OneLevel);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_conf("gridname \"X\"\nfrobnicate 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("frobnicate"));
+        let err = parse_conf("gridname \"X\"\ndata_source \"c\"\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_conf("gridname\n").is_err());
+        assert!(parse_conf("gridname \"X\"\ninteractive_port zap\n").is_err());
+        assert!(parse_conf("gridname \"X\"\ndata_source \"c\" 0 h:1\n").is_err());
+        assert!(parse_conf("gridname \"X\"\ntree_mode \"2-level\"\n").is_err());
+        assert!(
+            parse_conf("gridname \"X\"\ndata_source \"c\" h:1\ndata_source \"c\" h:2\n")
+                .is_err()
+        );
+        assert!(parse_conf("gridname \"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let parsed = parse_conf(
+            "# leading comment\n\n   \ngridname \"X\" # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.config.grid_name, "X");
+    }
+
+    #[test]
+    fn no_archives_directive() {
+        let parsed = parse_conf("gridname \"X\"\nno_archives\n").unwrap();
+        assert_eq!(parsed.config.archive, ArchiveMode::Off);
+    }
+
+    #[test]
+    fn tokenizer_handles_mixed_quoting() {
+        assert_eq!(
+            tokenize(r#"data_source "my cluster" h1:8649 # c"#).unwrap(),
+            vec!["data_source", "my cluster", "h1:8649"]
+        );
+        assert!(tokenize(r#"x "open"#).is_err());
+        assert_eq!(tokenize("   # only comment").unwrap(), Vec::<String>::new());
+    }
+}

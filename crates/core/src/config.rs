@@ -1,0 +1,132 @@
+//! Gmetad configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ganglia_net::Addr;
+
+/// Which monitoring-tree design the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeMode {
+    /// Monitor-core 2.5.1 behaviour (paper §2.1): report the union of
+    /// the subtree, keep full archives for every descendant host.
+    OneLevel,
+    /// Monitor-core 2.5.4 behaviour (paper §2.2–2.3): summarize remote
+    /// grids, archive only their summaries, serve path queries.
+    NLevel,
+}
+
+/// Where metric archives live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveMode {
+    /// No archiving (viewer-only deployments).
+    Off,
+    /// In-memory round-robin databases (the paper ran its archives on a
+    /// RAM-backed tmpfs for the same effect, §4.1).
+    InMemory,
+    /// Persist archives under a directory tree.
+    Directory(PathBuf),
+}
+
+/// One monitored data source: a cluster (gmond) or a remote grid
+/// (another gmetad), with an ordered list of redundant addresses.
+///
+/// "All Gmon agents have redundant global knowledge of the cluster, so
+/// that any node can supply a complete report... The wide-area Gmeta uses
+/// this ability to automatically fail-over when a cluster node
+/// malfunctions." (paper §1, fig 1)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSourceCfg {
+    /// Name the source is filed under (usually the cluster/grid name).
+    pub name: String,
+    /// Redundant endpoints, tried in order.
+    pub addrs: Vec<Addr>,
+}
+
+impl DataSourceCfg {
+    /// A data source from a name and address list.
+    pub fn new(name: impl Into<String>, addrs: Vec<Addr>) -> Self {
+        DataSourceCfg {
+            name: name.into(),
+            addrs,
+        }
+    }
+}
+
+/// Full daemon configuration.
+#[derive(Debug, Clone)]
+pub struct GmetadConfig {
+    /// Name of the grid this gmetad is the authority for.
+    pub grid_name: String,
+    /// URL at which this gmetad can be queried — propagated upstream as
+    /// the `AUTHORITY` pointer (paper §3.2).
+    pub authority_url: String,
+    /// Tree design under test.
+    pub tree_mode: TreeMode,
+    /// Seconds between polls of each data source ("generally every 15
+    /// seconds", paper §3.3.1).
+    pub poll_interval: u64,
+    /// Per-exchange timeout for child polls.
+    pub fetch_timeout: Duration,
+    /// The monitored children.
+    pub data_sources: Vec<DataSourceCfg>,
+    /// Metric archive backing.
+    pub archive: ArchiveMode,
+}
+
+impl GmetadConfig {
+    /// A sensible N-level configuration with no sources yet.
+    pub fn new(grid_name: impl Into<String>) -> Self {
+        let grid_name = grid_name.into();
+        GmetadConfig {
+            authority_url: format!("http://{grid_name}/ganglia/"),
+            grid_name,
+            tree_mode: TreeMode::NLevel,
+            poll_interval: 15,
+            fetch_timeout: Duration::from_secs(10),
+            data_sources: Vec::new(),
+            archive: ArchiveMode::InMemory,
+        }
+    }
+
+    /// Builder-style: set the tree mode.
+    pub fn with_mode(mut self, mode: TreeMode) -> Self {
+        self.tree_mode = mode;
+        self
+    }
+
+    /// Builder-style: add a data source.
+    pub fn with_source(mut self, source: DataSourceCfg) -> Self {
+        self.data_sources.push(source);
+        self
+    }
+
+    /// Builder-style: set the archive mode.
+    pub fn with_archive(mut self, archive: ArchiveMode) -> Self {
+        self.archive = archive;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_config() {
+        let config = GmetadConfig::new("sdsc")
+            .with_mode(TreeMode::OneLevel)
+            .with_source(DataSourceCfg::new(
+                "meteor",
+                vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+            ))
+            .with_archive(ArchiveMode::Off);
+        assert_eq!(config.grid_name, "sdsc");
+        assert_eq!(config.tree_mode, TreeMode::OneLevel);
+        assert_eq!(config.data_sources.len(), 1);
+        assert_eq!(config.data_sources[0].addrs.len(), 2);
+        assert_eq!(config.archive, ArchiveMode::Off);
+        assert_eq!(config.poll_interval, 15);
+        assert!(config.authority_url.contains("sdsc"));
+    }
+}

@@ -1,0 +1,430 @@
+//! The assembled gmetad daemon.
+//!
+//! Two time scales, per §3.3.1: the **summarization time scale** (polling
+//! children, parsing, summarizing, archiving — driven by
+//! [`Gmetad::poll_all`], either from the background thread or from a
+//! deterministic experiment loop) and the **query time scale**
+//! ([`Gmetad::query`], always answered from the latest fully-parsed
+//! snapshots). The two never block each other beyond pointer swaps.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use ganglia_net::transport::{RequestHandler, ServerGuard, Transport};
+use ganglia_net::Addr;
+use ganglia_query::Query;
+use ganglia_rrd::{ConsolidationFn, MetricKey, RrdSet, Series};
+
+use crate::archive::{archive_source, write_unknowns};
+use crate::config::{ArchiveMode, GmetadConfig};
+use crate::error::GmetadError;
+use crate::instrument::{WorkCategory, WorkMeter};
+use crate::poller::SourcePoller;
+use crate::query_engine;
+use crate::store::Store;
+
+/// Shared factory for the RRD spec of newly created archives.
+pub type ArchiveSpecFactory = Arc<dyn Fn(&MetricKey, u64) -> ganglia_rrd::RrdSpec + Send + Sync>;
+
+/// The wide-area monitor daemon.
+pub struct Gmetad {
+    config: GmetadConfig,
+    store: Store,
+    archiver: Mutex<RrdSet>,
+    meter: Arc<WorkMeter>,
+    pollers: Mutex<Vec<SourcePoller>>,
+    /// Logical "now" used when serving queries (set by the poll driver).
+    clock: AtomicU64,
+}
+
+impl Gmetad {
+    /// Assemble a daemon from its configuration.
+    pub fn new(config: GmetadConfig) -> Arc<Gmetad> {
+        Self::with_archive_spec(config, None)
+    }
+
+    /// Assemble a daemon with a custom RRD spec factory (experiments use
+    /// compact archives; the default is the Ganglia ladder).
+    pub fn with_archive_spec(
+        config: GmetadConfig,
+        spec: Option<ArchiveSpecFactory>,
+    ) -> Arc<Gmetad> {
+        let mut set = match spec {
+            Some(factory) => {
+                let factory = Arc::clone(&factory);
+                RrdSet::with_spec_factory(move |key, start| factory(key, start))
+            }
+            None => RrdSet::new(),
+        };
+        if let ArchiveMode::Directory(dir) = &config.archive {
+            set = set.persist_to(dir.clone());
+        }
+        let pollers = config
+            .data_sources
+            .iter()
+            .cloned()
+            .map(SourcePoller::new)
+            .collect();
+        Arc::new(Gmetad {
+            store: Store::new(),
+            archiver: Mutex::new(set),
+            meter: Arc::new(WorkMeter::new()),
+            pollers: Mutex::new(pollers),
+            clock: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &GmetadConfig {
+        &self.config
+    }
+
+    /// The store (read access for tests and tools).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The CPU-accounting meter.
+    pub fn meter(&self) -> &Arc<WorkMeter> {
+        &self.meter
+    }
+
+    /// Set the logical clock (experiment drivers).
+    pub fn set_clock(&self, now: u64) {
+        self.clock.store(now, Ordering::Relaxed);
+    }
+
+    /// The logical clock.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Poll every data source once at time `now`, updating the store and
+    /// archives. Returns one result per source, in configuration order.
+    pub fn poll_all(&self, transport: &dyn Transport, now: u64) -> Vec<Result<(), GmetadError>> {
+        self.set_clock(now);
+        let mut pollers = self.pollers.lock();
+        let mut results = Vec::with_capacity(pollers.len());
+        for poller in pollers.iter_mut() {
+            results.push(self.poll_one(poller, transport, now));
+        }
+        results
+    }
+
+    fn poll_one(
+        &self,
+        poller: &mut SourcePoller,
+        transport: &dyn Transport,
+        now: u64,
+    ) -> Result<(), GmetadError> {
+        let name = poller.cfg().name.clone();
+        match poller.poll(
+            transport,
+            self.config.tree_mode,
+            self.config.fetch_timeout,
+            &self.meter,
+            now,
+        ) {
+            Ok(state) => {
+                if self.config.archive != ArchiveMode::Off {
+                    let mut set = self.archiver.lock();
+                    self.meter.time(WorkCategory::Archive, || {
+                        archive_source(&mut set, &state, self.config.tree_mode, now)
+                    });
+                }
+                self.store.replace(state);
+                Ok(())
+            }
+            Err(e) => {
+                // Keep the last good snapshot, flagged stale, and record
+                // the downtime in the archives (§3.1's zero records).
+                self.store.mark_stale(&name, now);
+                if self.config.archive != ArchiveMode::Off {
+                    let mut set = self.archiver.lock();
+                    self.meter.time(WorkCategory::Archive, || {
+                        write_unknowns(&mut set, &name, now)
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Answer one query string (the interactive-port protocol). Malformed
+    /// queries produce a well-formed error document.
+    pub fn query(&self, raw: &str) -> String {
+        self.meter.time(WorkCategory::QueryServe, || {
+            match Query::parse(raw) {
+                Ok(query) => {
+                    query_engine::answer(&self.store, &self.config, &query, self.clock())
+                }
+                Err(e) => {
+                    // Match gmetad's behaviour of never hanging a client:
+                    // serve an empty document with the error as a comment.
+                    let reason = e.to_string().replace("--", "- -");
+                    format!(
+                        "<?xml version=\"1.0\"?><!-- bad query: {reason} -->\
+                         <GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\"/>"
+                    )
+                }
+            }
+        })
+    }
+
+    /// A transport handler serving this daemon's query port.
+    pub fn handler(self: &Arc<Self>) -> Arc<dyn RequestHandler> {
+        let daemon = Arc::clone(self);
+        Arc::new(move |request: &str| daemon.query(request))
+    }
+
+    /// Bind this daemon's query port at `addr`.
+    pub fn serve_on(
+        self: &Arc<Self>,
+        transport: &dyn Transport,
+        addr: &Addr,
+    ) -> Result<Box<dyn ServerGuard>, ganglia_net::NetError> {
+        transport.serve(addr, self.handler())
+    }
+
+    /// Fetch archived history for one metric (forensics, alarms, the web
+    /// frontend's graphs).
+    pub fn fetch_history(
+        &self,
+        key: &MetricKey,
+        cf: ConsolidationFn,
+        start: u64,
+        end: u64,
+    ) -> Option<Series> {
+        self.archiver.lock().fetch(key, cf, start, end)?.ok()
+    }
+
+    /// Number of metric archives this daemon maintains.
+    pub fn archive_count(&self) -> usize {
+        self.archiver.lock().len()
+    }
+
+    /// Total RRD updates this daemon has performed.
+    pub fn archive_updates(&self) -> u64 {
+        self.archiver.lock().update_count()
+    }
+
+    /// Flush archives to disk if a persistence directory is configured.
+    pub fn flush_archives(&self) -> Result<usize, ganglia_rrd::RrdError> {
+        self.archiver.lock().flush()
+    }
+
+    /// Per-source poller statistics: `(name, ok, failed, failovers)`.
+    pub fn poller_stats(&self) -> Vec<(String, u64, u64, u64)> {
+        self.pollers
+            .lock()
+            .iter()
+            .map(|p| {
+                (
+                    p.cfg().name.clone(),
+                    p.polls_ok,
+                    p.polls_failed,
+                    p.failovers,
+                )
+            })
+            .collect()
+    }
+
+    /// Add a data source at runtime (used by the self-organizing join
+    /// extension). Returns false if a source with that name exists.
+    pub fn add_source(&self, cfg: crate::config::DataSourceCfg) -> bool {
+        let mut pollers = self.pollers.lock();
+        if pollers.iter().any(|p| p.cfg().name == cfg.name) {
+            return false;
+        }
+        pollers.push(SourcePoller::new(cfg));
+        true
+    }
+
+    /// Remove a data source (and its stored snapshot) at runtime.
+    pub fn remove_source(&self, name: &str) -> bool {
+        let mut pollers = self.pollers.lock();
+        let before = pollers.len();
+        pollers.retain(|p| p.cfg().name != name);
+        let removed = pollers.len() != before;
+        if removed {
+            self.store.remove(name);
+        }
+        removed
+    }
+
+    /// Names of currently configured sources.
+    pub fn source_names(&self) -> Vec<String> {
+        self.pollers
+            .lock()
+            .iter()
+            .map(|p| p.cfg().name.clone())
+            .collect()
+    }
+
+    /// Run the daemon on real wall-clock time in a background thread:
+    /// poll every `poll_interval` seconds until `stop` is set.
+    pub fn run_background(
+        self: Arc<Self>,
+        transport: Arc<dyn Transport>,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let interval = Duration::from_secs(self.config.poll_interval.max(1));
+            let epoch = std::time::SystemTime::UNIX_EPOCH;
+            while !stop.load(Ordering::SeqCst) {
+                let now = std::time::SystemTime::now()
+                    .duration_since(epoch)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                let _ = self.poll_all(transport.as_ref(), now);
+                // Sleep in small slices so stop is prompt.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop.load(Ordering::SeqCst) {
+                    let slice = Duration::from_millis(50).min(interval - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DataSourceCfg, TreeMode};
+    use crate::store::SourceStatus;
+    use ganglia_gmond::PseudoGmond;
+    use ganglia_gmond::pseudo::ServedPseudoCluster;
+    use ganglia_metrics::parse_document;
+    use ganglia_net::SimNet;
+
+    fn deploy(
+        mode: TreeMode,
+    ) -> (Arc<SimNet>, ServedPseudoCluster, Arc<Gmetad>) {
+        let net = SimNet::new(1);
+        let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 8, 42, 0), 2);
+        let config = GmetadConfig::new("sdsc")
+            .with_mode(mode)
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()));
+        let gmetad = Gmetad::new(config);
+        (net, served, gmetad)
+    }
+
+    #[test]
+    fn polls_populate_store_and_archives() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        let results = gmetad.poll_all(&net, 15);
+        assert!(results[0].is_ok());
+        let state = gmetad.store().get("meteor").unwrap();
+        assert_eq!(state.host_count(), 8);
+        assert_eq!(state.status, SourceStatus::Fresh);
+        // 8 hosts × 29 numeric metrics + 29 summary metrics (5 of the
+        // 34 built-ins are strings and have no history).
+        assert_eq!(gmetad.archive_count(), 8 * 29 + 29);
+        assert!(gmetad.meter().total_busy() > Duration::ZERO);
+    }
+
+    #[test]
+    fn query_port_serves_selected_subtrees() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        let guard = gmetad.serve_on(&net, &Addr::new("sdsc-gmeta")).unwrap();
+        let full = net
+            .fetch(&guard.addr(), "/", Duration::from_secs(1))
+            .unwrap();
+        let host = net
+            .fetch(
+                &guard.addr(),
+                "/meteor/meteor-0003",
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert!(host.len() < full.len() / 4);
+        let doc = parse_document(&host).unwrap();
+        assert_eq!(doc.host_count(), 1);
+    }
+
+    #[test]
+    fn failure_marks_stale_and_records_unknowns() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        let updates_before = gmetad.archive_updates();
+        net.partition_prefix("meteor", true);
+        let results = gmetad.poll_all(&net, 30);
+        assert!(results[0].is_err());
+        let state = gmetad.store().get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Stale { since: 30 });
+        assert_eq!(state.host_count(), 8, "last good snapshot retained");
+        assert!(
+            gmetad.archive_updates() > updates_before,
+            "zero records written during downtime"
+        );
+        let stats = gmetad.poller_stats();
+        assert_eq!(stats[0].1, 1); // ok
+        assert_eq!(stats[0].2, 1); // failed
+    }
+
+    #[test]
+    fn bad_query_yields_well_formed_document() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        let response = gmetad.query("/a//b?frob=1");
+        let doc = parse_document(&response).unwrap();
+        assert_eq!(doc.items.len(), 0);
+    }
+
+    #[test]
+    fn dynamic_source_management() {
+        let (_net, _served, gmetad) = deploy(TreeMode::NLevel);
+        assert!(!gmetad.add_source(DataSourceCfg::new("meteor", vec![])));
+        assert!(gmetad.add_source(DataSourceCfg::new("nashi", vec![Addr::new("nashi/n0")])));
+        assert_eq!(gmetad.source_names(), vec!["meteor", "nashi"]);
+        assert!(gmetad.remove_source("nashi"));
+        assert!(!gmetad.remove_source("nashi"));
+        assert_eq!(gmetad.source_names(), vec!["meteor"]);
+    }
+
+    #[test]
+    fn background_thread_polls_and_stops() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        let stop = Arc::new(AtomicBool::new(false));
+        let transport: Arc<dyn Transport> = Arc::new(Arc::clone(&net));
+        let handle = Arc::clone(&gmetad).run_background(transport, Arc::clone(&stop));
+        // Wait for at least one poll.
+        for _ in 0..100 {
+            if !gmetad.store().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(gmetad.store().len(), 1);
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn two_level_tree_summarizes_at_the_parent() {
+        // meteor -> sdsc gmetad -> root gmetad, N-level.
+        let (net, _served, sdsc) = deploy(TreeMode::NLevel);
+        sdsc.poll_all(&net, 15);
+        let _guard = sdsc.serve_on(&net, &Addr::new("sdsc-gmeta")).unwrap();
+        let root_cfg = GmetadConfig::new("root")
+            .with_source(DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]));
+        let root = Gmetad::new(root_cfg);
+        root.poll_all(&net, 16);
+        let state = root.store().get("sdsc").unwrap();
+        assert_eq!(state.summary.hosts_up, 8);
+        // Root archives ONLY summaries for the remote grid.
+        assert_eq!(root.archive_count(), 29);
+        // And its own report presents sdsc as a summary grid with the
+        // authority pointer.
+        let xml = root.query("/");
+        assert!(xml.contains("AUTHORITY=\"http://sdsc/ganglia/\""));
+        assert!(xml.contains("<HOSTS UP=\"8\""));
+    }
+}

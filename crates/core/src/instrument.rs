@@ -1,0 +1,169 @@
+//! Per-category CPU accounting.
+//!
+//! The paper's experiments measure "the percentage of wall-clock CPU time
+//! used by the gmeta daemons over a one-hour period" (§4.2). Our
+//! deployments run in-process, so instead of `ps` we wrap every unit of
+//! monitor work in a timed section attributed to one [`WorkCategory`].
+//! CPU% is then `busy_time / window` for a virtual measurement window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What kind of work a gmetad spent time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkCategory {
+    /// Downloading XML from a child (the child's serving cost is
+    /// attributed to the child's own meter, not here).
+    Fetch,
+    /// SAX-parsing child XML into the store.
+    Parse,
+    /// Computing additive-reduction summaries.
+    Summarize,
+    /// Updating metric archives (RRDs).
+    Archive,
+    /// Serving queries (rendering XML for parents and viewers).
+    QueryServe,
+}
+
+impl WorkCategory {
+    /// All categories, in display order.
+    pub const ALL: [WorkCategory; 5] = [
+        WorkCategory::Fetch,
+        WorkCategory::Parse,
+        WorkCategory::Summarize,
+        WorkCategory::Archive,
+        WorkCategory::QueryServe,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            WorkCategory::Fetch => 0,
+            WorkCategory::Parse => 1,
+            WorkCategory::Summarize => 2,
+            WorkCategory::Archive => 3,
+            WorkCategory::QueryServe => 4,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkCategory::Fetch => "fetch",
+            WorkCategory::Parse => "parse",
+            WorkCategory::Summarize => "summarize",
+            WorkCategory::Archive => "archive",
+            WorkCategory::QueryServe => "query",
+        }
+    }
+}
+
+/// Accumulated busy time, by category. Cheap to share and record into
+/// from any thread.
+#[derive(Debug, Default)]
+pub struct WorkMeter {
+    nanos: [AtomicU64; 5],
+}
+
+impl WorkMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        WorkMeter::default()
+    }
+
+    /// Record `elapsed` against `category`.
+    pub fn record(&self, category: WorkCategory, elapsed: Duration) {
+        self.nanos[category.index()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Time a closure and record it.
+    pub fn time<T>(&self, category: WorkCategory, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(category, start.elapsed());
+        out
+    }
+
+    /// Busy time in one category.
+    pub fn busy(&self, category: WorkCategory) -> Duration {
+        Duration::from_nanos(self.nanos[category.index()].load(Ordering::Relaxed))
+    }
+
+    /// Total busy time across categories.
+    pub fn total_busy(&self) -> Duration {
+        WorkCategory::ALL.iter().map(|&c| self.busy(c)).sum()
+    }
+
+    /// CPU utilization over a window: `total_busy / window`, as a
+    /// percentage.
+    pub fn cpu_percent(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        100.0 * self.total_busy().as_secs_f64() / window.as_secs_f64()
+    }
+
+    /// Zero all counters (start of a measurement window).
+    pub fn reset(&self) {
+        for counter in &self.nanos {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of every category's busy time.
+    pub fn breakdown(&self) -> Vec<(WorkCategory, Duration)> {
+        WorkCategory::ALL.iter().map(|&c| (c, self.busy(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let meter = WorkMeter::new();
+        meter.record(WorkCategory::Parse, Duration::from_millis(5));
+        meter.record(WorkCategory::Parse, Duration::from_millis(7));
+        meter.record(WorkCategory::Archive, Duration::from_millis(3));
+        assert_eq!(meter.busy(WorkCategory::Parse), Duration::from_millis(12));
+        assert_eq!(meter.busy(WorkCategory::Archive), Duration::from_millis(3));
+        assert_eq!(meter.busy(WorkCategory::Fetch), Duration::ZERO);
+        assert_eq!(meter.total_busy(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn cpu_percent_is_ratio() {
+        let meter = WorkMeter::new();
+        meter.record(WorkCategory::Summarize, Duration::from_secs(9));
+        let pct = meter.cpu_percent(Duration::from_secs(60));
+        assert!((pct - 15.0).abs() < 1e-9);
+        assert_eq!(meter.cpu_percent(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn timed_closure_records_something() {
+        let meter = WorkMeter::new();
+        let out = meter.time(WorkCategory::QueryServe, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(meter.busy(WorkCategory::QueryServe) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let meter = WorkMeter::new();
+        meter.record(WorkCategory::Fetch, Duration::from_secs(1));
+        meter.reset();
+        assert_eq!(meter.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_covers_all_categories() {
+        let meter = WorkMeter::new();
+        assert_eq!(meter.breakdown().len(), 5);
+        let labels: Vec<&str> = WorkCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["fetch", "parse", "summarize", "archive", "query"]);
+    }
+}

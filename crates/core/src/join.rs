@@ -1,0 +1,268 @@
+//! Self-organizing tree membership (paper §5, future work).
+//!
+//! "We would like to incorporate a wide-area trust model similar to MDS,
+//! where parents have no explicit knowledge of their children. Children
+//! in an MDS tree periodically send join messages to their parents, who
+//! verify trust via a cryptographic certificate sent with the message.
+//! Nodes are automatically pruned from the tree if their join messages
+//! cease." (paper §5)
+//!
+//! The implementation here is exactly that: a child periodically sends a
+//! signed join message naming itself and its redundant endpoints; the
+//! parent verifies an HMAC-SHA256 certificate over the message under a
+//! shared deployment secret, registers the child as a data source, and
+//! prunes children whose joins stop — the same soft-state discipline
+//! gmond applies to hosts.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ganglia_net::Addr;
+
+use crate::config::DataSourceCfg;
+use crate::gmetad::Gmetad;
+use crate::sha256::{digest_eq, from_hex, hmac_sha256, to_hex};
+
+/// Why a join message was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// Not a JOIN message or wrong field count.
+    Malformed,
+    /// The certificate did not verify under the deployment secret.
+    BadCertificate,
+    /// The timestamp was outside the acceptance window (replay defense).
+    StaleTimestamp { sent: u64, now: u64 },
+    /// The child listed no endpoints.
+    NoEndpoints,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Malformed => write!(f, "malformed join message"),
+            JoinError::BadCertificate => write!(f, "certificate verification failed"),
+            JoinError::StaleTimestamp { sent, now } => {
+                write!(f, "stale join timestamp (sent {sent}, now {now})")
+            }
+            JoinError::NoEndpoints => write!(f, "join lists no endpoints"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Render a child's join message.
+///
+/// Format: `JOIN <name> <addr,addr,...> <timestamp> <hmac-hex>`, with
+/// the certificate over `name|addrs|timestamp`.
+pub fn join_message(name: &str, addrs: &[Addr], now: u64, secret: &[u8]) -> String {
+    let addr_list = addrs
+        .iter()
+        .map(Addr::as_str)
+        .collect::<Vec<_>>()
+        .join(",");
+    let payload = format!("{name}|{addr_list}|{now}");
+    let cert = to_hex(&hmac_sha256(secret, payload.as_bytes()));
+    format!("JOIN {name} {addr_list} {now} {cert}")
+}
+
+/// Parent-side membership manager.
+pub struct JoinManager {
+    gmetad: Arc<Gmetad>,
+    secret: Vec<u8>,
+    /// Seconds a member survives without a fresh join.
+    join_timeout: u64,
+    /// Seconds of clock skew tolerated on join timestamps.
+    acceptance_window: u64,
+    members: Mutex<HashMap<String, u64>>,
+}
+
+impl JoinManager {
+    /// A manager pruning members after `join_timeout` seconds of silence.
+    pub fn new(gmetad: Arc<Gmetad>, secret: impl Into<Vec<u8>>, join_timeout: u64) -> Self {
+        JoinManager {
+            gmetad,
+            secret: secret.into(),
+            join_timeout,
+            acceptance_window: 300,
+            members: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Handle one join message at time `now`. On success the child is a
+    /// (possibly new) data source of the parent gmetad.
+    pub fn handle(&self, message: &str, now: u64) -> Result<(), JoinError> {
+        let mut parts = message.split_whitespace();
+        if parts.next() != Some("JOIN") {
+            return Err(JoinError::Malformed);
+        }
+        let (Some(name), Some(addr_list), Some(ts_raw), Some(cert_hex), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(JoinError::Malformed);
+        };
+        let sent: u64 = ts_raw.parse().map_err(|_| JoinError::Malformed)?;
+        let cert = from_hex(cert_hex).ok_or(JoinError::Malformed)?;
+        let payload = format!("{name}|{addr_list}|{sent}");
+        let expected = hmac_sha256(&self.secret, payload.as_bytes());
+        if !digest_eq(&cert, &expected) {
+            return Err(JoinError::BadCertificate);
+        }
+        if now.abs_diff(sent) > self.acceptance_window {
+            return Err(JoinError::StaleTimestamp { sent, now });
+        }
+        let addrs: Vec<Addr> = addr_list
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(Addr::new)
+            .collect();
+        if addrs.is_empty() {
+            return Err(JoinError::NoEndpoints);
+        }
+        self.members.lock().insert(name.to_string(), now);
+        // add_source is a no-op (false) for an existing member refresh.
+        self.gmetad.add_source(DataSourceCfg::new(name, addrs));
+        Ok(())
+    }
+
+    /// Prune members whose joins have ceased. Returns the pruned names.
+    pub fn prune(&self, now: u64) -> Vec<String> {
+        let mut members = self.members.lock();
+        let timeout = self.join_timeout;
+        let expired: Vec<String> = members
+            .iter()
+            .filter(|(_, &last)| now.saturating_sub(last) > timeout)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in &expired {
+            members.remove(name);
+            self.gmetad.remove_source(name);
+        }
+        expired
+    }
+
+    /// Current members and their last join times.
+    pub fn members(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .members
+            .lock()
+            .iter()
+            .map(|(n, &t)| (n.clone(), t))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GmetadConfig;
+
+    const SECRET: &[u8] = b"deployment-secret";
+
+    fn manager() -> (Arc<Gmetad>, JoinManager) {
+        let gmetad = Gmetad::new(GmetadConfig::new("root"));
+        let manager = JoinManager::new(Arc::clone(&gmetad), SECRET, 60);
+        (gmetad, manager)
+    }
+
+    #[test]
+    fn valid_join_registers_a_source() {
+        let (gmetad, manager) = manager();
+        let msg = join_message(
+            "sdsc",
+            &[Addr::new("sdsc-gmeta"), Addr::new("sdsc-gmeta-2")],
+            100,
+            SECRET,
+        );
+        manager.handle(&msg, 110).unwrap();
+        assert_eq!(gmetad.source_names(), vec!["sdsc"]);
+        assert_eq!(manager.members().len(), 1);
+    }
+
+    #[test]
+    fn wrong_secret_is_rejected() {
+        let (gmetad, manager) = manager();
+        let msg = join_message("evil", &[Addr::new("evil")], 100, b"wrong-secret");
+        assert_eq!(manager.handle(&msg, 100), Err(JoinError::BadCertificate));
+        assert!(gmetad.source_names().is_empty());
+    }
+
+    #[test]
+    fn tampered_message_is_rejected() {
+        let (_gmetad, manager) = manager();
+        let msg = join_message("sdsc", &[Addr::new("a")], 100, SECRET);
+        let tampered = msg.replace("sdsc", "mars");
+        assert_eq!(
+            manager.handle(&tampered, 100),
+            Err(JoinError::BadCertificate)
+        );
+    }
+
+    #[test]
+    fn stale_timestamp_is_rejected() {
+        let (_gmetad, manager) = manager();
+        let msg = join_message("sdsc", &[Addr::new("a")], 100, SECRET);
+        assert_eq!(
+            manager.handle(&msg, 1000),
+            Err(JoinError::StaleTimestamp {
+                sent: 100,
+                now: 1000
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        let (_gmetad, manager) = manager();
+        for msg in [
+            "",
+            "HELLO",
+            "JOIN onlyname",
+            "JOIN a b c d e",
+            "JOIN name addr notanumber cert",
+            "JOIN name addr 100 nothex",
+        ] {
+            assert!(manager.handle(msg, 100).is_err(), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn refresh_extends_membership_and_prune_expires_it() {
+        let (gmetad, manager) = manager();
+        let join = |t: u64| join_message("sdsc", &[Addr::new("a")], t, SECRET);
+        manager.handle(&join(100), 100).unwrap();
+        manager.handle(&join(150), 150).unwrap();
+        assert!(manager.prune(200).is_empty(), "refreshed at 150, timeout 60");
+        let pruned = manager.prune(211);
+        assert_eq!(pruned, vec!["sdsc"]);
+        assert!(gmetad.source_names().is_empty());
+        assert!(manager.members().is_empty());
+    }
+
+    #[test]
+    fn empty_endpoint_list_is_rejected() {
+        let (_gmetad, manager) = manager();
+        // Build a message with an empty addr list but a valid cert.
+        let payload = "x||100";
+        let cert = to_hex(&hmac_sha256(SECRET, payload.as_bytes()));
+        let msg = format!("JOIN x  100 {cert}");
+        // split_whitespace collapses the empty field, so this parses as
+        // 4 fields with addr_list="100"... construct explicitly instead:
+        let msg2 = format!("JOIN x , 100 {cert}");
+        assert!(manager.handle(&msg, 100).is_err());
+        let payload2 = "x|,|100";
+        let cert2 = to_hex(&hmac_sha256(SECRET, payload2.as_bytes()));
+        let msg2b = format!("JOIN x , 100 {cert2}");
+        let _ = msg2;
+        assert_eq!(manager.handle(&msg2b, 100), Err(JoinError::NoEndpoints));
+    }
+}

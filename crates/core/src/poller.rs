@@ -1,0 +1,328 @@
+//! Per-source polling with fail-over.
+//!
+//! Each data source lists several redundant endpoints (any gmon node can
+//! serve the whole cluster). The poller tries them in order starting at
+//! the last one that worked: a stop failure moves on immediately, and a
+//! completely unreachable source is retried "at a steady frequency,
+//! ensuring that failures do not cause permanent fissures in the
+//! monitoring tree" (paper §2.1) — i.e. every poll round, forever.
+
+
+use std::time::Duration;
+
+use ganglia_metrics::model::{GridBody, GridNode, SummaryBody};
+use ganglia_metrics::{parse_document, GridItem};
+use ganglia_net::transport::Transport;
+use ganglia_net::NetError;
+
+use crate::config::{DataSourceCfg, TreeMode};
+use crate::error::GmetadError;
+use crate::instrument::{WorkCategory, WorkMeter};
+use crate::store::SourceState;
+
+/// Polling state for one data source.
+#[derive(Debug)]
+pub struct SourcePoller {
+    cfg: DataSourceCfg,
+    /// Index of the endpoint that served the last successful poll.
+    cursor: usize,
+    /// Consecutive fully-failed rounds.
+    pub consecutive_failures: u32,
+    /// Lifetime counters.
+    pub polls_ok: u64,
+    pub polls_failed: u64,
+    pub failovers: u64,
+}
+
+impl SourcePoller {
+    /// A poller for one configured source.
+    pub fn new(cfg: DataSourceCfg) -> SourcePoller {
+        SourcePoller {
+            cfg,
+            cursor: 0,
+            consecutive_failures: 0,
+            polls_ok: 0,
+            polls_failed: 0,
+            failovers: 0,
+        }
+    }
+
+    /// The source configuration.
+    pub fn cfg(&self) -> &DataSourceCfg {
+        &self.cfg
+    }
+
+    /// The endpoint currently preferred.
+    pub fn current_addr(&self) -> &ganglia_net::Addr {
+        &self.cfg.addrs[self.cursor]
+    }
+
+    /// One poll round: fetch (with fail-over), parse, and build the new
+    /// snapshot. On total failure every endpoint's error is reported.
+    pub fn poll(
+        &mut self,
+        transport: &dyn Transport,
+        mode: TreeMode,
+        timeout: Duration,
+        meter: &WorkMeter,
+        now: u64,
+    ) -> Result<SourceState, GmetadError> {
+        let xml = match self.fetch_with_failover(transport, timeout, meter) {
+            Ok(xml) => xml,
+            Err(errors) => {
+                self.polls_failed += 1;
+                self.consecutive_failures += 1;
+                return Err(GmetadError::AllHostsFailed {
+                    source: self.cfg.name.clone(),
+                    errors,
+                });
+            }
+        };
+        let doc = match meter.time(WorkCategory::Parse, || parse_document(&xml)) {
+            Ok(doc) => doc,
+            Err(error) => {
+                self.polls_failed += 1;
+                self.consecutive_failures += 1;
+                return Err(GmetadError::BadReport {
+                    source: self.cfg.name.clone(),
+                    error,
+                });
+            }
+        };
+        self.polls_ok += 1;
+        self.consecutive_failures = 0;
+        Ok(build_state(&self.cfg.name, doc, mode, meter, now))
+    }
+
+    fn fetch_with_failover(
+        &mut self,
+        transport: &dyn Transport,
+        timeout: Duration,
+        meter: &WorkMeter,
+    ) -> Result<String, Vec<NetError>> {
+        let addr_count = self.cfg.addrs.len();
+        let mut errors = Vec::new();
+        for attempt in 0..addr_count {
+            let idx = (self.cursor + attempt) % addr_count;
+            let addr = &self.cfg.addrs[idx];
+            let result = meter.time(WorkCategory::Fetch, || transport.fetch(addr, "/", timeout));
+            match result {
+                Ok(xml) => {
+                    if attempt > 0 {
+                        self.failovers += 1;
+                        self.cursor = idx; // stick with the node that works
+                    }
+                    return Ok(xml);
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        Err(errors)
+    }
+}
+
+/// Turn a parsed child report into this gmetad's stored snapshot.
+///
+/// * A gmond report (one `CLUSTER`) is a **local** cluster: kept at full
+///   detail — this gmetad is its authority.
+/// * A gmetad report (a `GRID`) is a **remote** grid: "Gmeta only keeps
+///   numerical summaries of data from clusters it is not an authority
+///   on" (§3.2) under the N-level design; the 1-level design keeps the
+///   whole expansion.
+pub fn build_state(
+    source_name: &str,
+    doc: ganglia_metrics::GangliaDoc,
+    mode: TreeMode,
+    meter: &WorkMeter,
+    now: u64,
+) -> SourceState {
+    // A well-formed child report carries exactly one top-level item; a
+    // report with several (nonstandard) is wrapped in a synthetic grid.
+    let item = if doc.items.len() == 1 {
+        doc.items.into_iter().next().expect("len checked")
+    } else {
+        GridItem::Grid(GridNode::with_items(source_name.to_string(), doc.items))
+    };
+    match item {
+        GridItem::Cluster(cluster) => {
+            let summary = meter.time(WorkCategory::Summarize, || cluster.summary());
+            SourceState::cluster(source_name, cluster, summary, now)
+        }
+        GridItem::Grid(grid) => {
+            let summary = meter.time(WorkCategory::Summarize, || grid.summary());
+            let stored = match mode {
+                TreeMode::NLevel => GridNode {
+                    name: grid.name,
+                    authority: grid.authority,
+                    localtime: grid.localtime,
+                    body: GridBody::Summary(summary.clone()),
+                },
+                TreeMode::OneLevel => grid,
+            };
+            SourceState::grid(source_name, stored, summary, now)
+        }
+    }
+}
+
+/// Convenience for tests: an empty summary.
+pub fn empty_summary() -> SummaryBody {
+    SummaryBody::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SourceData;
+    use ganglia_net::{Addr, SimNet};
+    use std::sync::Arc as StdArc;
+
+    const TIMEOUT: Duration = Duration::from_millis(100);
+
+    fn cluster_xml(name: &str, hosts: usize) -> String {
+        let mut xml = format!("<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmond\"><CLUSTER NAME=\"{name}\" LOCALTIME=\"10\">");
+        for i in 0..hosts {
+            xml.push_str(&format!(
+                "<HOST NAME=\"n{i}\" IP=\"1.1.1.{i}\" REPORTED=\"10\" TN=\"1\" TMAX=\"20\" DMAX=\"0\">\
+                 <METRIC NAME=\"load_one\" VAL=\"0.5\" TYPE=\"float\" SLOPE=\"both\"/></HOST>"
+            ));
+        }
+        xml.push_str("</CLUSTER></GANGLIA_XML>");
+        xml
+    }
+
+    fn serve_static(net: &StdArc<SimNet>, addr: &str, body: String) -> Box<dyn ganglia_net::ServerGuard> {
+        net.serve(
+            &Addr::new(addr),
+            StdArc::new(move |_: &str| body.clone()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poll_parses_cluster_source() {
+        let net = SimNet::new(1);
+        let _g = serve_static(&net, "meteor/n0", cluster_xml("meteor", 3));
+        let meter = WorkMeter::new();
+        let mut poller = SourcePoller::new(DataSourceCfg::new(
+            "meteor",
+            vec![Addr::new("meteor/n0")],
+        ));
+        let state = poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 100)
+            .unwrap();
+        assert_eq!(state.host_count(), 3);
+        assert!(matches!(state.data, SourceData::Cluster(_)));
+        assert_eq!(state.summary.hosts_up, 3);
+        assert_eq!(poller.polls_ok, 1);
+        assert!(meter.busy(WorkCategory::Parse) > Duration::ZERO);
+        assert!(meter.busy(WorkCategory::Fetch) > Duration::ZERO);
+    }
+
+    #[test]
+    fn failover_tries_addresses_in_order_and_sticks() {
+        let net = SimNet::new(1);
+        let _g0 = serve_static(&net, "meteor/n0", cluster_xml("meteor", 1));
+        let _g1 = serve_static(&net, "meteor/n1", cluster_xml("meteor", 1));
+        net.set_down(&Addr::new("meteor/n0"), true);
+        let meter = WorkMeter::new();
+        let mut poller = SourcePoller::new(DataSourceCfg::new(
+            "meteor",
+            vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+        ));
+        poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10)
+            .unwrap();
+        assert_eq!(poller.failovers, 1);
+        assert_eq!(poller.current_addr(), &Addr::new("meteor/n1"));
+        // Next poll goes straight to n1 (no extra failover).
+        poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 20)
+            .unwrap();
+        assert_eq!(poller.failovers, 1);
+        // When n0 recovers, the poller keeps using n1 until it fails.
+        net.set_down(&Addr::new("meteor/n0"), false);
+        poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 30)
+            .unwrap();
+        assert_eq!(poller.current_addr(), &Addr::new("meteor/n1"));
+    }
+
+    #[test]
+    fn total_failure_reports_all_errors_and_recovers() {
+        let net = SimNet::new(1);
+        let _g0 = serve_static(&net, "meteor/n0", cluster_xml("meteor", 1));
+        let _g1 = serve_static(&net, "meteor/n1", cluster_xml("meteor", 1));
+        net.partition_prefix("meteor", true);
+        let meter = WorkMeter::new();
+        let mut poller = SourcePoller::new(DataSourceCfg::new(
+            "meteor",
+            vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+        ));
+        for round in 1..=3u64 {
+            let err = poller
+                .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, round * 15)
+                .unwrap_err();
+            match err {
+                GmetadError::AllHostsFailed { source, errors } => {
+                    assert_eq!(source, "meteor");
+                    assert_eq!(errors.len(), 2);
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(poller.consecutive_failures, 3);
+        // Steady retry: the partition heals and the next round succeeds.
+        net.partition_prefix("meteor", false);
+        poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 60)
+            .unwrap();
+        assert_eq!(poller.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn bad_xml_is_a_bad_report() {
+        let net = SimNet::new(1);
+        let _g = serve_static(&net, "meteor/n0", "<BOGUS".to_string());
+        let meter = WorkMeter::new();
+        let mut poller = SourcePoller::new(DataSourceCfg::new(
+            "meteor",
+            vec![Addr::new("meteor/n0")],
+        ));
+        assert!(matches!(
+            poller.poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10),
+            Err(GmetadError::BadReport { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_source_is_summarized_under_nlevel() {
+        let grid_xml = r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmetad">
+            <GRID NAME="sdsc" AUTHORITY="http://sdsc/" LOCALTIME="9">
+              <CLUSTER NAME="meteor" LOCALTIME="9">
+                <HOST NAME="n0" IP="1.1.1.1" REPORTED="9" TN="1" TMAX="20" DMAX="0">
+                  <METRIC NAME="load_one" VAL="2.0" TYPE="float" SLOPE="both"/>
+                </HOST>
+              </CLUSTER>
+            </GRID></GANGLIA_XML>"#;
+        let net = SimNet::new(1);
+        let _g = serve_static(&net, "sdsc-gmeta", grid_xml.to_string());
+        let meter = WorkMeter::new();
+        let cfg = DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]);
+
+        let mut n_poller = SourcePoller::new(cfg.clone());
+        let n_state = n_poller
+            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10)
+            .unwrap();
+        let SourceData::Grid(grid) = &n_state.data else { panic!() };
+        assert!(matches!(grid.body, GridBody::Summary(_)));
+        assert_eq!(grid.authority, "http://sdsc/");
+        assert_eq!(n_state.summary.hosts_up, 1);
+
+        let mut one_poller = SourcePoller::new(cfg);
+        let one_state = one_poller
+            .poll(&net, TreeMode::OneLevel, TIMEOUT, &meter, 10)
+            .unwrap();
+        let SourceData::Grid(grid) = &one_state.data else { panic!() };
+        assert!(matches!(grid.body, GridBody::Items(_)), "1-level keeps detail");
+    }
+}

@@ -1,0 +1,500 @@
+//! The path-query engine.
+//!
+//! "Instead of returning the entire tree rooted at a node, monitors
+//! accept a small path-like query that specifies a single local subtree
+//! to report" (paper §3.3). Lookups walk at most three hash levels —
+//! sources, hosts, metrics (fig 4) — and the response is streamed
+//! straight out of the store snapshot: hash lookups are O(1), "however
+//! the time to dump the actual data takes longer": O(m) for summaries,
+//! O(H·m) for full-resolution cluster views (§3.3.2).
+//!
+//! Responses are always complete `GANGLIA_XML` documents with the
+//! selected subtree wrapped in its ancestor tags, so every consumer can
+//! reuse the one Ganglia parser.
+
+use ganglia_metrics::codec;
+use ganglia_metrics::model::{ClusterBody, ClusterNode, GridBody, GridItem, GridNode, HostNode};
+use ganglia_query::{Filter, Query, Segment};
+use ganglia_xml::{names, XmlWriter};
+
+use crate::config::{GmetadConfig, TreeMode};
+use crate::store::{SourceData, Store};
+
+/// Render the response to `query` from the current store state.
+pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut writer = XmlWriter::new(&mut out);
+    writer.declaration();
+    writer.start_element(
+        names::GANGLIA_XML,
+        &[
+            (names::attr::VERSION, "2.5.4"),
+            (names::attr::SOURCE, "gmetad"),
+        ],
+    );
+    let localtime = now.to_string();
+    writer.start_element(
+        names::GRID,
+        &[
+            (names::attr::NAME, &config.grid_name),
+            (names::attr::AUTHORITY, &config.authority_url),
+            (names::attr::LOCALTIME, &localtime),
+        ],
+    );
+    if query.is_root() {
+        if query.filter == Some(Filter::Summary) {
+            // The meta view in one exchange: the whole-grid reduction
+            // followed by every source in summary form — "the N-level
+            // viewer obtains its summaries directly from the gmeta
+            // daemon" (§4.3). Total size O(C·m), independent of H.
+            codec::write_summary(&store.root_summary(), &mut writer);
+            for state in store.list() {
+                match &state.data {
+                    SourceData::Cluster(c) => {
+                        codec::open_cluster(c, &mut writer);
+                        codec::write_summary(&state.summary, &mut writer);
+                        writer.end_element();
+                    }
+                    SourceData::Grid(g) => {
+                        codec::open_grid(g, &mut writer);
+                        codec::write_summary(&state.summary, &mut writer);
+                        writer.end_element();
+                    }
+                }
+            }
+        } else {
+            for state in store.list() {
+                emit_source_full(&state.data, config.tree_mode, &mut writer);
+            }
+        }
+    } else {
+        // Level one: data sources (patterns may select several).
+        for state in store.list() {
+            if !query.segments[0].matches(&state.name) {
+                continue;
+            }
+            let rest = &query.segments[1..];
+            if rest.is_empty() && query.filter == Some(Filter::Summary) {
+                // Serve the PREcomputed rollup — summarization happens on
+                // the polling time-scale, never at query time (§3.3.1).
+                match &state.data {
+                    SourceData::Cluster(c) => {
+                        codec::open_cluster(c, &mut writer);
+                        codec::write_summary(&state.summary, &mut writer);
+                        writer.end_element();
+                    }
+                    SourceData::Grid(g) => {
+                        codec::open_grid(g, &mut writer);
+                        codec::write_summary(&state.summary, &mut writer);
+                        writer.end_element();
+                    }
+                }
+                continue;
+            }
+            emit_selected(&state.data, rest, query.filter, &mut writer);
+        }
+    }
+    writer.end_element(); // GRID
+    writer.end_element(); // GANGLIA_XML
+    writer.finish().expect("writing to String cannot fail");
+    out
+}
+
+/// Emit a source at full stored resolution (the root query).
+fn emit_source_full<W: std::fmt::Write>(
+    data: &SourceData,
+    mode: TreeMode,
+    writer: &mut XmlWriter<W>,
+) {
+    match data {
+        SourceData::Cluster(cluster) => codec::write_cluster(cluster, writer),
+        SourceData::Grid(grid) => {
+            // Under N-level the stored grid is already summary-form; under
+            // 1-level it is fully expanded. Either way, dump as stored:
+            // the 1-level design "reports the union of its children's
+            // data to its parent" (§2.1).
+            debug_assert!(
+                mode == TreeMode::OneLevel || matches!(grid.body, GridBody::Summary(_)),
+                "N-level stores remote grids in summary form"
+            );
+            codec::write_grid(grid, writer);
+        }
+    }
+}
+
+/// Emit the part of one source selected by the remaining segments.
+fn emit_selected<W: std::fmt::Write>(
+    data: &SourceData,
+    rest: &[Segment],
+    filter: Option<Filter>,
+    writer: &mut XmlWriter<W>,
+) {
+    match data {
+        SourceData::Cluster(cluster) => emit_cluster_selected(cluster, rest, filter, writer),
+        SourceData::Grid(grid) => emit_grid_selected(grid, rest, filter, writer),
+    }
+}
+
+fn emit_cluster_selected<W: std::fmt::Write>(
+    cluster: &ClusterNode,
+    rest: &[Segment],
+    filter: Option<Filter>,
+    writer: &mut XmlWriter<W>,
+) {
+    if rest.is_empty() {
+        if filter == Some(Filter::Summary) {
+            // The cluster-summary query (§3.3.2): summary form even when
+            // full detail is stored, so very large clusters don't
+            // overwhelm the viewer.
+            codec::open_cluster(cluster, writer);
+            codec::write_summary(&cluster.summary(), writer);
+            writer.end_element();
+        } else {
+            codec::write_cluster(cluster, writer);
+        }
+        return;
+    }
+    // Level two: hosts.
+    codec::open_cluster(cluster, writer);
+    let ClusterBody::Hosts(hosts) = &cluster.body else {
+        // Summary-form cluster has no hosts to descend into.
+        writer.end_element();
+        return;
+    };
+    for host in hosts {
+        if rest[0].matches(&host.name) {
+            emit_host_selected(host, &rest[1..], writer);
+        }
+    }
+    writer.end_element();
+}
+
+fn emit_host_selected<W: std::fmt::Write>(
+    host: &HostNode,
+    rest: &[Segment],
+    writer: &mut XmlWriter<W>,
+) {
+    if rest.is_empty() {
+        codec::write_host(host, writer);
+        return;
+    }
+    // Level three: metrics.
+    codec::open_host(host, writer);
+    for metric in &host.metrics {
+        if rest[0].matches(&metric.name) {
+            codec::write_metric(metric, writer);
+        }
+    }
+    writer.end_element();
+}
+
+fn emit_grid_selected<W: std::fmt::Write>(
+    grid: &GridNode,
+    rest: &[Segment],
+    filter: Option<Filter>,
+    writer: &mut XmlWriter<W>,
+) {
+    if rest.is_empty() {
+        match (&grid.body, filter) {
+            (_, Some(Filter::Summary)) | (GridBody::Summary(_), _) => {
+                codec::open_grid(grid, writer);
+                codec::write_summary(&grid.summary(), writer);
+                writer.end_element();
+            }
+            (GridBody::Items(_), _) => codec::write_grid(grid, writer),
+        }
+        return;
+    }
+    codec::open_grid(grid, writer);
+    if let GridBody::Items(items) = &grid.body {
+        for item in items {
+            if !rest[0].matches(item.name()) {
+                continue;
+            }
+            match item {
+                GridItem::Cluster(c) => emit_cluster_selected(c, &rest[1..], filter, writer),
+                GridItem::Grid(g) => emit_grid_selected(g, &rest[1..], filter, writer),
+            }
+        }
+    }
+    // Summary-form grids cannot be descended into: the authority URL
+    // points at the gmetad holding the higher-resolution view (§3.2).
+    writer.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GmetadConfig;
+    use crate::store::SourceState;
+    use ganglia_metrics::model::{GridBody, MetricEntry, SummaryBody};
+    use ganglia_metrics::{parse_document, GridItem as MGridItem, MetricValue};
+
+    fn make_store() -> Store {
+        let store = Store::new();
+        // Cluster source "meteor" with 3 hosts × 2 metrics.
+        let hosts: Vec<HostNode> = (0..3)
+            .map(|i| {
+                let mut h = HostNode::new(format!("compute-0-{i}"), format!("10.0.0.{i}"));
+                h.metrics
+                    .push(MetricEntry::new("cpu_num", MetricValue::Uint16(2)));
+                h.metrics.push(MetricEntry::new(
+                    "load_one",
+                    MetricValue::Float(0.5 + i as f32),
+                ));
+                h
+            })
+            .collect();
+        let cluster = ClusterNode::with_hosts("meteor", hosts);
+        let summary = cluster.summary();
+        store.replace(SourceState::cluster("meteor", cluster, summary, 100));
+        // Remote grid source "attic" in summary form.
+        let summary = SummaryBody {
+            hosts_up: 10,
+            hosts_down: 1,
+            metrics: vec![],
+        };
+        let grid = GridNode {
+            name: "attic".into(),
+            authority: "http://attic/ganglia/".into(),
+            localtime: 90,
+            body: GridBody::Summary(summary.clone()),
+        };
+        store.replace(SourceState::grid("attic", grid, summary, 100));
+        store
+    }
+
+    fn config() -> GmetadConfig {
+        GmetadConfig::new("sdsc")
+    }
+
+    fn ask(store: &Store, q: &str) -> ganglia_metrics::GangliaDoc {
+        let query = Query::parse(q).unwrap();
+        let xml = answer(store, &config(), &query, 123);
+        parse_document(&xml).unwrap_or_else(|e| panic!("bad response for {q}: {e}\n{xml}"))
+    }
+
+    fn self_grid(doc: &ganglia_metrics::GangliaDoc) -> &GridNode {
+        let MGridItem::Grid(g) = &doc.items[0] else {
+            panic!("response must be wrapped in the self grid")
+        };
+        g
+    }
+
+    #[test]
+    fn root_query_returns_everything() {
+        let store = make_store();
+        let doc = ask(&store, "/");
+        let grid = self_grid(&doc);
+        assert_eq!(grid.name, "sdsc");
+        let GridBody::Items(items) = &grid.body else { panic!() };
+        assert_eq!(items.len(), 2);
+        // Local cluster at full resolution, remote grid as summary.
+        let MGridItem::Grid(attic) = grid.item("attic").unwrap() else {
+            panic!()
+        };
+        assert!(matches!(attic.body, GridBody::Summary(_)));
+        assert_eq!(attic.authority, "http://attic/ganglia/");
+        let MGridItem::Cluster(meteor) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        assert_eq!(meteor.host_count(), 3);
+    }
+
+    #[test]
+    fn root_summary_query_returns_per_source_summaries() {
+        let store = make_store();
+        let doc = ask(&store, "/?filter=summary");
+        let grid = self_grid(&doc);
+        // Every source present, each in summary form.
+        let GridBody::Items(items) = &grid.body else { panic!() };
+        assert_eq!(items.len(), 2);
+        let MGridItem::Cluster(meteor) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Summary(s) = &meteor.body else {
+            panic!("cluster must be in summary form")
+        };
+        assert_eq!(s.hosts_up, 3);
+        // The merged totals compose from the rows.
+        let merged = grid.summary();
+        assert_eq!(merged.hosts_up, 13);
+        assert_eq!(merged.hosts_down, 1);
+    }
+
+    #[test]
+    fn cluster_query_full_resolution() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.host_count(), 3);
+        assert!(grid.item("attic").is_none(), "unselected source omitted");
+    }
+
+    #[test]
+    fn cluster_summary_filter() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor?filter=summary");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Summary(s) = &c.body else {
+            panic!("expected summary form")
+        };
+        assert_eq!(s.hosts_up, 3);
+        let load = s.metric("load_one").unwrap();
+        assert_eq!(load.num, 3);
+    }
+
+    #[test]
+    fn fig4_host_query() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor/compute-0-1/");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        assert_eq!(hosts.len(), 1, "only the selected host");
+        assert_eq!(hosts[0].name, "compute-0-1");
+        assert_eq!(hosts[0].metrics.len(), 2, "metrics at full detail");
+    }
+
+    #[test]
+    fn metric_query() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor/compute-0-0/load_one");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let host = c.host("compute-0-0").unwrap();
+        assert_eq!(host.metrics.len(), 1);
+        assert_eq!(host.metrics[0].name, "load_one");
+    }
+
+    #[test]
+    fn pattern_query_selects_multiple_hosts() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor/~compute-0-[01]$");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        assert_eq!(hosts.len(), 2);
+    }
+
+    #[test]
+    fn unknown_path_returns_empty_grid() {
+        let store = make_store();
+        let doc = ask(&store, "/nonexistent/x/y");
+        let grid = self_grid(&doc);
+        let GridBody::Items(items) = &grid.body else { panic!() };
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn summary_grid_cannot_be_descended() {
+        let store = make_store();
+        let doc = ask(&store, "/attic/some-cluster");
+        let grid = self_grid(&doc);
+        // The attic shell is present but empty: resolution lives at the
+        // authority.
+        let MGridItem::Grid(attic) = grid.item("attic").unwrap() else {
+            panic!()
+        };
+        match &attic.body {
+            GridBody::Items(items) => assert!(items.is_empty()),
+            GridBody::Summary(s) => assert_eq!(s.hosts_total(), 0),
+        }
+    }
+
+    #[test]
+    fn grid_source_summary_query() {
+        let store = make_store();
+        let doc = ask(&store, "/attic");
+        let grid = self_grid(&doc);
+        let MGridItem::Grid(attic) = grid.item("attic").unwrap() else {
+            panic!()
+        };
+        let GridBody::Summary(s) = &attic.body else { panic!() };
+        assert_eq!(s.hosts_up, 10);
+    }
+
+    #[test]
+    fn onelevel_expanded_grids_support_deep_paths() {
+        // Under the 1-level design a remote grid is stored fully
+        // expanded, so paths can descend through it:
+        // /source/cluster/host/metric.
+        let store = Store::new();
+        let mut host = HostNode::new("n0", "10.9.9.9");
+        host.metrics
+            .push(MetricEntry::new("load_one", MetricValue::Float(1.5)));
+        host.metrics
+            .push(MetricEntry::new("cpu_num", MetricValue::Uint16(4)));
+        let cluster = ClusterNode::with_hosts("inner-cluster", vec![host]);
+        let grid = GridNode::with_items("childgrid", vec![GridItem::Cluster(cluster)]);
+        let summary = grid.summary();
+        store.replace(SourceState::grid("childgrid", grid, summary, 0));
+
+        // Depth 2: select the nested cluster.
+        let doc = ask(&store, "/childgrid/inner-cluster");
+        assert_eq!(doc.host_count(), 1);
+
+        // Depth 3: the host.
+        let doc = ask(&store, "/childgrid/inner-cluster/n0");
+        assert_eq!(doc.host_count(), 1);
+
+        // Depth 4: one metric of the host.
+        let query = Query::parse("/childgrid/inner-cluster/n0/load_one").unwrap();
+        let xml = answer(&store, &config(), &query, 0);
+        assert!(xml.contains("load_one"));
+        assert!(!xml.contains("cpu_num"), "sibling metric filtered out");
+
+        // Summary filter on the nested cluster.
+        let doc = ask(&store, "/childgrid/inner-cluster?filter=summary");
+        let grid = self_grid(&doc);
+        let MGridItem::Grid(child) = grid.item("childgrid").unwrap() else {
+            panic!()
+        };
+        let GridBody::Items(items) = &child.body else { panic!() };
+        let MGridItem::Cluster(c) = &items[0] else { panic!() };
+        assert!(matches!(c.body, ClusterBody::Summary(_)));
+    }
+
+    #[test]
+    fn metric_patterns_select_metric_families() {
+        let store = make_store();
+        let doc = ask(&store, "/meteor/~.*/~^load");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        assert_eq!(hosts.len(), 3, "pattern selects every host");
+        for host in hosts {
+            assert_eq!(host.metrics.len(), 1);
+            assert_eq!(host.metrics[0].name, "load_one");
+        }
+    }
+
+    #[test]
+    fn response_size_scales_with_selection_not_tree() {
+        // The core table-1 effect: a host query's response is tiny
+        // relative to the full dump.
+        let store = make_store();
+        let full = answer(&store, &config(), &Query::parse("/").unwrap(), 0);
+        let host = answer(
+            &store,
+            &config(),
+            &Query::parse("/meteor/compute-0-0").unwrap(),
+            0,
+        );
+        assert!(host.len() * 2 < full.len(), "{} vs {}", host.len(), full.len());
+    }
+}

@@ -1,0 +1,344 @@
+//! The in-memory monitoring-data store.
+//!
+//! "By organizing the parsed monitoring data in a series of hash tables,
+//! we can support very low-latency queries. Our approach approximates a
+//! DOM design where each XML tag name keys into a hash table... A node
+//! must search at most three hash table levels to find the desired
+//! subtree: data sources, summaries and cluster nodes, and node metrics."
+//! (paper §3.3.2)
+//!
+//! Concretely: level one is the source map below; level two is a
+//! cluster's host index (or a grid's stored summary); level three is a
+//! host's metric list. Each source's state is an immutable snapshot
+//! behind an `Arc`: the poller builds a fresh snapshot off to the side
+//! and swaps the pointer, so "if a query arrives during parsing, the
+//! previous summary will be returned" (§3.3.1) — queries always see the
+//! latest *fully-parsed* data, never a half-built one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use ganglia_metrics::model::{ClusterBody, ClusterNode, GridNode, HostNode, SummaryBody};
+
+/// Freshness of a source's snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// The last poll succeeded.
+    Fresh,
+    /// Polls have been failing since the given time; the snapshot is the
+    /// last good one ("metric histories that aid in forensic analysis",
+    /// paper §1).
+    Stale { since: u64 },
+}
+
+/// Parsed payload of one data source.
+#[derive(Debug, Clone)]
+pub enum SourceData {
+    /// A directly-attached cluster (this gmetad is its authority).
+    Cluster(ClusterNode),
+    /// A remote grid: summary-form under the N-level design, fully
+    /// expanded under the 1-level design.
+    Grid(GridNode),
+}
+
+/// An immutable snapshot of one source.
+#[derive(Debug, Clone)]
+pub struct SourceState {
+    /// Configured source name (level-one hash key).
+    pub name: String,
+    pub data: SourceData,
+    /// Precomputed rollup (computed on the summarization time-scale, not
+    /// at query time — §3.3.1).
+    pub summary: SummaryBody,
+    /// Level-two hash index: host name → index into the cluster's host
+    /// vector. Empty for grid sources.
+    pub host_index: HashMap<String, usize>,
+    /// When this snapshot was parsed.
+    pub updated_at: u64,
+    pub status: SourceStatus,
+}
+
+impl SourceState {
+    /// Build a snapshot for a cluster source, constructing the host index.
+    /// `summary` must be the cluster's precomputed rollup.
+    pub fn cluster(
+        name: impl Into<String>,
+        cluster: ClusterNode,
+        summary: SummaryBody,
+        now: u64,
+    ) -> SourceState {
+        let host_index = match &cluster.body {
+            ClusterBody::Hosts(hosts) => hosts
+                .iter()
+                .enumerate()
+                .map(|(i, h)| (h.name.clone(), i))
+                .collect(),
+            ClusterBody::Summary(_) => HashMap::new(),
+        };
+        SourceState {
+            name: name.into(),
+            data: SourceData::Cluster(cluster),
+            summary,
+            host_index,
+            updated_at: now,
+            status: SourceStatus::Fresh,
+        }
+    }
+
+    /// Build a snapshot for a grid source.
+    pub fn grid(
+        name: impl Into<String>,
+        grid: GridNode,
+        summary: SummaryBody,
+        now: u64,
+    ) -> SourceState {
+        SourceState {
+            name: name.into(),
+            data: SourceData::Grid(grid),
+            summary,
+            host_index: HashMap::new(),
+            updated_at: now,
+            status: SourceStatus::Fresh,
+        }
+    }
+
+    /// O(1) host lookup (level-two hash, paper fig 4).
+    pub fn host(&self, name: &str) -> Option<&HostNode> {
+        let SourceData::Cluster(cluster) = &self.data else {
+            return None;
+        };
+        let ClusterBody::Hosts(hosts) = &cluster.body else {
+            return None;
+        };
+        self.host_index.get(name).map(|&i| &hosts[i])
+    }
+
+    /// Number of hosts described by this source.
+    pub fn host_count(&self) -> usize {
+        match &self.data {
+            SourceData::Cluster(c) => c.host_count(),
+            SourceData::Grid(g) => g.host_count(),
+        }
+    }
+}
+
+/// The level-one hash table: data sources by name.
+#[derive(Debug, Default)]
+pub struct Store {
+    sources: RwLock<HashMap<String, Arc<SourceState>>>,
+    /// Bumped on every replace; invalidates the root-summary cache.
+    revision: AtomicU64,
+    /// Cached merge of all source summaries, keyed by revision.
+    root_cache: Mutex<Option<(u64, Arc<SummaryBody>)>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Install a fresh snapshot for a source (pointer swap).
+    pub fn replace(&self, state: SourceState) {
+        let name = state.name.clone();
+        self.sources.write().insert(name, Arc::new(state));
+        self.revision.fetch_add(1, Ordering::Release);
+    }
+
+    /// Mark a source stale as of `now` (its last good snapshot stays
+    /// queryable). No-op for unknown sources; keeps an existing stale
+    /// timestamp.
+    pub fn mark_stale(&self, name: &str, now: u64) {
+        let mut sources = self.sources.write();
+        if let Some(existing) = sources.get(name) {
+            if matches!(existing.status, SourceStatus::Stale { .. }) {
+                return;
+            }
+            let mut updated = (**existing).clone();
+            updated.status = SourceStatus::Stale { since: now };
+            sources.insert(name.to_string(), Arc::new(updated));
+            self.revision.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Snapshot of one source.
+    pub fn get(&self, name: &str) -> Option<Arc<SourceState>> {
+        self.sources.read().get(name).cloned()
+    }
+
+    /// All sources, sorted by name (deterministic output order).
+    pub fn list(&self) -> Vec<Arc<SourceState>> {
+        let mut out: Vec<Arc<SourceState>> = self.sources.read().values().cloned().collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of sources present.
+    pub fn len(&self) -> usize {
+        self.sources.read().len()
+    }
+
+    /// Whether the store has no sources yet.
+    pub fn is_empty(&self) -> bool {
+        self.sources.read().is_empty()
+    }
+
+    /// Remove a source entirely (dynamic-membership pruning).
+    pub fn remove(&self, name: &str) -> bool {
+        let removed = self.sources.write().remove(name).is_some();
+        if removed {
+            self.revision.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// The merged summary of every source — the whole grid in one
+    /// reduction. Cached per store revision so repeated meta-view queries
+    /// cost O(1) after the first.
+    pub fn root_summary(&self) -> Arc<SummaryBody> {
+        let revision = self.revision.load(Ordering::Acquire);
+        {
+            let cache = self.root_cache.lock();
+            if let Some((cached_rev, summary)) = cache.as_ref() {
+                if *cached_rev == revision {
+                    return Arc::clone(summary);
+                }
+            }
+        }
+        let mut merged = SummaryBody::default();
+        for state in self.sources.read().values() {
+            merged.merge(&state.summary);
+        }
+        let merged = Arc::new(merged);
+        *self.root_cache.lock() = Some((revision, Arc::clone(&merged)));
+        merged
+    }
+
+    /// Current revision (bumps on every mutation).
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_metrics::model::{MetricEntry, SummaryBody};
+    use ganglia_metrics::MetricValue;
+
+    fn cluster_state(name: &str, hosts: usize, load: f64, now: u64) -> SourceState {
+        let hosts: Vec<HostNode> = (0..hosts)
+            .map(|i| {
+                let mut h = HostNode::new(format!("{name}-{i}"), "10.0.0.1");
+                h.metrics
+                    .push(MetricEntry::new("load_one", MetricValue::Double(load)));
+                h
+            })
+            .collect();
+        let cluster = ClusterNode::with_hosts(name, hosts);
+        let summary = cluster.summary();
+        SourceState::cluster(name, cluster, summary, now)
+    }
+
+    #[test]
+    fn replace_and_lookup() {
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 3, 1.0, 10));
+        assert_eq!(store.len(), 1);
+        let state = store.get("meteor").unwrap();
+        assert_eq!(state.host_count(), 3);
+        assert!(state.host("meteor-1").is_some());
+        assert!(state.host("nope").is_none());
+        assert_eq!(state.status, SourceStatus::Fresh);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_replace() {
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 2, 1.0, 10));
+        let old = store.get("meteor").unwrap();
+        store.replace(cluster_state("meteor", 5, 2.0, 25));
+        // The old snapshot a concurrent query holds is untouched.
+        assert_eq!(old.host_count(), 2);
+        assert_eq!(store.get("meteor").unwrap().host_count(), 5);
+    }
+
+    #[test]
+    fn mark_stale_keeps_last_good_data() {
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 2, 1.0, 10));
+        store.mark_stale("meteor", 40);
+        let state = store.get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Stale { since: 40 });
+        assert_eq!(state.host_count(), 2, "data survives for forensics");
+        // A second failure does not move the original stale time.
+        store.mark_stale("meteor", 100);
+        assert_eq!(
+            store.get("meteor").unwrap().status,
+            SourceStatus::Stale { since: 40 }
+        );
+        // Unknown sources are ignored.
+        store.mark_stale("ghost", 50);
+        assert!(store.get("ghost").is_none());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let store = Store::new();
+        store.replace(cluster_state("zebra", 1, 1.0, 0));
+        store.replace(cluster_state("alpha", 1, 1.0, 0));
+        let names: Vec<String> = store.list().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn root_summary_merges_and_caches() {
+        let store = Store::new();
+        store.replace(cluster_state("a", 2, 1.0, 0));
+        store.replace(cluster_state("b", 3, 2.0, 0));
+        let summary = store.root_summary();
+        assert_eq!(summary.hosts_up, 5);
+        let load = summary.metric("load_one").unwrap();
+        assert!((load.sum - (2.0 + 6.0)).abs() < 1e-9);
+        // Cached: same Arc until a mutation.
+        let again = store.root_summary();
+        assert!(Arc::ptr_eq(&summary, &again));
+        store.replace(cluster_state("c", 1, 0.0, 0));
+        let fresh = store.root_summary();
+        assert!(!Arc::ptr_eq(&summary, &fresh));
+        assert_eq!(fresh.hosts_up, 6);
+    }
+
+    #[test]
+    fn remove_deletes_source() {
+        let store = Store::new();
+        store.replace(cluster_state("a", 1, 1.0, 0));
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"));
+        assert!(store.is_empty());
+        assert_eq!(store.root_summary().hosts_total(), 0);
+    }
+
+    #[test]
+    fn grid_source_state() {
+        use ganglia_metrics::model::{GridBody, GridNode};
+        let summary = SummaryBody {
+            hosts_up: 10,
+            hosts_down: 1,
+            metrics: vec![],
+        };
+        let grid = GridNode {
+            name: "attic".into(),
+            authority: "http://attic/".into(),
+            localtime: 0,
+            body: GridBody::Summary(summary.clone()),
+        };
+        let state = SourceState::grid("attic", grid, summary, 5);
+        assert_eq!(state.host_count(), 11);
+        assert!(state.host("x").is_none());
+        assert!(state.host_index.is_empty());
+    }
+}

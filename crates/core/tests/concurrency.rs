@@ -1,0 +1,73 @@
+//! The two time-scales under real concurrency (§3.3.1): query threads
+//! hammer the daemon while the poller continuously replaces snapshots.
+//! Every response must be a complete, well-formed document from SOME
+//! fully-parsed snapshot — never a torn one.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ganglia_core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia_gmond::pseudo::ServedPseudoCluster;
+use ganglia_gmond::PseudoGmond;
+use ganglia_metrics::parse_document;
+use ganglia_net::SimNet;
+
+#[test]
+fn queries_see_only_complete_snapshots_under_concurrent_polling() {
+    let net = SimNet::new(1);
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 40, 7, 0), 1);
+    let gmetad = Gmetad::new(
+        GmetadConfig::new("sdsc")
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec())),
+    );
+    gmetad.poll_all(&net, 15);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries_answered = Arc::new(AtomicU64::new(0));
+
+    let mut workers = Vec::new();
+    for worker in 0..4 {
+        let gmetad = Arc::clone(&gmetad);
+        let stop = Arc::clone(&stop);
+        let counter = Arc::clone(&queries_answered);
+        workers.push(std::thread::spawn(move || {
+            let queries = [
+                "/",
+                "/?filter=summary",
+                "/meteor",
+                "/meteor?filter=summary",
+                "/meteor/meteor-0007",
+            ];
+            let mut i = worker;
+            while !stop.load(Ordering::Relaxed) {
+                let q = queries[i % queries.len()];
+                i += 1;
+                let xml = gmetad.query(q);
+                let doc = parse_document(&xml)
+                    .unwrap_or_else(|e| panic!("torn response to {q}: {e}"));
+                // A snapshot is either the old or the new poll — both
+                // describe all 40 hosts.
+                if q.starts_with("/meteor") && !q.contains("0007") {
+                    assert_eq!(doc.host_count(), 40);
+                }
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Poll continuously on the main thread: 60 rounds of fresh data.
+    for round in 2..=60u64 {
+        served.advance(round * 15);
+        for result in gmetad.poll_all(&net, round * 15) {
+            result.expect("poll ok");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("no query thread panicked");
+    }
+    assert!(
+        queries_answered.load(Ordering::Relaxed) > 100,
+        "query threads made real progress concurrently with polling"
+    );
+}

@@ -1,0 +1,141 @@
+//! The standalone gmond agent daemon.
+//!
+//! Collects real host metrics from `/proc` (falling back to simulation
+//! off Linux), exchanges XDR packets with its peers over a UDP unicast
+//! mesh, and serves the full cluster report as Ganglia XML on its TCP
+//! port — one node of a real local-area monitor.
+//!
+//! ```sh
+//! gmond --conf /etc/ganglia/gmond.conf
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use ganglia_gmond::conf::parse_gmond_conf;
+use ganglia_gmond::proc_source::ProcSource;
+use ganglia_gmond::{GmondAgent, GmondConfig, UdpMesh};
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, TcpTransport};
+use parking_lot::Mutex;
+
+fn main() -> ExitCode {
+    let mut conf_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--conf" | "-c" => conf_path = args.next(),
+            _ => {
+                eprintln!("usage: gmond --conf <path>");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(conf_path) = conf_path else {
+        eprintln!("usage: gmond --conf <path>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&conf_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("gmond: cannot read {conf_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let conf = match parse_gmond_conf(&text) {
+        Ok(conf) => conf,
+        Err(e) => {
+            eprintln!("gmond: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let node_name = if conf.node_name.is_empty() {
+        hostname()
+    } else {
+        conf.node_name.clone()
+    };
+
+    // The metric channel: a UDP mesh endpoint with the configured peers.
+    let mut mesh = match UdpMesh::bind(("0.0.0.0", conf.udp_recv_port)) {
+        Ok(mesh) => mesh,
+        Err(e) => {
+            eprintln!("gmond: cannot bind UDP port {}: {e}", conf.udp_recv_port);
+            return ExitCode::FAILURE;
+        }
+    };
+    for peer in &conf.udp_peers {
+        match peer_addr(peer) {
+            Some(addr) => mesh.add_peer(addr),
+            None => eprintln!("gmond: ignoring unresolvable peer {peer:?}"),
+        }
+    }
+
+    let mut gmond_config = GmondConfig::new(&conf.cluster_name);
+    gmond_config.owner = conf.owner.clone();
+    gmond_config.host_dmax = conf.host_dmax;
+
+    let seed = node_name.bytes().fold(0u64, |h, b| {
+        h.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b))
+    });
+    let agent = Arc::new(Mutex::new(GmondAgent::new(
+        &node_name,
+        "0.0.0.0",
+        Arc::new(gmond_config),
+        Box::new(ProcSource::new(seed)),
+        mesh,
+        wall_secs(),
+    )));
+
+    // TCP report port.
+    let transport = TcpTransport::new();
+    let agent_for_port = Arc::clone(&agent);
+    let guard = match transport.serve(
+        &Addr::new(format!("0.0.0.0:{}", conf.tcp_port)),
+        Arc::new(move |_: &str| agent_for_port.lock().xml_report(wall_secs())),
+    ) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("gmond: cannot bind TCP port {}: {e}", conf.tcp_port);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "gmond: node {node_name:?} in cluster {:?}; UDP {} ({} peer(s)), XML on {}",
+        conf.cluster_name,
+        conf.udp_recv_port,
+        conf.udp_peers.len(),
+        guard.addr(),
+    );
+
+    // The scheduling loop: collect/broadcast, drain, expire.
+    loop {
+        let now = wall_secs();
+        {
+            let mut agent = agent.lock();
+            agent.tick(now);
+            agent.receive(now);
+            agent.expire(now);
+        }
+        std::thread::sleep(Duration::from_secs(5));
+    }
+}
+
+fn wall_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "localhost".to_string())
+}
+
+fn peer_addr(peer: &str) -> Option<std::net::SocketAddr> {
+    use std::net::ToSocketAddrs;
+    peer.to_socket_addrs().ok()?.next()
+}

@@ -1,0 +1,120 @@
+//! The pseudo-gmond workload generator as a standalone daemon.
+//!
+//! Serves a simulated cluster's Ganglia XML over real TCP, rerolling
+//! metric values on a fixed period — the tool the paper's experiments
+//! used in place of real clusters (§4). Point a `gmetad` at it:
+//!
+//! ```sh
+//! pseudo-gmond --name meteor --hosts 100 --port 8649 --period 15
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ganglia_gmond::PseudoGmond;
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, TcpTransport};
+use parking_lot::Mutex;
+
+struct Options {
+    name: String,
+    hosts: usize,
+    port: u16,
+    period: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        name: "pseudo".to_string(),
+        hosts: 100,
+        port: 8649,
+        period: 15,
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--name" => options.name = value("--name")?,
+            "--hosts" => {
+                options.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("bad --hosts: {e}"))?
+            }
+            "--port" => {
+                options.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?
+            }
+            "--period" => {
+                options.period = value("--period")?
+                    .parse()
+                    .map_err(|e| format!("bad --period: {e}"))?
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if options.hosts == 0 || options.period == 0 {
+        return Err("--hosts and --period must be positive".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("pseudo-gmond: {e}");
+            eprintln!(
+                "usage: pseudo-gmond [--name N] [--hosts H] [--port P] [--period SECS] [--seed S]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let now = wall_secs();
+    let pseudo = Arc::new(Mutex::new(PseudoGmond::new(
+        &options.name,
+        options.hosts,
+        options.seed,
+        now,
+    )));
+    let transport = TcpTransport::new();
+    let handler_state = Arc::clone(&pseudo);
+    let guard = match transport.serve(
+        &Addr::new(format!("0.0.0.0:{}", options.port)),
+        Arc::new(move |_: &str| handler_state.lock().xml().to_string()),
+    ) {
+        Ok(guard) => guard,
+        Err(e) => {
+            eprintln!("pseudo-gmond: cannot bind port {}: {e}", options.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "pseudo-gmond: cluster {:?} with {} hosts on {} (reroll every {}s)",
+        options.name,
+        options.hosts,
+        guard.addr(),
+        options.period
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(options.period));
+        pseudo.lock().advance(wall_secs());
+    }
+}
+
+fn wall_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

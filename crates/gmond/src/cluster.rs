@@ -1,0 +1,282 @@
+//! A whole simulated cluster: agents on a multicast bus, served on the
+//! simulated network.
+//!
+//! Every node's XML port is registered at `"{cluster}/{node}"` on the
+//! [`SimNet`], so a gmetad can be configured with several redundant
+//! addresses for the same cluster and fail over between them (paper
+//! fig 1).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, McastBus, SimNet};
+
+use crate::agent::GmondAgent;
+use crate::config::GmondConfig;
+use crate::source::SimulatedHost;
+
+/// A simulated cluster of gmond agents.
+pub struct SimCluster {
+    name: String,
+    config: Arc<GmondConfig>,
+    bus: Arc<McastBus>,
+    net: Arc<SimNet>,
+    agents: Vec<Arc<Mutex<GmondAgent>>>,
+    alive: Vec<bool>,
+    /// Keeps XML endpoints bound for the cluster's lifetime.
+    _guards: Vec<Box<dyn ganglia_net::ServerGuard>>,
+    /// Shared "now" read by the XML handlers.
+    clock: Arc<Mutex<u64>>,
+    seed: u64,
+}
+
+impl SimCluster {
+    /// Build a cluster of `node_count` agents at time `now`, with
+    /// deterministic identities derived from `seed`.
+    pub fn new(
+        net: &Arc<SimNet>,
+        config: GmondConfig,
+        node_count: usize,
+        seed: u64,
+        now: u64,
+    ) -> SimCluster {
+        let name = config.cluster_name.clone();
+        let config = Arc::new(config);
+        let bus = McastBus::new(seed);
+        let clock = Arc::new(Mutex::new(now));
+        let mut agents = Vec::with_capacity(node_count);
+        let mut guards = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let node_name = format!("{name}-node-{i}");
+            let ip = format!("10.{}.{}.{}", seed % 200, i / 250, i % 250 + 1);
+            let agent = Arc::new(Mutex::new(GmondAgent::new(
+                &node_name,
+                ip,
+                Arc::clone(&config),
+                Box::new(SimulatedHost::new(
+                    seed.wrapping_mul(1_000_003).wrapping_add(i as u64),
+                )),
+                bus.subscribe(),
+                now,
+            )));
+            let addr = Addr::new(format!("{name}/{node_name}"));
+            let handler_agent = Arc::clone(&agent);
+            let handler_clock = Arc::clone(&clock);
+            let guard = net
+                .serve(
+                    &addr,
+                    Arc::new(move |_req: &str| {
+                        let now = *handler_clock.lock();
+                        handler_agent.lock().xml_report(now)
+                    }),
+                )
+                .expect("cluster node addresses are unique");
+            agents.push(agent);
+            guards.push(guard);
+        }
+        SimCluster {
+            name,
+            config,
+            bus,
+            net: Arc::clone(net),
+            agents,
+            alive: vec![true; node_count],
+            _guards: guards,
+            clock,
+            seed,
+        }
+    }
+
+    /// The cluster's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated-network addresses of every node's XML port, in node
+    /// order — the redundant address list a gmetad data source uses.
+    pub fn addrs(&self) -> Vec<Addr> {
+        self.agents
+            .iter()
+            .map(|a| Addr::new(format!("{}/{}", self.name, a.lock().node_name())))
+            .collect()
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn node_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Advance the whole cluster one scheduling round at time `now`:
+    /// every live agent collects/broadcasts, then everyone drains the
+    /// bus and runs soft-state expiry.
+    pub fn tick_all(&mut self, now: u64) {
+        *self.clock.lock() = now;
+        for (agent, alive) in self.agents.iter().zip(&self.alive) {
+            if *alive {
+                agent.lock().tick(now);
+            }
+        }
+        for (agent, alive) in self.agents.iter().zip(&self.alive) {
+            if *alive {
+                let mut agent = agent.lock();
+                agent.receive(now);
+                agent.expire(now);
+            }
+        }
+    }
+
+    /// Run scheduling rounds from `from` (exclusive) to `to` (inclusive)
+    /// every `interval` seconds.
+    pub fn run(&mut self, from: u64, to: u64, interval: u64) {
+        let mut t = from + interval;
+        while t <= to {
+            self.tick_all(t);
+            t += interval;
+        }
+    }
+
+    /// Stop-fail a node: it stops broadcasting and its XML port goes
+    /// unreachable. Its neighbors keep serving its last-known state.
+    pub fn kill(&mut self, index: usize) {
+        self.alive[index] = false;
+        self.net.set_down(&self.addrs()[index], true);
+    }
+
+    /// Restart a node at time `now` with fresh (empty) state, as a real
+    /// gmond restart would; it re-learns the cluster from the bus.
+    pub fn restore(&mut self, index: usize, now: u64) {
+        self.alive[index] = true;
+        let addr = self.addrs()[index].clone();
+        self.net.set_down(&addr, false);
+        let node_name = self.agents[index].lock().node_name().to_string();
+        let ip = format!("10.{}.0.{}", self.seed % 200, index % 250 + 1);
+        *self.agents[index].lock() = GmondAgent::new(
+            node_name,
+            ip,
+            Arc::clone(&self.config),
+            Box::new(SimulatedHost::new(
+                self.seed.wrapping_mul(1_000_003).wrapping_add(index as u64),
+            )),
+            self.bus.subscribe(),
+            now,
+        );
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, index: usize) -> bool {
+        self.alive[index]
+    }
+
+    /// Inject multicast packet loss (UDP gives no delivery guarantee;
+    /// soft state is designed to absorb this).
+    pub fn set_multicast_loss(&self, probability: f64) {
+        self.bus.set_loss(probability);
+    }
+
+    /// Direct access to an agent (tests).
+    pub fn agent(&self, index: usize) -> Arc<Mutex<GmondAgent>> {
+        Arc::clone(&self.agents[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_net::NetError;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_millis(100);
+
+    fn cluster(nodes: usize) -> (Arc<SimNet>, SimCluster) {
+        let net = SimNet::new(1);
+        let cluster = SimCluster::new(&net, GmondConfig::new("alpha"), nodes, 7, 0);
+        (net, cluster)
+    }
+
+    #[test]
+    fn all_nodes_converge_to_full_membership() {
+        let (_net, mut cluster) = cluster(5);
+        cluster.tick_all(0);
+        for i in 0..5 {
+            assert_eq!(cluster.agent(i).lock().known_hosts(), 5, "agent {i}");
+        }
+    }
+
+    #[test]
+    fn any_node_serves_the_complete_cluster_report() {
+        let (net, mut cluster) = cluster(4);
+        cluster.tick_all(0);
+        for addr in cluster.addrs() {
+            let xml = net.fetch(&addr, "", T).unwrap();
+            let doc = ganglia_metrics::parse_document(&xml).unwrap();
+            assert_eq!(doc.host_count(), 4, "from {addr}");
+        }
+    }
+
+    #[test]
+    fn killed_node_is_unreachable_but_state_survives_on_neighbors() {
+        let (net, mut cluster) = cluster(3);
+        cluster.run(0, 40, 20);
+        cluster.kill(0);
+        let addrs = cluster.addrs();
+        assert_eq!(
+            net.fetch(&addrs[0], "", T),
+            Err(NetError::Unreachable(addrs[0].clone()))
+        );
+        // Failover target still reports all 3 hosts (stale entry for the
+        // dead one).
+        let xml = net.fetch(&addrs[1], "", T).unwrap();
+        let doc = ganglia_metrics::parse_document(&xml).unwrap();
+        assert_eq!(doc.host_count(), 3);
+    }
+
+    #[test]
+    fn dead_host_ages_and_goes_down_in_reports() {
+        let (net, mut cluster) = cluster(3);
+        cluster.run(0, 40, 20);
+        cluster.kill(0);
+        cluster.run(40, 240, 20);
+        let xml = net.fetch(&cluster.addrs()[1], "", T).unwrap();
+        let doc = ganglia_metrics::parse_document(&xml).unwrap();
+        let ganglia_metrics::GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
+        let dead = c.host("alpha-node-0").unwrap();
+        assert!(!dead.is_up(), "tn={} tmax={}", dead.tn, dead.tmax);
+        let alive = c.host("alpha-node-1").unwrap();
+        assert!(alive.is_up());
+        // Summary counts 1 down, 2 up.
+        let summary = c.summary();
+        assert_eq!(summary.hosts_up, 2);
+        assert_eq!(summary.hosts_down, 1);
+    }
+
+    #[test]
+    fn restored_node_relearns_cluster() {
+        let (net, mut cluster) = cluster(3);
+        cluster.run(0, 40, 20);
+        cluster.kill(0);
+        cluster.run(40, 100, 20);
+        cluster.restore(0, 100);
+        cluster.run(100, 200, 20);
+        assert!(cluster.is_alive(0));
+        let xml = net.fetch(&cluster.addrs()[0], "", T).unwrap();
+        let doc = ganglia_metrics::parse_document(&xml).unwrap();
+        assert_eq!(doc.host_count(), 3, "restarted node re-learned neighbors");
+    }
+
+    #[test]
+    fn steady_state_traffic_is_sparse() {
+        let (_net, mut cluster) = cluster(2);
+        cluster.tick_all(0);
+        let initial: u64 = (0..2).map(|i| cluster.agent(i).lock().packets_sent()).sum();
+        assert_eq!(initial, 68, "first round broadcasts everything");
+        cluster.run(0, 200, 20);
+        let after: u64 = (0..2).map(|i| cluster.agent(i).lock().packets_sent()).sum();
+        let per_round = (after - initial) as f64 / 10.0 / 2.0;
+        // Far fewer than the full 34 metrics per node per round.
+        assert!(per_round < 20.0, "per-round sends {per_round}");
+    }
+}

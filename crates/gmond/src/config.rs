@@ -1,0 +1,53 @@
+//! Gmond configuration.
+
+use ganglia_metrics::MetricRegistry;
+
+/// Cluster-wide configuration shared by every agent.
+#[derive(Debug, Clone)]
+pub struct GmondConfig {
+    /// Cluster name reported in the `CLUSTER` tag.
+    pub cluster_name: String,
+    /// Administrative owner string.
+    pub owner: String,
+    /// Cluster lat/long string (may be empty).
+    pub latlong: String,
+    /// URL with more information about the cluster.
+    pub url: String,
+    /// Seconds between heartbeat broadcasts.
+    pub heartbeat_interval: u32,
+    /// Soft-state lifetime for a silent host: hosts whose last heartbeat
+    /// is older than this are purged from neighbor state.
+    pub host_dmax: u32,
+    /// The metric set agents collect.
+    pub registry: MetricRegistry,
+}
+
+impl GmondConfig {
+    /// Defaults matching gmond 2.5: 20 s heartbeats, hosts purged after
+    /// an hour of silence.
+    pub fn new(cluster_name: impl Into<String>) -> Self {
+        GmondConfig {
+            cluster_name: cluster_name.into(),
+            owner: "unspecified".to_string(),
+            latlong: String::new(),
+            url: String::new(),
+            heartbeat_interval: 20,
+            host_dmax: 3600,
+            registry: MetricRegistry::with_builtins(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_gmond_25_like() {
+        let config = GmondConfig::new("meteor");
+        assert_eq!(config.cluster_name, "meteor");
+        assert_eq!(config.heartbeat_interval, 20);
+        assert_eq!(config.host_dmax, 3600);
+        assert_eq!(config.registry.len(), 34);
+    }
+}

@@ -1,0 +1,46 @@
+//! The Gmon local-area monitor.
+//!
+//! "The Gmon system operates at the cluster level and gathers metrics such
+//! as heartbeats, hardware/operating system parameters, and user-defined
+//! key-value pairs from every node. Gmon uses UDP multicast to exchange
+//! these metrics within the cluster. The local-area multicast backbone
+//! enables gmon agents to organize into a redundant, leaderless network
+//! where nodes listen to their neighbors rather than polling them."
+//! (paper §1)
+//!
+//! This crate implements that system:
+//!
+//! * [`packet`] — the XDR-style binary metric packets agents multicast;
+//! * [`agent::GmondAgent`] — one per node: collects metrics on their
+//!   schedules, rebroadcasts on value/time thresholds, merges neighbor
+//!   packets into **redundant global cluster state**, expires silent
+//!   hosts by soft state, and serves the full cluster report as XML —
+//!   which is what lets a gmetad "automatically fail-over when a cluster
+//!   node malfunctions" (fig 1);
+//! * [`cluster::SimCluster`] — a whole simulated cluster of agents on a
+//!   multicast bus, with node kill/restore for failure experiments;
+//! * [`pseudo::PseudoGmond`] — the paper's own experimental workload
+//!   generator (§4): "gmon emulators ... behave identically to a
+//!   cluster's gmon daemons, except their metric values are chosen
+//!   randomly", emitting DTD-conformant XML.
+
+pub mod agent;
+pub mod channel;
+pub mod cluster;
+pub mod conf;
+pub mod config;
+pub mod packet;
+pub mod proc_source;
+pub mod pseudo;
+pub mod source;
+pub mod udp;
+
+pub use agent::GmondAgent;
+pub use channel::MetricChannel;
+pub use cluster::SimCluster;
+pub use config::GmondConfig;
+pub use packet::MetricPacket;
+pub use proc_source::ProcSource;
+pub use pseudo::PseudoGmond;
+pub use source::{MetricSource, SimulatedHost};
+pub use udp::UdpMesh;

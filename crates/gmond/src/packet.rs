@@ -1,0 +1,312 @@
+//! XDR-style binary metric packets.
+//!
+//! Real gmond multicasts metrics as XDR-encoded datagrams. This module
+//! reimplements that encoding: big-endian fixed-width integers and
+//! length-prefixed strings padded to four-byte alignment, one metric per
+//! packet, small enough that a 128-node cluster's monitoring traffic fits
+//! in "less than 56Kbps ... roughly the capacity of a dialup modem"
+//! (paper §3.1).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ganglia_metrics::{MetricType, MetricValue, Slope};
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketError(pub &'static str);
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad metric packet: {}", self.0)
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+const MAGIC: u32 = 0x474D_4F4E; // "GMON"
+
+/// One multicast metric announcement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPacket {
+    /// Reporting host.
+    pub host: String,
+    /// Host IP (string form, as the XML carries it).
+    pub ip: String,
+    /// When the reporting gmond started (epoch seconds).
+    pub gmond_started: u64,
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: MetricValue,
+    /// Units string.
+    pub units: String,
+    /// Expected slope.
+    pub slope: Slope,
+    /// Maximum seconds between broadcasts.
+    pub tmax: u32,
+    /// Seconds after which the metric should be deleted (0 = never).
+    pub dmax: u32,
+}
+
+impl MetricPacket {
+    /// Encode to the wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(96);
+        buf.put_u32(MAGIC);
+        put_xdr_string(&mut buf, &self.host);
+        put_xdr_string(&mut buf, &self.ip);
+        buf.put_u64(self.gmond_started);
+        put_xdr_string(&mut buf, &self.name);
+        buf.put_u32(type_code(self.value.metric_type()));
+        match &self.value {
+            MetricValue::String(s) => put_xdr_string(&mut buf, s),
+            MetricValue::Int8(v) => buf.put_i32(i32::from(*v)),
+            MetricValue::Uint8(v) => buf.put_u32(u32::from(*v)),
+            MetricValue::Int16(v) => buf.put_i32(i32::from(*v)),
+            MetricValue::Uint16(v) => buf.put_u32(u32::from(*v)),
+            MetricValue::Int32(v) => buf.put_i32(*v),
+            MetricValue::Uint32(v) => buf.put_u32(*v),
+            MetricValue::Float(v) => buf.put_f32(*v),
+            MetricValue::Double(v) => buf.put_f64(*v),
+            MetricValue::Timestamp(v) => buf.put_u64(*v),
+        }
+        put_xdr_string(&mut buf, &self.units);
+        buf.put_u32(slope_code(self.slope));
+        buf.put_u32(self.tmax);
+        buf.put_u32(self.dmax);
+        buf.freeze()
+    }
+
+    /// Decode from the wire form.
+    pub fn decode(mut input: &[u8]) -> Result<MetricPacket, PacketError> {
+        if input.remaining() < 4 || input.get_u32() != MAGIC {
+            return Err(PacketError("bad magic"));
+        }
+        let host = get_xdr_string(&mut input)?;
+        let ip = get_xdr_string(&mut input)?;
+        if input.remaining() < 8 {
+            return Err(PacketError("truncated start time"));
+        }
+        let gmond_started = input.get_u64();
+        let name = get_xdr_string(&mut input)?;
+        if input.remaining() < 4 {
+            return Err(PacketError("truncated type"));
+        }
+        let ty = type_from_code(input.get_u32()).ok_or(PacketError("unknown type code"))?;
+        let value = match ty {
+            MetricType::String => MetricValue::String(get_xdr_string(&mut input)?),
+            MetricType::Int8 => MetricValue::Int8(get_i32(&mut input)? as i8),
+            MetricType::Uint8 => MetricValue::Uint8(get_u32(&mut input)? as u8),
+            MetricType::Int16 => MetricValue::Int16(get_i32(&mut input)? as i16),
+            MetricType::Uint16 => MetricValue::Uint16(get_u32(&mut input)? as u16),
+            MetricType::Int32 => MetricValue::Int32(get_i32(&mut input)?),
+            MetricType::Uint32 => MetricValue::Uint32(get_u32(&mut input)?),
+            MetricType::Float => {
+                if input.remaining() < 4 {
+                    return Err(PacketError("truncated float"));
+                }
+                MetricValue::Float(input.get_f32())
+            }
+            MetricType::Double => {
+                if input.remaining() < 8 {
+                    return Err(PacketError("truncated double"));
+                }
+                MetricValue::Double(input.get_f64())
+            }
+            MetricType::Timestamp => {
+                if input.remaining() < 8 {
+                    return Err(PacketError("truncated timestamp"));
+                }
+                MetricValue::Timestamp(input.get_u64())
+            }
+        };
+        let units = get_xdr_string(&mut input)?;
+        let slope = slope_from_code(get_u32(&mut input)?).ok_or(PacketError("unknown slope"))?;
+        let tmax = get_u32(&mut input)?;
+        let dmax = get_u32(&mut input)?;
+        Ok(MetricPacket {
+            host,
+            ip,
+            gmond_started,
+            name,
+            value,
+            units,
+            slope,
+            tmax,
+            dmax,
+        })
+    }
+}
+
+fn type_code(ty: MetricType) -> u32 {
+    match ty {
+        MetricType::String => 0,
+        MetricType::Int8 => 1,
+        MetricType::Uint8 => 2,
+        MetricType::Int16 => 3,
+        MetricType::Uint16 => 4,
+        MetricType::Int32 => 5,
+        MetricType::Uint32 => 6,
+        MetricType::Float => 7,
+        MetricType::Double => 8,
+        MetricType::Timestamp => 9,
+    }
+}
+
+fn type_from_code(code: u32) -> Option<MetricType> {
+    Some(match code {
+        0 => MetricType::String,
+        1 => MetricType::Int8,
+        2 => MetricType::Uint8,
+        3 => MetricType::Int16,
+        4 => MetricType::Uint16,
+        5 => MetricType::Int32,
+        6 => MetricType::Uint32,
+        7 => MetricType::Float,
+        8 => MetricType::Double,
+        9 => MetricType::Timestamp,
+        _ => return None,
+    })
+}
+
+fn slope_code(slope: Slope) -> u32 {
+    match slope {
+        Slope::Zero => 0,
+        Slope::Positive => 1,
+        Slope::Negative => 2,
+        Slope::Both => 3,
+        Slope::Unspecified => 4,
+    }
+}
+
+fn slope_from_code(code: u32) -> Option<Slope> {
+    Some(match code {
+        0 => Slope::Zero,
+        1 => Slope::Positive,
+        2 => Slope::Negative,
+        3 => Slope::Both,
+        4 => Slope::Unspecified,
+        _ => return None,
+    })
+}
+
+/// XDR string: u32 length, bytes, zero padding to a 4-byte boundary.
+fn put_xdr_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+    let pad = (4 - s.len() % 4) % 4;
+    buf.put_bytes(0, pad);
+}
+
+fn get_xdr_string(input: &mut &[u8]) -> Result<String, PacketError> {
+    let len = get_u32(input)? as usize;
+    if len > 1 << 16 {
+        return Err(PacketError("implausible string length"));
+    }
+    let padded = len + (4 - len % 4) % 4;
+    if input.remaining() < padded {
+        return Err(PacketError("truncated string"));
+    }
+    let s = std::str::from_utf8(&input[..len])
+        .map_err(|_| PacketError("non-utf8 string"))?
+        .to_string();
+    input.advance(padded);
+    Ok(s)
+}
+
+fn get_u32(input: &mut &[u8]) -> Result<u32, PacketError> {
+    if input.remaining() < 4 {
+        return Err(PacketError("truncated u32"));
+    }
+    Ok(input.get_u32())
+}
+
+fn get_i32(input: &mut &[u8]) -> Result<i32, PacketError> {
+    if input.remaining() < 4 {
+        return Err(PacketError("truncated i32"));
+    }
+    Ok(input.get_i32())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(value: MetricValue) -> MetricPacket {
+        MetricPacket {
+            host: "compute-0-0".into(),
+            ip: "10.1.1.1".into(),
+            gmond_started: 1_058_000_000,
+            name: "load_one".into(),
+            value,
+            units: "".into(),
+            slope: Slope::Both,
+            tmax: 70,
+            dmax: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_value_type() {
+        let values = vec![
+            MetricValue::String("Linux".into()),
+            MetricValue::Int8(-5),
+            MetricValue::Uint8(200),
+            MetricValue::Int16(-3000),
+            MetricValue::Uint16(60000),
+            MetricValue::Int32(-70000),
+            MetricValue::Uint32(4_000_000_000),
+            MetricValue::Float(0.89),
+            MetricValue::Double(17.56),
+            MetricValue::Timestamp(1_058_918_400),
+        ];
+        for value in values {
+            let packet = sample(value);
+            let decoded = MetricPacket::decode(&packet.encode()).unwrap();
+            assert_eq!(decoded, packet);
+        }
+    }
+
+    #[test]
+    fn strings_are_four_byte_aligned() {
+        let mut buf = BytesMut::new();
+        put_xdr_string(&mut buf, "abc");
+        assert_eq!(buf.len(), 8); // 4 len + 3 bytes + 1 pad
+        put_xdr_string(&mut buf, "abcd");
+        assert_eq!(buf.len(), 16); // + 4 len + 4 bytes + 0 pad
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MetricPacket::decode(b"").is_err());
+        assert!(MetricPacket::decode(b"\0\0\0\0junkjunk").is_err());
+        let good = sample(MetricValue::Float(1.0)).encode();
+        assert!(MetricPacket::decode(&good[..good.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_codes() {
+        let mut bytes = sample(MetricValue::Float(1.0)).encode().to_vec();
+        // Corrupt the magic.
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            MetricPacket::decode(&bytes),
+            Err(PacketError("bad magic"))
+        );
+    }
+
+    #[test]
+    fn packets_are_compact() {
+        // The 56 Kbps / 128-node figure needs small packets.
+        let packet = sample(MetricValue::Float(0.89));
+        assert!(packet.encode().len() < 96, "{}", packet.encode().len());
+    }
+
+    #[test]
+    fn empty_and_unicode_strings_roundtrip() {
+        let mut packet = sample(MetricValue::String(String::new()));
+        packet.units = "üs".into();
+        let decoded = MetricPacket::decode(&packet.encode()).unwrap();
+        assert_eq!(decoded.units, "üs");
+    }
+}

@@ -1,0 +1,260 @@
+//! Pseudo-gmond: the paper's experimental workload generator.
+//!
+//! "All experiments employ gmon emulators called pseudo-gmond to generate
+//! controlled Ganglia XML datasets for the monitoring tree. These agents
+//! behave identically to a cluster's gmon daemons, except their metric
+//! values are chosen randomly. Their XML output conforms to the Ganglia
+//! DTD, and therefore requires the same processing effort by the gmeta
+//! system under study." (paper §4)
+//!
+//! A [`PseudoGmond`] synthesizes a cluster of `H` hosts with the full
+//! built-in metric set; [`PseudoGmond::advance`] rerolls the random
+//! values (bounded walks, like real load curves) and re-serializes the
+//! report once, so serving a poll is a plain buffer copy — deliberately
+//! discounting gmon processing from the experiments, as the paper does.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
+use ganglia_metrics::{builtin_metrics, codec};
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, ServerGuard, SimNet};
+
+use crate::source::{MetricSource, SimulatedHost};
+
+struct PseudoHost {
+    name: String,
+    ip: String,
+    source: SimulatedHost,
+}
+
+/// A simulated cluster that exists only as generated XML.
+pub struct PseudoGmond {
+    cluster_name: String,
+    hosts: Vec<PseudoHost>,
+    doc: GangliaDoc,
+    xml: String,
+    last_advance: u64,
+}
+
+impl PseudoGmond {
+    /// Create a pseudo-cluster of `host_count` hosts and generate its
+    /// initial report at time `now`.
+    pub fn new(cluster_name: impl Into<String>, host_count: usize, seed: u64, now: u64) -> Self {
+        let cluster_name = cluster_name.into();
+        let hosts = (0..host_count)
+            .map(|i| PseudoHost {
+                name: format!("{cluster_name}-{i:04}"),
+                ip: format!("10.{}.{}.{}", seed % 100 + 100, i / 250, i % 250 + 1),
+                source: SimulatedHost::new(seed.wrapping_mul(0x9E37).wrapping_add(i as u64)),
+            })
+            .collect();
+        let mut this = PseudoGmond {
+            cluster_name,
+            hosts,
+            doc: GangliaDoc::gmond(ClusterNode::with_hosts("", Vec::new())),
+            xml: String::new(),
+            last_advance: now,
+        };
+        this.advance(now);
+        this
+    }
+
+    /// Cluster name.
+    pub fn name(&self) -> &str {
+        &self.cluster_name
+    }
+
+    /// Number of simulated hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Reroll metric values and regenerate the cached report at `now`.
+    pub fn advance(&mut self, now: u64) {
+        self.last_advance = now;
+        let host_nodes: Vec<HostNode> = self
+            .hosts
+            .iter_mut()
+            .enumerate()
+            .map(|(i, host)| {
+                let metrics: Vec<MetricEntry> = builtin_metrics()
+                    .iter()
+                    .map(|def| MetricEntry {
+                        name: def.name.to_string(),
+                        value: host.source.collect(def),
+                        units: def.units.to_string(),
+                        // Spread TN values plausibly inside the collection
+                        // interval, deterministic per host.
+                        tn: (i as u32 * 3 + def.collect_every / 3) % def.collect_every.max(1),
+                        tmax: def.tmax,
+                        dmax: def.dmax,
+                        slope: def.slope,
+                        source: "gmond".to_string(),
+                    })
+                    .collect();
+                HostNode {
+                    name: host.name.clone(),
+                    ip: host.ip.clone(),
+                    reported: now,
+                    tn: (i % 15) as u32,
+                    tmax: 20,
+                    dmax: 0,
+                    location: String::new(),
+                    gmond_started: now.saturating_sub(1000),
+                    metrics,
+                }
+            })
+            .collect();
+        let mut cluster = ClusterNode::with_hosts(self.cluster_name.clone(), host_nodes);
+        cluster.localtime = now;
+        cluster.owner = "pseudo".to_string();
+        self.doc = GangliaDoc::gmond(cluster);
+        self.xml = codec::write_document(&self.doc);
+    }
+
+    /// The current report as a typed document.
+    pub fn doc(&self) -> &GangliaDoc {
+        &self.doc
+    }
+
+    /// The current report, serialized (what a poll downloads).
+    pub fn xml(&self) -> &str {
+        &self.xml
+    }
+
+    /// Time of the last advance.
+    pub fn last_advance(&self) -> u64 {
+        self.last_advance
+    }
+}
+
+/// A pseudo-cluster bound to the simulated network at `node_count`
+/// redundant addresses (`cluster/cluster-node-i`), like a real cluster
+/// where any node can serve the report.
+pub struct ServedPseudoCluster {
+    inner: Arc<Mutex<PseudoGmond>>,
+    addrs: Vec<Addr>,
+    _guards: Vec<Box<dyn ServerGuard>>,
+}
+
+impl ServedPseudoCluster {
+    /// Serve `pseudo` at `node_count` redundant addresses on `net`.
+    pub fn serve(net: &Arc<SimNet>, pseudo: PseudoGmond, node_count: usize) -> Self {
+        let name = pseudo.name().to_string();
+        let inner = Arc::new(Mutex::new(pseudo));
+        let mut addrs = Vec::with_capacity(node_count);
+        let mut guards = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let addr = Addr::new(format!("{name}/{name}-node-{i}"));
+            let handler_state = Arc::clone(&inner);
+            let guard = net
+                .serve(
+                    &addr,
+                    Arc::new(move |_req: &str| handler_state.lock().xml().to_string()),
+                )
+                .expect("pseudo cluster addresses are unique");
+            addrs.push(addr);
+            guards.push(guard);
+        }
+        ServedPseudoCluster {
+            inner,
+            addrs,
+            _guards: guards,
+        }
+    }
+
+    /// The redundant serving addresses.
+    pub fn addrs(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Reroll values at time `now`.
+    pub fn advance(&self, now: u64) {
+        self.inner.lock().advance(now);
+    }
+
+    /// Shared handle to the generator.
+    pub fn pseudo(&self) -> Arc<Mutex<PseudoGmond>> {
+        Arc::clone(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_metrics::{parse_document, GridItem};
+    use std::time::Duration;
+
+    #[test]
+    fn generates_dtd_conformant_xml() {
+        let pseudo = PseudoGmond::new("meteor", 10, 42, 100);
+        let doc = parse_document(pseudo.xml()).unwrap();
+        assert_eq!(doc.source, "gmond");
+        assert_eq!(doc.host_count(), 10);
+        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        assert_eq!(c.name, "meteor");
+        let host = c.host("meteor-0000").unwrap();
+        assert_eq!(host.metrics.len(), builtin_metrics().len());
+        assert!(host.is_up());
+    }
+
+    #[test]
+    fn advance_changes_values_but_not_shape() {
+        let mut pseudo = PseudoGmond::new("meteor", 5, 42, 0);
+        let before = pseudo.xml().to_string();
+        pseudo.advance(15);
+        let after = pseudo.xml().to_string();
+        assert_ne!(before, after, "values must reroll");
+        let a = parse_document(&before).unwrap();
+        let b = parse_document(&after).unwrap();
+        assert_eq!(a.host_count(), b.host_count());
+    }
+
+    #[test]
+    fn same_seed_same_data() {
+        let a = PseudoGmond::new("x", 8, 7, 0);
+        let b = PseudoGmond::new("x", 8, 7, 0);
+        assert_eq!(a.xml(), b.xml());
+    }
+
+    #[test]
+    fn xml_size_scales_linearly_with_hosts() {
+        let small = PseudoGmond::new("c", 10, 1, 0).xml().len();
+        let large = PseudoGmond::new("c", 100, 1, 0).xml().len();
+        let ratio = large as f64 / small as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn served_cluster_answers_on_all_addresses() {
+        let net = SimNet::new(1);
+        let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("nashi", 4, 3, 0), 3);
+        assert_eq!(served.addrs().len(), 3);
+        let t = Duration::from_millis(100);
+        let first = net.fetch(&served.addrs()[0], "", t).unwrap();
+        let second = net.fetch(&served.addrs()[2], "", t).unwrap();
+        assert_eq!(first, second, "any node serves the same report");
+        served.advance(15);
+        let third = net.fetch(&served.addrs()[1], "", t).unwrap();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn summary_of_pseudo_cluster_is_consistent() {
+        let pseudo = PseudoGmond::new("meteor", 50, 42, 0);
+        let GridItem::Cluster(c) = &pseudo.doc().items[0] else {
+            panic!()
+        };
+        let summary = c.summary();
+        assert_eq!(summary.hosts_total(), 50);
+        // Numeric metrics summarized; strings not.
+        assert!(summary.metric("load_one").is_some());
+        assert!(summary.metric("os_name").is_none());
+        let cpu = summary.metric("cpu_num").unwrap();
+        assert_eq!(cpu.num, summary.hosts_up);
+        assert!(cpu.mean().unwrap() >= 1.0 && cpu.mean().unwrap() <= 4.0);
+    }
+}

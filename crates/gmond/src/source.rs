@@ -1,0 +1,154 @@
+//! Where metric values come from.
+//!
+//! A real gmond reads `/proc`; the simulator synthesizes values from each
+//! metric definition's [`Synth`] model. Per-host constants (CPU count,
+//! memory size, OS release) are drawn once from the host's seed so a host
+//! keeps a stable identity across collections.
+
+use std::collections::HashMap;
+
+use ganglia_metrics::definition::Synth;
+use ganglia_metrics::{MetricDefinition, MetricValue};
+use ganglia_net::rng::SplitMix64;
+
+/// Supplies the current value of a metric on one host.
+pub trait MetricSource: Send {
+    /// Collect the metric's current value.
+    fn collect(&mut self, def: &MetricDefinition) -> MetricValue;
+}
+
+/// Simulated host state: plausible, seeded, slowly-evolving values.
+pub struct SimulatedHost {
+    rng: SplitMix64,
+    /// Fixed per-host constants (drawn on first collection).
+    constants: HashMap<&'static str, MetricValue>,
+    /// Current positions of random-walk metrics.
+    walks: HashMap<&'static str, f64>,
+}
+
+impl SimulatedHost {
+    /// A host with a deterministic identity derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimulatedHost {
+            rng: SplitMix64::new(seed),
+            constants: HashMap::new(),
+            walks: HashMap::new(),
+        }
+    }
+}
+
+impl MetricSource for SimulatedHost {
+    fn collect(&mut self, def: &MetricDefinition) -> MetricValue {
+        match def.synth {
+            Synth::ConstRange { min, max } => {
+                let rng = &mut self.rng;
+                self.constants
+                    .entry(def.name)
+                    .or_insert_with(|| {
+                        let x = min + rng.next_f64() * (max - min);
+                        MetricValue::from_f64(def.ty, x)
+                    })
+                    .clone()
+            }
+            Synth::ConstChoice(choices) => {
+                let rng = &mut self.rng;
+                self.constants
+                    .entry(def.name)
+                    .or_insert_with(|| {
+                        let idx = (rng.next_u64() % choices.len() as u64) as usize;
+                        match def.ty {
+                            ganglia_metrics::MetricType::String => {
+                                MetricValue::String(choices[idx].to_string())
+                            }
+                            ty => MetricValue::from_f64(
+                                ty,
+                                choices[idx].parse::<f64>().unwrap_or(0.0),
+                            ),
+                        }
+                    })
+                    .clone()
+            }
+            Synth::Uniform { min, max } => {
+                let x = min + self.rng.next_f64() * (max - min);
+                MetricValue::from_f64(def.ty, x)
+            }
+            Synth::Walk { min, max, step } => {
+                let rng = &mut self.rng;
+                let slot = self.walks.entry(def.name).or_insert_with(|| {
+                    min + rng.next_f64() * (max - min)
+                });
+                let delta = (rng.next_f64() * 2.0 - 1.0) * step;
+                *slot = (*slot + delta).clamp(min, max);
+                MetricValue::from_f64(def.ty, *slot)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_metrics::builtin_metrics;
+
+    fn def(name: &str) -> &'static MetricDefinition {
+        builtin_metrics().iter().find(|d| d.name == name).unwrap()
+    }
+
+    #[test]
+    fn constants_are_stable_per_host() {
+        let mut host = SimulatedHost::new(7);
+        let a = host.collect(def("cpu_num"));
+        let b = host.collect(def("cpu_num"));
+        assert_eq!(a, b);
+        let os = host.collect(def("os_name"));
+        assert_eq!(os, MetricValue::String("Linux".into()));
+    }
+
+    #[test]
+    fn different_hosts_differ() {
+        // With many hosts, cpu_speed must not be globally constant.
+        let speeds: Vec<MetricValue> = (0..32)
+            .map(|i| SimulatedHost::new(i).collect(def("cpu_speed")))
+            .collect();
+        let first = &speeds[0];
+        assert!(speeds.iter().any(|s| s != first));
+    }
+
+    #[test]
+    fn walks_stay_in_bounds_and_move() {
+        let mut host = SimulatedHost::new(3);
+        let d = def("load_one");
+        let mut values = Vec::new();
+        for _ in 0..200 {
+            let v = host.collect(d).as_f64().unwrap();
+            assert!((0.0..=8.0).contains(&v), "{v}");
+            values.push(v);
+        }
+        let first = values[0];
+        assert!(values.iter().any(|v| (v - first).abs() > 1e-6));
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let mut a = SimulatedHost::new(11);
+        let mut b = SimulatedHost::new(11);
+        for d in builtin_metrics() {
+            assert_eq!(a.collect(d), b.collect(d), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn uniform_draws_vary() {
+        let mut host = SimulatedHost::new(5);
+        let d = def("heartbeat");
+        let a = host.collect(d);
+        let mut changed = false;
+        for _ in 0..50 {
+            if host.collect(d) != a {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+}

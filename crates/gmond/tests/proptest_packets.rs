@@ -1,0 +1,100 @@
+//! Property tests for the XDR metric packets: encode/decode is an exact
+//! round trip for every representable packet, and the decoder never
+//! panics on arbitrary bytes (UDP datagrams come from the network).
+
+use ganglia_gmond::MetricPacket;
+use ganglia_metrics::{MetricValue, Slope};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        "[ -~]{0,32}".prop_map(MetricValue::String),
+        any::<i8>().prop_map(MetricValue::Int8),
+        any::<u8>().prop_map(MetricValue::Uint8),
+        any::<i16>().prop_map(MetricValue::Int16),
+        any::<u16>().prop_map(MetricValue::Uint16),
+        any::<i32>().prop_map(MetricValue::Int32),
+        any::<u32>().prop_map(MetricValue::Uint32),
+        // Finite floats only: NaN breaks PartialEq roundtrip comparison,
+        // and gmond never broadcasts NaN samples.
+        (-1.0e30f32..1.0e30).prop_map(MetricValue::Float),
+        (-1.0e300f64..1.0e300).prop_map(MetricValue::Double),
+        any::<u64>().prop_map(MetricValue::Timestamp),
+    ]
+}
+
+fn slope_strategy() -> impl Strategy<Value = Slope> {
+    prop_oneof![
+        Just(Slope::Zero),
+        Just(Slope::Positive),
+        Just(Slope::Negative),
+        Just(Slope::Both),
+        Just(Slope::Unspecified),
+    ]
+}
+
+fn packet_strategy() -> impl Strategy<Value = MetricPacket> {
+    (
+        "[a-z0-9.-]{1,24}",
+        "[0-9.]{7,15}",
+        any::<u64>(),
+        "[a-z_][a-z0-9_]{0,24}",
+        value_strategy(),
+        "[ -~]{0,12}",
+        slope_strategy(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(host, ip, gmond_started, name, value, units, slope, tmax, dmax)| MetricPacket {
+                host,
+                ip,
+                gmond_started,
+                name,
+                value,
+                units,
+                slope,
+                tmax,
+                dmax,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrips(packet in packet_strategy()) {
+        let decoded = MetricPacket::decode(&packet.encode()).unwrap();
+        prop_assert_eq!(decoded, packet);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = MetricPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_packets_are_rejected_not_panics(
+        packet in packet_strategy(),
+        cut in 0usize..64,
+    ) {
+        let encoded = packet.encode();
+        if cut < encoded.len() {
+            let truncated = &encoded[..encoded.len() - cut - 1];
+            let _ = MetricPacket::decode(truncated);
+        }
+    }
+
+    #[test]
+    fn single_byte_corruptions_never_panic(
+        packet in packet_strategy(),
+        position in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = packet.encode().to_vec();
+        let idx = position.index(bytes.len());
+        bytes[idx] ^= flip;
+        let _ = MetricPacket::decode(&bytes);
+    }
+}

@@ -1,0 +1,69 @@
+//! A real gmond cluster over loopback UDP: agents exchange XDR packets
+//! through actual sockets in unicast-mesh mode and converge to full
+//! membership, exactly as they do on the simulated multicast bus.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ganglia_gmond::{GmondAgent, GmondConfig, SimulatedHost, UdpMesh};
+
+#[test]
+fn udp_mesh_cluster_converges_and_reports() {
+    let config = Arc::new(GmondConfig::new("udp-alpha"));
+
+    // Bind three endpoints, then fully mesh them.
+    let mut meshes: Vec<UdpMesh> = (0..3)
+        .map(|_| UdpMesh::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = meshes
+        .iter()
+        .map(|m| m.local_addr().expect("bound"))
+        .collect();
+    for mesh in &mut meshes {
+        for &addr in &addrs {
+            mesh.add_peer(addr);
+        }
+    }
+
+    let mut agents: Vec<GmondAgent> = meshes
+        .into_iter()
+        .enumerate()
+        .map(|(i, mesh)| {
+            GmondAgent::new(
+                format!("udp-node-{i}"),
+                format!("127.0.0.{}", i + 1),
+                Arc::clone(&config),
+                Box::new(SimulatedHost::new(i as u64)),
+                mesh,
+                0,
+            )
+        })
+        .collect();
+
+    // Broadcast round, then drain until everyone has heard everyone
+    // (UDP delivery is asynchronous; spin with a deadline).
+    for agent in &mut agents {
+        agent.tick(0);
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        for agent in &mut agents {
+            agent.receive(0);
+        }
+        if agents.iter().all(|a| a.known_hosts() == 3) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "membership did not converge: {:?}",
+            agents.iter().map(|a| a.known_hosts()).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Any agent now serves the complete cluster report.
+    for agent in &agents {
+        let doc = ganglia_metrics::parse_document(&agent.xml_report(0)).expect("well-formed");
+        assert_eq!(doc.host_count(), 3, "from {}", agent.node_name());
+    }
+}

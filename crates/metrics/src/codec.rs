@@ -1,0 +1,753 @@
+//! Streaming conversion between the typed model and Ganglia XML.
+//!
+//! `parse_document` drives the zero-copy pull parser directly into model
+//! structures — no DOM is materialized. `write_document` streams a model
+//! back out through the XML writer. Together they implement the wire
+//! format of figure 3 in the paper, including nested grids in summary
+//! form.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ganglia_xml::names::{self, attr};
+use ganglia_xml::{Attribute, Event, PullParser, XmlError, XmlWriter};
+
+use crate::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
+    MetricSummary, SummaryBody,
+};
+use crate::slope::Slope;
+use crate::value::{MetricType, MetricValue};
+
+/// Error produced while mapping XML onto the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The underlying XML was malformed.
+    Xml(XmlError),
+    /// An element was missing a required attribute.
+    MissingAttr {
+        element: &'static str,
+        attr: &'static str,
+    },
+    /// An attribute failed to parse (wrong number format, unknown type...).
+    BadAttr {
+        element: &'static str,
+        attr: String,
+        value: String,
+    },
+    /// A tag appeared somewhere the DTD does not allow it.
+    UnexpectedTag { parent: String, tag: String },
+    /// The document root was not `GANGLIA_XML`.
+    BadRoot(String),
+    /// A cluster mixed full host detail with summary tags.
+    MixedClusterBody(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Xml(e) => write!(f, "{e}"),
+            ParseError::MissingAttr { element, attr } => {
+                write!(f, "<{element}> is missing required attribute {attr}")
+            }
+            ParseError::BadAttr {
+                element,
+                attr,
+                value,
+            } => write!(f, "<{element}> attribute {attr}={value:?} failed to parse"),
+            ParseError::UnexpectedTag { parent, tag } => {
+                write!(f, "unexpected <{tag}> inside <{parent}>")
+            }
+            ParseError::BadRoot(root) => write!(f, "expected GANGLIA_XML root, found <{root}>"),
+            ParseError::MixedClusterBody(name) => {
+                write!(f, "cluster {name:?} mixes HOST detail with summary tags")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<XmlError> for ParseError {
+    fn from(e: XmlError) -> Self {
+        ParseError::Xml(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+// ---------------------------------------------------------------------
+// Attribute helpers
+// ---------------------------------------------------------------------
+
+fn find<'a, 'b>(attrs: &'a [Attribute<'b>], name: &str) -> Option<&'a str> {
+    attrs.iter().find(|a| a.name == name).map(|a| a.value.as_ref())
+}
+
+fn required<'a>(
+    attrs: &'a [Attribute<'_>],
+    element: &'static str,
+    name: &'static str,
+) -> Result<&'a str> {
+    find(attrs, name).ok_or(ParseError::MissingAttr {
+        element,
+        attr: name,
+    })
+}
+
+fn optional_string(attrs: &[Attribute<'_>], name: &str) -> String {
+    find(attrs, name).unwrap_or("").to_string()
+}
+
+fn parse_num<T: FromStr>(
+    attrs: &[Attribute<'_>],
+    element: &'static str,
+    name: &'static str,
+    default: T,
+) -> Result<T> {
+    match find(attrs, name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element,
+            attr: name.to_string(),
+            value: raw.to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Parse a complete Ganglia XML report into the typed model.
+pub fn parse_document(input: &str) -> Result<GangliaDoc> {
+    let mut parser = PullParser::new(input);
+    // Skip prolog (declaration, DOCTYPE, comments) to the root element.
+    let root = loop {
+        match parser.next_event()? {
+            Some(Event::Start {
+                name, attributes, ..
+            }) => break (name, attributes),
+            Some(Event::Decl(_) | Event::Comment(_)) => continue,
+            Some(other) => {
+                return Err(ParseError::UnexpectedTag {
+                    parent: "(document)".into(),
+                    tag: format!("{other:?}"),
+                })
+            }
+            None => return Err(ParseError::BadRoot("(empty)".into())),
+        }
+    };
+    let (root_name, root_attrs) = root;
+    if root_name != names::GANGLIA_XML {
+        return Err(ParseError::BadRoot(root_name.to_string()));
+    }
+    let mut doc = GangliaDoc {
+        version: optional_string(&root_attrs, attr::VERSION),
+        source: optional_string(&root_attrs, attr::SOURCE),
+        items: Vec::new(),
+    };
+    loop {
+        match parser.next_event()? {
+            Some(Event::Start {
+                name, attributes, ..
+            }) => match name {
+                names::GRID => doc.items.push(GridItem::Grid(parse_grid(
+                    &mut parser,
+                    &attributes,
+                )?)),
+                names::CLUSTER => doc.items.push(GridItem::Cluster(parse_cluster(
+                    &mut parser,
+                    &attributes,
+                )?)),
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::GANGLIA_XML.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(Event::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    Ok(doc)
+}
+
+fn parse_grid(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<GridNode> {
+    let name = required(attrs, names::GRID, attr::NAME)?.to_string();
+    let authority = optional_string(attrs, attr::AUTHORITY);
+    let localtime = parse_num(attrs, names::GRID, attr::LOCALTIME, 0u64)?;
+    let mut items: Vec<GridItem> = Vec::new();
+    let mut summary: Option<SummaryBody> = None;
+    loop {
+        match parser.next_event()? {
+            Some(Event::Start {
+                name: tag,
+                attributes,
+                ..
+            }) => match tag {
+                names::GRID => items.push(GridItem::Grid(parse_grid(parser, &attributes)?)),
+                names::CLUSTER => {
+                    items.push(GridItem::Cluster(parse_cluster(parser, &attributes)?))
+                }
+                names::HOSTS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.hosts_up = parse_num(&attributes, names::HOSTS, attr::UP, 0u32)?;
+                    body.hosts_down = parse_num(&attributes, names::HOSTS, attr::DOWN, 0u32)?;
+                    skip_element(parser)?;
+                }
+                names::METRICS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.metrics.push(parse_metric_summary(&attributes)?);
+                    skip_element(parser)?;
+                }
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::GRID.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(Event::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let body = match summary {
+        Some(s) if items.is_empty() => GridBody::Summary(s),
+        // A grid reporting both nested items and its own rolled-up summary
+        // keeps the expanded form; summaries are recomputable.
+        Some(_) | None => GridBody::Items(items),
+    };
+    Ok(GridNode {
+        name,
+        authority,
+        localtime,
+        body,
+    })
+}
+
+fn parse_cluster(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<ClusterNode> {
+    let name = required(attrs, names::CLUSTER, attr::NAME)?.to_string();
+    let owner = optional_string(attrs, attr::OWNER);
+    let latlong = optional_string(attrs, attr::LATLONG);
+    let url = optional_string(attrs, attr::URL);
+    let localtime = parse_num(attrs, names::CLUSTER, attr::LOCALTIME, 0u64)?;
+    let mut hosts: Vec<HostNode> = Vec::new();
+    let mut summary: Option<SummaryBody> = None;
+    loop {
+        match parser.next_event()? {
+            Some(Event::Start {
+                name: tag,
+                attributes,
+                ..
+            }) => match tag {
+                names::HOST => hosts.push(parse_host(parser, &attributes)?),
+                names::HOSTS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.hosts_up = parse_num(&attributes, names::HOSTS, attr::UP, 0u32)?;
+                    body.hosts_down = parse_num(&attributes, names::HOSTS, attr::DOWN, 0u32)?;
+                    skip_element(parser)?;
+                }
+                names::METRICS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.metrics.push(parse_metric_summary(&attributes)?);
+                    skip_element(parser)?;
+                }
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::CLUSTER.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(Event::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let body = match (hosts.is_empty(), summary) {
+        (false, None) => ClusterBody::Hosts(hosts),
+        (true, Some(s)) => ClusterBody::Summary(s),
+        (true, None) => ClusterBody::Hosts(Vec::new()),
+        (false, Some(_)) => return Err(ParseError::MixedClusterBody(name)),
+    };
+    Ok(ClusterNode {
+        name,
+        owner,
+        latlong,
+        url,
+        localtime,
+        body,
+    })
+}
+
+fn parse_host(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<HostNode> {
+    let host = HostNode {
+        name: required(attrs, names::HOST, attr::NAME)?.to_string(),
+        ip: optional_string(attrs, attr::IP),
+        reported: parse_num(attrs, names::HOST, attr::REPORTED, 0u64)?,
+        tn: parse_num(attrs, names::HOST, attr::TN, 0u32)?,
+        tmax: parse_num(attrs, names::HOST, attr::TMAX, 20u32)?,
+        dmax: parse_num(attrs, names::HOST, attr::DMAX, 0u32)?,
+        location: optional_string(attrs, attr::LOCATION),
+        gmond_started: parse_num(attrs, names::HOST, attr::STARTED, 0u64)?,
+        metrics: Vec::new(),
+    };
+    let mut host = host;
+    loop {
+        match parser.next_event()? {
+            Some(Event::Start {
+                name: tag,
+                attributes,
+                ..
+            }) => match tag {
+                names::METRIC => {
+                    host.metrics.push(parse_metric(&attributes)?);
+                    skip_element(parser)?;
+                }
+                // Later gmond versions attach EXTRA_DATA; tolerated.
+                names::EXTRA_DATA | names::EXTRA_ELEMENT => skip_element(parser)?,
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::HOST.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(Event::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    Ok(host)
+}
+
+fn parse_metric(attrs: &[Attribute<'_>]) -> Result<MetricEntry> {
+    let name = required(attrs, names::METRIC, attr::NAME)?.to_string();
+    let ty_raw = required(attrs, names::METRIC, attr::TYPE)?;
+    let ty: MetricType = ty_raw.parse().map_err(|_| ParseError::BadAttr {
+        element: names::METRIC,
+        attr: attr::TYPE.to_string(),
+        value: ty_raw.to_string(),
+    })?;
+    let val_raw = required(attrs, names::METRIC, attr::VAL)?;
+    let value = MetricValue::parse(ty, val_raw).map_err(|_| ParseError::BadAttr {
+        element: names::METRIC,
+        attr: attr::VAL.to_string(),
+        value: val_raw.to_string(),
+    })?;
+    let slope = match find(attrs, attr::SLOPE) {
+        None => Slope::Unspecified,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRIC,
+            attr: attr::SLOPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    Ok(MetricEntry {
+        name,
+        value,
+        units: optional_string(attrs, attr::UNITS),
+        tn: parse_num(attrs, names::METRIC, attr::TN, 0u32)?,
+        tmax: parse_num(attrs, names::METRIC, attr::TMAX, 60u32)?,
+        dmax: parse_num(attrs, names::METRIC, attr::DMAX, 0u32)?,
+        slope,
+        source: optional_string(attrs, attr::SOURCE),
+    })
+}
+
+fn parse_metric_summary(attrs: &[Attribute<'_>]) -> Result<MetricSummary> {
+    let name = required(attrs, names::METRICS, attr::NAME)?.to_string();
+    let ty = match find(attrs, attr::TYPE) {
+        None => MetricType::Double,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRICS,
+            attr: attr::TYPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    let slope = match find(attrs, attr::SLOPE) {
+        None => Slope::Unspecified,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRICS,
+            attr: attr::SLOPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    Ok(MetricSummary {
+        name,
+        sum: parse_num(attrs, names::METRICS, attr::SUM, 0.0f64)?,
+        num: parse_num(attrs, names::METRICS, attr::NUM, 0u32)?,
+        ty,
+        units: optional_string(attrs, attr::UNITS),
+        slope,
+        source: optional_string(attrs, attr::SOURCE),
+    })
+}
+
+/// Consume events to the end of the element whose start was just read.
+fn skip_element(parser: &mut PullParser<'_>) -> Result<()> {
+    parser.skip_subtree()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Serialize a document to Ganglia XML (with the standard declaration).
+pub fn write_document(doc: &GangliaDoc) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut writer = XmlWriter::new(&mut out);
+    writer.declaration();
+    write_doc_into(doc, &mut writer);
+    writer.finish().expect("writing to String cannot fail");
+    out
+}
+
+/// Serialize a document into an existing writer (no declaration).
+pub fn write_doc_into<W: fmt::Write>(doc: &GangliaDoc, writer: &mut XmlWriter<W>) {
+    writer.start_element(
+        names::GANGLIA_XML,
+        &[(attr::VERSION, &doc.version), (attr::SOURCE, &doc.source)],
+    );
+    for item in &doc.items {
+        write_item(item, writer);
+    }
+    writer.end_element();
+}
+
+/// Serialize one grid item (cluster or nested grid).
+pub fn write_item<W: fmt::Write>(item: &GridItem, writer: &mut XmlWriter<W>) {
+    match item {
+        GridItem::Cluster(c) => write_cluster(c, writer),
+        GridItem::Grid(g) => write_grid(g, writer),
+    }
+}
+
+/// Open a `GRID` start tag with full attributes; the caller writes the
+/// body and must call `end_element`.
+pub fn open_grid<W: fmt::Write>(grid: &GridNode, writer: &mut XmlWriter<W>) {
+    let localtime = grid.localtime.to_string();
+    writer.start_element(
+        names::GRID,
+        &[
+            (attr::NAME, &grid.name),
+            (attr::AUTHORITY, &grid.authority),
+            (attr::LOCALTIME, &localtime),
+        ],
+    );
+}
+
+/// Serialize a grid element.
+pub fn write_grid<W: fmt::Write>(grid: &GridNode, writer: &mut XmlWriter<W>) {
+    open_grid(grid, writer);
+    match &grid.body {
+        GridBody::Items(items) => {
+            for item in items {
+                write_item(item, writer);
+            }
+        }
+        GridBody::Summary(summary) => write_summary(summary, writer),
+    }
+    writer.end_element();
+}
+
+/// Open a `CLUSTER` start tag with full attributes; the caller writes
+/// the body and must call `end_element`.
+pub fn open_cluster<W: fmt::Write>(cluster: &ClusterNode, writer: &mut XmlWriter<W>) {
+    let localtime = cluster.localtime.to_string();
+    writer.start_element(
+        names::CLUSTER,
+        &[
+            (attr::NAME, &cluster.name),
+            (attr::LOCALTIME, &localtime),
+            (attr::OWNER, &cluster.owner),
+            (attr::LATLONG, &cluster.latlong),
+            (attr::URL, &cluster.url),
+        ],
+    );
+}
+
+/// Serialize a cluster element.
+pub fn write_cluster<W: fmt::Write>(cluster: &ClusterNode, writer: &mut XmlWriter<W>) {
+    open_cluster(cluster, writer);
+    match &cluster.body {
+        ClusterBody::Hosts(hosts) => {
+            for host in hosts {
+                write_host(host, writer);
+            }
+        }
+        ClusterBody::Summary(summary) => write_summary(summary, writer),
+    }
+    writer.end_element();
+}
+
+/// Open a `HOST` start tag with full attributes; the caller writes the
+/// body and must call `end_element`.
+pub fn open_host<W: fmt::Write>(host: &HostNode, writer: &mut XmlWriter<W>) {
+    let reported = host.reported.to_string();
+    let tn = host.tn.to_string();
+    let tmax = host.tmax.to_string();
+    let dmax = host.dmax.to_string();
+    let started = host.gmond_started.to_string();
+    writer.start_element(
+        names::HOST,
+        &[
+            (attr::NAME, &host.name),
+            (attr::IP, &host.ip),
+            (attr::REPORTED, &reported),
+            (attr::TN, &tn),
+            (attr::TMAX, &tmax),
+            (attr::DMAX, &dmax),
+            (attr::LOCATION, &host.location),
+            (attr::STARTED, &started),
+        ],
+    );
+}
+
+/// Serialize a host element with its metrics.
+pub fn write_host<W: fmt::Write>(host: &HostNode, writer: &mut XmlWriter<W>) {
+    open_host(host, writer);
+    for metric in &host.metrics {
+        write_metric(metric, writer);
+    }
+    writer.end_element();
+}
+
+/// Serialize one metric element.
+pub fn write_metric<W: fmt::Write>(metric: &MetricEntry, writer: &mut XmlWriter<W>) {
+    let val = metric.value.to_string();
+    let ty = metric.value.metric_type().name();
+    let tn = metric.tn.to_string();
+    let tmax = metric.tmax.to_string();
+    let dmax = metric.dmax.to_string();
+    writer.empty_element(
+        names::METRIC,
+        &[
+            (attr::NAME, &metric.name),
+            (attr::VAL, &val),
+            (attr::TYPE, ty),
+            (attr::UNITS, &metric.units),
+            (attr::TN, &tn),
+            (attr::TMAX, &tmax),
+            (attr::DMAX, &dmax),
+            (attr::SLOPE, metric.slope.name()),
+            (attr::SOURCE, &metric.source),
+        ],
+    );
+}
+
+/// Serialize a summary body (`HOSTS` + `METRICS` entries).
+pub fn write_summary<W: fmt::Write>(summary: &SummaryBody, writer: &mut XmlWriter<W>) {
+    let up = summary.hosts_up.to_string();
+    let down = summary.hosts_down.to_string();
+    writer.empty_element(names::HOSTS, &[(attr::UP, &up), (attr::DOWN, &down)]);
+    for metric in &summary.metrics {
+        let sum = format_sum(metric.sum);
+        let num = metric.num.to_string();
+        writer.empty_element(
+            names::METRICS,
+            &[
+                (attr::NAME, &metric.name),
+                (attr::SUM, &sum),
+                (attr::NUM, &num),
+                (attr::TYPE, metric.ty.name()),
+                (attr::UNITS, &metric.units),
+                (attr::SLOPE, metric.slope.name()),
+                (attr::SOURCE, &metric.source),
+            ],
+        );
+    }
+}
+
+/// Format a summary SUM: integer-valued sums print without a fraction so
+/// the output matches the paper's `SUM="20"` style.
+fn format_sum(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GangliaDoc;
+
+    /// The paper's figure 3 document, transcribed.
+    const FIG3: &str = r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmetad">
+<GRID NAME="SDSC" AUTHORITY="http://sdsc/ganglia/">
+ <CLUSTER NAME="Meteor" LOCALTIME="1058918400">
+  <HOST NAME="compute-0-0" IP="10.255.255.254" REPORTED="1058918395" TN="5" TMAX="20" DMAX="0">
+   <METRIC NAME="cpu_num" VAL="2" TYPE="int32" UNITS="CPUs" TN="10" TMAX="1200" DMAX="0" SLOPE="zero" SOURCE="gmond"/>
+   <METRIC NAME="load_one" VAL="0.89" TYPE="float" UNITS="" TN="10" TMAX="70" DMAX="0" SLOPE="both" SOURCE="gmond"/>
+  </HOST>
+  <HOST NAME="compute-0-1" IP="10.255.255.253" REPORTED="1058918396" TN="4" TMAX="20" DMAX="0">
+   <METRIC NAME="cpu_num" VAL="2" TYPE="int32" UNITS="CPUs" TN="10" TMAX="1200" DMAX="0" SLOPE="zero" SOURCE="gmond"/>
+   <METRIC NAME="load_one" VAL="0.89" TYPE="float" UNITS="" TN="10" TMAX="70" DMAX="0" SLOPE="both" SOURCE="gmond"/>
+  </HOST>
+ </CLUSTER>
+ <GRID NAME="ATTIC" AUTHORITY="http://attic/ganglia/">
+  <HOSTS UP="10" DOWN="1"/>
+  <METRICS NAME="cpu_num" SUM="20" NUM="10" TYPE="int32"/>
+  <METRICS NAME="load_one" SUM="17.56" NUM="10" TYPE="float"/>
+ </GRID>
+</GRID>
+</GANGLIA_XML>"#;
+
+    #[test]
+    fn fig3_document_parses() {
+        let doc = parse_document(FIG3).unwrap();
+        assert_eq!(doc.source, "gmetad");
+        assert_eq!(doc.items.len(), 1);
+        let GridItem::Grid(sdsc) = &doc.items[0] else {
+            panic!("expected grid")
+        };
+        assert_eq!(sdsc.name, "SDSC");
+        assert_eq!(sdsc.authority, "http://sdsc/ganglia/");
+        let GridBody::Items(items) = &sdsc.body else {
+            panic!("expected expanded grid")
+        };
+        assert_eq!(items.len(), 2);
+        // Local cluster at full resolution.
+        let GridItem::Cluster(meteor) = &items[0] else {
+            panic!()
+        };
+        assert_eq!(meteor.host_count(), 2);
+        let host = meteor.host("compute-0-0").unwrap();
+        assert_eq!(host.metric("cpu_num").unwrap().value, MetricValue::Int32(2));
+        // Remote grid in summary form.
+        let GridItem::Grid(attic) = &items[1] else { panic!() };
+        let GridBody::Summary(summary) = &attic.body else {
+            panic!("expected summary grid")
+        };
+        assert_eq!(summary.hosts_up, 10);
+        assert_eq!(summary.hosts_down, 1);
+        let load = summary.metric("load_one").unwrap();
+        assert!((load.sum - 17.56).abs() < 1e-9);
+        assert_eq!(load.num, 10);
+        // Mean derivable from SUM and NUM (paper §3.2).
+        assert!((load.mean().unwrap() - 1.756).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_roundtrips() {
+        let doc = parse_document(FIG3).unwrap();
+        let xml = write_document(&doc);
+        let again = parse_document(&xml).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn gmond_style_doc_roundtrips() {
+        let mut host = HostNode::new("n0", "10.0.0.1");
+        host.metrics
+            .push(MetricEntry::new("load_one", MetricValue::Float(0.25)));
+        host.metrics.push(MetricEntry::new(
+            "os_name",
+            MetricValue::String("Linux".into()),
+        ));
+        let doc = GangliaDoc::gmond(crate::model::ClusterNode::with_hosts("alpha", vec![host]));
+        let xml = write_document(&doc);
+        assert!(xml.starts_with("<?xml"));
+        let again = parse_document(&xml).unwrap();
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn missing_required_attr_is_an_error() {
+        let xml = r#"<GANGLIA_XML><CLUSTER><HOST NAME="x"/></CLUSTER></GANGLIA_XML>"#;
+        let err = parse_document(xml).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::MissingAttr {
+                element: "CLUSTER",
+                attr: "NAME"
+            }
+        );
+    }
+
+    #[test]
+    fn bad_metric_value_is_an_error() {
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="c"><HOST NAME="h">
+            <METRIC NAME="cpu_num" VAL="two" TYPE="int32"/>
+        </HOST></CLUSTER></GANGLIA_XML>"#;
+        assert!(matches!(
+            parse_document(xml).unwrap_err(),
+            ParseError::BadAttr { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_root_is_an_error() {
+        assert_eq!(
+            parse_document("<HTML/>").unwrap_err(),
+            ParseError::BadRoot("HTML".into())
+        );
+    }
+
+    #[test]
+    fn unexpected_tag_is_an_error() {
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="c"><GRID NAME="g"/></CLUSTER></GANGLIA_XML>"#;
+        assert!(matches!(
+            parse_document(xml).unwrap_err(),
+            ParseError::UnexpectedTag { .. }
+        ));
+    }
+
+    #[test]
+    fn mixed_cluster_body_is_an_error() {
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="c">
+            <HOST NAME="h" IP="1.1.1.1"/>
+            <HOSTS UP="3" DOWN="0"/>
+        </CLUSTER></GANGLIA_XML>"#;
+        assert_eq!(
+            parse_document(xml).unwrap_err(),
+            ParseError::MixedClusterBody("c".into())
+        );
+    }
+
+    #[test]
+    fn prolog_is_tolerated() {
+        let xml = format!(
+            "<?xml version=\"1.0\"?><!DOCTYPE GANGLIA_XML [ <!-- dtd --> ]>{}",
+            r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond"><CLUSTER NAME="c"/></GANGLIA_XML>"#
+        );
+        let doc = parse_document(&xml).unwrap();
+        assert_eq!(doc.items.len(), 1);
+    }
+
+    #[test]
+    fn empty_cluster_parses_as_no_hosts() {
+        let doc =
+            parse_document(r#"<GANGLIA_XML><CLUSTER NAME="c"/></GANGLIA_XML>"#).unwrap();
+        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        assert_eq!(c.host_count(), 0);
+    }
+
+    #[test]
+    fn cluster_summary_form_parses() {
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="big">
+            <HOSTS UP="500" DOWN="2"/>
+            <METRICS NAME="load_one" SUM="215.5" NUM="500" TYPE="float"/>
+        </CLUSTER></GANGLIA_XML>"#;
+        let doc = parse_document(xml).unwrap();
+        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        let ClusterBody::Summary(s) = &c.body else {
+            panic!("expected summary body")
+        };
+        assert_eq!(s.hosts_up, 500);
+        assert_eq!(c.host_count(), 502);
+    }
+
+    #[test]
+    fn summary_sum_formatting_matches_paper_style() {
+        assert_eq!(format_sum(20.0), "20");
+        assert_eq!(format_sum(17.56), "17.56");
+    }
+}

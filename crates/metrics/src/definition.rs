@@ -1,0 +1,298 @@
+//! Built-in metric definitions and the metric registry.
+//!
+//! Gmon gathers "heartbeats, hardware/operating system parameters, and
+//! user-defined key-value pairs from every node" (paper §1). Each node in
+//! the evaluation carries "about 30 monitoring metrics" (paper fig 3); the
+//! table below reproduces the built-in metric set of gmond 2.5 on Linux,
+//! with each metric's collection schedule, value threshold, and soft-state
+//! timeouts.
+//!
+//! The [`Synth`] field describes how the simulator (pseudo-gmond, §4 of
+//! the paper) synthesizes plausible values for the metric; it has no role
+//! in real collection.
+
+use std::collections::HashMap;
+
+use crate::slope::Slope;
+use crate::value::MetricType;
+
+/// How the simulator synthesizes values for a metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Synth {
+    /// A per-host constant drawn once from an inclusive integer range
+    /// (e.g. `cpu_num` between 1 and 4).
+    ConstRange { min: f64, max: f64 },
+    /// A per-host constant string chosen from a fixed set.
+    ConstChoice(&'static [&'static str]),
+    /// An independent uniform draw on every collection.
+    Uniform { min: f64, max: f64 },
+    /// A bounded random walk: each collection moves the value by at most
+    /// `step` in either direction, clamped to `[min, max]`.
+    Walk { min: f64, max: f64, step: f64 },
+}
+
+/// The static definition of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDefinition {
+    /// Metric name as it appears in the `NAME` attribute.
+    pub name: &'static str,
+    /// Wire type.
+    pub ty: MetricType,
+    /// Units string (may be empty).
+    pub units: &'static str,
+    /// Expected slope.
+    pub slope: Slope,
+    /// How often gmond samples this metric, in seconds.
+    pub collect_every: u32,
+    /// Relative change that forces an immediate broadcast (0 = always
+    /// broadcast when collected).
+    pub value_threshold: f64,
+    /// Maximum seconds between broadcasts even if unchanged (`TMAX`).
+    pub tmax: u32,
+    /// Seconds after which a silent metric is deleted (`DMAX`, 0 = never).
+    pub dmax: u32,
+    /// Simulation model for pseudo-gmond.
+    pub synth: Synth,
+}
+
+impl MetricDefinition {
+    /// Whether this metric participates in summaries.
+    pub fn is_numeric(&self) -> bool {
+        self.ty.is_numeric()
+    }
+}
+
+/// The built-in metric set of gmond 2.5 on Linux (34 metrics).
+pub fn builtin_metrics() -> &'static [MetricDefinition] {
+    &BUILTIN
+}
+
+macro_rules! defs {
+    ($( { $name:literal, $ty:ident, $units:literal, $slope:ident,
+         $every:literal, $thresh:literal, $tmax:literal, $dmax:literal,
+         $synth:expr } ),* $(,)?) => {
+        [ $( MetricDefinition {
+                name: $name,
+                ty: MetricType::$ty,
+                units: $units,
+                slope: Slope::$slope,
+                collect_every: $every,
+                value_threshold: $thresh,
+                tmax: $tmax,
+                dmax: $dmax,
+                synth: $synth,
+        } ),* ]
+    };
+}
+
+static BUILTIN: [MetricDefinition; 34] = defs![
+    // -- constant host description ------------------------------------
+    { "cpu_num",      Uint16,    "CPUs",    Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 1.0, max: 4.0 } },
+    { "cpu_speed",    Uint32,    "MHz",     Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 1000.0, max: 3200.0 } },
+    { "mem_total",    Uint32,    "KB",      Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 524288.0, max: 4194304.0 } },
+    { "swap_total",   Uint32,    "KB",      Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 524288.0, max: 2097152.0 } },
+    { "boottime",     Timestamp, "s",       Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 1.05e9, max: 1.06e9 } },
+    { "machine_type", String,    "",        Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstChoice(&["x86", "ia64", "x86_64", "ppc"]) },
+    { "os_name",      String,    "",        Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstChoice(&["Linux"]) },
+    { "os_release",   String,    "",        Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstChoice(&["2.4.18-27.7.xsmp", "2.4.20-8smp", "2.4.18-27.7.x"]) },
+    { "location",     String,    "(x,y,z)", Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstChoice(&["unspecified"]) },
+    { "gexec",        String,    "",        Zero, 300, 0.0, 300, 0,
+      Synth::ConstChoice(&["OFF", "ON"]) },
+    { "mtu",          Uint32,    "B",       Zero, 1200, 0.0, 1200, 0,
+      Synth::ConstChoice(&["1500"]) },
+    // -- heartbeat ------------------------------------------------------
+    { "heartbeat",    Uint32,    "",        Unspecified, 20, 0.0, 20, 0,
+      Synth::Uniform { min: 0.0, max: 1.0e6 } },
+    // -- cpu ------------------------------------------------------------
+    { "cpu_user",     Float,     "%",       Both, 20, 0.01, 90, 0,
+      Synth::Walk { min: 0.0, max: 100.0, step: 10.0 } },
+    { "cpu_nice",     Float,     "%",       Both, 20, 0.01, 90, 0,
+      Synth::Walk { min: 0.0, max: 20.0, step: 4.0 } },
+    { "cpu_system",   Float,     "%",       Both, 20, 0.01, 90, 0,
+      Synth::Walk { min: 0.0, max: 40.0, step: 6.0 } },
+    { "cpu_idle",     Float,     "%",       Both, 20, 0.01, 90, 0,
+      Synth::Walk { min: 0.0, max: 100.0, step: 10.0 } },
+    { "cpu_aidle",    Float,     "%",       Both, 20, 0.01, 3600, 0,
+      Synth::Walk { min: 0.0, max: 100.0, step: 5.0 } },
+    // -- load / processes ------------------------------------------------
+    { "load_one",     Float,     "",        Both, 20, 0.05, 70, 0,
+      Synth::Walk { min: 0.0, max: 8.0, step: 0.6 } },
+    { "load_five",    Float,     "",        Both, 40, 0.05, 325, 0,
+      Synth::Walk { min: 0.0, max: 6.0, step: 0.3 } },
+    { "load_fifteen", Float,     "",        Both, 80, 0.05, 950, 0,
+      Synth::Walk { min: 0.0, max: 4.0, step: 0.15 } },
+    { "proc_run",     Uint32,    "",        Both, 80, 0.5, 950, 0,
+      Synth::Walk { min: 0.0, max: 16.0, step: 2.0 } },
+    { "proc_total",   Uint32,    "",        Both, 80, 0.1, 950, 0,
+      Synth::Walk { min: 40.0, max: 400.0, step: 20.0 } },
+    // -- memory -----------------------------------------------------------
+    { "mem_free",     Uint32,    "KB",      Both, 40, 0.05, 180, 0,
+      Synth::Walk { min: 16384.0, max: 2097152.0, step: 65536.0 } },
+    { "mem_shared",   Uint32,    "KB",      Both, 40, 0.05, 180, 0,
+      Synth::Walk { min: 0.0, max: 262144.0, step: 16384.0 } },
+    { "mem_buffers",  Uint32,    "KB",      Both, 40, 0.05, 180, 0,
+      Synth::Walk { min: 0.0, max: 524288.0, step: 16384.0 } },
+    { "mem_cached",   Uint32,    "KB",      Both, 40, 0.05, 180, 0,
+      Synth::Walk { min: 0.0, max: 1048576.0, step: 32768.0 } },
+    { "swap_free",    Uint32,    "KB",      Both, 40, 0.05, 180, 0,
+      Synth::Walk { min: 0.0, max: 2097152.0, step: 32768.0 } },
+    // -- network ----------------------------------------------------------
+    { "bytes_in",     Float,     "bytes/sec", Both, 40, 0.1, 300, 0,
+      Synth::Walk { min: 0.0, max: 1.0e7, step: 1.0e6 } },
+    { "bytes_out",    Float,     "bytes/sec", Both, 40, 0.1, 300, 0,
+      Synth::Walk { min: 0.0, max: 1.0e7, step: 1.0e6 } },
+    { "pkts_in",      Float,     "packets/sec", Both, 40, 0.1, 300, 0,
+      Synth::Walk { min: 0.0, max: 1.0e4, step: 1000.0 } },
+    { "pkts_out",     Float,     "packets/sec", Both, 40, 0.1, 300, 0,
+      Synth::Walk { min: 0.0, max: 1.0e4, step: 1000.0 } },
+    // -- disk ---------------------------------------------------------------
+    { "disk_total",   Double,    "GB",      Both, 1200, 0.0, 1200, 0,
+      Synth::ConstRange { min: 18.0, max: 240.0 } },
+    { "disk_free",    Double,    "GB",      Both, 180, 0.05, 180, 0,
+      Synth::Walk { min: 1.0, max: 120.0, step: 2.0 } },
+    { "part_max_used", Float,    "%",       Both, 180, 0.05, 180, 0,
+      Synth::Walk { min: 5.0, max: 99.0, step: 2.0 } },
+];
+
+/// A registry of metric definitions: the built-ins plus any user-defined
+/// metrics added with `gmetric`-style registration.
+#[derive(Debug, Clone)]
+pub struct MetricRegistry {
+    by_name: HashMap<String, MetricDefinition>,
+}
+
+impl MetricRegistry {
+    /// A registry containing only the built-in metrics.
+    pub fn with_builtins() -> Self {
+        let mut by_name = HashMap::with_capacity(BUILTIN.len() * 2);
+        for def in &BUILTIN {
+            by_name.insert(def.name.to_string(), def.clone());
+        }
+        MetricRegistry { by_name }
+    }
+
+    /// An empty registry (user-defined metrics only).
+    pub fn empty() -> Self {
+        MetricRegistry {
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Register (or replace) a metric definition. Returns the previous
+    /// definition if one existed.
+    pub fn register(&mut self, def: MetricDefinition) -> Option<MetricDefinition> {
+        self.by_name.insert(def.name.to_string(), def)
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricDefinition> {
+        self.by_name.get(name)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Iterate over all definitions in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &MetricDefinition> {
+        self.by_name.values()
+    }
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        MetricRegistry::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_table_has_expected_size() {
+        // "about 30 monitoring metrics" per host (paper fig 3).
+        assert_eq!(builtin_metrics().len(), 34);
+    }
+
+    #[test]
+    fn builtin_names_are_unique() {
+        let mut names: Vec<_> = builtin_metrics().iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), builtin_metrics().len());
+    }
+
+    #[test]
+    fn constant_metrics_have_zero_slope_and_no_threshold() {
+        for def in builtin_metrics() {
+            if def.slope == Slope::Zero {
+                assert_eq!(def.value_threshold, 0.0, "{}", def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn string_metrics_are_not_numeric() {
+        let machine = builtin_metrics()
+            .iter()
+            .find(|d| d.name == "machine_type")
+            .unwrap();
+        assert!(!machine.is_numeric());
+        let load = builtin_metrics()
+            .iter()
+            .find(|d| d.name == "load_one")
+            .unwrap();
+        assert!(load.is_numeric());
+    }
+
+    #[test]
+    fn tmax_is_at_least_collection_interval() {
+        for def in builtin_metrics() {
+            assert!(def.tmax >= def.collect_every, "{}", def.name);
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_register() {
+        let mut reg = MetricRegistry::with_builtins();
+        assert_eq!(reg.len(), 34);
+        assert!(reg.get("load_one").is_some());
+        assert!(reg.get("nope").is_none());
+
+        let custom = MetricDefinition {
+            name: "jobs_queued",
+            ty: MetricType::Uint32,
+            units: "jobs",
+            slope: Slope::Both,
+            collect_every: 60,
+            value_threshold: 0.0,
+            tmax: 120,
+            dmax: 0,
+            synth: Synth::Uniform { min: 0.0, max: 50.0 },
+        };
+        assert!(reg.register(custom).is_none());
+        assert_eq!(reg.len(), 35);
+        assert_eq!(reg.get("jobs_queued").unwrap().units, "jobs");
+    }
+
+    #[test]
+    fn empty_registry_is_empty() {
+        assert!(MetricRegistry::empty().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Metric types and the typed Ganglia monitoring-tree model.
+//!
+//! The wide-area monitor "concerns itself only with a metric's type and
+//! context: which host, and in which cluster it originated from" (paper
+//! §1). This crate defines those types:
+//!
+//! * [`value::MetricValue`] / [`value::MetricType`] — the value lattice of
+//!   the Ganglia DTD (`int8`..`uint32`, `float`, `double`, `string`,
+//!   `timestamp`);
+//! * [`slope::Slope`] — how a metric is expected to change, which drives
+//!   both gmond's send scheduling and RRD archiving;
+//! * [`definition`] — the ~30 built-in host metrics gmond collects, with
+//!   their collection schedules and value thresholds, plus a registry for
+//!   user-defined key-value metrics;
+//! * [`model`] — the typed monitoring tree (`GRID` / `CLUSTER` / `HOST` /
+//!   `METRIC`, and the summary forms `HOSTS` / `METRICS`), including the
+//!   additive-reduction summaries of paper §3.2;
+//! * [`codec`] — streaming conversion between the model and Ganglia XML.
+
+pub mod codec;
+pub mod definition;
+pub mod model;
+pub mod slope;
+pub mod value;
+
+pub use codec::{parse_document, write_document, ParseError};
+pub use definition::{builtin_metrics, MetricDefinition, MetricRegistry};
+pub use model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
+    MetricSummary, SummaryBody,
+};
+pub use slope::Slope;
+pub use value::{MetricType, MetricValue};

@@ -1,0 +1,108 @@
+//! Metric slope: how a metric's value is expected to evolve.
+//!
+//! The slope drives two decisions downstream: gmond only re-broadcasts a
+//! `zero`-slope metric when its time threshold expires (the value cannot
+//! have changed), and the archiver picks the RRD data-source type from it
+//! (`positive` metrics are counters, everything else is a gauge).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The `SLOPE` attribute of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Slope {
+    /// Constant for the lifetime of the host (e.g. `cpu_num`).
+    Zero,
+    /// Monotonically non-decreasing (e.g. `bytes_in` totals).
+    Positive,
+    /// Monotonically non-increasing.
+    Negative,
+    /// May move either way (e.g. `load_one`).
+    #[default]
+    Both,
+    /// No declared behaviour.
+    Unspecified,
+}
+
+impl Slope {
+    /// The DTD spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Slope::Zero => "zero",
+            Slope::Positive => "positive",
+            Slope::Negative => "negative",
+            Slope::Both => "both",
+            Slope::Unspecified => "unspecified",
+        }
+    }
+
+    /// Constant metrics never need value-threshold rebroadcast.
+    pub fn is_constant(self) -> bool {
+        self == Slope::Zero
+    }
+
+    pub const ALL: [Slope; 5] = [
+        Slope::Zero,
+        Slope::Positive,
+        Slope::Negative,
+        Slope::Both,
+        Slope::Unspecified,
+    ];
+}
+
+impl FromStr for Slope {
+    type Err = UnknownSlope;
+
+    fn from_str(s: &str) -> Result<Self, UnknownSlope> {
+        Ok(match s {
+            "zero" => Slope::Zero,
+            "positive" => Slope::Positive,
+            "negative" => Slope::Negative,
+            "both" => Slope::Both,
+            "unspecified" => Slope::Unspecified,
+            other => return Err(UnknownSlope(other.to_string())),
+        })
+    }
+}
+
+impl fmt::Display for Slope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error: a `SLOPE` attribute with an unknown spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSlope(pub String);
+
+impl fmt::Display for UnknownSlope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown slope {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSlope {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for slope in Slope::ALL {
+            assert_eq!(slope.name().parse::<Slope>().unwrap(), slope);
+        }
+    }
+
+    #[test]
+    fn unknown_is_rejected() {
+        assert!("sideways".parse::<Slope>().is_err());
+    }
+
+    #[test]
+    fn only_zero_is_constant() {
+        for slope in Slope::ALL {
+            assert_eq!(slope.is_constant(), slope == Slope::Zero);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Metric value and type lattice of the Ganglia DTD.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The wire type of a metric, as carried in the `TYPE` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricType {
+    String,
+    Int8,
+    Uint8,
+    Int16,
+    Uint16,
+    Int32,
+    Uint32,
+    Float,
+    Double,
+    /// Seconds since the epoch; numeric for summary purposes.
+    Timestamp,
+}
+
+impl MetricType {
+    /// The DTD spelling of this type.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricType::String => "string",
+            MetricType::Int8 => "int8",
+            MetricType::Uint8 => "uint8",
+            MetricType::Int16 => "int16",
+            MetricType::Uint16 => "uint16",
+            MetricType::Int32 => "int32",
+            MetricType::Uint32 => "uint32",
+            MetricType::Float => "float",
+            MetricType::Double => "double",
+            MetricType::Timestamp => "timestamp",
+        }
+    }
+
+    /// Whether values of this type participate in additive reductions.
+    /// "Only numeric metrics can be reliably summarized" (paper §3.2).
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, MetricType::String)
+    }
+
+    /// All types, for exhaustive tests.
+    pub const ALL: [MetricType; 10] = [
+        MetricType::String,
+        MetricType::Int8,
+        MetricType::Uint8,
+        MetricType::Int16,
+        MetricType::Uint16,
+        MetricType::Int32,
+        MetricType::Uint32,
+        MetricType::Float,
+        MetricType::Double,
+        MetricType::Timestamp,
+    ];
+}
+
+impl FromStr for MetricType {
+    type Err = UnknownType;
+
+    fn from_str(s: &str) -> Result<Self, UnknownType> {
+        Ok(match s {
+            "string" => MetricType::String,
+            "int8" => MetricType::Int8,
+            "uint8" => MetricType::Uint8,
+            "int16" => MetricType::Int16,
+            "uint16" => MetricType::Uint16,
+            "int32" => MetricType::Int32,
+            "uint32" => MetricType::Uint32,
+            "float" => MetricType::Float,
+            "double" => MetricType::Double,
+            "timestamp" => MetricType::Timestamp,
+            other => return Err(UnknownType(other.to_string())),
+        })
+    }
+}
+
+impl fmt::Display for MetricType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error: a `TYPE` attribute that names no known metric type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownType(pub String);
+
+impl fmt::Display for UnknownType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown metric type {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownType {}
+
+/// A typed metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    String(String),
+    Int8(i8),
+    Uint8(u8),
+    Int16(i16),
+    Uint16(u16),
+    Int32(i32),
+    Uint32(u32),
+    Float(f32),
+    Double(f64),
+    Timestamp(u64),
+}
+
+impl MetricValue {
+    /// The type tag of this value.
+    pub fn metric_type(&self) -> MetricType {
+        match self {
+            MetricValue::String(_) => MetricType::String,
+            MetricValue::Int8(_) => MetricType::Int8,
+            MetricValue::Uint8(_) => MetricType::Uint8,
+            MetricValue::Int16(_) => MetricType::Int16,
+            MetricValue::Uint16(_) => MetricType::Uint16,
+            MetricValue::Int32(_) => MetricType::Int32,
+            MetricValue::Uint32(_) => MetricType::Uint32,
+            MetricValue::Float(_) => MetricType::Float,
+            MetricValue::Double(_) => MetricType::Double,
+            MetricValue::Timestamp(_) => MetricType::Timestamp,
+        }
+    }
+
+    /// Numeric view of this value, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self {
+            MetricValue::String(_) => return None,
+            MetricValue::Int8(v) => f64::from(*v),
+            MetricValue::Uint8(v) => f64::from(*v),
+            MetricValue::Int16(v) => f64::from(*v),
+            MetricValue::Uint16(v) => f64::from(*v),
+            MetricValue::Int32(v) => f64::from(*v),
+            MetricValue::Uint32(v) => f64::from(*v),
+            MetricValue::Float(v) => f64::from(*v),
+            MetricValue::Double(v) => *v,
+            MetricValue::Timestamp(v) => *v as f64,
+        })
+    }
+
+    /// Parse a `VAL` attribute according to a declared `TYPE`.
+    pub fn parse(ty: MetricType, raw: &str) -> Result<MetricValue, ValueParseError> {
+        let bad = || ValueParseError {
+            ty,
+            raw: raw.to_string(),
+        };
+        Ok(match ty {
+            MetricType::String => MetricValue::String(raw.to_string()),
+            MetricType::Int8 => MetricValue::Int8(raw.parse().map_err(|_| bad())?),
+            MetricType::Uint8 => MetricValue::Uint8(raw.parse().map_err(|_| bad())?),
+            MetricType::Int16 => MetricValue::Int16(raw.parse().map_err(|_| bad())?),
+            MetricType::Uint16 => MetricValue::Uint16(raw.parse().map_err(|_| bad())?),
+            MetricType::Int32 => MetricValue::Int32(raw.parse().map_err(|_| bad())?),
+            MetricType::Uint32 => MetricValue::Uint32(raw.parse().map_err(|_| bad())?),
+            MetricType::Float => MetricValue::Float(raw.parse().map_err(|_| bad())?),
+            MetricType::Double => MetricValue::Double(raw.parse().map_err(|_| bad())?),
+            MetricType::Timestamp => MetricValue::Timestamp(raw.parse().map_err(|_| bad())?),
+        })
+    }
+
+    /// Construct the value of `ty` closest to `x`. Used when synthesizing
+    /// metric streams (pseudo-gmond) and when materializing summaries.
+    pub fn from_f64(ty: MetricType, x: f64) -> MetricValue {
+        match ty {
+            MetricType::String => MetricValue::String(format_f64(x)),
+            MetricType::Int8 => MetricValue::Int8(clamp_int(x) as i8),
+            MetricType::Uint8 => MetricValue::Uint8(clamp_uint(x, u8::MAX as f64) as u8),
+            MetricType::Int16 => MetricValue::Int16(clamp_int2(x, i16::MIN as f64, i16::MAX as f64) as i16),
+            MetricType::Uint16 => MetricValue::Uint16(clamp_uint(x, u16::MAX as f64) as u16),
+            MetricType::Int32 => {
+                MetricValue::Int32(clamp_int2(x, i32::MIN as f64, i32::MAX as f64) as i32)
+            }
+            MetricType::Uint32 => MetricValue::Uint32(clamp_uint(x, u32::MAX as f64) as u32),
+            MetricType::Float => MetricValue::Float(x as f32),
+            MetricType::Double => MetricValue::Double(x),
+            MetricType::Timestamp => MetricValue::Timestamp(clamp_uint(x, u64::MAX as f64)),
+        }
+    }
+
+    /// Relative difference between two numeric values, used for gmond's
+    /// value-threshold send decision. `None` if either side is a string.
+    pub fn relative_change(&self, other: &MetricValue) -> Option<f64> {
+        let a = self.as_f64()?;
+        let b = other.as_f64()?;
+        if a == b {
+            return Some(0.0);
+        }
+        let denom = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+        Some((a - b).abs() / denom)
+    }
+}
+
+fn clamp_int(x: f64) -> i64 {
+    clamp_int2(x, i8::MIN as f64, i8::MAX as f64)
+}
+
+fn clamp_int2(x: f64, lo: f64, hi: f64) -> i64 {
+    if x.is_nan() {
+        0
+    } else {
+        x.clamp(lo, hi) as i64
+    }
+}
+
+fn clamp_uint(x: f64, hi: f64) -> u64 {
+    if x.is_nan() {
+        0
+    } else {
+        x.clamp(0.0, hi) as u64
+    }
+}
+
+/// Format a float the way Ganglia's `%.2f`-ish formats do, but preserving
+/// full precision for round-tripping when the value is not "nice".
+fn format_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::String(v) => f.write_str(v),
+            MetricValue::Int8(v) => write!(f, "{v}"),
+            MetricValue::Uint8(v) => write!(f, "{v}"),
+            MetricValue::Int16(v) => write!(f, "{v}"),
+            MetricValue::Uint16(v) => write!(f, "{v}"),
+            MetricValue::Int32(v) => write!(f, "{v}"),
+            MetricValue::Uint32(v) => write!(f, "{v}"),
+            MetricValue::Float(v) => write!(f, "{v}"),
+            MetricValue::Double(v) => write!(f, "{v}"),
+            MetricValue::Timestamp(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Error: a `VAL` attribute that does not parse as its declared `TYPE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueParseError {
+    pub ty: MetricType,
+    pub raw: String,
+}
+
+impl fmt::Display for ValueParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {:?} does not parse as {}", self.raw, self.ty)
+    }
+}
+
+impl std::error::Error for ValueParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip() {
+        for ty in MetricType::ALL {
+            assert_eq!(ty.name().parse::<MetricType>().unwrap(), ty);
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert!("quaternion".parse::<MetricType>().is_err());
+    }
+
+    #[test]
+    fn only_string_is_non_numeric() {
+        for ty in MetricType::ALL {
+            assert_eq!(ty.is_numeric(), ty != MetricType::String);
+        }
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip_for_numerics() {
+        let cases: Vec<(MetricType, &str)> = vec![
+            (MetricType::Int8, "-12"),
+            (MetricType::Uint8, "200"),
+            (MetricType::Int16, "-30000"),
+            (MetricType::Uint16, "65000"),
+            (MetricType::Int32, "-123456"),
+            (MetricType::Uint32, "4000000000"),
+            (MetricType::Float, "0.89"),
+            (MetricType::Double, "17.56"),
+            (MetricType::Timestamp, "1058918400"),
+        ];
+        for (ty, raw) in cases {
+            let value = MetricValue::parse(ty, raw).unwrap();
+            assert_eq!(value.metric_type(), ty);
+            assert_eq!(value.to_string(), raw);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        assert!(MetricValue::parse(MetricType::Uint8, "300").is_err());
+        assert!(MetricValue::parse(MetricType::Int8, "xyz").is_err());
+        assert!(MetricValue::parse(MetricType::Uint32, "-1").is_err());
+    }
+
+    #[test]
+    fn as_f64_matches_value() {
+        assert_eq!(MetricValue::Int32(7).as_f64(), Some(7.0));
+        assert_eq!(MetricValue::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(MetricValue::String("x".into()).as_f64(), None);
+        assert_eq!(MetricValue::Timestamp(10).as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn from_f64_clamps() {
+        assert_eq!(
+            MetricValue::from_f64(MetricType::Uint8, 300.0),
+            MetricValue::Uint8(255)
+        );
+        assert_eq!(
+            MetricValue::from_f64(MetricType::Uint32, -5.0),
+            MetricValue::Uint32(0)
+        );
+        assert_eq!(
+            MetricValue::from_f64(MetricType::Int8, f64::NAN),
+            MetricValue::Int8(0)
+        );
+    }
+
+    #[test]
+    fn relative_change_semantics() {
+        let a = MetricValue::Float(10.0);
+        let b = MetricValue::Float(11.0);
+        let change = a.relative_change(&b).unwrap();
+        assert!((change - 1.0 / 11.0).abs() < 1e-9);
+        assert_eq!(a.relative_change(&a), Some(0.0));
+        assert_eq!(
+            MetricValue::String("x".into()).relative_change(&a),
+            None
+        );
+    }
+
+    #[test]
+    fn zero_to_nonzero_change_is_full() {
+        let zero = MetricValue::Double(0.0);
+        let one = MetricValue::Double(1.0);
+        assert_eq!(zero.relative_change(&one), Some(1.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the typed model ↔ XML codec: every representable
+//! document round-trips exactly, and summaries obey their algebra.
+
+use ganglia_metrics::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
+    SummaryBody,
+};
+use ganglia_metrics::{parse_document, write_document, MetricSummary, MetricType, MetricValue, Slope};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,10}"
+}
+
+fn value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        "[ -~]{0,16}".prop_map(MetricValue::String),
+        any::<i32>().prop_map(MetricValue::Int32),
+        any::<u16>().prop_map(MetricValue::Uint16),
+        // Values that print/parse exactly.
+        (-1_000_000i64..1_000_000).prop_map(|v| MetricValue::Double(v as f64 / 64.0)),
+        any::<u32>().prop_map(|v| MetricValue::Timestamp(u64::from(v))),
+    ]
+}
+
+fn metric() -> impl Strategy<Value = MetricEntry> {
+    (name(), value(), "[a-z/%]{0,6}", 0u32..1000, 1u32..2000, 0u32..100).prop_map(
+        |(name, value, units, tn, tmax, dmax)| MetricEntry {
+            name,
+            value,
+            units,
+            tn,
+            tmax,
+            dmax,
+            slope: Slope::Both,
+            source: "gmond".to_string(),
+        },
+    )
+}
+
+fn host() -> impl Strategy<Value = HostNode> {
+    (
+        name(),
+        0u32..200,
+        proptest::collection::vec(metric(), 0..6),
+    )
+        .prop_map(|(host_name, tn, metrics)| {
+            let mut host = HostNode::new(host_name, "10.1.2.3");
+            host.tn = tn;
+            host.reported = 1000;
+            host.metrics = metrics;
+            host
+        })
+}
+
+fn summary() -> impl Strategy<Value = SummaryBody> {
+    (
+        0u32..100,
+        0u32..10,
+        proptest::collection::vec(
+            (name(), -1_000_000i64..1_000_000, 1u32..100),
+            0..5,
+        ),
+    )
+        .prop_map(|(up, down, metrics)| SummaryBody {
+            hosts_up: up,
+            hosts_down: down,
+            metrics: metrics
+                .into_iter()
+                .map(|(metric_name, sum, num)| MetricSummary {
+                    name: metric_name,
+                    sum: sum as f64 / 32.0,
+                    num,
+                    ty: MetricType::Double,
+                    units: String::new(),
+                    slope: Slope::Both,
+                    source: "gmond".to_string(),
+                })
+                .collect(),
+        })
+}
+
+fn cluster() -> impl Strategy<Value = ClusterNode> {
+    (
+        name(),
+        prop_oneof![
+            proptest::collection::vec(host(), 0..5).prop_map(ClusterBody::Hosts),
+            summary().prop_map(ClusterBody::Summary),
+        ],
+    )
+        .prop_map(|(cluster_name, body)| ClusterNode {
+            name: cluster_name,
+            owner: "owner".to_string(),
+            latlong: String::new(),
+            url: "http://x/".to_string(),
+            localtime: 123,
+            body,
+        })
+}
+
+fn grid() -> impl Strategy<Value = GridNode> {
+    (
+        name(),
+        prop_oneof![
+            proptest::collection::vec(cluster().prop_map(GridItem::Cluster), 0..4)
+                .prop_map(GridBody::Items),
+            summary().prop_map(GridBody::Summary),
+        ],
+    )
+        .prop_map(|(grid_name, body)| GridNode {
+            name: grid_name,
+            authority: "http://auth/".to_string(),
+            localtime: 5,
+            body,
+        })
+}
+
+fn doc() -> impl Strategy<Value = GangliaDoc> {
+    prop_oneof![
+        cluster().prop_map(GangliaDoc::gmond),
+        grid().prop_map(|g| GangliaDoc {
+            version: "2.5.4".to_string(),
+            source: "gmetad".to_string(),
+            items: vec![GridItem::Grid(g)],
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn documents_roundtrip_exactly(document in doc()) {
+        let xml = write_document(&document);
+        let back = parse_document(&xml)
+            .unwrap_or_else(|e| panic!("unparseable emission: {e}\n{xml}"));
+        prop_assert_eq!(back, document);
+    }
+
+    #[test]
+    fn summary_merge_is_commutative_on_totals(a in summary(), b in summary()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.hosts_total(), ba.hosts_total());
+        prop_assert_eq!(ab.metrics.len(), ba.metrics.len());
+        for m in &ab.metrics {
+            let other = ba.metric(&m.name).expect("same metric set");
+            prop_assert!((m.sum - other.sum).abs() < 1e-9);
+            prop_assert_eq!(m.num, other.num);
+        }
+    }
+
+    #[test]
+    fn summary_of_hosts_matches_manual_reduction(hosts in proptest::collection::vec(host(), 0..8)) {
+        let body = SummaryBody::from_hosts(hosts.iter());
+        let up = hosts.iter().filter(|h| h.is_up()).count() as u32;
+        prop_assert_eq!(body.hosts_up, up);
+        prop_assert_eq!(body.hosts_down, hosts.len() as u32 - up);
+        // Spot-check each summarized metric's sum against a direct fold.
+        for m in &body.metrics {
+            let expected: f64 = hosts
+                .iter()
+                .filter(|h| h.is_up())
+                .flat_map(|h| &h.metrics)
+                .filter(|e| e.name == m.name)
+                .filter_map(|e| e.value.as_f64())
+                .sum();
+            prop_assert!((m.sum - expected).abs() < 1e-6, "{}: {} vs {}", m.name, m.sum, expected);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Logical endpoint addresses.
+
+use std::fmt;
+
+/// A logical endpoint address.
+///
+/// On the simulated network any string is a valid address (conventionally
+/// `cluster/node` for gmond endpoints and a bare name for gmetad ones).
+/// On the TCP transport the string must be a `host:port` socket address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub String);
+
+impl Addr {
+    /// Construct an address.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Addr(addr.into())
+    }
+
+    /// The address as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this address sits under a `prefix/` namespace — used to
+    /// partition a whole cluster at once in the simulator.
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        self.0 == prefix
+            || self
+                .0
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('/'))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Addr {
+    fn from(s: &str) -> Self {
+        Addr(s.to_string())
+    }
+}
+
+impl From<String> for Addr {
+    fn from(s: String) -> Self {
+        Addr(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_respects_separators() {
+        let addr = Addr::new("meteor/node-3");
+        assert!(addr.has_prefix("meteor"));
+        assert!(!addr.has_prefix("met"));
+        assert!(!addr.has_prefix("meteor/node-33"));
+        assert!(Addr::new("meteor").has_prefix("meteor"));
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = "x:8649".into();
+        assert_eq!(a.as_str(), "x:8649");
+        assert_eq!(a.to_string(), "x:8649");
+        let b: Addr = String::from("y").into();
+        assert_eq!(b, Addr::new("y"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for transport operations.
+
+use std::fmt;
+
+use crate::addr::Addr;
+
+/// Anything that can go wrong talking to a monitoring endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No endpoint is listening at the address (stop failure / refused).
+    Unreachable(Addr),
+    /// The endpoint exists but the exchange timed out (intermittent
+    /// failure or partition; detected "with TCP timeouts", paper §2.1).
+    Timeout(Addr),
+    /// The exchange was dropped mid-flight (injected intermittent loss).
+    Dropped(Addr),
+    /// An address was already bound by another server.
+    AddrInUse(Addr),
+    /// Underlying socket failure (real TCP transport).
+    Io(String),
+}
+
+impl NetError {
+    /// Whether a retry against the *same* address could plausibly succeed
+    /// (intermittent failures), as opposed to a stop failure where gmetad
+    /// should fail over to another cluster node first.
+    pub fn is_intermittent(&self) -> bool {
+        matches!(self, NetError::Timeout(_) | NetError::Dropped(_))
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(a) => write!(f, "endpoint {a} is unreachable"),
+            NetError::Timeout(a) => write!(f, "exchange with {a} timed out"),
+            NetError::Dropped(a) => write!(f, "exchange with {a} was dropped"),
+            NetError::AddrInUse(a) => write!(f, "address {a} is already bound"),
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intermittent_classification() {
+        assert!(NetError::Timeout(Addr::new("x")).is_intermittent());
+        assert!(NetError::Dropped(Addr::new("x")).is_intermittent());
+        assert!(!NetError::Unreachable(Addr::new("x")).is_intermittent());
+        assert!(!NetError::Io("e".into()).is_intermittent());
+    }
+}

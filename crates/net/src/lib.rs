@@ -1,0 +1,37 @@
+//! Transport substrate for the monitoring tree.
+//!
+//! Ganglia's wide-area traffic is request/response: a gmetad connects to a
+//! child (a cluster gmond or another gmetad), optionally sends a query,
+//! and reads an XML report (paper §1, fig 1). This crate abstracts that
+//! exchange behind [`Transport`] with two implementations:
+//!
+//! * [`SimNet`] — a deterministic in-memory network used by the tests and
+//!   by the paper-reproduction experiments. It supports the failure modes
+//!   the paper cares about (node stop failures, intermittent failures,
+//!   whole-cluster partitions, §2.1) and records per-endpoint traffic
+//!   statistics so experiments can verify the O(m)-vs-O(CHm) reduction in
+//!   upstream data volume (§3.2).
+//! * [`TcpTransport`] — a real `std::net` TCP implementation with the
+//!   gmetad wire protocol (one request line, XML response, close), for
+//!   running an actual distributed deployment.
+//!
+//! [`McastBus`] models the local-area UDP multicast channel gmond agents
+//! use to exchange metric packets within a cluster, with configurable
+//! packet loss.
+
+pub mod addr;
+pub mod error;
+pub mod mcast;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod transport;
+
+pub use addr::Addr;
+pub use error::NetError;
+pub use mcast::{McastBus, McastSubscription};
+pub use sim::SimNet;
+pub use stats::{AddrStats, TrafficReport};
+pub use tcp::TcpTransport;
+pub use transport::{RequestHandler, ServerGuard, Transport};

@@ -1,0 +1,318 @@
+//! The deterministic in-memory network.
+//!
+//! Handlers run synchronously on the caller's thread, so a fetch's cost
+//! lands on the wall clock exactly once and CPU accounting in the caller
+//! can attribute serving work to the serving node. Fault injection covers
+//! the paper's failure taxonomy (§1, §2.1):
+//!
+//! * **stop failures** — [`SimNet::set_down`] makes an endpoint refuse
+//!   exchanges, like a crashed daemon;
+//! * **intermittent failures** — [`SimNet::set_flakiness`] drops a
+//!   deterministic fraction of exchanges;
+//! * **partitions** — [`SimNet::partition_prefix`] cuts off a whole
+//!   `cluster/...` namespace, like losing the link to a remote site.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::addr::Addr;
+use crate::error::NetError;
+use crate::rng::SplitMix64;
+use crate::stats::TrafficReport;
+use crate::transport::{RequestHandler, ServerGuard, Transport};
+
+#[derive(Default)]
+struct Faults {
+    down: HashSet<Addr>,
+    partitioned_prefixes: HashSet<String>,
+    /// Per-endpoint probability that an exchange is dropped.
+    flaky: HashMap<Addr, f64>,
+}
+
+/// The shared state of a simulated network.
+pub struct SimNet {
+    handlers: RwLock<HashMap<Addr, Arc<dyn RequestHandler>>>,
+    faults: RwLock<Faults>,
+    rng: Mutex<SplitMix64>,
+    stats: TrafficReport,
+}
+
+impl SimNet {
+    /// A fresh network with a deterministic fault-injection seed.
+    pub fn new(seed: u64) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            handlers: RwLock::new(HashMap::new()),
+            faults: RwLock::new(Faults::default()),
+            rng: Mutex::new(SplitMix64::new(seed)),
+            stats: TrafficReport::default(),
+        })
+    }
+
+    /// Traffic counters for assertions and experiments.
+    pub fn stats(&self) -> &TrafficReport {
+        &self.stats
+    }
+
+    /// Mark an endpoint crashed (stop failure) or recovered.
+    pub fn set_down(&self, addr: &Addr, down: bool) {
+        let mut faults = self.faults.write();
+        if down {
+            faults.down.insert(addr.clone());
+        } else {
+            faults.down.remove(addr);
+        }
+    }
+
+    /// Cut off (or restore) every endpoint under `prefix/`.
+    pub fn partition_prefix(&self, prefix: &str, cut: bool) {
+        let mut faults = self.faults.write();
+        if cut {
+            faults.partitioned_prefixes.insert(prefix.to_string());
+        } else {
+            faults.partitioned_prefixes.remove(prefix);
+        }
+    }
+
+    /// Set the probability that any one exchange with `addr` is dropped.
+    pub fn set_flakiness(&self, addr: &Addr, drop_probability: f64) {
+        let mut faults = self.faults.write();
+        if drop_probability <= 0.0 {
+            faults.flaky.remove(addr);
+        } else {
+            faults.flaky.insert(addr.clone(), drop_probability);
+        }
+    }
+
+    /// Whether an endpoint currently exists and is reachable.
+    pub fn is_reachable(&self, addr: &Addr) -> bool {
+        let faults = self.faults.read();
+        if faults.down.contains(addr)
+            || faults
+                .partitioned_prefixes
+                .iter()
+                .any(|p| addr.has_prefix(p))
+        {
+            return false;
+        }
+        self.handlers.read().contains_key(addr)
+    }
+
+    fn check_faults(&self, addr: &Addr) -> Result<(), NetError> {
+        let faults = self.faults.read();
+        if faults.down.contains(addr) {
+            return Err(NetError::Unreachable(addr.clone()));
+        }
+        if faults
+            .partitioned_prefixes
+            .iter()
+            .any(|p| addr.has_prefix(p))
+        {
+            // A partition looks like a timeout, not a refusal: packets
+            // vanish rather than being rejected.
+            return Err(NetError::Timeout(addr.clone()));
+        }
+        if let Some(&p) = faults.flaky.get(addr) {
+            if self.rng.lock().chance(p) {
+                return Err(NetError::Dropped(addr.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Guard that unbinds a simulated endpoint when dropped.
+struct SimServerGuard {
+    net: Arc<SimNet>,
+    addr: Addr,
+}
+
+impl ServerGuard for SimServerGuard {
+    fn addr(&self) -> Addr {
+        self.addr.clone()
+    }
+}
+
+impl Drop for SimServerGuard {
+    fn drop(&mut self) {
+        self.net.handlers.write().remove(&self.addr);
+    }
+}
+
+impl Transport for Arc<SimNet> {
+    fn serve(
+        &self,
+        addr: &Addr,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<Box<dyn ServerGuard>, NetError> {
+        let mut handlers = self.handlers.write();
+        if handlers.contains_key(addr) {
+            return Err(NetError::AddrInUse(addr.clone()));
+        }
+        handlers.insert(addr.clone(), handler);
+        Ok(Box::new(SimServerGuard {
+            net: Arc::clone(self),
+            addr: addr.clone(),
+        }))
+    }
+
+    fn fetch(&self, addr: &Addr, request: &str, _timeout: Duration) -> Result<String, NetError> {
+        if let Err(e) = self.check_faults(addr) {
+            self.stats.record_failure(addr);
+            return Err(e);
+        }
+        let handler = {
+            let handlers = self.handlers.read();
+            match handlers.get(addr) {
+                Some(h) => Arc::clone(h),
+                None => {
+                    self.stats.record_failure(addr);
+                    return Err(NetError::Unreachable(addr.clone()));
+                }
+            }
+        };
+        // The handler runs on the caller's thread outside any lock, so
+        // servers may themselves fetch from other endpoints (a gmetad
+        // polling through to leaf gmonds).
+        let response = handler.handle(request);
+        self.stats.record_served(addr, response.len());
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(100);
+
+    fn echo_handler(tag: &'static str) -> Arc<dyn RequestHandler> {
+        Arc::new(move |req: &str| format!("{tag}:{req}"))
+    }
+
+    #[test]
+    fn serve_and_fetch() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("meteor/n0");
+        let _guard = net.serve(&addr, echo_handler("m")).unwrap();
+        assert_eq!(net.fetch(&addr, "/", T).unwrap(), "m:/");
+        assert!(net.is_reachable(&addr));
+    }
+
+    #[test]
+    fn fetch_unbound_is_unreachable() {
+        let net = SimNet::new(1);
+        assert_eq!(
+            net.fetch(&Addr::new("ghost"), "", T),
+            Err(NetError::Unreachable(Addr::new("ghost")))
+        );
+    }
+
+    #[test]
+    fn double_bind_is_rejected() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("a");
+        let _g = net.serve(&addr, echo_handler("1")).unwrap();
+        assert!(matches!(
+            net.serve(&addr, echo_handler("2")),
+            Err(NetError::AddrInUse(_))
+        ));
+    }
+
+    #[test]
+    fn dropping_guard_unbinds() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("a");
+        let guard = net.serve(&addr, echo_handler("1")).unwrap();
+        drop(guard);
+        assert!(!net.is_reachable(&addr));
+        // And the address can be re-bound (daemon restart).
+        let _g2 = net.serve(&addr, echo_handler("2")).unwrap();
+        assert_eq!(net.fetch(&addr, "x", T).unwrap(), "2:x");
+    }
+
+    #[test]
+    fn stop_failure_and_recovery() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("meteor/n0");
+        let _g = net.serve(&addr, echo_handler("m")).unwrap();
+        net.set_down(&addr, true);
+        assert_eq!(
+            net.fetch(&addr, "", T),
+            Err(NetError::Unreachable(addr.clone()))
+        );
+        net.set_down(&addr, false);
+        assert!(net.fetch(&addr, "", T).is_ok());
+    }
+
+    #[test]
+    fn partition_cuts_whole_prefix_as_timeouts() {
+        let net = SimNet::new(1);
+        let n0 = Addr::new("meteor/n0");
+        let n1 = Addr::new("meteor/n1");
+        let other = Addr::new("nashi/n0");
+        let _g0 = net.serve(&n0, echo_handler("0")).unwrap();
+        let _g1 = net.serve(&n1, echo_handler("1")).unwrap();
+        let _g2 = net.serve(&other, echo_handler("2")).unwrap();
+        net.partition_prefix("meteor", true);
+        assert_eq!(net.fetch(&n0, "", T), Err(NetError::Timeout(n0.clone())));
+        assert_eq!(net.fetch(&n1, "", T), Err(NetError::Timeout(n1.clone())));
+        assert!(net.fetch(&other, "", T).is_ok());
+        net.partition_prefix("meteor", false);
+        assert!(net.fetch(&n0, "", T).is_ok());
+    }
+
+    #[test]
+    fn flakiness_drops_a_fraction_deterministically() {
+        let net = SimNet::new(42);
+        let addr = Addr::new("a");
+        let _g = net.serve(&addr, echo_handler("x")).unwrap();
+        net.set_flakiness(&addr, 0.5);
+        let failures = (0..1000)
+            .filter(|_| net.fetch(&addr, "", T).is_err())
+            .count();
+        assert!((350..650).contains(&failures), "failures {failures}");
+        // Errors are classified as intermittent.
+        net.set_flakiness(&addr, 1.0);
+        assert!(net.fetch(&addr, "", T).unwrap_err().is_intermittent());
+        net.set_flakiness(&addr, 0.0);
+        assert!(net.fetch(&addr, "", T).is_ok());
+    }
+
+    #[test]
+    fn stats_track_served_bytes_and_failures() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("a");
+        let _g = net.serve(&addr, echo_handler("tag")).unwrap();
+        net.fetch(&addr, "1234", T).unwrap(); // response "tag:1234" = 8 bytes
+        net.set_down(&addr, true);
+        let _ = net.fetch(&addr, "", T);
+        let stats = net.stats().get(&addr);
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(stats.bytes_served, 8);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn handlers_can_fetch_through_the_net() {
+        // A gmetad-style handler that itself polls a child endpoint.
+        let net = SimNet::new(1);
+        let leaf = Addr::new("leaf");
+        let _g1 = net.serve(&leaf, echo_handler("leaf")).unwrap();
+        let net_for_mid = Arc::clone(&net);
+        let leaf_for_mid = leaf.clone();
+        let mid = Addr::new("mid");
+        let _g2 = net
+            .serve(
+                &mid,
+                Arc::new(move |req: &str| {
+                    let below = net_for_mid.fetch(&leaf_for_mid, req, T).unwrap();
+                    format!("mid({below})")
+                }),
+            )
+            .unwrap();
+        assert_eq!(net.fetch(&mid, "q", T).unwrap(), "mid(leaf:q)");
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-endpoint traffic accounting.
+//!
+//! The N-level design's headline property is a reduction in "the amount
+//! of information sent along edges of the monitoring tree" (paper §3.2):
+//! O(m) upstream per node instead of O(CHm) at the root. The simulated
+//! network counts request/response bytes per endpoint so experiments can
+//! check the property directly rather than inferring it from CPU time.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::addr::Addr;
+
+/// Counters for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddrStats {
+    /// Requests served by this endpoint.
+    pub requests_served: u64,
+    /// Bytes this endpoint sent in responses.
+    pub bytes_served: u64,
+    /// Requests this endpoint failed to serve (down/partitioned/dropped).
+    pub failures: u64,
+}
+
+/// Shared traffic counters for a simulated network.
+#[derive(Debug, Default)]
+pub struct TrafficReport {
+    inner: Mutex<HashMap<Addr, AddrStats>>,
+}
+
+impl TrafficReport {
+    /// Record a served request of `response_bytes`.
+    pub fn record_served(&self, addr: &Addr, response_bytes: usize) {
+        let mut map = self.inner.lock();
+        let stats = map.entry(addr.clone()).or_default();
+        stats.requests_served += 1;
+        stats.bytes_served += response_bytes as u64;
+    }
+
+    /// Record a failed exchange.
+    pub fn record_failure(&self, addr: &Addr) {
+        self.inner.lock().entry(addr.clone()).or_default().failures += 1;
+    }
+
+    /// Counters for one endpoint (zeroes if never seen).
+    pub fn get(&self, addr: &Addr) -> AddrStats {
+        self.inner.lock().get(addr).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of every endpoint's counters.
+    pub fn snapshot(&self) -> HashMap<Addr, AddrStats> {
+        self.inner.lock().clone()
+    }
+
+    /// Total bytes served across all endpoints.
+    pub fn total_bytes_served(&self) -> u64 {
+        self.inner.lock().values().map(|s| s.bytes_served).sum()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let report = TrafficReport::default();
+        let a = Addr::new("gmeta-root");
+        report.record_served(&a, 100);
+        report.record_served(&a, 50);
+        report.record_failure(&a);
+        let stats = report.get(&a);
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.bytes_served, 150);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(report.total_bytes_served(), 150);
+    }
+
+    #[test]
+    fn unseen_addr_is_zero() {
+        let report = TrafficReport::default();
+        assert_eq!(report.get(&Addr::new("nobody")), AddrStats::default());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let report = TrafficReport::default();
+        report.record_served(&Addr::new("a"), 10);
+        report.reset();
+        assert_eq!(report.total_bytes_served(), 0);
+        assert!(report.snapshot().is_empty());
+    }
+}

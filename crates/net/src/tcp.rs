@@ -1,0 +1,243 @@
+//! Real TCP transport over `std::net`.
+//!
+//! Implements the gmetad wire protocol: the client connects, sends one
+//! request line (possibly empty for a full dump), half-closes, and reads
+//! the XML response until EOF — "XML streams sent over TCP connections"
+//! (paper §1, fig 1). Addresses are `host:port` socket addresses;
+//! binding to port 0 picks an ephemeral port, reported by the guard.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::addr::Addr;
+use crate::error::NetError;
+use crate::transport::{RequestHandler, ServerGuard, Transport};
+
+/// Transport over real TCP sockets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TcpTransport;
+
+impl TcpTransport {
+    /// Construct (stateless).
+    pub fn new() -> Self {
+        TcpTransport
+    }
+}
+
+/// Guard for a bound TCP endpoint; stops the accept loop when dropped.
+struct TcpServerGuard {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerGuard for TcpServerGuard {
+    fn addr(&self) -> Addr {
+        Addr::new(self.local.to_string())
+    }
+}
+
+impl Drop for TcpServerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the accept loop notices the stop flag.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn serve(
+        &self,
+        addr: &Addr,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<Box<dyn ServerGuard>, NetError> {
+        let listener = TcpListener::bind(addr.as_str()).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AddrInUse {
+                NetError::AddrInUse(addr.clone())
+            } else {
+                NetError::Io(e.to_string())
+            }
+        })?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_thread = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name(format!("gmeta-serve-{local}"))
+            .spawn(move || accept_loop(listener, handler, stop_for_thread))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(Box::new(TcpServerGuard {
+            local,
+            stop,
+            thread: Some(thread),
+        }))
+    }
+
+    fn fetch(&self, addr: &Addr, request: &str, timeout: Duration) -> Result<String, NetError> {
+        let socket_addr: SocketAddr = addr
+            .as_str()
+            .parse()
+            .map_err(|e| NetError::Io(format!("bad socket address {addr}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&socket_addr, timeout).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                NetError::Timeout(addr.clone())
+            } else {
+                NetError::Unreachable(addr.clone())
+            }
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let mut stream = stream;
+        stream
+            .write_all(request.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| classify_io(addr, e))?;
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .map_err(|e| classify_io(addr, e))?;
+        Ok(response)
+    }
+}
+
+fn classify_io(addr: &Addr, e: std::io::Error) -> NetError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            NetError::Timeout(addr.clone())
+        }
+        std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset => {
+            NetError::Unreachable(addr.clone())
+        }
+        _ => NetError::Io(e.to_string()),
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Arc<dyn RequestHandler>, stop: Arc<AtomicBool>) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let handler = Arc::clone(&handler);
+        // One thread per connection: monitoring fan-in is small (a parent
+        // polls each child every ~15 s) so this stays far from any limit.
+        std::thread::spawn(move || {
+            let _ = serve_connection(stream, &*handler);
+        });
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    let response = handler.handle(request.trim_end_matches(['\r', '\n']));
+    let mut stream = stream;
+    stream.write_all(response.as_bytes())?;
+    let _ = stream.shutdown(Shutdown::Write);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn serve_and_fetch_over_loopback() {
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> =
+            Arc::new(|req: &str| format!("<REPLY Q=\"{req}\"/>"));
+        let guard = transport
+            .serve(&Addr::new("127.0.0.1:0"), handler)
+            .unwrap();
+        let bound = guard.addr();
+        let response = transport.fetch(&bound, "/meteor", T).unwrap();
+        assert_eq!(response, "<REPLY Q=\"/meteor\"/>");
+    }
+
+    #[test]
+    fn empty_request_line_is_full_dump() {
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> = Arc::new(|req: &str| format!("[{req}]"));
+        let guard = transport
+            .serve(&Addr::new("127.0.0.1:0"), handler)
+            .unwrap();
+        assert_eq!(transport.fetch(&guard.addr(), "", T).unwrap(), "[]");
+    }
+
+    #[test]
+    fn concurrent_fetches_are_served() {
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> = Arc::new(|req: &str| req.repeat(100));
+        let guard = transport
+            .serve(&Addr::new("127.0.0.1:0"), handler)
+            .unwrap();
+        let bound = guard.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let bound = bound.clone();
+                std::thread::spawn(move || {
+                    let t = TcpTransport::new();
+                    let resp = t.fetch(&bound, &format!("q{i}"), T).unwrap();
+                    assert_eq!(resp.len(), 200);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fetch_refused_port_is_unreachable() {
+        let transport = TcpTransport::new();
+        // Bind then immediately drop to find a (very likely) free port.
+        let free = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = transport.fetch(&Addr::new(free), "", T).unwrap_err();
+        assert!(matches!(err, NetError::Unreachable(_)), "{err}");
+    }
+
+    #[test]
+    fn guard_drop_stops_server() {
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> = Arc::new(|_: &str| "x".to_string());
+        let guard = transport
+            .serve(&Addr::new("127.0.0.1:0"), handler)
+            .unwrap();
+        let bound = guard.addr();
+        assert!(transport.fetch(&bound, "", T).is_ok());
+        drop(guard);
+        // After drop, connection attempts must fail.
+        assert!(transport.fetch(&bound, "", T).is_err());
+    }
+
+    #[test]
+    fn bad_address_is_io_error() {
+        let transport = TcpTransport::new();
+        assert!(matches!(
+            transport.fetch(&Addr::new("not-an-addr"), "", T),
+            Err(NetError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! The transport abstraction: serve and fetch.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::addr::Addr;
+use crate::error::NetError;
+
+/// Serves requests at one endpoint.
+///
+/// The request is the gmetad wire protocol's single query line: empty (or
+/// `/`) for a full dump, or a path query like `/meteor/compute-0-0`. The
+/// response is a complete Ganglia XML document.
+pub trait RequestHandler: Send + Sync {
+    /// Produce the response for one request.
+    fn handle(&self, request: &str) -> String;
+}
+
+/// Closures are handlers.
+impl<F> RequestHandler for F
+where
+    F: Fn(&str) -> String + Send + Sync,
+{
+    fn handle(&self, request: &str) -> String {
+        self(request)
+    }
+}
+
+/// Keeps a served endpoint alive; dropping it unbinds the address.
+pub trait ServerGuard: Send {
+    /// The bound address (useful when binding to an ephemeral port).
+    fn addr(&self) -> Addr;
+}
+
+/// A bidirectional request/response transport.
+pub trait Transport: Send + Sync {
+    /// Bind `handler` at `addr`. The endpoint lives until the returned
+    /// guard is dropped.
+    fn serve(
+        &self,
+        addr: &Addr,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<Box<dyn ServerGuard>, NetError>;
+
+    /// Perform one exchange: send `request` to `addr`, await the full
+    /// response.
+    fn fetch(&self, addr: &Addr, request: &str, timeout: Duration) -> Result<String, NetError>;
+}

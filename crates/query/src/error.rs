@@ -1,0 +1,28 @@
+//! Query parse errors.
+
+use std::fmt;
+
+/// Why a query string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Unknown `?key=value` parameter or unknown filter name.
+    BadParameter(String),
+    /// A `~pattern` segment held an invalid regular expression.
+    BadPattern { pattern: String, reason: String },
+    /// The path contained an empty segment (`//`).
+    EmptySegment,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BadParameter(p) => write!(f, "unknown query parameter {p:?}"),
+            QueryError::BadPattern { pattern, reason } => {
+                write!(f, "bad pattern {pattern:?}: {reason}")
+            }
+            QueryError::EmptySegment => write!(f, "query path contains an empty segment"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

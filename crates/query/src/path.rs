@@ -1,0 +1,231 @@
+//! Path queries: parsing and segment matching.
+
+use std::fmt;
+
+use crate::error::QueryError;
+use crate::regex_lite::RegexLite;
+
+/// A response filter appended as `?filter=...`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// Return the selected cluster (or grid) in summary form — the
+    /// cluster-summary query of paper §3.3.2.
+    Summary,
+}
+
+/// One path segment: an exact name or a `~pattern`.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    Literal(String),
+    Pattern(RegexLite),
+}
+
+impl Segment {
+    /// Whether this segment selects `name`.
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            Segment::Literal(lit) => lit == name,
+            Segment::Pattern(re) => re.is_match(name),
+        }
+    }
+
+    /// Whether this segment can select more than one sibling.
+    pub fn is_pattern(&self) -> bool {
+        matches!(self, Segment::Pattern(_))
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Segment::Literal(lit) => f.write_str(lit),
+            Segment::Pattern(re) => write!(f, "~{}", re.pattern()),
+        }
+    }
+}
+
+/// A parsed query: the subtree path plus an optional filter.
+///
+/// The root query (`/` or the empty string) has no segments and selects
+/// the entire tree rooted at the answering monitor.
+///
+/// # Examples
+///
+/// ```
+/// use ganglia_query::{Filter, Query};
+///
+/// // The paper's figure-4 query: one host of one cluster.
+/// let q = Query::parse("/meteor/compute-0-0/").unwrap();
+/// assert_eq!(q.depth(), 2);
+/// assert!(q.segments[0].matches("meteor"));
+///
+/// // The cluster-summary filter of §3.3.2.
+/// let q = Query::parse("/meteor?filter=summary").unwrap();
+/// assert_eq!(q.filter, Some(Filter::Summary));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub segments: Vec<Segment>,
+    pub filter: Option<Filter>,
+}
+
+impl Query {
+    /// The root query.
+    pub fn root() -> Query {
+        Query {
+            segments: Vec::new(),
+            filter: None,
+        }
+    }
+
+    /// Parse a query string: `/<segment>/<segment>/...[?filter=summary]`.
+    ///
+    /// Trailing slashes are ignored (`/meteor/compute-0-0/` from the
+    /// paper's fig 4 parses as two segments). A segment starting with `~`
+    /// is a regex pattern.
+    pub fn parse(input: &str) -> Result<Query, QueryError> {
+        let input = input.trim();
+        let (path, params) = match input.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (input, None),
+        };
+        let mut segments = Vec::new();
+        let trimmed = path.trim_matches('/');
+        if !trimmed.is_empty() {
+            for raw in trimmed.split('/') {
+                if raw.is_empty() {
+                    return Err(QueryError::EmptySegment);
+                }
+                if let Some(pattern) = raw.strip_prefix('~') {
+                    let re = RegexLite::new(pattern).map_err(|e| QueryError::BadPattern {
+                        pattern: pattern.to_string(),
+                        reason: e.to_string(),
+                    })?;
+                    segments.push(Segment::Pattern(re));
+                } else {
+                    segments.push(Segment::Literal(raw.to_string()));
+                }
+            }
+        }
+        let mut filter = None;
+        if let Some(params) = params {
+            for param in params.split('&').filter(|p| !p.is_empty()) {
+                match param.split_once('=') {
+                    Some(("filter", "summary")) => filter = Some(Filter::Summary),
+                    _ => return Err(QueryError::BadParameter(param.to_string())),
+                }
+            }
+        }
+        Ok(Query { segments, filter })
+    }
+
+    /// Whether this is the root (whole-tree) query.
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Depth of the selection (0 = root, 1 = source, 2 = host,
+    /// 3 = metric).
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether any segment is a pattern.
+    pub fn has_patterns(&self) -> bool {
+        self.segments.iter().any(Segment::is_pattern)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            f.write_str("/")?;
+        } else {
+            for segment in &self.segments {
+                write!(f, "/{segment}")?;
+            }
+        }
+        if let Some(Filter::Summary) = self.filter {
+            f.write_str("?filter=summary")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_queries() {
+        for input in ["", "/", "  /  "] {
+            let q = Query::parse(input).unwrap();
+            assert!(q.is_root(), "{input:?}");
+            assert_eq!(q.depth(), 0);
+            assert!(q.filter.is_none());
+        }
+        assert_eq!(Query::root().to_string(), "/");
+    }
+
+    #[test]
+    fn fig4_host_query() {
+        // The paper's example: /meteor/compute-0-0/
+        let q = Query::parse("/meteor/compute-0-0/").unwrap();
+        assert_eq!(q.depth(), 2);
+        assert!(q.segments[0].matches("meteor"));
+        assert!(!q.segments[0].matches("nashi"));
+        assert!(q.segments[1].matches("compute-0-0"));
+        assert_eq!(q.to_string(), "/meteor/compute-0-0");
+    }
+
+    #[test]
+    fn summary_filter() {
+        let q = Query::parse("/meteor?filter=summary").unwrap();
+        assert_eq!(q.filter, Some(Filter::Summary));
+        assert_eq!(q.to_string(), "/meteor?filter=summary");
+    }
+
+    #[test]
+    fn unknown_parameter_is_rejected() {
+        assert!(matches!(
+            Query::parse("/x?filter=median"),
+            Err(QueryError::BadParameter(p)) if p == "filter=median"
+        ));
+        assert!(Query::parse("/x?frob=1").is_err());
+    }
+
+    #[test]
+    fn empty_segment_is_rejected() {
+        assert!(matches!(
+            Query::parse("/a//b"),
+            Err(QueryError::EmptySegment)
+        ));
+    }
+
+    #[test]
+    fn pattern_segments() {
+        let q = Query::parse("/~met.*/~compute-[0-9]+-0").unwrap();
+        assert!(q.has_patterns());
+        assert!(q.segments[0].matches("meteor"));
+        assert!(q.segments[0].matches("metric-cluster"));
+        assert!(!q.segments[0].matches("nashi"));
+        assert!(q.segments[1].matches("compute-12-0"));
+        assert!(!q.segments[1].matches("compute-12-1"));
+        assert_eq!(q.to_string(), "/~met.*/~compute-[0-9]+-0");
+    }
+
+    #[test]
+    fn bad_pattern_is_reported() {
+        match Query::parse("/~compute-(") {
+            Err(QueryError::BadPattern { pattern, .. }) => assert_eq!(pattern, "compute-("),
+            other => panic!("expected BadPattern, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metric_depth_query() {
+        let q = Query::parse("/meteor/compute-0-0/load_one").unwrap();
+        assert_eq!(q.depth(), 3);
+        assert!(q.segments[2].matches("load_one"));
+    }
+}

@@ -1,0 +1,616 @@
+//! A small, self-contained regular-expression engine.
+//!
+//! Supports the constructs useful for selecting monitoring-tree nodes:
+//! literals, `.`, `*`, `+`, `?`, alternation `|`, grouping `(...)`,
+//! character classes `[a-z0-9]` / `[^...]`, Perl shorthands `\d \w \s`
+//! (and their negations), and the anchors `^` / `$`. Escape any
+//! metacharacter with `\`.
+//!
+//! The implementation compiles to a Thompson NFA and simulates it with a
+//! state set, so matching is `O(pattern × text)` with no pathological
+//! backtracking — important because query patterns arrive from the
+//! network.
+
+use std::fmt;
+
+/// A compiled pattern.
+///
+/// # Examples
+///
+/// ```
+/// use ganglia_query::RegexLite;
+///
+/// let re = RegexLite::new("^compute-[0-9]+-[0-9]+$").unwrap();
+/// assert!(re.is_match("compute-0-12"));
+/// assert!(!re.is_match("compute-0-x"));
+/// // Unanchored patterns search anywhere in the text.
+/// assert!(RegexLite::new("0-0").unwrap().is_match("compute-0-0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegexLite {
+    pattern: String,
+    states: Vec<State>,
+    start: usize,
+}
+
+/// Pattern syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    /// Offset in the pattern where parsing failed.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.reason, self.offset)
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+// -------------------------------------------------------------------
+// AST
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    StartAnchor,
+    EndAnchor,
+    Concat(Vec<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+    /// One of `d`, `w`, `s` (lowercase only; negation is handled by
+    /// expanding `\D` etc. into a negated class).
+    Perl(char),
+}
+
+impl ClassItem {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            ClassItem::Single(x) => *x == c,
+            ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+            ClassItem::Perl('d') => c.is_ascii_digit(),
+            ClassItem::Perl('w') => c.is_alphanumeric() || c == '_',
+            ClassItem::Perl('s') => c.is_whitespace(),
+            ClassItem::Perl(_) => false,
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, PatternError> {
+        Err(PatternError {
+            offset: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, PatternError> {
+        let first = self.parse_concat()?;
+        if self.peek() == Some('|') {
+            self.bump();
+            let rest = self.parse_alt()?;
+            Ok(Ast::Alt(Box::new(first), Box::new(rest)))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, PatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().expect("len checked"),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some('+') => {
+                self.bump();
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some('?') => {
+                self.bump();
+                Ok(Ast::Opt(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            None => self.err("unexpected end of pattern"),
+            Some('(') => {
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return self.err("unclosed group");
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::StartAnchor),
+            Some('$') => Ok(Ast::EndAnchor),
+            Some('*') | Some('+') | Some('?') => self.err("dangling repetition operator"),
+            Some('\\') => self.parse_escape(),
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            None => self.err("trailing backslash"),
+            Some(c @ ('d' | 'w' | 's')) => Ok(Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Perl(c)],
+            }),
+            Some(c @ ('D' | 'W' | 'S')) => Ok(Ast::Class {
+                negated: true,
+                items: vec![ClassItem::Perl(c.to_ascii_lowercase())],
+            }),
+            Some('n') => Ok(Ast::Char('\n')),
+            Some('t') => Ok(Ast::Char('\t')),
+            Some(c) => Ok(Ast::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unclosed character class"),
+                Some(']') if !items.is_empty() => break,
+                Some(']') => {
+                    // A literal `]` is allowed as the first item.
+                    items.push(ClassItem::Single(']'));
+                }
+                Some('\\') => match self.bump() {
+                    None => return self.err("trailing backslash in class"),
+                    Some(c @ ('d' | 'w' | 's')) => items.push(ClassItem::Perl(c)),
+                    Some('n') => items.push(ClassItem::Single('\n')),
+                    Some('t') => items.push(ClassItem::Single('\t')),
+                    Some(c) => items.push(ClassItem::Single(c)),
+                },
+                Some(c) => {
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().expect("peeked above");
+                        let hi = if hi == '\\' {
+                            match self.bump() {
+                                None => return self.err("trailing backslash in class"),
+                                Some(e) => e,
+                            }
+                        } else {
+                            hi
+                        };
+                        if hi < c {
+                            return self.err(format!("inverted range {c}-{hi}"));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    } else {
+                        items.push(ClassItem::Single(c));
+                    }
+                }
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+// -------------------------------------------------------------------
+// NFA
+// -------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Epsilon fork.
+    Split(usize, usize),
+    /// Consume a specific char.
+    Char(char, usize),
+    /// Consume any char.
+    Any(usize),
+    /// Consume a char in (or not in) a class.
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+        next: usize,
+    },
+    /// Epsilon that passes only at position 0.
+    StartAnchor(usize),
+    /// Epsilon that passes only at end of input.
+    EndAnchor(usize),
+    /// Accept.
+    Match,
+}
+
+/// Placeholder target fixed up by `patch`.
+const HOLE: usize = usize::MAX;
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+/// A compiled fragment: entry state plus the dangling out-edges.
+struct Fragment {
+    start: usize,
+    /// (state index, which-slot) pairs to patch.
+    outs: Vec<(usize, u8)>,
+}
+
+impl Compiler {
+    fn push(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    fn patch(&mut self, outs: &[(usize, u8)], target: usize) {
+        for &(idx, slot) in outs {
+            match &mut self.states[idx] {
+                State::Split(a, b) => {
+                    if slot == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                State::Char(_, next)
+                | State::Any(next)
+                | State::Class { next, .. }
+                | State::StartAnchor(next)
+                | State::EndAnchor(next) => *next = target,
+                State::Match => unreachable!("match state has no out edge"),
+            }
+        }
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Fragment {
+        match ast {
+            Ast::Empty => {
+                // An epsilon: model as a Split with both edges dangling
+                // to the same continuation.
+                let idx = self.push(State::Split(HOLE, HOLE));
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0), (idx, 1)],
+                }
+            }
+            Ast::Char(c) => {
+                let idx = self.push(State::Char(*c, HOLE));
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0)],
+                }
+            }
+            Ast::Any => {
+                let idx = self.push(State::Any(HOLE));
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0)],
+                }
+            }
+            Ast::Class { negated, items } => {
+                let idx = self.push(State::Class {
+                    negated: *negated,
+                    items: items.clone(),
+                    next: HOLE,
+                });
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0)],
+                }
+            }
+            Ast::StartAnchor => {
+                let idx = self.push(State::StartAnchor(HOLE));
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0)],
+                }
+            }
+            Ast::EndAnchor => {
+                let idx = self.push(State::EndAnchor(HOLE));
+                Fragment {
+                    start: idx,
+                    outs: vec![(idx, 0)],
+                }
+            }
+            Ast::Concat(items) => {
+                let mut iter = items.iter();
+                let first = self.compile(iter.next().expect("concat is non-empty"));
+                let mut outs = first.outs;
+                for item in iter {
+                    let next = self.compile(item);
+                    self.patch(&outs, next.start);
+                    outs = next.outs;
+                }
+                Fragment {
+                    start: first.start,
+                    outs,
+                }
+            }
+            Ast::Alt(a, b) => {
+                let fa = self.compile(a);
+                let fb = self.compile(b);
+                let split = self.push(State::Split(fa.start, fb.start));
+                let mut outs = fa.outs;
+                outs.extend(fb.outs);
+                Fragment { start: split, outs }
+            }
+            Ast::Star(inner) => {
+                let f = self.compile(inner);
+                let split = self.push(State::Split(f.start, HOLE));
+                self.patch(&f.outs, split);
+                Fragment {
+                    start: split,
+                    outs: vec![(split, 1)],
+                }
+            }
+            Ast::Plus(inner) => {
+                let f = self.compile(inner);
+                let split = self.push(State::Split(f.start, HOLE));
+                self.patch(&f.outs, split);
+                Fragment {
+                    start: f.start,
+                    outs: vec![(split, 1)],
+                }
+            }
+            Ast::Opt(inner) => {
+                let f = self.compile(inner);
+                let split = self.push(State::Split(f.start, HOLE));
+                let mut outs = f.outs;
+                outs.push((split, 1));
+                Fragment { start: split, outs }
+            }
+        }
+    }
+}
+
+impl RegexLite {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Result<RegexLite, PatternError> {
+        let mut parser = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let ast = parser.parse_alt()?;
+        if parser.pos != parser.chars.len() {
+            return parser.err("unexpected ')'");
+        }
+        let mut compiler = Compiler { states: Vec::new() };
+        let fragment = compiler.compile(&ast);
+        let matched = compiler.push(State::Match);
+        compiler.patch(&fragment.outs, matched);
+        Ok(RegexLite {
+            pattern: pattern.to_string(),
+            states: compiler.states,
+            start: fragment.start,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Search semantics: does the pattern match anywhere in `text`?
+    /// Use `^`/`$` to anchor.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let len = chars.len();
+        let mut current: Vec<bool> = vec![false; self.states.len()];
+        let mut next: Vec<bool> = vec![false; self.states.len()];
+        self.add_state(&mut current, self.start, 0, len);
+        for (pos, &c) in chars.iter().enumerate() {
+            if current[self.match_index()] {
+                return true;
+            }
+            next.iter_mut().for_each(|b| *b = false);
+            for (idx, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                match &self.states[idx] {
+                    State::Char(x, n) if *x == c => {
+                        self.add_state(&mut next, *n, pos + 1, len)
+                    }
+                    State::Any(n) => self.add_state(&mut next, *n, pos + 1, len),
+                    State::Class {
+                        negated,
+                        items,
+                        next: n,
+                    } => {
+                        let inside = items.iter().any(|i| i.matches(c));
+                        if inside != *negated {
+                            self.add_state(&mut next, *n, pos + 1, len);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Unanchored search: a match may begin at the next position.
+            self.add_state(&mut next, self.start, pos + 1, len);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current[self.match_index()]
+    }
+
+    fn match_index(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Epsilon-closure insertion, honouring anchors at position `pos`.
+    fn add_state(&self, set: &mut [bool], idx: usize, pos: usize, len: usize) {
+        if set[idx] {
+            return;
+        }
+        set[idx] = true;
+        match &self.states[idx] {
+            State::Split(a, b) => {
+                let (a, b) = (*a, *b);
+                self.add_state(set, a, pos, len);
+                self.add_state(set, b, pos, len);
+            }
+            State::StartAnchor(n)
+                if pos == 0 => {
+                    let n = *n;
+                    self.add_state(set, n, pos, len);
+                }
+            State::EndAnchor(n)
+                if pos == len => {
+                    let n = *n;
+                    self.add_state(set, n, pos, len);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        RegexLite::new(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_search() {
+        assert!(m("0-0", "compute-0-0"));
+        assert!(!m("0-1", "compute-0-0"));
+        assert!(m("", "anything")); // empty pattern matches everywhere
+    }
+
+    #[test]
+    fn dot_and_repetition() {
+        assert!(m("comp.te", "compute-0-0"));
+        assert!(m("c.*0", "compute-0-0"));
+        assert!(m("0+", "compute-000"));
+        assert!(m("xy?z", "xz"));
+        assert!(m("xy?z", "xyz"));
+        assert!(!m("xy+z", "xz"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^compute", "compute-0-0"));
+        assert!(!m("^pute", "compute-0-0"));
+        assert!(m("0-0$", "compute-0-0"));
+        assert!(!m("compute$", "compute-0-0"));
+        assert!(m("^compute-0-0$", "compute-0-0"));
+        assert!(!m("^compute-0-0$", "compute-0-01"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("meteor|nashi", "the nashi cluster"));
+        assert!(m("^(meteor|nashi)$", "meteor"));
+        assert!(!m("^(meteor|nashi)$", "meteor2"));
+        assert!(m("(ab)+c", "ababc"));
+        assert!(!m("^(ab)+c$", "abac"));
+    }
+
+    #[test]
+    fn character_classes() {
+        assert!(m("^compute-[0-9]+-[0-9]+$", "compute-12-3"));
+        assert!(!m("^compute-[0-9]+$", "compute-x"));
+        assert!(m("[^a-z]", "abc3"));
+        assert!(!m("[^a-z]", "abc"));
+        assert!(m("[]x]", "]"));
+        assert!(m("[-x]", "-")); // literal '-' at the edge
+    }
+
+    #[test]
+    fn perl_shorthands() {
+        assert!(m("\\d+", "node42"));
+        assert!(!m("^\\d+$", "node42"));
+        assert!(m("\\w+", "a_b2"));
+        assert!(m("\\s", "a b"));
+        assert!(m("\\D", "42a"));
+        assert!(!m("^\\D+$", "429"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("a\\.b", "axb"));
+        assert!(m("a\\\\b", "a\\b"));
+        assert!(m("\\t", "a\tb"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(RegexLite::new("a(b").is_err());
+        assert!(RegexLite::new("a)b").is_err());
+        assert!(RegexLite::new("[abc").is_err());
+        assert!(RegexLite::new("*a").is_err());
+        assert!(RegexLite::new("a\\").is_err());
+        assert!(RegexLite::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn no_pathological_blowup() {
+        // The classic backtracking killer: (a*)*b against aaaa...a.
+        let pattern = RegexLite::new("(a*)*b").unwrap();
+        let text = "a".repeat(2000);
+        let start = std::time::Instant::now();
+        assert!(!pattern.is_match(&text));
+        assert!(start.elapsed() < std::time::Duration::from_secs(1));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert!(m("^über-\\d+$", "über-7"));
+        assert!(m(".", "日"));
+    }
+}

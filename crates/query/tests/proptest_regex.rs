@@ -1,0 +1,90 @@
+//! Property tests for the regex-lite engine: agreement with an oracle
+//! on the literal subset, algebraic relations between operators, and no
+//! panics or blow-ups on arbitrary patterns (patterns arrive from the
+//! network).
+
+use ganglia_query::RegexLite;
+use proptest::prelude::*;
+
+/// Escape a literal string into a pattern that must match it verbatim.
+fn escape_literal(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| {
+            if "\\.*+?()[]|^$".contains(c) {
+                vec!['\\', c]
+            } else {
+                vec![c]
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escaped_literals_agree_with_str_contains(
+        needle in "[ -~]{0,12}",
+        haystack in "[ -~]{0,48}",
+    ) {
+        let re = RegexLite::new(&escape_literal(&needle)).expect("escaped literal compiles");
+        prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+    }
+
+    #[test]
+    fn anchored_literal_is_exact_equality(
+        a in "[a-z0-9-]{0,12}",
+        b in "[a-z0-9-]{0,12}",
+    ) {
+        let re = RegexLite::new(&format!("^{}$", escape_literal(&a))).expect("compiles");
+        prop_assert_eq!(re.is_match(&b), a == b);
+    }
+
+    #[test]
+    fn arbitrary_patterns_never_panic(pattern in "[ -~]{0,24}", text in "[ -~]{0,48}") {
+        if let Ok(re) = RegexLite::new(&pattern) {
+            let _ = re.is_match(&text);
+        }
+    }
+
+    #[test]
+    fn star_accepts_whatever_plus_accepts(atom in "[a-z]", text in "[a-z]{0,16}") {
+        let plus = RegexLite::new(&format!("^{atom}+$")).expect("compiles");
+        let star = RegexLite::new(&format!("^{atom}*$")).expect("compiles");
+        if plus.is_match(&text) {
+            prop_assert!(star.is_match(&text), "{atom}* must accept {text:?}");
+        }
+        // And star additionally accepts the empty string.
+        prop_assert!(star.is_match(""));
+        prop_assert!(!plus.is_match(""));
+    }
+
+    #[test]
+    fn alternation_is_union(
+        a in "[a-z]{1,6}",
+        b in "[a-z]{1,6}",
+        text in "[a-z]{0,12}",
+    ) {
+        let re = RegexLite::new(&format!("^({a}|{b})$")).expect("compiles");
+        let expected = text == a || text == b;
+        prop_assert_eq!(re.is_match(&text), expected);
+    }
+
+    #[test]
+    fn class_and_negation_partition_single_chars(c in proptest::char::range('!', '~')) {
+        let inside = RegexLite::new("^[a-m0-4]$").expect("compiles");
+        let outside = RegexLite::new("^[^a-m0-4]$").expect("compiles");
+        let text = c.to_string();
+        prop_assert_ne!(inside.is_match(&text), outside.is_match(&text));
+    }
+
+    #[test]
+    fn matching_is_linear_enough(text in "[ab]{0,512}") {
+        // A nesting-heavy pattern over a long input completes quickly
+        // (Thompson simulation, no backtracking).
+        let re = RegexLite::new("((a|b)*a(a|b)*)+$").expect("compiles");
+        let start = std::time::Instant::now();
+        let _ = re.is_match(&text);
+        prop_assert!(start.elapsed() < std::time::Duration::from_millis(200));
+    }
+}

@@ -1,0 +1,358 @@
+//! The multi-database archiver driven by gmetad.
+//!
+//! gmetad keeps one round-robin database per `(source, host, metric)` —
+//! where `host` is the literal `__summary__` for per-cluster and per-grid
+//! summary archives. The paper's §4.3 result that the 1-level tree does
+//! redundant work comes precisely from every interior monitor keeping
+//! *full duplicates* of these databases, while the N-level tree keeps
+//! "only summary archives of descendants".
+//!
+//! [`RrdSet`] counts every update so experiments can attribute archiving
+//! work; persistence to a directory tree is optional (the paper ran the
+//! archives on tmpfs to isolate CPU cost from disk I/O, §4.1).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::error::RrdError;
+use crate::rrd::{Rrd, Series};
+use crate::spec::{ganglia_default_spec, ConsolidationFn, RrdSpec};
+
+/// Identifies one archived time series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MetricKey {
+    /// Data source (cluster or grid) name.
+    pub source: String,
+    /// Host name, or [`MetricKey::SUMMARY_HOST`] for summary archives.
+    pub host: String,
+    /// Metric name.
+    pub metric: String,
+}
+
+impl MetricKey {
+    /// The pseudo-host under which summary archives are kept.
+    pub const SUMMARY_HOST: &'static str = "__summary__";
+
+    /// Key for a host metric.
+    pub fn host_metric(
+        source: impl Into<String>,
+        host: impl Into<String>,
+        metric: impl Into<String>,
+    ) -> Self {
+        MetricKey {
+            source: source.into(),
+            host: host.into(),
+            metric: metric.into(),
+        }
+    }
+
+    /// Key for a source-level summary metric.
+    pub fn summary_metric(source: impl Into<String>, metric: impl Into<String>) -> Self {
+        MetricKey {
+            source: source.into(),
+            host: Self::SUMMARY_HOST.to_string(),
+            metric: metric.into(),
+        }
+    }
+
+    /// Whether this is a summary archive.
+    pub fn is_summary(&self) -> bool {
+        self.host == Self::SUMMARY_HOST
+    }
+
+    /// Relative file path under an archive root.
+    pub fn rel_path(&self) -> PathBuf {
+        PathBuf::from(sanitize(&self.source))
+            .join(sanitize(&self.host))
+            .join(format!("{}.rrd", sanitize(&self.metric)))
+    }
+}
+
+/// Replace path-hostile characters so keys map to safe file names.
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Produces the spec for a newly created database, given its key and
+/// start time.
+pub type SpecFactory = Box<dyn Fn(&MetricKey, u64) -> RrdSpec + Send>;
+
+/// A set of round-robin databases, one per metric key, created on first
+/// update.
+pub struct RrdSet {
+    databases: HashMap<MetricKey, Rrd>,
+    /// Spec applied to newly created databases.
+    make_spec: SpecFactory,
+    /// Persist databases under this directory when set.
+    root: Option<PathBuf>,
+    /// Total updates across all databases (archiving work done).
+    update_count: u64,
+    /// Databases created over the set's lifetime.
+    create_count: u64,
+}
+
+impl Default for RrdSet {
+    fn default() -> Self {
+        RrdSet::new()
+    }
+}
+
+impl RrdSet {
+    /// An in-memory set using Ganglia's default archive ladder.
+    pub fn new() -> Self {
+        RrdSet {
+            databases: HashMap::new(),
+            make_spec: Box::new(|key, start| ganglia_default_spec(key.metric.clone(), start)),
+            root: None,
+            update_count: 0,
+            create_count: 0,
+        }
+    }
+
+    /// Use a custom spec factory (e.g. coarser archives in tests).
+    pub fn with_spec_factory(
+        factory: impl Fn(&MetricKey, u64) -> RrdSpec + Send + 'static,
+    ) -> Self {
+        RrdSet {
+            make_spec: Box::new(factory),
+            ..RrdSet::new()
+        }
+    }
+
+    /// Persist databases under `root` on [`RrdSet::flush`].
+    pub fn persist_to(mut self, root: impl Into<PathBuf>) -> Self {
+        self.root = Some(root.into());
+        self
+    }
+
+    /// Update (creating if necessary) the database for `key`.
+    ///
+    /// A `NAN` value records an explicitly unknown sample — the "zero
+    /// record" gmetad keeps while a monitored host is down (§3.1).
+    pub fn update(&mut self, key: &MetricKey, t: u64, value: f64) -> Result<(), RrdError> {
+        let rrd = match self.databases.get_mut(key) {
+            Some(rrd) => rrd,
+            None => {
+                let spec = (self.make_spec)(key, t.saturating_sub(1));
+                self.create_count += 1;
+                self.databases.entry(key.clone()).or_insert(Rrd::create(spec)?)
+            }
+        };
+        rrd.update(t, &[value])?;
+        self.update_count += 1;
+        Ok(())
+    }
+
+    /// Fetch history for `key`.
+    pub fn fetch(
+        &self,
+        key: &MetricKey,
+        cf: ConsolidationFn,
+        start: u64,
+        end: u64,
+    ) -> Option<Result<Series, RrdError>> {
+        self.databases.get(key).map(|rrd| rrd.fetch(0, cf, start, end))
+    }
+
+    /// Direct access to one database.
+    pub fn get(&self, key: &MetricKey) -> Option<&Rrd> {
+        self.databases.get(key)
+    }
+
+    /// Number of databases in the set.
+    pub fn len(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.databases.is_empty()
+    }
+
+    /// Total updates applied across all databases.
+    pub fn update_count(&self) -> u64 {
+        self.update_count
+    }
+
+    /// Databases created over the set's lifetime.
+    pub fn create_count(&self) -> u64 {
+        self.create_count
+    }
+
+    /// Iterate over all keys.
+    pub fn keys(&self) -> impl Iterator<Item = &MetricKey> {
+        self.databases.keys()
+    }
+
+    /// Write every database to the persistence root, if one is set.
+    /// Returns the number of files written.
+    pub fn flush(&self) -> Result<usize, RrdError> {
+        let Some(root) = &self.root else {
+            return Ok(0);
+        };
+        for (key, rrd) in &self.databases {
+            crate::file::save(rrd, &root.join(key.rel_path()))?;
+        }
+        Ok(self.databases.len())
+    }
+
+    /// Load every `.rrd` file under the persistence root.
+    pub fn load_all(&mut self) -> Result<usize, RrdError> {
+        let Some(root) = self.root.clone() else {
+            return Ok(0);
+        };
+        let mut loaded = 0;
+        for source_entry in read_dir_or_empty(&root)? {
+            let source_dir = source_entry?;
+            if !source_dir.file_type()?.is_dir() {
+                continue;
+            }
+            for host_entry in std::fs::read_dir(source_dir.path())? {
+                let host_dir = host_entry?;
+                if !host_dir.file_type()?.is_dir() {
+                    continue;
+                }
+                for file_entry in std::fs::read_dir(host_dir.path())? {
+                    let file = file_entry?;
+                    let path = file.path();
+                    if path.extension().and_then(|e| e.to_str()) != Some("rrd") {
+                        continue;
+                    }
+                    let rrd = crate::file::load(&path)?;
+                    let key = MetricKey {
+                        source: source_dir.file_name().to_string_lossy().into_owned(),
+                        host: host_dir.file_name().to_string_lossy().into_owned(),
+                        metric: path
+                            .file_stem()
+                            .map(|s| s.to_string_lossy().into_owned())
+                            .unwrap_or_default(),
+                    };
+                    self.databases.insert(key, rrd);
+                    loaded += 1;
+                }
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+fn read_dir_or_empty(
+    path: &std::path::Path,
+) -> Result<Box<dyn Iterator<Item = std::io::Result<std::fs::DirEntry>>>, RrdError> {
+    match std::fs::read_dir(path) {
+        Ok(iter) => Ok(Box::new(iter)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Box::new(std::iter::empty())),
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl std::fmt::Debug for RrdSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RrdSet")
+            .field("databases", &self.databases.len())
+            .field("updates", &self.update_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_databases_on_first_update() {
+        let mut set = RrdSet::new();
+        let key = MetricKey::host_metric("meteor", "compute-0-0", "load_one");
+        set.update(&key, 15, 0.5).unwrap();
+        set.update(&key, 30, 0.7).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.update_count(), 2);
+        assert_eq!(set.create_count(), 1);
+        let series = set
+            .fetch(&key, ConsolidationFn::Average, 0, 30)
+            .unwrap()
+            .unwrap();
+        assert!(series.known_count() > 0);
+    }
+
+    #[test]
+    fn summary_keys_are_distinct_from_host_keys() {
+        let mut set = RrdSet::new();
+        let host = MetricKey::host_metric("meteor", "n0", "load_one");
+        let summary = MetricKey::summary_metric("meteor", "load_one");
+        assert!(summary.is_summary());
+        assert!(!host.is_summary());
+        set.update(&host, 15, 1.0).unwrap();
+        set.update(&summary, 15, 10.0).unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn unknown_samples_record_downtime() {
+        let mut set = RrdSet::new();
+        let key = MetricKey::host_metric("c", "h", "m");
+        set.update(&key, 15, 1.0).unwrap();
+        set.update(&key, 30, f64::NAN).unwrap();
+        set.update(&key, 45, 1.0).unwrap();
+        let series = set
+            .fetch(&key, ConsolidationFn::Average, 0, 45)
+            .unwrap()
+            .unwrap();
+        assert!(series.values[1].is_nan());
+    }
+
+    #[test]
+    fn fetch_missing_key_is_none() {
+        let set = RrdSet::new();
+        assert!(set
+            .fetch(
+                &MetricKey::host_metric("x", "y", "z"),
+                ConsolidationFn::Average,
+                0,
+                100
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn rel_path_sanitizes() {
+        let key = MetricKey::host_metric("my cluster", "host/0", "load:one");
+        let path = key.rel_path();
+        let s = path.to_string_lossy();
+        assert!(!s.contains(' '));
+        assert!(s.ends_with("load_one.rrd"));
+        assert_eq!(path.components().count(), 3);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ganglia-rrdset-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut set = RrdSet::new().persist_to(&dir);
+        let key = MetricKey::host_metric("meteor", "n0", "load_one");
+        set.update(&key, 15, 0.5).unwrap();
+        assert_eq!(set.flush().unwrap(), 1);
+
+        let mut restored = RrdSet::new().persist_to(&dir);
+        assert_eq!(restored.load_all().unwrap(), 1);
+        assert!(restored.get(&key).is_some());
+        // Continues updating after reload.
+        restored.update(&key, 30, 0.9).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_all_without_root_is_noop() {
+        let mut set = RrdSet::new();
+        assert_eq!(set.load_all().unwrap(), 0);
+        assert_eq!(set.flush().unwrap(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the round-robin database: no panic on arbitrary
+//! well-ordered update streams, constant storage, and consistency between
+//! the archive ladder and the raw stream.
+
+use ganglia_rrd::{
+    ganglia_default_spec, ConsolidationFn, DataSourceDef, RraDef, Rrd, RrdSpec,
+};
+use proptest::prelude::*;
+
+fn update_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    // Increasing gaps (1..200 s) with values in a plausible range, and a
+    // sprinkle of NANs for unknown samples.
+    proptest::collection::vec(
+        (1u64..200, prop_oneof![
+            4 => (0.0f64..1000.0).boxed(),
+            1 => Just(f64::NAN).boxed(),
+        ]),
+        1..200,
+    )
+    .prop_map(|deltas| {
+        let mut t = 0u64;
+        deltas
+            .into_iter()
+            .map(|(dt, v)| {
+                t += dt;
+                (t, v)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_streams_never_panic_and_fetch_is_sane(stream in update_stream()) {
+        let mut rrd = Rrd::create(ganglia_default_spec("m", 0)).unwrap();
+        for (t, v) in &stream {
+            rrd.update(*t, &[*v]).unwrap();
+        }
+        let end = stream.last().unwrap().0;
+        for (start, stop) in [(0, end), (end / 2, end), (end, end + 1000)] {
+            let series = rrd.fetch(0, ConsolidationFn::Average, start, stop).unwrap();
+            // Every known value must lie within the observed value range
+            // (averaging cannot extrapolate).
+            for v in series.values.iter().filter(|v| !v.is_nan()) {
+                prop_assert!((0.0..=1000.0).contains(v), "value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_constant(stream in update_stream()) {
+        let mut rrd = Rrd::create(ganglia_default_spec("m", 0)).unwrap();
+        let before = ganglia_rrd::file::encode(&rrd).len();
+        for (t, v) in &stream {
+            rrd.update(*t, &[*v]).unwrap();
+        }
+        let after = ganglia_rrd::file::encode(&rrd).len();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_fetches(stream in update_stream()) {
+        let mut rrd = Rrd::create(ganglia_default_spec("m", 0)).unwrap();
+        for (t, v) in &stream {
+            rrd.update(*t, &[*v]).unwrap();
+        }
+        let back = ganglia_rrd::file::decode(&ganglia_rrd::file::encode(&rrd)).unwrap();
+        let end = stream.last().unwrap().0;
+        let a = rrd.fetch(0, ConsolidationFn::Average, 0, end).unwrap();
+        let b = back.fetch(0, ConsolidationFn::Average, 0, end).unwrap();
+        prop_assert_eq!(a.start, b.start);
+        prop_assert_eq!(a.step, b.step);
+        prop_assert_eq!(a.values.len(), b.values.len());
+        for (x, y) in a.values.iter().zip(&b.values) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn constant_input_consolidates_to_itself(
+        value in 0.0f64..100.0,
+        step in 5u64..60,
+        count in 50usize..300,
+    ) {
+        let spec = RrdSpec {
+            step,
+            start: 0,
+            data_sources: vec![DataSourceDef::gauge("m", step * 4)],
+            archives: vec![RraDef::average(1, 64), RraDef::average(7, 64)],
+        };
+        let mut rrd = Rrd::create(spec).unwrap();
+        for i in 1..=count as u64 {
+            rrd.update(i * step, &[value]).unwrap();
+        }
+        let end = count as u64 * step;
+        let series = rrd.fetch(0, ConsolidationFn::Average, 0, end).unwrap();
+        for v in series.values.iter().filter(|v| !v.is_nan()) {
+            prop_assert!((v - value).abs() < 1e-9);
+        }
+        prop_assert!(series.known_count() > 0);
+    }
+}

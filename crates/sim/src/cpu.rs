@@ -1,0 +1,84 @@
+//! CPU accounting over a measurement window.
+//!
+//! The paper measures "%CPU ... calculated over a 60-minute timing
+//! window" per gmeta node (§4.1), emphasizing *relative* timings. Here
+//! the window is virtual (rounds × poll interval) while the busy time is
+//! real measured work, so the percentage is `busy / window` — the same
+//! quantity `ps` reports, minus scheduler noise.
+
+use std::time::Duration;
+
+use ganglia_core::{WorkCategory, WorkMeter};
+
+/// One monitor's CPU figures for a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorCpu {
+    pub monitor: String,
+    /// Busy time inside the window.
+    pub busy: Duration,
+    /// CPU utilization in percent.
+    pub percent: f64,
+    /// Busy time by category, in [`WorkCategory::ALL`] order.
+    pub by_category: Vec<(WorkCategory, Duration)>,
+}
+
+/// A whole tree's CPU figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuReport {
+    /// Virtual measurement window.
+    pub window: Duration,
+    /// Per-monitor rows, in the order requested.
+    pub rows: Vec<MonitorCpu>,
+}
+
+impl CpuReport {
+    /// Collect a report from `(name, meter)` pairs over `window`.
+    pub fn collect<'a>(
+        window: Duration,
+        meters: impl IntoIterator<Item = (&'a str, &'a WorkMeter)>,
+    ) -> CpuReport {
+        let rows = meters
+            .into_iter()
+            .map(|(monitor, meter)| MonitorCpu {
+                monitor: monitor.to_string(),
+                busy: meter.total_busy(),
+                percent: meter.cpu_percent(window),
+                by_category: meter.breakdown(),
+            })
+            .collect();
+        CpuReport { window, rows }
+    }
+
+    /// Sum of per-monitor CPU percentages — the y-axis of figure 6
+    /// ("the sum of the CPU utilization across all gmeta nodes").
+    pub fn aggregate_percent(&self) -> f64 {
+        self.rows.iter().map(|r| r.percent).sum()
+    }
+
+    /// One monitor's row.
+    pub fn monitor(&self, name: &str) -> Option<&MonitorCpu> {
+        self.rows.iter().find(|r| r.monitor == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_computes_percentages() {
+        let meter_a = WorkMeter::new();
+        meter_a.record(WorkCategory::Parse, Duration::from_secs(6));
+        let meter_b = WorkMeter::new();
+        meter_b.record(WorkCategory::Archive, Duration::from_secs(3));
+        let report = CpuReport::collect(
+            Duration::from_secs(60),
+            [("root", &meter_a), ("leaf", &meter_b)],
+        );
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.monitor("root").unwrap().percent - 10.0).abs() < 1e-9);
+        assert!((report.monitor("leaf").unwrap().percent - 5.0).abs() < 1e-9);
+        assert!((report.aggregate_percent() - 15.0).abs() < 1e-9);
+        assert!(report.monitor("nobody").is_none());
+    }
+}

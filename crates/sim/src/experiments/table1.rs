@@ -1,0 +1,213 @@
+//! Table 1: viewer download+parse time per web view.
+//!
+//! "Timings are taken from the perspective of Ganglia's web viewing
+//! application... Each value represents the time needed by the viewer to
+//! download and parse the XML from a gmeta agent in the monitoring
+//! tree... We point the viewer at the sdsc gmeta node for this test
+//! where the clusters have 100 hosts each... each value in table 1 is
+//! the average of five samples." (§4.2)
+//!
+//! Expected shape (§4.3): huge N-level speedups for the meta view
+//! (daemon-side summaries) and the host view (subtree query instead of
+//! parse-and-discard); a modest one for the full-resolution cluster
+//! view, whose parsing load is similar in both designs.
+
+use std::time::Duration;
+
+use ganglia_core::TreeMode;
+use ganglia_web::{Frontend, NLevelFrontend, OneLevelFrontend, ViewTiming};
+
+use crate::deploy::{Deployment, DeploymentParams};
+use crate::topology::fig2_tree;
+
+/// Experiment knobs.
+#[derive(Debug, Clone)]
+pub struct Table1Params {
+    /// Hosts per cluster (paper: 100).
+    pub hosts_per_cluster: usize,
+    /// Samples averaged per cell (paper: 5).
+    pub samples: u32,
+    /// Monitor the viewer points at (paper: sdsc).
+    pub viewer_target: String,
+    pub seed: u64,
+}
+
+impl Default for Table1Params {
+    fn default() -> Self {
+        Table1Params {
+            hosts_per_cluster: 100,
+            samples: 5,
+            viewer_target: "sdsc".to_string(),
+            seed: 42,
+        }
+    }
+}
+
+/// The three columns of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum View {
+    Meta,
+    Cluster,
+    Host,
+}
+
+impl View {
+    pub const ALL: [View; 3] = [View::Meta, View::Cluster, View::Host];
+
+    /// Column header.
+    pub fn label(self) -> &'static str {
+        match self {
+            View::Meta => "Meta",
+            View::Cluster => "Cluster",
+            View::Host => "Host",
+        }
+    }
+}
+
+/// One column of the table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Cell {
+    pub view: View,
+    pub one_level: ViewTiming,
+    pub n_level: ViewTiming,
+}
+
+impl Table1Cell {
+    /// The speedup row: 1-level time / N-level time.
+    pub fn speedup(&self) -> f64 {
+        let one = self.one_level.download_and_parse().as_secs_f64();
+        let n = self.n_level.download_and_parse().as_secs_f64();
+        if n <= 0.0 {
+            return f64::INFINITY;
+        }
+        one / n
+    }
+}
+
+/// The whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    pub cells: Vec<Table1Cell>,
+}
+
+impl Table1Result {
+    /// Column lookup.
+    pub fn view(&self, view: View) -> &Table1Cell {
+        self.cells
+            .iter()
+            .find(|c| c.view == view)
+            .expect("all three views present")
+    }
+}
+
+fn average_views(
+    frontend: &dyn Frontend,
+    cluster: &str,
+    host: &str,
+    samples: u32,
+) -> [ViewTiming; 3] {
+    let mut totals = [ViewTiming::default(); 3];
+    for _ in 0..samples {
+        let (_, t) = frontend.meta_view().expect("meta view renders");
+        totals[0].add(&t);
+        let (_, t) = frontend.cluster_view(cluster).expect("cluster view renders");
+        totals[1].add(&t);
+        let (_, t) = frontend.host_view(cluster, host).expect("host view renders");
+        totals[2].add(&t);
+    }
+    [
+        totals[0].div(samples),
+        totals[1].div(samples),
+        totals[2].div(samples),
+    ]
+}
+
+fn run_mode(mode: TreeMode, params: &Table1Params) -> [ViewTiming; 3] {
+    let mut deployment = Deployment::build(
+        fig2_tree(params.hosts_per_cluster),
+        DeploymentParams {
+            mode,
+            seed: params.seed,
+            // Table 1 measures the viewer, not archiving.
+            archive: false,
+            ..DeploymentParams::default()
+        },
+    );
+    deployment.run_rounds(2);
+    let target = &params.viewer_target;
+    // Pick a host of the target's first local cluster.
+    let cluster = format!("{target}-c0");
+    let host = format!("{cluster}-0000");
+    let client = deployment.viewer(target);
+    match mode {
+        TreeMode::OneLevel => {
+            let frontend = OneLevelFrontend::new(client);
+            average_views(&frontend, &cluster, &host, params.samples)
+        }
+        TreeMode::NLevel => {
+            let frontend = NLevelFrontend::new(client);
+            average_views(&frontend, &cluster, &host, params.samples)
+        }
+    }
+}
+
+/// Run the table-1 experiment.
+pub fn run_table1(params: &Table1Params) -> Table1Result {
+    let one = run_mode(TreeMode::OneLevel, params);
+    let n = run_mode(TreeMode::NLevel, params);
+    let cells = View::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &view)| Table1Cell {
+            view,
+            one_level: one[i],
+            n_level: n[i],
+        })
+        .collect();
+    Table1Result { cells }
+}
+
+/// Pretty seconds for table output.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down table 1 exhibiting the paper's ordering.
+    #[test]
+    fn table1_shape_holds_at_reduced_scale() {
+        let result = run_table1(&Table1Params {
+            hosts_per_cluster: 40,
+            samples: 2,
+            viewer_target: "sdsc".to_string(),
+            seed: 7,
+        });
+        assert_eq!(result.cells.len(), 3);
+        let meta = result.view(View::Meta);
+        let cluster = result.view(View::Cluster);
+        let host = result.view(View::Host);
+
+        // Every view is faster under N-level.
+        for cell in [&meta, &cluster, &host] {
+            assert!(
+                cell.speedup() > 1.0,
+                "{:?} speedup {}",
+                cell.view,
+                cell.speedup()
+            );
+        }
+        // Meta and host views gain far more than the cluster view
+        // (§4.3: "the parsing load of the full-resolution cluster view
+        // is similar for the two monitor designs").
+        assert!(meta.speedup() > cluster.speedup());
+        assert!(host.speedup() > cluster.speedup());
+
+        // The XML the N-level viewer downloads is a fraction of the full
+        // tree.
+        assert!(meta.n_level.xml_bytes * 4 < meta.one_level.xml_bytes);
+        assert!(host.n_level.xml_bytes * 4 < host.one_level.xml_bytes);
+    }
+}

@@ -1,0 +1,122 @@
+//! Upstream-traffic measurement: the O(m)-vs-O(C·H·m) claim of §3.2.
+//!
+//! "By summarizing remote cluster data, we dramatically reduce the
+//! amount of information sent along edges of the monitoring tree."
+//! The simulated network counts the bytes every endpoint serves, so the
+//! reduction can be read directly off the wire rather than inferred
+//! from CPU time.
+
+use ganglia_core::TreeMode;
+
+use crate::deploy::{Deployment, DeploymentParams};
+use crate::topology::fig2_tree;
+
+/// Bytes served by one monitor's query port over a measurement round,
+/// per design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRow {
+    pub monitor: String,
+    pub one_level_bytes: u64,
+    pub n_level_bytes: u64,
+}
+
+/// The whole measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficResult {
+    pub hosts_per_cluster: usize,
+    pub rounds: u64,
+    pub rows: Vec<TrafficRow>,
+}
+
+impl TrafficResult {
+    /// Row lookup.
+    pub fn monitor(&self, name: &str) -> &TrafficRow {
+        self.rows
+            .iter()
+            .find(|r| r.monitor == name)
+            .expect("rows cover every monitor")
+    }
+}
+
+fn measure(mode: TreeMode, hosts: usize, rounds: u64, seed: u64) -> Vec<(String, u64)> {
+    let mut deployment = Deployment::build(
+        fig2_tree(hosts),
+        DeploymentParams {
+            mode,
+            seed,
+            archive: false, // pure traffic measurement
+            ..DeploymentParams::default()
+        },
+    );
+    deployment.run_rounds(1); // settle
+    deployment.net().stats().reset();
+    deployment.run_rounds(rounds);
+    deployment
+        .tree()
+        .breadth_first()
+        .into_iter()
+        .map(|name| {
+            let bytes = deployment
+                .net()
+                .stats()
+                .get(&deployment.gmeta_addr(&name))
+                .bytes_served;
+            (name, bytes)
+        })
+        .collect()
+}
+
+/// Measure upstream bytes per monitor under both designs.
+pub fn run_traffic(hosts_per_cluster: usize, rounds: u64, seed: u64) -> TrafficResult {
+    let one = measure(TreeMode::OneLevel, hosts_per_cluster, rounds, seed);
+    let n = measure(TreeMode::NLevel, hosts_per_cluster, rounds, seed);
+    let rows = one
+        .into_iter()
+        .zip(n)
+        .map(|((monitor, one_bytes), (n_monitor, n_bytes))| {
+            debug_assert_eq!(monitor, n_monitor);
+            TrafficRow {
+                monitor,
+                one_level_bytes: one_bytes,
+                n_level_bytes: n_bytes,
+            }
+        })
+        .collect();
+    TrafficResult {
+        hosts_per_cluster,
+        rounds,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_monitors_serve_far_less_upstream_under_nlevel() {
+        let result = run_traffic(20, 2, 7);
+        // ucsd carries physics+math's four clusters: their detail
+        // collapses to summaries under N-level.
+        let ucsd = result.monitor("ucsd");
+        assert!(
+            ucsd.n_level_bytes * 2 < ucsd.one_level_bytes,
+            "ucsd: {} vs {}",
+            ucsd.n_level_bytes,
+            ucsd.one_level_bytes
+        );
+        // Leaf monitors (attic) serve their local clusters at full
+        // detail either way: the two designs are within ~2× there.
+        let attic = result.monitor("attic");
+        let ratio = attic.one_level_bytes as f64 / attic.n_level_bytes.max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "attic ratio {ratio} ({} vs {})",
+            attic.one_level_bytes,
+            attic.n_level_bytes
+        );
+        // The root serves nothing upstream (it has no parent).
+        assert_eq!(result.monitor("root").one_level_bytes, 0);
+        assert_eq!(result.monitor("root").n_level_bytes, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Monitoring-tree specifications.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A leaf cluster attached to a monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    pub name: String,
+    pub hosts: usize,
+}
+
+/// One wide-area monitor (gmetad) in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSpec {
+    pub name: String,
+    /// Child monitors (trust edges point child → parent; the parent
+    /// polls).
+    pub children: Vec<String>,
+    /// Clusters attached directly to this monitor.
+    pub local_clusters: Vec<ClusterSpec>,
+}
+
+/// A whole monitoring tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSpec {
+    pub root: String,
+    pub monitors: Vec<MonitorSpec>,
+}
+
+/// Why a tree specification is unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    UnknownMonitor(String),
+    DuplicateMonitor(String),
+    DuplicateCluster(String),
+    MultipleParents(String),
+    UnreachableMonitor(String),
+    NoRoot,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::UnknownMonitor(m) => write!(f, "unknown monitor {m:?} referenced"),
+            TreeError::DuplicateMonitor(m) => write!(f, "monitor {m:?} defined twice"),
+            TreeError::DuplicateCluster(c) => write!(f, "cluster {c:?} attached twice"),
+            TreeError::MultipleParents(m) => write!(f, "monitor {m:?} has several parents"),
+            TreeError::UnreachableMonitor(m) => write!(f, "monitor {m:?} unreachable from root"),
+            TreeError::NoRoot => write!(f, "root monitor is not defined"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl TreeSpec {
+    /// Check the tree is well-formed: unique names, single parent per
+    /// monitor, everything reachable from the root.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let mut names = HashSet::new();
+        for monitor in &self.monitors {
+            if !names.insert(monitor.name.as_str()) {
+                return Err(TreeError::DuplicateMonitor(monitor.name.clone()));
+            }
+        }
+        if !names.contains(self.root.as_str()) {
+            return Err(TreeError::NoRoot);
+        }
+        let mut cluster_names = HashSet::new();
+        let mut parented: HashMap<&str, &str> = HashMap::new();
+        for monitor in &self.monitors {
+            for child in &monitor.children {
+                if !names.contains(child.as_str()) {
+                    return Err(TreeError::UnknownMonitor(child.clone()));
+                }
+                if parented.insert(child, &monitor.name).is_some() {
+                    return Err(TreeError::MultipleParents(child.clone()));
+                }
+            }
+            for cluster in &monitor.local_clusters {
+                if !cluster_names.insert(cluster.name.as_str()) {
+                    return Err(TreeError::DuplicateCluster(cluster.name.clone()));
+                }
+            }
+        }
+        // Reachability (also rejects cycles that exclude the root).
+        let reachable = self.breadth_first();
+        for monitor in &self.monitors {
+            if !reachable.contains(&monitor.name) {
+                return Err(TreeError::UnreachableMonitor(monitor.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Monitor names in breadth-first order from the root.
+    pub fn breadth_first(&self) -> Vec<String> {
+        let by_name: HashMap<&str, &MonitorSpec> = self
+            .monitors
+            .iter()
+            .map(|m| (m.name.as_str(), m))
+            .collect();
+        let mut order = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        if by_name.contains_key(self.root.as_str()) {
+            queue.push_back(self.root.as_str());
+            seen.insert(self.root.as_str());
+        }
+        while let Some(name) = queue.pop_front() {
+            order.push(name.to_string());
+            if let Some(monitor) = by_name.get(name) {
+                for child in &monitor.children {
+                    if seen.insert(child.as_str()) {
+                        queue.push_back(child);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Monitor names deepest-first (children always before parents) —
+    /// the deterministic polling order, so each round propagates leaf
+    /// data all the way to the root.
+    pub fn bottom_up(&self) -> Vec<String> {
+        let mut order = self.breadth_first();
+        order.reverse();
+        order
+    }
+
+    /// Look up one monitor.
+    pub fn monitor(&self, name: &str) -> Option<&MonitorSpec> {
+        self.monitors.iter().find(|m| m.name == name)
+    }
+
+    /// Total clusters in the tree.
+    pub fn cluster_count(&self) -> usize {
+        self.monitors.iter().map(|m| m.local_clusters.len()).sum()
+    }
+
+    /// Total hosts in the tree.
+    pub fn host_count(&self) -> usize {
+        self.monitors
+            .iter()
+            .flat_map(|m| &m.local_clusters)
+            .map(|c| c.hosts)
+            .sum()
+    }
+}
+
+/// The paper's figure-2 monitoring tree: root ← {ucsd, sdsc},
+/// ucsd ← {physics, math}, sdsc ← {attic}; "the twelve clusters in the
+/// tree are simulated with pseudo-gmons" (§4.1), two local to each
+/// monitor.
+pub fn fig2_tree(hosts_per_cluster: usize) -> TreeSpec {
+    let monitor = |name: &str, children: &[&str]| {
+        let local_clusters = (0..2)
+            .map(|i| ClusterSpec {
+                name: format!("{name}-c{i}"),
+                hosts: hosts_per_cluster,
+            })
+            .collect();
+        MonitorSpec {
+            name: name.to_string(),
+            children: children.iter().map(|c| c.to_string()).collect(),
+            local_clusters,
+        }
+    };
+    TreeSpec {
+        root: "root".to_string(),
+        monitors: vec![
+            monitor("root", &["ucsd", "sdsc"]),
+            monitor("ucsd", &["physics", "math"]),
+            monitor("sdsc", &["attic"]),
+            monitor("physics", &[]),
+            monitor("math", &[]),
+            monitor("attic", &[]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_the_paper() {
+        let tree = fig2_tree(100);
+        tree.validate().unwrap();
+        assert_eq!(tree.monitors.len(), 6, "six gmeta nodes (§4.2)");
+        assert_eq!(tree.cluster_count(), 12, "twelve clusters (§4.1)");
+        assert_eq!(tree.host_count(), 1200);
+        assert_eq!(tree.monitor("root").unwrap().children, vec!["ucsd", "sdsc"]);
+        assert_eq!(
+            tree.monitor("ucsd").unwrap().children,
+            vec!["physics", "math"]
+        );
+        assert_eq!(tree.monitor("sdsc").unwrap().children, vec!["attic"]);
+    }
+
+    #[test]
+    fn bottom_up_puts_children_before_parents() {
+        let tree = fig2_tree(10);
+        let order = tree.bottom_up();
+        let pos = |name: &str| order.iter().position(|m| m == name).unwrap();
+        assert!(pos("physics") < pos("ucsd"));
+        assert!(pos("math") < pos("ucsd"));
+        assert!(pos("attic") < pos("sdsc"));
+        assert!(pos("ucsd") < pos("root"));
+        assert!(pos("sdsc") < pos("root"));
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn validation_catches_bad_trees() {
+        let mut tree = fig2_tree(1);
+        tree.monitors[0].children.push("mars".into());
+        assert_eq!(
+            tree.validate(),
+            Err(TreeError::UnknownMonitor("mars".into()))
+        );
+
+        let mut tree = fig2_tree(1);
+        tree.monitors[1].children.push("attic".into());
+        assert_eq!(
+            tree.validate(),
+            Err(TreeError::MultipleParents("attic".into()))
+        );
+
+        let mut tree = fig2_tree(1);
+        tree.monitors[4].local_clusters[0].name = "root-c0".into();
+        assert_eq!(
+            tree.validate(),
+            Err(TreeError::DuplicateCluster("root-c0".into()))
+        );
+
+        let mut tree = fig2_tree(1);
+        tree.root = "mars".into();
+        assert_eq!(tree.validate(), Err(TreeError::NoRoot));
+
+        let mut tree = fig2_tree(1);
+        let dup = tree.monitors[5].clone();
+        tree.monitors.push(dup);
+        assert!(matches!(
+            tree.validate(),
+            Err(TreeError::DuplicateMonitor(_))
+        ));
+
+        // An orphan monitor is unreachable.
+        let mut tree = fig2_tree(1);
+        tree.monitors.push(MonitorSpec {
+            name: "island".into(),
+            children: vec![],
+            local_clusters: vec![],
+        });
+        assert_eq!(
+            tree.validate(),
+            Err(TreeError::UnreachableMonitor("island".into()))
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! `gstat` — command-line viewer for a gmeta agent over TCP.
+//!
+//! ```sh
+//! gstat --gmetad 127.0.0.1:8652                      # meta view
+//! gstat --gmetad 127.0.0.1:8652 --cluster meteor     # cluster view
+//! gstat --gmetad 127.0.0.1:8652 --cluster meteor --host compute-0-0
+//! gstat --gmetad 127.0.0.1:8652 --one-level          # legacy full-dump client
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ganglia_net::{Addr, TcpTransport};
+use ganglia_web::render::{render_cluster, render_host, render_meta};
+use ganglia_web::{Frontend, NLevelFrontend, OneLevelFrontend, ViewerClient};
+
+struct Options {
+    gmetad: String,
+    cluster: Option<String>,
+    host: Option<String>,
+    one_level: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        gmetad: String::new(),
+        cluster: None,
+        host: None,
+        one_level: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--gmetad" | "-g" => options.gmetad = value("--gmetad")?,
+            "--cluster" | "-c" => options.cluster = Some(value("--cluster")?),
+            "--host" | "-H" => options.host = Some(value("--host")?),
+            "--one-level" => options.one_level = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if options.gmetad.is_empty() {
+        return Err("--gmetad <host:port> is required".to_string());
+    }
+    if options.host.is_some() && options.cluster.is_none() {
+        return Err("--host requires --cluster".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("gstat: {e}");
+            eprintln!(
+                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let client = ViewerClient::new(
+        Arc::new(TcpTransport::new()),
+        Addr::new(options.gmetad.clone()),
+    );
+    let frontend: Box<dyn Frontend> = if options.one_level {
+        Box::new(OneLevelFrontend::new(client))
+    } else {
+        Box::new(NLevelFrontend::new(client))
+    };
+    let outcome = match (&options.cluster, &options.host) {
+        (None, _) => frontend.meta_view().map(|(view, timing)| {
+            print!("{}", render_meta(&view));
+            timing
+        }),
+        (Some(cluster), None) => frontend.cluster_view(cluster).map(|(view, timing)| {
+            print!("{}", render_cluster(&view));
+            timing
+        }),
+        (Some(cluster), Some(host)) => {
+            frontend.host_view(cluster, host).map(|(view, timing)| {
+                print!("{}", render_host(&view));
+                timing
+            })
+        }
+    };
+    match outcome {
+        Ok(timing) => {
+            eprintln!(
+                "({} bytes of XML; download+parse {:?})",
+                timing.xml_bytes,
+                timing.download_and_parse()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gstat: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

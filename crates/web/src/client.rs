@@ -1,0 +1,139 @@
+//! The viewer's connection to a gmeta agent.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ganglia_metrics::{parse_document, GangliaDoc, ParseError};
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, NetError};
+
+use crate::timing::ViewTiming;
+
+/// Why a page could not be generated.
+#[derive(Debug)]
+pub enum ViewerError {
+    /// The gmeta agent could not be reached.
+    Net(NetError),
+    /// The agent's response did not parse.
+    Parse(ParseError),
+    /// The selected cluster/host does not exist in the response.
+    NotFound(String),
+}
+
+impl std::fmt::Display for ViewerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewerError::Net(e) => write!(f, "gmeta unreachable: {e}"),
+            ViewerError::Parse(e) => write!(f, "bad gmeta response: {e}"),
+            ViewerError::NotFound(what) => write!(f, "{what} not found"),
+        }
+    }
+}
+
+impl std::error::Error for ViewerError {}
+
+impl From<NetError> for ViewerError {
+    fn from(e: NetError) -> Self {
+        ViewerError::Net(e)
+    }
+}
+
+impl From<ParseError> for ViewerError {
+    fn from(e: ParseError) -> Self {
+        ViewerError::Parse(e)
+    }
+}
+
+/// A viewer session bound to one gmeta agent.
+pub struct ViewerClient {
+    transport: Arc<dyn Transport>,
+    gmeta: Addr,
+    timeout: Duration,
+}
+
+impl ViewerClient {
+    /// Connect-info for a gmeta agent.
+    pub fn new(transport: Arc<dyn Transport>, gmeta: Addr) -> ViewerClient {
+        ViewerClient {
+            transport,
+            gmeta,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The agent this client queries.
+    pub fn gmeta(&self) -> &Addr {
+        &self.gmeta
+    }
+
+    /// Issue one query and parse the response, recording download and
+    /// parse time into `timing`.
+    pub fn fetch_parsed(
+        &self,
+        query: &str,
+        timing: &mut ViewTiming,
+    ) -> Result<GangliaDoc, ViewerError> {
+        let start = Instant::now();
+        let xml = self.transport.fetch(&self.gmeta, query, self.timeout)?;
+        timing.download += start.elapsed();
+        timing.xml_bytes += xml.len();
+        let start = Instant::now();
+        let doc = parse_document(&xml)?;
+        timing.parse += start.elapsed();
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_net::transport::Transport;
+    use ganglia_net::SimNet;
+
+    #[test]
+    fn fetch_parsed_times_and_parses() {
+        let net = SimNet::new(1);
+        let _g = net
+            .serve(
+                &Addr::new("gmeta"),
+                Arc::new(|q: &str| {
+                    format!(
+                        "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\">\
+                         <GRID NAME=\"g\" AUTHORITY=\"\" LOCALTIME=\"0\">\
+                         <!-- q={q} --></GRID></GANGLIA_XML>"
+                    )
+                }),
+            )
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let mut timing = ViewTiming::default();
+        let doc = client.fetch_parsed("/x", &mut timing).unwrap();
+        assert_eq!(doc.items.len(), 1);
+        assert!(timing.xml_bytes > 0);
+    }
+
+    #[test]
+    fn network_errors_are_reported() {
+        let net = SimNet::new(1);
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("ghost"));
+        let mut timing = ViewTiming::default();
+        assert!(matches!(
+            client.fetch_parsed("/", &mut timing),
+            Err(ViewerError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn bad_xml_is_a_parse_error() {
+        let net = SimNet::new(1);
+        let _g = net
+            .serve(&Addr::new("gmeta"), Arc::new(|_: &str| "<junk".to_string()))
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let mut timing = ViewTiming::default();
+        assert!(matches!(
+            client.fetch_parsed("/", &mut timing),
+            Err(ViewerError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,217 @@
+//! The two frontend implementations Table 1 compares.
+
+use std::time::Instant;
+
+
+use crate::client::{ViewerClient, ViewerError};
+use crate::timing::ViewTiming;
+use crate::views::{find_cluster, top_level_items, ClusterView, HostView, MetaView};
+
+/// A frontend builds the three central views, reporting where the time
+/// went.
+pub trait Frontend {
+    /// Summary of all monitored clusters.
+    fn meta_view(&self) -> Result<(MetaView, ViewTiming), ViewerError>;
+    /// One cluster at full resolution.
+    fn cluster_view(&self, cluster: &str) -> Result<(ClusterView, ViewTiming), ViewerError>;
+    /// All information about a single host.
+    fn host_view(&self, cluster: &str, host: &str)
+        -> Result<(HostView, ViewTiming), ViewerError>;
+}
+
+/// The 2.5.1-era frontend: downloads the whole tree for every page and
+/// filters client-side.
+pub struct OneLevelFrontend {
+    client: ViewerClient,
+}
+
+impl OneLevelFrontend {
+    /// Point the frontend at a gmeta agent.
+    pub fn new(client: ViewerClient) -> Self {
+        OneLevelFrontend { client }
+    }
+}
+
+impl Frontend for OneLevelFrontend {
+    fn meta_view(&self) -> Result<(MetaView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        let doc = self.client.fetch_parsed("/", &mut timing)?;
+        let start = Instant::now();
+        // Client-side summarization of the entire tree (§4.3).
+        let view = MetaView::from_full_tree(&doc);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+
+    fn cluster_view(&self, cluster: &str) -> Result<(ClusterView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        let doc = self.client.fetch_parsed("/", &mut timing)?;
+        let start = Instant::now();
+        // "The 1-level viewer must parse and discard much of the data it
+        // receives" — everything but the selected cluster.
+        let node = find_cluster(top_level_items(&doc), cluster)
+            .ok_or_else(|| ViewerError::NotFound(format!("cluster {cluster}")))?;
+        let view = ClusterView::from_cluster(node);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+
+    fn host_view(
+        &self,
+        cluster: &str,
+        host: &str,
+    ) -> Result<(HostView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        let doc = self.client.fetch_parsed("/", &mut timing)?;
+        let start = Instant::now();
+        let node = find_cluster(top_level_items(&doc), cluster)
+            .ok_or_else(|| ViewerError::NotFound(format!("cluster {cluster}")))?;
+        let host_node = node
+            .host(host)
+            .ok_or_else(|| ViewerError::NotFound(format!("host {host}")))?;
+        let view = HostView::from_host(cluster, host_node);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+}
+
+/// The 2.5.4-era frontend: targeted path queries against the N-level
+/// query engine.
+pub struct NLevelFrontend {
+    client: ViewerClient,
+}
+
+impl NLevelFrontend {
+    /// Point the frontend at a gmeta agent.
+    pub fn new(client: ViewerClient) -> Self {
+        NLevelFrontend { client }
+    }
+}
+
+impl Frontend for NLevelFrontend {
+    fn meta_view(&self) -> Result<(MetaView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        // Summaries come straight from the daemon: O(C·m) bytes.
+        let doc = self.client.fetch_parsed("/?filter=summary", &mut timing)?;
+        let start = Instant::now();
+        let view = MetaView::from_doc(&doc);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+
+    fn cluster_view(&self, cluster: &str) -> Result<(ClusterView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        let doc = self
+            .client
+            .fetch_parsed(&format!("/{cluster}"), &mut timing)?;
+        let start = Instant::now();
+        let node = find_cluster(top_level_items(&doc), cluster)
+            .ok_or_else(|| ViewerError::NotFound(format!("cluster {cluster}")))?;
+        let view = ClusterView::from_cluster(node);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+
+    fn host_view(
+        &self,
+        cluster: &str,
+        host: &str,
+    ) -> Result<(HostView, ViewTiming), ViewerError> {
+        let mut timing = ViewTiming::default();
+        let doc = self
+            .client
+            .fetch_parsed(&format!("/{cluster}/{host}"), &mut timing)?;
+        let start = Instant::now();
+        let node = find_cluster(top_level_items(&doc), cluster)
+            .ok_or_else(|| ViewerError::NotFound(format!("cluster {cluster}")))?;
+        let host_node = node
+            .host(host)
+            .ok_or_else(|| ViewerError::NotFound(format!("host {host}")))?;
+        let view = HostView::from_host(cluster, host_node);
+        timing.build += start.elapsed();
+        Ok((view, timing))
+    }
+}
+
+// Frontends are exercised end-to-end (against a live gmetad) in the
+// crate's integration tests, where a real daemon is available.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_net::transport::Transport;
+    use ganglia_net::{Addr, SimNet};
+    use std::sync::{Arc, Mutex};
+
+    const CANNED: &str = r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmetad">
+       <GRID NAME="sdsc" AUTHORITY="http://sdsc/" LOCALTIME="5">
+         <CLUSTER NAME="meteor" LOCALTIME="5">
+           <HOST NAME="n0" IP="1.1.1.1" REPORTED="5" TN="1" TMAX="20" DMAX="0">
+             <METRIC NAME="load_one" VAL="0.5" TYPE="float" SLOPE="both"/>
+           </HOST>
+         </CLUSTER>
+       </GRID></GANGLIA_XML>"#;
+
+    #[test]
+    fn frontends_issue_the_expected_queries() {
+        let net = SimNet::new(1);
+        let queries = Arc::new(Mutex::new(Vec::new()));
+        let queries_for_handler = Arc::clone(&queries);
+        let _guard = net
+            .serve(
+                &Addr::new("gmeta"),
+                Arc::new(move |q: &str| {
+                    queries_for_handler.lock().expect("not poisoned").push(q.to_string());
+                    CANNED.to_string()
+                }),
+            )
+            .unwrap();
+        let make_client =
+            || ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+
+        let one = OneLevelFrontend::new(make_client());
+        let (meta, timing) = one.meta_view().unwrap();
+        assert_eq!(meta.rows.len(), 1);
+        assert!(timing.xml_bytes > 0);
+        one.cluster_view("meteor").unwrap();
+        one.host_view("meteor", "n0").unwrap();
+
+        let n = NLevelFrontend::new(make_client());
+        n.meta_view().unwrap();
+        let (cluster, _) = n.cluster_view("meteor").unwrap();
+        assert_eq!(cluster.rows.len(), 1);
+        let (host, _) = n.host_view("meteor", "n0").unwrap();
+        assert_eq!(host.name, "n0");
+
+        let seen = queries.lock().expect("not poisoned").clone();
+        assert_eq!(
+            seen,
+            vec![
+                "/", "/", "/", // 1-level: always the full tree
+                "/?filter=summary",
+                "/meteor",
+                "/meteor/n0",
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_cluster_is_not_found() {
+        let net = SimNet::new(1);
+        let _guard = net
+            .serve(
+                &Addr::new("gmeta"),
+                Arc::new(|_: &str| {
+                    "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\">\
+                     <GRID NAME=\"sdsc\" AUTHORITY=\"\" LOCALTIME=\"0\"/></GANGLIA_XML>"
+                        .to_string()
+                }),
+            )
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let frontend = NLevelFrontend::new(client);
+        assert!(matches!(
+            frontend.cluster_view("ghost"),
+            Err(ViewerError::NotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! The host-history page: archived metric series as sparklines.
+//!
+//! The PHP frontend reads gmetad's RRD files from local disk and graphs
+//! them. This renderer is transport-agnostic: it pulls series through a
+//! caller-supplied fetch function (typically a closure over
+//! `Gmetad::fetch_history`) so it works in-process, over tests, or over
+//! any future remote-history protocol.
+
+use ganglia_rrd::{MetricKey, Series};
+
+use crate::sparkline::render_history;
+
+/// Fetches one archived series, or `None` if it does not exist.
+pub type HistoryFetch<'a> = dyn Fn(&MetricKey) -> Option<Series> + 'a;
+
+/// Render the history page for one host: one sparkline per requested
+/// metric. Missing archives render as an explicit note rather than
+/// being dropped, so absent history is visible.
+pub fn render_host_history(
+    source: &str,
+    host: &str,
+    metrics: &[&str],
+    fetch: &HistoryFetch<'_>,
+) -> String {
+    let mut out = format!("=== History {source}/{host} ===\n");
+    for metric in metrics {
+        let key = MetricKey::host_metric(source, host, *metric);
+        match fetch(&key) {
+            Some(series) => out.push_str(&render_history(metric, &series)),
+            None => out.push_str(&format!("{metric:<16} (no archive)\n")),
+        }
+    }
+    out
+}
+
+/// Render a cluster's summary history (the `SUM` series of each
+/// requested metric).
+pub fn render_summary_history(
+    source: &str,
+    metrics: &[&str],
+    fetch: &HistoryFetch<'_>,
+) -> String {
+    let mut out = format!("=== Summary history {source} ===\n");
+    for metric in metrics {
+        let key = MetricKey::summary_metric(source, *metric);
+        match fetch(&key) {
+            Some(series) => out.push_str(&render_history(metric, &series)),
+            None => out.push_str(&format!("{metric:<16} (no archive)\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canned_fetch(key: &MetricKey) -> Option<Series> {
+        (key.metric == "load_one").then(|| Series {
+            start: 15,
+            step: 15,
+            values: vec![1.0, 2.0, f64::NAN, 4.0],
+        })
+    }
+
+    #[test]
+    fn host_history_renders_present_and_absent_metrics() {
+        let text = render_host_history(
+            "meteor",
+            "n0",
+            &["load_one", "cpu_user"],
+            &canned_fetch,
+        );
+        assert!(text.contains("History meteor/n0"));
+        assert!(text.contains("load_one"));
+        assert!(text.contains("unknown=1"));
+        assert!(text.contains("cpu_user"));
+        assert!(text.contains("(no archive)"));
+    }
+
+    #[test]
+    fn summary_history_uses_summary_keys() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        let fetch = |key: &MetricKey| {
+            seen.borrow_mut().push(key.clone());
+            None
+        };
+        let _ = render_summary_history("meteor", &["load_one"], &fetch);
+        let keys = seen.borrow();
+        assert_eq!(keys.len(), 1);
+        assert!(keys[0].is_summary());
+    }
+}

@@ -1,0 +1,40 @@
+//! The web-frontend viewer.
+//!
+//! "The most common method of viewing the monitor tree is with Ganglia's
+//! web frontend. This and other viewers request raw XML from a gmeta
+//! agent and parse it for display. The processing required to view the
+//! tree is therefore proportional to the size of the XML returned by the
+//! monitor." (paper §3.3)
+//!
+//! This crate reimplements that client — the system under measurement in
+//! the paper's Table 1. It builds the frontend's three central views:
+//!
+//! * **meta view** — summarizes all monitored clusters;
+//! * **cluster view** — one cluster at full resolution;
+//! * **host view** — everything known about a single host;
+//!
+//! under both designs:
+//!
+//! * [`frontend::OneLevelFrontend`] downloads the *entire tree* for every
+//!   view and does its own summarization/filtering client-side, exactly
+//!   like the PHP frontend against gmetad 2.5.1 ("the 1-level viewer must
+//!   parse and discard much of the data it receives", §4.3);
+//! * [`frontend::NLevelFrontend`] issues targeted path queries and
+//!   summary filters against the query engine.
+//!
+//! Every view returns a [`timing::ViewTiming`] separating download,
+//! parse, and view-construction time, mirroring the paper's
+//! `gettimeofday()` instrumentation points (§4.1).
+
+pub mod client;
+pub mod frontend;
+pub mod history;
+pub mod render;
+pub mod sparkline;
+pub mod timing;
+pub mod views;
+
+pub use client::ViewerClient;
+pub use frontend::{Frontend, NLevelFrontend, OneLevelFrontend};
+pub use timing::ViewTiming;
+pub use views::{ClusterView, HostRow, HostView, MetaRow, MetaView, MetricRow};

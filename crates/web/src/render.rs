@@ -1,0 +1,153 @@
+//! Plain-text page rendering.
+//!
+//! The PHP frontend renders HTML; our stand-in renders aligned text
+//! tables, which is what the examples and experiment binaries print.
+//! Rendering cost is deliberately proportional to the view model, not to
+//! the XML it came from — the point of Table 1 is that the *XML* work
+//! differs between designs.
+
+use std::fmt::Write;
+
+use crate::views::{ClusterView, HostView, MetaView};
+
+/// Render the meta view.
+pub fn render_meta(view: &MetaView) -> String {
+    let mut out = String::new();
+    let (up, down, cpus) = view.totals();
+    let _ = writeln!(out, "=== Grid overview: {} source(s) ===", view.rows.len());
+    let _ = writeln!(out, "hosts up {up}, down {down}, total CPUs {cpus:.0}");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>5} {:>5} {:>8} {:>10}  AUTHORITY",
+        "SOURCE", "UP", "DOWN", "CPUS", "LOAD(avg)"
+    );
+    for row in &view.rows {
+        let kind = if row.is_grid { "grid " } else { "" };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>5} {:>8.0} {:>10.2}  {}{}",
+            row.name,
+            row.hosts_up,
+            row.hosts_down,
+            row.cpus,
+            row.load_one_mean.unwrap_or(0.0),
+            kind,
+            row.authority,
+        );
+    }
+    out
+}
+
+/// Render the cluster view.
+pub fn render_cluster(view: &ClusterView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Cluster {} ({} up / {} down) ===",
+        view.name, view.hosts_up, view.hosts_down
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:<15} {:>5} {:>9} {:>8} {:>6}",
+        "HOST", "IP", "UP", "LOAD_ONE", "CPU_NUM", "TN"
+    );
+    for row in &view.rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:<15} {:>5} {:>9.2} {:>8.0} {:>6}",
+            row.name,
+            row.ip,
+            if row.up { "yes" } else { "NO" },
+            row.load_one.unwrap_or(f64::NAN),
+            row.cpu_num.unwrap_or(f64::NAN),
+            row.tn,
+        );
+    }
+    out
+}
+
+/// Render the host view.
+pub fn render_host(view: &HostView) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Host {}/{} ({}) — {} ===",
+        view.cluster,
+        view.name,
+        view.ip,
+        if view.up { "up" } else { "DOWN" }
+    );
+    for metric in &view.metrics {
+        let _ = writeln!(
+            out,
+            "{:<16} = {:>14} {:<12} ({})",
+            metric.name, metric.value, metric.units, metric.type_name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::{HostRow, MetaRow, MetricRow};
+
+    #[test]
+    fn meta_rendering_contains_rows_and_totals() {
+        let view = MetaView {
+            rows: vec![MetaRow {
+                name: "meteor".into(),
+                is_grid: false,
+                hosts_up: 100,
+                hosts_down: 2,
+                cpus: 200.0,
+                load_one_sum: 55.0,
+                load_one_mean: Some(0.55),
+                authority: String::new(),
+            }],
+        };
+        let text = render_meta(&view);
+        assert!(text.contains("meteor"));
+        assert!(text.contains("100"));
+        assert!(text.contains("0.55"));
+    }
+
+    #[test]
+    fn cluster_rendering_marks_down_hosts() {
+        let view = ClusterView {
+            name: "meteor".into(),
+            rows: vec![HostRow {
+                name: "n0".into(),
+                ip: "1.1.1.1".into(),
+                up: false,
+                load_one: Some(1.25),
+                cpu_num: Some(2.0),
+                tn: 999,
+            }],
+            hosts_up: 0,
+            hosts_down: 1,
+        };
+        let text = render_cluster(&view);
+        assert!(text.contains("NO"));
+        assert!(text.contains("1.25"));
+    }
+
+    #[test]
+    fn host_rendering_lists_metrics() {
+        let view = HostView {
+            cluster: "meteor".into(),
+            name: "n0".into(),
+            ip: "1.1.1.1".into(),
+            up: true,
+            metrics: vec![MetricRow {
+                name: "os_name".into(),
+                value: "Linux".into(),
+                units: String::new(),
+                type_name: "string".into(),
+            }],
+        };
+        let text = render_host(&view);
+        assert!(text.contains("os_name"));
+        assert!(text.contains("Linux"));
+    }
+}

@@ -1,0 +1,128 @@
+//! ASCII sparklines over archived metric history.
+//!
+//! The PHP frontend renders rrdtool graphs; our stand-in renders the
+//! same round-robin series as unicode block sparklines, with unknown
+//! intervals (downtime "zero records") marked distinctly so forensic
+//! gaps stay visible.
+
+use ganglia_rrd::Series;
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Rendered for unknown (NaN) samples.
+const UNKNOWN: char = '·';
+
+/// Render a series as one sparkline row, scaled to its own min..max.
+pub fn sparkline(series: &Series) -> String {
+    let known: Vec<f64> = series
+        .values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
+    if known.is_empty() {
+        return UNKNOWN.to_string().repeat(series.values.len());
+    }
+    let min = known.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = known.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    series
+        .values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                UNKNOWN
+            } else {
+                let t = ((v - min) / span).clamp(0.0, 1.0);
+                BARS[((t * (BARS.len() - 1) as f64).round()) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Render a labelled history block: sparkline plus min/mean/max and the
+/// covered time range.
+pub fn render_history(metric: &str, series: &Series) -> String {
+    let known: Vec<f64> = series
+        .values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
+    let (min, max) = known.iter().fold(
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |(lo, hi), &v| (lo.min(v), hi.max(v)),
+    );
+    let mean = series.mean();
+    let end = series.start + series.step * series.values.len().saturating_sub(1) as u64;
+    let unknown = series.values.len() - known.len();
+    format!(
+        "{metric:<16} [{}] t={}..{} step={}s min={} mean={} max={} unknown={}\n",
+        sparkline(series),
+        series.start,
+        end,
+        series.step,
+        fmt(min),
+        mean.map_or("-".to_string(), fmt),
+        fmt(max),
+        unknown,
+    )
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: Vec<f64>) -> Series {
+        Series {
+            start: 15,
+            step: 15,
+            values,
+        }
+    }
+
+    #[test]
+    fn scales_to_range() {
+        let s = sparkline(&series(vec![0.0, 0.5, 1.0]));
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn unknowns_are_marked() {
+        let s = sparkline(&series(vec![1.0, f64::NAN, 2.0]));
+        assert_eq!(s.chars().nth(1), Some('·'));
+    }
+
+    #[test]
+    fn all_unknown_is_all_dots() {
+        let s = sparkline(&series(vec![f64::NAN, f64::NAN]));
+        assert_eq!(s, "··");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = sparkline(&series(vec![5.0, 5.0, 5.0]));
+        assert_eq!(s.chars().count(), 3);
+    }
+
+    #[test]
+    fn history_block_mentions_everything() {
+        let text = render_history("load_one", &series(vec![1.0, f64::NAN, 3.0]));
+        assert!(text.contains("load_one"));
+        assert!(text.contains("min=1.00"));
+        assert!(text.contains("max=3.00"));
+        assert!(text.contains("mean=2.00"));
+        assert!(text.contains("unknown=1"));
+        assert!(text.contains("t=15..45"));
+    }
+}

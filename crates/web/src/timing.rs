@@ -1,0 +1,72 @@
+//! Per-view timing, mirroring the paper's instrumentation.
+//!
+//! "Timings are taken with gettimeofday() calls inserted just before the
+//! socket connection to the gmeta agent and after the completion of the
+//! XML parsing." (paper §4.1)
+
+use std::time::Duration;
+
+/// Where a view's wall-clock time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewTiming {
+    /// Socket exchange with the gmeta agent.
+    pub download: Duration,
+    /// XML parsing.
+    pub parse: Duration,
+    /// View-model construction from the parsed document.
+    pub build: Duration,
+    /// Bytes of XML downloaded.
+    pub xml_bytes: usize,
+}
+
+impl ViewTiming {
+    /// Download + parse, the quantity Table 1 reports.
+    pub fn download_and_parse(&self) -> Duration {
+        self.download + self.parse
+    }
+
+    /// Everything.
+    pub fn total(&self) -> Duration {
+        self.download + self.parse + self.build
+    }
+
+    /// Accumulate another timing (averaging helpers in experiments).
+    pub fn add(&mut self, other: &ViewTiming) {
+        self.download += other.download;
+        self.parse += other.parse;
+        self.build += other.build;
+        self.xml_bytes += other.xml_bytes;
+    }
+
+    /// Divide by a sample count.
+    pub fn div(&self, n: u32) -> ViewTiming {
+        ViewTiming {
+            download: self.download / n,
+            parse: self.parse / n,
+            build: self.build / n,
+            xml_bytes: self.xml_bytes / n as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = ViewTiming {
+            download: Duration::from_millis(10),
+            parse: Duration::from_millis(20),
+            build: Duration::from_millis(5),
+            xml_bytes: 1000,
+        };
+        assert_eq!(a.download_and_parse(), Duration::from_millis(30));
+        assert_eq!(a.total(), Duration::from_millis(35));
+        let mut sum = ViewTiming::default();
+        sum.add(&a);
+        sum.add(&a);
+        let avg = sum.div(2);
+        assert_eq!(avg, a);
+    }
+}

@@ -1,0 +1,314 @@
+//! View models: what each web page displays.
+
+use ganglia_metrics::model::{ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, HostNode, SummaryBody};
+
+/// One row of the meta view: a cluster or remote grid in summary form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaRow {
+    pub name: String,
+    /// `true` for remote grids (one row covers many clusters).
+    pub is_grid: bool,
+    pub hosts_up: u32,
+    pub hosts_down: u32,
+    /// Total CPUs (sum of `cpu_num`).
+    pub cpus: f64,
+    /// One-minute load, summed over hosts.
+    pub load_one_sum: f64,
+    /// Mean one-minute load.
+    pub load_one_mean: Option<f64>,
+    /// Where a higher-resolution view lives (grids only).
+    pub authority: String,
+}
+
+impl MetaRow {
+    fn from_summary(name: &str, is_grid: bool, authority: &str, summary: &SummaryBody) -> MetaRow {
+        let load = summary.metric("load_one");
+        MetaRow {
+            name: name.to_string(),
+            is_grid,
+            hosts_up: summary.hosts_up,
+            hosts_down: summary.hosts_down,
+            cpus: summary.metric("cpu_num").map_or(0.0, |m| m.sum),
+            load_one_sum: load.map_or(0.0, |m| m.sum),
+            load_one_mean: load.and_then(|m| m.mean()),
+            authority: authority.to_string(),
+        }
+    }
+}
+
+/// The meta view: "summarizes all monitored clusters" (paper §4.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetaView {
+    pub rows: Vec<MetaRow>,
+}
+
+impl MetaView {
+    /// Build from a response whose sources are already in summary form
+    /// (the N-level viewer path), or from anything else by summarizing
+    /// client-side (the 1-level viewer path uses
+    /// [`MetaView::from_full_tree`]).
+    pub fn from_doc(doc: &GangliaDoc) -> MetaView {
+        let mut view = MetaView::default();
+        for item in top_level_items(doc) {
+            view.push_item(item);
+        }
+        view.rows.sort_by(|a, b| a.name.cmp(&b.name));
+        view
+    }
+
+    /// Client-side summarization of a full tree — what the 1-level
+    /// frontend must do ("generates its own summaries for the meta
+    /// view", §4.3).
+    pub fn from_full_tree(doc: &GangliaDoc) -> MetaView {
+        // Identical walk: `GridItem::summary()` reduces full detail when
+        // present. The cost difference is in the size of `doc`.
+        MetaView::from_doc(doc)
+    }
+
+    fn push_item(&mut self, item: &GridItem) {
+        match item {
+            GridItem::Cluster(c) => {
+                let summary = c.summary();
+                self.rows
+                    .push(MetaRow::from_summary(&c.name, false, &c.url, &summary));
+            }
+            GridItem::Grid(g) => {
+                let summary = g.summary();
+                self.rows
+                    .push(MetaRow::from_summary(&g.name, true, &g.authority, &summary));
+            }
+        }
+    }
+
+    /// Whole-page totals.
+    pub fn totals(&self) -> (u32, u32, f64) {
+        let up = self.rows.iter().map(|r| r.hosts_up).sum();
+        let down = self.rows.iter().map(|r| r.hosts_down).sum();
+        let cpus = self.rows.iter().map(|r| r.cpus).sum();
+        (up, down, cpus)
+    }
+}
+
+/// One row of the cluster view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostRow {
+    pub name: String,
+    pub ip: String,
+    pub up: bool,
+    pub load_one: Option<f64>,
+    pub cpu_num: Option<f64>,
+    /// Heartbeat age in seconds.
+    pub tn: u32,
+}
+
+/// The cluster view: "describes one cluster at full-resolution" (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    pub name: String,
+    pub rows: Vec<HostRow>,
+    pub hosts_up: u32,
+    pub hosts_down: u32,
+}
+
+impl ClusterView {
+    /// Build from a cluster node at full resolution.
+    pub fn from_cluster(cluster: &ClusterNode) -> ClusterView {
+        let mut rows = Vec::new();
+        let mut up = 0;
+        let mut down = 0;
+        if let ClusterBody::Hosts(hosts) = &cluster.body {
+            for host in hosts {
+                if host.is_up() {
+                    up += 1;
+                } else {
+                    down += 1;
+                }
+                rows.push(HostRow {
+                    name: host.name.clone(),
+                    ip: host.ip.clone(),
+                    up: host.is_up(),
+                    load_one: host.metric("load_one").and_then(|m| m.value.as_f64()),
+                    cpu_num: host.metric("cpu_num").and_then(|m| m.value.as_f64()),
+                    tn: host.tn,
+                });
+            }
+        }
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        ClusterView {
+            name: cluster.name.clone(),
+            rows,
+            hosts_up: up,
+            hosts_down: down,
+        }
+    }
+}
+
+/// One metric on the host view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    pub name: String,
+    pub value: String,
+    pub units: String,
+    pub type_name: String,
+}
+
+/// The host view: "all information known about a single host" (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostView {
+    pub cluster: String,
+    pub name: String,
+    pub ip: String,
+    pub up: bool,
+    pub metrics: Vec<MetricRow>,
+}
+
+impl HostView {
+    /// Build from a host node (with its owning cluster's name).
+    pub fn from_host(cluster: &str, host: &HostNode) -> HostView {
+        let mut metrics: Vec<MetricRow> = host
+            .metrics
+            .iter()
+            .map(|m| MetricRow {
+                name: m.name.clone(),
+                value: m.value.to_string(),
+                units: m.units.clone(),
+                type_name: m.value.metric_type().name().to_string(),
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        HostView {
+            cluster: cluster.to_string(),
+            name: host.name.clone(),
+            ip: host.ip.clone(),
+            up: host.is_up(),
+            metrics,
+        }
+    }
+}
+
+/// The items directly under the response's self grid (or document root
+/// for gmond responses).
+pub fn top_level_items(doc: &GangliaDoc) -> &[GridItem] {
+    match doc.items.as_slice() {
+        // A gmetad response wraps everything in its own GRID.
+        [GridItem::Grid(grid)] => match &grid.body {
+            GridBody::Items(items) => items,
+            GridBody::Summary(_) => &[],
+        },
+        items => items,
+    }
+}
+
+/// Find a cluster by name anywhere in the response (descends nested
+/// grids — needed for 1-level full-tree responses).
+pub fn find_cluster<'a>(items: &'a [GridItem], name: &str) -> Option<&'a ClusterNode> {
+    for item in items {
+        match item {
+            GridItem::Cluster(c) if c.name == name => return Some(c),
+            GridItem::Cluster(_) => {}
+            GridItem::Grid(g) => {
+                if let GridBody::Items(inner) = &g.body {
+                    if let Some(found) = find_cluster(inner, name) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_metrics::model::{GridNode, MetricEntry};
+    use ganglia_metrics::MetricValue;
+
+    fn cluster(name: &str, hosts: usize) -> ClusterNode {
+        let hosts: Vec<HostNode> = (0..hosts)
+            .map(|i| {
+                let mut h = HostNode::new(format!("{name}-{i}"), format!("10.0.0.{i}"));
+                h.metrics
+                    .push(MetricEntry::new("load_one", MetricValue::Float(0.5)));
+                h.metrics
+                    .push(MetricEntry::new("cpu_num", MetricValue::Uint16(2)));
+                h
+            })
+            .collect();
+        ClusterNode::with_hosts(name, hosts)
+    }
+
+    fn doc_with(items: Vec<GridItem>) -> GangliaDoc {
+        let mut grid = GridNode::with_items("sdsc", items);
+        grid.authority = "http://sdsc/".into();
+        GangliaDoc {
+            version: "2.5.4".into(),
+            source: "gmetad".into(),
+            items: vec![GridItem::Grid(grid)],
+        }
+    }
+
+    #[test]
+    fn meta_view_rows_and_totals() {
+        let doc = doc_with(vec![
+            GridItem::Cluster(cluster("meteor", 4)),
+            GridItem::Cluster(cluster("nashi", 2)),
+        ]);
+        let view = MetaView::from_doc(&doc);
+        assert_eq!(view.rows.len(), 2);
+        assert_eq!(view.rows[0].name, "meteor");
+        assert_eq!(view.rows[0].hosts_up, 4);
+        assert_eq!(view.rows[0].cpus, 8.0);
+        assert_eq!(view.rows[0].load_one_mean, Some(0.5));
+        let (up, down, cpus) = view.totals();
+        assert_eq!((up, down), (6, 0));
+        assert_eq!(cpus, 12.0);
+    }
+
+    #[test]
+    fn meta_view_includes_grid_summaries() {
+        let mut remote = GridNode::with_items("attic", vec![GridItem::Cluster(cluster("x", 3))]);
+        remote.authority = "http://attic/".into();
+        let doc = doc_with(vec![GridItem::Grid(remote)]);
+        let view = MetaView::from_doc(&doc);
+        assert_eq!(view.rows.len(), 1);
+        assert!(view.rows[0].is_grid);
+        assert_eq!(view.rows[0].hosts_up, 3);
+        assert_eq!(view.rows[0].authority, "http://attic/");
+    }
+
+    #[test]
+    fn cluster_view_full_resolution() {
+        let mut c = cluster("meteor", 3);
+        if let ClusterBody::Hosts(hosts) = &mut c.body {
+            hosts[2].tn = 9999; // down
+        }
+        let view = ClusterView::from_cluster(&c);
+        assert_eq!(view.rows.len(), 3);
+        assert_eq!(view.hosts_up, 2);
+        assert_eq!(view.hosts_down, 1);
+        assert!(!view.rows[2].up);
+        assert_eq!(view.rows[0].load_one, Some(0.5));
+    }
+
+    #[test]
+    fn host_view_lists_all_metrics_sorted() {
+        let c = cluster("meteor", 1);
+        let host = c.host("meteor-0").unwrap();
+        let view = HostView::from_host("meteor", host);
+        assert_eq!(view.cluster, "meteor");
+        assert_eq!(view.metrics.len(), 2);
+        assert_eq!(view.metrics[0].name, "cpu_num");
+        assert_eq!(view.metrics[0].value, "2");
+        assert_eq!(view.metrics[1].name, "load_one");
+    }
+
+    #[test]
+    fn find_cluster_descends_nested_grids() {
+        let inner = GridNode::with_items("ucsd", vec![GridItem::Cluster(cluster("physics", 2))]);
+        let doc = doc_with(vec![GridItem::Grid(inner)]);
+        let items = top_level_items(&doc);
+        assert!(find_cluster(items, "physics").is_some());
+        assert!(find_cluster(items, "chem").is_none());
+    }
+}

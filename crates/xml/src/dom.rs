@@ -1,0 +1,219 @@
+//! A small materialized-tree (DOM) layer on top of the pull parser.
+//!
+//! The wide-area monitor itself never builds a DOM — it streams events
+//! straight into its hash-table store (paper §3.3.2 approximates a DOM
+//! with hash tables instead). The DOM here exists for callers that want
+//! convenience over speed: the web viewer's 1-level code path, tests,
+//! and tooling.
+
+use std::fmt;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::pull::{Event, PullParser};
+use crate::writer::XmlWriter;
+
+/// An element node: name, attributes, text, and child elements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Concatenated character data directly inside this element.
+    pub text: String,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            ..Element::default()
+        }
+    }
+
+    /// Parse a document into its root element.
+    pub fn parse(input: &str) -> XmlResult<Element> {
+        let mut parser = PullParser::new(input);
+        let mut root: Option<Element> = None;
+        let mut stack: Vec<Element> = Vec::new();
+        while let Some(event) = parser.next_event()? {
+            match event {
+                Event::Start {
+                    name, attributes, ..
+                } => {
+                    let elem = Element {
+                        name: name.to_string(),
+                        attributes: attributes
+                            .into_iter()
+                            .map(|a| (a.name.to_string(), a.value.into_owned()))
+                            .collect(),
+                        text: String::new(),
+                        children: Vec::new(),
+                    };
+                    stack.push(elem);
+                }
+                Event::End { .. } => {
+                    let done = stack.pop().expect("parser guarantees balance");
+                    if let Some(parent) = stack.last_mut() {
+                        parent.children.push(done);
+                    } else {
+                        root = Some(done);
+                    }
+                }
+                Event::Text(text) => {
+                    if let Some(open) = stack.last_mut() {
+                        open.text.push_str(&text);
+                    }
+                }
+                Event::Comment(_) | Event::Decl(_) => {}
+            }
+        }
+        root.ok_or_else(|| XmlError::new(input.len(), XmlErrorKind::NoRootElement))
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+        self
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Depth-first search for the first descendant (or self) matching a
+    /// predicate.
+    pub fn find<'a>(&'a self, pred: &dyn Fn(&Element) -> bool) -> Option<&'a Element> {
+        if pred(self) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(pred))
+    }
+
+    /// Total number of elements in this subtree, including self.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.iter().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// Serialize this subtree (no XML declaration).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        let mut writer = XmlWriter::new(&mut out);
+        self.write_into(&mut writer);
+        writer.finish().expect("writing to String cannot fail");
+        out
+    }
+
+    fn write_into<W: fmt::Write>(&self, writer: &mut XmlWriter<W>) {
+        let attrs: Vec<(&str, &str)> = self
+            .attributes
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+            .collect();
+        if self.children.is_empty() && self.text.is_empty() {
+            writer.empty_element(&self.name, &attrs);
+        } else {
+            writer.start_element(&self.name, &attrs);
+            if !self.text.is_empty() {
+                writer.text(&self.text);
+            }
+            for child in &self.children {
+                child.write_into(writer);
+            }
+            writer.end_element();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"<CLUSTER NAME="Meteor" LOCALTIME="1058918400">
+        <HOST NAME="compute-0-0" IP="10.1.1.1">
+            <METRIC NAME="cpu_num" VAL="2" TYPE="int"/>
+            <METRIC NAME="load_one" VAL="0.89" TYPE="float"/>
+        </HOST>
+        <HOST NAME="compute-0-1" IP="10.1.1.2"/>
+    </CLUSTER>"#;
+
+    #[test]
+    fn parse_builds_expected_tree() {
+        let root = Element::parse(DOC).unwrap();
+        assert_eq!(root.name, "CLUSTER");
+        assert_eq!(root.attr("NAME"), Some("Meteor"));
+        assert_eq!(root.children.len(), 2);
+        let host = root.child("HOST").unwrap();
+        assert_eq!(host.children_named("METRIC").count(), 2);
+    }
+
+    #[test]
+    fn find_locates_descendant() {
+        let root = Element::parse(DOC).unwrap();
+        let metric = root
+            .find(&|e| e.name == "METRIC" && e.attr("NAME") == Some("load_one"))
+            .unwrap();
+        assert_eq!(metric.attr("VAL"), Some("0.89"));
+    }
+
+    #[test]
+    fn subtree_size_counts_all_elements() {
+        let root = Element::parse(DOC).unwrap();
+        assert_eq!(root.subtree_size(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let root = Element::parse(DOC).unwrap();
+        let xml = root.to_xml();
+        let again = Element::parse(&xml).unwrap();
+        assert_eq!(root, again);
+    }
+
+    #[test]
+    fn text_is_collected() {
+        let root = Element::parse("<A>one<B/>two</A>").unwrap();
+        assert_eq!(root.text, "onetwo");
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let mut e = Element::new("A");
+        e.set_attr("X", "1");
+        e.set_attr("X", "2");
+        assert_eq!(e.attributes.len(), 1);
+        assert_eq!(e.attr("X"), Some("2"));
+    }
+
+    #[test]
+    fn attrs_with_reserved_chars_roundtrip() {
+        let mut e = Element::new("A");
+        e.set_attr("X", "a<b>&\"c'");
+        let xml = e.to_xml();
+        let back = Element::parse(&xml).unwrap();
+        assert_eq!(back.attr("X"), Some("a<b>&\"c'"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// A parse error, carrying the byte offset where it was detected.
+///
+/// Offsets index into the original input buffer, so a caller holding the
+/// input can map an error back to a line/column with [`XmlError::line_col`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that cannot begin the construct being parsed.
+    UnexpectedChar { expected: &'static str, found: char },
+    /// `</a>` closed an element opened as `<b>`.
+    MismatchedClose { open: String, close: String },
+    /// A close tag appeared with no element open.
+    UnmatchedClose(String),
+    /// Input ended while elements were still open.
+    UnclosedElements(usize),
+    /// An entity reference (`&...;`) that is malformed or unknown.
+    BadEntity(String),
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute(String),
+    /// An element, attribute, or other name was empty or malformed.
+    BadName,
+    /// Document contained no root element.
+    NoRootElement,
+    /// Trailing non-whitespace content after the root element.
+    TrailingContent,
+}
+
+impl XmlError {
+    pub(crate) fn new(offset: usize, kind: XmlErrorKind) -> Self {
+        XmlError { offset, kind }
+    }
+
+    /// Map this error's byte offset to a 1-based `(line, column)` in `input`.
+    pub fn line_col(&self, input: &str) -> (usize, usize) {
+        let clamped = self.offset.min(input.len());
+        let prefix = &input[..clamped];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = prefix
+            .rfind('\n')
+            .map(|p| clamped - p)
+            .unwrap_or(clamped + 1);
+        (line, col)
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => write!(f, "unexpected end of input in {what}"),
+            XmlErrorKind::UnexpectedChar { expected, found } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::MismatchedClose { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            XmlErrorKind::UnmatchedClose(name) => write!(f, "close tag </{name}> with no open tag"),
+            XmlErrorKind::UnclosedElements(n) => write!(f, "{n} element(s) left unclosed"),
+            XmlErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::BadName => write!(f, "malformed name"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "content after document root"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_columns() {
+        let input = "abc\ndef\nghi";
+        let err = XmlError::new(5, XmlErrorKind::BadName);
+        assert_eq!(err.line_col(input), (2, 2));
+        let err0 = XmlError::new(0, XmlErrorKind::BadName);
+        assert_eq!(err0.line_col(input), (1, 1));
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let err = XmlError::new(1000, XmlErrorKind::BadName);
+        assert_eq!(err.line_col("ab"), (1, 3));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = XmlError::new(
+            7,
+            XmlErrorKind::MismatchedClose {
+                open: "HOST".into(),
+                close: "GRID".into(),
+            },
+        );
+        let s = err.to_string();
+        assert!(s.contains("byte 7"));
+        assert!(s.contains("HOST"));
+        assert!(s.contains("GRID"));
+    }
+}

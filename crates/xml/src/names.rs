@@ -1,0 +1,52 @@
+//! Tag and attribute names of the Ganglia XML DTD.
+//!
+//! These mirror the on-the-wire vocabulary of Ganglia monitor-core 2.5.x
+//! plus the `GRID` extension and the summary tags (`HOSTS`, `METRICS`)
+//! added by the wide-area design (paper §3.2, figure 3).
+
+/// Document root emitted by gmond and gmetad.
+pub const GANGLIA_XML: &str = "GANGLIA_XML";
+/// A grid: a collection of clusters and other grids (N-level extension).
+pub const GRID: &str = "GRID";
+/// A cluster of hosts, reported by a gmond.
+pub const CLUSTER: &str = "CLUSTER";
+/// A single monitored host.
+pub const HOST: &str = "HOST";
+/// One metric sample on a host.
+pub const METRIC: &str = "METRIC";
+/// Summary form: additive reduction of one metric over a host set.
+pub const METRICS: &str = "METRICS";
+/// Summary form: host liveness counts.
+pub const HOSTS: &str = "HOSTS";
+/// Extra metric metadata (emitted by later gmonds; accepted, preserved).
+pub const EXTRA_DATA: &str = "EXTRA_DATA";
+/// A single piece of extra metric metadata.
+pub const EXTRA_ELEMENT: &str = "EXTRA_ELEMENT";
+
+/// Attribute names.
+pub mod attr {
+    pub const NAME: &str = "NAME";
+    pub const VAL: &str = "VAL";
+    pub const TYPE: &str = "TYPE";
+    pub const UNITS: &str = "UNITS";
+    pub const TN: &str = "TN";
+    pub const TMAX: &str = "TMAX";
+    pub const DMAX: &str = "DMAX";
+    pub const SLOPE: &str = "SLOPE";
+    pub const SOURCE: &str = "SOURCE";
+    pub const IP: &str = "IP";
+    pub const REPORTED: &str = "REPORTED";
+    pub const LOCATION: &str = "LOCATION";
+    pub const STARTED: &str = "STARTED";
+    pub const OWNER: &str = "OWNER";
+    pub const LATLONG: &str = "LATLONG";
+    pub const URL: &str = "URL";
+    pub const LOCALTIME: &str = "LOCALTIME";
+    pub const AUTHORITY: &str = "AUTHORITY";
+    pub const SUM: &str = "SUM";
+    pub const NUM: &str = "NUM";
+    pub const UP: &str = "UP";
+    pub const DOWN: &str = "DOWN";
+    pub const VERSION: &str = "VERSION";
+    pub const SOURCE_ATTR: &str = "SOURCE";
+}

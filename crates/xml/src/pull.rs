@@ -1,0 +1,525 @@
+//! A zero-copy, SAX-style pull parser.
+//!
+//! Parsing child reports is the single hottest operation in a wide-area
+//! monitor (paper §3.3.1), so this parser is written to borrow everything
+//! it can from the input buffer: element and attribute names are always
+//! `&str` slices of the input, and attribute values / character data are
+//! `Cow::Borrowed` unless an entity reference forces expansion.
+//!
+//! The parser checks well-formedness as it goes (balanced tags, single
+//! root, no duplicate attributes) so downstream code can trust the event
+//! stream.
+
+use std::borrow::Cow;
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::unescape;
+
+/// One attribute on a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute<'a> {
+    /// Attribute name, borrowed from the input.
+    pub name: &'a str,
+    /// Attribute value with entities expanded.
+    pub value: Cow<'a, str>,
+}
+
+/// A parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// `<NAME ...>` or `<NAME ... />`. An empty element (`/>`) sets
+    /// `empty` and is still followed by a matching [`Event::End`], so
+    /// consumers never need to special-case it.
+    Start {
+        name: &'a str,
+        attributes: Vec<Attribute<'a>>,
+        empty: bool,
+    },
+    /// `</NAME>` (or the synthesized end of an empty element).
+    End { name: &'a str },
+    /// Non-whitespace character data, entities expanded.
+    Text(Cow<'a, str>),
+    /// `<!-- ... -->`, body only.
+    Comment(&'a str),
+    /// `<?...?>` or `<!DOCTYPE ...>`, body only. Not interpreted.
+    Decl(&'a str),
+}
+
+impl Event<'_> {
+    /// The tag name if this is a start event.
+    pub fn start_name(&self) -> Option<&str> {
+        match self {
+            Event::Start { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// The pull parser. Create with [`PullParser::new`], then call
+/// [`PullParser::next_event`] until it returns `Ok(None)`.
+#[derive(Debug, Clone)]
+pub struct PullParser<'a> {
+    input: &'a str,
+    pos: usize,
+    /// Open-element stack (names borrowed from input).
+    stack: Vec<&'a str>,
+    /// End event synthesized for an `<X/>` empty element.
+    pending_end: Option<&'a str>,
+    /// Set once the root element has closed.
+    saw_root_close: bool,
+    /// Set once any root element has been seen.
+    saw_root_open: bool,
+}
+
+impl<'a> PullParser<'a> {
+    /// Parse `input` as a complete XML document.
+    pub fn new(input: &'a str) -> Self {
+        PullParser {
+            input,
+            pos: 0,
+            stack: Vec::with_capacity(8),
+            pending_end: None,
+            saw_root_close: false,
+            saw_root_open: false,
+        }
+    }
+
+    /// Byte offset of the next unread input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn err<T>(&self, kind: XmlErrorKind) -> XmlResult<T> {
+        Err(XmlError::new(self.pos, kind))
+    }
+
+    /// Produce the next event, or `Ok(None)` at a well-formed end of
+    /// document.
+    pub fn next_event(&mut self) -> XmlResult<Option<Event<'a>>> {
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.saw_root_close = true;
+            }
+            return Ok(Some(Event::End { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return self.err(XmlErrorKind::UnclosedElements(self.stack.len()));
+                }
+                if !self.saw_root_open {
+                    return self.err(XmlErrorKind::NoRootElement);
+                }
+                return Ok(None);
+            }
+            if self.bytes()[self.pos] == b'<' {
+                return self.parse_markup().map(Some);
+            }
+            // Character data up to the next '<'.
+            let start = self.pos;
+            let end = self.input[start..]
+                .find('<')
+                .map(|i| start + i)
+                .unwrap_or(self.input.len());
+            self.pos = end;
+            let raw = &self.input[start..end];
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                continue; // inter-tag whitespace carries no information
+            }
+            if self.stack.is_empty() {
+                return self.err(XmlErrorKind::TrailingContent);
+            }
+            let text = unescape(raw, start)?;
+            return Ok(Some(Event::Text(text)));
+        }
+    }
+
+    fn parse_markup(&mut self) -> XmlResult<Event<'a>> {
+        debug_assert_eq!(self.bytes()[self.pos], b'<');
+        let after_lt = self.pos + 1;
+        if after_lt >= self.input.len() {
+            return self.err(XmlErrorKind::UnexpectedEof("markup"));
+        }
+        match self.bytes()[after_lt] {
+            b'?' => self.parse_pi(),
+            b'!' => self.parse_bang(),
+            b'/' => self.parse_close_tag(),
+            _ => self.parse_open_tag(),
+        }
+    }
+
+    fn parse_pi(&mut self) -> XmlResult<Event<'a>> {
+        let body_start = self.pos + 2;
+        let Some(end) = self.input[body_start..].find("?>") else {
+            return self.err(XmlErrorKind::UnexpectedEof("processing instruction"));
+        };
+        let body = &self.input[body_start..body_start + end];
+        self.pos = body_start + end + 2;
+        Ok(Event::Decl(body))
+    }
+
+    fn parse_bang(&mut self) -> XmlResult<Event<'a>> {
+        let rest = &self.input[self.pos..];
+        if let Some(body) = rest.strip_prefix("<!--") {
+            let Some(end) = body.find("-->") else {
+                return self.err(XmlErrorKind::UnexpectedEof("comment"));
+            };
+            let comment = &self.input[self.pos + 4..self.pos + 4 + end];
+            self.pos += 4 + end + 3;
+            return Ok(Event::Comment(comment));
+        }
+        if rest.starts_with("<![CDATA[") {
+            let body_start = self.pos + 9;
+            let Some(end) = self.input[body_start..].find("]]>") else {
+                return self.err(XmlErrorKind::UnexpectedEof("CDATA section"));
+            };
+            let text = &self.input[body_start..body_start + end];
+            self.pos = body_start + end + 3;
+            if self.stack.is_empty() {
+                return self.err(XmlErrorKind::TrailingContent);
+            }
+            return Ok(Event::Text(Cow::Borrowed(text)));
+        }
+        // <!DOCTYPE ...> — may contain an internal subset in brackets.
+        let body_start = self.pos + 2;
+        let mut depth = 0usize;
+        for (i, b) in self.input.as_bytes()[body_start..].iter().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    let body = &self.input[body_start..body_start + i];
+                    self.pos = body_start + i + 1;
+                    return Ok(Event::Decl(body));
+                }
+                _ => {}
+            }
+        }
+        self.err(XmlErrorKind::UnexpectedEof("declaration"))
+    }
+
+    fn parse_close_tag(&mut self) -> XmlResult<Event<'a>> {
+        let name_start = self.pos + 2;
+        self.pos = name_start;
+        let name = self.take_name()?;
+        self.skip_ws();
+        if self.pos >= self.input.len() || self.bytes()[self.pos] != b'>' {
+            return self.err(XmlErrorKind::UnexpectedChar {
+                expected: "'>' to finish close tag",
+                found: self.peek_char(),
+            });
+        }
+        self.pos += 1;
+        match self.stack.pop() {
+            Some(open) if open == name => {
+                if self.stack.is_empty() {
+                    self.saw_root_close = true;
+                }
+                Ok(Event::End { name })
+            }
+            Some(open) => Err(XmlError::new(
+                name_start,
+                XmlErrorKind::MismatchedClose {
+                    open: open.to_string(),
+                    close: name.to_string(),
+                },
+            )),
+            None => Err(XmlError::new(
+                name_start,
+                XmlErrorKind::UnmatchedClose(name.to_string()),
+            )),
+        }
+    }
+
+    fn parse_open_tag(&mut self) -> XmlResult<Event<'a>> {
+        if self.saw_root_close && self.stack.is_empty() {
+            return self.err(XmlErrorKind::TrailingContent);
+        }
+        self.pos += 1; // consume '<'
+        let name = self.take_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek_byte() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name);
+                    self.saw_root_open = true;
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        empty: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek_byte() != Some(b'>') {
+                        return self.err(XmlErrorKind::UnexpectedChar {
+                            expected: "'>' after '/'",
+                            found: self.peek_char(),
+                        });
+                    }
+                    self.pos += 1;
+                    self.stack.push(name);
+                    self.saw_root_open = true;
+                    self.pending_end = Some(name);
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        empty: true,
+                    });
+                }
+                Some(_) => {
+                    let attr = self.take_attribute()?;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr.name) {
+                        return self.err(XmlErrorKind::DuplicateAttribute(attr.name.to_string()));
+                    }
+                    attributes.push(attr);
+                }
+                None => return self.err(XmlErrorKind::UnexpectedEof("start tag")),
+            }
+        }
+    }
+
+    fn take_attribute(&mut self) -> XmlResult<Attribute<'a>> {
+        let name = self.take_name()?;
+        self.skip_ws();
+        if self.peek_byte() != Some(b'=') {
+            return self.err(XmlErrorKind::UnexpectedChar {
+                expected: "'=' in attribute",
+                found: self.peek_char(),
+            });
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let quote = match self.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return self.err(XmlErrorKind::UnexpectedChar {
+                    expected: "quoted attribute value",
+                    found: self.peek_char(),
+                })
+            }
+        };
+        self.pos += 1;
+        let value_start = self.pos;
+        let Some(end) = self.input[value_start..].find(quote as char) else {
+            return self.err(XmlErrorKind::UnexpectedEof("attribute value"));
+        };
+        let raw = &self.input[value_start..value_start + end];
+        self.pos = value_start + end + 1;
+        let value = unescape(raw, value_start)?;
+        Ok(Attribute { name, value })
+    }
+
+    fn take_name(&mut self) -> XmlResult<&'a str> {
+        let start = self.pos;
+        let bytes = self.bytes();
+        if start >= bytes.len() || !is_name_start(bytes[start]) {
+            return self.err(XmlErrorKind::BadName);
+        }
+        let mut end = start + 1;
+        while end < bytes.len() && is_name_char(bytes[end]) {
+            end += 1;
+        }
+        self.pos = end;
+        Ok(&self.input[start..end])
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn peek_char(&self) -> char {
+        self.input[self.pos..].chars().next().unwrap_or('\0')
+    }
+
+    /// Skip the remainder of the element whose [`Event::Start`] was just
+    /// returned, including all of its descendants. This is how a gmetad
+    /// answering a path query avoids touching subtrees the query does not
+    /// select.
+    pub fn skip_subtree(&mut self) -> XmlResult<()> {
+        let target = self.stack.len();
+        if target == 0 {
+            return Ok(());
+        }
+        loop {
+            match self.next_event()? {
+                Some(Event::End { .. }) if self.stack.len() < target => return Ok(()),
+                Some(_) => continue,
+                None => return Ok(()),
+            }
+        }
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':'
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_events(input: &str) -> XmlResult<Vec<Event<'_>>> {
+        let mut parser = PullParser::new(input);
+        let mut out = Vec::new();
+        while let Some(ev) = parser.next_event()? {
+            out.push(ev);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_empty_element_with_attributes() {
+        let events = all_events(r#"<METRIC NAME="cpu_num" VAL="2" TYPE="int"/>"#).unwrap();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::Start {
+                name,
+                attributes,
+                empty,
+            } => {
+                assert_eq!(*name, "METRIC");
+                assert!(*empty);
+                assert_eq!(attributes.len(), 3);
+                assert_eq!(attributes[0].name, "NAME");
+                assert_eq!(attributes[0].value, "cpu_num");
+                assert_eq!(attributes[2].value, "int");
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+        assert_eq!(events[1], Event::End { name: "METRIC" });
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let events = all_events("<A><B>hello &amp; goodbye</B></A>").unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[2], Event::Text(Cow::Owned("hello & goodbye".into())));
+    }
+
+    #[test]
+    fn whitespace_between_tags_is_skipped() {
+        let events = all_events("<A>\n  <B/>\n</A>").unwrap();
+        assert!(events.iter().all(|e| !matches!(e, Event::Text(_))));
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let events = all_events("<A X='1'/>").unwrap();
+        match &events[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0].value, "1"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_close() {
+        let err = all_events("<A><B></A></B>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn rejects_unclosed_elements() {
+        let err = all_events("<A><B>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnclosedElements(2));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = all_events(r#"<A X="1" X="2"/>"#).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DuplicateAttribute("X".into()));
+    }
+
+    #[test]
+    fn rejects_second_root() {
+        let err = all_events("<A/><B/>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn rejects_text_outside_root() {
+        assert!(all_events("<A/>junk").is_err());
+        assert!(all_events("junk<A/>").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_document() {
+        let err = all_events("   ").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn accepts_declaration_doctype_and_comment() {
+        let doc = "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n\
+                   <!DOCTYPE GANGLIA_XML [ <!ELEMENT GANGLIA_XML (GRID)*> ]>\n\
+                   <!-- report --><GANGLIA_XML/>";
+        let events = all_events(doc).unwrap();
+        assert!(matches!(events[0], Event::Decl(_)));
+        assert!(matches!(events[1], Event::Decl(d) if d.contains("DOCTYPE")));
+        assert_eq!(events[2], Event::Comment(" report "));
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let events = all_events("<A><![CDATA[x < y & z]]></A>").unwrap();
+        assert_eq!(events[1], Event::Text(Cow::Borrowed("x < y & z")));
+    }
+
+    #[test]
+    fn attribute_values_are_borrowed_when_plain() {
+        let doc = r#"<A X="plain"/>"#;
+        let mut parser = PullParser::new(doc);
+        match parser.next_event().unwrap().unwrap() {
+            Event::Start { attributes, .. } => {
+                assert!(matches!(attributes[0].value, Cow::Borrowed(_)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn skip_subtree_skips_descendants() {
+        let doc = "<A><B><C/><D>text</D></B><E/></A>";
+        let mut parser = PullParser::new(doc);
+        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("A"));
+        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("B"));
+        parser.skip_subtree().unwrap();
+        // Next event should be the start of E.
+        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("E"));
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let mut parser = PullParser::new("<A><B/></A>");
+        parser.next_event().unwrap();
+        assert_eq!(parser.depth(), 1);
+        parser.next_event().unwrap(); // <B/> start
+        assert_eq!(parser.depth(), 2);
+        parser.next_event().unwrap(); // B end
+        assert_eq!(parser.depth(), 1);
+    }
+}

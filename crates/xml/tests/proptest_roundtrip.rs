@@ -1,0 +1,81 @@
+//! Property tests: any DOM tree we can build serializes to XML that parses
+//! back to the identical tree, and the pull parser never panics on
+//! arbitrary input.
+
+use ganglia_xml::{Element, PullParser};
+use proptest::prelude::*;
+
+/// Strategy for plausible XML names (ASCII, Ganglia-style).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.:-]{0,12}"
+}
+
+/// Attribute values: arbitrary printable text including reserved chars.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").unwrap()
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
+    )
+        .prop_map(|(name, raw_attrs)| {
+            let mut elem = Element::new(name);
+            for (n, v) in raw_attrs {
+                elem.set_attr(n, v); // set_attr dedups names
+            }
+            elem
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec(inner, 0..4),
+            value_strategy(),
+        )
+            .prop_map(|(name, children, text)| {
+                let mut elem = Element::new(name);
+                // Mixed content with children complicates equality (text
+                // position is not preserved); only attach text to leaves.
+                if children.is_empty() {
+                    elem.text = text.trim().to_string();
+                }
+                elem.children = children;
+                elem
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dom_roundtrips_through_serialization(root in element_strategy()) {
+        let xml = root.to_xml();
+        let parsed = Element::parse(&xml).unwrap();
+        prop_assert_eq!(root, parsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~<>&\"']{0,256}") {
+        let mut parser = PullParser::new(&input);
+        // Errors are fine; panics are not.
+        for _ in 0..1024 {
+            match parser.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_unicode(input in "\\PC{0,128}") {
+        let mut parser = PullParser::new(&input);
+        for _ in 0..1024 {
+            match parser.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

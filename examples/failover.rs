@@ -1,0 +1,72 @@
+//! Failure handling: node fail-over, whole-cluster partitions, steady
+//! retry, and the "zero records" that aid time-of-death forensics
+//! (paper §1, §2.1, §3.1).
+//!
+//! ```sh
+//! cargo run --example failover
+//! ```
+
+use ganglia::core::SourceStatus;
+use ganglia::rrd::{ConsolidationFn, MetricKey};
+use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
+
+fn main() {
+    let mut deployment = Deployment::build(fig2_tree(10), DeploymentParams::default());
+    deployment.run_rounds(2);
+    let sdsc = deployment.monitor("sdsc").clone();
+
+    // -- 1. node stop failure: automatic fail-over ----------------------
+    println!("killing serving node 0 of cluster sdsc-c0...");
+    deployment.kill_cluster_node("sdsc-c0", 0);
+    deployment.run_rounds(1);
+    let stats = sdsc.poller_stats();
+    let row = stats.iter().find(|s| s.0 == "sdsc-c0").expect("source");
+    println!(
+        "  sdsc-c0: {} ok polls, {} failed, {} failovers — monitoring uninterrupted",
+        row.1, row.2, row.3
+    );
+    assert_eq!(row.2, 0, "failover masked the stop failure");
+
+    // -- 2. whole-cluster partition: stale data + steady retry ----------
+    println!("\npartitioning cluster sdsc-c0 entirely...");
+    deployment.partition_cluster("sdsc-c0", true);
+    deployment.run_rounds(3);
+    let state = sdsc.store().get("sdsc-c0").expect("still present");
+    match state.status {
+        SourceStatus::Stale { since } => println!(
+            "  sdsc-c0 stale since t={since}s; last good snapshot ({} hosts) still queryable",
+            state.host_count()
+        ),
+        SourceStatus::Fresh => unreachable!("partitioned source cannot be fresh"),
+    }
+
+    // -- 3. recovery: the steady retry reconnects ------------------------
+    println!("\nhealing the partition...");
+    deployment.partition_cluster("sdsc-c0", false);
+    deployment.run_rounds(1);
+    assert_eq!(
+        sdsc.store().get("sdsc-c0").expect("present").status,
+        SourceStatus::Fresh
+    );
+    println!("  sdsc-c0 fresh again after one poll round");
+
+    // -- 4. forensics: the downtime is visible in the archives -----------
+    let key = MetricKey::summary_metric("sdsc-c0", "load_one");
+    let series = sdsc
+        .fetch_history(&key, ConsolidationFn::Average, 0, deployment.now())
+        .expect("summary archive exists");
+    println!("\nload_one summary archive for sdsc-c0 (NaN = downtime record):");
+    for (t, v) in series.points() {
+        if v.is_nan() {
+            println!("  t={t:>3}s  unknown   <- cluster unreachable");
+        } else {
+            println!("  t={t:>3}s  {v:.2}");
+        }
+    }
+    let unknowns = series.values.iter().filter(|v| v.is_nan()).count();
+    assert!(unknowns >= 2, "partition must be visible in history");
+    println!(
+        "\n{} unknown interval(s) bracket the partition — time-of-death analysis works",
+        unknowns
+    );
+}

@@ -1,0 +1,86 @@
+//! Federation: the paper's figure-2 monitoring tree, end to end.
+//!
+//! Builds the six-gmeta / twelve-cluster tree, shows the
+//! multiple-resolution view — coarse grid summaries at the root,
+//! full detail at the authority — and follows an authority pointer
+//! down the tree, exactly the navigation §3.2 describes.
+//!
+//! ```sh
+//! cargo run --example federation
+//! ```
+
+use ganglia::core::TreeMode;
+use ganglia::metrics::model::{GridBody, GridItem};
+use ganglia::metrics::parse_document;
+use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
+use ganglia::web::{render, Frontend, MetaView, NLevelFrontend};
+
+fn main() {
+    let tree = fig2_tree(25); // 12 clusters × 25 hosts
+    println!(
+        "deploying the figure-2 tree: {} monitors, {} clusters, {} hosts",
+        tree.monitors.len(),
+        tree.cluster_count(),
+        tree.host_count()
+    );
+    let mut deployment = Deployment::build(
+        tree,
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
+    deployment.run_rounds(3);
+
+    // -- the coarse view at the root -----------------------------------
+    let frontend = NLevelFrontend::new(deployment.viewer("root"));
+    let (meta, timing) = frontend.meta_view().expect("root answers");
+    println!(
+        "\nmeta view at root ({} bytes of XML, {:?} download+parse):",
+        timing.xml_bytes,
+        timing.download_and_parse()
+    );
+    println!("{}", render::render_meta(&meta));
+
+    // -- follow the authority pointer for higher resolution ------------
+    // The root holds only a summary of the "sdsc" grid; its AUTHORITY
+    // attribute names the gmetad with the detail.
+    let xml = deployment.monitor("root").query("/sdsc");
+    let doc = parse_document(&xml).expect("well-formed");
+    let GridItem::Grid(self_grid) = &doc.items[0] else {
+        unreachable!()
+    };
+    let GridBody::Items(items) = &self_grid.body else {
+        unreachable!()
+    };
+    let GridItem::Grid(sdsc) = &items[0] else {
+        unreachable!()
+    };
+    println!(
+        "root's view of sdsc: summary of {} hosts, authority at {:?}",
+        match &sdsc.body {
+            GridBody::Summary(s) => s.hosts_total(),
+            GridBody::Items(_) => unreachable!("N-level parents keep summaries"),
+        },
+        sdsc.authority
+    );
+
+    // Query the authority directly for the full-resolution cluster view.
+    let sdsc_frontend = NLevelFrontend::new(deployment.viewer("sdsc"));
+    let (cluster_view, timing) = sdsc_frontend
+        .cluster_view("sdsc-c0")
+        .expect("sdsc answers at full resolution");
+    println!(
+        "\ncluster view at the authority ({} bytes, {:?}):",
+        timing.xml_bytes,
+        timing.download_and_parse()
+    );
+    println!("{}", render::render_cluster(&cluster_view));
+
+    // -- the same meta view, computed the 1-level way -------------------
+    // For contrast: a full dump of the root requires shipping summaries
+    // only (N-level), so it is small; the client-side reduction still
+    // arrives at the same totals.
+    let root_xml = deployment.monitor("root").query("/");
+    let full_doc = parse_document(&root_xml).expect("well-formed");
+    let recomputed = MetaView::from_full_tree(&full_doc);
+    let (up, down, cpus) = recomputed.totals();
+    println!("recomputed totals from the root dump: {up} up / {down} down / {cpus:.0} CPUs");
+}

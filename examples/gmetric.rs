@@ -1,0 +1,89 @@
+//! User-defined metrics (`gmetric`): publish an application metric into
+//! a cluster and watch it flow through gmond's multicast soft state, a
+//! gmetad's summaries, and soft-state expiry.
+//!
+//! ```sh
+//! cargo run --example gmetric
+//! ```
+
+use std::sync::Arc;
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::{GmondConfig, SimCluster};
+use ganglia::metrics::{parse_document, GridItem, MetricValue};
+use ganglia::net::SimNet;
+
+fn main() {
+    let net = SimNet::new(1);
+    let mut cluster = SimCluster::new(&net, GmondConfig::new("batch"), 3, 7, 0);
+    cluster.run(0, 40, 20);
+
+    let gmetad = Gmetad::new(
+        GmetadConfig::new("sdsc").with_source(DataSourceCfg::new("batch", cluster.addrs())),
+    );
+
+    // An application on node 1 publishes its queue depth with a 120 s
+    // soft-state lifetime.
+    println!("publishing user metric jobs_queued=17 from batch-node-1 (dmax=120s)...");
+    cluster.agent(1).lock().announce_user_metric(
+        40,
+        "jobs_queued",
+        MetricValue::Uint32(17),
+        "jobs",
+        60,
+        120,
+    );
+    cluster.tick_all(60); // neighbors pick it up off the bus
+
+    gmetad.poll_all(&net, 61);
+    let state = gmetad.store().get("batch").expect("present");
+    let host = state.host("batch-node-1").expect("reporting host");
+    let metric = host.metric("jobs_queued").expect("user metric visible");
+    println!(
+        "gmetad sees jobs_queued = {} {} on {}",
+        metric.value, metric.units, host.name
+    );
+    // Numeric user metrics summarize like built-ins.
+    let summary = state.summary.metric("jobs_queued").expect("summarized");
+    println!(
+        "cluster summary: SUM={} NUM={} (mean {:.1})",
+        summary.sum,
+        summary.num,
+        summary.mean().expect("non-empty")
+    );
+
+    // A targeted query returns just the user metric.
+    let xml = gmetad.query("/batch/batch-node-1/jobs_queued");
+    let doc = parse_document(&xml).expect("well-formed");
+    let GridItem::Grid(grid) = &doc.items[0] else { unreachable!() };
+    println!(
+        "\npath query /batch/batch-node-1/jobs_queued selects {} host, {} metric",
+        doc.host_count(),
+        match grid.item("batch") {
+            Some(GridItem::Cluster(c)) => c
+                .host("batch-node-1")
+                .map(|h| h.metrics.len())
+                .unwrap_or(0),
+            _ => 0,
+        }
+    );
+
+    // The application stops publishing; after dmax the metric expires
+    // from every agent's soft state.
+    println!("\napplication stops publishing; advancing past dmax...");
+    cluster.run(60, 200, 20);
+    gmetad.poll_all(&net, 200);
+    let state = gmetad.store().get("batch").expect("present");
+    let gone = state
+        .host("batch-node-1")
+        .expect("host still up")
+        .metric("jobs_queued")
+        .is_none();
+    println!(
+        "jobs_queued present after 140s of silence? {}",
+        if gone { "no — soft state expired it" } else { "yes" }
+    );
+    assert!(gone);
+
+    let _ = Arc::strong_count(&gmetad);
+}

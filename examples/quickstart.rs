@@ -1,0 +1,62 @@
+//! Quickstart: monitor one cluster with a gmetad and query it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::metrics::parse_document;
+use ganglia::net::SimNet;
+use ganglia::web::views::top_level_items;
+use ganglia::web::{render, HostView, MetaView};
+
+fn main() {
+    // A simulated 16-host cluster named "meteor", served at two
+    // redundant addresses (any gmon node can serve the whole cluster).
+    let net = SimNet::new(1);
+    let cluster = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 16, 7, 0), 2);
+    println!("cluster 'meteor' serving at {:?}", cluster.addrs());
+
+    // A gmetad that polls it.
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("meteor", cluster.addrs().to_vec()));
+    let gmetad = Gmetad::new(config);
+
+    // Drive a few poll rounds (15 s apart, the paper's default).
+    for round in 1..=4u64 {
+        let now = round * 15;
+        cluster.advance(now);
+        for result in gmetad.poll_all(&net, now) {
+            result.expect("poll succeeds");
+        }
+    }
+    println!(
+        "polled 4 rounds; gmetad keeps {} metric archives\n",
+        gmetad.archive_count()
+    );
+
+    // The meta view: summaries straight from the daemon (§3.2).
+    let summary_xml = gmetad.query("/?filter=summary");
+    let meta = MetaView::from_doc(&parse_document(&summary_xml).expect("well-formed"));
+    println!("{}", render::render_meta(&meta));
+
+    // Drill down to one host with a path query (paper fig 4).
+    let host_xml = gmetad.query("/meteor/meteor-0003");
+    let doc = parse_document(&host_xml).expect("well-formed");
+    let items = top_level_items(&doc);
+    let cluster_node = ganglia::web::views::find_cluster(items, "meteor").expect("present");
+    let host = cluster_node.host("meteor-0003").expect("selected host");
+    println!("{}", render::render_host(&HostView::from_host("meteor", host)));
+
+    // And inspect a metric's archived history.
+    let key = ganglia::rrd::MetricKey::host_metric("meteor", "meteor-0003", "load_one");
+    let series = gmetad
+        .fetch_history(&key, ganglia::rrd::ConsolidationFn::Average, 0, 60)
+        .expect("history exists");
+    println!("load_one history for meteor-0003:");
+    for (t, v) in series.points() {
+        println!("  t={t:>3}s  {v:.3}");
+    }
+}

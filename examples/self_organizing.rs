@@ -1,0 +1,60 @@
+//! Self-organizing tree membership (paper §5 future work): MDS-style
+//! certificate-checked join messages with soft-state pruning — "parents
+//! have no explicit knowledge of their children".
+//!
+//! ```sh
+//! cargo run --example self_organizing
+//! ```
+
+use std::sync::Arc;
+
+use ganglia::core::join::{join_message, JoinManager};
+use ganglia::core::{Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::net::SimNet;
+
+const SECRET: &[u8] = b"grid-deployment-secret";
+
+fn main() {
+    let net = SimNet::new(1);
+
+    // The parent starts with NO configured data sources.
+    let parent = Gmetad::new(GmetadConfig::new("root"));
+    let manager = JoinManager::new(Arc::clone(&parent), SECRET, 60);
+    println!("parent sources at start: {:?}", parent.source_names());
+
+    // Two clusters come online and announce themselves.
+    let meteor = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 6, 1, 0), 2);
+    let nashi = ServedPseudoCluster::serve(&net, PseudoGmond::new("nashi", 4, 2, 0), 2);
+    for (name, served) in [("meteor", &meteor), ("nashi", &nashi)] {
+        let msg = join_message(name, served.addrs(), 10, SECRET);
+        manager.handle(&msg, 10).expect("valid certificate");
+        println!("accepted join from {name}");
+    }
+    println!("parent sources after joins: {:?}", parent.source_names());
+
+    // An impostor without the deployment secret is rejected.
+    let forged = join_message("evil", &[ganglia::net::Addr::new("evil/n0")], 10, b"guess");
+    println!(
+        "forged join rejected: {:?}",
+        manager.handle(&forged, 10).unwrap_err()
+    );
+
+    // The parent now polls the joined sources like any configured ones.
+    parent.poll_all(&net, 15);
+    println!(
+        "after one poll round the parent sees {} hosts",
+        parent.store().root_summary().hosts_total()
+    );
+
+    // meteor keeps refreshing its membership; nashi goes silent.
+    for t in [40u64, 70, 100] {
+        let msg = join_message("meteor", meteor.addrs(), t, SECRET);
+        manager.handle(&msg, t).expect("refresh");
+    }
+    let pruned = manager.prune(110);
+    println!("pruned after 100 s of silence: {pruned:?}");
+    println!("parent sources after pruning: {:?}", parent.source_names());
+    assert_eq!(parent.source_names(), vec!["meteor"]);
+}

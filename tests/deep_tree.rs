@@ -1,0 +1,136 @@
+//! Deeper-than-figure-2 trees: the N-level design must keep per-node
+//! state bounded at ANY depth — "the monitoring system must scale to
+//! handle an arbitrarily large number of clusters" (§2) — and summaries
+//! must stay exact through every level of composition.
+
+use ganglia::core::TreeMode;
+use ganglia::sim::topology::{ClusterSpec, MonitorSpec, TreeSpec};
+use ganglia::sim::{Deployment, DeploymentParams};
+
+/// A 4-level chain: root ← l1 ← l2 ← l3, each monitor with one local
+/// cluster of `hosts`.
+fn chain_tree(hosts: usize) -> TreeSpec {
+    let monitor = |name: &str, children: &[&str]| MonitorSpec {
+        name: name.to_string(),
+        children: children.iter().map(|c| c.to_string()).collect(),
+        local_clusters: vec![ClusterSpec {
+            name: format!("{name}-cluster"),
+            hosts,
+        }],
+    };
+    TreeSpec {
+        root: "root".to_string(),
+        monitors: vec![
+            monitor("root", &["l1"]),
+            monitor("l1", &["l2"]),
+            monitor("l2", &["l3"]),
+            monitor("l3", &[]),
+        ],
+    }
+}
+
+#[test]
+fn summaries_are_exact_through_four_levels() {
+    let mut deployment = Deployment::build(
+        chain_tree(7),
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
+    deployment.run_rounds(1);
+    // Every monitor's rollup covers exactly its subtree.
+    for (monitor, expected_hosts) in [("l3", 7), ("l2", 14), ("l1", 21), ("root", 28)] {
+        let summary = deployment.monitor(monitor).store().root_summary();
+        assert_eq!(
+            summary.hosts_total(),
+            expected_hosts,
+            "at {monitor}"
+        );
+        let cpu = summary.metric("cpu_num").expect("summarized");
+        assert_eq!(cpu.num, expected_hosts);
+    }
+}
+
+#[test]
+fn interior_state_is_bounded_under_nlevel_but_not_onelevel() {
+    let mut n = Deployment::build(
+        chain_tree(10),
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
+    let mut one = Deployment::build(
+        chain_tree(10),
+        DeploymentParams::default().with_mode(TreeMode::OneLevel),
+    );
+    n.run_rounds(1);
+    one.run_rounds(1);
+    // The N-level root archives its local cluster in full plus ONE
+    // summary set for the entire descendant grid (29 numeric metrics):
+    // 10 hosts × 29 + own summary 29 + child-grid summary 29.
+    let n_root = n.monitor("root").archive_count();
+    assert_eq!(n_root, 10 * 29 + 29 + 29);
+    // The 1-level root archives every descendant host: 40 hosts' series
+    // plus per-cluster and per-grid summaries — several times more, and
+    // growing with depth.
+    let one_root = one.monitor("root").archive_count();
+    assert!(
+        one_root > n_root * 3,
+        "1-level root {one_root} vs N-level {n_root}"
+    );
+    // While leaves are identical in both designs.
+    assert_eq!(
+        n.monitor("l3").archive_count(),
+        one.monitor("l3").archive_count()
+    );
+}
+
+#[test]
+fn queries_at_each_level_return_that_levels_resolution() {
+    let mut deployment = Deployment::build(
+        chain_tree(5),
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
+    deployment.run_rounds(1);
+    // At the root, l1 is a single summary grid.
+    let xml = deployment.monitor("root").query("/l1");
+    let doc = ganglia::metrics::parse_document(&xml).expect("well-formed");
+    assert_eq!(doc.host_count(), 15, "l1 subtree = 3 clusters × 5 hosts");
+    assert!(
+        !xml.contains("<HOST "),
+        "no host detail crosses a summary boundary"
+    );
+    // At l3 (the authority), the local cluster is full detail.
+    let xml = deployment
+        .monitor("l3")
+        .query("/l3-cluster/l3-cluster-0000");
+    assert!(xml.contains("<HOST "));
+    let doc = ganglia::metrics::parse_document(&xml).expect("well-formed");
+    assert_eq!(doc.host_count(), 1);
+}
+
+#[test]
+fn wide_trees_scale_sources_not_state() {
+    // One monitor with 30 leaf clusters: the store has 30 sources and
+    // the root summary covers them all.
+    let clusters: Vec<ClusterSpec> = (0..30)
+        .map(|i| ClusterSpec {
+            name: format!("c{i:02}"),
+            hosts: 3,
+        })
+        .collect();
+    let tree = TreeSpec {
+        root: "hub".to_string(),
+        monitors: vec![MonitorSpec {
+            name: "hub".to_string(),
+            children: vec![],
+            local_clusters: clusters,
+        }],
+    };
+    let mut deployment =
+        Deployment::build(tree, DeploymentParams::default().with_mode(TreeMode::NLevel));
+    deployment.run_rounds(1);
+    let hub = deployment.monitor("hub");
+    assert_eq!(hub.store().len(), 30);
+    assert_eq!(hub.store().root_summary().hosts_total(), 90);
+    // Pattern queries select across all of them.
+    let xml = hub.query("/~^c0[0-4]$?filter=summary");
+    let doc = ganglia::metrics::parse_document(&xml).expect("well-formed");
+    assert_eq!(doc.host_count(), 15, "five clusters selected");
+}

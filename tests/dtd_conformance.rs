@@ -1,0 +1,62 @@
+//! Every XML producer in the workspace must emit DTD-conformant
+//! documents — the property the paper's experimental methodology leans
+//! on ("their XML output conforms to the Ganglia DTD, and therefore
+//! requires the same processing effort", §4).
+
+use ganglia::core::TreeMode;
+use ganglia::gmond::{GmondConfig, PseudoGmond, SimCluster};
+use ganglia::net::transport::Transport;
+use ganglia::net::SimNet;
+use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
+use ganglia::xml::dtd::validate;
+
+#[test]
+fn pseudo_gmond_output_is_dtd_conformant() {
+    for hosts in [1usize, 10, 100] {
+        let pseudo = PseudoGmond::new("meteor", hosts, 42, 100);
+        let violations = validate(pseudo.xml());
+        assert!(violations.is_empty(), "{hosts} hosts: {violations:?}");
+    }
+}
+
+#[test]
+fn real_gmond_reports_are_dtd_conformant() {
+    let net = SimNet::new(5);
+    let mut cluster = SimCluster::new(&net, GmondConfig::new("alpha"), 4, 1, 0);
+    cluster.run(0, 60, 20);
+    for addr in cluster.addrs() {
+        let xml = net
+            .fetch(&addr, "", std::time::Duration::from_secs(1))
+            .expect("reachable");
+        let violations = validate(&xml);
+        assert!(violations.is_empty(), "from {addr}: {violations:?}");
+    }
+}
+
+#[test]
+fn gmetad_responses_are_dtd_conformant_in_both_modes() {
+    for mode in [TreeMode::NLevel, TreeMode::OneLevel] {
+        let mut deployment =
+            Deployment::build(fig2_tree(6), DeploymentParams::default().with_mode(mode));
+        deployment.run_rounds(1);
+        for monitor in ["root", "ucsd", "sdsc", "physics", "math", "attic"] {
+            for query in [
+                "/",
+                "/?filter=summary",
+                "/sdsc-c0",
+                "/sdsc-c0?filter=summary",
+                "/sdsc-c0/sdsc-c0-0000",
+                "/sdsc-c0/sdsc-c0-0000/load_one",
+                "/~.*-c[01]",
+                "/nonexistent",
+            ] {
+                let xml = deployment.monitor(monitor).query(query);
+                let violations = validate(&xml);
+                assert!(
+                    violations.is_empty(),
+                    "{mode:?} {monitor} {query}: {violations:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The self-organizing tree extension end to end: joins arrive over the
+//! network, the parent polls the joined children, and silence prunes
+//! them — "nodes are automatically pruned from the tree if their join
+//! messages cease" (paper §5).
+
+use std::sync::Arc;
+
+use ganglia::core::join::{join_message, JoinManager};
+use ganglia::core::{Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::net::transport::Transport;
+use ganglia::net::{Addr, SimNet};
+
+const SECRET: &[u8] = b"test-deployment-secret";
+
+#[test]
+fn joins_over_the_network_grow_the_grid() {
+    let net = SimNet::new(1);
+    let parent = Gmetad::new(GmetadConfig::new("root"));
+    let manager = Arc::new(JoinManager::new(Arc::clone(&parent), SECRET, 120));
+
+    // The parent's join port.
+    let manager_for_port = Arc::clone(&manager);
+    let clock = Arc::new(parking_lot::Mutex::new(0u64));
+    let clock_for_port = Arc::clone(&clock);
+    let _join_guard = net
+        .serve(
+            &Addr::new("root-join"),
+            Arc::new(move |message: &str| {
+                let now = *clock_for_port.lock();
+                match manager_for_port.handle(message, now) {
+                    Ok(()) => "OK".to_string(),
+                    Err(e) => format!("ERR {e}"),
+                }
+            }),
+        )
+        .expect("bind join port");
+
+    // Two clusters announce themselves over the wire.
+    let meteor = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 5, 1, 0), 2);
+    let nashi = ServedPseudoCluster::serve(&net, PseudoGmond::new("nashi", 3, 2, 0), 2);
+    *clock.lock() = 10;
+    for (name, served) in [("meteor", &meteor), ("nashi", &nashi)] {
+        let msg = join_message(name, served.addrs(), 10, SECRET);
+        let reply = net
+            .fetch(&Addr::new("root-join"), &msg, std::time::Duration::from_secs(1))
+            .expect("join port reachable");
+        assert_eq!(reply, "OK");
+    }
+    assert_eq!(parent.source_names(), vec!["meteor", "nashi"]);
+
+    // The parent polls the joined sources like statically-configured
+    // ones (fail-over addresses included).
+    parent.poll_all(&net, 15);
+    assert_eq!(parent.store().root_summary().hosts_total(), 8);
+
+    // A forged join is refused over the wire.
+    let forged = join_message("evil", &[Addr::new("evil/n0")], 10, b"wrong");
+    let reply = net
+        .fetch(&Addr::new("root-join"), &forged, std::time::Duration::from_secs(1))
+        .expect("port reachable");
+    assert!(reply.starts_with("ERR"), "{reply}");
+    assert_eq!(parent.source_names().len(), 2);
+
+    // nashi stops joining; meteor keeps refreshing.
+    for t in [60u64, 110, 160] {
+        *clock.lock() = t;
+        let msg = join_message("meteor", meteor.addrs(), t, SECRET);
+        net.fetch(&Addr::new("root-join"), &msg, std::time::Duration::from_secs(1))
+            .expect("refresh");
+    }
+    let pruned = manager.prune(170);
+    assert_eq!(pruned, vec!["nashi"]);
+    assert_eq!(parent.source_names(), vec!["meteor"]);
+    // The pruned source's data is gone from the store too.
+    assert!(parent.store().get("nashi").is_none());
+    parent.poll_all(&net, 175);
+    assert_eq!(parent.store().root_summary().hosts_total(), 5);
+}
+
+#[test]
+fn join_failover_addresses_are_honoured() {
+    let net = SimNet::new(2);
+    let parent = Gmetad::new(GmetadConfig::new("root"));
+    let manager = JoinManager::new(Arc::clone(&parent), SECRET, 120);
+
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 4, 3, 0), 3);
+    let msg = join_message("meteor", served.addrs(), 5, SECRET);
+    manager.handle(&msg, 5).expect("valid join");
+
+    // Kill the first two announced endpoints; polls use the third.
+    net.set_down(&served.addrs()[0], true);
+    net.set_down(&served.addrs()[1], true);
+    for result in parent.poll_all(&net, 15) {
+        result.expect("failover through joined addresses");
+    }
+    assert_eq!(parent.poller_stats()[0].3, 1, "one failover round");
+    assert_eq!(parent.store().root_summary().hosts_total(), 4);
+}

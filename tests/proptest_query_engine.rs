@@ -1,0 +1,124 @@
+//! Property tests for the query engine: every response to every query —
+//! including adversarial ones — is well-formed, DTD-conformant XML, and
+//! path selections are always subsets of the full dump.
+
+use ganglia::core::{poller, query_engine, GmetadConfig, Store, TreeMode, WorkMeter};
+use ganglia::metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
+use ganglia::metrics::{parse_document, MetricValue};
+use ganglia::query::Query;
+use ganglia::xml::dtd::validate;
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}"
+}
+
+/// A random store of 1–4 cluster sources.
+fn store_strategy() -> impl Strategy<Value = Store> {
+    proptest::collection::vec(
+        (
+            name_strategy(),
+            proptest::collection::vec(
+                (name_strategy(), proptest::collection::vec(0.0f64..100.0, 0..5)),
+                0..6,
+            ),
+        ),
+        1..4,
+    )
+    .prop_map(|sources| {
+        let store = Store::new();
+        let meter = WorkMeter::new();
+        for (idx, (name, hosts)) in sources.into_iter().enumerate() {
+            // Source names must be unique in the store; suffix with index.
+            let source_name = format!("{name}-{idx}");
+            let host_nodes: Vec<HostNode> = hosts
+                .into_iter()
+                .enumerate()
+                .map(|(h, (host_name, values))| {
+                    let mut host =
+                        HostNode::new(format!("{host_name}-{h}"), "10.0.0.1");
+                    host.metrics = values
+                        .into_iter()
+                        .enumerate()
+                        .map(|(m, v)| {
+                            MetricEntry::new(format!("m{m}"), MetricValue::Double(v))
+                        })
+                        .collect();
+                    host
+                })
+                .collect();
+            let doc =
+                GangliaDoc::gmond(ClusterNode::with_hosts(source_name.clone(), host_nodes));
+            store.replace(poller::build_state(
+                &source_name,
+                doc,
+                TreeMode::NLevel,
+                &meter,
+                0,
+            ));
+        }
+        store
+    })
+}
+
+/// Random query strings: plausible paths, patterns, filters, junk.
+fn query_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("/".to_string()),
+        Just("/?filter=summary".to_string()),
+        "[/a-z0-9~.*?()\\[\\]-]{0,24}",
+        ("[a-z0-9-]{1,8}", "[a-z0-9-]{1,8}")
+            .prop_map(|(a, b)| format!("/{a}/{b}")),
+        "[a-z-]{1,8}".prop_map(|a| format!("/~{a}.*")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_response_is_wellformed_and_dtd_conformant(
+        store in store_strategy(),
+        raw_query in query_strategy(),
+    ) {
+        let config = GmetadConfig::new("fuzz");
+        let Ok(query) = Query::parse(&raw_query) else {
+            return Ok(()); // rejected queries never reach the engine
+        };
+        let xml = query_engine::answer(&store, &config, &query, 42);
+        let doc = parse_document(&xml)
+            .unwrap_or_else(|e| panic!("unparseable response to {raw_query:?}: {e}\n{xml}"));
+        prop_assert_eq!(doc.source.as_str(), "gmetad");
+        let violations = validate(&xml);
+        prop_assert!(violations.is_empty(), "{:?} -> {:?}", raw_query, violations);
+    }
+
+    #[test]
+    fn selections_are_subsets_of_the_full_dump(store in store_strategy()) {
+        let config = GmetadConfig::new("fuzz");
+        let full = query_engine::answer(
+            &store, &config, &Query::parse("/").unwrap(), 0);
+        let full_doc = parse_document(&full).unwrap();
+        let full_hosts = full_doc.host_count();
+        for state in store.list() {
+            let q = Query::parse(&format!("/{}", state.name)).unwrap();
+            let xml = query_engine::answer(&store, &config, &q, 0);
+            let doc = parse_document(&xml).unwrap();
+            prop_assert_eq!(doc.host_count(), state.host_count());
+            prop_assert!(doc.host_count() <= full_hosts);
+            prop_assert!(xml.len() <= full.len());
+        }
+    }
+
+    #[test]
+    fn summary_filter_preserves_host_totals(store in store_strategy()) {
+        let config = GmetadConfig::new("fuzz");
+        let full = query_engine::answer(
+            &store, &config, &Query::parse("/").unwrap(), 0);
+        let summary = query_engine::answer(
+            &store, &config, &Query::parse("/?filter=summary").unwrap(), 0);
+        let full_doc = parse_document(&full).unwrap();
+        let summary_doc = parse_document(&summary).unwrap();
+        prop_assert_eq!(full_doc.host_count(), summary_doc.host_count());
+    }
+}

@@ -1,0 +1,116 @@
+//! The full pipeline with *real* gmond agents (not pseudo-gmond):
+//! multicast soft-state membership inside the cluster, gmetad polling
+//! with fail-over above it, queries and summaries on top.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::{GmondConfig, SimCluster};
+use ganglia::metrics::model::{ClusterBody, GridItem};
+use ganglia::metrics::parse_document;
+use ganglia::net::SimNet;
+
+fn deploy(nodes: usize) -> (Arc<SimNet>, SimCluster, Arc<Gmetad>) {
+    let net = SimNet::new(9);
+    let mut cluster = SimCluster::new(&net, GmondConfig::new("alpha"), nodes, 3, 0);
+    cluster.run(0, 60, 20); // three scheduling rounds
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("alpha", cluster.addrs()));
+    let gmetad = Gmetad::new(config);
+    (net, cluster, gmetad)
+}
+
+#[test]
+fn gmetad_sees_every_gmond_host() {
+    let (net, _cluster, gmetad) = deploy(6);
+    for result in gmetad.poll_all(&net, 75) {
+        result.expect("poll ok");
+    }
+    let state = gmetad.store().get("alpha").expect("present");
+    assert_eq!(state.host_count(), 6);
+    assert_eq!(state.summary.hosts_up, 6);
+    // All 34 metrics flow through; 29 numeric ones are summarized.
+    let summary = &state.summary;
+    assert_eq!(summary.metrics.len(), 29);
+    assert!(summary.metric("load_one").is_some());
+    assert!(summary.metric("os_name").is_none());
+}
+
+#[test]
+fn node_stop_failure_is_masked_by_failover_and_visible_in_liveness() {
+    let (net, mut cluster, gmetad) = deploy(4);
+    gmetad.poll_all(&net, 75);
+
+    // Kill the node gmetad polls first.
+    cluster.kill(0);
+    cluster.run(60, 200, 20);
+    for result in gmetad.poll_all(&net, 200) {
+        result.expect("failover masks the stop failure");
+    }
+    let stats = gmetad.poller_stats();
+    assert_eq!(stats[0].3, 1, "exactly one failover");
+
+    // The dead host is still reported (neighbors keep its state) but
+    // counted down once its heartbeat ages out.
+    let state = gmetad.store().get("alpha").expect("present");
+    assert_eq!(state.host_count(), 4);
+    assert_eq!(state.summary.hosts_down, 1);
+    assert_eq!(state.summary.hosts_up, 3);
+
+    // And its stale metrics no longer pollute the cluster reduction.
+    let live_mean = state
+        .summary
+        .metric("cpu_num")
+        .expect("present")
+        .num;
+    assert_eq!(live_mean, 3, "only live hosts contribute");
+}
+
+#[test]
+fn queries_work_over_real_gmond_data() {
+    let (net, _cluster, gmetad) = deploy(3);
+    gmetad.poll_all(&net, 75);
+    let xml = gmetad.query("/alpha/alpha-node-1/load_one");
+    let doc = parse_document(&xml).expect("well-formed");
+    let GridItem::Grid(grid) = &doc.items[0] else { panic!() };
+    let item = grid.item("alpha").expect("cluster selected");
+    let GridItem::Cluster(c) = item else { panic!() };
+    let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+    assert_eq!(hosts.len(), 1);
+    assert_eq!(hosts[0].name, "alpha-node-1");
+    assert_eq!(hosts[0].metrics.len(), 1);
+    assert_eq!(hosts[0].metrics[0].name, "load_one");
+}
+
+#[test]
+fn restarted_node_rejoins_without_configuration() {
+    let (net, mut cluster, gmetad) = deploy(3);
+    cluster.kill(2);
+    cluster.run(60, 120, 20);
+    cluster.restore(2, 120);
+    cluster.run(120, 200, 20);
+    gmetad.poll_all(&net, 200);
+    let state = gmetad.store().get("alpha").expect("present");
+    // The restarted node is up again: soft state healed automatically,
+    // "the monitor does not need a priori knowledge of cluster nodes".
+    assert_eq!(state.summary.hosts_up, 3, "{:?}", state.summary);
+}
+
+#[test]
+fn flaky_multicast_still_converges() {
+    // UDP loses packets; soft state absorbs it: heartbeats repeat every
+    // 20 s, so with 25% loss every host is still heard regularly.
+    let net = SimNet::new(11);
+    let mut cluster = SimCluster::new(&net, GmondConfig::new("lossy"), 4, 5, 0);
+    cluster.set_multicast_loss(0.25);
+    cluster.run(0, 400, 20);
+    let config = GmetadConfig::new("sdsc")
+        .with_source(DataSourceCfg::new("lossy", cluster.addrs()));
+    let gmetad = Gmetad::new(config);
+    gmetad.poll_all(&net, 415);
+    let state = gmetad.store().get("lossy").expect("present");
+    assert_eq!(state.host_count(), 4, "membership converged despite loss");
+    assert_eq!(state.summary.hosts_up, 4);
+    let _ = Duration::from_secs(0);
+}

@@ -1,0 +1,120 @@
+//! A real distributed deployment over loopback TCP: pseudo-gmond served
+//! by a TCP listener, a leaf gmetad polling it over sockets, a root
+//! gmetad polling the leaf, and a viewer querying the root — fig 1's
+//! "XML over TCP" path exercised end to end with actual sockets.
+
+use std::sync::Arc;
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::PseudoGmond;
+use ganglia::metrics::parse_document;
+use ganglia::net::transport::Transport;
+use ganglia::net::{Addr, TcpTransport};
+use ganglia::web::{Frontend, NLevelFrontend, ViewerClient};
+use parking_lot::Mutex;
+
+#[test]
+fn two_level_tree_over_real_sockets() {
+    let transport = TcpTransport::new();
+
+    // Leaf cluster: a pseudo-gmond behind a real TCP port.
+    let pseudo = Arc::new(Mutex::new(PseudoGmond::new("meteor", 12, 7, 0)));
+    let handler_state = Arc::clone(&pseudo);
+    let cluster_guard = transport
+        .serve(
+            &Addr::new("127.0.0.1:0"),
+            Arc::new(move |_: &str| handler_state.lock().xml().to_string()),
+        )
+        .expect("bind cluster port");
+    let cluster_addr = cluster_guard.addr();
+
+    // Leaf gmetad polls the cluster over TCP and serves its own port.
+    let leaf = Gmetad::new(
+        GmetadConfig::new("sdsc")
+            .with_source(DataSourceCfg::new("meteor", vec![cluster_addr.clone()])),
+    );
+    let leaf_guard = leaf
+        .serve_on(&transport, &Addr::new("127.0.0.1:0"))
+        .expect("bind leaf port");
+    let leaf_addr = leaf_guard.addr();
+
+    // Root gmetad polls the leaf gmetad over TCP.
+    let root = Gmetad::new(
+        GmetadConfig::new("root")
+            .with_source(DataSourceCfg::new("sdsc", vec![leaf_addr.clone()])),
+    );
+    let root_guard = root
+        .serve_on(&transport, &Addr::new("127.0.0.1:0"))
+        .expect("bind root port");
+    let root_addr = root_guard.addr();
+
+    // Drive two poll rounds bottom-up.
+    for now in [15u64, 30] {
+        pseudo.lock().advance(now);
+        for result in leaf.poll_all(&transport, now) {
+            result.expect("leaf poll over TCP");
+        }
+        for result in root.poll_all(&transport, now) {
+            result.expect("root poll over TCP");
+        }
+    }
+
+    // The root (two hops from the cluster) has the right numbers.
+    assert_eq!(root.store().root_summary().hosts_total(), 12);
+
+    // A viewer over TCP issues targeted queries against the leaf.
+    let viewer = ViewerClient::new(Arc::new(transport), leaf_addr);
+    let frontend = NLevelFrontend::new(viewer);
+    let (meta, _) = frontend.meta_view().expect("meta over TCP");
+    assert_eq!(meta.rows.len(), 1);
+    assert_eq!(meta.rows[0].hosts_up, 12);
+    let (host_view, timing) = frontend
+        .host_view("meteor", "meteor-0005")
+        .expect("host view over TCP");
+    assert_eq!(host_view.name, "meteor-0005");
+    assert_eq!(host_view.metrics.len(), 34);
+    assert!(timing.xml_bytes > 0);
+
+    // Raw protocol check: one request line, XML response, close.
+    let raw = TcpTransport::new()
+        .fetch(&root_addr, "/sdsc", std::time::Duration::from_secs(2))
+        .expect("raw query");
+    let doc = parse_document(&raw).expect("well-formed");
+    assert_eq!(doc.source, "gmetad");
+}
+
+#[test]
+fn tcp_failover_between_redundant_ports() {
+    let transport = TcpTransport::new();
+    let pseudo = Arc::new(Mutex::new(PseudoGmond::new("meteor", 4, 7, 0)));
+
+    // Two redundant listeners for the same cluster.
+    let mut guards = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let handler_state = Arc::clone(&pseudo);
+        let guard = transport
+            .serve(
+                &Addr::new("127.0.0.1:0"),
+                Arc::new(move |_: &str| handler_state.lock().xml().to_string()),
+            )
+            .expect("bind");
+        addrs.push(guard.addr());
+        guards.push(guard);
+    }
+    let gmetad = Gmetad::new(
+        GmetadConfig::new("sdsc").with_source(DataSourceCfg::new("meteor", addrs)),
+    );
+    gmetad.poll_all(&transport, 15)[0]
+        .as_ref()
+        .expect("first poll");
+
+    // Kill the first listener; the poll must fail over to the second.
+    guards.remove(0);
+    pseudo.lock().advance(30);
+    gmetad.poll_all(&transport, 30)[0]
+        .as_ref()
+        .expect("failover over TCP");
+    let stats = gmetad.poller_stats();
+    assert_eq!(stats[0].3, 1, "one failover recorded");
+}
