@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use ganglia_metrics::model::{ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, SummaryBody};
+use ganglia_metrics::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, SummaryBody,
+};
 
 use crate::rule::{Rule, Signal};
 use crate::sink::AlarmSink;
@@ -254,7 +256,9 @@ mod tests {
         assert_eq!(engine.firing().len(), 1);
 
         // Still violated: no new events.
-        assert!(engine.evaluate(&doc_with_load(3.5, 0), 25, &sink).is_empty());
+        assert!(engine
+            .evaluate(&doc_with_load(3.5, 0), 25, &sink)
+            .is_empty());
 
         // Recovered: cleared.
         let events = engine.evaluate(&doc_with_load(0.5, 0), 40, &sink);
@@ -282,11 +286,17 @@ mod tests {
             AlarmStatus::Pending { since: 0 }
         );
         // A dip resets the pending state.
-        assert!(engine.evaluate(&doc_with_load(1.0, 0), 15, &sink).is_empty());
+        assert!(engine
+            .evaluate(&doc_with_load(1.0, 0), 15, &sink)
+            .is_empty());
         assert_eq!(engine.status("load-high", "meteor"), AlarmStatus::Ok);
         // Violation must persist the full hold time.
-        assert!(engine.evaluate(&doc_with_load(3.0, 0), 30, &sink).is_empty());
-        assert!(engine.evaluate(&doc_with_load(3.0, 0), 45, &sink).is_empty());
+        assert!(engine
+            .evaluate(&doc_with_load(3.0, 0), 30, &sink)
+            .is_empty());
+        assert!(engine
+            .evaluate(&doc_with_load(3.0, 0), 45, &sink)
+            .is_empty());
         let events = engine.evaluate(&doc_with_load(3.0, 0), 60, &sink);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, AlarmKind::Raised);

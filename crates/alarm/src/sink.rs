@@ -30,7 +30,10 @@ impl MemorySink {
 
 impl AlarmSink for MemorySink {
     fn notify(&self, event: &AlarmEvent) {
-        self.events.lock().expect("not poisoned").push(event.clone());
+        self.events
+            .lock()
+            .expect("not poisoned")
+            .push(event.clone());
     }
 }
 

@@ -15,9 +15,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ganglia_core::{
-    archive, poller, query_engine, GmetadConfig, Store, TreeMode, WorkMeter,
-};
+use ganglia_core::{archive, poller, query_engine, GmetadConfig, Store, TreeMode, WorkMeter};
 use ganglia_gmond::PseudoGmond;
 use ganglia_metrics::model::ClusterBody;
 use ganglia_metrics::{parse_document, GridItem};
@@ -64,13 +62,25 @@ fn ablation_summary_vs_union(c: &mut Criterion) {
     group.bench_function("parent_ingests_union", |b| {
         b.iter(|| {
             let doc = parse_document(black_box(&union_xml)).unwrap();
-            black_box(poller::build_state("child", doc, TreeMode::OneLevel, &meter, 0))
+            black_box(poller::build_state(
+                "child",
+                doc,
+                TreeMode::OneLevel,
+                &meter,
+                0,
+            ))
         });
     });
     group.bench_function("parent_ingests_summary", |b| {
         b.iter(|| {
             let doc = parse_document(black_box(&summary_xml)).unwrap();
-            black_box(poller::build_state("child", doc, TreeMode::NLevel, &meter, 0))
+            black_box(poller::build_state(
+                "child",
+                doc,
+                TreeMode::NLevel,
+                &meter,
+                0,
+            ))
         });
     });
     group.finish();
@@ -95,14 +105,7 @@ fn ablation_hash_store_vs_scan(c: &mut Criterion) {
         let ClusterBody::Hosts(hosts) = &cluster.body else {
             unreachable!()
         };
-        b.iter(|| {
-            black_box(
-                hosts
-                    .iter()
-                    .find(|h| h.name == black_box(target))
-                    .unwrap(),
-            )
-        });
+        b.iter(|| black_box(hosts.iter().find(|h| h.name == black_box(target)).unwrap()));
     });
     group.finish();
 }
@@ -115,7 +118,13 @@ fn ablation_background_parse(c: &mut Criterion) {
     let xml = pseudo.xml().to_string();
     let store = Store::new();
     let doc = parse_document(&xml).unwrap();
-    store.replace(poller::build_state("meteor", doc, TreeMode::NLevel, &meter, 0));
+    store.replace(poller::build_state(
+        "meteor",
+        doc,
+        TreeMode::NLevel,
+        &meter,
+        0,
+    ));
     let config = GmetadConfig::new("sdsc");
     let query = Query::parse("/meteor/meteor-0100").unwrap();
 
@@ -129,7 +138,13 @@ fn ablation_background_parse(c: &mut Criterion) {
             // The design the paper rejects: parse on the query path.
             let fresh = Store::new();
             let doc = parse_document(black_box(&xml)).unwrap();
-            fresh.replace(poller::build_state("meteor", doc, TreeMode::NLevel, &meter, 0));
+            fresh.replace(poller::build_state(
+                "meteor",
+                doc,
+                TreeMode::NLevel,
+                &meter,
+                0,
+            ));
             black_box(query_engine::answer(&fresh, &config, &query, 0))
         });
     });

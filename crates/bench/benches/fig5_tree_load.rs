@@ -11,15 +11,16 @@ use ganglia_sim::{fig2_tree, Deployment, DeploymentParams};
 fn bench_tree_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_tree_load");
     group.sample_size(10);
-    for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)] {
+    for (label, mode) in [
+        ("one_level", TreeMode::OneLevel),
+        ("n_level", TreeMode::NLevel),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("poll_round_50_hosts", label),
             &mode,
             |b, &mode| {
-                let mut deployment = Deployment::build(
-                    fig2_tree(50),
-                    DeploymentParams::default().with_mode(mode),
-                );
+                let mut deployment =
+                    Deployment::build(fig2_tree(50), DeploymentParams::default().with_mode(mode));
                 deployment.run_rounds(1); // warm archives
                 b.iter(|| deployment.run_round());
             },

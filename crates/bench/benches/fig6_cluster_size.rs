@@ -12,8 +12,10 @@ fn bench_cluster_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for hosts in [10usize, 50, 100] {
         group.throughput(Throughput::Elements((hosts * 12) as u64));
-        for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)]
-        {
+        for (label, mode) in [
+            ("one_level", TreeMode::OneLevel),
+            ("n_level", TreeMode::NLevel),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(label, hosts),
                 &(mode, hosts),

@@ -35,13 +35,9 @@ fn bench_summarize(c: &mut Criterion) {
             unreachable!()
         };
         group.throughput(Throughput::Elements(hosts as u64));
-        group.bench_with_input(
-            BenchmarkId::new("cluster", hosts),
-            cluster,
-            |b, cluster| {
-                b.iter(|| black_box(cluster.summary()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cluster", hosts), cluster, |b, cluster| {
+            b.iter(|| black_box(cluster.summary()));
+        });
     }
     group.finish();
 }

@@ -25,7 +25,10 @@ fn deployment(mode: TreeMode) -> Deployment {
 fn bench_views(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_views");
     group.sample_size(10);
-    for (label, mode) in [("one_level", TreeMode::OneLevel), ("n_level", TreeMode::NLevel)] {
+    for (label, mode) in [
+        ("one_level", TreeMode::OneLevel),
+        ("n_level", TreeMode::NLevel),
+    ] {
         let deployment = deployment(mode);
         let frontend: Box<dyn Frontend> = match mode {
             TreeMode::OneLevel => Box::new(OneLevelFrontend::new(deployment.viewer("sdsc"))),

@@ -9,10 +9,7 @@ use ganglia_sim::experiments::fig5::{run_fig5, Fig5Params};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let hosts = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100usize);
+    let hosts = args.next().and_then(|a| a.parse().ok()).unwrap_or(100usize);
     let rounds = args.next().and_then(|a| a.parse().ok()).unwrap_or(8u64);
     let params = Fig5Params {
         hosts_per_cluster: hosts,
@@ -20,9 +17,7 @@ fn main() {
         measured_rounds: rounds,
         seed: 42,
     };
-    eprintln!(
-        "running figure 5: {hosts} hosts/cluster, {rounds} measured rounds per design..."
-    );
+    eprintln!("running figure 5: {hosts} hosts/cluster, {rounds} measured rounds per design...");
     let result = run_fig5(&params);
     print!("{}", render_fig5(&result));
 }

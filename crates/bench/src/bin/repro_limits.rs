@@ -53,7 +53,10 @@ fn main() {
         let ratio = if row.n_level_bytes == 0 {
             "-".to_string()
         } else {
-            format!("{:.1}x", row.one_level_bytes as f64 / row.n_level_bytes as f64)
+            format!(
+                "{:.1}x",
+                row.one_level_bytes as f64 / row.n_level_bytes as f64
+            )
         };
         println!(
             "{:<10} {:>16} {:>16} {:>8}",

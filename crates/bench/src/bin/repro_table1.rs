@@ -9,10 +9,7 @@ use ganglia_sim::experiments::table1::{run_table1, Table1Params};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let hosts = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100usize);
+    let hosts = args.next().and_then(|a| a.parse().ok()).unwrap_or(100usize);
     let samples = args.next().and_then(|a| a.parse().ok()).unwrap_or(5u32);
     eprintln!("running table 1: {hosts} hosts/cluster, {samples} samples per cell...");
     let params = Table1Params {

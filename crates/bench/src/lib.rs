@@ -8,8 +8,8 @@
 
 use std::fmt::Write;
 
-use ganglia_sim::experiments::{Fig5Result, Fig6Result, Table1Result};
 use ganglia_sim::experiments::table1::View;
+use ganglia_sim::experiments::{Fig5Result, Fig6Result, Table1Result};
 
 /// Render figure 5 as an aligned table (one bar pair per monitor).
 pub fn render_fig5(result: &Fig5Result) -> String {
@@ -20,7 +20,11 @@ pub fn render_fig5(result: &Fig5Result) -> String {
          ({} hosts/cluster, 12 clusters)",
         result.params_hosts
     );
-    let _ = writeln!(out, "{:<10} {:>12} {:>12}", "monitor", "1-level %", "N-level %");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12}",
+        "monitor", "1-level %", "N-level %"
+    );
     for row in &result.rows {
         let _ = writeln!(
             out,
@@ -29,7 +33,11 @@ pub fn render_fig5(result: &Fig5Result) -> String {
         );
     }
     let (one, n) = result.aggregates();
-    let _ = writeln!(out, "{:<10} {:>12.4} {:>12.4}   (sum over monitors)", "TOTAL", one, n);
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12.4} {:>12.4}   (sum over monitors)",
+        "TOTAL", one, n
+    );
     out
 }
 
@@ -85,12 +93,22 @@ pub fn render_table1(result: &Table1Result) -> String {
     };
     row(
         "1-level",
-        &|v| format!("{:.6}", result.view(v).one_level.download_and_parse().as_secs_f64()),
+        &|v| {
+            format!(
+                "{:.6}",
+                result.view(v).one_level.download_and_parse().as_secs_f64()
+            )
+        },
         &mut out,
     );
     row(
         "N-level",
-        &|v| format!("{:.6}", result.view(v).n_level.download_and_parse().as_secs_f64()),
+        &|v| {
+            format!(
+                "{:.6}",
+                result.view(v).n_level.download_and_parse().as_secs_f64()
+            )
+        },
         &mut out,
     );
     row(
@@ -115,10 +133,10 @@ pub fn render_table1(result: &Table1Result) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ganglia_sim::experiments::{run_fig5, run_fig6, run_table1};
     use ganglia_sim::experiments::fig5::Fig5Params;
     use ganglia_sim::experiments::fig6::Fig6Params;
     use ganglia_sim::experiments::table1::Table1Params;
+    use ganglia_sim::experiments::{run_fig5, run_fig6, run_table1};
 
     #[test]
     fn renderers_produce_paper_shaped_output() {

@@ -84,7 +84,8 @@ fn main() -> ExitCode {
         let now = wall_secs();
         for (cfg, result) in daemon
             .config()
-            .data_sources.to_vec()
+            .data_sources
+            .to_vec()
             .iter()
             .zip(daemon.poll_all(&transport, now))
         {
@@ -93,6 +94,7 @@ fn main() -> ExitCode {
                 Err(e) => eprintln!("gmetad: {e}"),
             }
         }
+        dump_stats(&daemon);
         let _ = daemon.flush_archives();
         println!("{}", daemon.query("/?filter=summary"));
         return ExitCode::SUCCESS;
@@ -102,9 +104,7 @@ fn main() -> ExitCode {
     let stop = Arc::new(AtomicBool::new(false));
     let transport_arc: Arc<dyn Transport> = Arc::new(transport);
     let handle = Arc::clone(&daemon).run_background(transport_arc, Arc::clone(&stop));
-    let flush_interval = std::time::Duration::from_secs(
-        daemon.config().poll_interval.max(1),
-    );
+    let flush_interval = std::time::Duration::from_secs(daemon.config().poll_interval.max(1));
     loop {
         std::thread::sleep(flush_interval);
         if let Err(e) = daemon.flush_archives() {
@@ -116,6 +116,29 @@ fn main() -> ExitCode {
     }
     let _ = handle.join();
     ExitCode::SUCCESS
+}
+
+/// Print the per-source health/statistics table to stderr.
+fn dump_stats(daemon: &Gmetad) {
+    eprintln!(
+        "gmetad: {:<24} {:>4} {:>6} {:>9} {:>8} {:<16} PHASE",
+        "SOURCE", "OK", "FAILED", "FAILOVERS", "CONSECF", "BREAKER"
+    );
+    for row in daemon.poller_stats() {
+        let phase = row
+            .phase
+            .map_or_else(|| "no-data".to_string(), |p| p.to_string());
+        eprintln!(
+            "gmetad: {:<24} {:>4} {:>6} {:>9} {:>8} {:<16} {}",
+            row.name,
+            row.polls_ok,
+            row.polls_failed,
+            row.failovers,
+            row.consecutive_failures,
+            row.breaker.to_string(),
+            phase,
+        );
+    }
 }
 
 fn wall_secs() -> u64 {

@@ -102,11 +102,6 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
                     }
                     _ => (None, rest),
                 };
-                if hosts.is_empty() {
-                    return Err(err(format!(
-                        "data_source {name:?} lists no hosts"
-                    )));
-                }
                 if let Some(interval) = interval {
                     if interval == 0 {
                         return Err(err("poll interval must be positive".into()));
@@ -118,10 +113,10 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
                 if config.data_sources.iter().any(|s| &s.name == name) {
                     return Err(err(format!("duplicate data_source {name:?}")));
                 }
-                config.data_sources.push(DataSourceCfg::new(
-                    name,
-                    hosts.iter().map(Addr::new).collect(),
-                ));
+                // The validated constructor rejects an empty host list.
+                let source = DataSourceCfg::new(name, hosts.iter().map(Addr::new).collect())
+                    .map_err(|e| err(e.to_string()))?;
+                config.data_sources.push(source);
             }
             "interactive_port" => {
                 let [port] = args else {
@@ -172,6 +167,23 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
                     .map_err(|_| err(format!("bad timeout {secs:?}")))?;
                 config.fetch_timeout = Duration::from_secs(secs);
             }
+            "retry_backoff_base_secs" => {
+                config.retry.backoff_base_secs = parse_u64_arg(directive, args, &err)?;
+            }
+            "retry_backoff_max_secs" => {
+                config.retry.backoff_max_secs = parse_u64_arg(directive, args, &err)?;
+            }
+            "breaker_threshold" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                config.retry.breaker_threshold = u32::try_from(value)
+                    .map_err(|_| err(format!("breaker_threshold {value} is too large")))?;
+            }
+            "source_down_secs" => {
+                config.lifecycle.down_after_secs = parse_u64_arg(directive, args, &err)?;
+            }
+            "source_expire_secs" => {
+                config.lifecycle.expire_after_secs = parse_u64_arg(directive, args, &err)?;
+            }
             other => {
                 return Err(err(format!("unknown directive {other:?}")));
             }
@@ -183,6 +195,16 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
             reason: "missing required directive: gridname".into(),
         });
     }
+    // Cross-field validation (the individual directives may arrive in
+    // any order, so these checks run over the assembled config).
+    config
+        .retry
+        .validate()
+        .map_err(|reason| ConfError { line: 0, reason })?;
+    config
+        .lifecycle
+        .validate()
+        .map_err(|reason| ConfError { line: 0, reason })?;
     if config.authority_url.contains("unspecified") {
         config.authority_url = format!("http://{}/ganglia/", config.grid_name);
     }
@@ -191,6 +213,20 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
         interactive_port,
         bind,
     })
+}
+
+/// Parse a directive's single unsigned-integer argument.
+fn parse_u64_arg(
+    directive: &str,
+    args: &[String],
+    err: &impl Fn(String) -> ConfError,
+) -> Result<u64, ConfError> {
+    let [value] = args else {
+        return Err(err(format!("{directive} takes one value")));
+    };
+    value
+        .parse()
+        .map_err(|_| err(format!("bad {directive} value {value:?}")))
 }
 
 /// Split one line into tokens: whitespace-separated words and
@@ -259,7 +295,10 @@ fetch_timeout_secs 5
         assert_eq!(config.data_sources.len(), 2);
         assert_eq!(config.data_sources[0].name, "meteor");
         assert_eq!(config.data_sources[0].addrs.len(), 2);
-        assert_eq!(config.data_sources[1].addrs[0], Addr::new("attic-gmeta:8651"));
+        assert_eq!(
+            config.data_sources[1].addrs[0],
+            Addr::new("attic-gmeta:8651")
+        );
         assert_eq!(config.poll_interval, 15);
         assert_eq!(config.tree_mode, TreeMode::NLevel);
         assert_eq!(config.fetch_timeout, Duration::from_secs(5));
@@ -287,8 +326,7 @@ fetch_timeout_secs 5
 
     #[test]
     fn one_level_mode() {
-        let parsed =
-            parse_conf("gridname \"X\"\ntree_mode \"1-level\"\n").unwrap();
+        let parsed = parse_conf("gridname \"X\"\ntree_mode \"1-level\"\n").unwrap();
         assert_eq!(parsed.config.tree_mode, TreeMode::OneLevel);
     }
 
@@ -309,18 +347,15 @@ fetch_timeout_secs 5
         assert!(parse_conf("gridname \"X\"\ndata_source \"c\" 0 h:1\n").is_err());
         assert!(parse_conf("gridname \"X\"\ntree_mode \"2-level\"\n").is_err());
         assert!(
-            parse_conf("gridname \"X\"\ndata_source \"c\" h:1\ndata_source \"c\" h:2\n")
-                .is_err()
+            parse_conf("gridname \"X\"\ndata_source \"c\" h:1\ndata_source \"c\" h:2\n").is_err()
         );
         assert!(parse_conf("gridname \"unterminated\n").is_err());
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let parsed = parse_conf(
-            "# leading comment\n\n   \ngridname \"X\" # trailing comment\n",
-        )
-        .unwrap();
+        let parsed =
+            parse_conf("# leading comment\n\n   \ngridname \"X\" # trailing comment\n").unwrap();
         assert_eq!(parsed.config.grid_name, "X");
     }
 
@@ -328,6 +363,41 @@ fetch_timeout_secs 5
     fn no_archives_directive() {
         let parsed = parse_conf("gridname \"X\"\nno_archives\n").unwrap();
         assert_eq!(parsed.config.archive, ArchiveMode::Off);
+    }
+
+    #[test]
+    fn retry_and_lifecycle_knobs_parse() {
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             retry_backoff_base_secs 5\n\
+             retry_backoff_max_secs 120\n\
+             breaker_threshold 4\n\
+             source_down_secs 45\n\
+             source_expire_secs 900\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.config.retry.backoff_base_secs, 5);
+        assert_eq!(parsed.config.retry.backoff_max_secs, 120);
+        assert_eq!(parsed.config.retry.breaker_threshold, 4);
+        assert_eq!(parsed.config.lifecycle.down_after_secs, 45);
+        assert_eq!(parsed.config.lifecycle.expire_after_secs, 900);
+    }
+
+    #[test]
+    fn retry_and_lifecycle_knobs_are_validated() {
+        // Base above max is rejected even though each line parses.
+        let err =
+            parse_conf("gridname \"X\"\nretry_backoff_base_secs 300\nretry_backoff_max_secs 60\n")
+                .unwrap_err();
+        assert!(err.reason.contains("retry_backoff_max_secs"));
+        assert!(parse_conf("gridname \"X\"\nbreaker_threshold 0\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nretry_backoff_base_secs 0\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nbreaker_threshold zap\n").is_err());
+        // Expiry must come after the down threshold.
+        assert!(
+            parse_conf("gridname \"X\"\nsource_down_secs 600\nsource_expire_secs 600\n").is_err()
+        );
+        assert!(parse_conf("gridname \"X\"\nsource_down_secs 0\n").is_err());
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Gmetad configuration.
 
+use std::fmt;
 use std::path::PathBuf;
 use std::time::Duration;
 
 use ganglia_net::Addr;
+
+use crate::health::{LifecyclePolicy, RetryPolicy};
 
 /// Which monitoring-tree design the daemon runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,13 +46,36 @@ pub struct DataSourceCfg {
     pub addrs: Vec<Addr>,
 }
 
-impl DataSourceCfg {
-    /// A data source from a name and address list.
-    pub fn new(name: impl Into<String>, addrs: Vec<Addr>) -> Self {
-        DataSourceCfg {
-            name: name.into(),
-            addrs,
+/// A data source definition that cannot be polled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidDataSource {
+    /// The address list is empty: there is nothing to fail over *to*,
+    /// and the poller's cursor would have no endpoint to point at.
+    NoAddrs { name: String },
+}
+
+impl fmt::Display for InvalidDataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidDataSource::NoAddrs { name } => {
+                write!(f, "data source {name:?} lists no addresses")
+            }
         }
+    }
+}
+
+impl std::error::Error for InvalidDataSource {}
+
+impl DataSourceCfg {
+    /// A validated data source from a name and address list. Rejects an
+    /// empty address list up front rather than deferring the failure to
+    /// the poller's first address lookup.
+    pub fn new(name: impl Into<String>, addrs: Vec<Addr>) -> Result<Self, InvalidDataSource> {
+        let name = name.into();
+        if addrs.is_empty() {
+            return Err(InvalidDataSource::NoAddrs { name });
+        }
+        Ok(DataSourceCfg { name, addrs })
     }
 }
 
@@ -72,6 +98,10 @@ pub struct GmetadConfig {
     pub data_sources: Vec<DataSourceCfg>,
     /// Metric archive backing.
     pub archive: ArchiveMode,
+    /// Per-endpoint backoff and circuit-breaker knobs.
+    pub retry: RetryPolicy,
+    /// Staleness-lifecycle thresholds (Stale → Down → Expired).
+    pub lifecycle: LifecyclePolicy,
 }
 
 impl GmetadConfig {
@@ -86,6 +116,8 @@ impl GmetadConfig {
             fetch_timeout: Duration::from_secs(10),
             data_sources: Vec::new(),
             archive: ArchiveMode::InMemory,
+            retry: RetryPolicy::default(),
+            lifecycle: LifecyclePolicy::default(),
         }
     }
 
@@ -106,6 +138,18 @@ impl GmetadConfig {
         self.archive = archive;
         self
     }
+
+    /// Builder-style: set the backoff/breaker policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style: set the staleness-lifecycle thresholds.
+    pub fn with_lifecycle(mut self, lifecycle: LifecyclePolicy) -> Self {
+        self.lifecycle = lifecycle;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +160,13 @@ mod tests {
     fn builder_assembles_config() {
         let config = GmetadConfig::new("sdsc")
             .with_mode(TreeMode::OneLevel)
-            .with_source(DataSourceCfg::new(
-                "meteor",
-                vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
-            ))
+            .with_source(
+                DataSourceCfg::new(
+                    "meteor",
+                    vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+                )
+                .unwrap(),
+            )
             .with_archive(ArchiveMode::Off);
         assert_eq!(config.grid_name, "sdsc");
         assert_eq!(config.tree_mode, TreeMode::OneLevel);
@@ -128,5 +175,19 @@ mod tests {
         assert_eq!(config.archive, ArchiveMode::Off);
         assert_eq!(config.poll_interval, 15);
         assert!(config.authority_url.contains("sdsc"));
+        assert_eq!(config.retry, RetryPolicy::default());
+        assert_eq!(config.lifecycle, LifecyclePolicy::default());
+    }
+
+    #[test]
+    fn empty_address_list_is_rejected_at_construction() {
+        let err = DataSourceCfg::new("ghost", vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            InvalidDataSource::NoAddrs {
+                name: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
     }
 }

@@ -26,7 +26,11 @@ impl fmt::Display for GmetadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GmetadError::AllHostsFailed { source, errors } => {
-                write!(f, "all {} host(s) of source {source:?} failed", errors.len())
+                write!(
+                    f,
+                    "all {} host(s) of source {source:?} failed",
+                    errors.len()
+                )
             }
             GmetadError::BadReport { source, error } => {
                 write!(f, "source {source:?} served a bad report: {error}")

@@ -21,13 +21,33 @@ use ganglia_rrd::{ConsolidationFn, MetricKey, RrdSet, Series};
 use crate::archive::{archive_source, write_unknowns};
 use crate::config::{ArchiveMode, GmetadConfig};
 use crate::error::GmetadError;
+use crate::health::BreakerState;
 use crate::instrument::{WorkCategory, WorkMeter};
 use crate::poller::SourcePoller;
 use crate::query_engine;
-use crate::store::Store;
+use crate::store::{Degradation, SourceStatus, Store};
 
 /// Shared factory for the RRD spec of newly created archives.
 pub type ArchiveSpecFactory = Arc<dyn Fn(&MetricKey, u64) -> ganglia_rrd::RrdSpec + Send + Sync>;
+
+/// One row of the per-source health/statistics dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollerStats {
+    /// Source name.
+    pub name: String,
+    /// Lifetime successful polls.
+    pub polls_ok: u64,
+    /// Lifetime fully-failed polls.
+    pub polls_failed: u64,
+    /// Lifetime endpoint fail-overs.
+    pub failovers: u64,
+    /// Consecutive fully-failed rounds (0 when healthy).
+    pub consecutive_failures: u32,
+    /// Breaker state of the currently preferred endpoint.
+    pub breaker: BreakerState,
+    /// Staleness phase of the stored snapshot, if one exists.
+    pub phase: Option<SourceStatus>,
+}
 
 /// The wide-area monitor daemon.
 pub struct Gmetad {
@@ -126,6 +146,7 @@ impl Gmetad {
             transport,
             self.config.tree_mode,
             self.config.fetch_timeout,
+            &self.config.retry,
             &self.meter,
             now,
         ) {
@@ -140,10 +161,16 @@ impl Gmetad {
                 Ok(())
             }
             Err(e) => {
-                // Keep the last good snapshot, flagged stale, and record
-                // the downtime in the archives (§3.1's zero records).
-                self.store.mark_stale(&name, now);
-                if self.config.archive != ArchiveMode::Off {
+                // Keep the last good snapshot and walk the staleness
+                // lifecycle: Stale keeps serving the old data, Down
+                // rewrites the summary so hosts_down propagates up the
+                // tree, Expired prunes the snapshot entirely. Stale and
+                // Down sources also record the downtime in the archives
+                // (§3.1's zero records).
+                let phase = self.store.degrade(&name, now, &self.config.lifecycle);
+                if matches!(phase, Degradation::Stale | Degradation::Down)
+                    && self.config.archive != ArchiveMode::Off
+                {
                     let mut set = self.archiver.lock();
                     self.meter.time(WorkCategory::Archive, || {
                         write_unknowns(&mut set, &name, now)
@@ -159,9 +186,7 @@ impl Gmetad {
     pub fn query(&self, raw: &str) -> String {
         self.meter.time(WorkCategory::QueryServe, || {
             match Query::parse(raw) {
-                Ok(query) => {
-                    query_engine::answer(&self.store, &self.config, &query, self.clock())
-                }
+                Ok(query) => query_engine::answer(&self.store, &self.config, &query, self.clock()),
                 Err(e) => {
                     // Match gmetad's behaviour of never hanging a client:
                     // serve an empty document with the error as a comment.
@@ -217,18 +242,23 @@ impl Gmetad {
         self.archiver.lock().flush()
     }
 
-    /// Per-source poller statistics: `(name, ok, failed, failovers)`.
-    pub fn poller_stats(&self) -> Vec<(String, u64, u64, u64)> {
+    /// Per-source poller statistics and health.
+    pub fn poller_stats(&self) -> Vec<PollerStats> {
         self.pollers
             .lock()
             .iter()
             .map(|p| {
-                (
-                    p.cfg().name.clone(),
-                    p.polls_ok,
-                    p.polls_failed,
-                    p.failovers,
-                )
+                let name = p.cfg().name.clone();
+                let phase = self.store.get(&name).map(|s| s.status);
+                PollerStats {
+                    name,
+                    polls_ok: p.polls_ok,
+                    polls_failed: p.polls_failed,
+                    failovers: p.failovers,
+                    consecutive_failures: p.consecutive_failures,
+                    breaker: p.current_breaker(),
+                    phase,
+                }
             })
             .collect()
     }
@@ -298,19 +328,17 @@ mod tests {
     use super::*;
     use crate::config::{DataSourceCfg, TreeMode};
     use crate::store::SourceStatus;
-    use ganglia_gmond::PseudoGmond;
     use ganglia_gmond::pseudo::ServedPseudoCluster;
+    use ganglia_gmond::PseudoGmond;
     use ganglia_metrics::parse_document;
     use ganglia_net::SimNet;
 
-    fn deploy(
-        mode: TreeMode,
-    ) -> (Arc<SimNet>, ServedPseudoCluster, Arc<Gmetad>) {
+    fn deploy(mode: TreeMode) -> (Arc<SimNet>, ServedPseudoCluster, Arc<Gmetad>) {
         let net = SimNet::new(1);
         let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 8, 42, 0), 2);
         let config = GmetadConfig::new("sdsc")
             .with_mode(mode)
-            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()));
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap());
         let gmetad = Gmetad::new(config);
         (net, served, gmetad)
     }
@@ -338,11 +366,7 @@ mod tests {
             .fetch(&guard.addr(), "/", Duration::from_secs(1))
             .unwrap();
         let host = net
-            .fetch(
-                &guard.addr(),
-                "/meteor/meteor-0003",
-                Duration::from_secs(1),
-            )
+            .fetch(&guard.addr(), "/meteor/meteor-0003", Duration::from_secs(1))
             .unwrap();
         assert!(host.len() < full.len() / 4);
         let doc = parse_document(&host).unwrap();
@@ -365,8 +389,57 @@ mod tests {
             "zero records written during downtime"
         );
         let stats = gmetad.poller_stats();
-        assert_eq!(stats[0].1, 1); // ok
-        assert_eq!(stats[0].2, 1); // failed
+        assert_eq!(stats[0].polls_ok, 1);
+        assert_eq!(stats[0].polls_failed, 1);
+        assert_eq!(stats[0].consecutive_failures, 1);
+        assert_eq!(stats[0].phase, Some(SourceStatus::Stale { since: 30 }));
+    }
+
+    #[test]
+    fn sustained_failure_walks_down_and_rewrites_summary() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        net.partition_prefix("meteor", true);
+        // Default lifecycle: Down after TN > 60s from the last good poll.
+        gmetad.poll_all(&net, 30);
+        gmetad.poll_all(&net, 90);
+        let state = gmetad.store().get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Down { since: 90 });
+        assert_eq!(state.summary.hosts_up, 0);
+        assert_eq!(state.summary.hosts_down, 8);
+        assert!(state.summary.metrics.is_empty());
+        let root = gmetad.store().root_summary();
+        assert_eq!(root.hosts_up, 0);
+        assert_eq!(root.hosts_down, 8);
+        // The query port reports the outage.
+        let xml = gmetad.query("/");
+        assert!(xml.contains("UP=\"0\""), "{xml}");
+        assert!(xml.contains("DOWN=\"8\""), "{xml}");
+        // Healing restores a fresh snapshot and full summary.
+        net.partition_prefix("meteor", false);
+        gmetad.poll_all(&net, 105);
+        let state = gmetad.store().get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Fresh);
+        assert_eq!(state.summary.hosts_up, 8);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_stats_report_it() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        net.partition_prefix("meteor", true);
+        // Default threshold is 3 consecutive failures per endpoint; after
+        // enough rounds every endpoint's breaker is open.
+        for round in 1..=4 {
+            gmetad.poll_all(&net, 15 + round * 15);
+        }
+        let stats = gmetad.poller_stats();
+        assert_eq!(stats[0].consecutive_failures, 4);
+        assert!(
+            matches!(stats[0].breaker, BreakerState::Open { .. }),
+            "expected open breaker, got {}",
+            stats[0].breaker
+        );
     }
 
     #[test]
@@ -381,8 +454,13 @@ mod tests {
     #[test]
     fn dynamic_source_management() {
         let (_net, _served, gmetad) = deploy(TreeMode::NLevel);
-        assert!(!gmetad.add_source(DataSourceCfg::new("meteor", vec![])));
-        assert!(gmetad.add_source(DataSourceCfg::new("nashi", vec![Addr::new("nashi/n0")])));
+        assert!(DataSourceCfg::new("ghost", vec![]).is_err());
+        assert!(
+            !gmetad.add_source(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap())
+        );
+        assert!(
+            gmetad.add_source(DataSourceCfg::new("nashi", vec![Addr::new("nashi/n0")]).unwrap())
+        );
         assert_eq!(gmetad.source_names(), vec!["meteor", "nashi"]);
         assert!(gmetad.remove_source("nashi"));
         assert!(!gmetad.remove_source("nashi"));
@@ -414,7 +492,7 @@ mod tests {
         sdsc.poll_all(&net, 15);
         let _guard = sdsc.serve_on(&net, &Addr::new("sdsc-gmeta")).unwrap();
         let root_cfg = GmetadConfig::new("root")
-            .with_source(DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]));
+            .with_source(DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]).unwrap());
         let root = Gmetad::new(root_cfg);
         root.poll_all(&net, 16);
         let state = root.store().get("sdsc").unwrap();

@@ -1,0 +1,349 @@
+//! Per-endpoint failure tracking: backoff and circuit breaking.
+//!
+//! The paper's failure handling (§2.1) retries a dead source "at a
+//! steady frequency, ensuring that failures do not cause permanent
+//! fissures in the monitoring tree". Steady retry at the *source* level
+//! is preserved by the poller (every round still probes at least one
+//! endpoint); this module bounds the work spent on each *endpoint*: a
+//! host that keeps failing trips a circuit breaker and is then probed on
+//! a capped exponential-backoff schedule instead of being hammered with
+//! one timeout-costing attempt per redundant address per round.
+//!
+//! Breaker states:
+//!
+//! * **Closed** — the endpoint is believed healthy; attempts flow.
+//! * **Open { until }** — `breaker_threshold` consecutive failures have
+//!   accumulated; no attempts until the backoff deadline passes.
+//! * **HalfOpen** — the deadline passed and one probe is in flight; its
+//!   outcome either closes the breaker or re-opens it with a longer
+//!   deadline.
+//!
+//! The backoff delay for the n-th opening is
+//! `min(base · 2^(n-1) · jitter, max)` with a constant per-endpoint
+//! jitter factor in `[1.0, 1.25)` drawn deterministically from
+//! [`SplitMix64`], so redundant endpoints of one source de-synchronize
+//! without losing reproducibility. The schedule is monotone
+//! non-decreasing and never exceeds `retry_backoff_max_secs`, so once an
+//! endpoint recovers the next probe fires within one cap interval.
+
+use ganglia_net::rng::SplitMix64;
+use std::fmt;
+
+/// Backoff and circuit-breaker knobs (`gmetad.conf`:
+/// `retry_backoff_base_secs`, `retry_backoff_max_secs`,
+/// `breaker_threshold`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff delay once the breaker opens, in seconds.
+    pub backoff_base_secs: u64,
+    /// Cap on the backoff delay, in seconds. Also the worst-case lag
+    /// between an endpoint recovering and the half-open probe that
+    /// notices.
+    pub backoff_max_secs: u64,
+    /// Consecutive failures that open the breaker.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff_base_secs: 15,
+            backoff_max_secs: 240,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Reject configurations the backoff arithmetic cannot honour.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.backoff_base_secs == 0 {
+            return Err("retry_backoff_base_secs must be positive".into());
+        }
+        if self.backoff_max_secs < self.backoff_base_secs {
+            return Err(format!(
+                "retry_backoff_max_secs ({}) must be >= retry_backoff_base_secs ({})",
+                self.backoff_max_secs, self.backoff_base_secs
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err("breaker_threshold must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Staleness-lifecycle thresholds (`gmetad.conf`: `source_down_secs`,
+/// `source_expire_secs`) — the wide-area analogue of gmond's per-metric
+/// TMAX/DMAX soft state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecyclePolicy {
+    /// Seconds without a good poll after which a stale source is marked
+    /// down and its hosts reported as `hosts_down` up the tree.
+    pub down_after_secs: u64,
+    /// Seconds without a good poll after which the source's snapshot is
+    /// expired — pruned from the store entirely.
+    pub expire_after_secs: u64,
+}
+
+impl Default for LifecyclePolicy {
+    fn default() -> Self {
+        LifecyclePolicy {
+            down_after_secs: 60,
+            expire_after_secs: 3600,
+        }
+    }
+}
+
+impl LifecyclePolicy {
+    /// Reject threshold orderings that would skip lifecycle phases.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.down_after_secs == 0 {
+            return Err("source_down_secs must be positive".into());
+        }
+        if self.expire_after_secs <= self.down_after_secs {
+            return Err(format!(
+                "source_expire_secs ({}) must be > source_down_secs ({})",
+                self.expire_after_secs, self.down_after_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker state of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: attempts flow normally.
+    Closed,
+    /// Tripped: no attempts until `until` (seconds, poller clock).
+    Open { until: u64 },
+    /// Probe in flight: the next outcome decides.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open { until } => write!(f, "open(until={until})"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Health record for one endpoint of a data source.
+#[derive(Debug, Clone)]
+pub struct EndpointHealth {
+    /// Consecutive failed exchanges (fetch errors and bad reports).
+    pub consecutive_failures: u32,
+    /// Poller-clock time of the last successful exchange.
+    pub last_ok: Option<u64>,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+    /// Constant per-endpoint jitter factor in `[1.0, 1.25)`.
+    jitter: f64,
+}
+
+impl EndpointHealth {
+    /// A healthy endpoint whose jitter is derived from `seed`
+    /// (deterministic — seed from the endpoint address).
+    pub fn new(seed: u64) -> EndpointHealth {
+        let mut rng = SplitMix64::new(seed);
+        EndpointHealth {
+            consecutive_failures: 0,
+            last_ok: None,
+            breaker: BreakerState::Closed,
+            jitter: 1.0 + 0.25 * rng.next_f64(),
+        }
+    }
+
+    /// Whether the breaker permits an attempt at `now`.
+    pub fn allows_attempt(&self, now: u64) -> bool {
+        match self.breaker {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => now >= until,
+        }
+    }
+
+    /// Earliest time an attempt will be permitted (now, if already
+    /// permitted).
+    pub fn next_probe_at(&self, now: u64) -> u64 {
+        match self.breaker {
+            BreakerState::Closed | BreakerState::HalfOpen => now,
+            BreakerState::Open { until } => until.max(now),
+        }
+    }
+
+    /// Note that an attempt is starting. An open breaker transitions to
+    /// half-open: the attempt is a probe whose outcome decides the next
+    /// state.
+    pub fn begin_attempt(&mut self, _now: u64) {
+        if matches!(self.breaker, BreakerState::Open { .. }) {
+            self.breaker = BreakerState::HalfOpen;
+        }
+    }
+
+    /// Record a successful exchange: failures reset, breaker closes.
+    pub fn record_success(&mut self, now: u64) {
+        self.consecutive_failures = 0;
+        self.last_ok = Some(now);
+        self.breaker = BreakerState::Closed;
+    }
+
+    /// Record a failed exchange; opens (or re-opens, with a longer
+    /// deadline) the breaker once `policy.breaker_threshold` consecutive
+    /// failures accumulate.
+    pub fn record_failure(&mut self, now: u64, policy: &RetryPolicy) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= policy.breaker_threshold {
+            let step = self.consecutive_failures - policy.breaker_threshold + 1;
+            self.breaker = BreakerState::Open {
+                until: now.saturating_add(self.backoff_delay(step, policy)),
+            };
+        }
+    }
+
+    /// The backoff delay for the `step`-th consecutive opening
+    /// (1-based): `min(base · 2^(step-1) · jitter, max)`. Monotone
+    /// non-decreasing in `step` and never above `backoff_max_secs`.
+    pub fn backoff_delay(&self, step: u32, policy: &RetryPolicy) -> u64 {
+        let exponent = step.saturating_sub(1).min(62);
+        let raw = policy
+            .backoff_base_secs
+            .saturating_mul(1u64.checked_shl(exponent).unwrap_or(u64::MAX));
+        let jittered = (raw as f64 * self.jitter).min(u64::MAX as f64) as u64;
+        jittered.min(policy.backoff_max_secs)
+    }
+}
+
+/// A deterministic seed for an endpoint's jitter RNG (FNV-1a of the
+/// address string).
+pub fn endpoint_seed(addr: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in addr.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_backs_off() {
+        let mut health = EndpointHealth::new(endpoint_seed("meteor/n0"));
+        let policy = policy();
+        health.record_failure(10, &policy);
+        health.record_failure(20, &policy);
+        assert_eq!(health.breaker, BreakerState::Closed);
+        health.record_failure(30, &policy);
+        let BreakerState::Open { until } = health.breaker else {
+            panic!("threshold reached, breaker must open");
+        };
+        // First opening: base..base*1.25 after the failure.
+        assert!((45..=48).contains(&until), "until {until}");
+        assert!(!health.allows_attempt(until - 1));
+        assert!(health.allows_attempt(until));
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_reopens_longer_on_failure() {
+        let mut health = EndpointHealth::new(endpoint_seed("meteor/n1"));
+        let policy = policy();
+        for t in [10, 20, 30] {
+            health.record_failure(t, &policy);
+        }
+        let first_delay = match health.breaker {
+            BreakerState::Open { until } => until - 30,
+            other => panic!("unexpected {other:?}"),
+        };
+        health.begin_attempt(60);
+        assert_eq!(health.breaker, BreakerState::HalfOpen);
+        health.record_failure(60, &policy);
+        let second_delay = match health.breaker {
+            BreakerState::Open { until } => until - 60,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(second_delay >= first_delay, "backoff grows");
+        health.begin_attempt(200);
+        health.record_success(200);
+        assert_eq!(health.breaker, BreakerState::Closed);
+        assert_eq!(health.consecutive_failures, 0);
+        assert_eq!(health.last_ok, Some(200));
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        let health = EndpointHealth::new(endpoint_seed("attic-gmeta"));
+        let policy = policy();
+        let mut previous = 0;
+        for step in 1..100 {
+            let delay = health.backoff_delay(step, &policy);
+            assert!(delay >= previous, "step {step}: {delay} < {previous}");
+            assert!(delay <= policy.backoff_max_secs);
+            previous = delay;
+        }
+        assert_eq!(previous, policy.backoff_max_secs, "cap reached");
+    }
+
+    #[test]
+    fn policies_validate() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy {
+            backoff_base_secs: 0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            backoff_base_secs: 100,
+            backoff_max_secs: 50,
+            breaker_threshold: 3,
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            breaker_threshold: 0,
+            ..RetryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(LifecyclePolicy::default().validate().is_ok());
+        assert!(LifecyclePolicy {
+            down_after_secs: 0,
+            expire_after_secs: 10,
+        }
+        .validate()
+        .is_err());
+        assert!(LifecyclePolicy {
+            down_after_secs: 60,
+            expire_after_secs: 60,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_endpoint() {
+        let a = EndpointHealth::new(endpoint_seed("meteor/n0"));
+        let b = EndpointHealth::new(endpoint_seed("meteor/n0"));
+        let c = EndpointHealth::new(endpoint_seed("meteor/n1"));
+        // A base large enough that sub-percent jitter differences
+        // survive the truncation to whole seconds.
+        let policy = RetryPolicy {
+            backoff_base_secs: 100_000,
+            backoff_max_secs: 100_000_000,
+            breaker_threshold: 3,
+        };
+        assert_eq!(a.backoff_delay(2, &policy), b.backoff_delay(2, &policy));
+        // Different endpoints de-synchronize (these two seeds do differ).
+        assert_ne!(a.backoff_delay(2, &policy), c.backoff_delay(2, &policy));
+    }
+}

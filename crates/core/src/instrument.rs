@@ -111,7 +111,10 @@ impl WorkMeter {
 
     /// Snapshot of every category's busy time.
     pub fn breakdown(&self) -> Vec<(WorkCategory, Duration)> {
-        WorkCategory::ALL.iter().map(|&c| (c, self.busy(c))).collect()
+        WorkCategory::ALL
+            .iter()
+            .map(|&c| (c, self.busy(c)))
+            .collect()
     }
 }
 
@@ -164,6 +167,9 @@ mod tests {
         let meter = WorkMeter::new();
         assert_eq!(meter.breakdown().len(), 5);
         let labels: Vec<&str> = WorkCategory::ALL.iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["fetch", "parse", "summarize", "archive", "query"]);
+        assert_eq!(
+            labels,
+            vec!["fetch", "parse", "summarize", "archive", "query"]
+        );
     }
 }

@@ -59,11 +59,7 @@ impl std::error::Error for JoinError {}
 /// Format: `JOIN <name> <addr,addr,...> <timestamp> <hmac-hex>`, with
 /// the certificate over `name|addrs|timestamp`.
 pub fn join_message(name: &str, addrs: &[Addr], now: u64, secret: &[u8]) -> String {
-    let addr_list = addrs
-        .iter()
-        .map(Addr::as_str)
-        .collect::<Vec<_>>()
-        .join(",");
+    let addr_list = addrs.iter().map(Addr::as_str).collect::<Vec<_>>().join(",");
     let payload = format!("{name}|{addr_list}|{now}");
     let cert = to_hex(&hmac_sha256(secret, payload.as_bytes()));
     format!("JOIN {name} {addr_list} {now} {cert}")
@@ -128,7 +124,9 @@ impl JoinManager {
         }
         self.members.lock().insert(name.to_string(), now);
         // add_source is a no-op (false) for an existing member refresh.
-        self.gmetad.add_source(DataSourceCfg::new(name, addrs));
+        let cfg = DataSourceCfg::new(name, addrs)
+            .expect("join messages with no endpoints are rejected above");
+        self.gmetad.add_source(cfg);
         Ok(())
     }
 
@@ -241,7 +239,10 @@ mod tests {
         let join = |t: u64| join_message("sdsc", &[Addr::new("a")], t, SECRET);
         manager.handle(&join(100), 100).unwrap();
         manager.handle(&join(150), 150).unwrap();
-        assert!(manager.prune(200).is_empty(), "refreshed at 150, timeout 60");
+        assert!(
+            manager.prune(200).is_empty(),
+            "refreshed at 150, timeout 60"
+        );
         let pruned = manager.prune(211);
         assert_eq!(pruned, vec!["sdsc"]);
         assert!(gmetad.source_names().is_empty());

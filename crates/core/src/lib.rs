@@ -20,6 +20,9 @@
 //!   mode, polling interval, archive mode;
 //! * [`poller`] — per-source polling with gmond fail-over and steady
 //!   retry (§2.1's failure handling);
+//! * [`health`] — per-endpoint circuit breakers with capped
+//!   exponential backoff, and the staleness-lifecycle thresholds
+//!   (Fresh → Stale → Down → Expired) the store enforces;
 //! * [`store`] — the hash-table store of §3.3.2 ("our approach
 //!   approximates a DOM design where each XML tag name keys into a hash
 //!   table");
@@ -45,6 +48,7 @@ pub mod conf;
 pub mod config;
 pub mod error;
 pub mod gmetad;
+pub mod health;
 pub mod instrument;
 pub mod join;
 pub mod poller;
@@ -52,8 +56,9 @@ pub mod query_engine;
 pub mod sha256;
 pub mod store;
 
-pub use config::{ArchiveMode, DataSourceCfg, GmetadConfig, TreeMode};
+pub use config::{ArchiveMode, DataSourceCfg, GmetadConfig, InvalidDataSource, TreeMode};
 pub use error::GmetadError;
-pub use gmetad::Gmetad;
+pub use gmetad::{Gmetad, PollerStats};
+pub use health::{BreakerState, EndpointHealth, LifecyclePolicy, RetryPolicy};
 pub use instrument::{WorkCategory, WorkMeter};
-pub use store::{SourceData, SourceState, SourceStatus, Store};
+pub use store::{Degradation, SourceData, SourceState, SourceStatus, Store};

@@ -1,12 +1,20 @@
-//! Per-source polling with fail-over.
+//! Per-source polling with fail-over and endpoint circuit breaking.
 //!
 //! Each data source lists several redundant endpoints (any gmon node can
 //! serve the whole cluster). The poller tries them in order starting at
 //! the last one that worked: a stop failure moves on immediately, and a
 //! completely unreachable source is retried "at a steady frequency,
 //! ensuring that failures do not cause permanent fissures in the
-//! monitoring tree" (paper §2.1) — i.e. every poll round, forever.
-
+//! monitoring tree" (paper §2.1) — every poll round still probes at
+//! least one endpoint, forever.
+//!
+//! What the steady retry no longer does is hammer: each endpoint carries
+//! an [`EndpointHealth`] circuit breaker, and once an endpoint has
+//! failed [`RetryPolicy::breaker_threshold`] times in a row it is only
+//! probed on a capped exponential-backoff schedule. A round in which
+//! every breaker is open degenerates to exactly one probe — the
+//! endpoint whose breaker re-closes soonest — instead of one
+//! timeout-costing attempt per redundant address.
 
 use std::time::Duration;
 
@@ -17,6 +25,7 @@ use ganglia_net::NetError;
 
 use crate::config::{DataSourceCfg, TreeMode};
 use crate::error::GmetadError;
+use crate::health::{endpoint_seed, BreakerState, EndpointHealth, RetryPolicy};
 use crate::instrument::{WorkCategory, WorkMeter};
 use crate::store::SourceState;
 
@@ -26,6 +35,8 @@ pub struct SourcePoller {
     cfg: DataSourceCfg,
     /// Index of the endpoint that served the last successful poll.
     cursor: usize,
+    /// Per-endpoint health, parallel to `cfg.addrs`.
+    health: Vec<EndpointHealth>,
     /// Consecutive fully-failed rounds.
     pub consecutive_failures: u32,
     /// Lifetime counters.
@@ -35,11 +46,18 @@ pub struct SourcePoller {
 }
 
 impl SourcePoller {
-    /// A poller for one configured source.
+    /// A poller for one configured source. [`DataSourceCfg::new`]
+    /// guarantees a non-empty address list.
     pub fn new(cfg: DataSourceCfg) -> SourcePoller {
+        let health = cfg
+            .addrs
+            .iter()
+            .map(|addr| EndpointHealth::new(endpoint_seed(addr.as_str())))
+            .collect();
         SourcePoller {
             cfg,
             cursor: 0,
+            health,
             consecutive_failures: 0,
             polls_ok: 0,
             polls_failed: 0,
@@ -57,30 +75,47 @@ impl SourcePoller {
         &self.cfg.addrs[self.cursor]
     }
 
-    /// One poll round: fetch (with fail-over), parse, and build the new
-    /// snapshot. On total failure every endpoint's error is reported.
+    /// Health records, parallel to `cfg().addrs`.
+    pub fn endpoint_health(&self) -> &[EndpointHealth] {
+        &self.health
+    }
+
+    /// Breaker state of the currently preferred endpoint.
+    pub fn current_breaker(&self) -> BreakerState {
+        self.health[self.cursor].breaker
+    }
+
+    /// One poll round: fetch (with fail-over and circuit breaking),
+    /// parse, and build the new snapshot. On total failure every
+    /// attempted endpoint's error is reported.
     pub fn poll(
         &mut self,
         transport: &dyn Transport,
         mode: TreeMode,
         timeout: Duration,
+        policy: &RetryPolicy,
         meter: &WorkMeter,
         now: u64,
     ) -> Result<SourceState, GmetadError> {
-        let xml = match self.fetch_with_failover(transport, timeout, meter) {
-            Ok(xml) => xml,
-            Err(errors) => {
-                self.polls_failed += 1;
-                self.consecutive_failures += 1;
-                return Err(GmetadError::AllHostsFailed {
-                    source: self.cfg.name.clone(),
-                    errors,
-                });
-            }
-        };
+        let (served_by, xml) =
+            match self.fetch_with_failover(transport, timeout, policy, meter, now) {
+                Ok(served) => served,
+                Err(errors) => {
+                    self.polls_failed += 1;
+                    self.consecutive_failures += 1;
+                    return Err(GmetadError::AllHostsFailed {
+                        source: self.cfg.name.clone(),
+                        errors,
+                    });
+                }
+            };
         let doc = match meter.time(WorkCategory::Parse, || parse_document(&xml)) {
             Ok(doc) => doc,
             Err(error) => {
+                // A garbage or truncated report counts against the
+                // endpoint that served it: enough of them in a row and
+                // its breaker opens, failing the source over.
+                self.health[served_by].record_failure(now, policy);
                 self.polls_failed += 1;
                 self.consecutive_failures += 1;
                 return Err(GmetadError::BadReport {
@@ -89,6 +124,7 @@ impl SourcePoller {
                 });
             }
         };
+        self.health[served_by].record_success(now);
         self.polls_ok += 1;
         self.consecutive_failures = 0;
         Ok(build_state(&self.cfg.name, doc, mode, meter, now))
@@ -98,26 +134,74 @@ impl SourcePoller {
         &mut self,
         transport: &dyn Transport,
         timeout: Duration,
+        policy: &RetryPolicy,
         meter: &WorkMeter,
-    ) -> Result<String, Vec<NetError>> {
+        now: u64,
+    ) -> Result<(usize, String), Vec<NetError>> {
         let addr_count = self.cfg.addrs.len();
         let mut errors = Vec::new();
+        let mut attempted = false;
         for attempt in 0..addr_count {
             let idx = (self.cursor + attempt) % addr_count;
-            let addr = &self.cfg.addrs[idx];
-            let result = meter.time(WorkCategory::Fetch, || transport.fetch(addr, "/", timeout));
-            match result {
+            if !self.health[idx].allows_attempt(now) {
+                continue;
+            }
+            attempted = true;
+            match self.try_endpoint(idx, transport, timeout, policy, meter, now) {
                 Ok(xml) => {
                     if attempt > 0 {
                         self.failovers += 1;
                         self.cursor = idx; // stick with the node that works
                     }
-                    return Ok(xml);
+                    return Ok((idx, xml));
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        if !attempted {
+            // Every breaker is open. The paper's steady-retry guarantee
+            // (§2.1) still holds: probe the one endpoint whose breaker
+            // re-closes soonest, so a healed source is rediscovered
+            // within one poll round of its deadline — and a dead one
+            // costs a single timeout per round, not one per address.
+            let idx = (0..addr_count)
+                .min_by_key(|&i| (self.health[i].next_probe_at(now), i))
+                .expect("validated cfg has at least one address");
+            match self.try_endpoint(idx, transport, timeout, policy, meter, now) {
+                Ok(xml) => {
+                    if idx != self.cursor {
+                        self.failovers += 1;
+                        self.cursor = idx;
+                    }
+                    return Ok((idx, xml));
                 }
                 Err(e) => errors.push(e),
             }
         }
         Err(errors)
+    }
+
+    /// One exchange with one endpoint, updating its health record.
+    fn try_endpoint(
+        &mut self,
+        idx: usize,
+        transport: &dyn Transport,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        meter: &WorkMeter,
+        now: u64,
+    ) -> Result<String, NetError> {
+        self.health[idx].begin_attempt(now);
+        let addr = &self.cfg.addrs[idx];
+        let result = meter.time(WorkCategory::Fetch, || transport.fetch(addr, "/", timeout));
+        match &result {
+            // Success is recorded only after the report parses (see
+            // `poll`); a fetch that returns garbage must not close the
+            // breaker.
+            Ok(_) => {}
+            Err(_) => self.health[idx].record_failure(now, policy),
+        }
+        result
     }
 }
 
@@ -190,12 +274,13 @@ mod tests {
         xml
     }
 
-    fn serve_static(net: &StdArc<SimNet>, addr: &str, body: String) -> Box<dyn ganglia_net::ServerGuard> {
-        net.serve(
-            &Addr::new(addr),
-            StdArc::new(move |_: &str| body.clone()),
-        )
-        .unwrap()
+    fn serve_static(
+        net: &StdArc<SimNet>,
+        addr: &str,
+        body: String,
+    ) -> Box<dyn ganglia_net::ServerGuard> {
+        net.serve(&Addr::new(addr), StdArc::new(move |_: &str| body.clone()))
+            .unwrap()
     }
 
     #[test]
@@ -203,12 +288,17 @@ mod tests {
         let net = SimNet::new(1);
         let _g = serve_static(&net, "meteor/n0", cluster_xml("meteor", 3));
         let meter = WorkMeter::new();
-        let mut poller = SourcePoller::new(DataSourceCfg::new(
-            "meteor",
-            vec![Addr::new("meteor/n0")],
-        ));
+        let mut poller =
+            SourcePoller::new(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap());
         let state = poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 100)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                100,
+            )
             .unwrap();
         assert_eq!(state.host_count(), 3);
         assert!(matches!(state.data, SourceData::Cluster(_)));
@@ -225,24 +315,48 @@ mod tests {
         let _g1 = serve_static(&net, "meteor/n1", cluster_xml("meteor", 1));
         net.set_down(&Addr::new("meteor/n0"), true);
         let meter = WorkMeter::new();
-        let mut poller = SourcePoller::new(DataSourceCfg::new(
-            "meteor",
-            vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
-        ));
+        let mut poller = SourcePoller::new(
+            DataSourceCfg::new(
+                "meteor",
+                vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+            )
+            .unwrap(),
+        );
         poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                10,
+            )
             .unwrap();
         assert_eq!(poller.failovers, 1);
         assert_eq!(poller.current_addr(), &Addr::new("meteor/n1"));
         // Next poll goes straight to n1 (no extra failover).
         poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 20)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                20,
+            )
             .unwrap();
         assert_eq!(poller.failovers, 1);
         // When n0 recovers, the poller keeps using n1 until it fails.
         net.set_down(&Addr::new("meteor/n0"), false);
         poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 30)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                30,
+            )
             .unwrap();
         assert_eq!(poller.current_addr(), &Addr::new("meteor/n1"));
     }
@@ -254,13 +368,23 @@ mod tests {
         let _g1 = serve_static(&net, "meteor/n1", cluster_xml("meteor", 1));
         net.partition_prefix("meteor", true);
         let meter = WorkMeter::new();
-        let mut poller = SourcePoller::new(DataSourceCfg::new(
-            "meteor",
-            vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
-        ));
+        let mut poller = SourcePoller::new(
+            DataSourceCfg::new(
+                "meteor",
+                vec![Addr::new("meteor/n0"), Addr::new("meteor/n1")],
+            )
+            .unwrap(),
+        );
         for round in 1..=3u64 {
             let err = poller
-                .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, round * 15)
+                .poll(
+                    &net,
+                    TreeMode::NLevel,
+                    TIMEOUT,
+                    &RetryPolicy::default(),
+                    &meter,
+                    round * 15,
+                )
                 .unwrap_err();
             match err {
                 GmetadError::AllHostsFailed { source, errors } => {
@@ -274,7 +398,14 @@ mod tests {
         // Steady retry: the partition heals and the next round succeeds.
         net.partition_prefix("meteor", false);
         poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 60)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                60,
+            )
             .unwrap();
         assert_eq!(poller.consecutive_failures, 0);
     }
@@ -284,12 +415,17 @@ mod tests {
         let net = SimNet::new(1);
         let _g = serve_static(&net, "meteor/n0", "<BOGUS".to_string());
         let meter = WorkMeter::new();
-        let mut poller = SourcePoller::new(DataSourceCfg::new(
-            "meteor",
-            vec![Addr::new("meteor/n0")],
-        ));
+        let mut poller =
+            SourcePoller::new(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap());
         assert!(matches!(
-            poller.poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10),
+            poller.poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                10
+            ),
             Err(GmetadError::BadReport { .. })
         ));
     }
@@ -307,22 +443,43 @@ mod tests {
         let net = SimNet::new(1);
         let _g = serve_static(&net, "sdsc-gmeta", grid_xml.to_string());
         let meter = WorkMeter::new();
-        let cfg = DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]);
+        let cfg = DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]).unwrap();
 
         let mut n_poller = SourcePoller::new(cfg.clone());
         let n_state = n_poller
-            .poll(&net, TreeMode::NLevel, TIMEOUT, &meter, 10)
+            .poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                10,
+            )
             .unwrap();
-        let SourceData::Grid(grid) = &n_state.data else { panic!() };
+        let SourceData::Grid(grid) = &n_state.data else {
+            panic!()
+        };
         assert!(matches!(grid.body, GridBody::Summary(_)));
         assert_eq!(grid.authority, "http://sdsc/");
         assert_eq!(n_state.summary.hosts_up, 1);
 
         let mut one_poller = SourcePoller::new(cfg);
         let one_state = one_poller
-            .poll(&net, TreeMode::OneLevel, TIMEOUT, &meter, 10)
+            .poll(
+                &net,
+                TreeMode::OneLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                10,
+            )
             .unwrap();
-        let SourceData::Grid(grid) = &one_state.data else { panic!() };
-        assert!(matches!(grid.body, GridBody::Items(_)), "1-level keeps detail");
+        let SourceData::Grid(grid) = &one_state.data else {
+            panic!()
+        };
+        assert!(
+            matches!(grid.body, GridBody::Items(_)),
+            "1-level keeps detail"
+        );
     }
 }

@@ -64,7 +64,7 @@ pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> 
             }
         } else {
             for state in store.list() {
-                emit_source_full(&state.data, config.tree_mode, &mut writer);
+                emit_source_full(&state, config.tree_mode, &mut writer);
             }
         }
     } else {
@@ -101,12 +101,34 @@ pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> 
 }
 
 /// Emit a source at full stored resolution (the root query).
+///
+/// A source the staleness lifecycle has marked **Down** is emitted in
+/// summary form regardless of what detail is stored: its rewritten
+/// summary (hosts_up=0, hosts_down=total) is what a polling parent must
+/// aggregate, so the outage propagates up the monitoring tree. The
+/// last-good full detail remains reachable through explicit path
+/// queries for forensics.
 fn emit_source_full<W: std::fmt::Write>(
-    data: &SourceData,
+    state: &crate::store::SourceState,
     mode: TreeMode,
     writer: &mut XmlWriter<W>,
 ) {
-    match data {
+    if matches!(state.status, crate::store::SourceStatus::Down { .. }) {
+        match &state.data {
+            SourceData::Cluster(c) => {
+                codec::open_cluster(c, writer);
+                codec::write_summary(&state.summary, writer);
+                writer.end_element();
+            }
+            SourceData::Grid(g) => {
+                codec::open_grid(g, writer);
+                codec::write_summary(&state.summary, writer);
+                writer.end_element();
+            }
+        }
+        return;
+    }
+    match &state.data {
         SourceData::Cluster(cluster) => codec::write_cluster(cluster, writer),
         SourceData::Grid(grid) => {
             // Under N-level the stored grid is already summary-form; under
@@ -287,7 +309,9 @@ mod tests {
         let doc = ask(&store, "/");
         let grid = self_grid(&doc);
         assert_eq!(grid.name, "sdsc");
-        let GridBody::Items(items) = &grid.body else { panic!() };
+        let GridBody::Items(items) = &grid.body else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         // Local cluster at full resolution, remote grid as summary.
         let MGridItem::Grid(attic) = grid.item("attic").unwrap() else {
@@ -307,7 +331,9 @@ mod tests {
         let doc = ask(&store, "/?filter=summary");
         let grid = self_grid(&doc);
         // Every source present, each in summary form.
-        let GridBody::Items(items) = &grid.body else { panic!() };
+        let GridBody::Items(items) = &grid.body else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         let MGridItem::Cluster(meteor) = grid.item("meteor").unwrap() else {
             panic!()
@@ -358,7 +384,9 @@ mod tests {
         let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
             panic!()
         };
-        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        let ClusterBody::Hosts(hosts) = &c.body else {
+            panic!()
+        };
         assert_eq!(hosts.len(), 1, "only the selected host");
         assert_eq!(hosts[0].name, "compute-0-1");
         assert_eq!(hosts[0].metrics.len(), 2, "metrics at full detail");
@@ -385,7 +413,9 @@ mod tests {
         let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
             panic!()
         };
-        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        let ClusterBody::Hosts(hosts) = &c.body else {
+            panic!()
+        };
         assert_eq!(hosts.len(), 2);
     }
 
@@ -394,7 +424,9 @@ mod tests {
         let store = make_store();
         let doc = ask(&store, "/nonexistent/x/y");
         let grid = self_grid(&doc);
-        let GridBody::Items(items) = &grid.body else { panic!() };
+        let GridBody::Items(items) = &grid.body else {
+            panic!()
+        };
         assert!(items.is_empty());
     }
 
@@ -422,7 +454,9 @@ mod tests {
         let MGridItem::Grid(attic) = grid.item("attic").unwrap() else {
             panic!()
         };
-        let GridBody::Summary(s) = &attic.body else { panic!() };
+        let GridBody::Summary(s) = &attic.body else {
+            panic!()
+        };
         assert_eq!(s.hosts_up, 10);
     }
 
@@ -462,8 +496,12 @@ mod tests {
         let MGridItem::Grid(child) = grid.item("childgrid").unwrap() else {
             panic!()
         };
-        let GridBody::Items(items) = &child.body else { panic!() };
-        let MGridItem::Cluster(c) = &items[0] else { panic!() };
+        let GridBody::Items(items) = &child.body else {
+            panic!()
+        };
+        let MGridItem::Cluster(c) = &items[0] else {
+            panic!()
+        };
         assert!(matches!(c.body, ClusterBody::Summary(_)));
     }
 
@@ -475,12 +513,42 @@ mod tests {
         let MGridItem::Cluster(c) = grid.item("meteor").unwrap() else {
             panic!()
         };
-        let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+        let ClusterBody::Hosts(hosts) = &c.body else {
+            panic!()
+        };
         assert_eq!(hosts.len(), 3, "pattern selects every host");
         for host in hosts {
             assert_eq!(host.metrics.len(), 1);
             assert_eq!(host.metrics[0].name, "load_one");
         }
+    }
+
+    #[test]
+    fn down_source_is_served_in_summary_form_at_the_root() {
+        use crate::health::LifecyclePolicy;
+        let store = make_store();
+        // "meteor" last succeeded at t=100; by t=200 it is past the
+        // down threshold and its summary is rewritten.
+        let lifecycle = LifecyclePolicy {
+            down_after_secs: 50,
+            expire_after_secs: 10_000,
+        };
+        store.degrade("meteor", 200, &lifecycle);
+        let doc = ask(&store, "/");
+        let grid = self_grid(&doc);
+        let MGridItem::Cluster(meteor) = grid.item("meteor").unwrap() else {
+            panic!()
+        };
+        let ClusterBody::Summary(s) = &meteor.body else {
+            panic!("down source must be emitted in summary form")
+        };
+        assert_eq!(s.hosts_up, 0);
+        assert_eq!(s.hosts_down, 3);
+        // A parent polling "/" therefore aggregates the outage.
+        assert_eq!(grid.summary().hosts_down, 4); // 3 meteor + 1 attic
+                                                  // Explicit path queries still reach the last-good detail.
+        let doc = ask(&store, "/meteor/compute-0-1");
+        assert_eq!(doc.host_count(), 1);
     }
 
     #[test]
@@ -495,6 +563,11 @@ mod tests {
             &Query::parse("/meteor/compute-0-0").unwrap(),
             0,
         );
-        assert!(host.len() * 2 < full.len(), "{} vs {}", host.len(), full.len());
+        assert!(
+            host.len() * 2 < full.len(),
+            "{} vs {}",
+            host.len(),
+            full.len()
+        );
     }
 }

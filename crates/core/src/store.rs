@@ -16,6 +16,7 @@
 //! latest *fully-parsed* data, never a half-built one.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,7 +24,11 @@ use parking_lot::{Mutex, RwLock};
 
 use ganglia_metrics::model::{ClusterBody, ClusterNode, GridNode, HostNode, SummaryBody};
 
-/// Freshness of a source's snapshot.
+use crate::health::LifecyclePolicy;
+
+/// Freshness of a source's snapshot: the staleness lifecycle
+/// `Fresh → Stale → Down` (and finally expiry, which removes the
+/// snapshot from the store altogether).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceStatus {
     /// The last poll succeeded.
@@ -32,6 +37,35 @@ pub enum SourceStatus {
     /// last good one ("metric histories that aid in forensic analysis",
     /// paper §1).
     Stale { since: u64 },
+    /// No good poll for longer than the lifecycle's down threshold (the
+    /// wide-area DMAX): the source's hosts are reported as down up the
+    /// tree. `since` is when the down transition happened.
+    Down { since: u64 },
+}
+
+impl fmt::Display for SourceStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceStatus::Fresh => write!(f, "fresh"),
+            SourceStatus::Stale { since } => write!(f, "stale(since={since})"),
+            SourceStatus::Down { since } => write!(f, "down(since={since})"),
+        }
+    }
+}
+
+/// What [`Store::degrade`] did to a failing source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Recent failure: snapshot kept and served, flagged stale.
+    Stale,
+    /// Past the down threshold: summary rewritten so every host counts
+    /// as `hosts_down`, which propagates up the tree additively.
+    Down,
+    /// Past the expiry threshold: snapshot pruned from the store.
+    Expired,
+    /// The source had no snapshot to degrade (never polled, or already
+    /// expired).
+    Unknown,
 }
 
 /// Parsed payload of one data source.
@@ -150,11 +184,11 @@ impl Store {
 
     /// Mark a source stale as of `now` (its last good snapshot stays
     /// queryable). No-op for unknown sources; keeps an existing stale
-    /// timestamp.
+    /// timestamp and never un-downs a down source.
     pub fn mark_stale(&self, name: &str, now: u64) {
         let mut sources = self.sources.write();
         if let Some(existing) = sources.get(name) {
-            if matches!(existing.status, SourceStatus::Stale { .. }) {
+            if !matches!(existing.status, SourceStatus::Fresh) {
                 return;
             }
             let mut updated = (**existing).clone();
@@ -162,6 +196,53 @@ impl Store {
             sources.insert(name.to_string(), Arc::new(updated));
             self.revision.fetch_add(1, Ordering::Release);
         }
+    }
+
+    /// Advance a failing source along the staleness lifecycle, based on
+    /// `TN = now - updated_at` (time since the last good poll):
+    ///
+    /// * `TN ≤ down_after` — flag [`SourceStatus::Stale`]; the last good
+    ///   snapshot keeps being served (§3.3.1: "the previous summary will
+    ///   be returned").
+    /// * `TN > down_after` — flag [`SourceStatus::Down`] and rewrite the
+    ///   stored summary to `hosts_up = 0, hosts_down = total` with no
+    ///   metric rows, so parents polling this daemon aggregate the
+    ///   outage instead of stale readings.
+    /// * `TN > expire_after` — prune the snapshot entirely: a source
+    ///   dead this long no longer contributes to any view.
+    pub fn degrade(&self, name: &str, now: u64, lifecycle: &LifecyclePolicy) -> Degradation {
+        let mut sources = self.sources.write();
+        let Some(existing) = sources.get(name) else {
+            return Degradation::Unknown;
+        };
+        let tn = now.saturating_sub(existing.updated_at);
+        if tn > lifecycle.expire_after_secs {
+            sources.remove(name);
+            self.revision.fetch_add(1, Ordering::Release);
+            return Degradation::Expired;
+        }
+        if tn > lifecycle.down_after_secs {
+            if matches!(existing.status, SourceStatus::Down { .. }) {
+                return Degradation::Down;
+            }
+            let mut updated = (**existing).clone();
+            updated.status = SourceStatus::Down { since: now };
+            updated.summary = SummaryBody {
+                hosts_up: 0,
+                hosts_down: existing.summary.hosts_total(),
+                metrics: Vec::new(),
+            };
+            sources.insert(name.to_string(), Arc::new(updated));
+            self.revision.fetch_add(1, Ordering::Release);
+            return Degradation::Down;
+        }
+        if matches!(existing.status, SourceStatus::Fresh) {
+            let mut updated = (**existing).clone();
+            updated.status = SourceStatus::Stale { since: now };
+            sources.insert(name.to_string(), Arc::new(updated));
+            self.revision.fetch_add(1, Ordering::Release);
+        }
+        Degradation::Stale
     }
 
     /// Snapshot of one source.
@@ -283,6 +364,71 @@ mod tests {
         // Unknown sources are ignored.
         store.mark_stale("ghost", 50);
         assert!(store.get("ghost").is_none());
+    }
+
+    #[test]
+    fn degrade_walks_the_lifecycle_and_rewrites_summaries() {
+        let lifecycle = LifecyclePolicy {
+            down_after_secs: 60,
+            expire_after_secs: 600,
+        };
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 4, 1.0, 100));
+        // Within the down window: stale, summary untouched.
+        assert_eq!(store.degrade("meteor", 130, &lifecycle), Degradation::Stale);
+        let state = store.get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Stale { since: 130 });
+        assert_eq!(state.summary.hosts_up, 4);
+        // A later failure keeps the original stale timestamp.
+        assert_eq!(store.degrade("meteor", 145, &lifecycle), Degradation::Stale);
+        assert_eq!(
+            store.get("meteor").unwrap().status,
+            SourceStatus::Stale { since: 130 }
+        );
+        // Past the down threshold: hosts flip to down, metrics drop out
+        // of the rollup, data stays for forensics.
+        assert_eq!(store.degrade("meteor", 175, &lifecycle), Degradation::Down);
+        let state = store.get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Down { since: 175 });
+        assert_eq!(state.summary.hosts_up, 0);
+        assert_eq!(state.summary.hosts_down, 4);
+        assert!(state.summary.metrics.is_empty());
+        assert_eq!(state.host_count(), 4, "full data kept for drill-down");
+        assert_eq!(store.root_summary().hosts_down, 4);
+        // Repeated failures while down change nothing.
+        let revision = store.revision();
+        assert_eq!(store.degrade("meteor", 300, &lifecycle), Degradation::Down);
+        assert_eq!(store.revision(), revision);
+        // Past expiry: pruned.
+        assert_eq!(
+            store.degrade("meteor", 701, &lifecycle),
+            Degradation::Expired
+        );
+        assert!(store.get("meteor").is_none());
+        assert_eq!(store.root_summary().hosts_total(), 0);
+        // And a dead source stays unknown.
+        assert_eq!(
+            store.degrade("meteor", 716, &lifecycle),
+            Degradation::Unknown
+        );
+    }
+
+    #[test]
+    fn heal_after_down_restores_fresh_state() {
+        let lifecycle = LifecyclePolicy::default();
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 2, 1.0, 10));
+        store.degrade("meteor", 100, &lifecycle);
+        assert!(matches!(
+            store.get("meteor").unwrap().status,
+            SourceStatus::Down { .. }
+        ));
+        // A successful poll replaces the whole snapshot.
+        store.replace(cluster_state("meteor", 2, 1.5, 130));
+        let state = store.get("meteor").unwrap();
+        assert_eq!(state.status, SourceStatus::Fresh);
+        assert_eq!(state.summary.hosts_up, 2);
+        assert_eq!(state.summary.hosts_down, 0);
     }
 
     #[test]

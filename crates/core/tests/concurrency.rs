@@ -18,7 +18,7 @@ fn queries_see_only_complete_snapshots_under_concurrent_polling() {
     let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 40, 7, 0), 1);
     let gmetad = Gmetad::new(
         GmetadConfig::new("sdsc")
-            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec())),
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap()),
     );
     gmetad.poll_all(&net, 15);
 
@@ -43,8 +43,8 @@ fn queries_see_only_complete_snapshots_under_concurrent_polling() {
                 let q = queries[i % queries.len()];
                 i += 1;
                 let xml = gmetad.query(q);
-                let doc = parse_document(&xml)
-                    .unwrap_or_else(|e| panic!("torn response to {q}: {e}"));
+                let doc =
+                    parse_document(&xml).unwrap_or_else(|e| panic!("torn response to {q}: {e}"));
                 // A snapshot is either the old or the new poll — both
                 // describe all 40 hosts.
                 if q.starts_with("/meteor") && !q.contains("0007") {

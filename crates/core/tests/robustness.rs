@@ -12,7 +12,10 @@ use ganglia_net::{Addr, SimNet};
 use parking_lot::Mutex;
 
 /// Serve a mutable canned body at an address.
-fn serve_canned(net: &Arc<SimNet>, addr: &str) -> (Arc<Mutex<String>>, Box<dyn ganglia_net::ServerGuard>) {
+fn serve_canned(
+    net: &Arc<SimNet>,
+    addr: &str,
+) -> (Arc<Mutex<String>>, Box<dyn ganglia_net::ServerGuard>) {
     let body = Arc::new(Mutex::new(String::new()));
     let handler_body = Arc::clone(&body);
     let guard = net
@@ -27,7 +30,7 @@ fn serve_canned(net: &Arc<SimNet>, addr: &str) -> (Arc<Mutex<String>>, Box<dyn g
 fn daemon(_net: &Arc<SimNet>, addr: &str) -> Arc<Gmetad> {
     Gmetad::new(
         GmetadConfig::new("sdsc")
-            .with_source(DataSourceCfg::new("child", vec![Addr::new(addr)])),
+            .with_source(DataSourceCfg::new("child", vec![Addr::new(addr)]).unwrap()),
     )
 }
 
@@ -37,7 +40,9 @@ fn empty_report_is_a_valid_empty_source() {
     let (body, _guard) = serve_canned(&net, "child/n0");
     *body.lock() = r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond"></GANGLIA_XML>"#.into();
     let gmetad = daemon(&net, "child/n0");
-    gmetad.poll_all(&net, 15)[0].as_ref().expect("empty is legal");
+    gmetad.poll_all(&net, 15)[0]
+        .as_ref()
+        .expect("empty is legal");
     let state = gmetad.store().get("child").expect("present");
     assert_eq!(state.host_count(), 0);
     assert_eq!(state.summary.hosts_total(), 0);
@@ -73,7 +78,9 @@ fn reserved_characters_in_names_survive_the_round_trip() {
     let gmetad = daemon(&net, "child/n0");
     gmetad.poll_all(&net, 15)[0].as_ref().expect("ok");
     let state = gmetad.store().get("child").expect("present");
-    let SourceData::Cluster(cluster) = &state.data else { panic!() };
+    let SourceData::Cluster(cluster) = &state.data else {
+        panic!()
+    };
     assert_eq!(cluster.name, "R&D <west>");
     let host = state.host("node \"a\"").expect("host indexed");
     assert!(host.metric("weird'metric").is_some());
@@ -181,7 +188,7 @@ fn slow_child_does_not_block_queries() {
             }),
         )
         .expect("bind");
-    gmetad.add_source(DataSourceCfg::new("slow", vec![Addr::new("slow/n0")]));
+    gmetad.add_source(DataSourceCfg::new("slow", vec![Addr::new("slow/n0")]).unwrap());
 
     let daemon_for_thread = Arc::clone(&gmetad);
     let poller = std::thread::spawn(move || {

@@ -34,10 +34,7 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .ok_or_else(|| format!("{what} needs a value"))
-        };
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
         match arg.as_str() {
             "--name" => options.name = value("--name")?,
             "--hosts" => {

@@ -89,9 +89,7 @@ pub fn parse_gmond_conf(input: &str) -> Result<GmondConf, GmondConfError> {
             "udp_send_channel" => {
                 let peer = one("udp_send_channel")?;
                 if !peer.contains(':') {
-                    return Err(err(format!(
-                        "udp_send_channel {peer:?} must be host:port"
-                    )));
+                    return Err(err(format!("udp_send_channel {peer:?} must be host:port")));
                 }
                 conf.udp_peers.push(peer);
             }

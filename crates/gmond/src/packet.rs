@@ -289,10 +289,7 @@ mod tests {
         let mut bytes = sample(MetricValue::Float(1.0)).encode().to_vec();
         // Corrupt the magic.
         bytes[0] ^= 0xFF;
-        assert_eq!(
-            MetricPacket::decode(&bytes),
-            Err(PacketError("bad magic"))
-        );
+        assert_eq!(MetricPacket::decode(&bytes), Err(PacketError("bad magic")));
     }
 
     #[test]

@@ -73,15 +73,11 @@ impl ProcSource {
             "bytes_out" => self.net_rate(|d| d.bytes_out)?,
             "pkts_in" => self.net_rate(|d| d.pkts_in)?,
             "pkts_out" => self.net_rate(|d| d.pkts_out)?,
-            "os_name" => {
-                return read_trimmed("/proc/sys/kernel/ostype").map(MetricValue::String)
-            }
+            "os_name" => return read_trimmed("/proc/sys/kernel/ostype").map(MetricValue::String),
             "os_release" => {
                 return read_trimmed("/proc/sys/kernel/osrelease").map(MetricValue::String)
             }
-            "machine_type" => {
-                return Some(MetricValue::String(std::env::consts::ARCH.to_string()))
-            }
+            "machine_type" => return Some(MetricValue::String(std::env::consts::ARCH.to_string())),
             _ => return None,
         };
         Some(MetricValue::from_f64(def.ty, value))
@@ -136,7 +132,9 @@ impl MetricSource for ProcSource {
 // ---------------------------------------------------------------------
 
 fn read_trimmed(path: &str) -> Option<String> {
-    std::fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
 }
 
 fn loadavg_field(index: usize) -> Option<f64> {

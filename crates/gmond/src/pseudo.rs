@@ -194,7 +194,9 @@ mod tests {
         let doc = parse_document(pseudo.xml()).unwrap();
         assert_eq!(doc.source, "gmond");
         assert_eq!(doc.host_count(), 10);
-        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        let GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
         assert_eq!(c.name, "meteor");
         let host = c.host("meteor-0000").unwrap();
         assert_eq!(host.metrics.len(), builtin_metrics().len());

@@ -74,9 +74,10 @@ impl MetricSource for SimulatedHost {
             }
             Synth::Walk { min, max, step } => {
                 let rng = &mut self.rng;
-                let slot = self.walks.entry(def.name).or_insert_with(|| {
-                    min + rng.next_f64() * (max - min)
-                });
+                let slot = self
+                    .walks
+                    .entry(def.name)
+                    .or_insert_with(|| min + rng.next_f64() * (max - min));
                 let delta = (rng.next_f64() * 2.0 - 1.0) * step;
                 *slot = (*slot + delta).clamp(min, max);
                 MetricValue::from_f64(def.ty, *slot)

@@ -81,7 +81,10 @@ type Result<T> = std::result::Result<T, ParseError>;
 // ---------------------------------------------------------------------
 
 fn find<'a, 'b>(attrs: &'a [Attribute<'b>], name: &str) -> Option<&'a str> {
-    attrs.iter().find(|a| a.name == name).map(|a| a.value.as_ref())
+    attrs
+        .iter()
+        .find(|a| a.name == name)
+        .map(|a| a.value.as_ref())
 }
 
 fn required<'a>(
@@ -152,14 +155,12 @@ pub fn parse_document(input: &str) -> Result<GangliaDoc> {
             Some(Event::Start {
                 name, attributes, ..
             }) => match name {
-                names::GRID => doc.items.push(GridItem::Grid(parse_grid(
-                    &mut parser,
-                    &attributes,
-                )?)),
-                names::CLUSTER => doc.items.push(GridItem::Cluster(parse_cluster(
-                    &mut parser,
-                    &attributes,
-                )?)),
+                names::GRID => doc
+                    .items
+                    .push(GridItem::Grid(parse_grid(&mut parser, &attributes)?)),
+                names::CLUSTER => doc
+                    .items
+                    .push(GridItem::Cluster(parse_cluster(&mut parser, &attributes)?)),
                 other => {
                     return Err(ParseError::UnexpectedTag {
                         parent: names::GANGLIA_XML.into(),
@@ -622,7 +623,9 @@ mod tests {
         let host = meteor.host("compute-0-0").unwrap();
         assert_eq!(host.metric("cpu_num").unwrap().value, MetricValue::Int32(2));
         // Remote grid in summary form.
-        let GridItem::Grid(attic) = &items[1] else { panic!() };
+        let GridItem::Grid(attic) = &items[1] else {
+            panic!()
+        };
         let GridBody::Summary(summary) = &attic.body else {
             panic!("expected summary grid")
         };
@@ -724,9 +727,10 @@ mod tests {
 
     #[test]
     fn empty_cluster_parses_as_no_hosts() {
-        let doc =
-            parse_document(r#"<GANGLIA_XML><CLUSTER NAME="c"/></GANGLIA_XML>"#).unwrap();
-        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        let doc = parse_document(r#"<GANGLIA_XML><CLUSTER NAME="c"/></GANGLIA_XML>"#).unwrap();
+        let GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
         assert_eq!(c.host_count(), 0);
     }
 
@@ -737,7 +741,9 @@ mod tests {
             <METRICS NAME="load_one" SUM="215.5" NUM="500" TYPE="float"/>
         </CLUSTER></GANGLIA_XML>"#;
         let doc = parse_document(xml).unwrap();
-        let GridItem::Cluster(c) = &doc.items[0] else { panic!() };
+        let GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
         let ClusterBody::Summary(s) = &c.body else {
             panic!("expected summary body")
         };

@@ -284,7 +284,10 @@ mod tests {
             value_threshold: 0.0,
             tmax: 120,
             dmax: 0,
-            synth: Synth::Uniform { min: 0.0, max: 50.0 },
+            synth: Synth::Uniform {
+                min: 0.0,
+                max: 50.0,
+            },
         };
         assert!(reg.register(custom).is_none());
         assert_eq!(reg.len(), 35);

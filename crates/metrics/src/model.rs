@@ -411,10 +411,8 @@ mod tests {
     fn host_with(name: &str, metrics: &[(&str, f64)]) -> HostNode {
         let mut host = HostNode::new(name, "10.0.0.1");
         for (metric_name, value) in metrics {
-            host.metrics.push(MetricEntry::new(
-                *metric_name,
-                MetricValue::Double(*value),
-            ));
+            host.metrics
+                .push(MetricEntry::new(*metric_name, MetricValue::Double(*value)));
         }
         host
     }
@@ -507,14 +505,10 @@ mod tests {
 
     #[test]
     fn grid_summary_composes_hierarchically() {
-        let cluster_a = ClusterNode::with_hosts(
-            "meteor",
-            vec![host_with("m0", &[("cpu_num", 2.0)])],
-        );
-        let cluster_b = ClusterNode::with_hosts(
-            "nashi",
-            vec![host_with("n0", &[("cpu_num", 4.0)])],
-        );
+        let cluster_a =
+            ClusterNode::with_hosts("meteor", vec![host_with("m0", &[("cpu_num", 2.0)])]);
+        let cluster_b =
+            ClusterNode::with_hosts("nashi", vec![host_with("n0", &[("cpu_num", 4.0)])]);
         let inner = GridNode::with_items("attic", vec![GridItem::Cluster(cluster_b)]);
         let outer = GridNode::with_items(
             "sdsc",
@@ -565,8 +559,7 @@ mod tests {
 
     #[test]
     fn cluster_host_lookup() {
-        let cluster =
-            ClusterNode::with_hosts("c", vec![host_with("a", &[("load_one", 1.0)])]);
+        let cluster = ClusterNode::with_hosts("c", vec![host_with("a", &[("load_one", 1.0)])]);
         assert!(cluster.host("a").is_some());
         assert!(cluster.host("z").is_none());
         let host = cluster.host("a").unwrap();

@@ -170,7 +170,9 @@ impl MetricValue {
             MetricType::String => MetricValue::String(format_f64(x)),
             MetricType::Int8 => MetricValue::Int8(clamp_int(x) as i8),
             MetricType::Uint8 => MetricValue::Uint8(clamp_uint(x, u8::MAX as f64) as u8),
-            MetricType::Int16 => MetricValue::Int16(clamp_int2(x, i16::MIN as f64, i16::MAX as f64) as i16),
+            MetricType::Int16 => {
+                MetricValue::Int16(clamp_int2(x, i16::MIN as f64, i16::MAX as f64) as i16)
+            }
             MetricType::Uint16 => MetricValue::Uint16(clamp_uint(x, u16::MAX as f64) as u16),
             MetricType::Int32 => {
                 MetricValue::Int32(clamp_int2(x, i32::MIN as f64, i32::MAX as f64) as i32)
@@ -338,10 +340,7 @@ mod tests {
         let change = a.relative_change(&b).unwrap();
         assert!((change - 1.0 / 11.0).abs() < 1e-9);
         assert_eq!(a.relative_change(&a), Some(0.0));
-        assert_eq!(
-            MetricValue::String("x".into()).relative_change(&a),
-            None
-        );
+        assert_eq!(MetricValue::String("x".into()).relative_change(&a), None);
     }
 
     #[test]

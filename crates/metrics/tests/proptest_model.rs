@@ -5,7 +5,9 @@ use ganglia_metrics::model::{
     ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
     SummaryBody,
 };
-use ganglia_metrics::{parse_document, write_document, MetricSummary, MetricType, MetricValue, Slope};
+use ganglia_metrics::{
+    parse_document, write_document, MetricSummary, MetricType, MetricValue, Slope,
+};
 use proptest::prelude::*;
 
 fn name() -> impl Strategy<Value = String> {
@@ -24,8 +26,15 @@ fn value() -> impl Strategy<Value = MetricValue> {
 }
 
 fn metric() -> impl Strategy<Value = MetricEntry> {
-    (name(), value(), "[a-z/%]{0,6}", 0u32..1000, 1u32..2000, 0u32..100).prop_map(
-        |(name, value, units, tn, tmax, dmax)| MetricEntry {
+    (
+        name(),
+        value(),
+        "[a-z/%]{0,6}",
+        0u32..1000,
+        1u32..2000,
+        0u32..100,
+    )
+        .prop_map(|(name, value, units, tn, tmax, dmax)| MetricEntry {
             name,
             value,
             units,
@@ -34,33 +43,26 @@ fn metric() -> impl Strategy<Value = MetricEntry> {
             dmax,
             slope: Slope::Both,
             source: "gmond".to_string(),
-        },
-    )
+        })
 }
 
 fn host() -> impl Strategy<Value = HostNode> {
-    (
-        name(),
-        0u32..200,
-        proptest::collection::vec(metric(), 0..6),
-    )
-        .prop_map(|(host_name, tn, metrics)| {
+    (name(), 0u32..200, proptest::collection::vec(metric(), 0..6)).prop_map(
+        |(host_name, tn, metrics)| {
             let mut host = HostNode::new(host_name, "10.1.2.3");
             host.tn = tn;
             host.reported = 1000;
             host.metrics = metrics;
             host
-        })
+        },
+    )
 }
 
 fn summary() -> impl Strategy<Value = SummaryBody> {
     (
         0u32..100,
         0u32..10,
-        proptest::collection::vec(
-            (name(), -1_000_000i64..1_000_000, 1u32..100),
-            0..5,
-        ),
+        proptest::collection::vec((name(), -1_000_000i64..1_000_000, 1u32..100), 0..5),
     )
         .prop_map(|(up, down, metrics)| SummaryBody {
             hosts_up: up,

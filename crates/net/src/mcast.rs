@@ -178,7 +178,10 @@ mod tests {
         a.publish(Bytes::from_static(b"1"));
         a.publish(Bytes::from_static(b"2"));
         let got = b.drain();
-        assert_eq!(got, vec![Bytes::from_static(b"1"), Bytes::from_static(b"2")]);
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"1"), Bytes::from_static(b"2")]
+        );
         assert!(b.drain().is_empty());
     }
 

@@ -10,7 +10,16 @@
 //! * **intermittent failures** — [`SimNet::set_flakiness`] drops a
 //!   deterministic fraction of exchanges;
 //! * **partitions** — [`SimNet::partition_prefix`] cuts off a whole
-//!   `cluster/...` namespace, like losing the link to a remote site.
+//!   `cluster/...` namespace, like losing the link to a remote site;
+//! * **latency** — [`SimNet::set_latency`] delays an endpoint's
+//!   responses; a delay at or beyond the caller's timeout becomes a
+//!   [`NetError::Timeout`], like an overloaded daemon;
+//! * **truncation** — [`SimNet::set_truncation`] cuts responses short,
+//!   like a connection dying mid-transfer (the caller sees a parse
+//!   failure, not a transport error);
+//! * **garbage** — [`SimNet::set_garbage`] replaces responses with
+//!   bytes that are not XML at all, like a protocol mismatch or
+//!   corrupted stream.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -30,6 +39,13 @@ struct Faults {
     partitioned_prefixes: HashSet<String>,
     /// Per-endpoint probability that an exchange is dropped.
     flaky: HashMap<Addr, f64>,
+    /// Simulated response delay per endpoint (no real sleeping: the
+    /// delay is compared against the caller's timeout).
+    latency: HashMap<Addr, Duration>,
+    /// Per-endpoint cap on response length, in bytes.
+    truncate: HashMap<Addr, usize>,
+    /// Endpoints whose responses are replaced with non-XML garbage.
+    garbage: HashSet<Addr>,
 }
 
 /// The shared state of a simulated network.
@@ -83,6 +99,42 @@ impl SimNet {
             faults.flaky.remove(addr);
         } else {
             faults.flaky.insert(addr.clone(), drop_probability);
+        }
+    }
+
+    /// Delay every response from `addr` by `latency` (simulated — the
+    /// delay is charged against the fetching caller's timeout, so a
+    /// latency at or beyond the timeout surfaces as [`NetError::Timeout`]).
+    /// `Duration::ZERO` clears the fault.
+    pub fn set_latency(&self, addr: &Addr, latency: Duration) {
+        let mut faults = self.faults.write();
+        if latency.is_zero() {
+            faults.latency.remove(addr);
+        } else {
+            faults.latency.insert(addr.clone(), latency);
+        }
+    }
+
+    /// Truncate every response from `addr` to at most `bytes` bytes
+    /// (`None` clears the fault). Models a connection dying
+    /// mid-transfer: the transport still "succeeds", the caller's parser
+    /// does not.
+    pub fn set_truncation(&self, addr: &Addr, bytes: Option<usize>) {
+        let mut faults = self.faults.write();
+        match bytes {
+            Some(n) => faults.truncate.insert(addr.clone(), n),
+            None => faults.truncate.remove(addr),
+        };
+    }
+
+    /// Replace every response from `addr` with non-XML garbage (or stop
+    /// doing so). Models stream corruption or a protocol mismatch.
+    pub fn set_garbage(&self, addr: &Addr, enabled: bool) {
+        let mut faults = self.faults.write();
+        if enabled {
+            faults.garbage.insert(addr.clone());
+        } else {
+            faults.garbage.remove(addr);
         }
     }
 
@@ -158,10 +210,18 @@ impl Transport for Arc<SimNet> {
         }))
     }
 
-    fn fetch(&self, addr: &Addr, request: &str, _timeout: Duration) -> Result<String, NetError> {
+    fn fetch(&self, addr: &Addr, request: &str, timeout: Duration) -> Result<String, NetError> {
         if let Err(e) = self.check_faults(addr) {
             self.stats.record_failure(addr);
             return Err(e);
+        }
+        // Injected latency is simulated, not slept: a response that
+        // would arrive at or after the caller's deadline is a timeout.
+        if let Some(&latency) = self.faults.read().latency.get(addr) {
+            if latency >= timeout {
+                self.stats.record_failure(addr);
+                return Err(NetError::Timeout(addr.clone()));
+            }
         }
         let handler = {
             let handlers = self.handlers.read();
@@ -176,7 +236,22 @@ impl Transport for Arc<SimNet> {
         // The handler runs on the caller's thread outside any lock, so
         // servers may themselves fetch from other endpoints (a gmetad
         // polling through to leaf gmonds).
-        let response = handler.handle(request);
+        let mut response = handler.handle(request);
+        {
+            let faults = self.faults.read();
+            if faults.garbage.contains(addr) {
+                // Deliberately not XML: not even a '<' to latch onto.
+                response = "\u{1}\u{2}GARBAGE 0xDEADBEEF not-xml ]]>".to_string();
+            } else if let Some(&limit) = faults.truncate.get(addr) {
+                if response.len() > limit {
+                    let mut cut = limit;
+                    while cut > 0 && !response.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    response.truncate(cut);
+                }
+            }
+        }
         self.stats.record_served(addr, response.len());
         Ok(response)
     }
@@ -279,6 +354,50 @@ mod tests {
         assert!(net.fetch(&addr, "", T).unwrap_err().is_intermittent());
         net.set_flakiness(&addr, 0.0);
         assert!(net.fetch(&addr, "", T).is_ok());
+    }
+
+    #[test]
+    fn latency_beyond_timeout_is_a_timeout() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("slow");
+        let _g = net.serve(&addr, echo_handler("s")).unwrap();
+        net.set_latency(&addr, Duration::from_millis(150));
+        // Slower than the deadline: times out, classified intermittent.
+        let err = net.fetch(&addr, "", T).unwrap_err();
+        assert_eq!(err, NetError::Timeout(addr.clone()));
+        assert!(err.is_intermittent());
+        // A patient caller still gets through.
+        assert!(net.fetch(&addr, "", Duration::from_millis(200)).is_ok());
+        // Clearing the fault restores normal service.
+        net.set_latency(&addr, Duration::ZERO);
+        assert!(net.fetch(&addr, "", T).is_ok());
+    }
+
+    #[test]
+    fn truncation_cuts_responses_short() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("chopped");
+        let _g = net.serve(&addr, echo_handler("tag")).unwrap();
+        net.set_truncation(&addr, Some(5));
+        assert_eq!(net.fetch(&addr, "1234567", T).unwrap(), "tag:1");
+        // Truncation respects char boundaries in multi-byte output.
+        net.set_truncation(&addr, Some(4));
+        let cut = net.fetch(&addr, "é", T).unwrap();
+        assert!(cut.is_char_boundary(cut.len()));
+        net.set_truncation(&addr, None);
+        assert_eq!(net.fetch(&addr, "1234567", T).unwrap(), "tag:1234567");
+    }
+
+    #[test]
+    fn garbage_replaces_the_response_body() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("corrupt");
+        let _g = net.serve(&addr, echo_handler("x")).unwrap();
+        net.set_garbage(&addr, true);
+        let body = net.fetch(&addr, "/", T).unwrap();
+        assert!(!body.contains('<'), "garbage must not look like XML");
+        net.set_garbage(&addr, false);
+        assert_eq!(net.fetch(&addr, "/", T).unwrap(), "x:/");
     }
 
     #[test]

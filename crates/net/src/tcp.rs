@@ -165,9 +165,7 @@ mod tests {
         let transport = TcpTransport::new();
         let handler: Arc<dyn RequestHandler> =
             Arc::new(|req: &str| format!("<REPLY Q=\"{req}\"/>"));
-        let guard = transport
-            .serve(&Addr::new("127.0.0.1:0"), handler)
-            .unwrap();
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
         let bound = guard.addr();
         let response = transport.fetch(&bound, "/meteor", T).unwrap();
         assert_eq!(response, "<REPLY Q=\"/meteor\"/>");
@@ -177,9 +175,7 @@ mod tests {
     fn empty_request_line_is_full_dump() {
         let transport = TcpTransport::new();
         let handler: Arc<dyn RequestHandler> = Arc::new(|req: &str| format!("[{req}]"));
-        let guard = transport
-            .serve(&Addr::new("127.0.0.1:0"), handler)
-            .unwrap();
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
         assert_eq!(transport.fetch(&guard.addr(), "", T).unwrap(), "[]");
     }
 
@@ -187,9 +183,7 @@ mod tests {
     fn concurrent_fetches_are_served() {
         let transport = TcpTransport::new();
         let handler: Arc<dyn RequestHandler> = Arc::new(|req: &str| req.repeat(100));
-        let guard = transport
-            .serve(&Addr::new("127.0.0.1:0"), handler)
-            .unwrap();
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
         let bound = guard.addr();
         let threads: Vec<_> = (0..8)
             .map(|i| {
@@ -222,9 +216,7 @@ mod tests {
     fn guard_drop_stops_server() {
         let transport = TcpTransport::new();
         let handler: Arc<dyn RequestHandler> = Arc::new(|_: &str| "x".to_string());
-        let guard = transport
-            .serve(&Addr::new("127.0.0.1:0"), handler)
-            .unwrap();
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
         let bound = guard.addr();
         assert!(transport.fetch(&bound, "", T).is_ok());
         drop(guard);

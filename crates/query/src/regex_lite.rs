@@ -59,7 +59,10 @@ enum Ast {
     Empty,
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     StartAnchor,
     EndAnchor,
     Concat(Vec<Ast>),
@@ -223,7 +226,11 @@ impl Parser {
                 },
                 Some(c) => {
                     if self.peek() == Some('-')
-                        && self.chars.get(self.pos + 1).copied().is_some_and(|n| n != ']')
+                        && self
+                            .chars
+                            .get(self.pos + 1)
+                            .copied()
+                            .is_some_and(|n| n != ']')
                     {
                         self.bump(); // '-'
                         let hi = self.bump().expect("peeked above");
@@ -461,9 +468,7 @@ impl RegexLite {
                     continue;
                 }
                 match &self.states[idx] {
-                    State::Char(x, n) if *x == c => {
-                        self.add_state(&mut next, *n, pos + 1, len)
-                    }
+                    State::Char(x, n) if *x == c => self.add_state(&mut next, *n, pos + 1, len),
                     State::Any(n) => self.add_state(&mut next, *n, pos + 1, len),
                     State::Class {
                         negated,
@@ -501,16 +506,14 @@ impl RegexLite {
                 self.add_state(set, a, pos, len);
                 self.add_state(set, b, pos, len);
             }
-            State::StartAnchor(n)
-                if pos == 0 => {
-                    let n = *n;
-                    self.add_state(set, n, pos, len);
-                }
-            State::EndAnchor(n)
-                if pos == len => {
-                    let n = *n;
-                    self.add_state(set, n, pos, len);
-                }
+            State::StartAnchor(n) if pos == 0 => {
+                let n = *n;
+                self.add_state(set, n, pos, len);
+            }
+            State::EndAnchor(n) if pos == len => {
+                let n = *n;
+                self.add_state(set, n, pos, len);
+            }
             _ => {}
         }
     }

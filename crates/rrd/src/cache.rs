@@ -143,7 +143,9 @@ impl RrdSet {
             None => {
                 let spec = (self.make_spec)(key, t.saturating_sub(1));
                 self.create_count += 1;
-                self.databases.entry(key.clone()).or_insert(Rrd::create(spec)?)
+                self.databases
+                    .entry(key.clone())
+                    .or_insert(Rrd::create(spec)?)
             }
         };
         rrd.update(t, &[value])?;
@@ -159,7 +161,9 @@ impl RrdSet {
         start: u64,
         end: u64,
     ) -> Option<Result<Series, RrdError>> {
-        self.databases.get(key).map(|rrd| rrd.fetch(0, cf, start, end))
+        self.databases
+            .get(key)
+            .map(|rrd| rrd.fetch(0, cf, start, end))
     }
 
     /// Direct access to one database.

@@ -27,7 +27,10 @@ impl fmt::Display for RrdError {
                 "update at {attempted} is not after the previous update at {last}"
             ),
             RrdError::ValueCountMismatch { expected, got } => {
-                write!(f, "update carried {got} values, database has {expected} data sources")
+                write!(
+                    f,
+                    "update carried {got} values, database has {expected} data sources"
+                )
             }
             RrdError::BadSpec(why) => write!(f, "invalid rrd spec: {why}"),
             RrdError::NoSuchArchive => write!(f, "no archive with the requested consolidation"),

@@ -48,8 +48,8 @@ impl Archive {
         let ds_count = pdps.len();
         let ppr = self.def.pdp_per_row;
         let mut index = end_index - count as u64; // index of last already-consumed step
-        // If the feed would lap the ring, only the tail can survive; fast
-        // forward over complete rows that are guaranteed to be overwritten.
+                                                  // If the feed would lap the ring, only the tail can survive; fast
+                                                  // forward over complete rows that are guaranteed to be overwritten.
         let capacity_steps = ppr * self.def.rows;
         if count > capacity_steps + 2 * ppr {
             // Fill the whole ring with the steady-state row for `pdps`,
@@ -215,7 +215,12 @@ impl Series {
 
     /// Mean of the known values, if any.
     pub fn mean(&self) -> Option<f64> {
-        let known: Vec<f64> = self.values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let known: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         (!known.is_empty()).then(|| known.iter().sum::<f64>() / known.len() as f64)
     }
 
@@ -433,11 +438,8 @@ impl Rrd {
         end: u64,
     ) -> Result<Series, RrdError> {
         let step = self.spec.step;
-        let mut candidates: Vec<&Archive> = self
-            .archives
-            .iter()
-            .filter(|a| a.def.cf == cf)
-            .collect();
+        let mut candidates: Vec<&Archive> =
+            self.archives.iter().filter(|a| a.def.cf == cf).collect();
         if candidates.is_empty() {
             return Err(RrdError::NoSuchArchive);
         }

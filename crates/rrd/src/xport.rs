@@ -114,7 +114,13 @@ mod tests {
     fn same_step_series_align_directly() {
         let a = rrd_with(10, &[1.0, 2.0, 3.0, 4.0]);
         let b = rrd_with(10, &[10.0, 20.0, 30.0, 40.0]);
-        let out = xport(&[("a", &a, 0), ("b", &b, 0)], ConsolidationFn::Average, 0, 40).unwrap();
+        let out = xport(
+            &[("a", &a, 0), ("b", &b, 0)],
+            ConsolidationFn::Average,
+            0,
+            40,
+        )
+        .unwrap();
         assert_eq!(out.step, 10);
         assert_eq!(out.labels, vec!["a", "b"]);
         assert_eq!(out.rows.len(), 4);

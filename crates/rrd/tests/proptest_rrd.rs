@@ -2,19 +2,20 @@
 //! well-ordered update streams, constant storage, and consistency between
 //! the archive ladder and the raw stream.
 
-use ganglia_rrd::{
-    ganglia_default_spec, ConsolidationFn, DataSourceDef, RraDef, Rrd, RrdSpec,
-};
+use ganglia_rrd::{ganglia_default_spec, ConsolidationFn, DataSourceDef, RraDef, Rrd, RrdSpec};
 use proptest::prelude::*;
 
 fn update_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
     // Increasing gaps (1..200 s) with values in a plausible range, and a
     // sprinkle of NANs for unknown samples.
     proptest::collection::vec(
-        (1u64..200, prop_oneof![
-            4 => (0.0f64..1000.0).boxed(),
-            1 => Just(f64::NAN).boxed(),
-        ]),
+        (
+            1u64..200,
+            prop_oneof![
+                4 => (0.0f64..1000.0).boxed(),
+                1 => Just(f64::NAN).boxed(),
+            ],
+        ),
         1..200,
     )
     .prop_map(|deltas| {

@@ -98,14 +98,16 @@ impl Deployment {
             };
             for cluster_spec in &monitor.local_clusters {
                 let served = &clusters[&cluster_spec.name];
-                config = config.with_source(DataSourceCfg::new(
-                    &cluster_spec.name,
-                    served.addrs().to_vec(),
-                ));
+                config = config.with_source(
+                    DataSourceCfg::new(&cluster_spec.name, served.addrs().to_vec())
+                        .expect("served clusters always have addresses"),
+                );
             }
             for child in &monitor.children {
-                config = config
-                    .with_source(DataSourceCfg::new(child, vec![gmeta_addr_of(child)]));
+                config = config.with_source(
+                    DataSourceCfg::new(child, vec![gmeta_addr_of(child)])
+                        .expect("child monitors always have an address"),
+                );
             }
             let poll_interval = params.poll_interval;
             let gmetad = Gmetad::with_archive_spec(
@@ -117,10 +119,7 @@ impl Deployment {
                 Some(Arc::new(move |key, start| RrdSpec {
                     step: poll_interval,
                     start,
-                    data_sources: vec![DataSourceDef::gauge(
-                        key.metric.clone(),
-                        poll_interval * 8,
-                    )],
+                    data_sources: vec![DataSourceDef::gauge(key.metric.clone(), poll_interval * 8)],
                     archives: vec![RraDef::average(1, 64)],
                 })),
             );
@@ -240,6 +239,37 @@ impl Deployment {
     pub fn set_monitor_down(&self, monitor: &str, down: bool) {
         self.net.set_down(&gmeta_addr_of(monitor), down);
     }
+
+    /// Make one serving node of a pseudo cluster drop a fraction of its
+    /// exchanges (0.0 clears the fault).
+    pub fn set_cluster_node_flakiness(&self, cluster: &str, node: usize, drop_probability: f64) {
+        let addr = self.clusters[cluster].addrs()[node].clone();
+        self.net.set_flakiness(&addr, drop_probability);
+    }
+
+    /// Delay one serving node's responses (`Duration::ZERO` clears);
+    /// delays at or beyond the poller's fetch timeout trip it.
+    pub fn set_cluster_node_latency(&self, cluster: &str, node: usize, latency: Duration) {
+        let addr = self.clusters[cluster].addrs()[node].clone();
+        self.net.set_latency(&addr, latency);
+    }
+
+    /// Truncate one serving node's responses to `bytes` (`None` clears).
+    pub fn set_cluster_node_truncation(&self, cluster: &str, node: usize, bytes: Option<usize>) {
+        let addr = self.clusters[cluster].addrs()[node].clone();
+        self.net.set_truncation(&addr, bytes);
+    }
+
+    /// Corrupt (or stop corrupting) one serving node's responses.
+    pub fn set_cluster_node_garbage(&self, cluster: &str, node: usize, enabled: bool) {
+        let addr = self.clusters[cluster].addrs()[node].clone();
+        self.net.set_garbage(&addr, enabled);
+    }
+
+    /// Delay (or stop delaying) a whole monitor daemon's query port.
+    pub fn set_monitor_latency(&self, monitor: &str, latency: Duration) {
+        self.net.set_latency(&gmeta_addr_of(monitor), latency);
+    }
 }
 
 fn gmeta_addr_of(name: &str) -> Addr {
@@ -263,10 +293,7 @@ mod tests {
     use ganglia_core::SourceStatus;
 
     fn small_deployment(mode: TreeMode) -> Deployment {
-        Deployment::build(
-            fig2_tree(5),
-            DeploymentParams::default().with_mode(mode),
-        )
+        Deployment::build(fig2_tree(5), DeploymentParams::default().with_mode(mode))
     }
 
     #[test]
@@ -316,7 +343,10 @@ mod tests {
         deployment.run_rounds(3);
         let report = deployment.cpu_report();
         let names: Vec<&str> = report.rows.iter().map(|r| r.monitor.as_str()).collect();
-        assert_eq!(names, vec!["root", "ucsd", "sdsc", "physics", "math", "attic"]);
+        assert_eq!(
+            names,
+            vec!["root", "ucsd", "sdsc", "physics", "math", "attic"]
+        );
         assert_eq!(report.window, Duration::from_secs(45));
         assert!(report.aggregate_percent() > 0.0);
     }
@@ -329,9 +359,9 @@ mod tests {
         deployment.run_round();
         let sdsc = deployment.monitor("sdsc");
         let stats = sdsc.poller_stats();
-        let row = stats.iter().find(|s| s.0 == "sdsc-c0").unwrap();
-        assert_eq!(row.2, 0, "no failed polls: failover succeeded");
-        assert_eq!(row.3, 1, "one failover");
+        let row = stats.iter().find(|s| s.name == "sdsc-c0").unwrap();
+        assert_eq!(row.polls_failed, 0, "no failed polls: failover succeeded");
+        assert_eq!(row.failovers, 1, "one failover");
         let state = sdsc.store().get("sdsc-c0").unwrap();
         assert_eq!(state.status, SourceStatus::Fresh);
     }
@@ -349,6 +379,80 @@ mod tests {
         ));
         deployment.partition_cluster("sdsc-c0", false);
         deployment.run_round();
+        assert_eq!(
+            sdsc.store().get("sdsc-c0").unwrap().status,
+            SourceStatus::Fresh
+        );
+    }
+
+    #[test]
+    fn corrupt_and_slow_endpoints_surface_as_typed_errors() {
+        use ganglia_core::GmetadError;
+        let mut deployment = small_deployment(TreeMode::NLevel);
+        deployment.run_round();
+        let sdsc = deployment.monitor("sdsc").clone();
+        let hosts_before = sdsc.store().get("sdsc-c0").unwrap().host_count();
+        assert!(hosts_before > 0);
+
+        // Garbage on the preferred node: the transport "succeeds", the
+        // parse does not — a BadReport, not a network error.
+        deployment.set_cluster_node_garbage("sdsc-c0", 0, true);
+        let errors: Vec<GmetadError> = sdsc
+            .poll_all(deployment.net(), 30)
+            .into_iter()
+            .filter_map(Result::err)
+            .collect();
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, GmetadError::BadReport { source, .. } if source == "sdsc-c0")),
+            "expected BadReport, got {errors:?}"
+        );
+        deployment.set_cluster_node_garbage("sdsc-c0", 0, false);
+
+        // Truncation: same story, the XML dies mid-transfer.
+        deployment.set_cluster_node_truncation("sdsc-c0", 0, Some(60));
+        let errors: Vec<GmetadError> = sdsc
+            .poll_all(deployment.net(), 45)
+            .into_iter()
+            .filter_map(Result::err)
+            .collect();
+        assert!(
+            errors
+                .iter()
+                .any(|e| matches!(e, GmetadError::BadReport { source, .. } if source == "sdsc-c0")),
+            "expected BadReport, got {errors:?}"
+        );
+        deployment.set_cluster_node_truncation("sdsc-c0", 0, None);
+
+        // Latency past the fetch timeout on every redundant node: the
+        // source fails outright, each endpoint reporting a timeout.
+        deployment.set_cluster_node_latency("sdsc-c0", 0, Duration::from_secs(30));
+        deployment.set_cluster_node_latency("sdsc-c0", 1, Duration::from_secs(30));
+        let errors: Vec<GmetadError> = sdsc
+            .poll_all(deployment.net(), 60)
+            .into_iter()
+            .filter_map(Result::err)
+            .collect();
+        let timeout_failure = errors.iter().find_map(|e| match e {
+            GmetadError::AllHostsFailed { source, errors } if source == "sdsc-c0" => Some(errors),
+            _ => None,
+        });
+        let net_errors = timeout_failure.expect("latency must fail the whole source");
+        assert!(net_errors
+            .iter()
+            .all(|e| matches!(e, ganglia_net::NetError::Timeout(_))));
+
+        // Throughout, the store kept serving the last good snapshot.
+        let state = sdsc.store().get("sdsc-c0").unwrap();
+        assert_eq!(state.host_count(), hosts_before);
+        assert!(matches!(state.status, SourceStatus::Stale { .. }));
+
+        // Clearing the faults heals the source (fail-over to the
+        // still-closed endpoint if the first one's breaker is open).
+        deployment.set_cluster_node_latency("sdsc-c0", 0, Duration::ZERO);
+        deployment.set_cluster_node_latency("sdsc-c0", 1, Duration::ZERO);
+        sdsc.poll_all(deployment.net(), 75);
         assert_eq!(
             sdsc.store().get("sdsc-c0").unwrap().status,
             SourceStatus::Fresh

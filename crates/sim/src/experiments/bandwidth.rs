@@ -9,8 +9,6 @@
 //! packets, value/time-threshold send scheduling) and measure the
 //! multicast channel's steady-state bit rate.
 
-use std::sync::Arc;
-
 use ganglia_gmond::{GmondConfig, SimCluster};
 use ganglia_net::SimNet;
 
@@ -92,6 +90,7 @@ pub fn within_dialup_budget(result: &BandwidthResult) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn a_128_node_cluster_stays_under_56_kbps() {

@@ -54,12 +54,16 @@ impl Fig6Result {
     /// used to compare scaling behaviour.
     pub fn slopes(&self) -> (f64, f64) {
         (
-            slope(self.rows.iter().map(|r| {
-                (r.cluster_size as f64, r.one_level_aggregate_pct)
-            })),
-            slope(self.rows.iter().map(|r| {
-                (r.cluster_size as f64, r.n_level_aggregate_pct)
-            })),
+            slope(
+                self.rows
+                    .iter()
+                    .map(|r| (r.cluster_size as f64, r.one_level_aggregate_pct)),
+            ),
+            slope(
+                self.rows
+                    .iter()
+                    .map(|r| (r.cluster_size as f64, r.n_level_aggregate_pct)),
+            ),
         )
     }
 }

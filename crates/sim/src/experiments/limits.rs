@@ -11,9 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use ganglia_core::{
-    archive, poller, TreeMode, WorkMeter,
-};
+use ganglia_core::{archive, poller, TreeMode, WorkMeter};
 use ganglia_metrics::definition::{MetricDefinition, Synth};
 use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
 use ganglia_metrics::{MetricType, MetricValue, Slope};
@@ -40,9 +38,9 @@ impl LimitsResult {
     /// Updates per metric should be constant — the blow-up is linear in
     /// the metric count, which is exactly the §5 complaint.
     pub fn updates_scale_linearly(&self) -> bool {
-        self.rows.iter().all(|row| {
-            row.updates_per_round == ((self.hosts + 1) * row.metrics_per_host) as u64
-        })
+        self.rows
+            .iter()
+            .all(|row| row.updates_per_round == ((self.hosts + 1) * row.metrics_per_host) as u64)
     }
 }
 
@@ -81,12 +79,7 @@ pub fn run_limits(hosts: usize, metric_counts: &[usize], rounds: u64) -> LimitsR
             let before = set.update_count();
             let start = Instant::now();
             for round in 0..rounds {
-                archive::archive_source(
-                    &mut set,
-                    &state,
-                    TreeMode::NLevel,
-                    30 + round * 15,
-                );
+                archive::archive_source(&mut set, &state, TreeMode::NLevel, 30 + round * 15);
             }
             let archive_time = start.elapsed() / rounds as u32;
             let updates_per_round = (set.update_count() - before) / rounds;

@@ -110,9 +110,13 @@ fn average_views(
     for _ in 0..samples {
         let (_, t) = frontend.meta_view().expect("meta view renders");
         totals[0].add(&t);
-        let (_, t) = frontend.cluster_view(cluster).expect("cluster view renders");
+        let (_, t) = frontend
+            .cluster_view(cluster)
+            .expect("cluster view renders");
         totals[1].add(&t);
-        let (_, t) = frontend.host_view(cluster, host).expect("host view renders");
+        let (_, t) = frontend
+            .host_view(cluster, host)
+            .expect("host view renders");
         totals[2].add(&t);
     }
     [

@@ -95,11 +95,8 @@ impl TreeSpec {
 
     /// Monitor names in breadth-first order from the root.
     pub fn breadth_first(&self) -> Vec<String> {
-        let by_name: HashMap<&str, &MonitorSpec> = self
-            .monitors
-            .iter()
-            .map(|m| (m.name.as_str(), m))
-            .collect();
+        let by_name: HashMap<&str, &MonitorSpec> =
+            self.monitors.iter().map(|m| (m.name.as_str(), m)).collect();
         let mut order = Vec::new();
         let mut seen = HashSet::new();
         let mut queue = VecDeque::new();

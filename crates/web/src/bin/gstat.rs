@@ -30,10 +30,7 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .ok_or_else(|| format!("{what} needs a value"))
-        };
+        let mut value = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
         match arg.as_str() {
             "--gmetad" | "-g" => options.gmetad = value("--gmetad")?,
             "--cluster" | "-c" => options.cluster = Some(value("--cluster")?),
@@ -56,9 +53,7 @@ fn main() -> ExitCode {
         Ok(options) => options,
         Err(e) => {
             eprintln!("gstat: {e}");
-            eprintln!(
-                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level]"
-            );
+            eprintln!("usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level]");
             return ExitCode::from(2);
         }
     };
@@ -80,12 +75,10 @@ fn main() -> ExitCode {
             print!("{}", render_cluster(&view));
             timing
         }),
-        (Some(cluster), Some(host)) => {
-            frontend.host_view(cluster, host).map(|(view, timing)| {
-                print!("{}", render_host(&view));
-                timing
-            })
-        }
+        (Some(cluster), Some(host)) => frontend.host_view(cluster, host).map(|(view, timing)| {
+            print!("{}", render_host(&view));
+            timing
+        }),
     };
     match outcome {
         Ok(timing) => {

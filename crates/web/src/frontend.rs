@@ -2,7 +2,6 @@
 
 use std::time::Instant;
 
-
 use crate::client::{ViewerClient, ViewerError};
 use crate::timing::ViewTiming;
 use crate::views::{find_cluster, top_level_items, ClusterView, HostView, MetaView};
@@ -15,8 +14,7 @@ pub trait Frontend {
     /// One cluster at full resolution.
     fn cluster_view(&self, cluster: &str) -> Result<(ClusterView, ViewTiming), ViewerError>;
     /// All information about a single host.
-    fn host_view(&self, cluster: &str, host: &str)
-        -> Result<(HostView, ViewTiming), ViewerError>;
+    fn host_view(&self, cluster: &str, host: &str) -> Result<(HostView, ViewTiming), ViewerError>;
 }
 
 /// The 2.5.1-era frontend: downloads the whole tree for every page and
@@ -56,11 +54,7 @@ impl Frontend for OneLevelFrontend {
         Ok((view, timing))
     }
 
-    fn host_view(
-        &self,
-        cluster: &str,
-        host: &str,
-    ) -> Result<(HostView, ViewTiming), ViewerError> {
+    fn host_view(&self, cluster: &str, host: &str) -> Result<(HostView, ViewTiming), ViewerError> {
         let mut timing = ViewTiming::default();
         let doc = self.client.fetch_parsed("/", &mut timing)?;
         let start = Instant::now();
@@ -112,11 +106,7 @@ impl Frontend for NLevelFrontend {
         Ok((view, timing))
     }
 
-    fn host_view(
-        &self,
-        cluster: &str,
-        host: &str,
-    ) -> Result<(HostView, ViewTiming), ViewerError> {
+    fn host_view(&self, cluster: &str, host: &str) -> Result<(HostView, ViewTiming), ViewerError> {
         let mut timing = ViewTiming::default();
         let doc = self
             .client
@@ -160,13 +150,15 @@ mod tests {
             .serve(
                 &Addr::new("gmeta"),
                 Arc::new(move |q: &str| {
-                    queries_for_handler.lock().expect("not poisoned").push(q.to_string());
+                    queries_for_handler
+                        .lock()
+                        .expect("not poisoned")
+                        .push(q.to_string());
                     CANNED.to_string()
                 }),
             )
             .unwrap();
-        let make_client =
-            || ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let make_client = || ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
 
         let one = OneLevelFrontend::new(make_client());
         let (meta, timing) = one.meta_view().unwrap();
@@ -186,7 +178,9 @@ mod tests {
         assert_eq!(
             seen,
             vec![
-                "/", "/", "/", // 1-level: always the full tree
+                "/",
+                "/",
+                "/", // 1-level: always the full tree
                 "/?filter=summary",
                 "/meteor",
                 "/meteor/n0",

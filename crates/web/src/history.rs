@@ -35,11 +35,7 @@ pub fn render_host_history(
 
 /// Render a cluster's summary history (the `SUM` series of each
 /// requested metric).
-pub fn render_summary_history(
-    source: &str,
-    metrics: &[&str],
-    fetch: &HistoryFetch<'_>,
-) -> String {
+pub fn render_summary_history(source: &str, metrics: &[&str], fetch: &HistoryFetch<'_>) -> String {
     let mut out = format!("=== Summary history {source} ===\n");
     for metric in metrics {
         let key = MetricKey::summary_metric(source, *metric);
@@ -65,12 +61,7 @@ mod tests {
 
     #[test]
     fn host_history_renders_present_and_absent_metrics() {
-        let text = render_host_history(
-            "meteor",
-            "n0",
-            &["load_one", "cpu_user"],
-            &canned_fetch,
-        );
+        let text = render_host_history("meteor", "n0", &["load_one", "cpu_user"], &canned_fetch);
         assert!(text.contains("History meteor/n0"));
         assert!(text.contains("load_one"));
         assert!(text.contains("unknown=1"));

@@ -37,4 +37,4 @@ pub mod views;
 pub use client::ViewerClient;
 pub use frontend::{Frontend, NLevelFrontend, OneLevelFrontend};
 pub use timing::ViewTiming;
-pub use views::{ClusterView, HostRow, HostView, MetaRow, MetaView, MetricRow};
+pub use views::{ClusterView, HostRow, HostView, MetaRow, MetaView, MetricRow, SourceHealth};

@@ -18,15 +18,16 @@ pub fn render_meta(view: &MetaView) -> String {
     let _ = writeln!(out, "hosts up {up}, down {down}, total CPUs {cpus:.0}");
     let _ = writeln!(
         out,
-        "{:<24} {:>5} {:>5} {:>8} {:>10}  AUTHORITY",
-        "SOURCE", "UP", "DOWN", "CPUS", "LOAD(avg)"
+        "{:<24} {:>8} {:>5} {:>5} {:>8} {:>10}  AUTHORITY",
+        "SOURCE", "HEALTH", "UP", "DOWN", "CPUS", "LOAD(avg)"
     );
     for row in &view.rows {
         let kind = if row.is_grid { "grid " } else { "" };
         let _ = writeln!(
             out,
-            "{:<24} {:>5} {:>5} {:>8.0} {:>10.2}  {}{}",
+            "{:<24} {:>8} {:>5} {:>5} {:>8.0} {:>10.2}  {}{}",
             row.name,
+            row.health,
             row.hosts_up,
             row.hosts_down,
             row.cpus,
@@ -90,7 +91,7 @@ pub fn render_host(view: &HostView) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::views::{HostRow, MetaRow, MetricRow};
+    use crate::views::{HostRow, MetaRow, MetricRow, SourceHealth};
 
     #[test]
     fn meta_rendering_contains_rows_and_totals() {
@@ -100,6 +101,7 @@ mod tests {
                 is_grid: false,
                 hosts_up: 100,
                 hosts_down: 2,
+                health: SourceHealth::from_counts(100, 2),
                 cpus: 200.0,
                 load_one_sum: 55.0,
                 load_one_mean: Some(0.55),
@@ -110,6 +112,8 @@ mod tests {
         assert!(text.contains("meteor"));
         assert!(text.contains("100"));
         assert!(text.contains("0.55"));
+        assert!(text.contains("HEALTH"));
+        assert!(text.contains("degraded"));
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub fn render_history(metric: &str, series: &Series) -> String {
         .copied()
         .filter(|v| !v.is_nan())
         .collect();
-    let (min, max) = known.iter().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), &v| (lo.min(v), hi.max(v)),
-    );
+    let (min, max) = known
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let mean = series.mean();
     let end = series.start + series.step * series.values.len().saturating_sub(1) as u64;
     let unknown = series.values.len() - known.len();

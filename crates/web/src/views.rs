@@ -1,6 +1,50 @@
 //! View models: what each web page displays.
 
-use ganglia_metrics::model::{ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, HostNode, SummaryBody};
+use std::fmt;
+
+use ganglia_metrics::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, HostNode, SummaryBody,
+};
+
+/// Health of one monitored source, derived client-side from its summary
+/// numbers. A gmetad whose source went past the down threshold rewrites
+/// its summary to `hosts_up = 0`, so the viewer needs no extra
+/// protocol: all-up is [`SourceHealth::Up`], all-down is
+/// [`SourceHealth::Down`], anything between is
+/// [`SourceHealth::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceHealth {
+    /// Every known host reporting.
+    Up,
+    /// Some hosts down (or the source is partially reachable).
+    Degraded,
+    /// No hosts reporting — the source is down or unreachable.
+    Down,
+}
+
+impl SourceHealth {
+    /// Classify from summary host counts.
+    pub fn from_counts(hosts_up: u32, hosts_down: u32) -> SourceHealth {
+        if hosts_up == 0 && hosts_down > 0 {
+            SourceHealth::Down
+        } else if hosts_down > 0 {
+            SourceHealth::Degraded
+        } else {
+            SourceHealth::Up
+        }
+    }
+}
+
+impl fmt::Display for SourceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` (not `write!`) so table column widths apply.
+        f.pad(match self {
+            SourceHealth::Up => "up",
+            SourceHealth::Degraded => "degraded",
+            SourceHealth::Down => "DOWN",
+        })
+    }
+}
 
 /// One row of the meta view: a cluster or remote grid in summary form.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,6 +54,8 @@ pub struct MetaRow {
     pub is_grid: bool,
     pub hosts_up: u32,
     pub hosts_down: u32,
+    /// Health classification derived from the host counts.
+    pub health: SourceHealth,
     /// Total CPUs (sum of `cpu_num`).
     pub cpus: f64,
     /// One-minute load, summed over hosts.
@@ -28,6 +74,7 @@ impl MetaRow {
             is_grid,
             hosts_up: summary.hosts_up,
             hosts_down: summary.hosts_down,
+            health: SourceHealth::from_counts(summary.hosts_up, summary.hosts_down),
             cpus: summary.metric("cpu_num").map_or(0.0, |m| m.sum),
             load_one_sum: load.map_or(0.0, |m| m.sum),
             load_one_mean: load.and_then(|m| m.mean()),
@@ -275,6 +322,31 @@ mod tests {
         assert!(view.rows[0].is_grid);
         assert_eq!(view.rows[0].hosts_up, 3);
         assert_eq!(view.rows[0].authority, "http://attic/");
+    }
+
+    #[test]
+    fn source_health_classifies_from_counts() {
+        assert_eq!(SourceHealth::from_counts(8, 0), SourceHealth::Up);
+        assert_eq!(SourceHealth::from_counts(5, 3), SourceHealth::Degraded);
+        assert_eq!(SourceHealth::from_counts(0, 8), SourceHealth::Down);
+        // An empty source has nothing down, so it is not an outage.
+        assert_eq!(SourceHealth::from_counts(0, 0), SourceHealth::Up);
+        assert_eq!(SourceHealth::Down.to_string(), "DOWN");
+    }
+
+    #[test]
+    fn meta_rows_carry_health() {
+        let doc = doc_with(vec![GridItem::Cluster(cluster("meteor", 4))]);
+        let view = MetaView::from_doc(&doc);
+        assert_eq!(view.rows[0].health, SourceHealth::Up);
+        // A down source arrives as a summary with hosts_up=0.
+        let summary = SummaryBody {
+            hosts_up: 0,
+            hosts_down: 4,
+            metrics: vec![],
+        };
+        let row = MetaRow::from_summary("meteor", false, "", &summary);
+        assert_eq!(row.health, SourceHealth::Down);
     }
 
     #[test]

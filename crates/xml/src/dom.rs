@@ -115,7 +115,11 @@ impl Element {
 
     /// Total number of elements in this subtree, including self.
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Serialize this subtree (no XML declaration).

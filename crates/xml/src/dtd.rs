@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn malformed_xml_is_one_violation() {
         let violations = validate("<GANGLIA_XML VERSION='1' SOURCE='x'><oops");
-        assert!(matches!(violations.last(), Some(DtdViolation::Malformed(_))));
+        assert!(matches!(
+            violations.last(),
+            Some(DtdViolation::Malformed(_))
+        ));
     }
 
     #[test]

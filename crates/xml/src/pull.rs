@@ -505,11 +505,20 @@ mod tests {
     fn skip_subtree_skips_descendants() {
         let doc = "<A><B><C/><D>text</D></B><E/></A>";
         let mut parser = PullParser::new(doc);
-        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("A"));
-        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("B"));
+        assert_eq!(
+            parser.next_event().unwrap().unwrap().start_name(),
+            Some("A")
+        );
+        assert_eq!(
+            parser.next_event().unwrap().unwrap().start_name(),
+            Some("B")
+        );
         parser.skip_subtree().unwrap();
         // Next event should be the start of E.
-        assert_eq!(parser.next_event().unwrap().unwrap().start_name(), Some("E"));
+        assert_eq!(
+            parser.next_event().unwrap().unwrap().start_name(),
+            Some("E")
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use std::fmt::{self, Write};
 use crate::escape::escape;
 
 /// The standard header Ganglia puts in front of every report.
-pub const XML_DECLARATION: &str = "<?xml version=\"1.0\" encoding=\"ISO-8859-1\" standalone=\"yes\"?>";
+pub const XML_DECLARATION: &str =
+    "<?xml version=\"1.0\" encoding=\"ISO-8859-1\" standalone=\"yes\"?>";
 
 /// A streaming writer over any [`fmt::Write`] sink (typically `String`).
 pub struct XmlWriter<'w, W: Write> {
@@ -209,7 +210,14 @@ mod tests {
         assert!(out.contains('\n'));
         let dom = Element::parse(&out).unwrap();
         assert_eq!(dom.name, "GRID");
-        assert_eq!(dom.child("CLUSTER").unwrap().child("HOST").unwrap().attr("NAME"), Some("n0"));
+        assert_eq!(
+            dom.child("CLUSTER")
+                .unwrap()
+                .child("HOST")
+                .unwrap()
+                .attr("NAME"),
+            Some("n0")
+        );
     }
 
     #[test]

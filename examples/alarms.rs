@@ -81,5 +81,8 @@ fn main() {
         .any(|e| e.rule == "hosts-down" && e.subject == "sdsc-c0"));
 
     println!("\ncurrently firing: {:?}", engine.firing());
-    println!("total transitions delivered to the sink: {}", sink.events().len());
+    println!(
+        "total transitions delivered to the sink: {}",
+        sink.events().len()
+    );
 }

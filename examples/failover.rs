@@ -20,12 +20,12 @@ fn main() {
     deployment.kill_cluster_node("sdsc-c0", 0);
     deployment.run_rounds(1);
     let stats = sdsc.poller_stats();
-    let row = stats.iter().find(|s| s.0 == "sdsc-c0").expect("source");
+    let row = stats.iter().find(|s| s.name == "sdsc-c0").expect("source");
     println!(
         "  sdsc-c0: {} ok polls, {} failed, {} failovers — monitoring uninterrupted",
-        row.1, row.2, row.3
+        row.polls_ok, row.polls_failed, row.failovers
     );
-    assert_eq!(row.2, 0, "failover masked the stop failure");
+    assert_eq!(row.polls_failed, 0, "failover masked the stop failure");
 
     // -- 2. whole-cluster partition: stale data + steady retry ----------
     println!("\npartitioning cluster sdsc-c0 entirely...");
@@ -37,6 +37,9 @@ fn main() {
             "  sdsc-c0 stale since t={since}s; last good snapshot ({} hosts) still queryable",
             state.host_count()
         ),
+        SourceStatus::Down { since } => {
+            println!("  sdsc-c0 down since t={since}s; summary reports every host down")
+        }
         SourceStatus::Fresh => unreachable!("partitioned source cannot be fresh"),
     }
 

@@ -19,7 +19,8 @@ fn main() {
     cluster.run(0, 40, 20);
 
     let gmetad = Gmetad::new(
-        GmetadConfig::new("sdsc").with_source(DataSourceCfg::new("batch", cluster.addrs())),
+        GmetadConfig::new("sdsc")
+            .with_source(DataSourceCfg::new("batch", cluster.addrs()).unwrap()),
     );
 
     // An application on node 1 publishes its queue depth with a 120 s
@@ -55,15 +56,15 @@ fn main() {
     // A targeted query returns just the user metric.
     let xml = gmetad.query("/batch/batch-node-1/jobs_queued");
     let doc = parse_document(&xml).expect("well-formed");
-    let GridItem::Grid(grid) = &doc.items[0] else { unreachable!() };
+    let GridItem::Grid(grid) = &doc.items[0] else {
+        unreachable!()
+    };
     println!(
         "\npath query /batch/batch-node-1/jobs_queued selects {} host, {} metric",
         doc.host_count(),
         match grid.item("batch") {
-            Some(GridItem::Cluster(c)) => c
-                .host("batch-node-1")
-                .map(|h| h.metrics.len())
-                .unwrap_or(0),
+            Some(GridItem::Cluster(c)) =>
+                c.host("batch-node-1").map(|h| h.metrics.len()).unwrap_or(0),
             _ => 0,
         }
     );
@@ -81,7 +82,11 @@ fn main() {
         .is_none();
     println!(
         "jobs_queued present after 140s of silence? {}",
-        if gone { "no — soft state expired it" } else { "yes" }
+        if gone {
+            "no — soft state expired it"
+        } else {
+            "yes"
+        }
     );
     assert!(gone);
 

@@ -21,7 +21,7 @@ fn main() {
 
     // A gmetad that polls it.
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("meteor", cluster.addrs().to_vec()));
+        .with_source(DataSourceCfg::new("meteor", cluster.addrs().to_vec()).unwrap());
     let gmetad = Gmetad::new(config);
 
     // Drive a few poll rounds (15 s apart, the paper's default).
@@ -48,7 +48,10 @@ fn main() {
     let items = top_level_items(&doc);
     let cluster_node = ganglia::web::views::find_cluster(items, "meteor").expect("present");
     let host = cluster_node.host("meteor-0003").expect("selected host");
-    println!("{}", render::render_host(&HostView::from_host("meteor", host)));
+    println!(
+        "{}",
+        render::render_host(&HostView::from_host("meteor", host))
+    );
 
     // And inspect a metric's archived history.
     let key = ganglia::rrd::MetricKey::host_metric("meteor", "meteor-0003", "load_one");

@@ -35,7 +35,7 @@
 //!
 //! // …monitored by a gmetad…
 //! let config = GmetadConfig::new("sdsc")
-//!     .with_source(DataSourceCfg::new("meteor", cluster.addrs().to_vec()));
+//!     .with_source(DataSourceCfg::new("meteor", cluster.addrs().to_vec()).unwrap());
 //! let gmetad = Gmetad::new(config);
 //! gmetad.poll_all(&net, 15);
 //!

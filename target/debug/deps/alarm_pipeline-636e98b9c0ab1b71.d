@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alarm_pipeline-636e98b9c0ab1b71.d: tests/alarm_pipeline.rs
+
+/root/repo/target/debug/deps/alarm_pipeline-636e98b9c0ab1b71: tests/alarm_pipeline.rs
+
+tests/alarm_pipeline.rs:

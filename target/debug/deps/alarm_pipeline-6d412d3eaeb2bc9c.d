@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alarm_pipeline-6d412d3eaeb2bc9c.d: tests/alarm_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalarm_pipeline-6d412d3eaeb2bc9c.rmeta: tests/alarm_pipeline.rs Cargo.toml
+
+tests/alarm_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/archive_persistence-9cd16b938446bc70.d: tests/archive_persistence.rs
+
+/root/repo/target/debug/deps/archive_persistence-9cd16b938446bc70: tests/archive_persistence.rs
+
+tests/archive_persistence.rs:

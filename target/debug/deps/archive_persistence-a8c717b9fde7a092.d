@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/archive_persistence-a8c717b9fde7a092.d: tests/archive_persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchive_persistence-a8c717b9fde7a092.rmeta: tests/archive_persistence.rs Cargo.toml
+
+tests/archive_persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

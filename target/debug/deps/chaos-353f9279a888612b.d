@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-353f9279a888612b.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-353f9279a888612b: tests/chaos.rs
+
+tests/chaos.rs:

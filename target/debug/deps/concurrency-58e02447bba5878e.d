@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-58e02447bba5878e.d: crates/core/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-58e02447bba5878e: crates/core/tests/concurrency.rs
+
+crates/core/tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-ee193d6cdbce29a6.d: crates/core/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-ee193d6cdbce29a6.rmeta: crates/core/tests/concurrency.rs Cargo.toml
+
+crates/core/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-215100ef83ad54c3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-215100ef83ad54c3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-215100ef83ad54c3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

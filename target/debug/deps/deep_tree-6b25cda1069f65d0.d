@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deep_tree-6b25cda1069f65d0.d: tests/deep_tree.rs
+
+/root/repo/target/debug/deps/deep_tree-6b25cda1069f65d0: tests/deep_tree.rs
+
+tests/deep_tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deep_tree-e087afd3e8fdf86e.d: tests/deep_tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeep_tree-e087afd3e8fdf86e.rmeta: tests/deep_tree.rs Cargo.toml
+
+tests/deep_tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtd_conformance-a0f544346ce4bf67.d: tests/dtd_conformance.rs
+
+/root/repo/target/debug/deps/dtd_conformance-a0f544346ce4bf67: tests/dtd_conformance.rs
+
+tests/dtd_conformance.rs:

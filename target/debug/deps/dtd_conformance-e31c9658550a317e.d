@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtd_conformance-e31c9658550a317e.d: tests/dtd_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtd_conformance-e31c9658550a317e.rmeta: tests/dtd_conformance.rs Cargo.toml
+
+tests/dtd_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_tree-6c1b51f6ece24d94.d: tests/end_to_end_tree.rs
+
+/root/repo/target/debug/deps/end_to_end_tree-6c1b51f6ece24d94: tests/end_to_end_tree.rs
+
+tests/end_to_end_tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_tree_load-1c102a0dec357510.d: crates/bench/benches/fig5_tree_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_tree_load-1c102a0dec357510.rmeta: crates/bench/benches/fig5_tree_load.rs Cargo.toml
+
+crates/bench/benches/fig5_tree_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_cluster_size-ae45fbf90cff4ffc.d: crates/bench/benches/fig6_cluster_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_cluster_size-ae45fbf90cff4ffc.rmeta: crates/bench/benches/fig6_cluster_size.rs Cargo.toml
+
+crates/bench/benches/fig6_cluster_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ganglia-505b60314852e2d1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libganglia-505b60314852e2d1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libganglia-505b60314852e2d1.rmeta: src/lib.rs
+
+src/lib.rs:

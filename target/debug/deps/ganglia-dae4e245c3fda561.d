@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ganglia-dae4e245c3fda561.d: src/lib.rs
+
+/root/repo/target/debug/deps/ganglia-dae4e245c3fda561: src/lib.rs
+
+src/lib.rs:

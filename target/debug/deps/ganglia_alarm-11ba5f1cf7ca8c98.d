@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ganglia_alarm-11ba5f1cf7ca8c98.d: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+/root/repo/target/debug/deps/ganglia_alarm-11ba5f1cf7ca8c98: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+crates/alarm/src/lib.rs:
+crates/alarm/src/engine.rs:
+crates/alarm/src/rule.rs:
+crates/alarm/src/sink.rs:

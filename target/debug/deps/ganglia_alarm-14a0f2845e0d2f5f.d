@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_alarm-14a0f2845e0d2f5f.d: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_alarm-14a0f2845e0d2f5f.rmeta: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs Cargo.toml
+
+crates/alarm/src/lib.rs:
+crates/alarm/src/engine.rs:
+crates/alarm/src/rule.rs:
+crates/alarm/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ganglia_alarm-6e3975fd64d12ce1.d: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+/root/repo/target/debug/deps/libganglia_alarm-6e3975fd64d12ce1.rlib: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+/root/repo/target/debug/deps/libganglia_alarm-6e3975fd64d12ce1.rmeta: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+crates/alarm/src/lib.rs:
+crates/alarm/src/engine.rs:
+crates/alarm/src/rule.rs:
+crates/alarm/src/sink.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_alarm-c1999d7a67dbd3c2.d: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_alarm-c1999d7a67dbd3c2.rmeta: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs Cargo.toml
+
+crates/alarm/src/lib.rs:
+crates/alarm/src/engine.rs:
+crates/alarm/src/rule.rs:
+crates/alarm/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ganglia_bench-37395f670fdbc505.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libganglia_bench-37395f670fdbc505.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libganglia_bench-37395f670fdbc505.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ganglia_bench-5f195850c31d68ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ganglia_bench-5f195850c31d68ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ganglia_core-98c5e368396f200c.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_core-98c5e368396f200c.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/conf.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/gmetad.rs:
+crates/core/src/health.rs:
+crates/core/src/instrument.rs:
+crates/core/src/join.rs:
+crates/core/src/poller.rs:
+crates/core/src/query_engine.rs:
+crates/core/src/sha256.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ganglia_core-f84f107b240cc5a0.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/ganglia_core-f84f107b240cc5a0: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/conf.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/gmetad.rs:
+crates/core/src/health.rs:
+crates/core/src/instrument.rs:
+crates/core/src/join.rs:
+crates/core/src/poller.rs:
+crates/core/src/query_engine.rs:
+crates/core/src/sha256.rs:
+crates/core/src/store.rs:

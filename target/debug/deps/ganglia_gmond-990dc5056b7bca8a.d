@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ganglia_gmond-990dc5056b7bca8a.d: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+/root/repo/target/debug/deps/libganglia_gmond-990dc5056b7bca8a.rlib: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+/root/repo/target/debug/deps/libganglia_gmond-990dc5056b7bca8a.rmeta: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+crates/gmond/src/lib.rs:
+crates/gmond/src/agent.rs:
+crates/gmond/src/channel.rs:
+crates/gmond/src/cluster.rs:
+crates/gmond/src/conf.rs:
+crates/gmond/src/config.rs:
+crates/gmond/src/packet.rs:
+crates/gmond/src/proc_source.rs:
+crates/gmond/src/pseudo.rs:
+crates/gmond/src/source.rs:
+crates/gmond/src/udp.rs:

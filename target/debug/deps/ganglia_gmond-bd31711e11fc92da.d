@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ganglia_gmond-bd31711e11fc92da.d: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_gmond-bd31711e11fc92da.rmeta: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs Cargo.toml
+
+crates/gmond/src/lib.rs:
+crates/gmond/src/agent.rs:
+crates/gmond/src/channel.rs:
+crates/gmond/src/cluster.rs:
+crates/gmond/src/conf.rs:
+crates/gmond/src/config.rs:
+crates/gmond/src/packet.rs:
+crates/gmond/src/proc_source.rs:
+crates/gmond/src/pseudo.rs:
+crates/gmond/src/source.rs:
+crates/gmond/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

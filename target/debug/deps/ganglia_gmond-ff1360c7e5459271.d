@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ganglia_gmond-ff1360c7e5459271.d: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+/root/repo/target/debug/deps/ganglia_gmond-ff1360c7e5459271: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+crates/gmond/src/lib.rs:
+crates/gmond/src/agent.rs:
+crates/gmond/src/channel.rs:
+crates/gmond/src/cluster.rs:
+crates/gmond/src/conf.rs:
+crates/gmond/src/config.rs:
+crates/gmond/src/packet.rs:
+crates/gmond/src/proc_source.rs:
+crates/gmond/src/pseudo.rs:
+crates/gmond/src/source.rs:
+crates/gmond/src/udp.rs:

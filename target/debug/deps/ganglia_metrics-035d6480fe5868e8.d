@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_metrics-035d6480fe5868e8.d: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+/root/repo/target/debug/deps/libganglia_metrics-035d6480fe5868e8.rlib: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+/root/repo/target/debug/deps/libganglia_metrics-035d6480fe5868e8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/codec.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/model.rs:
+crates/metrics/src/slope.rs:
+crates/metrics/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ganglia_metrics-34cff2b8c32e4686.d: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_metrics-34cff2b8c32e4686.rmeta: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/codec.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/model.rs:
+crates/metrics/src/slope.rs:
+crates/metrics/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

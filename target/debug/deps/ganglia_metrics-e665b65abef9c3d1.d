@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ganglia_metrics-e665b65abef9c3d1.d: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+/root/repo/target/debug/deps/ganglia_metrics-e665b65abef9c3d1: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/codec.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/model.rs:
+crates/metrics/src/slope.rs:
+crates/metrics/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ganglia_net-8a6960c6f2c765dd.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/ganglia_net-8a6960c6f2c765dd: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/error.rs:
+crates/net/src/mcast.rs:
+crates/net/src/rng.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ganglia_net-950ff467cab2f006.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_net-950ff467cab2f006.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/error.rs:
+crates/net/src/mcast.rs:
+crates/net/src/rng.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ganglia_query-943690a46bc1b96e.d: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+/root/repo/target/debug/deps/ganglia_query-943690a46bc1b96e: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+crates/query/src/lib.rs:
+crates/query/src/error.rs:
+crates/query/src/path.rs:
+crates/query/src/regex_lite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ganglia_query-b29b6b3389cfcd71.d: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+/root/repo/target/debug/deps/libganglia_query-b29b6b3389cfcd71.rlib: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+/root/repo/target/debug/deps/libganglia_query-b29b6b3389cfcd71.rmeta: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+crates/query/src/lib.rs:
+crates/query/src/error.rs:
+crates/query/src/path.rs:
+crates/query/src/regex_lite.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_query-c972817294dc7f08.d: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_query-c972817294dc7f08.rmeta: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/error.rs:
+crates/query/src/path.rs:
+crates/query/src/regex_lite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

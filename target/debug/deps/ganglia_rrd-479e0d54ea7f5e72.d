@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ganglia_rrd-479e0d54ea7f5e72.d: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+/root/repo/target/debug/deps/libganglia_rrd-479e0d54ea7f5e72.rlib: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+/root/repo/target/debug/deps/libganglia_rrd-479e0d54ea7f5e72.rmeta: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+crates/rrd/src/lib.rs:
+crates/rrd/src/cache.rs:
+crates/rrd/src/error.rs:
+crates/rrd/src/file.rs:
+crates/rrd/src/rrd.rs:
+crates/rrd/src/spec.rs:
+crates/rrd/src/xport.rs:

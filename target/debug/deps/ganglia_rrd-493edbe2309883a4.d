@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ganglia_rrd-493edbe2309883a4.d: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+/root/repo/target/debug/deps/ganglia_rrd-493edbe2309883a4: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+crates/rrd/src/lib.rs:
+crates/rrd/src/cache.rs:
+crates/rrd/src/error.rs:
+crates/rrd/src/file.rs:
+crates/rrd/src/rrd.rs:
+crates/rrd/src/spec.rs:
+crates/rrd/src/xport.rs:

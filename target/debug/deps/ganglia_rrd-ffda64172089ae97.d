@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ganglia_rrd-ffda64172089ae97.d: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_rrd-ffda64172089ae97.rmeta: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs Cargo.toml
+
+crates/rrd/src/lib.rs:
+crates/rrd/src/cache.rs:
+crates/rrd/src/error.rs:
+crates/rrd/src/file.rs:
+crates/rrd/src/rrd.rs:
+crates/rrd/src/spec.rs:
+crates/rrd/src/xport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

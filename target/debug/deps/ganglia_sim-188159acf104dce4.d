@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ganglia_sim-188159acf104dce4.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/deploy.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/bandwidth.rs crates/sim/src/experiments/fig5.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/limits.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/traffic.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libganglia_sim-188159acf104dce4.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/deploy.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/bandwidth.rs crates/sim/src/experiments/fig5.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/limits.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/traffic.rs crates/sim/src/topology.rs
+
+/root/repo/target/debug/deps/libganglia_sim-188159acf104dce4.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/deploy.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/bandwidth.rs crates/sim/src/experiments/fig5.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/limits.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/traffic.rs crates/sim/src/topology.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/deploy.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/bandwidth.rs:
+crates/sim/src/experiments/fig5.rs:
+crates/sim/src/experiments/fig6.rs:
+crates/sim/src/experiments/limits.rs:
+crates/sim/src/experiments/table1.rs:
+crates/sim/src/experiments/traffic.rs:
+crates/sim/src/topology.rs:

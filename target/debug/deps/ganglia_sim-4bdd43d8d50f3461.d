@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ganglia_sim-4bdd43d8d50f3461.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/deploy.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/bandwidth.rs crates/sim/src/experiments/fig5.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/limits.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/traffic.rs crates/sim/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_sim-4bdd43d8d50f3461.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/deploy.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/bandwidth.rs crates/sim/src/experiments/fig5.rs crates/sim/src/experiments/fig6.rs crates/sim/src/experiments/limits.rs crates/sim/src/experiments/table1.rs crates/sim/src/experiments/traffic.rs crates/sim/src/topology.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/deploy.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/bandwidth.rs:
+crates/sim/src/experiments/fig5.rs:
+crates/sim/src/experiments/fig6.rs:
+crates/sim/src/experiments/limits.rs:
+crates/sim/src/experiments/table1.rs:
+crates/sim/src/experiments/traffic.rs:
+crates/sim/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_web-1b0553d9a883372e.d: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+/root/repo/target/debug/deps/ganglia_web-1b0553d9a883372e: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+crates/web/src/lib.rs:
+crates/web/src/client.rs:
+crates/web/src/frontend.rs:
+crates/web/src/history.rs:
+crates/web/src/render.rs:
+crates/web/src/sparkline.rs:
+crates/web/src/timing.rs:
+crates/web/src/views.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ganglia_web-bdd7e7d3bbb515e3.d: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_web-bdd7e7d3bbb515e3.rmeta: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs Cargo.toml
+
+crates/web/src/lib.rs:
+crates/web/src/client.rs:
+crates/web/src/frontend.rs:
+crates/web/src/history.rs:
+crates/web/src/render.rs:
+crates/web/src/sparkline.rs:
+crates/web/src/timing.rs:
+crates/web/src/views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ganglia_web-d8043b4284a71f35.d: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+/root/repo/target/debug/deps/libganglia_web-d8043b4284a71f35.rlib: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+/root/repo/target/debug/deps/libganglia_web-d8043b4284a71f35.rmeta: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+crates/web/src/lib.rs:
+crates/web/src/client.rs:
+crates/web/src/frontend.rs:
+crates/web/src/history.rs:
+crates/web/src/render.rs:
+crates/web/src/sparkline.rs:
+crates/web/src/timing.rs:
+crates/web/src/views.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ganglia_xml-5f7f0460999f0499.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/ganglia_xml-5f7f0460999f0499: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/names.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

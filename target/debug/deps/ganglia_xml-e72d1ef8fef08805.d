@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ganglia_xml-e72d1ef8fef08805.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libganglia_xml-e72d1ef8fef08805.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libganglia_xml-e72d1ef8fef08805.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/names.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

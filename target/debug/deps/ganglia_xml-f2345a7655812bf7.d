@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ganglia_xml-f2345a7655812bf7.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libganglia_xml-f2345a7655812bf7.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/names.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmetad-6f575e579c71b92c.d: crates/core/src/bin/gmetad.rs
+
+/root/repo/target/debug/deps/gmetad-6f575e579c71b92c: crates/core/src/bin/gmetad.rs
+
+crates/core/src/bin/gmetad.rs:

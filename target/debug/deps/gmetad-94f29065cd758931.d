@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmetad-94f29065cd758931.d: crates/core/src/bin/gmetad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmetad-94f29065cd758931.rmeta: crates/core/src/bin/gmetad.rs Cargo.toml
+
+crates/core/src/bin/gmetad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmetad-de9f0a8348df441d.d: crates/core/src/bin/gmetad.rs
+
+/root/repo/target/debug/deps/gmetad-de9f0a8348df441d: crates/core/src/bin/gmetad.rs
+
+crates/core/src/bin/gmetad.rs:

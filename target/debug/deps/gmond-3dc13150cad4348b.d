@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmond-3dc13150cad4348b.d: crates/gmond/src/bin/gmond.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmond-3dc13150cad4348b.rmeta: crates/gmond/src/bin/gmond.rs Cargo.toml
+
+crates/gmond/src/bin/gmond.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmond-562e2247f003247c.d: crates/gmond/src/bin/gmond.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgmond-562e2247f003247c.rmeta: crates/gmond/src/bin/gmond.rs Cargo.toml
+
+crates/gmond/src/bin/gmond.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

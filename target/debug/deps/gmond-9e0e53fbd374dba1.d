@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmond-9e0e53fbd374dba1.d: crates/gmond/src/bin/gmond.rs
+
+/root/repo/target/debug/deps/gmond-9e0e53fbd374dba1: crates/gmond/src/bin/gmond.rs
+
+crates/gmond/src/bin/gmond.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gmond-f19728d6532f2357.d: crates/gmond/src/bin/gmond.rs
+
+/root/repo/target/debug/deps/gmond-f19728d6532f2357: crates/gmond/src/bin/gmond.rs
+
+crates/gmond/src/bin/gmond.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gstat-19508f01c58cb174.d: crates/web/src/bin/gstat.rs
+
+/root/repo/target/debug/deps/gstat-19508f01c58cb174: crates/web/src/bin/gstat.rs
+
+crates/web/src/bin/gstat.rs:

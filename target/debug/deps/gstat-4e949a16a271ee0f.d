@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gstat-4e949a16a271ee0f.d: crates/web/src/bin/gstat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgstat-4e949a16a271ee0f.rmeta: crates/web/src/bin/gstat.rs Cargo.toml
+
+crates/web/src/bin/gstat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gstat-5de5012f61d87863.d: crates/web/src/bin/gstat.rs
+
+/root/repo/target/debug/deps/gstat-5de5012f61d87863: crates/web/src/bin/gstat.rs
+
+crates/web/src/bin/gstat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gstat-9f62fd886adc5009.d: crates/web/src/bin/gstat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgstat-9f62fd886adc5009.rmeta: crates/web/src/bin/gstat.rs Cargo.toml
+
+crates/web/src/bin/gstat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/join_protocol-754b94e6a436d727.d: tests/join_protocol.rs
+
+/root/repo/target/debug/deps/join_protocol-754b94e6a436d727: tests/join_protocol.rs
+
+tests/join_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/join_protocol-e41fbb80847e1cfb.d: tests/join_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoin_protocol-e41fbb80847e1cfb.rmeta: tests/join_protocol.rs Cargo.toml
+
+tests/join_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/proptest-3c3ebeb848ceef84.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/char.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-3c3ebeb848ceef84.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/char.rs vendor/proptest/src/collection.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs vendor/proptest/src/test_runner.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/char.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:
+vendor/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

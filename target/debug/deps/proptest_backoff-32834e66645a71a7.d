@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_backoff-32834e66645a71a7.d: tests/proptest_backoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_backoff-32834e66645a71a7.rmeta: tests/proptest_backoff.rs Cargo.toml
+
+tests/proptest_backoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_backoff-d40ef68b65e4ce6a.d: tests/proptest_backoff.rs
+
+/root/repo/target/debug/deps/proptest_backoff-d40ef68b65e4ce6a: tests/proptest_backoff.rs
+
+tests/proptest_backoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_model-853a8e806cda398d.d: crates/metrics/tests/proptest_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_model-853a8e806cda398d.rmeta: crates/metrics/tests/proptest_model.rs Cargo.toml
+
+crates/metrics/tests/proptest_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_model-bd571612631de959.d: crates/metrics/tests/proptest_model.rs
+
+/root/repo/target/debug/deps/proptest_model-bd571612631de959: crates/metrics/tests/proptest_model.rs
+
+crates/metrics/tests/proptest_model.rs:

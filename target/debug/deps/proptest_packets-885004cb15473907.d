@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_packets-885004cb15473907.d: crates/gmond/tests/proptest_packets.rs
+
+/root/repo/target/debug/deps/proptest_packets-885004cb15473907: crates/gmond/tests/proptest_packets.rs
+
+crates/gmond/tests/proptest_packets.rs:

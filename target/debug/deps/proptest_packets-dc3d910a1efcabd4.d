@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_packets-dc3d910a1efcabd4.d: crates/gmond/tests/proptest_packets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_packets-dc3d910a1efcabd4.rmeta: crates/gmond/tests/proptest_packets.rs Cargo.toml
+
+crates/gmond/tests/proptest_packets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

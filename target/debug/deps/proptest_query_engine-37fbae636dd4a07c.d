@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_query_engine-37fbae636dd4a07c.d: tests/proptest_query_engine.rs
+
+/root/repo/target/debug/deps/proptest_query_engine-37fbae636dd4a07c: tests/proptest_query_engine.rs
+
+tests/proptest_query_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_query_engine-fad78bf0af7b26d3.d: tests/proptest_query_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_query_engine-fad78bf0af7b26d3.rmeta: tests/proptest_query_engine.rs Cargo.toml
+
+tests/proptest_query_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_regex-b34f83f4ec5c3b25.d: crates/query/tests/proptest_regex.rs
+
+/root/repo/target/debug/deps/proptest_regex-b34f83f4ec5c3b25: crates/query/tests/proptest_regex.rs
+
+crates/query/tests/proptest_regex.rs:

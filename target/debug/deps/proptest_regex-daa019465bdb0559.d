@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_regex-daa019465bdb0559.d: crates/query/tests/proptest_regex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_regex-daa019465bdb0559.rmeta: crates/query/tests/proptest_regex.rs Cargo.toml
+
+crates/query/tests/proptest_regex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

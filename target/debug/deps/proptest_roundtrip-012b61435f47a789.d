@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-012b61435f47a789.d: crates/xml/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-012b61435f47a789: crates/xml/tests/proptest_roundtrip.rs
+
+crates/xml/tests/proptest_roundtrip.rs:

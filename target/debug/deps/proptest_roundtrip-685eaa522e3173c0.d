@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-685eaa522e3173c0.d: crates/xml/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-685eaa522e3173c0.rmeta: crates/xml/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/xml/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

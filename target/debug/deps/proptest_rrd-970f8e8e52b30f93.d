@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rrd-970f8e8e52b30f93.d: crates/rrd/tests/proptest_rrd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rrd-970f8e8e52b30f93.rmeta: crates/rrd/tests/proptest_rrd.rs Cargo.toml
+
+crates/rrd/tests/proptest_rrd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

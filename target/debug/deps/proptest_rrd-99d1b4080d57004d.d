@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rrd-99d1b4080d57004d.d: crates/rrd/tests/proptest_rrd.rs
+
+/root/repo/target/debug/deps/proptest_rrd-99d1b4080d57004d: crates/rrd/tests/proptest_rrd.rs
+
+crates/rrd/tests/proptest_rrd.rs:

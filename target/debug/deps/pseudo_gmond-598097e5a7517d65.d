@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pseudo_gmond-598097e5a7517d65.d: crates/gmond/src/bin/pseudo-gmond.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpseudo_gmond-598097e5a7517d65.rmeta: crates/gmond/src/bin/pseudo-gmond.rs Cargo.toml
+
+crates/gmond/src/bin/pseudo-gmond.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

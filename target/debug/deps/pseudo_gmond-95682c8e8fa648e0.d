@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pseudo_gmond-95682c8e8fa648e0.d: crates/gmond/src/bin/pseudo-gmond.rs
+
+/root/repo/target/debug/deps/pseudo_gmond-95682c8e8fa648e0: crates/gmond/src/bin/pseudo-gmond.rs
+
+crates/gmond/src/bin/pseudo-gmond.rs:

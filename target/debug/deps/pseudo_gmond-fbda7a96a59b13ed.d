@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pseudo_gmond-fbda7a96a59b13ed.d: crates/gmond/src/bin/pseudo-gmond.rs
+
+/root/repo/target/debug/deps/pseudo_gmond-fbda7a96a59b13ed: crates/gmond/src/bin/pseudo-gmond.rs
+
+crates/gmond/src/bin/pseudo-gmond.rs:

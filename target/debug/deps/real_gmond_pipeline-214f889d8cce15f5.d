@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/real_gmond_pipeline-214f889d8cce15f5.d: tests/real_gmond_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreal_gmond_pipeline-214f889d8cce15f5.rmeta: tests/real_gmond_pipeline.rs Cargo.toml
+
+tests/real_gmond_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

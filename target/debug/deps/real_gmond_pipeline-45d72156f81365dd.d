@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_gmond_pipeline-45d72156f81365dd.d: tests/real_gmond_pipeline.rs
+
+/root/repo/target/debug/deps/real_gmond_pipeline-45d72156f81365dd: tests/real_gmond_pipeline.rs
+
+tests/real_gmond_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-21b3bf102f86ee9c.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-21b3bf102f86ee9c: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

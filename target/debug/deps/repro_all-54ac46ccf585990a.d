@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-54ac46ccf585990a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-54ac46ccf585990a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-64d2dc6191c2d31c.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-64d2dc6191c2d31c.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-4d40a37a1e30364a.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-4d40a37a1e30364a: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

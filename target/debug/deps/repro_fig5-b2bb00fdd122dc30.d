@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig5-b2bb00fdd122dc30.d: crates/bench/src/bin/repro_fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig5-b2bb00fdd122dc30.rmeta: crates/bench/src/bin/repro_fig5.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-d326217e4f6e07a3.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-d326217e4f6e07a3: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-59a0386a98d114cc.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-59a0386a98d114cc: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_fig6-cfe3dc6a7369d1cc.d: crates/bench/src/bin/repro_fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig6-cfe3dc6a7369d1cc.rmeta: crates/bench/src/bin/repro_fig6.rs Cargo.toml
+
+crates/bench/src/bin/repro_fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-fcf5d497cb8750a4.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-fcf5d497cb8750a4: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-5efdd21974f59b27.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-5efdd21974f59b27: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

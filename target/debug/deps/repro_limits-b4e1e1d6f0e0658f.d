@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_limits-b4e1e1d6f0e0658f.d: crates/bench/src/bin/repro_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_limits-b4e1e1d6f0e0658f.rmeta: crates/bench/src/bin/repro_limits.rs Cargo.toml
+
+crates/bench/src/bin/repro_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_limits-c24c52f09287741d.d: crates/bench/src/bin/repro_limits.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_limits-c24c52f09287741d.rmeta: crates/bench/src/bin/repro_limits.rs Cargo.toml
+
+crates/bench/src/bin/repro_limits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_limits-ed68bca204c05445.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/debug/deps/repro_limits-ed68bca204c05445: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-564ac93a874bd889.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-564ac93a874bd889: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

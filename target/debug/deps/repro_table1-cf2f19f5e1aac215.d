@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table1-cf2f19f5e1aac215.d: crates/bench/src/bin/repro_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table1-cf2f19f5e1aac215.rmeta: crates/bench/src/bin/repro_table1.rs Cargo.toml
+
+crates/bench/src/bin/repro_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

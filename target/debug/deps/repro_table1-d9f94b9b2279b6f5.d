@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-d9f94b9b2279b6f5.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-d9f94b9b2279b6f5: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

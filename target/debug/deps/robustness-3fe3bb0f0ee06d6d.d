@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-3fe3bb0f0ee06d6d.d: crates/core/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-3fe3bb0f0ee06d6d: crates/core/tests/robustness.rs
+
+crates/core/tests/robustness.rs:

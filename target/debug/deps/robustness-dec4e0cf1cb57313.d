@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-dec4e0cf1cb57313.d: crates/core/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-dec4e0cf1cb57313.rmeta: crates/core/tests/robustness.rs Cargo.toml
+
+crates/core/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

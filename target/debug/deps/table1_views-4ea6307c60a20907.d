@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_views-4ea6307c60a20907.d: crates/bench/benches/table1_views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_views-4ea6307c60a20907.rmeta: crates/bench/benches/table1_views.rs Cargo.toml
+
+crates/bench/benches/table1_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_deployment-29dfc31b4be4471c.d: tests/tcp_deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_deployment-29dfc31b4be4471c.rmeta: tests/tcp_deployment.rs Cargo.toml
+
+tests/tcp_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

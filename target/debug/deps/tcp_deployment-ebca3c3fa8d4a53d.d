@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_deployment-ebca3c3fa8d4a53d.d: tests/tcp_deployment.rs
+
+/root/repo/target/debug/deps/tcp_deployment-ebca3c3fa8d4a53d: tests/tcp_deployment.rs
+
+tests/tcp_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/udp_cluster-3592116a160d4c99.d: crates/gmond/tests/udp_cluster.rs
+
+/root/repo/target/debug/deps/udp_cluster-3592116a160d4c99: crates/gmond/tests/udp_cluster.rs
+
+crates/gmond/tests/udp_cluster.rs:

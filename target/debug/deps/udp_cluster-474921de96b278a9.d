@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/udp_cluster-474921de96b278a9.d: crates/gmond/tests/udp_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libudp_cluster-474921de96b278a9.rmeta: crates/gmond/tests/udp_cluster.rs Cargo.toml
+
+crates/gmond/tests/udp_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alarms-433adc6ec06ac72b.d: examples/alarms.rs
+
+/root/repo/target/debug/examples/alarms-433adc6ec06ac72b: examples/alarms.rs
+
+examples/alarms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alarms-8328ea012f2adc01.d: examples/alarms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalarms-8328ea012f2adc01.rmeta: examples/alarms.rs Cargo.toml
+
+examples/alarms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-88cdce09e1fa7c69.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-88cdce09e1fa7c69: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failover-cc599329363cade4.d: examples/failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailover-cc599329363cade4.rmeta: examples/failover.rs Cargo.toml
+
+examples/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federation-a2e5276150acf25e.d: examples/federation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederation-a2e5276150acf25e.rmeta: examples/federation.rs Cargo.toml
+
+examples/federation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

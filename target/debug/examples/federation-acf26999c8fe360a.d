@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federation-acf26999c8fe360a.d: examples/federation.rs
+
+/root/repo/target/debug/examples/federation-acf26999c8fe360a: examples/federation.rs
+
+examples/federation.rs:

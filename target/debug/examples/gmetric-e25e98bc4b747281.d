@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gmetric-e25e98bc4b747281.d: examples/gmetric.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgmetric-e25e98bc4b747281.rmeta: examples/gmetric.rs Cargo.toml
+
+examples/gmetric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

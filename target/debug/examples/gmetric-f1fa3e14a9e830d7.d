@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gmetric-f1fa3e14a9e830d7.d: examples/gmetric.rs
+
+/root/repo/target/debug/examples/gmetric-f1fa3e14a9e830d7: examples/gmetric.rs
+
+examples/gmetric.rs:

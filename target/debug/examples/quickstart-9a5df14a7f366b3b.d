@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9a5df14a7f366b3b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9a5df14a7f366b3b: examples/quickstart.rs
+
+examples/quickstart.rs:

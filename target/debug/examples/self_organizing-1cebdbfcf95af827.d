@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_organizing-1cebdbfcf95af827.d: examples/self_organizing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_organizing-1cebdbfcf95af827.rmeta: examples/self_organizing.rs Cargo.toml
+
+examples/self_organizing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_organizing-456fa5f4052f96e6.d: examples/self_organizing.rs
+
+/root/repo/target/debug/examples/self_organizing-456fa5f4052f96e6: examples/self_organizing.rs
+
+examples/self_organizing.rs:

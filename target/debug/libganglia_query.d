@@ -1,0 +1,1 @@
+/root/repo/target/debug/libganglia_query.rlib: /root/repo/crates/query/src/error.rs /root/repo/crates/query/src/lib.rs /root/repo/crates/query/src/path.rs /root/repo/crates/query/src/regex_lite.rs

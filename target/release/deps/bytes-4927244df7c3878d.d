@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-4927244df7c3878d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-4927244df7c3878d.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-4927244df7c3878d.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-b3688458fdba2508.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b3688458fdba2508.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b3688458fdba2508.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

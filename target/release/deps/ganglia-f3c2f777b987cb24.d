@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ganglia-f3c2f777b987cb24.d: src/lib.rs
+
+/root/repo/target/release/deps/libganglia-f3c2f777b987cb24.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libganglia-f3c2f777b987cb24.rmeta: src/lib.rs
+
+src/lib.rs:

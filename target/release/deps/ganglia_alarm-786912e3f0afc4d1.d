@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ganglia_alarm-786912e3f0afc4d1.d: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+/root/repo/target/release/deps/libganglia_alarm-786912e3f0afc4d1.rlib: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+/root/repo/target/release/deps/libganglia_alarm-786912e3f0afc4d1.rmeta: crates/alarm/src/lib.rs crates/alarm/src/engine.rs crates/alarm/src/rule.rs crates/alarm/src/sink.rs
+
+crates/alarm/src/lib.rs:
+crates/alarm/src/engine.rs:
+crates/alarm/src/rule.rs:
+crates/alarm/src/sink.rs:

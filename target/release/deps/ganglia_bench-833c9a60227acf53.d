@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ganglia_bench-833c9a60227acf53.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libganglia_bench-833c9a60227acf53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libganglia_bench-833c9a60227acf53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

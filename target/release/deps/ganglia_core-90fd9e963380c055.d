@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ganglia_core-90fd9e963380c055.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libganglia_core-90fd9e963380c055.rlib: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libganglia_core-90fd9e963380c055.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/conf.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/gmetad.rs crates/core/src/health.rs crates/core/src/instrument.rs crates/core/src/join.rs crates/core/src/poller.rs crates/core/src/query_engine.rs crates/core/src/sha256.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/conf.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/gmetad.rs:
+crates/core/src/health.rs:
+crates/core/src/instrument.rs:
+crates/core/src/join.rs:
+crates/core/src/poller.rs:
+crates/core/src/query_engine.rs:
+crates/core/src/sha256.rs:
+crates/core/src/store.rs:

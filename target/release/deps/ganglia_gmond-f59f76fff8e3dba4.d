@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ganglia_gmond-f59f76fff8e3dba4.d: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+/root/repo/target/release/deps/libganglia_gmond-f59f76fff8e3dba4.rlib: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+/root/repo/target/release/deps/libganglia_gmond-f59f76fff8e3dba4.rmeta: crates/gmond/src/lib.rs crates/gmond/src/agent.rs crates/gmond/src/channel.rs crates/gmond/src/cluster.rs crates/gmond/src/conf.rs crates/gmond/src/config.rs crates/gmond/src/packet.rs crates/gmond/src/proc_source.rs crates/gmond/src/pseudo.rs crates/gmond/src/source.rs crates/gmond/src/udp.rs
+
+crates/gmond/src/lib.rs:
+crates/gmond/src/agent.rs:
+crates/gmond/src/channel.rs:
+crates/gmond/src/cluster.rs:
+crates/gmond/src/conf.rs:
+crates/gmond/src/config.rs:
+crates/gmond/src/packet.rs:
+crates/gmond/src/proc_source.rs:
+crates/gmond/src/pseudo.rs:
+crates/gmond/src/source.rs:
+crates/gmond/src/udp.rs:

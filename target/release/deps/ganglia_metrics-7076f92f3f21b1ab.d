@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ganglia_metrics-7076f92f3f21b1ab.d: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+/root/repo/target/release/deps/libganglia_metrics-7076f92f3f21b1ab.rlib: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+/root/repo/target/release/deps/libganglia_metrics-7076f92f3f21b1ab.rmeta: crates/metrics/src/lib.rs crates/metrics/src/codec.rs crates/metrics/src/definition.rs crates/metrics/src/model.rs crates/metrics/src/slope.rs crates/metrics/src/value.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/codec.rs:
+crates/metrics/src/definition.rs:
+crates/metrics/src/model.rs:
+crates/metrics/src/slope.rs:
+crates/metrics/src/value.rs:

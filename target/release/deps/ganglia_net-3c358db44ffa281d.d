@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ganglia_net-3c358db44ffa281d.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libganglia_net-3c358db44ffa281d.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libganglia_net-3c358db44ffa281d.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/error.rs crates/net/src/mcast.rs crates/net/src/rng.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/tcp.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/error.rs:
+crates/net/src/mcast.rs:
+crates/net/src/rng.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/tcp.rs:
+crates/net/src/transport.rs:

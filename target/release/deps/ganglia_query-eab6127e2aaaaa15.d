@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ganglia_query-eab6127e2aaaaa15.d: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+/root/repo/target/release/deps/libganglia_query-eab6127e2aaaaa15.rlib: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+/root/repo/target/release/deps/libganglia_query-eab6127e2aaaaa15.rmeta: crates/query/src/lib.rs crates/query/src/error.rs crates/query/src/path.rs crates/query/src/regex_lite.rs
+
+crates/query/src/lib.rs:
+crates/query/src/error.rs:
+crates/query/src/path.rs:
+crates/query/src/regex_lite.rs:

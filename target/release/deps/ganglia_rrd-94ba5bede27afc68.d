@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ganglia_rrd-94ba5bede27afc68.d: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+/root/repo/target/release/deps/libganglia_rrd-94ba5bede27afc68.rlib: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+/root/repo/target/release/deps/libganglia_rrd-94ba5bede27afc68.rmeta: crates/rrd/src/lib.rs crates/rrd/src/cache.rs crates/rrd/src/error.rs crates/rrd/src/file.rs crates/rrd/src/rrd.rs crates/rrd/src/spec.rs crates/rrd/src/xport.rs
+
+crates/rrd/src/lib.rs:
+crates/rrd/src/cache.rs:
+crates/rrd/src/error.rs:
+crates/rrd/src/file.rs:
+crates/rrd/src/rrd.rs:
+crates/rrd/src/spec.rs:
+crates/rrd/src/xport.rs:

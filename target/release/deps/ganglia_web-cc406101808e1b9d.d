@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ganglia_web-cc406101808e1b9d.d: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+/root/repo/target/release/deps/libganglia_web-cc406101808e1b9d.rlib: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+/root/repo/target/release/deps/libganglia_web-cc406101808e1b9d.rmeta: crates/web/src/lib.rs crates/web/src/client.rs crates/web/src/frontend.rs crates/web/src/history.rs crates/web/src/render.rs crates/web/src/sparkline.rs crates/web/src/timing.rs crates/web/src/views.rs
+
+crates/web/src/lib.rs:
+crates/web/src/client.rs:
+crates/web/src/frontend.rs:
+crates/web/src/history.rs:
+crates/web/src/render.rs:
+crates/web/src/sparkline.rs:
+crates/web/src/timing.rs:
+crates/web/src/views.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ganglia_xml-3fc3d46f978ca90f.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libganglia_xml-3fc3d46f978ca90f.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libganglia_xml-3fc3d46f978ca90f.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/dtd.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/names.rs crates/xml/src/pull.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/dtd.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/names.rs:
+crates/xml/src/pull.rs:
+crates/xml/src/writer.rs:

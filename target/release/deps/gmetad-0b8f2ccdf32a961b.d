@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmetad-0b8f2ccdf32a961b.d: crates/core/src/bin/gmetad.rs
+
+/root/repo/target/release/deps/gmetad-0b8f2ccdf32a961b: crates/core/src/bin/gmetad.rs
+
+crates/core/src/bin/gmetad.rs:

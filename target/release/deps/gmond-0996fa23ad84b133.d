@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmond-0996fa23ad84b133.d: crates/gmond/src/bin/gmond.rs
+
+/root/repo/target/release/deps/gmond-0996fa23ad84b133: crates/gmond/src/bin/gmond.rs
+
+crates/gmond/src/bin/gmond.rs:

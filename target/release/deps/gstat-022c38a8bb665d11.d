@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gstat-022c38a8bb665d11.d: crates/web/src/bin/gstat.rs
+
+/root/repo/target/release/deps/gstat-022c38a8bb665d11: crates/web/src/bin/gstat.rs
+
+crates/web/src/bin/gstat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pseudo_gmond-c4e1ca31b37c1979.d: crates/gmond/src/bin/pseudo-gmond.rs
+
+/root/repo/target/release/deps/pseudo_gmond-c4e1ca31b37c1979: crates/gmond/src/bin/pseudo-gmond.rs
+
+crates/gmond/src/bin/pseudo-gmond.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1c7b8609c4455b6e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1c7b8609c4455b6e.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1c7b8609c4455b6e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-feaa5d837b363bde.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-feaa5d837b363bde: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

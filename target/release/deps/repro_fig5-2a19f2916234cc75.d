@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig5-2a19f2916234cc75.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/release/deps/repro_fig5-2a19f2916234cc75: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig6-a1dc2a123a6e989a.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/release/deps/repro_fig6-a1dc2a123a6e989a: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

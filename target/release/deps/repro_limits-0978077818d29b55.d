@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_limits-0978077818d29b55.d: crates/bench/src/bin/repro_limits.rs
+
+/root/repo/target/release/deps/repro_limits-0978077818d29b55: crates/bench/src/bin/repro_limits.rs
+
+crates/bench/src/bin/repro_limits.rs:

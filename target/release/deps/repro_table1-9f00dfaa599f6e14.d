@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-9f00dfaa599f6e14.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-9f00dfaa599f6e14: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

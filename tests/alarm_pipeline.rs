@@ -1,9 +1,7 @@
 //! Alarms driven by live monitoring data: the engine watches the sdsc
 //! gmeta's meta view across poll rounds and pages on real transitions.
 
-use ganglia::alarm::{
-    AlarmEngine, AlarmKind, Comparison, Matcher, MemorySink, Rule, Signal,
-};
+use ganglia::alarm::{AlarmEngine, AlarmKind, Comparison, Matcher, MemorySink, Rule, Signal};
 use ganglia::metrics::parse_document;
 use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
 
@@ -68,7 +66,10 @@ fn load_alarm_fires_on_injected_hot_cluster_and_clears() {
     let events = engine.evaluate(&parse_document(hot).unwrap(), 60, &sink);
     assert_eq!(events.len(), 1);
     assert_eq!(events[0].kind, AlarmKind::Raised);
-    assert_eq!(engine.firing(), vec![("load-high".into(), "sdsc-c0".into())]);
+    assert_eq!(
+        engine.firing(),
+        vec![("load-high".into(), "sdsc-c0".into())]
+    );
 
     // Back to live (calm) data: the alarm clears.
     deployment.run_rounds(1);

@@ -11,10 +11,7 @@ use ganglia::net::SimNet;
 use ganglia::rrd::{ConsolidationFn, MetricKey, RrdSet};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "ganglia-test-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("ganglia-test-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -25,7 +22,7 @@ fn archives_flush_and_reload() {
     let net = SimNet::new(1);
     let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 4, 7, 0), 1);
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()))
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap())
         .with_archive(ArchiveMode::Directory(dir.clone()));
     let gmetad = Gmetad::new(config);
     for round in 1..=5u64 {
@@ -38,7 +35,11 @@ fn archives_flush_and_reload() {
         .expect("history exists");
     let flushed = gmetad.flush_archives().expect("flush succeeds");
     assert_eq!(flushed, gmetad.archive_count());
-    assert!(dir.join("meteor").join("meteor-0002").join("load_one.rrd").exists());
+    assert!(dir
+        .join("meteor")
+        .join("meteor-0002")
+        .join("load_one.rrd")
+        .exists());
 
     // "Restart": load the directory into a fresh set.
     let mut restored = RrdSet::new().persist_to(&dir);
@@ -62,7 +63,7 @@ fn downtime_zero_records_survive_persistence() {
     let net = SimNet::new(1);
     let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 3, 7, 0), 1);
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()))
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap())
         .with_archive(ArchiveMode::Directory(dir.clone()));
     let gmetad = Gmetad::new(config);
 
@@ -89,10 +90,7 @@ fn downtime_zero_records_survive_persistence() {
         .expect("fetch ok");
     // The partition interval (t in (30, 75]) reads as unknown; the
     // healthy edges are known — exactly the time-of-death picture.
-    let by_time: Vec<(u64, bool)> = series
-        .points()
-        .map(|(t, v)| (t, v.is_nan()))
-        .collect();
+    let by_time: Vec<(u64, bool)> = series.points().map(|(t, v)| (t, v.is_nan())).collect();
     for (t, is_unknown) in by_time {
         // t=15 is the bootstrap row (the database was created mid-step,
         // so its first primary data point is mostly unknown).
@@ -114,7 +112,7 @@ fn archive_memory_footprint_is_constant() {
     let net = SimNet::new(1);
     let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 2, 7, 0), 1);
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()));
+        .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap());
     let gmetad = Gmetad::new(config);
     let size_at = |gmetad: &Arc<Gmetad>| -> usize {
         // Probe one database via its public fetch path: constant size is

@@ -3,11 +3,17 @@
 //! sequences — "failures do not cause permanent fissures in the
 //! monitoring tree" (§2.1).
 //!
+//! The fault mix covers the whole taxonomy: cluster partitions, monitor
+//! stop failures, node stop failures, intermittent drops (flakiness),
+//! injected latency past the fetch timeout, truncated responses, and
+//! garbage (non-XML) responses.
+//!
 //! Invariants checked every round:
 //! * every query response parses and is DTD-conformant;
-//! * the root's host total never exceeds the real host population and
-//!   never goes to zero while at least one source is fresh;
+//! * the root's host total never exceeds the real host population;
 //! * once all faults heal, the tree returns to exact ground truth.
+
+use std::time::Duration;
 
 use ganglia::core::TreeMode;
 use ganglia::metrics::parse_document;
@@ -15,8 +21,26 @@ use ganglia::net::rng::SplitMix64;
 use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
 use ganglia::xml::dtd::validate;
 
-#[test]
-fn tree_survives_random_fault_schedules() {
+/// A fault injected on one serving node of one cluster, so it can be
+/// cleared later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SoftFault {
+    Flaky,
+    Latency,
+    Truncation,
+    Garbage,
+}
+
+fn clear_soft_fault(deployment: &Deployment, fault: SoftFault, cluster: &str, node: usize) {
+    match fault {
+        SoftFault::Flaky => deployment.set_cluster_node_flakiness(cluster, node, 0.0),
+        SoftFault::Latency => deployment.set_cluster_node_latency(cluster, node, Duration::ZERO),
+        SoftFault::Truncation => deployment.set_cluster_node_truncation(cluster, node, None),
+        SoftFault::Garbage => deployment.set_cluster_node_garbage(cluster, node, false),
+    }
+}
+
+fn run_chaos(seed: u64) {
     let hosts = 6;
     let mut deployment = Deployment::build(
         fig2_tree(hosts),
@@ -25,7 +49,7 @@ fn tree_survives_random_fault_schedules() {
     deployment.run_rounds(1);
     let total_hosts = (12 * hosts) as u32;
 
-    let mut rng = SplitMix64::new(0xC0FFEE);
+    let mut rng = SplitMix64::new(seed);
     let cluster_names: Vec<String> = deployment
         .tree()
         .monitors
@@ -42,10 +66,11 @@ fn tree_survives_random_fault_schedules() {
     // Track injected faults so they can all be healed at the end.
     let mut partitioned: Vec<String> = Vec::new();
     let mut downed_monitors: Vec<String> = Vec::new();
+    let mut soft_faults: Vec<(SoftFault, String, usize)> = Vec::new();
 
     for round in 0..30 {
         // Inject or heal something, randomly.
-        match rng.next_u64() % 5 {
+        match rng.next_u64() % 7 {
             0 => {
                 let c = &cluster_names[(rng.next_u64() % 12) as usize];
                 if !partitioned.contains(c) {
@@ -70,11 +95,39 @@ fn tree_survives_random_fault_schedules() {
                     deployment.set_monitor_down(&m, false);
                 }
             }
-            _ => {
+            4 => {
                 // Node-level stop failure + recovery within the round:
                 // fail-over should mask it completely.
                 let c = &cluster_names[(rng.next_u64() % 12) as usize];
                 deployment.kill_cluster_node(c, 0);
+            }
+            5 => {
+                // One of the subtler faults on a random serving node.
+                let c = cluster_names[(rng.next_u64() % 12) as usize].clone();
+                let node = (rng.next_u64() % 2) as usize;
+                let fault = match rng.next_u64() % 4 {
+                    0 => SoftFault::Flaky,
+                    1 => SoftFault::Latency,
+                    2 => SoftFault::Truncation,
+                    _ => SoftFault::Garbage,
+                };
+                match fault {
+                    SoftFault::Flaky => deployment.set_cluster_node_flakiness(&c, node, 0.5),
+                    SoftFault::Latency => {
+                        // Far past the 10s default fetch timeout.
+                        deployment.set_cluster_node_latency(&c, node, Duration::from_secs(30))
+                    }
+                    SoftFault::Truncation => {
+                        deployment.set_cluster_node_truncation(&c, node, Some(100))
+                    }
+                    SoftFault::Garbage => deployment.set_cluster_node_garbage(&c, node, true),
+                }
+                soft_faults.push((fault, c, node));
+            }
+            _ => {
+                if let Some((fault, c, node)) = soft_faults.pop() {
+                    clear_soft_fault(&deployment, fault, &c, node);
+                }
             }
         }
         deployment.run_rounds(1);
@@ -83,15 +136,19 @@ fn tree_survives_random_fault_schedules() {
         for monitor in ["root", "ucsd", "sdsc"] {
             let xml = deployment.monitor(monitor).query("/?filter=summary");
             let doc = parse_document(&xml)
-                .unwrap_or_else(|e| panic!("round {round}, {monitor}: {e}"));
+                .unwrap_or_else(|e| panic!("seed {seed:#x}, round {round}, {monitor}: {e}"));
             assert!(
                 validate(&xml).is_empty(),
-                "round {round}, {monitor}: DTD violation"
+                "seed {seed:#x}, round {round}, {monitor}: DTD violation"
             );
-            let total = deployment.monitor(monitor).store().root_summary().hosts_total();
+            let total = deployment
+                .monitor(monitor)
+                .store()
+                .root_summary()
+                .hosts_total();
             assert!(
                 total <= total_hosts,
-                "round {round}, {monitor}: impossible host total {total}"
+                "seed {seed:#x}, round {round}, {monitor}: impossible host total {total}"
             );
             let _ = doc;
         }
@@ -108,10 +165,139 @@ fn tree_survives_random_fault_schedules() {
     for m in downed_monitors.drain(..) {
         deployment.set_monitor_down(&m, false);
     }
+    for (fault, c, node) in soft_faults.drain(..) {
+        clear_soft_fault(&deployment, fault, &c, node);
+    }
     deployment.run_rounds(2);
     let summary = deployment.monitor("root").store().root_summary();
-    assert_eq!(summary.hosts_total(), total_hosts, "full recovery");
-    assert_eq!(summary.hosts_up, total_hosts);
+    assert_eq!(
+        summary.hosts_total(),
+        total_hosts,
+        "seed {seed:#x}: full recovery"
+    );
+    assert_eq!(summary.hosts_up, total_hosts, "seed {seed:#x}");
     let cpu = summary.metric("cpu_num").expect("summarized");
-    assert_eq!(cpu.num, total_hosts);
+    assert_eq!(cpu.num, total_hosts, "seed {seed:#x}");
+}
+
+#[test]
+fn tree_survives_random_fault_schedules() {
+    run_chaos(0xC0FFEE);
+}
+
+#[test]
+fn tree_survives_random_fault_schedules_seed_badfood() {
+    run_chaos(0xBAD_F00D);
+}
+
+#[test]
+fn tree_survives_random_fault_schedules_seed_5eed() {
+    run_chaos(0x5EED);
+}
+
+/// The full breaker lifecycle, end to end: fail → backoff →
+/// breaker-open → half-open probe → recovery — with no poll storm while
+/// open, the outage propagated to the root's summary, unknown samples
+/// archived during the downtime, and exact ground truth after healing.
+#[test]
+fn breaker_cycle_bounds_probes_and_recovers() {
+    use ganglia::core::{BreakerState, DataSourceCfg, Gmetad, GmetadConfig, SourceStatus};
+    use ganglia::gmond::pseudo::ServedPseudoCluster;
+    use ganglia::gmond::PseudoGmond;
+    use ganglia::net::{Addr, SimNet};
+
+    let net = SimNet::new(7);
+    // 4 redundant endpoints: exactly the setup where a dead source
+    // would cost 4 timeouts per round without circuit breaking.
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 8, 42, 0), 4);
+    let sdsc = Gmetad::new(
+        GmetadConfig::new("sdsc")
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap()),
+    );
+    let _guard = sdsc.serve_on(&net, &Addr::new("sdsc-gmeta")).unwrap();
+    let root = Gmetad::new(
+        GmetadConfig::new("root")
+            .with_source(DataSourceCfg::new("sdsc", vec![Addr::new("sdsc-gmeta")]).unwrap()),
+    );
+    let poll = |now: u64| {
+        // Bottom-up, like the deployment driver.
+        sdsc.poll_all(&net, now);
+        root.poll_all(&net, now);
+    };
+    poll(15);
+    assert_eq!(root.store().root_summary().hosts_up, 8);
+
+    // -- fail ------------------------------------------------------------
+    net.partition_prefix("meteor", true);
+    let failures_at = |addr: &Addr| net.stats().get(addr).failures;
+    let baseline: u64 = served.addrs().iter().map(failures_at).sum();
+    let rounds = 24u64; // 360 seconds of outage
+    for round in 1..=rounds {
+        poll(15 + round * 15);
+    }
+
+    // -- no poll storm while open ---------------------------------------
+    // Without breakers every round costs one timeout per endpoint.
+    let attempts: u64 = served.addrs().iter().map(failures_at).sum::<u64>() - baseline;
+    let storm = rounds * served.addrs().len() as u64;
+    assert!(attempts < storm / 2, "poll storm: {attempts} of {storm}");
+    // Steady retry (§2.1): at least one probe every round, forever.
+    assert!(
+        attempts >= rounds,
+        "steady retry broken: {attempts} < {rounds}"
+    );
+    // And each endpoint is bounded by its own backoff schedule:
+    // threshold failures plus the reopen ladder, nowhere near 24.
+    for addr in served.addrs() {
+        assert!(
+            failures_at(addr) <= 12,
+            "endpoint {addr} hammered: {} attempts",
+            failures_at(addr)
+        );
+    }
+
+    // -- breaker open, outage visible everywhere ------------------------
+    let stats = sdsc.poller_stats();
+    assert!(
+        matches!(stats[0].breaker, BreakerState::Open { .. }),
+        "expected an open breaker, got {}",
+        stats[0].breaker
+    );
+    assert_eq!(stats[0].consecutive_failures, rounds as u32);
+    assert!(matches!(
+        sdsc.store().get("meteor").unwrap().status,
+        SourceStatus::Down { .. }
+    ));
+    // hosts_down propagated through sdsc's report into the root summary.
+    assert_eq!(root.store().get("sdsc").unwrap().summary.hosts_down, 8);
+    assert_eq!(root.store().root_summary().hosts_down, 8);
+    assert_eq!(root.store().root_summary().hosts_up, 0);
+
+    // -- RRD unknown samples during downtime ----------------------------
+    let updates_mid_outage = sdsc.archive_updates();
+    poll(15 + (rounds + 1) * 15);
+    assert!(
+        sdsc.archive_updates() > updates_mid_outage,
+        "downtime must still write unknown samples"
+    );
+
+    // -- half-open probe → recovery -------------------------------------
+    net.partition_prefix("meteor", false);
+    let heal_at = 15 + (rounds + 2) * 15;
+    poll(heal_at);
+    let stats = sdsc.poller_stats();
+    assert_eq!(
+        stats[0].breaker,
+        BreakerState::Closed,
+        "probe closed the breaker"
+    );
+    assert_eq!(stats[0].consecutive_failures, 0);
+
+    // -- exact ground truth after heal ----------------------------------
+    let state = sdsc.store().get("meteor").unwrap();
+    assert_eq!(state.status, SourceStatus::Fresh);
+    assert_eq!(state.host_count(), 8);
+    assert_eq!(state.summary.hosts_up, 8);
+    assert_eq!(root.store().root_summary().hosts_up, 8);
+    assert_eq!(root.store().root_summary().hosts_down, 0);
 }

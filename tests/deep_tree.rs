@@ -39,11 +39,7 @@ fn summaries_are_exact_through_four_levels() {
     // Every monitor's rollup covers exactly its subtree.
     for (monitor, expected_hosts) in [("l3", 7), ("l2", 14), ("l1", 21), ("root", 28)] {
         let summary = deployment.monitor(monitor).store().root_summary();
-        assert_eq!(
-            summary.hosts_total(),
-            expected_hosts,
-            "at {monitor}"
-        );
+        assert_eq!(summary.hosts_total(), expected_hosts, "at {monitor}");
         let cpu = summary.metric("cpu_num").expect("summarized");
         assert_eq!(cpu.num, expected_hosts);
     }
@@ -123,8 +119,10 @@ fn wide_trees_scale_sources_not_state() {
             local_clusters: clusters,
         }],
     };
-    let mut deployment =
-        Deployment::build(tree, DeploymentParams::default().with_mode(TreeMode::NLevel));
+    let mut deployment = Deployment::build(
+        tree,
+        DeploymentParams::default().with_mode(TreeMode::NLevel),
+    );
     deployment.run_rounds(1);
     let hub = deployment.monitor("hub");
     assert_eq!(hub.store().len(), 30);

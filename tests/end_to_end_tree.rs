@@ -14,10 +14,7 @@ fn ground_truth(deployment: &Deployment, metric: &str) -> (f64, u32) {
     let mut hosts = 0;
     for monitor in &deployment.tree().monitors {
         for cluster in &monitor.local_clusters {
-            let addr = ganglia::net::Addr::new(format!(
-                "{0}/{0}-node-0",
-                cluster.name
-            ));
+            let addr = ganglia::net::Addr::new(format!("{0}/{0}-node-0", cluster.name));
             let xml = ganglia::net::transport::Transport::fetch(
                 deployment.net(),
                 &addr,
@@ -94,15 +91,23 @@ fn multiple_resolution_views_are_consistent() {
     // Resolution 1: the root's coarse summary of the sdsc grid.
     let root_xml = deployment.monitor("root").query("/sdsc");
     let doc = parse_document(&root_xml).expect("well-formed");
-    let GridItem::Grid(self_grid) = &doc.items[0] else { panic!() };
-    let GridBody::Items(items) = &self_grid.body else { panic!() };
-    let GridItem::Grid(sdsc_summary) = &items[0] else { panic!() };
+    let GridItem::Grid(self_grid) = &doc.items[0] else {
+        panic!()
+    };
+    let GridBody::Items(items) = &self_grid.body else {
+        panic!()
+    };
+    let GridItem::Grid(sdsc_summary) = &items[0] else {
+        panic!()
+    };
     let coarse = sdsc_summary.summary();
 
     // Resolution 2: ask the authority (sdsc itself) and reduce.
     let sdsc_xml = deployment.monitor("sdsc").query("/");
     let sdsc_doc = parse_document(&sdsc_xml).expect("well-formed");
-    let GridItem::Grid(sdsc_grid) = &sdsc_doc.items[0] else { panic!() };
+    let GridItem::Grid(sdsc_grid) = &sdsc_doc.items[0] else {
+        panic!()
+    };
     let fine = sdsc_grid.summary();
 
     assert_eq!(coarse.hosts_total(), fine.hosts_total());
@@ -145,22 +150,14 @@ fn upstream_traffic_is_bounded_by_summaries() {
         DeploymentParams::default().with_mode(TreeMode::NLevel),
     );
     n.run_rounds(1);
-    let n_bytes = n
-        .net()
-        .stats()
-        .get(&n.gmeta_addr("ucsd"))
-        .bytes_served;
+    let n_bytes = n.net().stats().get(&n.gmeta_addr("ucsd")).bytes_served;
 
     let mut one = Deployment::build(
         fig2_tree(40),
         DeploymentParams::default().with_mode(TreeMode::OneLevel),
     );
     one.run_rounds(1);
-    let one_bytes = one
-        .net()
-        .stats()
-        .get(&one.gmeta_addr("ucsd"))
-        .bytes_served;
+    let one_bytes = one.net().stats().get(&one.gmeta_addr("ucsd")).bytes_served;
 
     // ucsd reports its two local clusters at full detail either way;
     // the saving comes from its four descendant clusters (physics's and

@@ -44,7 +44,11 @@ fn joins_over_the_network_grow_the_grid() {
     for (name, served) in [("meteor", &meteor), ("nashi", &nashi)] {
         let msg = join_message(name, served.addrs(), 10, SECRET);
         let reply = net
-            .fetch(&Addr::new("root-join"), &msg, std::time::Duration::from_secs(1))
+            .fetch(
+                &Addr::new("root-join"),
+                &msg,
+                std::time::Duration::from_secs(1),
+            )
             .expect("join port reachable");
         assert_eq!(reply, "OK");
     }
@@ -58,7 +62,11 @@ fn joins_over_the_network_grow_the_grid() {
     // A forged join is refused over the wire.
     let forged = join_message("evil", &[Addr::new("evil/n0")], 10, b"wrong");
     let reply = net
-        .fetch(&Addr::new("root-join"), &forged, std::time::Duration::from_secs(1))
+        .fetch(
+            &Addr::new("root-join"),
+            &forged,
+            std::time::Duration::from_secs(1),
+        )
         .expect("port reachable");
     assert!(reply.starts_with("ERR"), "{reply}");
     assert_eq!(parent.source_names().len(), 2);
@@ -67,8 +75,12 @@ fn joins_over_the_network_grow_the_grid() {
     for t in [60u64, 110, 160] {
         *clock.lock() = t;
         let msg = join_message("meteor", meteor.addrs(), t, SECRET);
-        net.fetch(&Addr::new("root-join"), &msg, std::time::Duration::from_secs(1))
-            .expect("refresh");
+        net.fetch(
+            &Addr::new("root-join"),
+            &msg,
+            std::time::Duration::from_secs(1),
+        )
+        .expect("refresh");
     }
     let pruned = manager.prune(170);
     assert_eq!(pruned, vec!["nashi"]);
@@ -95,6 +107,6 @@ fn join_failover_addresses_are_honoured() {
     for result in parent.poll_all(&net, 15) {
         result.expect("failover through joined addresses");
     }
-    assert_eq!(parent.poller_stats()[0].3, 1, "one failover round");
+    assert_eq!(parent.poller_stats()[0].failovers, 1, "one failover round");
     assert_eq!(parent.store().root_summary().hosts_total(), 4);
 }

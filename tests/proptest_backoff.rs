@@ -1,0 +1,87 @@
+//! Property tests for the endpoint backoff schedule (§2.1 failure
+//! handling): for any valid policy and any endpoint address,
+//!
+//! * the schedule is monotone non-decreasing in the opening step;
+//! * no delay ever exceeds `retry_backoff_max_secs`;
+//! * after any failure at time `t`, the breaker re-admits a probe no
+//!   later than `t + retry_backoff_max_secs` — so once an endpoint
+//!   recovers, the half-open probe that notices fires within one cap
+//!   interval.
+
+use ganglia::core::health::endpoint_seed;
+use ganglia::core::{BreakerState, EndpointHealth, RetryPolicy};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u64..1000, 0u64..100_000, 1u32..10).prop_map(|(base, extra, threshold)| RetryPolicy {
+        backoff_base_secs: base,
+        backoff_max_secs: base + extra,
+        breaker_threshold: threshold,
+    })
+}
+
+proptest! {
+    #[test]
+    fn schedule_is_monotone_and_never_exceeds_cap(
+        policy in policy_strategy(),
+        addr in "[a-z0-9./:-]{1,24}",
+    ) {
+        prop_assert!(policy.validate().is_ok());
+        let health = EndpointHealth::new(endpoint_seed(&addr));
+        let mut previous = 0u64;
+        for step in 1..200u32 {
+            let delay = health.backoff_delay(step, &policy);
+            prop_assert!(
+                delay >= previous,
+                "step {step}: {delay} < previous {previous}"
+            );
+            prop_assert!(
+                delay <= policy.backoff_max_secs,
+                "step {step}: {delay} beyond cap {}",
+                policy.backoff_max_secs
+            );
+            previous = delay;
+        }
+        // The cap is reached, not just approached: the schedule cannot
+        // stall below it forever.
+        prop_assert_eq!(previous, policy.backoff_max_secs);
+    }
+
+    #[test]
+    fn probe_is_admitted_within_one_cap_interval_of_any_failure(
+        policy in policy_strategy(),
+        addr in "[a-z0-9./:-]{1,24}",
+        gaps in proptest::collection::vec(0u64..500, 1..40),
+    ) {
+        let mut health = EndpointHealth::new(endpoint_seed(&addr));
+        let mut now = 0u64;
+        for gap in gaps {
+            now += gap;
+            // Attempts only happen when the breaker admits them.
+            if !health.allows_attempt(now) {
+                continue;
+            }
+            health.begin_attempt(now);
+            health.record_failure(now, &policy);
+            let horizon = now + policy.backoff_max_secs;
+            prop_assert!(
+                health.allows_attempt(horizon),
+                "failure at {now}: no probe admitted by {horizon} ({})",
+                health.breaker
+            );
+            if let BreakerState::Open { until } = health.breaker {
+                prop_assert!(until >= now, "deadline in the past");
+                prop_assert!(
+                    until - now <= policy.backoff_max_secs,
+                    "deadline {until} more than one cap past {now}"
+                );
+                prop_assert!(!health.allows_attempt(until.saturating_sub(1)));
+            }
+        }
+        // Recovery is immediate: one success closes the breaker fully.
+        health.record_success(now);
+        prop_assert_eq!(health.breaker, BreakerState::Closed);
+        prop_assert_eq!(health.consecutive_failures, 0);
+        prop_assert!(health.allows_attempt(now));
+    }
+}

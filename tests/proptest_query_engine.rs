@@ -19,7 +19,10 @@ fn store_strategy() -> impl Strategy<Value = Store> {
         (
             name_strategy(),
             proptest::collection::vec(
-                (name_strategy(), proptest::collection::vec(0.0f64..100.0, 0..5)),
+                (
+                    name_strategy(),
+                    proptest::collection::vec(0.0f64..100.0, 0..5),
+                ),
                 0..6,
             ),
         ),
@@ -35,20 +38,16 @@ fn store_strategy() -> impl Strategy<Value = Store> {
                 .into_iter()
                 .enumerate()
                 .map(|(h, (host_name, values))| {
-                    let mut host =
-                        HostNode::new(format!("{host_name}-{h}"), "10.0.0.1");
+                    let mut host = HostNode::new(format!("{host_name}-{h}"), "10.0.0.1");
                     host.metrics = values
                         .into_iter()
                         .enumerate()
-                        .map(|(m, v)| {
-                            MetricEntry::new(format!("m{m}"), MetricValue::Double(v))
-                        })
+                        .map(|(m, v)| MetricEntry::new(format!("m{m}"), MetricValue::Double(v)))
                         .collect();
                     host
                 })
                 .collect();
-            let doc =
-                GangliaDoc::gmond(ClusterNode::with_hosts(source_name.clone(), host_nodes));
+            let doc = GangliaDoc::gmond(ClusterNode::with_hosts(source_name.clone(), host_nodes));
             store.replace(poller::build_state(
                 &source_name,
                 doc,
@@ -67,8 +66,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
         Just("/".to_string()),
         Just("/?filter=summary".to_string()),
         "[/a-z0-9~.*?()\\[\\]-]{0,24}",
-        ("[a-z0-9-]{1,8}", "[a-z0-9-]{1,8}")
-            .prop_map(|(a, b)| format!("/{a}/{b}")),
+        ("[a-z0-9-]{1,8}", "[a-z0-9-]{1,8}").prop_map(|(a, b)| format!("/{a}/{b}")),
         "[a-z-]{1,8}".prop_map(|a| format!("/~{a}.*")),
     ]
 }

@@ -16,7 +16,7 @@ fn deploy(nodes: usize) -> (Arc<SimNet>, SimCluster, Arc<Gmetad>) {
     let mut cluster = SimCluster::new(&net, GmondConfig::new("alpha"), nodes, 3, 0);
     cluster.run(0, 60, 20); // three scheduling rounds
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("alpha", cluster.addrs()));
+        .with_source(DataSourceCfg::new("alpha", cluster.addrs()).unwrap());
     let gmetad = Gmetad::new(config);
     (net, cluster, gmetad)
 }
@@ -49,7 +49,7 @@ fn node_stop_failure_is_masked_by_failover_and_visible_in_liveness() {
         result.expect("failover masks the stop failure");
     }
     let stats = gmetad.poller_stats();
-    assert_eq!(stats[0].3, 1, "exactly one failover");
+    assert_eq!(stats[0].failovers, 1, "exactly one failover");
 
     // The dead host is still reported (neighbors keep its state) but
     // counted down once its heartbeat ages out.
@@ -59,11 +59,7 @@ fn node_stop_failure_is_masked_by_failover_and_visible_in_liveness() {
     assert_eq!(state.summary.hosts_up, 3);
 
     // And its stale metrics no longer pollute the cluster reduction.
-    let live_mean = state
-        .summary
-        .metric("cpu_num")
-        .expect("present")
-        .num;
+    let live_mean = state.summary.metric("cpu_num").expect("present").num;
     assert_eq!(live_mean, 3, "only live hosts contribute");
 }
 
@@ -73,10 +69,14 @@ fn queries_work_over_real_gmond_data() {
     gmetad.poll_all(&net, 75);
     let xml = gmetad.query("/alpha/alpha-node-1/load_one");
     let doc = parse_document(&xml).expect("well-formed");
-    let GridItem::Grid(grid) = &doc.items[0] else { panic!() };
+    let GridItem::Grid(grid) = &doc.items[0] else {
+        panic!()
+    };
     let item = grid.item("alpha").expect("cluster selected");
     let GridItem::Cluster(c) = item else { panic!() };
-    let ClusterBody::Hosts(hosts) = &c.body else { panic!() };
+    let ClusterBody::Hosts(hosts) = &c.body else {
+        panic!()
+    };
     assert_eq!(hosts.len(), 1);
     assert_eq!(hosts[0].name, "alpha-node-1");
     assert_eq!(hosts[0].metrics.len(), 1);
@@ -106,7 +106,7 @@ fn flaky_multicast_still_converges() {
     cluster.set_multicast_loss(0.25);
     cluster.run(0, 400, 20);
     let config = GmetadConfig::new("sdsc")
-        .with_source(DataSourceCfg::new("lossy", cluster.addrs()));
+        .with_source(DataSourceCfg::new("lossy", cluster.addrs()).unwrap());
     let gmetad = Gmetad::new(config);
     gmetad.poll_all(&net, 415);
     let state = gmetad.store().get("lossy").expect("present");

@@ -31,7 +31,7 @@ fn two_level_tree_over_real_sockets() {
     // Leaf gmetad polls the cluster over TCP and serves its own port.
     let leaf = Gmetad::new(
         GmetadConfig::new("sdsc")
-            .with_source(DataSourceCfg::new("meteor", vec![cluster_addr.clone()])),
+            .with_source(DataSourceCfg::new("meteor", vec![cluster_addr.clone()]).unwrap()),
     );
     let leaf_guard = leaf
         .serve_on(&transport, &Addr::new("127.0.0.1:0"))
@@ -41,7 +41,7 @@ fn two_level_tree_over_real_sockets() {
     // Root gmetad polls the leaf gmetad over TCP.
     let root = Gmetad::new(
         GmetadConfig::new("root")
-            .with_source(DataSourceCfg::new("sdsc", vec![leaf_addr.clone()])),
+            .with_source(DataSourceCfg::new("sdsc", vec![leaf_addr.clone()]).unwrap()),
     );
     let root_guard = root
         .serve_on(&transport, &Addr::new("127.0.0.1:0"))
@@ -103,7 +103,7 @@ fn tcp_failover_between_redundant_ports() {
         guards.push(guard);
     }
     let gmetad = Gmetad::new(
-        GmetadConfig::new("sdsc").with_source(DataSourceCfg::new("meteor", addrs)),
+        GmetadConfig::new("sdsc").with_source(DataSourceCfg::new("meteor", addrs).unwrap()),
     );
     gmetad.poll_all(&transport, 15)[0]
         .as_ref()
@@ -116,5 +116,5 @@ fn tcp_failover_between_redundant_ports() {
         .as_ref()
         .expect("failover over TCP");
     let stats = gmetad.poller_stats();
-    assert_eq!(stats[0].3, 1, "one failover recorded");
+    assert_eq!(stats[0].failovers, 1, "one failover recorded");
 }

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` API this workspace uses —
+//! [`Bytes`], [`BytesMut`], [`Buf`] for `&[u8]`, and [`BufMut`] — with
+//! the same semantics (big-endian getters/putters, panic on underflow)
+//! but a plain `Vec<u8>` representation instead of refcounted slices.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+
+    pub fn copy_from_slice(bytes: &[u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v.as_slice()))
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self.0)
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::from(self.0.as_slice()))
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Sequential big-endian reads from a byte source. Getters panic when
+/// fewer than the needed bytes remain, exactly like the real crate —
+/// callers check [`Buf::remaining`] first.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, count: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let [b] = self.take::<1>();
+        b
+    }
+
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take())
+    }
+
+    fn get_i16(&mut self) -> i16 {
+        i16::from_be_bytes(self.take())
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take())
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take())
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    #[doc(hidden)]
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        self.copy_to_slice(&mut out);
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(count <= self.len(), "buffer underflow");
+        *self = &self[count..];
+    }
+}
+
+/// Sequential big-endian writes to a growable buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i16(&mut self, v: i16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_bytes(&mut self, value: u8, count: usize) {
+        for _ in 0..count {
+            self.put_u8(value);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_f64(2.5);
+        buf.put_bytes(0, 3);
+        let frozen = buf.freeze();
+        let mut input: &[u8] = &frozen;
+        assert_eq!(input.remaining(), 15);
+        assert_eq!(input.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(input.get_f64(), 2.5);
+        input.advance(3);
+        assert_eq!(input.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_constructors() {
+        assert_eq!(&*Bytes::from_static(b"abc"), b"abc");
+        assert_eq!(&*Bytes::copy_from_slice(&[1, 2]), &[1, 2]);
+        assert_eq!(Bytes::from_static(b"x"), Bytes::copy_from_slice(b"x"));
+    }
+}

@@ -1,0 +1,4 @@
+//! Offline placeholder for the `crossbeam` crate.
+//!
+//! Declared in manifests but unused in code; the package exists only so
+//! dependency resolution works without network access.

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment is air-gapped, so the workspace vendors the
+//! subset of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_recursive`/`boxed`, regex-string strategies, numeric
+//! ranges, tuples, `prop_oneof!`, collection and char strategies, and
+//! the `proptest!` test macro. Case generation is deterministic (seeded
+//! from the test's module path) and there is **no shrinking**: a failing
+//! case reports the assertion message and its case number, which is
+//! reproducible run-to-run.
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{char, collection, sample, strategy, string};
+    }
+}
+
+/// Define property tests: each `fn` runs `config.cases` deterministic
+/// cases, generating every `name in strategy` binding fresh per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_seed(
+                    $crate::test_runner::seed_from_name(concat!(
+                        module_path!(), "::", stringify!($name)
+                    )),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                    )*
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} of {}: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ( $( $strategy:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}

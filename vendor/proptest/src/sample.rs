@@ -1,0 +1,31 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A position into a runtime-sized collection: generated over the whole
+/// `u64` domain and reduced modulo the collection length at use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Index {
+        Index(raw)
+    }
+
+    /// An index in `[0, len)`; `len` must be nonzero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_reduces_into_bounds() {
+        let idx = Index::from_raw(u64::MAX - 3);
+        for len in 1..50 {
+            assert!(idx.index(len) < len);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The [`Strategy`] trait and core combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type. Unlike real proptest
+/// there is no value tree and no shrinking — `generate` draws a fresh
+/// value from the RNG each call.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Unrolled recursion: apply `recurse` `depth` times to the leaf
+    /// strategy. The size hints of the real API are accepted and
+    /// ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut strategy = self.boxed();
+        for _ in 0..depth {
+            strategy = recurse(strategy).boxed();
+        }
+        strategy
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (clones share the underlying generator).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `source` mapped through `map`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the total weight")
+    }
+}
+
+/// String literals are regex strategies, like real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_regex(self, rng)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+    }
+}
+
+/// Types whose half-open ranges can be sampled uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self;
+    /// The next representable value above `self`, for inclusive ranges;
+    /// saturates at the type's maximum.
+    fn next_up(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                assert!(low < high, "empty range strategy");
+                let span = (high as i128 - low as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (low as i128 + offset as i128) as $ty
+            }
+
+            fn next_up(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open(low: Self, high: Self, rng: &mut TestRng) -> Self {
+                assert!(low < high, "empty range strategy");
+                low + (rng.next_f64() as $ty) * (high - low)
+            }
+
+            fn next_up(self) -> Self {
+                self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(*self.start(), self.end().next_up(), rng)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = (0u32..10).generate(&mut rng);
+            assert!(v < 10);
+            let v = (1u8..=255).generate(&mut rng);
+            assert!(v >= 1);
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        let pair = (0i32..5, Just("x")).prop_map(|(n, s)| format!("{s}{n}"));
+        let s = pair.generate(&mut rng);
+        assert!(s.starts_with('x'));
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = rng();
+        let union = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let trues = (0..1000).filter(|_| union.generate(&mut rng)).count();
+        assert!(trues > 700, "trues {trues}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            #[allow(dead_code)] // generated, never read back
+            Node(Vec<Tree>),
+        }
+        let strategy = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = rng();
+        for _ in 0..50 {
+            let _tree = strategy.generate(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Regex-string strategies for the pattern subset the workspace uses:
+//! concatenations of literals and character classes (with ranges and
+//! escapes), each optionally quantified with `{m}`, `{m,n}`, `?`, `*`,
+//! or `+`. Unbounded quantifiers generate at most eight repeats.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy generating strings matching `pattern`.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Pattern parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compile a regex pattern into a generator strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy {
+        atoms: parse(pattern)?,
+    })
+}
+
+/// One-shot helper used by the `&str` strategy impl.
+pub(crate) fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> Result<String, Error> {
+    Ok(string_regex(pattern)?.generate(rng))
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let span = (atom.max - atom.min + 1) as u64;
+            let count = atom.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(atom.choices.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Inclusive character ranges; single characters are unit ranges.
+#[derive(Debug, Clone)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+    total: u64,
+}
+
+impl CharSet {
+    fn new(ranges: Vec<(char, char)>) -> CharSet {
+        let total = ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
+        CharSet { ranges, total }
+    }
+
+    fn literal(c: char) -> CharSet {
+        CharSet::new(vec![(c, c)])
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut index = rng.below(self.total);
+        for &(lo, hi) in &self.ranges {
+            let size = hi as u64 - lo as u64 + 1;
+            if index < size {
+                return char::from_u32(lo as u32 + index as u32)
+                    .expect("ranges hold valid scalar values");
+            }
+            index -= size;
+        }
+        unreachable!("index is below the total size")
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<Atom>, Error> {
+    let err = |msg: &str| Error(format!("{msg} in {pattern:?}"));
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        None => return Err(err("unterminated character class")),
+                        Some(']') => break,
+                        Some('\\') => chars.next().ok_or_else(|| err("dangling escape"))?,
+                        Some(c) => c,
+                    };
+                    // `a-z` is a range unless the dash closes the class.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&hi) if hi != ']' => {
+                                chars.next();
+                                let hi = match chars.next() {
+                                    Some('\\') => {
+                                        chars.next().ok_or_else(|| err("dangling escape"))?
+                                    }
+                                    Some(c) => c,
+                                    None => unreachable!("peeked"),
+                                };
+                                if hi < lo {
+                                    return Err(err("inverted range"));
+                                }
+                                ranges.push((lo, hi));
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    ranges.push((lo, lo));
+                }
+                if ranges.is_empty() {
+                    return Err(err("empty character class"));
+                }
+                CharSet::new(ranges)
+            }
+            '\\' => CharSet::literal(chars.next().ok_or_else(|| err("dangling escape"))?),
+            '.' => CharSet::new(vec![(' ', '~')]),
+            '{' | '}' | '*' | '+' | '?' => return Err(err("quantifier without a preceding atom")),
+            c => CharSet::literal(c),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(err("unterminated quantifier")),
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                    }
+                }
+                let parse_count = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| err("bad quantifier bound"))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse_count(lo)?, parse_count(hi)?),
+                    None => {
+                        let n = parse_count(&spec)?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if max < min {
+            return Err(err("inverted quantifier"));
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(11)
+    }
+
+    #[test]
+    fn generated_strings_match_their_patterns() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = string_regex("[a-z_][a-z0-9_]{0,24}")
+                .unwrap()
+                .generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 25);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let s = string_regex("[ -~]{0,32}").unwrap().generate(&mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let s = string_regex("[0-9.]{7,15}").unwrap().generate(&mut rng);
+            assert!((7..=15).contains(&s.len()));
+
+            let s = string_regex(r"[/a-z0-9~.*?()\[\]-]{0,24}")
+                .unwrap()
+                .generate(&mut rng);
+            assert!(s.len() <= 24);
+
+            let s = string_regex("x[ab]?z*").unwrap().generate(&mut rng);
+            assert!(s.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("*a").is_err());
+        assert!(string_regex("a{x}").is_err());
+    }
+}

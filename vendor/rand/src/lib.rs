@@ -1,0 +1,6 @@
+//! Offline placeholder for the `rand` crate.
+//!
+//! The workspace declares `rand` but draws all randomness from
+//! `ganglia-net::rng::SplitMix64` for determinism, so nothing is needed
+//! here. The package exists only so dependency resolution works without
+//! network access.
