@@ -2,22 +2,124 @@
 //! figure-2 monitoring tree, 12 clusters × 100 hosts, 1-level vs
 //! N-level.
 //!
-//! Usage: `repro_fig5 [hosts_per_cluster] [measured_rounds]`
+//! Usage: `repro_fig5 [hosts_per_cluster] [measured_rounds] [--smoke] [--json <path>]`
+//!
+//! `--json <path>` also writes the result — rows plus every monitor's
+//! telemetry snapshot (latency quantiles, poll counters) — as JSON.
+//! `--smoke` runs a CI-sized configuration and then self-checks: the
+//! JSON must parse, the fetch/parse histograms must be populated, and
+//! the estimated telemetry overhead must stay under 5% of the run's
+//! wall-clock.
 
-use ganglia_bench::render_fig5;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ganglia_bench::{estimated_telemetry_overhead, render_fig5, render_fig5_json};
+use ganglia_core::telemetry::json;
 use ganglia_sim::experiments::fig5::{run_fig5, Fig5Params};
 
-fn main() {
+fn main() -> ExitCode {
+    let mut hosts = None;
+    let mut rounds = None;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let hosts = args.next().and_then(|a| a.parse().ok()).unwrap_or(100usize);
-    let rounds = args.next().and_then(|a| a.parse().ok()).unwrap_or(8u64);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("repro_fig5: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let Ok(n) = other.parse::<u64>() else {
+                    eprintln!("repro_fig5: unknown argument {other:?}");
+                    return ExitCode::from(2);
+                };
+                if hosts.is_none() {
+                    hosts = Some(n as usize);
+                } else {
+                    rounds = Some(n);
+                }
+            }
+        }
+    }
+    let hosts = hosts.unwrap_or(if smoke { 10 } else { 100 });
+    let rounds = rounds.unwrap_or(if smoke { 4 } else { 8 });
     let params = Fig5Params {
         hosts_per_cluster: hosts,
-        warmup_rounds: 2,
+        warmup_rounds: if smoke { 1 } else { 2 },
         measured_rounds: rounds,
         seed: 42,
     };
     eprintln!("running figure 5: {hosts} hosts/cluster, {rounds} measured rounds per design...");
+    let start = Instant::now();
     let result = run_fig5(&params);
+    let wall = start.elapsed();
     print!("{}", render_fig5(&result));
+
+    let rendered = render_fig5_json(&result);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("repro_fig5: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} bytes)", rendered.len());
+    }
+
+    if smoke {
+        // Self-check 1: the JSON artifact parses with our own parser.
+        let value = match json::parse(&rendered) {
+            Ok(value) => value,
+            Err(e) => {
+                eprintln!("smoke FAILED: JSON does not parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Self-check 2: the instruments actually measured something —
+        // every monitor fetched and parsed under both designs.
+        let mut total_samples = 0u64;
+        for t in &result.telemetry {
+            for (design, snap) in [("one_level", &t.one_level), ("n_level", &t.n_level)] {
+                let populated = snap.histogram("fetch_us").is_some_and(|h| h.count > 0)
+                    && snap.histogram("parse_us").is_some_and(|h| h.count > 0);
+                if !populated {
+                    eprintln!(
+                        "smoke FAILED: {} has empty fetch/parse histograms under {design}",
+                        t.monitor
+                    );
+                    return ExitCode::FAILURE;
+                }
+                total_samples += snap.total_samples();
+            }
+        }
+        let monitors = value
+            .get("telemetry")
+            .and_then(|v| match v {
+                json::JsonValue::Array(a) => Some(a.len()),
+                _ => None,
+            })
+            .unwrap_or(0);
+        // Self-check 3: recording overhead is a rounding error next to
+        // the work being measured.
+        let overhead = estimated_telemetry_overhead(total_samples);
+        let fraction = overhead.as_secs_f64() / wall.as_secs_f64();
+        eprintln!(
+            "smoke: {monitors} monitors, {total_samples} samples, run {wall:?}, \
+             estimated telemetry overhead {overhead:?} ({:.3}%)",
+            fraction * 100.0
+        );
+        if fraction >= 0.05 {
+            eprintln!(
+                "smoke FAILED: telemetry overhead {:.3}% >= 5%",
+                fraction * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("smoke ok");
+    }
+    ExitCode::SUCCESS
 }

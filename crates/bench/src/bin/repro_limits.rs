@@ -17,13 +17,17 @@ fn main() {
     let limits = run_limits(hosts, &[10, 20, 40, 80, 160], rounds);
     println!("§5 — RRD archiving cost vs metrics per host ({hosts} hosts)");
     println!(
-        "{:>16} {:>18} {:>16}",
-        "metrics/host", "updates/round", "time/round"
+        "{:>16} {:>18} {:>16} {:>16} {:>16}",
+        "metrics/host", "updates/round", "mean/round", "p50/round", "p99/round"
     );
     for row in &limits.rows {
         println!(
-            "{:>16} {:>18} {:>16?}",
-            row.metrics_per_host, row.updates_per_round, row.archive_time
+            "{:>16} {:>18} {:>16?} {:>16?} {:>16?}",
+            row.metrics_per_host,
+            row.updates_per_round,
+            row.archive_time,
+            row.archive_time_p50,
+            row.archive_time_p99
         );
     }
     println!(

@@ -7,7 +7,9 @@
 //! original figures directly.
 
 use std::fmt::Write;
+use std::time::{Duration, Instant};
 
+use ganglia_core::telemetry::{Histogram, Registry};
 use ganglia_sim::experiments::table1::View;
 use ganglia_sim::experiments::{Fig5Result, Fig6Result, Table1Result};
 
@@ -39,6 +41,62 @@ pub fn render_fig5(result: &Fig5Result) -> String {
         "TOTAL", one, n
     );
     out
+}
+
+/// Render figure 5 — rows plus every monitor's telemetry snapshot — as
+/// a machine-readable JSON object for the bench harness and CI smoke
+/// job. Parseable by [`ganglia_core::telemetry::json::parse`].
+pub fn render_fig5_json(result: &Fig5Result) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"figure\":\"fig5\",\"hosts_per_cluster\":{},\"rows\":[",
+        result.params_hosts
+    );
+    for (i, row) in result.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"monitor\":\"{}\",\"one_level_pct\":{:.6},\"n_level_pct\":{:.6}}}",
+            row.monitor, row.one_level_pct, row.n_level_pct
+        );
+    }
+    out.push_str("],\"telemetry\":[");
+    for (i, t) in result.telemetry.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"monitor\":\"{}\",\"one_level\":{},\"n_level\":{}}}",
+            t.monitor,
+            t.one_level.to_json(),
+            t.n_level.to_json()
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Estimate the wall-clock cost the telemetry layer added to a run:
+/// microbenchmark one histogram record plus one counter add, then
+/// multiply by the number of samples actually recorded. Used by the
+/// smoke test to assert instrumentation stays below a few percent of
+/// the measured window.
+pub fn estimated_telemetry_overhead(total_samples: u64) -> Duration {
+    const ITERS: u64 = 100_000;
+    let histogram = Histogram::new();
+    let registry = Registry::new();
+    let counter = registry.counter("bench.overhead_probe");
+    let start = Instant::now();
+    for i in 0..ITERS {
+        histogram.record(i);
+        counter.add(1);
+    }
+    let per_op = start.elapsed() / ITERS as u32;
+    per_op * total_samples.min(u64::from(u32::MAX)) as u32
 }
 
 /// Render figure 6 as an aligned table (one point per cluster size).
@@ -150,6 +208,25 @@ mod tests {
         assert!(text.contains("root"));
         assert!(text.contains("attic"));
         assert!(text.contains("TOTAL"));
+
+        // The JSON rendering parses with our own parser and carries one
+        // telemetry snapshot per monitor per design.
+        let json = render_fig5_json(&fig5);
+        let value = ganglia_core::telemetry::json::parse(&json).unwrap();
+        assert_eq!(value.get("figure").and_then(|v| v.as_str()), Some("fig5"));
+        let ganglia_core::telemetry::json::JsonValue::Array(telemetry) =
+            value.get("telemetry").unwrap()
+        else {
+            panic!("telemetry must be an array");
+        };
+        assert_eq!(telemetry.len(), 6);
+        let fetch_count = telemetry[0]
+            .get("n_level")
+            .and_then(|s| s.get("histograms"))
+            .and_then(|h| h.get("fetch_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64());
+        assert!(fetch_count.unwrap_or(0) > 0, "{json}");
 
         let fig6 = run_fig6(&Fig6Params {
             cluster_sizes: vec![5, 10],

@@ -118,26 +118,97 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Print the per-source health/statistics table to stderr.
+/// Print the per-source health/statistics table to stderr: names
+/// left-aligned, numeric columns right-aligned, widths fitted to the
+/// data, with a telemetry totals row closing the table.
 fn dump_stats(daemon: &Gmetad) {
-    eprintln!(
-        "gmetad: {:<24} {:>4} {:>6} {:>9} {:>8} {:<16} PHASE",
-        "SOURCE", "OK", "FAILED", "FAILOVERS", "CONSECF", "BREAKER"
-    );
-    for row in daemon.poller_stats() {
-        let phase = row
-            .phase
-            .map_or_else(|| "no-data".to_string(), |p| p.to_string());
-        eprintln!(
-            "gmetad: {:<24} {:>4} {:>6} {:>9} {:>8} {:<16} {}",
-            row.name,
-            row.polls_ok,
-            row.polls_failed,
-            row.failovers,
-            row.consecutive_failures,
-            row.breaker.to_string(),
-            phase,
-        );
+    let telemetry = daemon.telemetry_snapshot();
+    let mut rows: Vec<[String; 7]> = daemon
+        .poller_stats()
+        .iter()
+        .map(|row| {
+            [
+                row.name.clone(),
+                row.polls_ok.to_string(),
+                row.polls_failed.to_string(),
+                row.failovers.to_string(),
+                row.consecutive_failures.to_string(),
+                row.breaker.to_string(),
+                row.phase
+                    .map_or_else(|| "no-data".to_string(), |p| p.to_string()),
+            ]
+        })
+        .collect();
+    let fetch_p99_us = telemetry
+        .histogram("fetch_us")
+        .map_or(0, |h| h.quantile(0.99));
+    rows.push([
+        "(all sources)".to_string(),
+        telemetry.counter("polls_ok_total").unwrap_or(0).to_string(),
+        telemetry
+            .counter("polls_failed_total")
+            .unwrap_or(0)
+            .to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!(
+            "{} open(s)",
+            telemetry.counter("breaker_opens_total").unwrap_or(0)
+        ),
+        format!(
+            "fetch_p99={fetch_p99_us}us in={}B",
+            telemetry.counter("bytes_in_total").unwrap_or(0)
+        ),
+    ]);
+    let headers = [
+        "SOURCE",
+        "OK",
+        "FAILED",
+        "FAILOVERS",
+        "CONSECF",
+        "BREAKER",
+        "PHASE",
+    ];
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(c, h)| {
+            rows.iter()
+                .map(|r| r[c].len())
+                .chain([h.len()])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let render = |cells: &[String; 7]| {
+        // Columns 1–4 are numeric: right-aligned.
+        format!(
+            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:<w5$} {}",
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5],
+            cells[6],
+            w0 = widths[0],
+            w1 = widths[1],
+            w2 = widths[2],
+            w3 = widths[3],
+            w4 = widths[4],
+            w5 = widths[5],
+        )
+    };
+    eprintln!("{}", render(&headers.map(String::from)));
+    for row in &rows {
+        eprintln!("{}", render(row));
+    }
+    // The full instrument dump, for eyeballing a live daemon.
+    for line in telemetry
+        .render_table(&format!("gmetad:{}", daemon.config().grid_name))
+        .lines()
+    {
+        eprintln!("gmetad: {line}");
     }
 }
 

@@ -184,6 +184,20 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
             "source_expire_secs" => {
                 config.lifecycle.expire_after_secs = parse_u64_arg(directive, args, &err)?;
             }
+            "self_telemetry" => {
+                let [value] = args else {
+                    return Err(err("self_telemetry takes one value (on/off)".into()));
+                };
+                config.self_telemetry = match value.as_str() {
+                    "on" | "yes" | "true" | "1" => true,
+                    "off" | "no" | "false" | "0" => false,
+                    other => {
+                        return Err(err(format!(
+                            "bad self_telemetry value {other:?} (use \"on\" or \"off\")"
+                        )))
+                    }
+                };
+            }
             other => {
                 return Err(err(format!("unknown directive {other:?}")));
             }
@@ -363,6 +377,26 @@ fetch_timeout_secs 5
     fn no_archives_directive() {
         let parsed = parse_conf("gridname \"X\"\nno_archives\n").unwrap();
         assert_eq!(parsed.config.archive, ArchiveMode::Off);
+    }
+
+    #[test]
+    fn self_telemetry_directive() {
+        assert!(
+            !parse_conf("gridname \"X\"\n")
+                .unwrap()
+                .config
+                .self_telemetry
+        );
+        for on in ["on", "yes", "true", "1"] {
+            let parsed = parse_conf(&format!("gridname \"X\"\nself_telemetry {on}\n")).unwrap();
+            assert!(parsed.config.self_telemetry, "{on}");
+        }
+        for off in ["off", "no", "false", "0"] {
+            let parsed = parse_conf(&format!("gridname \"X\"\nself_telemetry {off}\n")).unwrap();
+            assert!(!parsed.config.self_telemetry, "{off}");
+        }
+        assert!(parse_conf("gridname \"X\"\nself_telemetry maybe\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nself_telemetry\n").is_err());
     }
 
     #[test]

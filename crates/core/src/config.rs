@@ -102,6 +102,12 @@ pub struct GmetadConfig {
     pub retry: RetryPolicy,
     /// Staleness-lifecycle thresholds (Stale → Down → Expired).
     pub lifecycle: LifecyclePolicy,
+    /// Publish this daemon's own telemetry as a synthetic
+    /// `<grid>-monitor` cluster after each poll round, so the monitor
+    /// is monitored through its own data language (archived to RRD,
+    /// summarized up the tree, path-queryable). Off by default: the
+    /// extra cluster changes store/archive cardinalities.
+    pub self_telemetry: bool,
 }
 
 impl GmetadConfig {
@@ -118,6 +124,7 @@ impl GmetadConfig {
             archive: ArchiveMode::InMemory,
             retry: RetryPolicy::default(),
             lifecycle: LifecyclePolicy::default(),
+            self_telemetry: false,
         }
     }
 
@@ -148,6 +155,12 @@ impl GmetadConfig {
     /// Builder-style: set the staleness-lifecycle thresholds.
     pub fn with_lifecycle(mut self, lifecycle: LifecyclePolicy) -> Self {
         self.lifecycle = lifecycle;
+        self
+    }
+
+    /// Builder-style: enable or disable self-telemetry publication.
+    pub fn with_self_telemetry(mut self, enabled: bool) -> Self {
+        self.self_telemetry = enabled;
         self
     }
 }

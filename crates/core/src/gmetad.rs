@@ -13,10 +13,13 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use ganglia_metrics::model::{ClusterNode, HostNode, MetricEntry};
+use ganglia_metrics::MetricValue;
 use ganglia_net::transport::{RequestHandler, ServerGuard, Transport};
 use ganglia_net::Addr;
-use ganglia_query::Query;
+use ganglia_query::{Filter, Query};
 use ganglia_rrd::{ConsolidationFn, MetricKey, RrdSet, Series};
+use ganglia_telemetry::{LogicalClock, Registry, Snapshot, Tracer};
 
 use crate::archive::{archive_source, write_unknowns};
 use crate::config::{ArchiveMode, GmetadConfig};
@@ -25,7 +28,7 @@ use crate::health::BreakerState;
 use crate::instrument::{WorkCategory, WorkMeter};
 use crate::poller::SourcePoller;
 use crate::query_engine;
-use crate::store::{Degradation, SourceStatus, Store};
+use crate::store::{Degradation, SourceState, SourceStatus, Store};
 
 /// Shared factory for the RRD spec of newly created archives.
 pub type ArchiveSpecFactory = Arc<dyn Fn(&MetricKey, u64) -> ganglia_rrd::RrdSpec + Send + Sync>;
@@ -58,6 +61,16 @@ pub struct Gmetad {
     pollers: Mutex<Vec<SourcePoller>>,
     /// Logical "now" used when serving queries (set by the poll driver).
     clock: AtomicU64,
+    /// Self-telemetry: the registry behind `meter`, shared so ad-hoc
+    /// instruments and CPU accounting land in one snapshot.
+    registry: Arc<Registry>,
+    /// Span factory; event timestamps come from the logical clock so
+    /// simulated runs produce deterministic event logs.
+    tracer: Tracer,
+    logical_clock: LogicalClock,
+    /// `queries_total` at the end of the previous round, for the
+    /// `self.queries_per_round` delta.
+    queries_at_last_round: AtomicU64,
 }
 
 impl Gmetad {
@@ -88,12 +101,19 @@ impl Gmetad {
             .cloned()
             .map(SourcePoller::new)
             .collect();
+        let registry = Arc::new(Registry::new());
+        let logical_clock = LogicalClock::new();
+        let tracer = Tracer::new(Arc::clone(&registry), logical_clock.clone()).with_event_log(256);
         Arc::new(Gmetad {
             store: Store::new(),
             archiver: Mutex::new(set),
-            meter: Arc::new(WorkMeter::new()),
+            meter: Arc::new(WorkMeter::with_registry(Arc::clone(&registry))),
             pollers: Mutex::new(pollers),
             clock: AtomicU64::new(0),
+            registry,
+            tracer,
+            logical_clock,
+            queries_at_last_round: AtomicU64::new(0),
             config,
         })
     }
@@ -113,9 +133,31 @@ impl Gmetad {
         &self.meter
     }
 
+    /// The telemetry registry (counters, gauges, histograms).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The span tracer (bounded event log included).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Point-in-time copy of every telemetry instrument.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The `TELEMETRY` document served for `/?filter=telemetry`.
+    pub fn telemetry_xml(&self) -> String {
+        self.telemetry_snapshot()
+            .to_xml(&format!("gmetad:{}", self.config.grid_name))
+    }
+
     /// Set the logical clock (experiment drivers).
     pub fn set_clock(&self, now: u64) {
         self.clock.store(now, Ordering::Relaxed);
+        self.logical_clock.set(now);
     }
 
     /// The logical clock.
@@ -127,11 +169,23 @@ impl Gmetad {
     /// archives. Returns one result per source, in configuration order.
     pub fn poll_all(&self, transport: &dyn Transport, now: u64) -> Vec<Result<(), GmetadError>> {
         self.set_clock(now);
+        let round = self.tracer.span("round");
         let mut pollers = self.pollers.lock();
         let mut results = Vec::with_capacity(pollers.len());
         for poller in pollers.iter_mut() {
+            let _poll = round.child("poll");
             results.push(self.poll_one(poller, transport, now));
         }
+        self.registry.gauge("sources").set(pollers.len() as u64);
+        drop(pollers);
+        self.registry.counter("rounds_total").inc();
+        self.registry
+            .gauge("archives")
+            .set(self.archive_count() as u64);
+        if self.config.self_telemetry {
+            self.publish_self(now);
+        }
+        drop(round);
         results
     }
 
@@ -181,12 +235,125 @@ impl Gmetad {
         }
     }
 
+    /// Name of the synthetic cluster this daemon publishes its own
+    /// telemetry under when `self_telemetry` is enabled.
+    pub fn self_cluster_name(&self) -> String {
+        format!("{}-monitor", self.config.grid_name)
+    }
+
+    /// Name of the synthetic host carrying the `self.*` metrics.
+    pub fn self_host_name(&self) -> String {
+        format!("{}-gmeta", self.config.grid_name)
+    }
+
+    /// "Monitor the monitor": distil the telemetry registry into
+    /// ordinary Ganglia metrics on a synthetic `<grid>-monitor` cluster
+    /// with one host, `<grid>-gmeta`, and feed it through the same
+    /// store/archive path as any polled source. From there the metrics
+    /// are summarized upward, archived to RRD, and answerable via path
+    /// queries — the system monitors itself through its own data
+    /// language.
+    fn publish_self(&self, now: u64) {
+        let snap = self.registry.snapshot();
+        let queries_total = snap.counter("queries_total").unwrap_or(0);
+        let queries_last = self
+            .queries_at_last_round
+            .swap(queries_total, Ordering::Relaxed);
+        let p99_ms = |name: &str| {
+            snap.histogram(name)
+                .map(|h| h.quantile(0.99) as f64 / 1000.0)
+                .unwrap_or(0.0)
+        };
+        let counter = |name: &str| snap.counter(name).unwrap_or(0) as f64;
+        let metric = |name: &str, value: f64, units: &str| {
+            let mut entry = MetricEntry::new(name, MetricValue::Double(value));
+            entry.units = units.to_string();
+            entry.source = "gmetad".to_string();
+            entry
+        };
+        let metrics = vec![
+            metric("self.fetch_p99_ms", p99_ms("fetch_us"), "ms"),
+            metric("self.parse_p99_ms", p99_ms("parse_us"), "ms"),
+            metric("self.summarize_p99_ms", p99_ms("summarize_us"), "ms"),
+            metric("self.archive_p99_ms", p99_ms("archive_us"), "ms"),
+            metric("self.query_p99_ms", p99_ms("query_us"), "ms"),
+            metric(
+                "self.cpu_busy_ms",
+                self.meter.total_busy().as_secs_f64() * 1e3,
+                "ms",
+            ),
+            metric("self.polls_ok_total", counter("polls_ok_total"), "polls"),
+            metric(
+                "self.polls_failed_total",
+                counter("polls_failed_total"),
+                "polls",
+            ),
+            metric(
+                "self.breaker_opens_total",
+                counter("breaker_opens_total"),
+                "transitions",
+            ),
+            metric("self.bytes_in_total", counter("bytes_in_total"), "bytes"),
+            metric("self.queries_total", queries_total as f64, "queries"),
+            metric(
+                "self.queries_per_round",
+                queries_total.saturating_sub(queries_last) as f64,
+                "queries",
+            ),
+            metric(
+                "self.archive_updates_total",
+                self.archive_updates() as f64,
+                "updates",
+            ),
+            metric("self.archives", self.archive_count() as f64, "archives"),
+            metric(
+                "self.sources",
+                snap.gauge("sources").unwrap_or(0) as f64,
+                "sources",
+            ),
+        ];
+        let mut host = HostNode::new(self.self_host_name(), "127.0.0.1");
+        host.reported = now;
+        host.tn = 0;
+        host.metrics = metrics;
+        let mut cluster = ClusterNode::with_hosts(self.self_cluster_name(), vec![host]);
+        cluster.localtime = now;
+        let summary = self
+            .meter
+            .time(WorkCategory::Summarize, || cluster.summary());
+        let state = SourceState::cluster(self.self_cluster_name(), cluster, summary, now);
+        if self.config.archive != ArchiveMode::Off {
+            let mut set = self.archiver.lock();
+            self.meter.time(WorkCategory::Archive, || {
+                archive_source(&mut set, &state, self.config.tree_mode, now)
+            });
+        }
+        self.store.replace(state);
+    }
+
     /// Answer one query string (the interactive-port protocol). Malformed
     /// queries produce a well-formed error document.
     pub fn query(&self, raw: &str) -> String {
+        let parsed = Query::parse(raw);
+        // `?filter=telemetry` asks about the daemon, not the monitored
+        // tree: answer with a standalone TELEMETRY document. Served
+        // outside the QueryServe timing so reading the meters doesn't
+        // perturb them.
+        if let Ok(query) = &parsed {
+            if query.filter == Some(Filter::Telemetry) {
+                self.registry.counter("telemetry_queries_total").inc();
+                return self.telemetry_xml();
+            }
+        }
+        self.registry.counter("queries_total").inc();
         self.meter.time(WorkCategory::QueryServe, || {
-            match Query::parse(raw) {
-                Ok(query) => query_engine::answer(&self.store, &self.config, &query, self.clock()),
+            match parsed {
+                Ok(query) => {
+                    self.registry
+                        .histogram("query.depth")
+                        .record(query.depth() as u64);
+                    query_engine::answer(&self.store, &self.config, &query, self.clock())
+                }
                 Err(e) => {
                     // Match gmetad's behaviour of never hanging a client:
                     // serve an empty document with the error as a comment.

@@ -1,13 +1,26 @@
-//! Per-category CPU accounting.
+//! Per-category CPU accounting, backed by the telemetry registry.
 //!
 //! The paper's experiments measure "the percentage of wall-clock CPU time
 //! used by the gmeta daemons over a one-hour period" (§4.2). Our
 //! deployments run in-process, so instead of `ps` we wrap every unit of
 //! monitor work in a timed section attributed to one [`WorkCategory`].
 //! CPU% is then `busy_time / window` for a virtual measurement window.
+//!
+//! Since the telemetry subsystem landed, the meter is a thin façade over
+//! a [`Registry`]: each category keeps a saturating `cpu.<label>_ns`
+//! counter (total busy time — the Fig. 5/6 input) and a `<label>_us`
+//! latency histogram (per-operation distribution — the quantile input),
+//! so there is exactly one source of truth and anything else recorded
+//! into the same registry shows up alongside the CPU numbers in
+//! snapshots. Accumulation saturates at `u64::MAX` instead of wrapping:
+//! at nanosecond resolution a wrap takes ~584 years of busy time, but a
+//! stuck clock or fault-injected huge duration must clamp, not corrupt
+//! every later reading.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use ganglia_telemetry::{Counter, HistogramHandle, Registry};
 
 /// What kind of work a gmetad spent time on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,24 +68,76 @@ impl WorkCategory {
             WorkCategory::QueryServe => "query",
         }
     }
+
+    /// Registry counter holding this category's total busy nanoseconds.
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            WorkCategory::Fetch => "cpu.fetch_ns",
+            WorkCategory::Parse => "cpu.parse_ns",
+            WorkCategory::Summarize => "cpu.summarize_ns",
+            WorkCategory::Archive => "cpu.archive_ns",
+            WorkCategory::QueryServe => "cpu.query_ns",
+        }
+    }
+
+    /// Registry histogram holding this category's per-operation
+    /// latencies in microseconds.
+    pub fn histogram_name(self) -> &'static str {
+        match self {
+            WorkCategory::Fetch => "fetch_us",
+            WorkCategory::Parse => "parse_us",
+            WorkCategory::Summarize => "summarize_us",
+            WorkCategory::Archive => "archive_us",
+            WorkCategory::QueryServe => "query_us",
+        }
+    }
 }
 
 /// Accumulated busy time, by category. Cheap to share and record into
-/// from any thread.
-#[derive(Debug, Default)]
+/// from any thread. Handles are pre-interned so the hot path never
+/// touches the registry lock.
+#[derive(Debug)]
 pub struct WorkMeter {
-    nanos: [AtomicU64; 5],
+    registry: Arc<Registry>,
+    nanos: [Counter; 5],
+    latencies: [HistogramHandle; 5],
+}
+
+impl Default for WorkMeter {
+    fn default() -> Self {
+        WorkMeter::with_registry(Arc::new(Registry::new()))
+    }
 }
 
 impl WorkMeter {
-    /// A zeroed meter.
+    /// A zeroed meter with its own private registry.
     pub fn new() -> Self {
         WorkMeter::default()
     }
 
-    /// Record `elapsed` against `category`.
+    /// A meter recording into an existing registry, so CPU accounting
+    /// and ad-hoc telemetry share one snapshot.
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        let nanos = WorkCategory::ALL.map(|c| registry.counter(c.counter_name()));
+        let latencies = WorkCategory::ALL.map(|c| registry.histogram(c.histogram_name()));
+        WorkMeter {
+            registry,
+            nanos,
+            latencies,
+        }
+    }
+
+    /// The registry this meter records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Record `elapsed` against `category`: busy-time counter plus
+    /// latency histogram. Saturates instead of wrapping.
     pub fn record(&self, category: WorkCategory, elapsed: Duration) {
-        self.nanos[category.index()].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let index = category.index();
+        self.nanos[index].add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        self.latencies[index].record_duration(elapsed);
     }
 
     /// Time a closure and record it.
@@ -85,7 +150,7 @@ impl WorkMeter {
 
     /// Busy time in one category.
     pub fn busy(&self, category: WorkCategory) -> Duration {
-        Duration::from_nanos(self.nanos[category.index()].load(Ordering::Relaxed))
+        Duration::from_nanos(self.nanos[category.index()].get())
     }
 
     /// Total busy time across categories.
@@ -102,11 +167,11 @@ impl WorkMeter {
         100.0 * self.total_busy().as_secs_f64() / window.as_secs_f64()
     }
 
-    /// Zero all counters (start of a measurement window).
+    /// Zero every instrument in the backing registry (start of a
+    /// measurement window). Resets the whole registry, not just the CPU
+    /// counters, so measurement windows see a consistent zero point.
     pub fn reset(&self) {
-        for counter in &self.nanos {
-            counter.store(0, Ordering::Relaxed);
-        }
+        self.registry.reset();
     }
 
     /// Snapshot of every category's busy time.
@@ -171,5 +236,30 @@ mod tests {
             labels,
             vec!["fetch", "parse", "summarize", "archive", "query"]
         );
+    }
+
+    #[test]
+    fn accumulation_saturates_instead_of_wrapping() {
+        let meter = WorkMeter::new();
+        // Two near-max durations used to wrap the counter back to a
+        // small number; now they clamp.
+        meter.record(WorkCategory::Fetch, Duration::from_nanos(u64::MAX - 10));
+        meter.record(WorkCategory::Fetch, Duration::from_nanos(u64::MAX - 10));
+        assert_eq!(
+            meter.busy(WorkCategory::Fetch),
+            Duration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn meter_feeds_shared_registry() {
+        let registry = Arc::new(Registry::new());
+        let meter = WorkMeter::with_registry(Arc::clone(&registry));
+        meter.record(WorkCategory::Parse, Duration::from_micros(250));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cpu.parse_ns"), Some(250_000));
+        let hist = snap.histogram("parse_us").unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.max, 250);
     }
 }

@@ -35,7 +35,12 @@
 //!   polling time-scale, query serving from the latest fully-parsed
 //!   snapshot (§3.3.1);
 //! * [`instrument`] — per-category CPU accounting used by the paper's
-//!   experiments;
+//!   experiments, backed by the `ganglia-telemetry` registry so
+//!   counters, gauges, and latency histograms share one snapshot; when
+//!   `self_telemetry` is enabled the daemon republishes that snapshot
+//!   as a synthetic `<grid>-monitor` cluster of `self.*` metrics —
+//!   archived, summarized, and path-queryable like any other source —
+//!   and serves the raw instruments for `/?filter=telemetry`;
 //! * [`join`] — extension (paper §5 future work): MDS-style
 //!   self-organizing tree membership with certificate-checked join
 //!   messages and soft-state pruning;
@@ -62,3 +67,7 @@ pub use gmetad::{Gmetad, PollerStats};
 pub use health::{BreakerState, EndpointHealth, LifecyclePolicy, RetryPolicy};
 pub use instrument::{WorkCategory, WorkMeter};
 pub use store::{Degradation, SourceData, SourceState, SourceStatus, Store};
+
+// Re-exported so binaries and experiments don't need a direct
+// dependency for the common telemetry types.
+pub use ganglia_telemetry as telemetry;

@@ -16,7 +16,7 @@
 //! endpoint whose breaker re-closes soonest — instead of one
 //! timeout-costing attempt per redundant address.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ganglia_metrics::model::{GridBody, GridNode, SummaryBody};
 use ganglia_metrics::{parse_document, GridItem};
@@ -97,36 +97,56 @@ impl SourcePoller {
         meter: &WorkMeter,
         now: u64,
     ) -> Result<SourceState, GmetadError> {
+        let registry = std::sync::Arc::clone(meter.registry());
+        let fetch_start = Instant::now();
         let (served_by, xml) =
             match self.fetch_with_failover(transport, timeout, policy, meter, now) {
                 Ok(served) => served,
                 Err(errors) => {
                     self.polls_failed += 1;
                     self.consecutive_failures += 1;
+                    registry.counter("polls_failed_total").inc();
                     return Err(GmetadError::AllHostsFailed {
                         source: self.cfg.name.clone(),
                         errors,
                     });
                 }
             };
+        // Per-source telemetry alongside the category-wide accounting:
+        // fetch latency, bytes on the wire, parse latency.
+        let name = &self.cfg.name;
+        registry
+            .histogram(&format!("source.{name}.fetch_us"))
+            .record_duration(fetch_start.elapsed());
+        registry.counter("bytes_in_total").add(xml.len() as u64);
+        registry
+            .counter(&format!("source.{name}.bytes_in_total"))
+            .add(xml.len() as u64);
+        let parse_start = Instant::now();
         let doc = match meter.time(WorkCategory::Parse, || parse_document(&xml)) {
             Ok(doc) => doc,
             Err(error) => {
                 // A garbage or truncated report counts against the
                 // endpoint that served it: enough of them in a row and
                 // its breaker opens, failing the source over.
-                self.health[served_by].record_failure(now, policy);
+                self.record_failure_counting_transitions(served_by, now, policy, meter);
                 self.polls_failed += 1;
                 self.consecutive_failures += 1;
+                registry.counter("polls_failed_total").inc();
+                registry.counter("parse_errors_total").inc();
                 return Err(GmetadError::BadReport {
                     source: self.cfg.name.clone(),
                     error,
                 });
             }
         };
+        registry
+            .histogram(&format!("source.{}.parse_us", self.cfg.name))
+            .record_duration(parse_start.elapsed());
         self.health[served_by].record_success(now);
         self.polls_ok += 1;
         self.consecutive_failures = 0;
+        registry.counter("polls_ok_total").inc();
         Ok(build_state(&self.cfg.name, doc, mode, meter, now))
     }
 
@@ -199,9 +219,29 @@ impl SourcePoller {
             // `poll`); a fetch that returns garbage must not close the
             // breaker.
             Ok(_) => {}
-            Err(_) => self.health[idx].record_failure(now, policy),
+            Err(_) => self.record_failure_counting_transitions(idx, now, policy, meter),
         }
         result
+    }
+
+    /// Record an endpoint failure, counting closed→open breaker
+    /// transitions into the telemetry registry.
+    fn record_failure_counting_transitions(
+        &mut self,
+        idx: usize,
+        now: u64,
+        policy: &RetryPolicy,
+        meter: &WorkMeter,
+    ) {
+        let was_open = matches!(self.health[idx].breaker, BreakerState::Open { .. });
+        self.health[idx].record_failure(now, policy);
+        if !was_open && matches!(self.health[idx].breaker, BreakerState::Open { .. }) {
+            let registry = meter.registry();
+            registry.counter("breaker_opens_total").inc();
+            registry
+                .counter(&format!("source.{}.breaker_opens_total", self.cfg.name))
+                .inc();
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
 use ganglia_metrics::{MetricValue, Slope};
+use ganglia_telemetry::{Counter, Registry};
 
 use crate::channel::MetricChannel;
 use crate::config::GmondConfig;
@@ -59,6 +60,10 @@ pub struct GmondAgent {
     cluster: HashMap<String, HostView>,
     /// Packets sent over the agent's lifetime (traffic accounting).
     packets_sent: u64,
+    registry: Arc<Registry>,
+    packets_tx: Counter,
+    packets_rx: Counter,
+    decode_errors: Counter,
 }
 
 impl GmondAgent {
@@ -72,6 +77,10 @@ impl GmondAgent {
         channel: impl MetricChannel + 'static,
         now: u64,
     ) -> Self {
+        let registry = Arc::new(Registry::new());
+        let packets_tx = registry.counter("packets_tx_total");
+        let packets_rx = registry.counter("packets_rx_total");
+        let decode_errors = registry.counter("decode_errors_total");
         GmondAgent {
             node_name: node_name.into(),
             ip: ip.into(),
@@ -82,6 +91,10 @@ impl GmondAgent {
             send_state: HashMap::new(),
             cluster: HashMap::new(),
             packets_sent: 0,
+            registry,
+            packets_tx,
+            packets_rx,
+            decode_errors,
         }
     }
 
@@ -93,6 +106,11 @@ impl GmondAgent {
     /// Packets this agent has multicast.
     pub fn packets_sent(&self) -> u64 {
         self.packets_sent
+    }
+
+    /// The agent's telemetry registry (packet and decode counters).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Number of hosts currently in this agent's cluster state.
@@ -148,6 +166,7 @@ impl GmondAgent {
             // its neighbors").
             self.channel.publish(packet.encode());
             self.packets_sent += 1;
+            self.packets_tx.inc();
             self.apply_packet(&packet, now);
         }
     }
@@ -178,15 +197,19 @@ impl GmondAgent {
         };
         self.channel.publish(packet.encode());
         self.packets_sent += 1;
+        self.packets_tx.inc();
         self.apply_packet(&packet, now);
     }
 
     /// Drain the multicast inbox, merging neighbor packets.
-    /// Undecodable packets are dropped, as a UDP listener would.
+    /// Undecodable packets are dropped, as a UDP listener would, but the
+    /// drop is counted so the loss is visible in self-telemetry.
     pub fn receive(&mut self, now: u64) {
         while let Some(raw) = self.channel.poll() {
-            if let Ok(packet) = MetricPacket::decode(&raw) {
-                self.apply_packet(&packet, now);
+            self.packets_rx.inc();
+            match MetricPacket::decode(&raw) {
+                Ok(packet) => self.apply_packet(&packet, now),
+                Err(_) => self.decode_errors.inc(),
             }
         }
     }
@@ -253,6 +276,9 @@ impl GmondAgent {
                         source: "gmond".to_string(),
                     })
                     .collect();
+                if self.config.self_telemetry && name == &self.node_name {
+                    metrics.extend(self.self_metrics());
+                }
                 metrics.sort_by(|a, b| a.name.cmp(&b.name));
                 HostNode {
                     name: name.clone(),
@@ -280,6 +306,30 @@ impl GmondAgent {
     /// serves).
     pub fn xml_report(&self, now: u64) -> String {
         ganglia_metrics::codec::write_document(&self.report(now))
+    }
+
+    /// The agent's own telemetry as `self.*` metric entries ("monitor
+    /// the monitor"): appended to its own host in [`report`] when
+    /// `self_telemetry` is on, so the counters ride the normal
+    /// monitoring channel up to gmetad and into the archives.
+    fn self_metrics(&self) -> Vec<MetricEntry> {
+        let metric = |metric_name: &str, value: u64, units: &str| {
+            let mut entry = MetricEntry::new(metric_name, MetricValue::Double(value as f64));
+            entry.units = units.to_string();
+            entry.source = "gmond".to_string();
+            entry.tmax = self.config.heartbeat_interval;
+            entry
+        };
+        vec![
+            metric("self.packets_tx_total", self.packets_tx.get(), "packets"),
+            metric("self.packets_rx_total", self.packets_rx.get(), "packets"),
+            metric(
+                "self.decode_errors_total",
+                self.decode_errors.get(),
+                "packets",
+            ),
+            metric("self.known_hosts", self.cluster.len() as u64, "hosts"),
+        ]
     }
 }
 
@@ -429,6 +479,80 @@ mod tests {
         agent.tick(20);
         let resent = agent.packets_sent() - initial;
         assert!(resent > 1, "expected value-threshold rebroadcasts");
+    }
+
+    #[test]
+    fn self_telemetry_publishes_packet_counters() {
+        let bus = McastBus::new(1);
+        let mut config = GmondConfig::new("alpha");
+        config.self_telemetry = true;
+        let mut a = GmondAgent::new(
+            "node-0",
+            "10.0.0.10",
+            Arc::new(config),
+            Box::new(SimulatedHost::new(10)),
+            bus.subscribe(),
+            0,
+        );
+        a.tick(0);
+        let xml = a.xml_report(0);
+        let doc = ganglia_metrics::parse_document(&xml).unwrap();
+        let ganglia_metrics::GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
+        let host = c.host("node-0").unwrap();
+        // 34 builtin metrics + 4 self.* entries, only on the own host.
+        assert_eq!(host.metrics.len(), 38);
+        let tx = host.metric("self.packets_tx_total").unwrap();
+        assert_eq!(tx.value.as_f64(), Some(34.0));
+        assert!(host.metric("self.known_hosts").is_some());
+        // The counters never ride the multicast channel: a neighbor's
+        // view of node-0 stays telemetry-free.
+        let bus2 = McastBus::new(1);
+        let plain = Arc::new(GmondConfig::new("alpha"));
+        let mut b = GmondAgent::new(
+            "node-1",
+            "10.0.0.11",
+            plain,
+            Box::new(SimulatedHost::new(11)),
+            bus2.subscribe(),
+            0,
+        );
+        b.receive(0);
+        assert_eq!(b.known_hosts(), 0);
+        assert_eq!(b.registry().counter("packets_rx_total").get(), 0);
+    }
+
+    #[test]
+    fn decode_errors_are_counted_not_fatal() {
+        let bus = McastBus::new(1);
+        let config = Arc::new(GmondConfig::new("alpha"));
+        let mut a = GmondAgent::new(
+            "node-0",
+            "10.0.0.10",
+            Arc::clone(&config),
+            Box::new(SimulatedHost::new(10)),
+            bus.subscribe(),
+            0,
+        );
+        let mut b = GmondAgent::new(
+            "node-1",
+            "10.0.0.11",
+            config,
+            Box::new(SimulatedHost::new(11)),
+            bus.subscribe(),
+            0,
+        );
+        let injector = bus.subscribe();
+        a.tick(0);
+        // Garbage alongside the real packets: dropped, counted, not fatal.
+        injector.publish(bytes::Bytes::from_static(b"\xff\xff\xffnot-xdr"));
+        b.receive(0);
+        assert_eq!(b.known_hosts(), 1);
+        let reg = b.registry();
+        assert_eq!(reg.counter("decode_errors_total").get(), 1);
+        assert_eq!(reg.counter("packets_rx_total").get(), 35);
+        assert_eq!(reg.counter("packets_tx_total").get(), 0);
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct GmondConfig {
     /// Soft-state lifetime for a silent host: hosts whose last heartbeat
     /// is older than this are purged from neighbor state.
     pub host_dmax: u32,
+    /// When set, the agent publishes its own telemetry (`self.*` packet
+    /// and decode counters) as extra metrics on its own host entry, so
+    /// the monitoring channel carries the monitor's health too.
+    pub self_telemetry: bool,
     /// The metric set agents collect.
     pub registry: MetricRegistry,
 }
@@ -33,6 +37,7 @@ impl GmondConfig {
             url: String::new(),
             heartbeat_interval: 20,
             host_dmax: 3600,
+            self_telemetry: false,
             registry: MetricRegistry::with_builtins(),
         }
     }

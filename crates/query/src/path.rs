@@ -11,6 +11,10 @@ pub enum Filter {
     /// Return the selected cluster (or grid) in summary form — the
     /// cluster-summary query of paper §3.3.2.
     Summary,
+    /// Return the answering daemon's own telemetry snapshot as a
+    /// standalone `TELEMETRY` document instead of monitoring data.
+    /// Only meaningful on the root path.
+    Telemetry,
 }
 
 /// One path segment: an exact name or a `~pattern`.
@@ -112,6 +116,7 @@ impl Query {
             for param in params.split('&').filter(|p| !p.is_empty()) {
                 match param.split_once('=') {
                     Some(("filter", "summary")) => filter = Some(Filter::Summary),
+                    Some(("filter", "telemetry")) => filter = Some(Filter::Telemetry),
                     _ => return Err(QueryError::BadParameter(param.to_string())),
                 }
             }
@@ -145,8 +150,10 @@ impl fmt::Display for Query {
                 write!(f, "/{segment}")?;
             }
         }
-        if let Some(Filter::Summary) = self.filter {
-            f.write_str("?filter=summary")?;
+        match self.filter {
+            Some(Filter::Summary) => f.write_str("?filter=summary")?,
+            Some(Filter::Telemetry) => f.write_str("?filter=telemetry")?,
+            None => {}
         }
         Ok(())
     }
@@ -183,6 +190,14 @@ mod tests {
         let q = Query::parse("/meteor?filter=summary").unwrap();
         assert_eq!(q.filter, Some(Filter::Summary));
         assert_eq!(q.to_string(), "/meteor?filter=summary");
+    }
+
+    #[test]
+    fn telemetry_filter() {
+        let q = Query::parse("/?filter=telemetry").unwrap();
+        assert_eq!(q.filter, Some(Filter::Telemetry));
+        assert!(q.is_root());
+        assert_eq!(q.to_string(), "/?filter=telemetry");
     }
 
     #[test]

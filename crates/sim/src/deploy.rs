@@ -35,6 +35,9 @@ pub struct DeploymentParams {
     pub redundant_addrs: usize,
     /// Whether monitors archive to RRDs.
     pub archive: bool,
+    /// Whether monitors publish their own telemetry as a synthetic
+    /// `{name}-monitor` cluster each round ("monitor the monitor").
+    pub self_telemetry: bool,
 }
 
 impl Default for DeploymentParams {
@@ -45,6 +48,7 @@ impl Default for DeploymentParams {
             seed: 42,
             redundant_addrs: 2,
             archive: true,
+            self_telemetry: false,
         }
     }
 }
@@ -53,6 +57,12 @@ impl DeploymentParams {
     /// Same parameters with a different tree mode.
     pub fn with_mode(mut self, mode: TreeMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Same parameters with self-telemetry publication toggled.
+    pub fn with_self_telemetry(mut self, on: bool) -> Self {
+        self.self_telemetry = on;
         self
     }
 }
@@ -89,7 +99,9 @@ impl Deployment {
             }
         }
         for monitor in &tree.monitors {
-            let mut config = GmetadConfig::new(&monitor.name).with_mode(params.mode);
+            let mut config = GmetadConfig::new(&monitor.name)
+                .with_mode(params.mode)
+                .with_self_telemetry(params.self_telemetry);
             config.poll_interval = params.poll_interval;
             config.archive = if params.archive {
                 ArchiveMode::InMemory
@@ -214,6 +226,16 @@ impl Deployment {
             .map(|name| (name.as_str(), &**self.monitors[name].meter()))
             .collect();
         CpuReport::collect(window, pairs)
+    }
+
+    /// Telemetry snapshot of every monitor, rows in breadth-first tree
+    /// order (matching [`cpu_report`]).
+    pub fn telemetry_report(&self) -> Vec<(String, ganglia_core::telemetry::Snapshot)> {
+        self.tree
+            .breadth_first()
+            .iter()
+            .map(|name| (name.clone(), self.monitors[name].telemetry_snapshot()))
+            .collect()
     }
 
     // -- fault injection ------------------------------------------------

@@ -10,6 +10,7 @@
 //! (which pay a summarization penalty) and drastically reduces non-leaf
 //! load.
 
+use ganglia_core::telemetry::Snapshot;
 use ganglia_core::TreeMode;
 
 use crate::deploy::{Deployment, DeploymentParams};
@@ -50,10 +51,22 @@ pub struct Fig5Row {
     pub n_level_pct: f64,
 }
 
+/// One monitor's self-telemetry under each design, captured over the
+/// measured window (counters, gauges, latency histograms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Telemetry {
+    pub monitor: String,
+    pub one_level: Snapshot,
+    pub n_level: Snapshot,
+}
+
 /// The whole figure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Result {
     pub rows: Vec<Fig5Row>,
+    /// Per-monitor instrument snapshots backing the CPU numbers, so the
+    /// reproduction can report latency quantiles, not just utilization.
+    pub telemetry: Vec<Fig5Telemetry>,
     pub params_hosts: usize,
 }
 
@@ -76,7 +89,7 @@ impl Fig5Result {
     }
 }
 
-fn measure(mode: TreeMode, params: &Fig5Params) -> Vec<(String, f64)> {
+fn measure(mode: TreeMode, params: &Fig5Params) -> Vec<(String, f64, Snapshot)> {
     let mut deployment = Deployment::build(
         fig2_tree(params.hosts_per_cluster),
         DeploymentParams {
@@ -88,11 +101,16 @@ fn measure(mode: TreeMode, params: &Fig5Params) -> Vec<(String, f64)> {
     deployment.run_rounds(params.warmup_rounds);
     deployment.reset_meters();
     deployment.run_rounds(params.measured_rounds);
+    let telemetry = deployment.telemetry_report();
     deployment
         .cpu_report()
         .rows
         .into_iter()
-        .map(|row| (row.monitor, row.percent))
+        .zip(telemetry)
+        .map(|(row, (telemetry_monitor, snapshot))| {
+            debug_assert_eq!(row.monitor, telemetry_monitor);
+            (row.monitor, row.percent, snapshot)
+        })
         .collect()
 }
 
@@ -100,20 +118,26 @@ fn measure(mode: TreeMode, params: &Fig5Params) -> Vec<(String, f64)> {
 pub fn run_fig5(params: &Fig5Params) -> Fig5Result {
     let one_level = measure(TreeMode::OneLevel, params);
     let n_level = measure(TreeMode::NLevel, params);
-    let rows = one_level
-        .into_iter()
-        .zip(n_level)
-        .map(|((monitor, one_pct), (n_monitor, n_pct))| {
-            debug_assert_eq!(monitor, n_monitor);
-            Fig5Row {
-                monitor,
-                one_level_pct: one_pct,
-                n_level_pct: n_pct,
-            }
-        })
-        .collect();
+    let mut rows = Vec::new();
+    let mut telemetry = Vec::new();
+    for ((monitor, one_pct, one_snap), (n_monitor, n_pct, n_snap)) in
+        one_level.into_iter().zip(n_level)
+    {
+        debug_assert_eq!(monitor, n_monitor);
+        rows.push(Fig5Row {
+            monitor: monitor.clone(),
+            one_level_pct: one_pct,
+            n_level_pct: n_pct,
+        });
+        telemetry.push(Fig5Telemetry {
+            monitor,
+            one_level: one_snap,
+            n_level: n_snap,
+        });
+    }
     Fig5Result {
         rows,
+        telemetry,
         params_hosts: params.hosts_per_cluster,
     }
 }
@@ -165,5 +189,18 @@ mod tests {
             n_total < one_total,
             "aggregate N-level {n_total} vs 1-level {one_total}"
         );
+
+        // The telemetry snapshots ride along: the root fetched and
+        // parsed something every measured round under both designs.
+        let root_telemetry = result
+            .telemetry
+            .iter()
+            .find(|t| t.monitor == "root")
+            .unwrap();
+        for snap in [&root_telemetry.one_level, &root_telemetry.n_level] {
+            assert!(snap.histogram("fetch_us").unwrap().count > 0);
+            assert!(snap.histogram("parse_us").unwrap().count > 0);
+            assert!(snap.counter("polls_ok_total").unwrap() > 0);
+        }
     }
 }

@@ -11,6 +11,7 @@
 
 use std::time::{Duration, Instant};
 
+use ganglia_core::telemetry::Histogram;
 use ganglia_core::{archive, poller, TreeMode, WorkMeter};
 use ganglia_metrics::definition::{MetricDefinition, Synth};
 use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
@@ -23,8 +24,13 @@ pub struct LimitsRow {
     pub metrics_per_host: usize,
     /// RRD updates one poll round performs.
     pub updates_per_round: u64,
-    /// Wall time of that archiving round.
+    /// Mean wall time of an archiving round.
     pub archive_time: Duration,
+    /// Median per-round archive time over the measured rounds.
+    pub archive_time_p50: Duration,
+    /// Worst-case-ish per-round archive time (p99 of the round
+    /// histogram; with few rounds this is the max).
+    pub archive_time_p99: Duration,
 }
 
 /// The whole sweep.
@@ -77,16 +83,22 @@ pub fn run_limits(hosts: usize, metric_counts: &[usize], rounds: u64) -> LimitsR
             // steady-state update cost.
             archive::archive_source(&mut set, &state, TreeMode::NLevel, 15);
             let before = set.update_count();
+            let rounds_us = Histogram::new();
             let start = Instant::now();
             for round in 0..rounds {
+                let round_start = Instant::now();
                 archive::archive_source(&mut set, &state, TreeMode::NLevel, 30 + round * 15);
+                rounds_us.record(round_start.elapsed().as_micros().min(u64::MAX as u128) as u64);
             }
             let archive_time = start.elapsed() / rounds as u32;
             let updates_per_round = (set.update_count() - before) / rounds;
+            let quantiles = rounds_us.snapshot();
             LimitsRow {
                 metrics_per_host,
                 updates_per_round,
                 archive_time,
+                archive_time_p50: Duration::from_micros(quantiles.quantile(0.50)),
+                archive_time_p99: Duration::from_micros(quantiles.quantile(0.99)),
             }
         })
         .collect();
@@ -128,6 +140,11 @@ mod tests {
         let t10 = result.rows[0].archive_time.as_secs_f64();
         let t40 = result.rows[2].archive_time.as_secs_f64();
         assert!(t40 > t10 * 1.5, "t10={t10} t40={t40}");
+        // Quantiles bracket the mean sensibly: p50 <= p99, both nonzero.
+        for row in &result.rows {
+            assert!(row.archive_time_p50 <= row.archive_time_p99, "{row:?}");
+            assert!(row.archive_time_p99 > Duration::ZERO, "{row:?}");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod table1;
 pub mod traffic;
 
 pub use bandwidth::{run_bandwidth, BandwidthResult};
-pub use fig5::{run_fig5, Fig5Params, Fig5Result};
+pub use fig5::{run_fig5, Fig5Params, Fig5Result, Fig5Telemetry};
 pub use fig6::{run_fig6, Fig6Params, Fig6Result};
 pub use limits::{run_limits, LimitsResult, LimitsRow};
 pub use table1::{run_table1, Table1Params, Table1Result};

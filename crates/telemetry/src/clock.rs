@@ -1,0 +1,54 @@
+//! Injectable logical clock for deterministic event timestamps.
+//!
+//! Latency *measurement* always uses `Instant` — the work being timed
+//! is real. But event *timestamps* (when a span closed, relative to the
+//! simulation) must be reproducible under a fixed seed, so the tracer
+//! stamps events with this logical clock instead of wall time. The
+//! simulator drives it with its virtual round clock; standalone daemons
+//! drive it with Unix time. Either way the telemetry layer never asks
+//! the OS what time it is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared seconds-granularity clock. Cloning shares the underlying
+/// counter, so one writer (the poll loop) can advance the clock every
+/// component observes.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock(Arc<AtomicU64>);
+
+impl LogicalClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+
+    /// A clock starting at `now`.
+    pub fn starting_at(now: u64) -> Self {
+        LogicalClock(Arc::new(AtomicU64::new(now)))
+    }
+
+    /// Advance (or rewind — the sim may reset) the clock.
+    pub fn set(&self, now: u64) {
+        self.0.store(now, Ordering::Relaxed);
+    }
+
+    /// Current logical time in seconds.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let clock = LogicalClock::new();
+        let observer = clock.clone();
+        assert_eq!(observer.now(), 0);
+        clock.set(42);
+        assert_eq!(observer.now(), 42);
+    }
+}

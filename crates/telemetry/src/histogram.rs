@@ -1,0 +1,291 @@
+//! Log-bucketed latency histogram.
+//!
+//! Values are `u64` in whatever unit the caller chose (by convention
+//! the metric name carries the unit: `fetch_us`). Buckets are powers of
+//! two: bucket 0 holds exactly the value 0, bucket `i` (1..=64) holds
+//! `[2^(i-1), 2^i)`. That gives ~7% relative error at the bucket
+//! midpoint over the full `u64` range with a fixed 65-word footprint —
+//! the same trade HDR-style histograms make, minus the sub-bucket
+//! refinement we don't need for monitor self-measurement.
+//!
+//! Recording is wait-free: one `fetch_add` per bucket/count, saturating
+//! CAS for the sum, `fetch_min`/`fetch_max` for the extremes. There is
+//! no lock to convoy on, which matters because the poller records from
+//! every source every round.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket 0 plus one bucket per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Which bucket a value lands in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Smallest value bucket `index` can hold.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// Largest value bucket `index` can hold.
+#[inline]
+fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Concurrent histogram. Shared via `Arc` by the registry.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Saturates at `u64::MAX` rather than wrapping — a monitor that
+    /// has been up long enough to overflow should clamp, not lie.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Zero every cell (test/bench reset between rounds).
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy for quantile math and serialization.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// `fetch_add` that clamps at `u64::MAX` instead of wrapping.
+pub(crate) fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(delta);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// Immutable copy of a histogram's state. Quantiles are estimated by a
+/// cumulative walk with linear interpolation inside the target bucket,
+/// clamped to the observed `[min, max]` so a single sample reports its
+/// exact value at every quantile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful when a metric was never recorded).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Mean of all observations, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`. Returns 0 for an
+    /// empty histogram. Guaranteed monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extremes are tracked exactly; don't let bucket
+        // interpolation smear them.
+        if rank == 1 {
+            return self.min;
+        }
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cumulative = 0u64;
+        for (index, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            let next = cumulative + in_bucket;
+            if rank <= next {
+                // Interpolate position-within-bucket → value-within-range.
+                let low = bucket_lower_bound(index).max(self.min);
+                let high = bucket_upper_bound(index).min(self.max);
+                let position = (rank - cumulative) as f64 / in_bucket as f64;
+                let width = high.saturating_sub(low) as f64;
+                return (low + (width * position).round() as u64).clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p95, p99).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
+    /// Minimum, reported as 0 when empty (for display).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Sparse `index:count` text form for the XML wire format.
+    pub(crate) fn buckets_to_sparse(&self) -> String {
+        let mut out = String::new();
+        for (index, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket > 0 {
+                if !out.is_empty() {
+                    out.push(',');
+                }
+                out.push_str(&format!("{index}:{in_bucket}"));
+            }
+        }
+        out
+    }
+
+    /// Parse the sparse form back into a full bucket vector.
+    pub(crate) fn buckets_from_sparse(text: &str) -> Option<Vec<u64>> {
+        let mut buckets = vec![0u64; BUCKETS];
+        for pair in text.split(',').filter(|p| !p.is_empty()) {
+            let (index, value) = pair.split_once(':')?;
+            let index: usize = index.parse().ok()?;
+            if index >= BUCKETS {
+                return None;
+            }
+            buckets[index] = value.parse().ok()?;
+        }
+        Some(buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX - 5);
+        h.record(u64::MAX - 5);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, u64::MAX);
+        assert_eq!(snap.count, 2);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let h = Histogram::new();
+        for v in [0, 1, 7, 900, 900, 4096] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let text = snap.buckets_to_sparse();
+        let back = HistogramSnapshot::buckets_from_sparse(&text).unwrap();
+        assert_eq!(back, snap.buckets);
+    }
+}

@@ -1,0 +1,218 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles returned by the registry are interned `Arc`s to the live
+//! atomic cells: the first request for a name takes the write lock once,
+//! every later request takes the read lock, and actual increments touch
+//! no lock at all. Callers on hot paths should hold onto the handle
+//! rather than re-looking it up per event, but even the lookup is cheap
+//! enough for per-round use.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::histogram::{saturating_fetch_add, Histogram};
+use crate::snapshot::Snapshot;
+
+/// Monotonic event counter. Adds saturate instead of wrapping.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta` to the counter, clamping at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        saturating_fetch_add(&self.0, delta);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (sources configured, hosts up, queue depth…).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a registry-owned histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Histogram>);
+
+impl HistogramHandle {
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.0.record(value);
+    }
+
+    /// Record a duration as integer microseconds.
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count()
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> crate::histogram::HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// The registry itself. One per daemon, shared by `Arc`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(cell) = self.counters.read().get(name) {
+            return Counter(Arc::clone(cell));
+        }
+        let mut map = self.counters.write();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(cell) = self.gauges.read().get(name) {
+            return Gauge(Arc::clone(cell));
+        }
+        let mut map = self.gauges.write();
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// Get or create the histogram `name`. By convention the name ends
+    /// in its unit suffix (`_us`, `_bytes`).
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        if let Some(h) = self.histograms.read().get(name) {
+            return HistogramHandle(Arc::clone(h));
+        }
+        let mut map = self.histograms.write();
+        let h = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()));
+        HistogramHandle(Arc::clone(h))
+    }
+
+    /// Copy every instrument into a deterministic (name-sorted)
+    /// snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, u64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, crate::histogram::HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zero every instrument without forgetting the names. Used by the
+    /// sim harness between measured rounds.
+    pub fn reset(&self) {
+        for cell in self.counters.read().values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in self.gauges.read().values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.read().values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_interned() {
+        let registry = Registry::new();
+        let a = registry.counter("polls");
+        let b = registry.counter("polls");
+        a.add(3);
+        b.inc();
+        assert_eq!(registry.counter("polls").get(), 4);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let registry = Registry::new();
+        let c = registry.counter("big");
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reset_keeps_names() {
+        let registry = Registry::new();
+        registry.counter("zeta").inc();
+        registry.counter("alpha").inc();
+        registry.gauge("hosts").set(7);
+        registry.histogram("lat_us").record(100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        registry.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert!(snap.counters.iter().all(|(_, v)| *v == 0));
+        assert_eq!(snap.histograms[0].1.count, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Hierarchical tracing spans.
+//!
+//! A span times a region of work with `Instant` and, when it drops,
+//! records the elapsed microseconds into the registry histogram named
+//! `<path>_us`, where the path is the dot-joined chain of span names
+//! (`round` → `round.fetch` → `round.fetch_us`). Children are created
+//! explicitly from their parent so the hierarchy is in the type flow,
+//! not thread-local magic — this code runs inside a simulator that
+//! multiplexes many daemons on one thread, where implicit context would
+//! cross-contaminate.
+//!
+//! Optionally the tracer keeps a bounded ring of [`SpanEvent`]s stamped
+//! with the injectable [`LogicalClock`], giving a structured "what
+//! happened when" log that is deterministic under the sim's virtual
+//! time even though the durations inside it are real measurements.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::clock::LogicalClock;
+use crate::registry::Registry;
+
+/// One closed span, as remembered by the event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Dotted span path, e.g. `round.fetch`.
+    pub path: String,
+    /// Logical-clock timestamp (seconds) when the span closed.
+    pub closed_at: u64,
+    /// Real elapsed microseconds.
+    pub micros: u64,
+}
+
+/// Factory for root spans; owns the optional event log.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    registry: Arc<Registry>,
+    clock: LogicalClock,
+    events: Option<Arc<Mutex<VecDeque<SpanEvent>>>>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// A tracer that only feeds histograms (no event log).
+    pub fn new(registry: Arc<Registry>, clock: LogicalClock) -> Self {
+        Tracer {
+            registry,
+            clock,
+            events: None,
+            capacity: 0,
+        }
+    }
+
+    /// Keep the last `capacity` closed spans as structured events.
+    pub fn with_event_log(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self.events = Some(Arc::new(Mutex::new(VecDeque::with_capacity(capacity))));
+        self
+    }
+
+    /// Open a root span.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span {
+            tracer: self,
+            path: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Snapshot of the event log, oldest first. Empty when the log is
+    /// disabled.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        match &self.events {
+            Some(log) => log.lock().iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn close(&self, path: &str, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.registry
+            .histogram(&format!("{path}_us"))
+            .record(micros);
+        if let Some(log) = &self.events {
+            let mut log = log.lock();
+            if log.len() == self.capacity {
+                log.pop_front();
+            }
+            log.push_back(SpanEvent {
+                path: path.to_string(),
+                closed_at: self.clock.now(),
+                micros,
+            });
+        }
+    }
+}
+
+/// A live timed region. Records itself on drop.
+#[derive(Debug)]
+pub struct Span<'t> {
+    tracer: &'t Tracer,
+    path: String,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Open a child span; its path is `parent.child`.
+    pub fn child(&self, name: &str) -> Span<'_> {
+        Span {
+            tracer: self.tracer,
+            path: format!("{}.{name}", self.path),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The dotted path this span records under (without the `_us`
+    /// histogram suffix).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.close(&self.path, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_feed_path_named_histograms() {
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::new(Arc::clone(&registry), LogicalClock::new());
+        {
+            let round = tracer.span("round");
+            {
+                let _fetch = round.child("fetch");
+            }
+            {
+                let _fetch = round.child("fetch");
+            }
+        }
+        assert_eq!(registry.histogram("round_us").count(), 1);
+        assert_eq!(registry.histogram("round.fetch_us").count(), 2);
+    }
+
+    #[test]
+    fn event_log_is_bounded_and_clock_stamped() {
+        let clock = LogicalClock::new();
+        let registry = Arc::new(Registry::new());
+        let tracer = Tracer::new(Arc::clone(&registry), clock.clone()).with_event_log(2);
+        clock.set(10);
+        let _ = tracer.span("a");
+        clock.set(20);
+        let _ = tracer.span("b");
+        clock.set(30);
+        let _ = tracer.span("c");
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].path, "b");
+        assert_eq!(events[0].closed_at, 20);
+        assert_eq!(events[1].path, "c");
+        assert_eq!(events[1].closed_at, 30);
+    }
+}

@@ -1,0 +1,124 @@
+//! Histogram edge cases the quantile estimator must get right: empty,
+//! single-sample, bucket-boundary values, and (property-tested)
+//! monotonicity and range containment of the estimates.
+
+use ganglia_telemetry::{bucket_index, bucket_lower_bound, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn zero_samples_reports_zeros() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.quantile(0.0), 0);
+    assert_eq!(snap.quantile(0.5), 0);
+    assert_eq!(snap.quantile(1.0), 0);
+    assert_eq!(snap.mean(), 0.0);
+    assert_eq!(snap.min_or_zero(), 0);
+    assert_eq!(snap.max, 0);
+    assert_eq!(snap, HistogramSnapshot::empty());
+}
+
+#[test]
+fn one_sample_is_every_quantile() {
+    for value in [0u64, 1, 7, 1000, u64::MAX] {
+        let h = Histogram::new();
+        h.record(value);
+        let snap = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), value, "value={value} q={q}");
+        }
+        assert_eq!(snap.min, value);
+        assert_eq!(snap.max, value);
+        assert_eq!(snap.mean(), value as f64);
+    }
+}
+
+#[test]
+fn boundary_values_land_in_adjacent_buckets() {
+    // Values straddling every power-of-two boundary must separate into
+    // neighbouring buckets, and quantiles must stay within [min, max].
+    for exp in 1..63u32 {
+        let boundary = 1u64 << exp;
+        let h = Histogram::new();
+        h.record(boundary - 1);
+        h.record(boundary);
+        assert_eq!(
+            bucket_index(boundary - 1) + 1,
+            bucket_index(boundary),
+            "boundary 2^{exp}"
+        );
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), boundary - 1);
+        assert_eq!(snap.quantile(1.0), boundary);
+        let p50 = snap.quantile(0.5);
+        assert!(
+            p50 >= boundary - 1 && p50 <= boundary,
+            "p50={p50} at 2^{exp}"
+        );
+    }
+}
+
+#[test]
+fn bucket_lower_bounds_are_self_consistent() {
+    for index in 0..BUCKETS {
+        assert_eq!(bucket_index(bucket_lower_bound(index)), index);
+        if index > 0 {
+            // One below the lower bound belongs to the previous bucket.
+            assert_eq!(bucket_index(bucket_lower_bound(index) - 1), index - 1);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min, min);
+        prop_assert_eq!(snap.max, max);
+        let mut previous = 0u64;
+        for step in 0..=100u32 {
+            let q = f64::from(step) / 100.0;
+            let estimate = snap.quantile(q);
+            prop_assert!(estimate >= previous,
+                "quantile not monotone at q={}: {} < {}", q, estimate, previous);
+            prop_assert!(estimate >= min && estimate <= max,
+                "quantile {} out of [{}, {}] at q={}", estimate, min, max, q);
+            previous = estimate;
+        }
+        // Extremes are exact, not estimates.
+        prop_assert_eq!(snap.quantile(0.0), min);
+        prop_assert_eq!(snap.quantile(1.0), max);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width(
+        values in proptest::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &(q, rank_of) in &[(0.5f64, 0.5f64), (0.95, 0.95), (0.99, 0.99)] {
+            let rank = ((rank_of * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let estimate = snap.quantile(q);
+            // Log-bucketing bounds relative error by one bucket width:
+            // the estimate lies within [exact/2, 2*exact].
+            prop_assert!(estimate >= exact / 2 && estimate <= exact.saturating_mul(2),
+                "q={} exact={} estimate={}", q, exact, estimate);
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! gstat --gmetad 127.0.0.1:8652 --cluster meteor     # cluster view
 //! gstat --gmetad 127.0.0.1:8652 --cluster meteor --host compute-0-0
 //! gstat --gmetad 127.0.0.1:8652 --one-level          # legacy full-dump client
+//! gstat --gmetad 127.0.0.1:8652 --telemetry          # the agent's own health
 //! ```
 
 use std::process::ExitCode;
@@ -19,6 +20,7 @@ struct Options {
     cluster: Option<String>,
     host: Option<String>,
     one_level: bool,
+    telemetry: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Options, String> {
         cluster: None,
         host: None,
         one_level: false,
+        telemetry: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
             "--cluster" | "-c" => options.cluster = Some(value("--cluster")?),
             "--host" | "-H" => options.host = Some(value("--host")?),
             "--one-level" => options.one_level = true,
+            "--telemetry" | "-t" => options.telemetry = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -53,7 +57,9 @@ fn main() -> ExitCode {
         Ok(options) => options,
         Err(e) => {
             eprintln!("gstat: {e}");
-            eprintln!("usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level]");
+            eprintln!(
+                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level] [--telemetry]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -61,6 +67,20 @@ fn main() -> ExitCode {
         Arc::new(TcpTransport::new()),
         Addr::new(options.gmetad.clone()),
     );
+    if options.telemetry {
+        // Self-telemetry view: the agent's own counters and latency
+        // quantiles, rendered as tables.
+        return match client.fetch_telemetry() {
+            Ok((snapshot, source)) => {
+                print!("{}", snapshot.render_table(&source));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gstat: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let frontend: Box<dyn Frontend> = if options.one_level {
         Box::new(OneLevelFrontend::new(client))
     } else {

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use ganglia_metrics::{parse_document, GangliaDoc, ParseError};
 use ganglia_net::transport::Transport;
 use ganglia_net::{Addr, NetError};
+use ganglia_telemetry::{Registry, Snapshot, TelemetryError};
 
 use crate::timing::ViewTiming;
 
@@ -18,6 +19,8 @@ pub enum ViewerError {
     Parse(ParseError),
     /// The selected cluster/host does not exist in the response.
     NotFound(String),
+    /// A `?filter=telemetry` response did not parse as a TELEMETRY doc.
+    Telemetry(TelemetryError),
 }
 
 impl std::fmt::Display for ViewerError {
@@ -26,6 +29,7 @@ impl std::fmt::Display for ViewerError {
             ViewerError::Net(e) => write!(f, "gmeta unreachable: {e}"),
             ViewerError::Parse(e) => write!(f, "bad gmeta response: {e}"),
             ViewerError::NotFound(what) => write!(f, "{what} not found"),
+            ViewerError::Telemetry(e) => write!(f, "bad telemetry response: {e}"),
         }
     }
 }
@@ -49,6 +53,7 @@ pub struct ViewerClient {
     transport: Arc<dyn Transport>,
     gmeta: Addr,
     timeout: Duration,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl ViewerClient {
@@ -58,7 +63,16 @@ impl ViewerClient {
             transport,
             gmeta,
             timeout: Duration::from_secs(10),
+            telemetry: None,
         }
+    }
+
+    /// Record every fetch into `registry` (`viewer.download_us` and
+    /// `viewer.parse_us` histograms plus a `viewer.bytes_in_total`
+    /// counter), alongside the per-view [`ViewTiming`].
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> ViewerClient {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// The agent this client queries.
@@ -75,12 +89,33 @@ impl ViewerClient {
     ) -> Result<GangliaDoc, ViewerError> {
         let start = Instant::now();
         let xml = self.transport.fetch(&self.gmeta, query, self.timeout)?;
-        timing.download += start.elapsed();
+        let download = start.elapsed();
+        timing.download += download;
         timing.xml_bytes += xml.len();
         let start = Instant::now();
         let doc = parse_document(&xml)?;
-        timing.parse += start.elapsed();
+        let parse = start.elapsed();
+        timing.parse += parse;
+        if let Some(registry) = &self.telemetry {
+            registry
+                .histogram("viewer.download_us")
+                .record_duration(download);
+            registry.histogram("viewer.parse_us").record_duration(parse);
+            registry
+                .counter("viewer.bytes_in_total")
+                .add(xml.len() as u64);
+        }
         Ok(doc)
+    }
+
+    /// Fetch the agent's self-telemetry snapshot (`?filter=telemetry`)
+    /// and parse the TELEMETRY document into a [`Snapshot`] plus its
+    /// `SOURCE` label.
+    pub fn fetch_telemetry(&self) -> Result<(Snapshot, String), ViewerError> {
+        let xml = self
+            .transport
+            .fetch(&self.gmeta, "/?filter=telemetry", self.timeout)?;
+        Snapshot::parse_xml(&xml).map_err(ViewerError::Telemetry)
     }
 }
 
@@ -110,6 +145,61 @@ mod tests {
         let doc = client.fetch_parsed("/x", &mut timing).unwrap();
         assert_eq!(doc.items.len(), 1);
         assert!(timing.xml_bytes > 0);
+    }
+
+    #[test]
+    fn with_telemetry_records_fetches() {
+        let net = SimNet::new(1);
+        let _g = net
+            .serve(
+                &Addr::new("gmeta"),
+                Arc::new(|_: &str| {
+                    "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\">\
+                     <GRID NAME=\"g\" AUTHORITY=\"\" LOCALTIME=\"0\">\
+                     </GRID></GANGLIA_XML>"
+                        .to_string()
+                }),
+            )
+            .unwrap();
+        let registry = Arc::new(ganglia_telemetry::Registry::new());
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"))
+            .with_telemetry(Arc::clone(&registry));
+        let mut timing = ViewTiming::default();
+        client.fetch_parsed("/", &mut timing).unwrap();
+        client.fetch_parsed("/g", &mut timing).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("viewer.download_us").unwrap().count, 2);
+        assert_eq!(snap.histogram("viewer.parse_us").unwrap().count, 2);
+        assert!(timing.xml_bytes > 0);
+        assert_eq!(
+            snap.counter("viewer.bytes_in_total"),
+            Some(timing.xml_bytes as u64)
+        );
+    }
+
+    #[test]
+    fn fetch_telemetry_round_trips_a_snapshot() {
+        let net = SimNet::new(1);
+        let served = {
+            let registry = ganglia_telemetry::Registry::new();
+            registry.counter("polls_ok_total").add(7);
+            registry.histogram("fetch_us").record(1500);
+            registry.snapshot().to_xml("gmetad:wide")
+        };
+        let _g = net
+            .serve(&Addr::new("gmeta"), {
+                let served = served.clone();
+                Arc::new(move |q: &str| {
+                    assert_eq!(q, "/?filter=telemetry");
+                    served.clone()
+                })
+            })
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let (snap, source) = client.fetch_telemetry().unwrap();
+        assert_eq!(source, "gmetad:wide");
+        assert_eq!(snap.counter("polls_ok_total"), Some(7));
+        assert_eq!(snap.histogram("fetch_us").unwrap().count, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`web`] | `ganglia-web` | the web-frontend viewer (meta/cluster/host views) |
 //! | [`alarm`] | `ganglia-alarm` | alarm rules + state machine (paper future work) |
 //! | [`sim`] | `ganglia-sim` | deployment simulator and the paper's experiments |
+//! | [`telemetry`] | `ganglia-telemetry` | self-telemetry: metrics registry, spans, snapshots |
 //!
 //! ## Quickstart
 //!
@@ -52,5 +53,6 @@ pub use ganglia_net as net;
 pub use ganglia_query as query;
 pub use ganglia_rrd as rrd;
 pub use ganglia_sim as sim;
+pub use ganglia_telemetry as telemetry;
 pub use ganglia_web as web;
 pub use ganglia_xml as xml;

@@ -1,0 +1,188 @@
+//! "Monitor the monitor" end to end: with `self_telemetry` enabled,
+//! every gmetad in a deployment publishes its own instruments as a
+//! synthetic `<name>-monitor` cluster — and those metrics must flow
+//! through the system exactly like real monitoring data: stored,
+//! summarized up the tree, archived to RRD, and answerable via path
+//! queries at every depth.
+
+use ganglia::core::{SourceData, TreeMode};
+use ganglia::metrics::model::{ClusterBody, GridBody};
+use ganglia::metrics::parse_document;
+use ganglia::rrd::{ConsolidationFn, MetricKey};
+use ganglia::sim::{fig2_tree, Deployment, DeploymentParams};
+
+fn telemetry_deployment(mode: TreeMode) -> Deployment {
+    let mut deployment = Deployment::build(
+        fig2_tree(5),
+        DeploymentParams::default()
+            .with_mode(mode)
+            .with_self_telemetry(true),
+    );
+    deployment.run_rounds(3);
+    deployment
+}
+
+/// The value of one `self.*` metric as stored on a monitor's synthetic
+/// host.
+fn self_metric(deployment: &Deployment, monitor: &str, metric: &str) -> f64 {
+    let daemon = deployment.monitor(monitor);
+    let state = daemon
+        .store()
+        .get(&daemon.self_cluster_name())
+        .expect("self-monitor cluster stored");
+    let SourceData::Cluster(cluster) = &state.data else {
+        panic!("self-monitor source must be a cluster")
+    };
+    cluster
+        .host(&daemon.self_host_name())
+        .expect("synthetic host present")
+        .metric(metric)
+        .unwrap_or_else(|| panic!("{metric} missing"))
+        .value
+        .as_f64()
+        .expect("self metrics are doubles")
+}
+
+#[test]
+fn self_metrics_reach_store_summary_archive_and_queries() {
+    let deployment = telemetry_deployment(TreeMode::NLevel);
+
+    // 1. The child gmetad's store carries its own telemetry as an
+    //    ordinary cluster: one synthetic host with populated metrics.
+    assert!(self_metric(&deployment, "sdsc", "self.fetch_p99_ms") > 0.0);
+    assert!(self_metric(&deployment, "sdsc", "self.polls_ok_total") > 0.0);
+
+    // 2. A three-segment path query answers with exactly that metric.
+    let sdsc = deployment.monitor("sdsc");
+    let xml = sdsc.query("/sdsc-monitor/sdsc-gmeta/self.fetch_p99_ms");
+    let doc = parse_document(&xml).expect("well-formed response");
+    let ganglia::metrics::GridItem::Grid(grid) = &doc.items[0] else {
+        panic!("response wrapped in the daemon's own grid")
+    };
+    let Some(ganglia::metrics::GridItem::Cluster(cluster)) = grid.item("sdsc-monitor") else {
+        panic!("response selects the monitor cluster")
+    };
+    let host = cluster.host("sdsc-gmeta").expect("synthetic host selected");
+    assert_eq!(host.metrics.len(), 1, "exactly the requested metric");
+    assert_eq!(host.metrics[0].name, "self.fetch_p99_ms");
+
+    // 3. The metrics were archived into the child's own RRDs, round
+    //    after round.
+    let series = sdsc
+        .fetch_history(
+            &MetricKey::host_metric("sdsc-monitor", "sdsc-gmeta", "self.fetch_p99_ms"),
+            ConsolidationFn::Average,
+            0,
+            deployment.now(),
+        )
+        .expect("self metric archived");
+    assert!(series.known_count() >= 2, "history accumulates over rounds");
+
+    // 4. The parent polled the child and aggregated the child's self
+    //    metrics into its N-level summary of that grid.
+    let root = deployment.monitor("root");
+    let state = root.store().get("sdsc").expect("child polled");
+    let SourceData::Grid(grid) = &state.data else {
+        panic!("child stored as a grid")
+    };
+    assert!(matches!(grid.body, GridBody::Summary(_)));
+    let fetch = state
+        .summary
+        .metric("self.fetch_p99_ms")
+        .expect("self metrics aggregated into the parent summary");
+    // sdsc's subtree contains two monitors (sdsc and its child attic),
+    // each contributing one synthetic host.
+    assert_eq!(fetch.num, 2, "one sample per monitor in the subtree");
+    assert!(fetch.sum > 0.0);
+
+    // 5. The root's own rollup sees every monitor in the tree: its two
+    //    children's subtrees (5 monitors) plus its own monitor cluster.
+    let rollup = root.store().root_summary();
+    let polls = rollup.metric("self.polls_ok_total").expect("rolled up");
+    assert_eq!(polls.num, 6, "all six gmetads publish themselves");
+}
+
+#[test]
+fn onelevel_parent_answers_four_segment_self_paths() {
+    let deployment = telemetry_deployment(TreeMode::OneLevel);
+
+    // Under 1-level the root stores the child grid fully expanded, so a
+    // path query descends through it to the child's synthetic host.
+    let root = deployment.monitor("root");
+    let xml = root.query("/sdsc/sdsc-monitor/sdsc-gmeta/self.queries_total");
+    assert!(
+        xml.contains("self.queries_total"),
+        "four-segment self path must resolve: {xml}"
+    );
+    assert!(
+        !xml.contains("self.fetch_p99_ms"),
+        "sibling self metrics filtered out"
+    );
+
+    // The expanded monitor cluster is a first-class cluster in the
+    // root's copy of the child grid.
+    let state = root.store().get("sdsc").expect("child polled");
+    let SourceData::Grid(grid) = &state.data else {
+        panic!()
+    };
+    let GridBody::Items(items) = &grid.body else {
+        panic!("1-level keeps full detail")
+    };
+    let monitor_cluster = items
+        .iter()
+        .find_map(|item| match item {
+            ganglia::metrics::GridItem::Cluster(c) if c.name == "sdsc-monitor" => Some(c),
+            _ => None,
+        })
+        .expect("monitor cluster in expanded grid");
+    let ClusterBody::Hosts(hosts) = &monitor_cluster.body else {
+        panic!()
+    };
+    assert_eq!(hosts.len(), 1);
+}
+
+#[test]
+fn self_telemetry_defaults_off_and_adds_no_sources() {
+    let mut deployment = Deployment::build(fig2_tree(5), DeploymentParams::default());
+    deployment.run_rounds(2);
+    let sdsc = deployment.monitor("sdsc");
+    assert!(
+        sdsc.store().get(&sdsc.self_cluster_name()).is_none(),
+        "no synthetic cluster unless asked for"
+    );
+}
+
+#[test]
+fn counter_backed_self_metrics_are_deterministic() {
+    // Two identical runs under the same seed must publish identical
+    // counter-derived self metrics (latency quantiles are wall-clock and
+    // may differ; the counters must not).
+    let a = telemetry_deployment(TreeMode::NLevel);
+    let b = telemetry_deployment(TreeMode::NLevel);
+    for monitor in ["root", "ucsd", "sdsc", "attic"] {
+        for metric in [
+            "self.polls_ok_total",
+            "self.polls_failed_total",
+            "self.queries_total",
+            "self.breaker_opens_total",
+            "self.sources",
+            "self.archives",
+        ] {
+            let va = self_metric(&a, monitor, metric);
+            let vb = self_metric(&b, monitor, metric);
+            assert_eq!(va, vb, "{monitor}/{metric} diverged across runs");
+        }
+    }
+    // Bytes-in is deterministic only at leaf monitors: an interior
+    // monitor's fetch includes its child's published latency quantiles,
+    // whose decimal rendering varies in length run to run.
+    assert_eq!(
+        self_metric(&a, "attic", "self.bytes_in_total"),
+        self_metric(&b, "attic", "self.bytes_in_total"),
+    );
+    assert!(self_metric(&a, "attic", "self.bytes_in_total") > 0.0);
+    // And they measured real work: sdsc polled 3 sources (2 local
+    // clusters + its child attic) for 3 rounds.
+    assert_eq!(self_metric(&a, "sdsc", "self.polls_ok_total"), 9.0);
+    assert_eq!(self_metric(&a, "sdsc", "self.sources"), 3.0);
+}
