@@ -4,8 +4,10 @@
 //!
 //! Usage: `repro_limits [hosts] [rounds]`
 
+use std::time::Duration;
+
 use ganglia_sim::experiments::bandwidth::run_bandwidth;
-use ganglia_sim::experiments::limits::run_limits;
+use ganglia_sim::experiments::limits::{run_limits, run_round_scaling};
 use ganglia_sim::experiments::traffic::run_traffic;
 
 fn main() {
@@ -33,6 +35,18 @@ fn main() {
     println!(
         "updates scale linearly with metric count: {}\n",
         limits.updates_scale_linearly()
+    );
+
+    eprintln!("running poll-round scaling measurement (8 sources, 100ms wire delay)...");
+    let scaling = run_round_scaling(8, Duration::from_millis(100));
+    println!(
+        "poll rounds — {} sources at {:?} wire delay each: sequential {:?}, \
+         parallel {:?} ({:.1}x; a round now costs max(sources), not sum)\n",
+        scaling.sources,
+        scaling.per_source_delay,
+        scaling.sequential_round,
+        scaling.parallel_round,
+        scaling.speedup()
     );
 
     eprintln!("running §3.1 local-area bandwidth measurement (128 nodes)...");

@@ -10,11 +10,142 @@
 //! During downtime the archiver records explicitly-unknown samples — the
 //! "zero record" that aids "time-of-death forensic analysis" (§3.1).
 
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use ganglia_metrics::model::{ClusterBody, ClusterNode, GridBody, GridItem, GridNode, SummaryBody};
-use ganglia_rrd::{MetricKey, RrdSet};
+use ganglia_rrd::{ConsolidationFn, MetricKey, RrdError, RrdSet, Series};
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::TreeMode;
 use crate::store::{SourceData, SourceState};
+
+/// Shared factory for the RRD spec of newly created archives.
+pub type ArchiveSpecFactory = Arc<dyn Fn(&MetricKey, u64) -> ganglia_rrd::RrdSpec + Send + Sync>;
+
+/// Per-source archive storage: one independently-locked [`RrdSet`] per
+/// data source, so parallel poll workers archive concurrently instead
+/// of contending on one global archiver lock.
+///
+/// All shards share one persistence root — an `RrdSet` writes one file
+/// per metric key under source-derived relative paths, so the on-disk
+/// layout is byte-identical to the old single-set archiver and existing
+/// directories reload fine.
+pub struct ArchiveShards {
+    shards: RwLock<HashMap<String, Arc<Mutex<RrdSet>>>>,
+    spec: Option<ArchiveSpecFactory>,
+    persist_dir: Option<PathBuf>,
+}
+
+impl ArchiveShards {
+    /// Empty shard map; `spec` customizes new archives (experiments use
+    /// compact ones), `persist_dir` is the shared flush root.
+    pub fn new(spec: Option<ArchiveSpecFactory>, persist_dir: Option<PathBuf>) -> ArchiveShards {
+        ArchiveShards {
+            shards: RwLock::new(HashMap::new()),
+            spec,
+            persist_dir,
+        }
+    }
+
+    fn build_set(&self) -> RrdSet {
+        let mut set = match &self.spec {
+            Some(factory) => {
+                let factory = Arc::clone(factory);
+                RrdSet::with_spec_factory(move |key, start| factory(key, start))
+            }
+            None => RrdSet::new(),
+        };
+        if let Some(dir) = &self.persist_dir {
+            set = set.persist_to(dir.clone());
+        }
+        set
+    }
+
+    /// The shard for `source`, created on first use.
+    pub fn shard(&self, source: &str) -> Arc<Mutex<RrdSet>> {
+        if let Some(shard) = self.shards.read().get(source) {
+            return Arc::clone(shard);
+        }
+        let mut shards = self.shards.write();
+        let shard = shards
+            .entry(source.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(self.build_set())));
+        Arc::clone(shard)
+    }
+
+    /// The shard for `source`, if it exists.
+    pub fn get(&self, source: &str) -> Option<Arc<Mutex<RrdSet>>> {
+        self.shards.read().get(source).map(Arc::clone)
+    }
+
+    /// Drop `source`'s shard (expired or removed source). Returns the
+    /// number of archives dropped with it.
+    pub fn remove(&self, source: &str) -> usize {
+        match self.shards.write().remove(source) {
+            Some(shard) => shard.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// The shard holding `key`, resolved by the key's source path:
+    /// exact match first, then successively shorter `/`-prefixes (a
+    /// 1-level monitor archives `ucsd/physics` keys in the `ucsd`
+    /// shard).
+    pub fn route(&self, key: &MetricKey) -> Option<Arc<Mutex<RrdSet>>> {
+        let shards = self.shards.read();
+        let mut candidate = key.source.as_str();
+        loop {
+            if let Some(shard) = shards.get(candidate) {
+                return Some(Arc::clone(shard));
+            }
+            match candidate.rfind('/') {
+                Some(cut) => candidate = &candidate[..cut],
+                None => return None,
+            }
+        }
+    }
+
+    /// Fetch archived history for one metric, routing by source.
+    pub fn fetch(
+        &self,
+        key: &MetricKey,
+        cf: ConsolidationFn,
+        start: u64,
+        end: u64,
+    ) -> Option<Series> {
+        self.route(key)?.lock().fetch(key, cf, start, end)?.ok()
+    }
+
+    /// Total archives across every shard.
+    pub fn archive_count(&self) -> usize {
+        self.shards
+            .read()
+            .values()
+            .map(|shard| shard.lock().len())
+            .sum()
+    }
+
+    /// Total RRD updates across every shard.
+    pub fn update_count(&self) -> u64 {
+        self.shards
+            .read()
+            .values()
+            .map(|shard| shard.lock().update_count())
+            .sum()
+    }
+
+    /// Flush every shard to the shared persistence root.
+    pub fn flush(&self) -> Result<usize, RrdError> {
+        let shards: Vec<Arc<Mutex<RrdSet>>> = self.shards.read().values().map(Arc::clone).collect();
+        let mut flushed = 0;
+        for shard in shards {
+            flushed += shard.lock().flush()?;
+        }
+        Ok(flushed)
+    }
+}
 
 /// Archive one freshly-parsed source snapshot. Returns the number of
 /// RRD updates applied.
@@ -250,6 +381,69 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(up.known_count() > 0);
+    }
+
+    #[test]
+    fn shards_route_by_source_and_nested_prefix() {
+        let shards = ArchiveShards::new(None, None);
+        shards
+            .shard("ucsd")
+            .lock()
+            .update(&MetricKey::host_metric("ucsd/phys", "n0", "m"), 15, 1.0)
+            .unwrap();
+        shards
+            .shard("meteor")
+            .lock()
+            .update(&MetricKey::summary_metric("meteor", "m"), 15, 2.0)
+            .unwrap();
+        // Exact source match.
+        assert!(shards
+            .route(&MetricKey::summary_metric("meteor", "m"))
+            .is_some());
+        // Nested 1-level path falls back to the owning source's shard.
+        let routed = shards
+            .route(&MetricKey::host_metric("ucsd/phys", "n0", "m"))
+            .expect("prefix route");
+        assert_eq!(routed.lock().len(), 1);
+        assert!(shards
+            .fetch(
+                &MetricKey::host_metric("ucsd/phys", "n0", "m"),
+                ConsolidationFn::Average,
+                0,
+                30
+            )
+            .is_some());
+        assert!(shards
+            .route(&MetricKey::summary_metric("ghost", "m"))
+            .is_none());
+        assert_eq!(shards.archive_count(), 2);
+        assert_eq!(shards.update_count(), 2);
+        // Dropping a shard drops its archives from the totals.
+        assert_eq!(shards.remove("ucsd"), 1);
+        assert_eq!(shards.remove("ucsd"), 0);
+        assert_eq!(shards.archive_count(), 1);
+    }
+
+    #[test]
+    fn shards_share_one_persistence_root() {
+        let dir = std::env::temp_dir().join(format!("shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shards = ArchiveShards::new(None, Some(dir.clone()));
+        shards
+            .shard("meteor")
+            .lock()
+            .update(&MetricKey::host_metric("meteor", "n0", "load_one"), 15, 1.0)
+            .unwrap();
+        shards
+            .shard("sdsc")
+            .lock()
+            .update(&MetricKey::summary_metric("sdsc", "load_one"), 15, 2.0)
+            .unwrap();
+        assert_eq!(shards.flush().unwrap(), 2);
+        // One directory tree, same layout a single RrdSet would write.
+        let mut restored = RrdSet::new().persist_to(&dir);
+        assert_eq!(restored.load_all().unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,11 +61,19 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "gmetad: grid {:?}, {} data source(s), {:?} mode, polling every {}s",
+        "gmetad: grid {:?}, {} data source(s), {:?} mode, polling every {}s \
+         ({} poll worker(s), round deadline {})",
         parsed.config.grid_name,
         parsed.config.data_sources.len(),
         parsed.config.tree_mode,
         parsed.config.poll_interval,
+        parsed
+            .config
+            .effective_concurrency(parsed.config.data_sources.len()),
+        match parsed.config.round_deadline_secs {
+            0 => "off".to_string(),
+            secs => format!("{secs}s"),
+        },
     );
 
     let transport = TcpTransport::new();
@@ -123,7 +131,7 @@ fn main() -> ExitCode {
 /// data, with a telemetry totals row closing the table.
 fn dump_stats(daemon: &Gmetad) {
     let telemetry = daemon.telemetry_snapshot();
-    let mut rows: Vec<[String; 7]> = daemon
+    let mut rows: Vec<[String; 8]> = daemon
         .poller_stats()
         .iter()
         .map(|row| {
@@ -131,6 +139,7 @@ fn dump_stats(daemon: &Gmetad) {
                 row.name.clone(),
                 row.polls_ok.to_string(),
                 row.polls_failed.to_string(),
+                row.polls_backoff.to_string(),
                 row.failovers.to_string(),
                 row.consecutive_failures.to_string(),
                 row.breaker.to_string(),
@@ -149,6 +158,10 @@ fn dump_stats(daemon: &Gmetad) {
             .counter("polls_failed_total")
             .unwrap_or(0)
             .to_string(),
+        telemetry
+            .counter("polls_backoff_total")
+            .unwrap_or(0)
+            .to_string(),
         "-".to_string(),
         "-".to_string(),
         format!(
@@ -164,6 +177,7 @@ fn dump_stats(daemon: &Gmetad) {
         "SOURCE",
         "OK",
         "FAILED",
+        "BACKOFF",
         "FAILOVERS",
         "CONSECF",
         "BREAKER",
@@ -180,10 +194,10 @@ fn dump_stats(daemon: &Gmetad) {
                 .unwrap_or(0)
         })
         .collect();
-    let render = |cells: &[String; 7]| {
-        // Columns 1–4 are numeric: right-aligned.
+    let render = |cells: &[String; 8]| {
+        // Columns 1–5 are numeric: right-aligned.
         format!(
-            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:<w5$} {}",
+            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:>w5$} {:<w6$} {}",
             cells[0],
             cells[1],
             cells[2],
@@ -191,12 +205,14 @@ fn dump_stats(daemon: &Gmetad) {
             cells[4],
             cells[5],
             cells[6],
+            cells[7],
             w0 = widths[0],
             w1 = widths[1],
             w2 = widths[2],
             w3 = widths[3],
             w4 = widths[4],
             w5 = widths[5],
+            w6 = widths[6],
         )
     };
     eprintln!("{}", render(&headers.map(String::from)));

@@ -184,6 +184,14 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
             "source_expire_secs" => {
                 config.lifecycle.expire_after_secs = parse_u64_arg(directive, args, &err)?;
             }
+            "poll_concurrency" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                config.poll_concurrency = usize::try_from(value)
+                    .map_err(|_| err(format!("poll_concurrency {value} is too large")))?;
+            }
+            "round_deadline_secs" => {
+                config.round_deadline_secs = parse_u64_arg(directive, args, &err)?;
+            }
             "self_telemetry" => {
                 let [value] = args else {
                     return Err(err("self_telemetry takes one value (on/off)".into()));
@@ -415,6 +423,24 @@ fetch_timeout_secs 5
         assert_eq!(parsed.config.retry.breaker_threshold, 4);
         assert_eq!(parsed.config.lifecycle.down_after_secs, 45);
         assert_eq!(parsed.config.lifecycle.expire_after_secs, 900);
+    }
+
+    #[test]
+    fn concurrency_knobs_parse_and_default_to_auto() {
+        let defaults = parse_conf("gridname \"X\"\n").unwrap().config;
+        assert_eq!(defaults.poll_concurrency, 0, "0 = automatic");
+        assert_eq!(defaults.round_deadline_secs, 0, "0 = no deadline");
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             poll_concurrency 4\n\
+             round_deadline_secs 12\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.config.poll_concurrency, 4);
+        assert_eq!(parsed.config.round_deadline_secs, 12);
+        assert!(parse_conf("gridname \"X\"\npoll_concurrency zap\n").is_err());
+        assert!(parse_conf("gridname \"X\"\npoll_concurrency\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nround_deadline_secs -3\n").is_err());
     }
 
     #[test]

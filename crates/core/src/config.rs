@@ -108,6 +108,16 @@ pub struct GmetadConfig {
     /// summarized up the tree, path-queryable). Off by default: the
     /// extra cluster changes store/archive cardinalities.
     pub self_telemetry: bool,
+    /// Worker threads fanning out one poll round across sources.
+    /// `0` (the default) means automatic: `min(sources, 8)`. `1` forces
+    /// the old sequential round.
+    pub poll_concurrency: usize,
+    /// Wall-clock budget for one whole poll round, in seconds. Each
+    /// endpoint attempt's timeout is clamped to the remaining budget, so
+    /// a hung source degrades to a breaker-counted timeout at the
+    /// deadline instead of stalling the round. `0` (the default)
+    /// disables the budget.
+    pub round_deadline_secs: u64,
 }
 
 impl GmetadConfig {
@@ -125,7 +135,21 @@ impl GmetadConfig {
             retry: RetryPolicy::default(),
             lifecycle: LifecyclePolicy::default(),
             self_telemetry: false,
+            poll_concurrency: 0,
+            round_deadline_secs: 0,
         }
+    }
+
+    /// The worker count one round actually uses for `sources` pollers:
+    /// the configured `poll_concurrency` (or `min(sources, 8)` when
+    /// automatic), never more than one worker per source, never zero.
+    pub fn effective_concurrency(&self, sources: usize) -> usize {
+        let configured = if self.poll_concurrency == 0 {
+            8
+        } else {
+            self.poll_concurrency
+        };
+        configured.min(sources).max(1)
     }
 
     /// Builder-style: set the tree mode.
@@ -163,6 +187,18 @@ impl GmetadConfig {
         self.self_telemetry = enabled;
         self
     }
+
+    /// Builder-style: set the poll worker count (`0` = automatic).
+    pub fn with_poll_concurrency(mut self, workers: usize) -> Self {
+        self.poll_concurrency = workers;
+        self
+    }
+
+    /// Builder-style: set the per-round wall-clock budget (`0` = off).
+    pub fn with_round_deadline_secs(mut self, secs: u64) -> Self {
+        self.round_deadline_secs = secs;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +226,19 @@ mod tests {
         assert!(config.authority_url.contains("sdsc"));
         assert_eq!(config.retry, RetryPolicy::default());
         assert_eq!(config.lifecycle, LifecyclePolicy::default());
+    }
+
+    #[test]
+    fn effective_concurrency_clamps_to_sources_and_never_zero() {
+        let auto = GmetadConfig::new("g");
+        assert_eq!(auto.effective_concurrency(3), 3);
+        assert_eq!(auto.effective_concurrency(20), 8, "auto caps at 8");
+        assert_eq!(auto.effective_concurrency(0), 1, "never zero workers");
+        let pinned = GmetadConfig::new("g").with_poll_concurrency(4);
+        assert_eq!(pinned.effective_concurrency(2), 2);
+        assert_eq!(pinned.effective_concurrency(100), 4);
+        let sequential = GmetadConfig::new("g").with_poll_concurrency(1);
+        assert_eq!(sequential.effective_concurrency(100), 1);
     }
 
     #[test]

@@ -6,32 +6,37 @@
 //! deterministic experiment loop) and the **query time scale**
 //! ([`Gmetad::query`], always answered from the latest fully-parsed
 //! snapshots). The two never block each other beyond pointer swaps.
+//!
+//! Poll rounds fan out across sources: each source has its own
+//! independently-locked poller slot and archive shard, and
+//! [`Gmetad::poll_all`] drives them from a scoped worker pool
+//! ([`GmetadConfig::poll_concurrency`] workers), so one slow source
+//! delays the round by *its* latency, not the sum of everyone's.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use ganglia_metrics::model::{ClusterNode, HostNode, MetricEntry};
 use ganglia_metrics::MetricValue;
 use ganglia_net::transport::{RequestHandler, ServerGuard, Transport};
 use ganglia_net::Addr;
 use ganglia_query::{Filter, Query};
-use ganglia_rrd::{ConsolidationFn, MetricKey, RrdSet, Series};
+use ganglia_rrd::{ConsolidationFn, MetricKey, Series};
 use ganglia_telemetry::{LogicalClock, Registry, Snapshot, Tracer};
 
-use crate::archive::{archive_source, write_unknowns};
+use crate::archive::{archive_source, write_unknowns, ArchiveShards};
 use crate::config::{ArchiveMode, GmetadConfig};
 use crate::error::GmetadError;
 use crate::health::BreakerState;
 use crate::instrument::{WorkCategory, WorkMeter};
-use crate::poller::SourcePoller;
+use crate::poller::{RoundBudget, SourcePoller};
 use crate::query_engine;
 use crate::store::{Degradation, SourceState, SourceStatus, Store};
 
-/// Shared factory for the RRD spec of newly created archives.
-pub type ArchiveSpecFactory = Arc<dyn Fn(&MetricKey, u64) -> ganglia_rrd::RrdSpec + Send + Sync>;
+pub use crate::archive::ArchiveSpecFactory;
 
 /// One row of the per-source health/statistics dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +47,9 @@ pub struct PollerStats {
     pub polls_ok: u64,
     /// Lifetime fully-failed polls.
     pub polls_failed: u64,
+    /// Lifetime backoff rounds (every breaker open, nothing but the
+    /// steady-retry probe ran).
+    pub polls_backoff: u64,
     /// Lifetime endpoint fail-overs.
     pub failovers: u64,
     /// Consecutive fully-failed rounds (0 when healthy).
@@ -56,9 +64,14 @@ pub struct PollerStats {
 pub struct Gmetad {
     config: GmetadConfig,
     store: Store,
-    archiver: Mutex<RrdSet>,
+    /// Per-source archive shards, so parallel workers archive without
+    /// serializing on one global RRD lock.
+    archives: ArchiveShards,
     meter: Arc<WorkMeter>,
-    pollers: Mutex<Vec<SourcePoller>>,
+    /// One independently-locked slot per source, so a round's workers
+    /// poll different sources concurrently. The outer lock only guards
+    /// membership (add/remove source).
+    pollers: RwLock<Vec<Arc<Mutex<SourcePoller>>>>,
     /// Logical "now" used when serving queries (set by the poll driver).
     clock: AtomicU64,
     /// Self-telemetry: the registry behind `meter`, shared so ad-hoc
@@ -85,30 +98,24 @@ impl Gmetad {
         config: GmetadConfig,
         spec: Option<ArchiveSpecFactory>,
     ) -> Arc<Gmetad> {
-        let mut set = match spec {
-            Some(factory) => {
-                let factory = Arc::clone(&factory);
-                RrdSet::with_spec_factory(move |key, start| factory(key, start))
-            }
-            None => RrdSet::new(),
+        let persist_dir = match &config.archive {
+            ArchiveMode::Directory(dir) => Some(dir.clone()),
+            _ => None,
         };
-        if let ArchiveMode::Directory(dir) = &config.archive {
-            set = set.persist_to(dir.clone());
-        }
         let pollers = config
             .data_sources
             .iter()
             .cloned()
-            .map(SourcePoller::new)
+            .map(|cfg| Arc::new(Mutex::new(SourcePoller::new(cfg))))
             .collect();
         let registry = Arc::new(Registry::new());
         let logical_clock = LogicalClock::new();
         let tracer = Tracer::new(Arc::clone(&registry), logical_clock.clone()).with_event_log(256);
         Arc::new(Gmetad {
             store: Store::new(),
-            archiver: Mutex::new(set),
+            archives: ArchiveShards::new(spec, persist_dir),
             meter: Arc::new(WorkMeter::with_registry(Arc::clone(&registry))),
-            pollers: Mutex::new(pollers),
+            pollers: RwLock::new(pollers),
             clock: AtomicU64::new(0),
             registry,
             tracer,
@@ -167,17 +174,59 @@ impl Gmetad {
 
     /// Poll every data source once at time `now`, updating the store and
     /// archives. Returns one result per source, in configuration order.
+    ///
+    /// Sources are polled by [`GmetadConfig::effective_concurrency`]
+    /// scoped workers pulling slots off a shared cursor; with one worker
+    /// (or one source) the round runs inline, sequentially, exactly as
+    /// before. When [`GmetadConfig::round_deadline_secs`] is set, every
+    /// attempt's timeout is clamped to the round's remaining budget.
     pub fn poll_all(&self, transport: &dyn Transport, now: u64) -> Vec<Result<(), GmetadError>> {
         self.set_clock(now);
         let round = self.tracer.span("round");
-        let mut pollers = self.pollers.lock();
-        let mut results = Vec::with_capacity(pollers.len());
-        for poller in pollers.iter_mut() {
-            let _poll = round.child("poll");
-            results.push(self.poll_one(poller, transport, now));
+        let round_start = Instant::now();
+        let deadline = Duration::from_secs(self.config.round_deadline_secs);
+        let budget = if deadline.is_zero() {
+            RoundBudget::unbounded()
+        } else {
+            RoundBudget::until(round_start + deadline)
+        };
+        // Snapshot the membership so a concurrent add/remove can't shift
+        // result indices mid-round; each slot stays individually locked.
+        let slots: Vec<Arc<Mutex<SourcePoller>>> =
+            self.pollers.read().iter().map(Arc::clone).collect();
+        let workers = self.config.effective_concurrency(slots.len());
+        let results: Vec<Result<(), GmetadError>> = if workers <= 1 || slots.len() <= 1 {
+            slots
+                .iter()
+                .map(|slot| self.poll_slot(slot, transport, now, &budget))
+                .collect()
+        } else {
+            let cells: Vec<OnceLock<Result<(), GmetadError>>> =
+                (0..slots.len()).map(|_| OnceLock::new()).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(idx) else { break };
+                        let result = self.poll_slot(slot, transport, now, &budget);
+                        cells[idx].set(result).expect("each slot polled once");
+                    });
+                }
+            });
+            cells
+                .into_iter()
+                .map(|cell| cell.into_inner().expect("every slot polled"))
+                .collect()
+        };
+        if !deadline.is_zero() {
+            // How far past its budget the round actually ran: 0 when the
+            // deadline held, the overrun when a source blew through it.
+            self.registry
+                .histogram("round_stall_us")
+                .record_duration(round_start.elapsed().saturating_sub(deadline));
         }
-        self.registry.gauge("sources").set(pollers.len() as u64);
-        drop(pollers);
+        self.registry.gauge("sources").set(slots.len() as u64);
         self.registry.counter("rounds_total").inc();
         self.registry
             .gauge("archives")
@@ -189,24 +238,42 @@ impl Gmetad {
         results
     }
 
-    fn poll_one(
+    /// Poll one source slot: the slot's own lock covers the fetch/parse,
+    /// its archive shard's lock covers the archiving, and neither is
+    /// held across the other longer than needed — so workers on other
+    /// sources never wait behind this one.
+    fn poll_slot(
         &self,
-        poller: &mut SourcePoller,
+        slot: &Mutex<SourcePoller>,
         transport: &dyn Transport,
         now: u64,
+        budget: &RoundBudget,
     ) -> Result<(), GmetadError> {
+        let inflight = self.registry.gauge("poll_inflight");
+        inflight.add(1);
+        let slot_start = Instant::now();
+        let mut poller = slot.lock();
         let name = poller.cfg().name.clone();
-        match poller.poll(
+        let backoff_before = poller.polls_backoff;
+        let outcome = poller.poll_bounded(
             transport,
             self.config.tree_mode,
             self.config.fetch_timeout,
             &self.config.retry,
             &self.meter,
             now,
-        ) {
+            budget,
+        );
+        // A backoff round (every breaker open, only the steady-retry
+        // probe ran) is near-free; its timing is kept apart so the real
+        // per-round quantiles aren't diluted by no-op rounds.
+        let idle = poller.polls_backoff != backoff_before;
+        drop(poller);
+        let result = match outcome {
             Ok(state) => {
                 if self.config.archive != ArchiveMode::Off {
-                    let mut set = self.archiver.lock();
+                    let shard = self.archives.shard(&name);
+                    let mut set = shard.lock();
                     self.meter.time(WorkCategory::Archive, || {
                         archive_source(&mut set, &state, self.config.tree_mode, now)
                     });
@@ -220,19 +287,40 @@ impl Gmetad {
                 // rewrites the summary so hosts_down propagates up the
                 // tree, Expired prunes the snapshot entirely. Stale and
                 // Down sources also record the downtime in the archives
-                // (§3.1's zero records).
-                let phase = self.store.degrade(&name, now, &self.config.lifecycle);
-                if matches!(phase, Degradation::Stale | Degradation::Down)
-                    && self.config.archive != ArchiveMode::Off
-                {
-                    let mut set = self.archiver.lock();
-                    self.meter.time(WorkCategory::Archive, || {
-                        write_unknowns(&mut set, &name, now)
-                    });
+                // (§3.1's zero records); an Expired source's archives
+                // are dropped with its snapshot, so the `archives`
+                // gauge tracks live sources instead of drifting.
+                match self.store.degrade(&name, now, &self.config.lifecycle) {
+                    Degradation::Stale | Degradation::Down
+                        if self.config.archive != ArchiveMode::Off =>
+                    {
+                        if let Some(shard) = self.archives.get(&name) {
+                            let mut set = shard.lock();
+                            self.meter.time(WorkCategory::Archive, || {
+                                write_unknowns(&mut set, &name, now)
+                            });
+                        }
+                    }
+                    Degradation::Expired => {
+                        self.archives.remove(&name);
+                    }
+                    _ => {}
                 }
                 Err(e)
             }
-        }
+        };
+        let elapsed = slot_start.elapsed();
+        let (per_source, per_round) = if idle {
+            ("round_idle_us", "round.poll_idle_us")
+        } else {
+            ("round_us", "round.poll_us")
+        };
+        self.registry
+            .histogram(&format!("source.{name}.{per_source}"))
+            .record_duration(elapsed);
+        self.registry.histogram(per_round).record_duration(elapsed);
+        inflight.sub(1);
+        result
     }
 
     /// Name of the synthetic cluster this daemon publishes its own
@@ -289,6 +377,11 @@ impl Gmetad {
                 "polls",
             ),
             metric(
+                "self.polls_backoff_total",
+                counter("polls_backoff_total"),
+                "polls",
+            ),
+            metric(
                 "self.breaker_opens_total",
                 counter("breaker_opens_total"),
                 "transitions",
@@ -323,7 +416,8 @@ impl Gmetad {
             .time(WorkCategory::Summarize, || cluster.summary());
         let state = SourceState::cluster(self.self_cluster_name(), cluster, summary, now);
         if self.config.archive != ArchiveMode::Off {
-            let mut set = self.archiver.lock();
+            let shard = self.archives.shard(&self.self_cluster_name());
+            let mut set = shard.lock();
             self.meter.time(WorkCategory::Archive, || {
                 archive_source(&mut set, &state, self.config.tree_mode, now)
             });
@@ -391,36 +485,38 @@ impl Gmetad {
         start: u64,
         end: u64,
     ) -> Option<Series> {
-        self.archiver.lock().fetch(key, cf, start, end)?.ok()
+        self.archives.fetch(key, cf, start, end)
     }
 
     /// Number of metric archives this daemon maintains.
     pub fn archive_count(&self) -> usize {
-        self.archiver.lock().len()
+        self.archives.archive_count()
     }
 
     /// Total RRD updates this daemon has performed.
     pub fn archive_updates(&self) -> u64 {
-        self.archiver.lock().update_count()
+        self.archives.update_count()
     }
 
     /// Flush archives to disk if a persistence directory is configured.
     pub fn flush_archives(&self) -> Result<usize, ganglia_rrd::RrdError> {
-        self.archiver.lock().flush()
+        self.archives.flush()
     }
 
     /// Per-source poller statistics and health.
     pub fn poller_stats(&self) -> Vec<PollerStats> {
         self.pollers
-            .lock()
+            .read()
             .iter()
-            .map(|p| {
+            .map(|slot| {
+                let p = slot.lock();
                 let name = p.cfg().name.clone();
                 let phase = self.store.get(&name).map(|s| s.status);
                 PollerStats {
                     name,
                     polls_ok: p.polls_ok,
                     polls_failed: p.polls_failed,
+                    polls_backoff: p.polls_backoff,
                     failovers: p.failovers,
                     consecutive_failures: p.consecutive_failures,
                     breaker: p.current_breaker(),
@@ -433,22 +529,27 @@ impl Gmetad {
     /// Add a data source at runtime (used by the self-organizing join
     /// extension). Returns false if a source with that name exists.
     pub fn add_source(&self, cfg: crate::config::DataSourceCfg) -> bool {
-        let mut pollers = self.pollers.lock();
-        if pollers.iter().any(|p| p.cfg().name == cfg.name) {
+        let mut pollers = self.pollers.write();
+        if pollers
+            .iter()
+            .any(|slot| slot.lock().cfg().name == cfg.name)
+        {
             return false;
         }
-        pollers.push(SourcePoller::new(cfg));
+        pollers.push(Arc::new(Mutex::new(SourcePoller::new(cfg))));
         true
     }
 
-    /// Remove a data source (and its stored snapshot) at runtime.
+    /// Remove a data source (and its stored snapshot and archives) at
+    /// runtime.
     pub fn remove_source(&self, name: &str) -> bool {
-        let mut pollers = self.pollers.lock();
+        let mut pollers = self.pollers.write();
         let before = pollers.len();
-        pollers.retain(|p| p.cfg().name != name);
+        pollers.retain(|slot| slot.lock().cfg().name != name);
         let removed = pollers.len() != before;
         if removed {
             self.store.remove(name);
+            self.archives.remove(name);
         }
         removed
     }
@@ -456,9 +557,9 @@ impl Gmetad {
     /// Names of currently configured sources.
     pub fn source_names(&self) -> Vec<String> {
         self.pollers
-            .lock()
+            .read()
             .iter()
-            .map(|p| p.cfg().name.clone())
+            .map(|slot| slot.lock().cfg().name.clone())
             .collect()
     }
 

@@ -140,6 +140,14 @@ impl WorkMeter {
         self.latencies[index].record_duration(elapsed);
     }
 
+    /// Record `elapsed` against `category`'s busy-time counter only,
+    /// skipping the latency histogram. Used for work that is real CPU
+    /// time but not a representative operation — e.g. a breaker-idle
+    /// probe, whose near-zero "fetch" would skew the fetch quantiles.
+    pub fn record_busy_only(&self, category: WorkCategory, elapsed: Duration) {
+        self.nanos[category.index()].add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
     /// Time a closure and record it.
     pub fn time<T>(&self, category: WorkCategory, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
@@ -217,6 +225,19 @@ mod tests {
         });
         assert_eq!(out, 42);
         assert!(meter.busy(WorkCategory::QueryServe) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn busy_only_recording_skips_the_histogram() {
+        let registry = Arc::new(Registry::new());
+        let meter = WorkMeter::with_registry(Arc::clone(&registry));
+        meter.record_busy_only(WorkCategory::Fetch, Duration::from_micros(400));
+        assert_eq!(meter.busy(WorkCategory::Fetch), Duration::from_micros(400));
+        let snap = registry.snapshot();
+        assert!(
+            snap.histogram("fetch_us").is_none_or(|h| h.count == 0),
+            "no histogram sample"
+        );
     }
 
     #[test]

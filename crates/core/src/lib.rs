@@ -30,9 +30,11 @@
 //!   cluster-summary filter;
 //! * [`archive`] — RRD archiving: full host archives for local clusters,
 //!   summary-only archives for remote grids (N-level), or full
-//!   duplicates of the entire subtree (1-level);
+//!   duplicates of the entire subtree (1-level), held in per-source
+//!   shards so parallel workers archive without a global lock;
 //! * [`gmetad`] — the assembled daemon: background summarization on the
-//!   polling time-scale, query serving from the latest fully-parsed
+//!   polling time-scale (poll rounds fan out across sources on a
+//!   scoped worker pool), query serving from the latest fully-parsed
 //!   snapshot (§3.3.1);
 //! * [`instrument`] — per-category CPU accounting used by the paper's
 //!   experiments, backed by the `ganglia-telemetry` registry so
@@ -66,6 +68,7 @@ pub use error::GmetadError;
 pub use gmetad::{Gmetad, PollerStats};
 pub use health::{BreakerState, EndpointHealth, LifecyclePolicy, RetryPolicy};
 pub use instrument::{WorkCategory, WorkMeter};
+pub use poller::{RoundBudget, SourcePoller};
 pub use store::{Degradation, SourceData, SourceState, SourceStatus, Store};
 
 // Re-exported so binaries and experiments don't need a direct

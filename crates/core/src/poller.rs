@@ -29,6 +29,57 @@ use crate::health::{endpoint_seed, BreakerState, EndpointHealth, RetryPolicy};
 use crate::instrument::{WorkCategory, WorkMeter};
 use crate::store::SourceState;
 
+/// Wall-clock budget for one poll round. Each endpoint attempt's
+/// timeout is clamped to the remaining budget, so a hung source
+/// degrades to a timeout failure at the round deadline instead of
+/// stalling the whole round behind its full per-endpoint timeouts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundBudget {
+    deadline: Option<Instant>,
+}
+
+impl RoundBudget {
+    /// No deadline: every attempt gets the full fetch timeout.
+    pub fn unbounded() -> RoundBudget {
+        RoundBudget { deadline: None }
+    }
+
+    /// Every attempt must finish by `deadline`.
+    pub fn until(deadline: Instant) -> RoundBudget {
+        RoundBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Clamp a per-attempt timeout to the remaining budget. `None`
+    /// means the budget is spent: do not attempt at all.
+    pub fn clamp(&self, timeout: Duration) -> Option<Duration> {
+        match self.deadline {
+            None => Some(timeout),
+            Some(deadline) => {
+                let left = deadline.checked_duration_since(Instant::now())?;
+                if left.is_zero() {
+                    None
+                } else {
+                    Some(timeout.min(left))
+                }
+            }
+        }
+    }
+}
+
+/// Why a whole round failed, with the counter taxonomy the caller
+/// needs: a round where the normal rotation probed nothing (every
+/// breaker open) is "backoff, did not probe", not "probed and failed".
+struct FetchFailure {
+    errors: Vec<NetError>,
+    /// The rotation skipped every endpoint: only the steady-retry
+    /// forced probe (if the budget allowed one) ran this round.
+    breaker_idle: bool,
+    /// The round budget expired before every endpoint could be tried.
+    deadline_hit: bool,
+}
+
 /// Polling state for one data source.
 #[derive(Debug)]
 pub struct SourcePoller {
@@ -42,6 +93,11 @@ pub struct SourcePoller {
     /// Lifetime counters.
     pub polls_ok: u64,
     pub polls_failed: u64,
+    /// Failed rounds in which every breaker was open, so the normal
+    /// rotation probed nothing (at most the steady-retry probe ran).
+    /// Kept separate from `polls_failed` so backoff rounds don't read
+    /// as fresh evidence of trouble.
+    pub polls_backoff: u64,
     pub failovers: u64,
 }
 
@@ -61,6 +117,7 @@ impl SourcePoller {
             consecutive_failures: 0,
             polls_ok: 0,
             polls_failed: 0,
+            polls_backoff: 0,
             failovers: 0,
         }
     }
@@ -97,18 +154,56 @@ impl SourcePoller {
         meter: &WorkMeter,
         now: u64,
     ) -> Result<SourceState, GmetadError> {
+        self.poll_bounded(
+            transport,
+            mode,
+            timeout,
+            policy,
+            meter,
+            now,
+            &RoundBudget::unbounded(),
+        )
+    }
+
+    /// [`SourcePoller::poll`] under a wall-clock [`RoundBudget`]: each
+    /// endpoint attempt's timeout is clamped to the remaining budget,
+    /// and once the budget is spent the remaining endpoints fail with
+    /// a timeout instead of being probed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn poll_bounded(
+        &mut self,
+        transport: &dyn Transport,
+        mode: TreeMode,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        meter: &WorkMeter,
+        now: u64,
+        budget: &RoundBudget,
+    ) -> Result<SourceState, GmetadError> {
         let registry = std::sync::Arc::clone(meter.registry());
         let fetch_start = Instant::now();
         let (served_by, xml) =
-            match self.fetch_with_failover(transport, timeout, policy, meter, now) {
+            match self.fetch_with_failover(transport, timeout, policy, meter, now, budget) {
                 Ok(served) => served,
-                Err(errors) => {
-                    self.polls_failed += 1;
+                Err(failure) => {
                     self.consecutive_failures += 1;
-                    registry.counter("polls_failed_total").inc();
+                    if failure.deadline_hit {
+                        registry.counter("polls_deadline_total").inc();
+                    }
+                    if failure.breaker_idle {
+                        // Backoff round: nothing (or only the steady
+                        // probe) ran. Counted apart from real failures
+                        // so telemetry distinguishes "probed and
+                        // failed" from "backoff, did not probe".
+                        self.polls_backoff += 1;
+                        registry.counter("polls_backoff_total").inc();
+                    } else {
+                        self.polls_failed += 1;
+                        registry.counter("polls_failed_total").inc();
+                    }
                     return Err(GmetadError::AllHostsFailed {
                         source: self.cfg.name.clone(),
-                        errors,
+                        errors: failure.errors,
                     });
                 }
             };
@@ -157,17 +252,28 @@ impl SourcePoller {
         policy: &RetryPolicy,
         meter: &WorkMeter,
         now: u64,
-    ) -> Result<(usize, String), Vec<NetError>> {
+        budget: &RoundBudget,
+    ) -> Result<(usize, String), FetchFailure> {
         let addr_count = self.cfg.addrs.len();
         let mut errors = Vec::new();
         let mut attempted = false;
+        let mut deadline_hit = false;
         for attempt in 0..addr_count {
             let idx = (self.cursor + attempt) % addr_count;
             if !self.health[idx].allows_attempt(now) {
                 continue;
             }
+            let Some(clamped) = budget.clamp(timeout) else {
+                // The round deadline passed before this endpoint could
+                // be probed: it fails with a timeout, but its breaker
+                // is not charged — there is no evidence against it.
+                errors.push(NetError::Timeout(self.cfg.addrs[idx].clone()));
+                attempted = true;
+                deadline_hit = true;
+                break;
+            };
             attempted = true;
-            match self.try_endpoint(idx, transport, timeout, policy, meter, now) {
+            match self.try_endpoint(idx, transport, clamped, policy, meter, now, false) {
                 Ok(xml) => {
                     if attempt > 0 {
                         self.failovers += 1;
@@ -187,21 +293,43 @@ impl SourcePoller {
             let idx = (0..addr_count)
                 .min_by_key(|&i| (self.health[i].next_probe_at(now), i))
                 .expect("validated cfg has at least one address");
-            match self.try_endpoint(idx, transport, timeout, policy, meter, now) {
-                Ok(xml) => {
-                    if idx != self.cursor {
-                        self.failovers += 1;
-                        self.cursor = idx;
-                    }
-                    return Ok((idx, xml));
+            match budget.clamp(timeout) {
+                None => {
+                    errors.push(NetError::Timeout(self.cfg.addrs[idx].clone()));
+                    deadline_hit = true;
                 }
-                Err(e) => errors.push(e),
+                Some(clamped) => {
+                    match self.try_endpoint(idx, transport, clamped, policy, meter, now, true) {
+                        Ok(xml) => {
+                            if idx != self.cursor {
+                                self.failovers += 1;
+                                self.cursor = idx;
+                            }
+                            return Ok((idx, xml));
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                }
             }
+            return Err(FetchFailure {
+                errors,
+                breaker_idle: true,
+                deadline_hit,
+            });
         }
-        Err(errors)
+        Err(FetchFailure {
+            errors,
+            breaker_idle: false,
+            deadline_hit,
+        })
     }
 
     /// One exchange with one endpoint, updating its health record.
+    /// `forced` marks a steady-retry probe made while every breaker was
+    /// open: its duration still counts as fetch busy-time, but the
+    /// sample lands in the `fetch_probe_us` histogram so the main fetch
+    /// quantiles keep describing live rotations only.
+    #[allow(clippy::too_many_arguments)]
     fn try_endpoint(
         &mut self,
         idx: usize,
@@ -210,10 +338,22 @@ impl SourcePoller {
         policy: &RetryPolicy,
         meter: &WorkMeter,
         now: u64,
+        forced: bool,
     ) -> Result<String, NetError> {
         self.health[idx].begin_attempt(now);
         let addr = &self.cfg.addrs[idx];
-        let result = meter.time(WorkCategory::Fetch, || transport.fetch(addr, "/", timeout));
+        let start = Instant::now();
+        let result = transport.fetch(addr, "/", timeout);
+        let elapsed = start.elapsed();
+        if forced {
+            meter.record_busy_only(WorkCategory::Fetch, elapsed);
+            meter
+                .registry()
+                .histogram("fetch_probe_us")
+                .record_duration(elapsed);
+        } else {
+            meter.record(WorkCategory::Fetch, elapsed);
+        }
         match &result {
             // Success is recorded only after the report parses (see
             // `poll`); a fetch that returns garbage must not close the
@@ -468,6 +608,144 @@ mod tests {
             ),
             Err(GmetadError::BadReport { .. })
         ));
+    }
+
+    #[test]
+    fn breaker_idle_rounds_count_as_backoff_not_failure() {
+        let net = SimNet::new(1);
+        let _g = serve_static(&net, "meteor/n0", cluster_xml("meteor", 1));
+        net.partition_prefix("meteor", true);
+        let meter = WorkMeter::new();
+        let mut poller =
+            SourcePoller::new(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap());
+        // Default threshold 3: three live rounds, all real failures.
+        for round in 1..=3u64 {
+            let _ = poller.poll(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                round * 15,
+            );
+        }
+        assert_eq!(poller.polls_failed, 3);
+        assert_eq!(poller.polls_backoff, 0);
+        // The breaker opened at t=45 with backoff >= 15s (jitter only
+        // lengthens it), so t=50 is a backoff round: only the forced
+        // steady-retry probe runs, and it is tagged, not counted as a
+        // fresh failure.
+        let _ = poller.poll(
+            &net,
+            TreeMode::NLevel,
+            TIMEOUT,
+            &RetryPolicy::default(),
+            &meter,
+            50,
+        );
+        assert_eq!(poller.polls_failed, 3, "backoff round is not a failure");
+        assert_eq!(poller.polls_backoff, 1);
+        assert_eq!(poller.consecutive_failures, 4, "lifecycle still advances");
+        let snap = meter.registry().snapshot();
+        assert_eq!(snap.counter("polls_failed_total"), Some(3));
+        assert_eq!(snap.counter("polls_backoff_total"), Some(1));
+        // The probe's latency sample went to the probe histogram, so
+        // the fetch quantiles keep describing live rotations only.
+        assert_eq!(snap.histogram("fetch_us").map(|h| h.count), Some(3));
+        assert_eq!(snap.histogram("fetch_probe_us").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn spent_round_budget_fails_fast_without_charging_breakers() {
+        let net = SimNet::new(1);
+        let _g0 = serve_static(&net, "m/n0", cluster_xml("m", 1));
+        let _g1 = serve_static(&net, "m/n1", cluster_xml("m", 1));
+        let meter = WorkMeter::new();
+        let mut poller = SourcePoller::new(
+            DataSourceCfg::new("m", vec![Addr::new("m/n0"), Addr::new("m/n1")]).unwrap(),
+        );
+        let spent = RoundBudget::until(
+            Instant::now()
+                .checked_sub(Duration::from_millis(1))
+                .expect("process uptime exceeds 1ms"),
+        );
+        let err = poller
+            .poll_bounded(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                10,
+                &spent,
+            )
+            .unwrap_err();
+        match err {
+            GmetadError::AllHostsFailed { source, errors } => {
+                assert_eq!(source, "m");
+                assert!(matches!(errors[0], ganglia_net::NetError::Timeout(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert_eq!(poller.polls_failed, 1);
+        assert_eq!(poller.consecutive_failures, 1);
+        assert!(
+            poller
+                .endpoint_health()
+                .iter()
+                .all(|h| h.breaker == BreakerState::Closed && h.consecutive_failures == 0),
+            "unprobed endpoints must not be charged"
+        );
+        let snap = meter.registry().snapshot();
+        assert_eq!(snap.counter("polls_deadline_total"), Some(1));
+        // With budget left, the same poller succeeds (clamped timeout).
+        let roomy = RoundBudget::until(Instant::now() + Duration::from_secs(5));
+        poller
+            .poll_bounded(
+                &net,
+                TreeMode::NLevel,
+                TIMEOUT,
+                &RetryPolicy::default(),
+                &meter,
+                20,
+                &roomy,
+            )
+            .unwrap();
+        assert_eq!(poller.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn round_budget_caps_a_hung_endpoint() {
+        let net = SimNet::new(1);
+        let _g = serve_static(&net, "slow/n0", cluster_xml("slow", 1));
+        // The endpoint hangs for 10s; the round budget allows ~50ms.
+        net.set_wire_delay(&Addr::new("slow/n0"), Duration::from_secs(10));
+        let meter = WorkMeter::new();
+        let mut poller =
+            SourcePoller::new(DataSourceCfg::new("slow", vec![Addr::new("slow/n0")]).unwrap());
+        let budget = RoundBudget::until(Instant::now() + Duration::from_millis(50));
+        let start = Instant::now();
+        let err = poller
+            .poll_bounded(
+                &net,
+                TreeMode::NLevel,
+                Duration::from_secs(10),
+                &RetryPolicy::default(),
+                &meter,
+                10,
+                &budget,
+            )
+            .unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline must cap the wait, waited {:?}",
+            start.elapsed()
+        );
+        assert!(matches!(err, GmetadError::AllHostsFailed { .. }));
+        // The endpoint was really probed and timed out, so this one IS
+        // breaker-counted.
+        assert_eq!(poller.endpoint_health()[0].consecutive_failures, 1);
+        assert_eq!(poller.polls_failed, 1);
     }
 
     #[test]

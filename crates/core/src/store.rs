@@ -176,9 +176,15 @@ impl Store {
     }
 
     /// Install a fresh snapshot for a source (pointer swap).
+    ///
+    /// The revision bump happens *inside* the write lock: bumping after
+    /// the guard dropped opened a window where [`Store::root_summary`]
+    /// could merge the new sources under the old revision — or, worse,
+    /// stamp an old merge with the new revision and pin it in the cache.
     pub fn replace(&self, state: SourceState) {
         let name = state.name.clone();
-        self.sources.write().insert(name, Arc::new(state));
+        let mut sources = self.sources.write();
+        sources.insert(name, Arc::new(state));
         self.revision.fetch_add(1, Ordering::Release);
     }
 
@@ -269,8 +275,10 @@ impl Store {
 
     /// Remove a source entirely (dynamic-membership pruning).
     pub fn remove(&self, name: &str) -> bool {
-        let removed = self.sources.write().remove(name).is_some();
+        let mut sources = self.sources.write();
+        let removed = sources.remove(name).is_some();
         if removed {
+            // Bumped under the write lock; see `replace`.
             self.revision.fetch_add(1, Ordering::Release);
         }
         removed
@@ -279,22 +287,36 @@ impl Store {
     /// The merged summary of every source — the whole grid in one
     /// reduction. Cached per store revision so repeated meta-view queries
     /// cost O(1) after the first.
+    ///
+    /// The revision is read *under the sources read-lock*, so the
+    /// (revision, merge) pair is always consistent: every writer bumps
+    /// the revision while still holding the write lock, so no `replace`
+    /// can slip between the two reads and pin a stale merge under a new
+    /// revision. The cache is only ever advanced, never regressed.
     pub fn root_summary(&self) -> Arc<SummaryBody> {
-        let revision = self.revision.load(Ordering::Acquire);
         {
             let cache = self.root_cache.lock();
             if let Some((cached_rev, summary)) = cache.as_ref() {
-                if *cached_rev == revision {
+                if *cached_rev == self.revision.load(Ordering::Acquire) {
                     return Arc::clone(summary);
                 }
             }
         }
-        let mut merged = SummaryBody::default();
-        for state in self.sources.read().values() {
-            merged.merge(&state.summary);
+        let (revision, merged) = {
+            let sources = self.sources.read();
+            let revision = self.revision.load(Ordering::Acquire);
+            let mut merged = SummaryBody::default();
+            for state in sources.values() {
+                merged.merge(&state.summary);
+            }
+            (revision, Arc::new(merged))
+        };
+        let mut cache = self.root_cache.lock();
+        match cache.as_ref() {
+            // A concurrent caller already cached a newer merge: keep it.
+            Some((cached_rev, _)) if *cached_rev > revision => {}
+            _ => *cache = Some((revision, Arc::clone(&merged))),
         }
-        let merged = Arc::new(merged);
-        *self.root_cache.lock() = Some((revision, Arc::clone(&merged)));
         merged
     }
 
@@ -456,6 +478,43 @@ mod tests {
         let fresh = store.root_summary();
         assert!(!Arc::ptr_eq(&summary, &fresh));
         assert_eq!(fresh.hosts_up, 6);
+    }
+
+    #[test]
+    fn root_summary_never_pins_a_stale_merge_under_a_new_revision() {
+        // Regression: replace() used to bump the revision after dropping
+        // the write lock, so a summarizer interleaved between the insert
+        // and the bump could stamp an old merge with the new revision
+        // and pin it in the cache until the next write. Hammer
+        // replace/root_summary from several threads and require the
+        // final answer to reflect the final replace.
+        use std::sync::atomic::AtomicBool;
+        let store = Store::new();
+        store.replace(cluster_state("s", 1, 1.0, 0));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let summary = store.root_summary();
+                        assert!(summary.hosts_total() >= 1);
+                    }
+                });
+            }
+            for hosts in 2..=64usize {
+                store.replace(cluster_state("s", hosts, 1.0, hosts as u64));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(
+            store.root_summary().hosts_total(),
+            64,
+            "cache pinned a stale merge under the latest revision"
+        );
+        // And once consistent, repeated reads hit the cache.
+        let a = store.root_summary();
+        let b = store.root_summary();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

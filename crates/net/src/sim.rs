@@ -42,6 +42,10 @@ struct Faults {
     /// Simulated response delay per endpoint (no real sleeping: the
     /// delay is compared against the caller's timeout).
     latency: HashMap<Addr, Duration>,
+    /// Real (slept) response delay per endpoint, capped at the caller's
+    /// timeout. Used by concurrency tests and benchmarks where round
+    /// wall-clock is the measured quantity.
+    wire_delay: HashMap<Addr, Duration>,
     /// Per-endpoint cap on response length, in bytes.
     truncate: HashMap<Addr, usize>,
     /// Endpoints whose responses are replaced with non-XML garbage.
@@ -112,6 +116,22 @@ impl SimNet {
             faults.latency.remove(addr);
         } else {
             faults.latency.insert(addr.clone(), latency);
+        }
+    }
+
+    /// Delay every response from `addr` by really sleeping `delay` on
+    /// the fetching thread, honouring the caller's timeout: a delay at
+    /// or beyond the timeout sleeps the full timeout and then fails with
+    /// [`NetError::Timeout`], exactly like a socket read deadline.
+    /// Unlike [`SimNet::set_latency`] this costs wall-clock time, which
+    /// is the point — parallel-polling tests measure it.
+    /// `Duration::ZERO` clears the fault.
+    pub fn set_wire_delay(&self, addr: &Addr, delay: Duration) {
+        let mut faults = self.faults.write();
+        if delay.is_zero() {
+            faults.wire_delay.remove(addr);
+        } else {
+            faults.wire_delay.insert(addr.clone(), delay);
         }
     }
 
@@ -222,6 +242,17 @@ impl Transport for Arc<SimNet> {
                 self.stats.record_failure(addr);
                 return Err(NetError::Timeout(addr.clone()));
             }
+        }
+        // Wire delay is really slept (outside the fault lock), capped at
+        // the caller's timeout like a socket read deadline.
+        let wire_delay = self.faults.read().wire_delay.get(addr).copied();
+        if let Some(delay) = wire_delay {
+            if delay >= timeout {
+                std::thread::sleep(timeout);
+                self.stats.record_failure(addr);
+                return Err(NetError::Timeout(addr.clone()));
+            }
+            std::thread::sleep(delay);
         }
         let handler = {
             let handlers = self.handlers.read();
@@ -370,6 +401,27 @@ mod tests {
         assert!(net.fetch(&addr, "", Duration::from_millis(200)).is_ok());
         // Clearing the fault restores normal service.
         net.set_latency(&addr, Duration::ZERO);
+        assert!(net.fetch(&addr, "", T).is_ok());
+    }
+
+    #[test]
+    fn wire_delay_sleeps_and_honours_the_timeout() {
+        let net = SimNet::new(1);
+        let addr = Addr::new("sluggish");
+        let _g = net.serve(&addr, echo_handler("s")).unwrap();
+        net.set_wire_delay(&addr, Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        assert!(net.fetch(&addr, "", T).is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(20), "really slept");
+        // A delay past the deadline costs the timeout, then fails.
+        net.set_wire_delay(&addr, Duration::from_secs(30));
+        let start = std::time::Instant::now();
+        let err = net.fetch(&addr, "", Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err, NetError::Timeout(addr.clone()));
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(30), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(5), "capped at timeout");
+        net.set_wire_delay(&addr, Duration::ZERO);
         assert!(net.fetch(&addr, "", T).is_ok());
     }
 

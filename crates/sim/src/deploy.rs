@@ -38,6 +38,9 @@ pub struct DeploymentParams {
     /// Whether monitors publish their own telemetry as a synthetic
     /// `{name}-monitor` cluster each round ("monitor the monitor").
     pub self_telemetry: bool,
+    /// Poll workers per monitor (`0` = automatic, `1` = the old
+    /// sequential round).
+    pub poll_concurrency: usize,
 }
 
 impl Default for DeploymentParams {
@@ -49,6 +52,7 @@ impl Default for DeploymentParams {
             redundant_addrs: 2,
             archive: true,
             self_telemetry: false,
+            poll_concurrency: 0,
         }
     }
 }
@@ -63,6 +67,12 @@ impl DeploymentParams {
     /// Same parameters with self-telemetry publication toggled.
     pub fn with_self_telemetry(mut self, on: bool) -> Self {
         self.self_telemetry = on;
+        self
+    }
+
+    /// Same parameters with a pinned poll worker count.
+    pub fn with_poll_concurrency(mut self, workers: usize) -> Self {
+        self.poll_concurrency = workers;
         self
     }
 }
@@ -101,7 +111,8 @@ impl Deployment {
         for monitor in &tree.monitors {
             let mut config = GmetadConfig::new(&monitor.name)
                 .with_mode(params.mode)
-                .with_self_telemetry(params.self_telemetry);
+                .with_self_telemetry(params.self_telemetry)
+                .with_poll_concurrency(params.poll_concurrency);
             config.poll_interval = params.poll_interval;
             config.archive = if params.archive {
                 ArchiveMode::InMemory
@@ -274,6 +285,17 @@ impl Deployment {
     pub fn set_cluster_node_latency(&self, cluster: &str, node: usize, latency: Duration) {
         let addr = self.clusters[cluster].addrs()[node].clone();
         self.net.set_latency(&addr, latency);
+    }
+
+    /// Make one serving node really block for `delay` before answering
+    /// (`Duration::ZERO` clears). Unlike [`set_cluster_node_latency`]'s
+    /// simulated comparison against the timeout, this burns wall-clock
+    /// time — the fault parallel polling exists to contain.
+    ///
+    /// [`set_cluster_node_latency`]: Deployment::set_cluster_node_latency
+    pub fn set_cluster_node_wire_delay(&self, cluster: &str, node: usize, delay: Duration) {
+        let addr = self.clusters[cluster].addrs()[node].clone();
+        self.net.set_wire_delay(&addr, delay);
     }
 
     /// Truncate one serving node's responses to `bytes` (`None` clears).

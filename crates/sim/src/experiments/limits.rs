@@ -9,13 +9,17 @@
 //! upstream traffic series that backs the O(m)-vs-O(C·H·m) claim of
 //! §3.2.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ganglia_core::telemetry::Histogram;
-use ganglia_core::{archive, poller, TreeMode, WorkMeter};
+use ganglia_core::{archive, poller, DataSourceCfg, Gmetad, GmetadConfig, TreeMode, WorkMeter};
+use ganglia_metrics::codec::write_document;
 use ganglia_metrics::definition::{MetricDefinition, Synth};
 use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode, MetricEntry};
 use ganglia_metrics::{MetricType, MetricValue, Slope};
+use ganglia_net::transport::Transport;
+use ganglia_net::{Addr, SimNet};
 use ganglia_rrd::{DataSourceDef, RraDef, RrdSet, RrdSpec};
 
 /// One sweep point.
@@ -105,6 +109,67 @@ pub fn run_limits(hosts: usize, metric_counts: &[usize], rounds: u64) -> LimitsR
     LimitsResult { hosts, rows }
 }
 
+/// One before/after pair for the sequential-vs-parallel poll round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundScalingResult {
+    pub sources: usize,
+    /// Wire delay every source's endpoint imposes on each fetch.
+    pub per_source_delay: Duration,
+    /// Round wall-clock with one poll worker (the old behaviour).
+    pub sequential_round: Duration,
+    /// Round wall-clock with `poll_concurrency = 0` (auto fan-out).
+    pub parallel_round: Duration,
+}
+
+impl RoundScalingResult {
+    pub fn speedup(&self) -> f64 {
+        self.sequential_round.as_secs_f64() / self.parallel_round.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Quantify the poll-round fix: a sequential round pays the *sum* of
+/// its sources' latencies, a parallel round pays roughly the *max*.
+/// Each source is served with a real wire delay, so the numbers are
+/// honest wall-clock, not simulation time.
+pub fn run_round_scaling(sources: usize, per_source_delay: Duration) -> RoundScalingResult {
+    let net = SimNet::new(5);
+    let guards: Vec<_> = (0..sources)
+        .map(|s| {
+            let addr = Addr::new(format!("limits-{s}/n0"));
+            let body = write_document(&synthetic_cluster(4, 4, 1.0));
+            let guard = net
+                .serve(&addr, Arc::new(move |_: &str| body.clone()))
+                .expect("fresh sim address");
+            net.set_wire_delay(&addr, per_source_delay);
+            guard
+        })
+        .collect();
+
+    let round = |concurrency: usize| {
+        let mut config = GmetadConfig::new("limits").with_poll_concurrency(concurrency);
+        for s in 0..sources {
+            let addr = Addr::new(format!("limits-{s}/n0"));
+            config =
+                config.with_source(DataSourceCfg::new(format!("limits-{s}"), vec![addr]).unwrap());
+        }
+        let gmetad = Gmetad::new(config);
+        let start = Instant::now();
+        let results = gmetad.poll_all(&net, 15);
+        let elapsed = start.elapsed();
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        elapsed
+    };
+    let sequential_round = round(1);
+    let parallel_round = round(0);
+    drop(guards);
+    RoundScalingResult {
+        sources,
+        per_source_delay,
+        sequential_round,
+        parallel_round,
+    }
+}
+
 /// A user-defined (gmetric-style) metric definition, for tests that
 /// grow the per-host metric set of a live cluster.
 pub fn user_metric(name: &'static str) -> MetricDefinition {
@@ -145,6 +210,22 @@ mod tests {
             assert!(row.archive_time_p50 <= row.archive_time_p99, "{row:?}");
             assert!(row.archive_time_p99 > Duration::ZERO, "{row:?}");
         }
+    }
+
+    #[test]
+    fn parallel_round_beats_sequential_on_wall_clock() {
+        let result = run_round_scaling(4, Duration::from_millis(60));
+        // Sequential pays the sum of the delays...
+        assert!(
+            result.sequential_round >= Duration::from_millis(4 * 60),
+            "{result:?}"
+        );
+        // ...parallel only the slowest source plus slack.
+        assert!(
+            result.parallel_round < result.sequential_round,
+            "{result:?}"
+        );
+        assert!(result.speedup() > 1.0, "{result:?}");
     }
 
     #[test]

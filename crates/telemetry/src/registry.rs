@@ -47,6 +47,22 @@ impl Gauge {
         self.0.store(value, Ordering::Relaxed);
     }
 
+    /// Raise the level by `delta` (concurrent up/down counting, e.g.
+    /// in-flight work). Clamps at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        saturating_fetch_add(&self.0, delta);
+    }
+
+    /// Lower the level by `delta`, clamping at zero so paired
+    /// add/sub guards can never wrap the gauge around.
+    pub fn sub(&self, delta: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(delta))
+            });
+    }
+
     /// Current level.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -197,6 +213,20 @@ mod tests {
         c.add(u64::MAX - 1);
         c.add(10);
         assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_add_sub_clamp_at_the_edges() {
+        let registry = Registry::new();
+        let g = registry.gauge("inflight");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub clamps at zero");
+        g.set(u64::MAX - 1);
+        g.add(5);
+        assert_eq!(g.get(), u64::MAX, "add saturates");
     }
 
     #[test]

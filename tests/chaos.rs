@@ -150,6 +150,15 @@ fn run_chaos(seed: u64) {
                 total <= total_hosts,
                 "seed {seed:#x}, round {round}, {monitor}: impossible host total {total}"
             );
+            // The archives gauge must track the real archive population
+            // every round — expired sources drop their archives rather
+            // than leaving the gauge drifting from the truth.
+            let daemon = deployment.monitor(monitor);
+            assert_eq!(
+                daemon.telemetry_snapshot().gauge("archives"),
+                Some(daemon.archive_count() as u64),
+                "seed {seed:#x}, round {round}, {monitor}: archives gauge drifted"
+            );
             let _ = doc;
         }
         // Restore killed first-nodes so the next kill is meaningful.
@@ -300,4 +309,56 @@ fn breaker_cycle_bounds_probes_and_recovers() {
     assert_eq!(state.summary.hosts_up, 8);
     assert_eq!(root.store().root_summary().hosts_up, 8);
     assert_eq!(root.store().root_summary().hosts_down, 0);
+}
+
+/// An expired source must take its RRD archives with it: before the
+/// fix, `Degradation::Expired` pruned the snapshot but left the
+/// archives behind, so the `archives` gauge and `archive_count()`
+/// drifted apart from the store forever.
+#[test]
+fn expired_source_prunes_its_archives() {
+    use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig, LifecyclePolicy};
+    use ganglia::gmond::pseudo::ServedPseudoCluster;
+    use ganglia::gmond::PseudoGmond;
+    use ganglia::net::SimNet;
+
+    let net = SimNet::new(11);
+    let served = ServedPseudoCluster::serve(&net, PseudoGmond::new("meteor", 8, 42, 0), 2);
+    let gmetad = Gmetad::new(
+        GmetadConfig::new("sdsc")
+            .with_source(DataSourceCfg::new("meteor", served.addrs().to_vec()).unwrap())
+            .with_lifecycle(LifecyclePolicy {
+                down_after_secs: 60,
+                expire_after_secs: 120,
+            }),
+    );
+    gmetad.poll_all(&net, 15);
+    let populated = gmetad.archive_count();
+    assert!(populated > 0);
+    assert_eq!(
+        gmetad.telemetry_snapshot().gauge("archives"),
+        Some(populated as u64)
+    );
+
+    net.partition_prefix("meteor", true);
+    // Stale (t=30), Down (t=90): archives stay, recording unknowns.
+    gmetad.poll_all(&net, 30);
+    gmetad.poll_all(&net, 90);
+    assert_eq!(gmetad.archive_count(), populated, "down keeps the history");
+
+    // Past the expiry threshold the snapshot is pruned — and so are its
+    // archives, with the gauge converging to the truth.
+    gmetad.poll_all(&net, 200);
+    assert!(gmetad.store().get("meteor").is_none(), "snapshot expired");
+    assert_eq!(gmetad.archive_count(), 0, "archives expired with it");
+    assert_eq!(gmetad.telemetry_snapshot().gauge("archives"), Some(0));
+
+    // A healed source starts a fresh history.
+    net.partition_prefix("meteor", false);
+    gmetad.poll_all(&net, 215);
+    assert_eq!(gmetad.archive_count(), populated);
+    assert_eq!(
+        gmetad.telemetry_snapshot().gauge("archives"),
+        Some(populated as u64)
+    );
 }

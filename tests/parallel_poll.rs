@@ -1,0 +1,186 @@
+//! Multi-threaded stress for the parallel poll round: one slow source
+//! and one garbage source must not stall the others, results come back
+//! in configuration order with the same error semantics as the old
+//! sequential loop, and the query/telemetry paths stay live (and
+//! deadlock-free) while a round is in flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ganglia_core::{DataSourceCfg, Gmetad, GmetadConfig, GmetadError};
+use ganglia_metrics::parse_document;
+use ganglia_net::transport::{ServerGuard, Transport};
+use ganglia_net::{Addr, SimNet};
+
+/// Source layout: four healthy-but-laggy clusters, one hung endpoint,
+/// one endpoint serving garbage.
+const SOURCES: [&str; 6] = ["fast-0", "fast-1", "fast-2", "fast-3", "slow", "garbage"];
+
+fn cluster_xml(name: &str, hosts: usize) -> String {
+    let mut xml = format!(
+        "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmond\"><CLUSTER NAME=\"{name}\" LOCALTIME=\"10\">"
+    );
+    for i in 0..hosts {
+        xml.push_str(&format!(
+            "<HOST NAME=\"n{i}\" IP=\"1.1.1.{i}\" REPORTED=\"10\" TN=\"1\" TMAX=\"20\" DMAX=\"0\">\
+             <METRIC NAME=\"load_one\" VAL=\"0.5\" TYPE=\"float\" SLOPE=\"both\"/></HOST>"
+        ));
+    }
+    xml.push_str("</CLUSTER></GANGLIA_XML>");
+    xml
+}
+
+fn source_addr(name: &str) -> Addr {
+    Addr::new(format!("{name}/n0"))
+}
+
+fn serve_sources(net: &Arc<SimNet>) -> Vec<Box<dyn ServerGuard>> {
+    SOURCES
+        .iter()
+        .map(|name| {
+            let body = cluster_xml(name, 4);
+            net.serve(&source_addr(name), Arc::new(move |_: &str| body.clone()))
+                .unwrap()
+        })
+        .collect()
+}
+
+fn gmetad_with(workers: usize, fetch_timeout: Duration) -> Arc<Gmetad> {
+    let mut config = GmetadConfig::new("grid").with_poll_concurrency(workers);
+    config.fetch_timeout = fetch_timeout;
+    for name in SOURCES {
+        config = config.with_source(DataSourceCfg::new(name, vec![source_addr(name)]).unwrap());
+    }
+    Gmetad::new(config)
+}
+
+/// Assert one round's results carry the old sequential semantics: in
+/// configuration order, fast sources ok, the hung source a timeout, the
+/// garbage source a parse failure.
+fn assert_round_semantics(results: &[Result<(), GmetadError>]) {
+    assert_eq!(results.len(), SOURCES.len());
+    for (name, result) in SOURCES.iter().zip(results) {
+        match *name {
+            "slow" => {
+                let Err(GmetadError::AllHostsFailed { source, errors }) = result else {
+                    panic!("slow: expected AllHostsFailed, got {result:?}");
+                };
+                assert_eq!(source, "slow", "results must stay in configuration order");
+                assert!(matches!(errors[0], ganglia_net::NetError::Timeout(_)));
+            }
+            "garbage" => {
+                let Err(GmetadError::BadReport { source, .. }) = result else {
+                    panic!("garbage: expected BadReport, got {result:?}");
+                };
+                assert_eq!(
+                    source, "garbage",
+                    "results must stay in configuration order"
+                );
+            }
+            fast => assert!(result.is_ok(), "{fast}: {result:?}"),
+        }
+    }
+}
+
+#[test]
+fn round_wall_clock_is_the_slowest_source_not_the_sum() {
+    let net = SimNet::new(7);
+    let _guards = serve_sources(&net);
+    let timeout = Duration::from_secs(1);
+    for name in &SOURCES[..4] {
+        net.set_wire_delay(&source_addr(name), Duration::from_millis(200));
+    }
+    // A delay at the fetch timeout really blocks for the full timeout,
+    // then fails — the "hung source" the round must absorb.
+    net.set_wire_delay(&source_addr("slow"), timeout);
+    net.set_garbage(&source_addr("garbage"), true);
+
+    let sequential = gmetad_with(1, timeout);
+    let start = Instant::now();
+    let results = sequential.poll_all(&net, 15);
+    let sequential_elapsed = start.elapsed();
+    assert_round_semantics(&results);
+    // Sequential pays every source's latency: 4 × 200ms + 1s ≥ 1.8s.
+    assert!(
+        sequential_elapsed >= Duration::from_millis(1750),
+        "sequential round should cost the sum, took {sequential_elapsed:?}"
+    );
+
+    let parallel = gmetad_with(0, timeout); // auto = one worker per source
+    let start = Instant::now();
+    let results = parallel.poll_all(&net, 15);
+    let parallel_elapsed = start.elapsed();
+    assert_round_semantics(&results);
+    // Parallel pays only the slowest source (1s) plus scheduling slack.
+    assert!(
+        parallel_elapsed < sequential_elapsed,
+        "parallel ({parallel_elapsed:?}) must beat sequential ({sequential_elapsed:?})"
+    );
+    assert!(
+        parallel_elapsed < Duration::from_millis(1700),
+        "parallel round should cost ~max(sources), took {parallel_elapsed:?}"
+    );
+
+    // Both daemons stored the same picture: 4 fast snapshots (slow and
+    // garbage never produced one), and nothing left mid-flight.
+    for gmetad in [&sequential, &parallel] {
+        assert_eq!(gmetad.store().len(), 4);
+        assert_eq!(gmetad.store().root_summary().hosts_total(), 16);
+        let snap = gmetad.telemetry_snapshot();
+        assert_eq!(snap.gauge("poll_inflight"), Some(0), "round fully drained");
+        assert_eq!(snap.counter("polls_ok_total"), Some(4));
+        assert_eq!(snap.counter("polls_failed_total"), Some(2));
+    }
+}
+
+#[test]
+fn queries_and_telemetry_stay_live_during_parallel_rounds() {
+    let net = SimNet::new(9);
+    let _guards = serve_sources(&net);
+    let timeout = Duration::from_millis(300);
+    for name in &SOURCES[..4] {
+        net.set_wire_delay(&source_addr(name), Duration::from_millis(50));
+    }
+    net.set_wire_delay(&source_addr("slow"), timeout);
+    net.set_garbage(&source_addr("garbage"), true);
+
+    let gmetad = gmetad_with(0, timeout);
+    let port = gmetad.serve_on(&net, &Addr::new("grid-gmeta")).unwrap();
+    let port_addr = port.addr();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Readers hammer the query engine, the query port, and the
+        // telemetry snapshot while rounds are in flight. Every response
+        // must stay well-formed; completion proves no deadlock.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let xml = gmetad.query("/");
+                    parse_document(&xml).expect("query during round stays well-formed");
+                    let _ = gmetad.query("/fast-0");
+                    let _ = gmetad.store().root_summary();
+                }
+            });
+        }
+        scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                let snap = gmetad.telemetry_snapshot();
+                assert!(snap.gauge("poll_inflight").unwrap_or(0) <= SOURCES.len() as u64);
+                let xml = net
+                    .fetch(&port_addr, "/?filter=summary", Duration::from_secs(5))
+                    .expect("query port stays live");
+                assert!(xml.contains("GANGLIA_XML"));
+            }
+        });
+        for round in 1..=4u64 {
+            let results = gmetad.poll_all(&net, round * 15);
+            assert_round_semantics(&results);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let snap = gmetad.telemetry_snapshot();
+    assert_eq!(snap.gauge("poll_inflight"), Some(0));
+    assert_eq!(snap.counter("rounds_total"), Some(4));
+    assert_eq!(gmetad.store().root_summary().hosts_total(), 16);
+}
