@@ -1,0 +1,120 @@
+//! Measure the `ganglia-serve` front tier: cached full-dump throughput
+//! vs render-per-request under concurrent clients, plus slow-client
+//! p99 isolation over real TCP.
+//!
+//! Usage: `repro_serving [clients] [requests_per_client] [--smoke] [--json <path>]`
+//!
+//! `--json <path>` also writes the result as JSON. `--smoke` runs a
+//! CI-sized store and then self-checks: the JSON must parse, the cache
+//! must carry ≥5× the render-per-request throughput, and the good
+//! clients' p99 must stay bounded while stalled peers sit on the pool.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ganglia_bench::{render_serving, render_serving_json};
+use ganglia_core::telemetry::json;
+use ganglia_sim::experiments::{run_serving, run_slow_client_isolation, ServingParams};
+
+fn main() -> ExitCode {
+    let mut clients = None;
+    let mut requests = None;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("repro_serving: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let Ok(n) = other.parse::<u64>() else {
+                    eprintln!("repro_serving: unknown argument {other:?}");
+                    return ExitCode::from(2);
+                };
+                if clients.is_none() {
+                    clients = Some(n as usize);
+                } else {
+                    requests = Some(n as usize);
+                }
+            }
+        }
+    }
+    // 64+ concurrent clients in every mode — the concurrency is the
+    // experiment; smoke only shrinks the store and the request count.
+    let clients = clients.unwrap_or(64).max(1);
+    let requests = requests.unwrap_or(if smoke { 10 } else { 50 });
+    let params = ServingParams {
+        clusters: if smoke { 2 } else { 4 },
+        hosts_per_cluster: if smoke { 24 } else { 48 },
+        clients,
+        requests_per_client: requests,
+    };
+    eprintln!(
+        "running serving: {clients} clients x {requests} full-dump requests, \
+         cache on vs off, then slow-client isolation over TCP..."
+    );
+    let result = run_serving(params);
+    let isolation = run_slow_client_isolation(4, if smoke { 25 } else { 100 }, 2);
+    print!("{}", render_serving(&result, &isolation));
+
+    let rendered = render_serving_json(&result, &isolation);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("repro_serving: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} bytes)", rendered.len());
+    }
+
+    if smoke {
+        // Self-check 1: the JSON artifact parses with our own parser.
+        if let Err(e) = json::parse(&rendered) {
+            eprintln!("smoke FAILED: JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check 2: the revision-keyed cache pays for itself — the
+        // acceptance bar is ≥5× the render-per-request throughput.
+        if result.speedup() < 5.0 {
+            eprintln!(
+                "smoke FAILED: cache speedup {:.2}x < 5x (cached {:.0} rps, rendered {:.0} rps)",
+                result.speedup(),
+                result.cached.throughput_rps,
+                result.rendered.throughput_rps
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 3: the cache actually served the traffic; this is
+        // not a comparison of two uncached runs.
+        let total = (params.clients * params.requests_per_client) as u64;
+        if result.cached.cache_hits < total / 2 {
+            eprintln!(
+                "smoke FAILED: only {}/{} requests hit the cache",
+                result.cached.cache_hits, total
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 4: stalled peers did not wedge the pool — good
+        // clients' p99 stays far below the 5 s client timeout a hung
+        // port would produce.
+        if !isolation.p99_bounded_by(Duration::from_secs(2)) {
+            eprintln!(
+                "smoke FAILED: contended p99 {}us breaches the 2s bound",
+                isolation.contended_p99_us
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "smoke ok: speedup {:.1}x, contended p99 {}us ({} evictions)",
+            result.speedup(),
+            isolation.contended_p99_us,
+            isolation.evictions
+        );
+    }
+    ExitCode::SUCCESS
+}

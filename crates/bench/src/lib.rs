@@ -11,7 +11,9 @@ use std::time::{Duration, Instant};
 
 use ganglia_core::telemetry::{Histogram, Registry};
 use ganglia_sim::experiments::table1::View;
-use ganglia_sim::experiments::{Fig5Result, Fig6Result, Table1Result};
+use ganglia_sim::experiments::{
+    Fig5Result, Fig6Result, IsolationResult, ServingResult, Table1Result,
+};
 
 /// Render figure 5 as an aligned table (one bar pair per monitor).
 pub fn render_fig5(result: &Fig5Result) -> String {
@@ -188,6 +190,83 @@ pub fn render_table1(result: &Table1Result) -> String {
     out
 }
 
+/// Render the serving experiment as an aligned cached-vs-rendered
+/// table plus the slow-client isolation summary.
+pub fn render_serving(result: &ServingResult, isolation: &IsolationResult) -> String {
+    let mut out = String::new();
+    let p = &result.params;
+    let _ = writeln!(
+        out,
+        "Serving — full-dump throughput, {} clients × {} requests \
+         ({} clusters × {} hosts, dump {} bytes)",
+        p.clients, p.requests_per_client, p.clusters, p.hosts_per_cluster, result.dump_bytes
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>10} {:>10} {:>12}",
+        "design", "dumps/sec", "renders", "hits", "p99 (us)"
+    );
+    for (label, side) in [
+        ("render-per-request", &result.rendered),
+        ("cached", &result.cached),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.1} {:>10} {:>10} {:>12}",
+            label, side.throughput_rps, side.renders, side.cache_hits, side.latency_p99_us
+        );
+    }
+    let _ = writeln!(out, "cache speedup: {:.1}x", result.speedup());
+    let _ = writeln!(
+        out,
+        "slow-client isolation: good-client p99 {}us alone, {}us with {} stalled \
+         peers ({} deadline evictions)",
+        isolation.baseline_p99_us,
+        isolation.contended_p99_us,
+        isolation.stalled_clients,
+        isolation.evictions
+    );
+    out
+}
+
+/// Render the serving results as machine-readable JSON for the CI
+/// smoke job. Parseable by [`ganglia_core::telemetry::json::parse`].
+pub fn render_serving_json(result: &ServingResult, isolation: &IsolationResult) -> String {
+    let mut out = String::from("{");
+    let p = &result.params;
+    let _ = write!(
+        out,
+        "\"experiment\":\"serving\",\"clusters\":{},\"hosts_per_cluster\":{},\
+         \"clients\":{},\"requests_per_client\":{},\"dump_bytes\":{},",
+        p.clusters, p.hosts_per_cluster, p.clients, p.requests_per_client, result.dump_bytes
+    );
+    let side = |label: &str, s: &ganglia_sim::experiments::ServingSide| {
+        format!(
+            "\"{label}\":{{\"throughput_rps\":{:.3},\"renders\":{},\"cache_hits\":{},\
+             \"latency_p99_us\":{}}}",
+            s.throughput_rps, s.renders, s.cache_hits, s.latency_p99_us
+        )
+    };
+    let _ = write!(
+        out,
+        "{},{},\"speedup\":{:.3},",
+        side("rendered", &result.rendered),
+        side("cached", &result.cached),
+        result.speedup()
+    );
+    let _ = write!(
+        out,
+        "\"isolation\":{{\"baseline_p99_us\":{},\"contended_p99_us\":{},\
+         \"stalled_clients\":{},\"evictions\":{}}}",
+        isolation.baseline_p99_us,
+        isolation.contended_p99_us,
+        isolation.stalled_clients,
+        isolation.evictions
+    );
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +325,39 @@ mod tests {
         let text = render_table1(&table1);
         assert!(text.contains("Speedup"));
         assert!(text.contains("Meta"));
+    }
+
+    #[test]
+    fn serving_renderers_produce_table_and_json() {
+        use ganglia_sim::experiments::{run_serving, ServingParams};
+        let result = run_serving(ServingParams {
+            clusters: 1,
+            hosts_per_cluster: 8,
+            clients: 4,
+            requests_per_client: 5,
+        });
+        let isolation = ganglia_sim::experiments::IsolationResult {
+            baseline_p99_us: 100,
+            contended_p99_us: 200,
+            stalled_clients: 2,
+            evictions: 3,
+        };
+        let text = render_serving(&result, &isolation);
+        assert!(text.contains("cache speedup"));
+        assert!(text.contains("render-per-request"));
+        let json = render_serving_json(&result, &isolation);
+        let value = ganglia_core::telemetry::json::parse(&json).unwrap();
+        assert_eq!(
+            value.get("experiment").and_then(|v| v.as_str()),
+            Some("serving")
+        );
+        assert_eq!(
+            value
+                .get("isolation")
+                .and_then(|i| i.get("stalled_clients"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        assert!(value.get("speedup").is_some());
     }
 }

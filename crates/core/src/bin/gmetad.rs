@@ -1,8 +1,11 @@
 //! The standalone gmetad daemon.
 //!
 //! Reads a `gmetad.conf` (see [`ganglia_core::conf`] for the format),
-//! binds the query engine on the interactive port, and polls its data
-//! sources on the configured interval until killed.
+//! binds both TCP services — the full XML dump on `xml_port` (8651) and
+//! the query engine on `interactive_port` (8652) — through the
+//! `ganglia-serve` front tier (worker pool, revision-keyed response
+//! cache, admission control), and polls its data sources on the
+//! configured interval until killed.
 //!
 //! ```sh
 //! gmetad --conf /etc/ganglia/gmetad.conf
@@ -17,6 +20,7 @@ use ganglia_core::conf::parse_conf;
 use ganglia_core::Gmetad;
 use ganglia_net::transport::Transport;
 use ganglia_net::{Addr, TcpTransport};
+use ganglia_serve::PooledServer;
 
 fn usage() -> ExitCode {
     eprintln!("usage: gmetad --conf <path> [--once]");
@@ -78,15 +82,34 @@ fn main() -> ExitCode {
 
     let transport = TcpTransport::new();
     let daemon = Gmetad::new(parsed.config);
-    let bind = Addr::new(format!("{}:{}", parsed.bind, parsed.interactive_port));
-    let guard = match daemon.serve_on(&transport, &bind) {
+    // Both services run through the serving front tier: a worker pool
+    // per port, one shared registry, cache keyed by the store revision.
+    let interactive_bind = Addr::new(format!("{}:{}", parsed.bind, parsed.interactive_port));
+    let interactive_guard =
+        match PooledServer::bind(&interactive_bind, daemon.query_tier(parsed.serve.clone())) {
+            Ok(guard) => guard,
+            Err(e) => {
+                eprintln!("gmetad: cannot bind {interactive_bind}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let xml_bind = Addr::new(format!("{}:{}", parsed.bind, parsed.xml_port));
+    let xml_guard = match PooledServer::bind(&xml_bind, daemon.dump_tier(parsed.serve.clone())) {
         Ok(guard) => guard,
         Err(e) => {
-            eprintln!("gmetad: cannot bind {bind}: {e}");
+            eprintln!("gmetad: cannot bind {xml_bind}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("gmetad: query engine listening on {}", guard.addr());
+    eprintln!(
+        "gmetad: query engine on {}, xml dump on {} \
+         ({} server thread(s)/port, max {} in flight, cache {})",
+        interactive_guard.addr(),
+        xml_guard.addr(),
+        parsed.serve.workers,
+        parsed.serve.max_inflight,
+        if parsed.serve.cache { "on" } else { "off" },
+    );
 
     if once {
         let now = wall_secs();

@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use ganglia_net::Addr;
+use ganglia_serve::ServeOptions;
 
 use crate::config::{ArchiveMode, DataSourceCfg, GmetadConfig, TreeMode};
 
@@ -50,17 +51,24 @@ impl std::error::Error for ConfError {}
 #[derive(Debug, Clone)]
 pub struct ParsedConf {
     pub config: GmetadConfig,
+    /// TCP port for the full XML dump (`xml_port`, default 8651).
+    pub xml_port: u16,
     /// TCP port for the query engine (`interactive_port`, default 8652).
     pub interactive_port: u16,
     /// Address to bind (default `0.0.0.0`).
     pub bind: String,
+    /// Front-tier serving options (`server_threads`,
+    /// `server_max_inflight`, `server_cache`), applied to both ports.
+    pub serve: ServeOptions,
 }
 
 /// Parse a complete `gmetad.conf` document.
 pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
     let mut config = GmetadConfig::new("unspecified");
+    let mut xml_port = 8651u16;
     let mut interactive_port = 8652u16;
     let mut bind = "0.0.0.0".to_string();
+    let mut serve = ServeOptions::default();
     let mut saw_gridname = false;
 
     for (idx, raw_line) in input.lines().enumerate() {
@@ -125,6 +133,45 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
                 interactive_port = port
                     .parse()
                     .map_err(|_| err(format!("bad port {port:?}")))?;
+            }
+            "xml_port" => {
+                let [port] = args else {
+                    return Err(err("xml_port takes one value".into()));
+                };
+                xml_port = port
+                    .parse()
+                    .map_err(|_| err(format!("bad port {port:?}")))?;
+            }
+            "server_threads" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                if value == 0 {
+                    return Err(err("server_threads must be positive".into()));
+                }
+                serve.workers = usize::try_from(value)
+                    .map_err(|_| err(format!("server_threads {value} is too large")))?;
+            }
+            "server_max_inflight" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                if value == 0 {
+                    return Err(err("server_max_inflight must be positive".into()));
+                }
+                let max = usize::try_from(value)
+                    .map_err(|_| err(format!("server_max_inflight {value} is too large")))?;
+                serve = serve.with_max_inflight(max);
+            }
+            "server_cache" => {
+                let [value] = args else {
+                    return Err(err("server_cache takes one value (on/off)".into()));
+                };
+                serve.cache = match value.as_str() {
+                    "on" | "yes" | "true" | "1" => true,
+                    "off" | "no" | "false" | "0" => false,
+                    other => {
+                        return Err(err(format!(
+                            "bad server_cache value {other:?} (use \"on\" or \"off\")"
+                        )))
+                    }
+                };
             }
             "bind" => {
                 let [addr] = args else {
@@ -230,10 +277,20 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
     if config.authority_url.contains("unspecified") {
         config.authority_url = format!("http://{}/ganglia/", config.grid_name);
     }
+    // The two TCP services must not collide; the directives may arrive
+    // in either order, so this is a cross-field check.
+    if xml_port == interactive_port {
+        return Err(ConfError {
+            line: 0,
+            reason: format!("xml_port and interactive_port are both {xml_port}; they must differ"),
+        });
+    }
     Ok(ParsedConf {
         config,
+        xml_port,
         interactive_port,
         bind,
+        serve,
     })
 }
 
@@ -458,6 +515,53 @@ fetch_timeout_secs 5
             parse_conf("gridname \"X\"\nsource_down_secs 600\nsource_expire_secs 600\n").is_err()
         );
         assert!(parse_conf("gridname \"X\"\nsource_down_secs 0\n").is_err());
+    }
+
+    #[test]
+    fn xml_port_parses_and_defaults() {
+        let parsed = parse_conf("gridname \"X\"\n").unwrap();
+        assert_eq!(parsed.xml_port, 8651);
+        assert_eq!(parsed.interactive_port, 8652);
+        let parsed = parse_conf("gridname \"X\"\nxml_port 9651\n").unwrap();
+        assert_eq!(parsed.xml_port, 9651);
+        assert!(parse_conf("gridname \"X\"\nxml_port zap\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nxml_port 70000\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nxml_port\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nxml_port 1 2\n").is_err());
+    }
+
+    #[test]
+    fn colliding_ports_are_rejected_in_either_order() {
+        let err = parse_conf("gridname \"X\"\nxml_port 8652\n").unwrap_err();
+        assert!(err.reason.contains("must differ"), "{}", err.reason);
+        let err = parse_conf("gridname \"X\"\ninteractive_port 8651\n").unwrap_err();
+        assert!(err.reason.contains("must differ"), "{}", err.reason);
+        let err = parse_conf("gridname \"X\"\ninteractive_port 9000\nxml_port 9000\n").unwrap_err();
+        assert!(err.reason.contains("9000"), "{}", err.reason);
+        // Swapping the defaults is legal as long as they stay distinct.
+        let parsed = parse_conf("gridname \"X\"\nxml_port 8652\ninteractive_port 8651\n").unwrap();
+        assert_eq!(parsed.xml_port, 8652);
+        assert_eq!(parsed.interactive_port, 8651);
+    }
+
+    #[test]
+    fn server_knobs_parse_into_serve_options() {
+        let parsed = parse_conf("gridname \"X\"\n").unwrap();
+        assert_eq!(parsed.serve, ServeOptions::default());
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             server_threads 8\n\
+             server_max_inflight 256\n\
+             server_cache off\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.serve.workers, 8);
+        assert_eq!(parsed.serve.max_inflight, 256);
+        assert!(!parsed.serve.cache);
+        assert!(parse_conf("gridname \"X\"\nserver_threads 0\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nserver_max_inflight 0\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nserver_cache maybe\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nserver_cache\n").is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use ganglia_net::transport::{RequestHandler, ServerGuard, Transport};
 use ganglia_net::Addr;
 use ganglia_query::{Filter, Query};
 use ganglia_rrd::{ConsolidationFn, MetricKey, Series};
+use ganglia_serve::{FrontTier, ServeOptions};
 use ganglia_telemetry::{LogicalClock, Registry, Snapshot, Tracer};
 
 use crate::archive::{archive_source, write_unknowns, ArchiveShards};
@@ -359,6 +360,8 @@ impl Gmetad {
             entry.source = "gmetad".to_string();
             entry
         };
+        let serve_requests = counter("serve.requests_total");
+        let serve_hits = counter("serve.cache_hits_total");
         let metrics = vec![
             metric("self.fetch_p99_ms", p99_ms("fetch_us"), "ms"),
             metric("self.parse_p99_ms", p99_ms("parse_us"), "ms"),
@@ -403,6 +406,39 @@ impl Gmetad {
                 "self.sources",
                 snap.gauge("sources").unwrap_or(0) as f64,
                 "sources",
+            ),
+            // The serving front tier (when the daemon's ports run
+            // through `query_tier`/`dump_tier`, which share this
+            // registry).
+            metric("self.serve_requests_total", serve_requests, "requests"),
+            metric(
+                "self.serve_cache_hit_ratio",
+                if serve_requests > 0.0 {
+                    serve_hits / serve_requests
+                } else {
+                    0.0
+                },
+                "ratio",
+            ),
+            metric(
+                "self.serve_shed_total",
+                counter("serve.shed_total"),
+                "requests",
+            ),
+            metric(
+                "self.serve_ratelimited_total",
+                counter("serve.ratelimited_total"),
+                "requests",
+            ),
+            metric(
+                "self.serve_evicted_total",
+                counter("serve.evicted_total"),
+                "connections",
+            ),
+            metric(
+                "self.serve_latency_p99_ms",
+                p99_ms("serve.latency_us"),
+                "ms",
             ),
         ];
         let mut host = HostNode::new(self.self_host_name(), "127.0.0.1");
@@ -465,6 +501,49 @@ impl Gmetad {
     pub fn handler(self: &Arc<Self>) -> Arc<dyn RequestHandler> {
         let daemon = Arc::clone(self);
         Arc::new(move |request: &str| daemon.query(request))
+    }
+
+    /// A transport handler for the `xml_port` service: the full dump,
+    /// whatever the request line says — gmetad 2.5's behaviour, where
+    /// connecting to 8651 streams the whole tree.
+    pub fn dump_handler(self: &Arc<Self>) -> Arc<dyn RequestHandler> {
+        let daemon = Arc::clone(self);
+        Arc::new(move |_request: &str| daemon.query("/"))
+    }
+
+    /// Wrap the interactive (path-query) service in a serving front
+    /// tier: revision-keyed response cache plus admission control,
+    /// instrumented into this daemon's registry. The cache key is the
+    /// store's mutation counter, so responses stay byte-identical to a
+    /// fresh render until the next poll round installs new snapshots.
+    pub fn query_tier(self: &Arc<Self>, options: ServeOptions) -> Arc<FrontTier> {
+        let store_revision = {
+            let daemon = Arc::clone(self);
+            move || daemon.store.revision()
+        };
+        FrontTier::new(
+            self.handler(),
+            store_revision,
+            options,
+            Arc::clone(&self.registry),
+        )
+    }
+
+    /// Wrap the `xml_port` (full dump) service in a serving front tier.
+    /// Shares the registry — and therefore the `serve.*` instruments —
+    /// with [`Gmetad::query_tier`], matching gmetad where both ports are
+    /// one daemon.
+    pub fn dump_tier(self: &Arc<Self>, options: ServeOptions) -> Arc<FrontTier> {
+        let store_revision = {
+            let daemon = Arc::clone(self);
+            move || daemon.store.revision()
+        };
+        FrontTier::new(
+            self.dump_handler(),
+            store_revision,
+            options,
+            Arc::clone(&self.registry),
+        )
     }
 
     /// Bind this daemon's query port at `addr`.

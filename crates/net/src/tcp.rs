@@ -9,12 +9,21 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::addr::Addr;
 use crate::error::NetError;
 use crate::transport::{RequestHandler, ServerGuard, Transport};
+
+/// Per-connection read and write deadlines: a peer that stalls
+/// mid-request or stops draining its response holds a connection thread
+/// for at most this long.
+const CONN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long a dropped guard waits for in-flight connections to finish
+/// before detaching them.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Transport over real TCP sockets.
 #[derive(Debug, Default, Clone, Copy)]
@@ -27,11 +36,56 @@ impl TcpTransport {
     }
 }
 
-/// Guard for a bound TCP endpoint; stops the accept loop when dropped.
+/// In-flight connection count, so the guard can drain on drop.
+struct ConnTracker {
+    active: Mutex<usize>,
+    done: Condvar,
+}
+
+impl ConnTracker {
+    fn enter(self: &Arc<Self>) -> ConnGuard {
+        *self.active.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        ConnGuard(Arc::clone(self))
+    }
+
+    /// Wait until no connection is in flight or `deadline` passes;
+    /// returns whether everything drained.
+    fn wait_drained(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= until {
+                return false;
+            }
+            active = self
+                .done
+                .wait_timeout(active, until - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+}
+
+/// Decrements the in-flight count when a connection finishes, even on
+/// unwind.
+struct ConnGuard(Arc<ConnTracker>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        *self.0.active.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+        self.0.done.notify_all();
+    }
+}
+
+/// Guard for a bound TCP endpoint; stops the accept loop when dropped
+/// and drains in-flight connections with a deadline.
 struct TcpServerGuard {
     local: SocketAddr,
     stop: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
+    tracker: Arc<ConnTracker>,
 }
 
 impl ServerGuard for TcpServerGuard {
@@ -48,6 +102,10 @@ impl Drop for TcpServerGuard {
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
+        // Give responses already being written a chance to finish.
+        // Connections still alive past the deadline are detached; their
+        // threads die with the per-connection read/write deadlines.
+        let _ = self.tracker.wait_drained(DRAIN_DEADLINE);
     }
 }
 
@@ -69,14 +127,20 @@ impl Transport for TcpTransport {
             .map_err(|e| NetError::Io(e.to_string()))?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_for_thread = Arc::clone(&stop);
+        let tracker = Arc::new(ConnTracker {
+            active: Mutex::new(0),
+            done: Condvar::new(),
+        });
+        let tracker_for_thread = Arc::clone(&tracker);
         let thread = std::thread::Builder::new()
             .name(format!("gmeta-serve-{local}"))
-            .spawn(move || accept_loop(listener, handler, stop_for_thread))
+            .spawn(move || accept_loop(listener, handler, stop_for_thread, tracker_for_thread))
             .map_err(|e| NetError::Io(e.to_string()))?;
         Ok(Box::new(TcpServerGuard {
             local,
             stop,
             thread: Some(thread),
+            tracker,
         }))
     }
 
@@ -122,7 +186,12 @@ fn classify_io(addr: &Addr, e: std::io::Error) -> NetError {
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: Arc<dyn RequestHandler>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    handler: Arc<dyn RequestHandler>,
+    stop: Arc<AtomicBool>,
+    tracker: Arc<ConnTracker>,
+) {
     loop {
         let Ok((stream, _peer)) = listener.accept() else {
             if stop.load(Ordering::SeqCst) {
@@ -134,16 +203,19 @@ fn accept_loop(listener: TcpListener, handler: Arc<dyn RequestHandler>, stop: Ar
             return;
         }
         let handler = Arc::clone(&handler);
+        let conn = tracker.enter();
         // One thread per connection: monitoring fan-in is small (a parent
         // polls each child every ~15 s) so this stays far from any limit.
         std::thread::spawn(move || {
+            let _conn = conn;
             let _ = serve_connection(stream, &*handler);
         });
     }
 }
 
 fn serve_connection(stream: TcpStream, handler: &dyn RequestHandler) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_read_timeout(Some(CONN_DEADLINE))?;
+    stream.set_write_timeout(Some(CONN_DEADLINE))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request = String::new();
     reader.read_line(&mut request)?;
@@ -222,6 +294,43 @@ mod tests {
         drop(guard);
         // After drop, connection attempts must fail.
         assert!(transport.fetch(&bound, "", T).is_err());
+    }
+
+    #[test]
+    fn guard_drop_drains_in_flight_connections() {
+        let transport = TcpTransport::new();
+        // A handler slow enough that the response is still pending when
+        // the guard drops, but well inside the drain deadline.
+        let handler: Arc<dyn RequestHandler> = Arc::new(|_: &str| {
+            std::thread::sleep(Duration::from_millis(300));
+            "<SLOW/>".to_string()
+        });
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
+        let bound = guard.addr();
+        let fetcher = std::thread::spawn(move || TcpTransport::new().fetch(&bound, "", T));
+        // Let the connection get accepted before dropping the guard.
+        std::thread::sleep(Duration::from_millis(100));
+        drop(guard);
+        // The in-flight response completed even though the server shut
+        // down mid-request.
+        assert_eq!(fetcher.join().unwrap().unwrap(), "<SLOW/>");
+    }
+
+    #[test]
+    fn stalled_client_does_not_hold_a_connection_forever() {
+        // A client that connects and never sends: the server-side
+        // connection thread must die on the read deadline rather than
+        // pin resources indefinitely. Observed indirectly — the tracker
+        // drains once the stalled socket is closed client-side.
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> = Arc::new(|_: &str| "x".to_string());
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
+        let addr: SocketAddr = guard.addr().as_str().parse().unwrap();
+        let stalled = TcpStream::connect_timeout(&addr, T).unwrap();
+        // A normal request is still served alongside the stalled peer.
+        assert_eq!(transport.fetch(&guard.addr(), "q", T).unwrap(), "x");
+        drop(stalled); // client closes; server read returns EOF
+        drop(guard); // drains promptly — the test not hanging is the assertion
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Admission control: per-peer token buckets.
+//!
+//! A monitoring port is read-mostly and cheap to flood; one greedy
+//! consumer (the R-GMA lesson) can starve every well-behaved viewer.
+//! The limiter gives each peer an independent token bucket — steady
+//! rate `rate_per_sec`, burst `burst` — so a flooder exhausts only its
+//! own budget while other peers keep their full rate.
+//!
+//! Peers are identities, not sockets: the TCP pool keys one-shot
+//! connections by source IP and keep-alive sessions by the name in
+//! their `#keepalive <name>` hello, and in-process callers pass any
+//! label they like.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Per-peer token-bucket rate limiter.
+pub struct RateLimiter {
+    rate_per_sec: f64,
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+/// Idle peers above this count are pruned on the next acquire, so the
+/// table is bounded by the set of peers active in the last burst
+/// window rather than by every peer ever seen.
+const PRUNE_ABOVE: usize = 1024;
+
+impl RateLimiter {
+    /// A limiter granting each peer `rate_per_sec` requests/second with
+    /// a bucket of `burst` tokens.
+    pub fn new(rate_per_sec: u32, burst: u32) -> RateLimiter {
+        RateLimiter {
+            rate_per_sec: f64::from(rate_per_sec.max(1)),
+            burst: f64::from(burst.max(1)),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Take one token from `peer`'s bucket; `false` means the peer is
+    /// over budget and the request should be refused.
+    pub fn allow(&self, peer: &str) -> bool {
+        self.allow_at(peer, Instant::now())
+    }
+
+    fn allow_at(&self, peer: &str, now: Instant) -> bool {
+        let mut buckets = self.buckets.lock();
+        if buckets.len() > PRUNE_ABOVE {
+            // A bucket refilled to the brim belongs to an idle peer; it
+            // would be recreated identically on its next request.
+            let (rate, burst) = (self.rate_per_sec, self.burst);
+            buckets.retain(|_, b| {
+                b.tokens + now.saturating_duration_since(b.last).as_secs_f64() * rate < burst
+            });
+        }
+        let bucket = buckets.entry(peer.to_string()).or_insert(Bucket {
+            tokens: self.burst,
+            last: now,
+        });
+        let refill = now.saturating_duration_since(bucket.last).as_secs_f64() * self.rate_per_sec;
+        bucket.tokens = (bucket.tokens + refill).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Peers currently tracked (tests and introspection).
+    pub fn tracked_peers(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_refusal_then_refill() {
+        let limiter = RateLimiter::new(10, 3);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(limiter.allow_at("peer", t0));
+        }
+        assert!(!limiter.allow_at("peer", t0), "burst exhausted");
+        // 100ms at 10/s refills one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(limiter.allow_at("peer", t1));
+        assert!(!limiter.allow_at("peer", t1));
+    }
+
+    #[test]
+    fn peers_have_independent_buckets() {
+        let limiter = RateLimiter::new(1, 1);
+        let t0 = Instant::now();
+        assert!(limiter.allow_at("flooder", t0));
+        assert!(!limiter.allow_at("flooder", t0));
+        assert!(limiter.allow_at("good", t0), "other peers unaffected");
+        assert_eq!(limiter.tracked_peers(), 2);
+    }
+
+    #[test]
+    fn refill_is_capped_at_the_burst() {
+        let limiter = RateLimiter::new(100, 2);
+        let t0 = Instant::now();
+        assert!(limiter.allow_at("p", t0));
+        // A long idle period must not bank more than `burst` tokens.
+        let t1 = t0 + Duration::from_secs(60);
+        assert!(limiter.allow_at("p", t1));
+        assert!(limiter.allow_at("p", t1));
+        assert!(!limiter.allow_at("p", t1));
+    }
+
+    #[test]
+    fn idle_peers_are_pruned_past_the_bound() {
+        let limiter = RateLimiter::new(1000, 1);
+        let t0 = Instant::now();
+        for i in 0..=PRUNE_ABOVE {
+            limiter.allow_at(&format!("peer-{i}"), t0);
+        }
+        assert!(limiter.tracked_peers() > PRUNE_ABOVE);
+        // By now every earlier bucket has refilled; the next acquire
+        // prunes them.
+        let later = t0 + Duration::from_secs(5);
+        limiter.allow_at("fresh", later);
+        assert!(limiter.tracked_peers() <= 2, "idle buckets pruned");
+    }
+}

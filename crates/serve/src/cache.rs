@@ -1,0 +1,152 @@
+//! The revision-keyed response cache.
+//!
+//! Rendering the full XML dump is O(C·H·m) work (§3.3.2: "the time to
+//! dump the actual data takes longer"), yet between poll rounds the
+//! store does not change — every render of the same request produces
+//! the same bytes. The cache exploits exactly that: responses are
+//! stored under the store revision they were rendered at, and the
+//! first lookup after a revision bump flushes the lot. There is no TTL
+//! and no staleness window; correctness follows from the store's own
+//! mutation counter.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use ganglia_telemetry::Counter;
+use parking_lot::Mutex;
+
+struct CacheInner {
+    /// Store revision the cached bodies were rendered at.
+    revision: u64,
+    map: HashMap<String, Arc<String>>,
+    /// Insertion order, for capacity eviction.
+    order: VecDeque<String>,
+}
+
+/// A bounded `(revision, request) → response` cache.
+pub struct ResponseCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    evictions: Counter,
+}
+
+impl ResponseCache {
+    /// An empty cache holding at most `capacity` requests per revision.
+    /// Capacity evictions are counted on `evictions`.
+    pub fn new(capacity: usize, evictions: Counter) -> ResponseCache {
+        ResponseCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                revision: 0,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            evictions,
+        }
+    }
+
+    /// The cached response for `request` at `revision`, if any. A
+    /// revision different from the cached one flushes every entry
+    /// first — invalidation happens within the first request after a
+    /// store bump, with no background work.
+    pub fn lookup(&self, revision: u64, request: &str) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock();
+        if inner.revision != revision {
+            inner.map.clear();
+            inner.order.clear();
+            inner.revision = revision;
+            return None;
+        }
+        inner.map.get(request).cloned()
+    }
+
+    /// Install a rendered response for `request` at `revision`. A stale
+    /// revision (the store moved on while rendering) is discarded
+    /// rather than cached under the wrong key.
+    pub fn insert(&self, revision: u64, request: &str, body: Arc<String>) {
+        let mut inner = self.inner.lock();
+        if inner.revision != revision {
+            return;
+        }
+        if inner.map.contains_key(request) {
+            return; // a concurrent miss already filled it
+        }
+        while inner.map.len() >= self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            self.evictions.inc();
+        }
+        inner.map.insert(request.to_string(), body);
+        inner.order.push_back(request.to_string());
+    }
+
+    /// Number of responses currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_telemetry::Registry;
+
+    fn cache(capacity: usize) -> (ResponseCache, Registry) {
+        let registry = Registry::new();
+        let evictions = registry.counter("serve.cache_evictions_total");
+        (ResponseCache::new(capacity, evictions), registry)
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let (cache, _registry) = cache(8);
+        assert!(cache.lookup(1, "/").is_none());
+        let body = Arc::new("<doc/>".to_string());
+        cache.insert(1, "/", Arc::clone(&body));
+        let hit = cache.lookup(1, "/").unwrap();
+        assert!(Arc::ptr_eq(&hit, &body));
+    }
+
+    #[test]
+    fn revision_bump_flushes_on_next_lookup() {
+        let (cache, _registry) = cache(8);
+        cache.lookup(1, "/");
+        cache.insert(1, "/", Arc::new("old".to_string()));
+        cache.insert(1, "/a", Arc::new("old-a".to_string()));
+        assert_eq!(cache.len(), 2);
+        // First lookup at the new revision clears everything.
+        assert!(cache.lookup(2, "/").is_none());
+        assert!(cache.is_empty());
+        assert!(cache.lookup(2, "/a").is_none());
+    }
+
+    #[test]
+    fn stale_revision_inserts_are_discarded() {
+        let (cache, _registry) = cache(8);
+        cache.lookup(5, "/");
+        // A render that started at revision 4 must not pollute the
+        // revision-5 cache.
+        cache.insert(4, "/", Arc::new("stale".to_string()));
+        assert!(cache.lookup(5, "/").is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let (cache, registry) = cache(2);
+        cache.lookup(1, "x");
+        cache.insert(1, "a", Arc::new("A".to_string()));
+        cache.insert(1, "b", Arc::new("B".to_string()));
+        cache.insert(1, "c", Arc::new("C".to_string()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1, "a").is_none(), "oldest evicted");
+        assert!(cache.lookup(1, "c").is_some());
+        assert_eq!(registry.counter("serve.cache_evictions_total").get(), 1);
+    }
+}

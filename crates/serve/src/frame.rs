@@ -1,0 +1,200 @@
+//! The framed keep-alive protocol.
+//!
+//! The legacy gmetad wire protocol delimits the response by connection
+//! close: one request line, one XML document, EOF. That costs a TCP
+//! handshake per exchange, which Table 1 clients (a viewer refreshing
+//! every few seconds) pay over and over. The keep-alive extension keeps
+//! the connection:
+//!
+//! ```text
+//! client:  #keepalive <name>\n        (hello; <name> optional)
+//! client:  /meteor/host-3\n           (any request line, repeatedly)
+//! server:  #<len>\n<len bytes of XML> (one frame per request)
+//! ```
+//!
+//! Responses are length-prefixed because EOF is no longer available as
+//! a delimiter. The hello's `<name>` is the peer identity used for
+//! rate limiting — a session is accountable under one budget no matter
+//! how many sockets it opens. A first line that is not the hello falls
+//! through to the legacy one-shot protocol, so old clients keep
+//! working against the new tier unchanged.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ganglia_net::{Addr, NetError};
+
+/// The hello line opening a keep-alive session.
+pub const KEEPALIVE_HELLO: &str = "#keepalive";
+
+/// Largest frame a client will accept (a defensive cap, far above any
+/// real dump).
+pub const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// Parse a first request line as a keep-alive hello. Returns the peer
+/// name the session asked to be accounted as, if the line is a hello.
+pub fn parse_hello(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix(KEEPALIVE_HELLO)?;
+    if rest.is_empty() {
+        return Some("");
+    }
+    rest.strip_prefix(' ').map(str::trim)
+}
+
+/// Write one length-prefixed response frame.
+pub fn write_frame(w: &mut impl Write, body: &str) -> std::io::Result<()> {
+    writeln!(w, "#{}", body.len())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed response frame.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<String> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before frame header",
+        ));
+    }
+    let len: usize = header
+        .trim()
+        .strip_prefix('#')
+        .and_then(|n| n.parse().ok())
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad frame header {header:?}"),
+            )
+        })?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// A client-side keep-alive session: one TCP connection, many queries.
+pub struct KeepAliveClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl KeepAliveClient {
+    /// Connect to a pooled server at `addr` (a `host:port` socket
+    /// address) and open a keep-alive session accounted as `name`
+    /// (empty = the server keys on the source IP). `timeout` applies to
+    /// the connect and to every subsequent read/write.
+    pub fn connect(
+        addr: &Addr,
+        name: &str,
+        timeout: Duration,
+    ) -> Result<KeepAliveClient, NetError> {
+        let socket_addr: std::net::SocketAddr = addr
+            .as_str()
+            .parse()
+            .map_err(|e| NetError::Io(format!("bad socket address {addr}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&socket_addr, timeout).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                NetError::Timeout(addr.clone())
+            } else {
+                NetError::Unreachable(addr.clone())
+            }
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        // Request lines are tiny; Nagle would hold each one for the
+        // delayed ACK and cap the session at ~25 queries/second.
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let hello = if name.is_empty() {
+            format!("{KEEPALIVE_HELLO}\n")
+        } else {
+            format!("{KEEPALIVE_HELLO} {name}\n")
+        };
+        writer
+            .write_all(hello.as_bytes())
+            .map_err(|e| classify(addr, e))?;
+        Ok(KeepAliveClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issue one request line and read its framed response.
+    pub fn query(&mut self, request: &str) -> Result<String, NetError> {
+        let addr = self.peer_addr();
+        self.writer
+            .write_all(request.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| classify(&addr, e))?;
+        read_frame(&mut self.reader).map_err(|e| classify(&addr, e))
+    }
+
+    fn peer_addr(&self) -> Addr {
+        self.writer
+            .peer_addr()
+            .map(|a| Addr::new(a.to_string()))
+            .unwrap_or_else(|_| Addr::new("keepalive-peer"))
+    }
+}
+
+fn classify(addr: &Addr, e: std::io::Error) -> NetError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            NetError::Timeout(addr.clone())
+        }
+        std::io::ErrorKind::ConnectionRefused
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::UnexpectedEof => NetError::Unreachable(addr.clone()),
+        _ => NetError::Io(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_parsing() {
+        assert_eq!(parse_hello("#keepalive"), Some(""));
+        assert_eq!(parse_hello("#keepalive viewer-3"), Some("viewer-3"));
+        assert_eq!(parse_hello("#keepalive  padded "), Some("padded"));
+        assert_eq!(parse_hello("/meteor"), None);
+        assert_eq!(parse_hello(""), None);
+        assert_eq!(parse_hello("#keepalivex"), None);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "<DOC A=\"1\"/>").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        assert_eq!(read_frame(&mut reader).unwrap(), "<DOC A=\"1\"/>");
+        assert_eq!(read_frame(&mut reader).unwrap(), "");
+        assert_eq!(
+            read_frame(&mut reader).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        for bad in ["<xml>\n", "#notanumber\n", "#-1\n", "#999999999999999999\n"] {
+            let mut reader = std::io::BufReader::new(bad.as_bytes());
+            assert_eq!(
+                read_frame(&mut reader).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The bounded worker-pool connection server.
+//!
+//! The stock [`TcpTransport`](ganglia_net::TcpTransport) server spawns
+//! one detached thread per connection — fine for a parent gmetad
+//! polling every ~15 s, wrong for a public query port where "many
+//! clients request and receive cluster state" (§3.3). The pool inverts
+//! that: one accept thread feeds a bounded queue drained by a fixed set
+//! of service workers, so concurrency is capped by configuration, a
+//! full queue sheds with a well-formed error document instead of
+//! growing without bound, and a stalled peer ties up one worker for at
+//! most a read/write deadline before being evicted.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ganglia_net::{Addr, NetError, ServerGuard};
+
+use crate::frame;
+use crate::tier::{error_doc, FrontTier};
+
+/// Binds TCP ports and serves them through a [`FrontTier`] with a fixed
+/// worker pool. Stateless: [`PooledServer::bind`] does all the work.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PooledServer;
+
+/// Alive-worker tracking, so a dropped guard can wait for the pool to
+/// drain.
+struct WorkerSet {
+    alive: Mutex<usize>,
+    done: Condvar,
+}
+
+impl WorkerSet {
+    /// Block until every worker has exited or `deadline` passes;
+    /// returns whether the pool fully drained.
+    fn wait_drained(&self, deadline: Duration) -> bool {
+        let until = Instant::now() + deadline;
+        let mut alive = self.alive.lock().unwrap_or_else(|e| e.into_inner());
+        while *alive > 0 {
+            let now = Instant::now();
+            if now >= until {
+                return false;
+            }
+            let (next, timeout) = self
+                .done
+                .wait_timeout(alive, until - now)
+                .unwrap_or_else(|e| e.into_inner());
+            alive = next;
+            if timeout.timed_out() && *alive > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Decrements the alive count when a worker exits, even on unwind.
+struct WorkerExit(Arc<WorkerSet>);
+
+impl Drop for WorkerExit {
+    fn drop(&mut self) {
+        *self.0.alive.lock().unwrap_or_else(|e| e.into_inner()) -= 1;
+        self.0.done.notify_all();
+    }
+}
+
+/// Guard for a pooled endpoint. Dropping it stops the accept thread,
+/// closes the connection queue, and waits up to the tier's drain
+/// deadline for in-flight connections to finish; workers still stuck on
+/// a slow peer past the deadline are detached (their sockets die with
+/// the per-connection read/write timeouts).
+pub struct PooledGuard {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_set: Arc<WorkerSet>,
+    drain_deadline: Duration,
+}
+
+impl ServerGuard for PooledGuard {
+    fn addr(&self) -> Addr {
+        Addr::new(self.local.to_string())
+    }
+}
+
+impl Drop for PooledGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the accept thread notices the stop flag.
+        let _ = TcpStream::connect_timeout(&self.local, Duration::from_millis(200));
+        if let Some(thread) = self.accept.take() {
+            let _ = thread.join();
+        }
+        // The accept thread owned the queue sender; its exit closed the
+        // channel, so workers drain what was already accepted and stop.
+        if self.worker_set.wait_drained(self.drain_deadline) {
+            for worker in self.workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+        // Otherwise: detach. A worker past the drain deadline is stuck
+        // on one slow connection, bounded by the read/write timeouts.
+    }
+}
+
+impl PooledServer {
+    /// Bind `addr` and serve it through `tier`. Worker count, queue
+    /// depth, deadlines, and the drain deadline all come from the
+    /// tier's [`ServeOptions`](crate::ServeOptions).
+    pub fn bind(addr: &Addr, tier: Arc<FrontTier>) -> Result<Box<dyn ServerGuard>, NetError> {
+        let listener = TcpListener::bind(addr.as_str()).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::AddrInUse {
+                NetError::AddrInUse(addr.clone())
+            } else {
+                NetError::Io(e.to_string())
+            }
+        })?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        let options = tier.options().clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(options.queue_depth);
+        // The vendored environment has no MPMC channel, so the workers
+        // share one mpsc receiver behind a mutex: lock, take one
+        // connection, release, serve. The lock is held only for the
+        // hand-off, never while serving.
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_set = Arc::new(WorkerSet {
+            alive: Mutex::new(options.workers),
+            done: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(options.workers);
+        for index in 0..options.workers {
+            let rx = Arc::clone(&rx);
+            let tier = Arc::clone(&tier);
+            let exit = WorkerExit(Arc::clone(&worker_set));
+            let worker = std::thread::Builder::new()
+                .name(format!("gserve-worker-{local}-{index}"))
+                .spawn(move || {
+                    let _exit = exit;
+                    worker_loop(&rx, &tier);
+                })
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            workers.push(worker);
+        }
+        let stop_for_accept = Arc::clone(&stop);
+        let tier_for_accept = Arc::clone(&tier);
+        let accept = std::thread::Builder::new()
+            .name(format!("gserve-accept-{local}"))
+            .spawn(move || accept_loop(listener, tx, tier_for_accept, stop_for_accept))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        Ok(Box::new(PooledGuard {
+            local,
+            stop,
+            accept: Some(accept),
+            workers,
+            worker_set,
+            drain_deadline: options.drain_deadline,
+        }))
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    tier: Arc<FrontTier>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // dropping `tx` here closes the worker queue
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Every worker is busy and the backlog is at capacity:
+                // shed at the door rather than queue unboundedly. The
+                // refusal is a complete document, so the client sees
+                // "overloaded", not a hang.
+                tier.record_shed();
+                refuse(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn refuse(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let doc = error_doc("overloaded: connection queue full, shedding");
+    let _ = stream.write_all(doc.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, tier: &FrontTier) {
+    loop {
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            match rx.recv() {
+                Ok(stream) => stream,
+                Err(_) => return, // queue closed and drained
+            }
+        };
+        serve_connection(stream, tier);
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+fn serve_connection(stream: TcpStream, tier: &FrontTier) {
+    let options = tier.options();
+    if stream.set_read_timeout(Some(options.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(options.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    // Frame header and body go out as separate writes; without nodelay,
+    // Nagle holds the short header for the peer's delayed ACK and every
+    // keep-alive round trip eats ~40 ms.
+    let _ = stream.set_nodelay(true);
+    // One-shot peers are keyed by source IP; a keep-alive hello below
+    // may override this with the session's self-declared name.
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(clone);
+    let mut writer = stream;
+    let mut first = String::new();
+    match std::io::BufRead::read_line(&mut reader, &mut first) {
+        Ok(0) => return, // closed without a request (e.g. the stop poke)
+        Ok(_) => {}
+        Err(e) => {
+            if is_timeout(&e) {
+                tier.record_eviction();
+            }
+            return;
+        }
+    }
+    let first = first.trim_end_matches(['\r', '\n']);
+    if let Some(name) = frame::parse_hello(first) {
+        let session = if name.is_empty() {
+            peer
+        } else {
+            name.to_string()
+        };
+        serve_keepalive(&mut reader, &mut writer, tier, &session);
+    } else {
+        let served = tier.handle_from(&peer, first);
+        match writer.write_all(served.body.as_bytes()) {
+            Ok(()) => {
+                let _ = writer.shutdown(Shutdown::Write);
+            }
+            Err(e) => {
+                if is_timeout(&e) {
+                    tier.record_eviction();
+                }
+            }
+        }
+    }
+}
+
+fn serve_keepalive(
+    reader: &mut std::io::BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    tier: &FrontTier,
+    session: &str,
+) {
+    loop {
+        let mut line = String::new();
+        match std::io::BufRead::read_line(reader, &mut line) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(e) => {
+                if is_timeout(&e) {
+                    tier.record_eviction();
+                }
+                return;
+            }
+        }
+        let served = tier.handle_from(session, line.trim_end_matches(['\r', '\n']));
+        if let Err(e) = frame::write_frame(writer, served.body.as_str()) {
+            if is_timeout(&e) {
+                tier.record_eviction();
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::KeepAliveClient;
+    use crate::options::ServeOptions;
+    use ganglia_net::transport::{RequestHandler, Transport};
+    use ganglia_net::TcpTransport;
+    use ganglia_telemetry::Registry;
+
+    const T: Duration = Duration::from_secs(2);
+
+    fn tier_over(
+        handler: impl Fn(&str) -> String + Send + Sync + 'static,
+        options: ServeOptions,
+    ) -> (Arc<FrontTier>, Arc<Registry>) {
+        let registry = Arc::new(Registry::new());
+        let handler: Arc<dyn RequestHandler> = Arc::new(handler);
+        let tier = FrontTier::new(handler, || 1, options, Arc::clone(&registry));
+        (tier, registry)
+    }
+
+    #[test]
+    fn legacy_one_shot_protocol_works_and_caches() {
+        let (tier, registry) = tier_over(
+            |req| format!("<REPLY Q=\"{req}\"/>"),
+            ServeOptions::default(),
+        );
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        let transport = TcpTransport::new();
+        let first = transport.fetch(&guard.addr(), "/meteor", T).unwrap();
+        let second = transport.fetch(&guard.addr(), "/meteor", T).unwrap();
+        assert_eq!(first, "<REPLY Q=\"/meteor\"/>");
+        assert_eq!(first, second);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("serve.cache_misses_total"), Some(1));
+    }
+
+    #[test]
+    fn keepalive_session_serves_many_queries_on_one_connection() {
+        let (tier, _registry) =
+            tier_over(|req| format!("<R Q=\"{req}\"/>"), ServeOptions::default());
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        let mut client = KeepAliveClient::connect(&guard.addr(), "viewer-1", T).unwrap();
+        for i in 0..5 {
+            let response = client.query(&format!("/grid/host-{i}")).unwrap();
+            assert_eq!(response, format!("<R Q=\"/grid/host-{i}\"/>"));
+        }
+    }
+
+    #[test]
+    fn keepalive_sessions_are_rate_limited_by_name_not_ip() {
+        let (tier, registry) = tier_over(
+            |_| "<DOC/>".to_string(),
+            ServeOptions::default().with_rate_limit(1, 2),
+        );
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        let mut flood = KeepAliveClient::connect(&guard.addr(), "flooder", T).unwrap();
+        let mut seen_limit = false;
+        for _ in 0..4 {
+            let response = flood.query("/").unwrap();
+            seen_limit |= response.contains("rate limited");
+        }
+        assert!(seen_limit, "flooder exhausted its own budget");
+        // A differently-named session from the same IP is unaffected.
+        let mut good = KeepAliveClient::connect(&guard.addr(), "good", T).unwrap();
+        assert!(!good.query("/").unwrap().contains("rate limited"));
+        assert!(
+            registry
+                .snapshot()
+                .counter("serve.ratelimited_total")
+                .unwrap()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn stalled_client_is_evicted_on_the_read_deadline() {
+        let (tier, registry) = tier_over(
+            |_| "<DOC/>".to_string(),
+            ServeOptions::default()
+                .with_workers(1)
+                .with_deadlines(Duration::from_millis(100), Duration::from_millis(100)),
+        );
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        // Connect and send nothing: the worker must not be pinned past
+        // the read deadline.
+        let addr: SocketAddr = guard.addr().as_str().parse().unwrap();
+        let _stalled = TcpStream::connect_timeout(&addr, T).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while registry.snapshot().counter("serve.evicted_total") != Some(1) {
+            assert!(Instant::now() < deadline, "stalled client never evicted");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // The lone worker is free again: a well-behaved client is served.
+        let transport = TcpTransport::new();
+        assert_eq!(transport.fetch(&guard.addr(), "/", T).unwrap(), "<DOC/>");
+    }
+
+    #[test]
+    fn guard_drop_stops_accepting_and_drains() {
+        let (tier, _registry) = tier_over(|_| "x".to_string(), ServeOptions::default());
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        let bound = guard.addr();
+        let transport = TcpTransport::new();
+        assert!(transport.fetch(&bound, "", T).is_ok());
+        drop(guard);
+        assert!(transport.fetch(&bound, "", T).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! The front tier proper: cache + admission around a request handler.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ganglia_net::transport::RequestHandler;
+use ganglia_telemetry::{Counter, Gauge, HistogramHandle, Registry};
+
+use crate::admission::RateLimiter;
+use crate::cache::ResponseCache;
+use crate::options::ServeOptions;
+
+/// A well-formed empty Ganglia document carrying `reason` as a comment.
+/// This is how the tier refuses work: the client always reads a
+/// complete, parseable XML document and can tell *why* it got nothing
+/// — never a hung or half-written connection.
+pub fn error_doc(reason: &str) -> String {
+    let reason = reason.replace("--", "- -");
+    format!(
+        "<?xml version=\"1.0\"?><!-- {reason} -->\
+         <GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\"/>"
+    )
+}
+
+/// How one request was disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Admitted; rendered by the inner handler (cache miss or cache
+    /// off).
+    Rendered,
+    /// Admitted; served from the revision-keyed cache.
+    CacheHit,
+    /// Refused: the in-flight limit was reached.
+    Shed,
+    /// Refused: the peer is over its rate budget.
+    RateLimited,
+}
+
+/// One served response: the body plus how it was produced.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The complete response document (always well-formed XML when the
+    /// inner handler's responses are).
+    pub body: Arc<String>,
+    pub disposition: Disposition,
+}
+
+impl Served {
+    /// Whether the request was actually answered from the store, as
+    /// opposed to refused by admission control.
+    pub fn accepted(&self) -> bool {
+        matches!(
+            self.disposition,
+            Disposition::Rendered | Disposition::CacheHit
+        )
+    }
+}
+
+/// The serving front tier: wraps a [`RequestHandler`] with a
+/// revision-keyed response cache and admission control. See the crate
+/// docs for the full picture.
+pub struct FrontTier {
+    handler: Arc<dyn RequestHandler>,
+    /// The data revision responses are keyed by — for gmetad, the
+    /// store's mutation counter. Bumps invalidate the cache.
+    revision: Box<dyn Fn() -> u64 + Send + Sync>,
+    options: ServeOptions,
+    cache: Option<ResponseCache>,
+    limiter: Option<RateLimiter>,
+    inflight: Gauge,
+    requests: Counter,
+    hits: Counter,
+    misses: Counter,
+    shed: Counter,
+    ratelimited: Counter,
+    evicted: Counter,
+    latency: HistogramHandle,
+    registry: Arc<Registry>,
+}
+
+/// Decrements the in-flight gauge even on unwind.
+struct InflightGuard<'a>(&'a Gauge);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
+impl FrontTier {
+    /// Build a tier over `handler`. `revision` reports the current data
+    /// revision (cache key); `registry` receives every `serve.*`
+    /// instrument.
+    pub fn new(
+        handler: Arc<dyn RequestHandler>,
+        revision: impl Fn() -> u64 + Send + Sync + 'static,
+        options: ServeOptions,
+        registry: Arc<Registry>,
+    ) -> Arc<FrontTier> {
+        let cache = options.cache.then(|| {
+            ResponseCache::new(
+                options.cache_capacity,
+                registry.counter("serve.cache_evictions_total"),
+            )
+        });
+        let limiter = (options.rate_per_sec > 0)
+            .then(|| RateLimiter::new(options.rate_per_sec, options.effective_burst()));
+        Arc::new(FrontTier {
+            handler,
+            revision: Box::new(revision),
+            cache,
+            limiter,
+            inflight: registry.gauge("serve.inflight"),
+            requests: registry.counter("serve.requests_total"),
+            hits: registry.counter("serve.cache_hits_total"),
+            misses: registry.counter("serve.cache_misses_total"),
+            shed: registry.counter("serve.shed_total"),
+            ratelimited: registry.counter("serve.ratelimited_total"),
+            evicted: registry.counter("serve.evicted_total"),
+            latency: registry.histogram("serve.latency_us"),
+            registry,
+            options,
+        })
+    }
+
+    /// The tier's options (the pool reads its deadlines from here).
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// The registry the tier's instruments live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Count one connection evicted by a read/write deadline (recorded
+    /// by the connection server, which owns the sockets).
+    pub fn record_eviction(&self) {
+        self.evicted.inc();
+    }
+
+    /// Count one connection shed before admission (the connection
+    /// server's accept queue was full).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Serve one request on behalf of `peer`. Admission control and the
+    /// cache run here; only a cache miss reaches the inner handler.
+    pub fn handle_from(&self, peer: &str, request: &str) -> Served {
+        self.requests.inc();
+        self.inflight.add(1);
+        let _guard = InflightGuard(&self.inflight);
+        if self.inflight.get() > self.options.max_inflight as u64 {
+            self.shed.inc();
+            return Served {
+                body: Arc::new(error_doc(&format!(
+                    "overloaded: {} requests in flight, shedding",
+                    self.options.max_inflight
+                ))),
+                disposition: Disposition::Shed,
+            };
+        }
+        if let Some(limiter) = &self.limiter {
+            if !limiter.allow(peer) {
+                self.ratelimited.inc();
+                return Served {
+                    body: Arc::new(error_doc(&format!("rate limited: peer {peer} over budget"))),
+                    disposition: Disposition::RateLimited,
+                };
+            }
+        }
+        let start = Instant::now();
+        let served = self.lookup_or_render(request);
+        self.latency.record_duration(start.elapsed());
+        served
+    }
+
+    fn lookup_or_render(&self, request: &str) -> Served {
+        let Some(cache) = &self.cache else {
+            return Served {
+                body: Arc::new(self.handler.handle(request)),
+                disposition: Disposition::Rendered,
+            };
+        };
+        // The revision is pinned before rendering; if the store moves
+        // underneath the render, the insert is discarded rather than
+        // filed under a revision it may not match. Every store mutation
+        // bumps the revision while still holding the store's write
+        // lock, so "revision unchanged across the render" implies the
+        // rendered bytes are exactly what a fresh render at that
+        // revision would produce.
+        let revision = (self.revision)();
+        if let Some(body) = cache.lookup(revision, request) {
+            self.hits.inc();
+            return Served {
+                body,
+                disposition: Disposition::CacheHit,
+            };
+        }
+        let body = Arc::new(self.handler.handle(request));
+        self.misses.inc();
+        if (self.revision)() == revision {
+            cache.insert(revision, request, Arc::clone(&body));
+        }
+        Served {
+            body,
+            disposition: Disposition::Rendered,
+        }
+    }
+}
+
+/// The tier serves the simulated transport directly: `SimNet::serve`
+/// takes any `RequestHandler`, and handlers there run on the fetching
+/// caller's thread, so cache and admission apply with no connection
+/// layer. Peers are anonymous on this path ("sim").
+impl RequestHandler for FrontTier {
+    fn handle(&self, request: &str) -> String {
+        self.handle_from("sim", request).body.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_handler() -> (Arc<AtomicU64>, Arc<dyn RequestHandler>) {
+        let renders = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&renders);
+        let handler: Arc<dyn RequestHandler> = Arc::new(move |req: &str| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            format!("<R Q=\"{req}\"/>")
+        });
+        (renders, handler)
+    }
+
+    #[test]
+    fn cache_hits_skip_the_inner_handler() {
+        let (renders, handler) = counting_handler();
+        let revision = Arc::new(AtomicU64::new(1));
+        let rev = Arc::clone(&revision);
+        let registry = Arc::new(Registry::new());
+        let tier = FrontTier::new(
+            handler,
+            move || rev.load(Ordering::SeqCst),
+            ServeOptions::default(),
+            Arc::clone(&registry),
+        );
+        let first = tier.handle_from("a", "/q");
+        let second = tier.handle_from("b", "/q");
+        assert_eq!(first.disposition, Disposition::Rendered);
+        assert_eq!(second.disposition, Disposition::CacheHit);
+        assert_eq!(first.body, second.body);
+        assert_eq!(renders.load(Ordering::SeqCst), 1);
+        // A revision bump forces a re-render.
+        revision.store(2, Ordering::SeqCst);
+        let third = tier.handle_from("a", "/q");
+        assert_eq!(third.disposition, Disposition::Rendered);
+        assert_eq!(renders.load(Ordering::SeqCst), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("serve.cache_misses_total"), Some(2));
+        assert_eq!(snap.counter("serve.requests_total"), Some(3));
+    }
+
+    #[test]
+    fn cache_off_renders_every_time() {
+        let (renders, handler) = counting_handler();
+        let registry = Arc::new(Registry::new());
+        let tier = FrontTier::new(
+            handler,
+            || 1,
+            ServeOptions::default().with_cache(false),
+            registry,
+        );
+        tier.handle_from("a", "/");
+        tier.handle_from("a", "/");
+        assert_eq!(renders.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn rate_limit_refuses_with_a_well_formed_doc() {
+        let (_renders, handler) = counting_handler();
+        let registry = Arc::new(Registry::new());
+        let tier = FrontTier::new(
+            handler,
+            || 1,
+            ServeOptions::default().with_rate_limit(1, 2),
+            Arc::clone(&registry),
+        );
+        assert!(tier.handle_from("flood", "/").accepted());
+        assert!(tier.handle_from("flood", "/").accepted());
+        let refused = tier.handle_from("flood", "/");
+        assert_eq!(refused.disposition, Disposition::RateLimited);
+        assert!(refused.body.contains("<GANGLIA_XML"));
+        assert!(refused.body.contains("rate limited"));
+        // Another peer still gets through.
+        assert!(tier.handle_from("good", "/").accepted());
+        assert_eq!(
+            registry.snapshot().counter("serve.ratelimited_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn inflight_overflow_sheds() {
+        let (_renders, handler) = counting_handler();
+        let registry = Arc::new(Registry::new());
+        let tier = FrontTier::new(
+            handler,
+            || 1,
+            ServeOptions::default().with_max_inflight(1),
+            Arc::clone(&registry),
+        );
+        // Simulate a stuck concurrent request holding the only slot.
+        registry.gauge("serve.inflight").add(1);
+        let refused = tier.handle_from("a", "/");
+        assert_eq!(refused.disposition, Disposition::Shed);
+        assert!(refused.body.contains("shedding"));
+        registry.gauge("serve.inflight").sub(1);
+        assert!(tier.handle_from("a", "/").accepted());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.shed_total"), Some(1));
+        assert_eq!(snap.gauge("serve.inflight"), Some(0), "guard restores");
+    }
+
+    #[test]
+    fn error_doc_is_comment_safe() {
+        let doc = error_doc("reason -- with a comment terminator");
+        assert!(!doc.contains("reason --"), "{doc}");
+        assert!(doc.ends_with("/>"));
+    }
+}

@@ -12,6 +12,7 @@ pub mod bandwidth;
 pub mod fig5;
 pub mod fig6;
 pub mod limits;
+pub mod serving;
 pub mod table1;
 pub mod traffic;
 
@@ -19,5 +20,9 @@ pub use bandwidth::{run_bandwidth, BandwidthResult};
 pub use fig5::{run_fig5, Fig5Params, Fig5Result, Fig5Telemetry};
 pub use fig6::{run_fig6, Fig6Params, Fig6Result};
 pub use limits::{run_limits, LimitsResult, LimitsRow};
+pub use serving::{
+    run_serving, run_slow_client_isolation, IsolationResult, ServingParams, ServingResult,
+    ServingSide,
+};
 pub use table1::{run_table1, Table1Params, Table1Result};
 pub use traffic::{run_traffic, TrafficResult, TrafficRow};

@@ -30,11 +30,13 @@ pub mod client;
 pub mod frontend;
 pub mod history;
 pub mod render;
+pub mod session;
 pub mod sparkline;
 pub mod timing;
 pub mod views;
 
 pub use client::ViewerClient;
 pub use frontend::{Frontend, NLevelFrontend, OneLevelFrontend};
+pub use session::PersistentSession;
 pub use timing::ViewTiming;
 pub use views::{ClusterView, HostRow, HostView, MetaRow, MetaView, MetricRow, SourceHealth};

@@ -1,0 +1,127 @@
+//! A persistent viewer session over the keep-alive protocol.
+//!
+//! The per-view cost in Table 1 includes a TCP connect per query; a
+//! viewer auto-refreshing every few seconds pays it forever. When the
+//! gmeta agent's ports run through the `ganglia-serve` pooled server,
+//! a viewer can instead hold one connection open and issue every
+//! refresh over it, framed (`#keepalive` hello, length-prefixed
+//! responses). The session's name is also its rate-limit identity, so
+//! an aggressive dashboard throttles itself rather than its neighbours.
+
+use std::time::{Duration, Instant};
+
+use ganglia_metrics::{parse_document, GangliaDoc};
+use ganglia_net::{Addr, NetError};
+use ganglia_serve::KeepAliveClient;
+
+use crate::client::ViewerError;
+use crate::timing::ViewTiming;
+
+/// One long-lived viewer connection to a pooled gmeta port.
+pub struct PersistentSession {
+    client: KeepAliveClient,
+    addr: Addr,
+    name: String,
+    timeout: Duration,
+}
+
+impl PersistentSession {
+    /// Open a keep-alive session to `addr` (a `host:port` socket
+    /// address), identified to the server as `name`.
+    pub fn connect(addr: &Addr, name: &str, timeout: Duration) -> Result<Self, NetError> {
+        let client = KeepAliveClient::connect(addr, name, timeout)?;
+        Ok(PersistentSession {
+            client,
+            addr: addr.clone(),
+            name: name.to_string(),
+            timeout,
+        })
+    }
+
+    /// The server address this session is connected to.
+    pub fn addr(&self) -> &Addr {
+        &self.addr
+    }
+
+    /// The identity the session is accounted under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Issue one raw query over the session.
+    pub fn query(&mut self, request: &str) -> Result<String, NetError> {
+        self.client.query(request)
+    }
+
+    /// Issue one query and parse the response, recording download and
+    /// parse time into `timing` — [`ViewerClient::fetch_parsed`] without
+    /// the per-request connection.
+    ///
+    /// [`ViewerClient::fetch_parsed`]: crate::client::ViewerClient::fetch_parsed
+    pub fn fetch_parsed(
+        &mut self,
+        query: &str,
+        timing: &mut ViewTiming,
+    ) -> Result<GangliaDoc, ViewerError> {
+        let start = Instant::now();
+        let xml = self.client.query(query)?;
+        timing.download += start.elapsed();
+        timing.xml_bytes += xml.len();
+        let start = Instant::now();
+        let doc = parse_document(&xml)?;
+        timing.parse += start.elapsed();
+        Ok(doc)
+    }
+
+    /// Drop and re-dial the connection (after a server restart or an
+    /// idle-eviction). The new session keeps the same name, so its rate
+    /// budget carries over on the server.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        self.client = KeepAliveClient::connect(&self.addr, &self.name, self.timeout)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ganglia_net::transport::RequestHandler;
+    use ganglia_serve::{FrontTier, PooledServer, ServeOptions};
+    use ganglia_telemetry::Registry;
+
+    #[test]
+    fn session_refreshes_views_over_one_connection() {
+        let handler: Arc<dyn RequestHandler> = Arc::new(|q: &str| {
+            format!(
+                "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\">\
+                 <GRID NAME=\"g\" AUTHORITY=\"\" LOCALTIME=\"0\">\
+                 <!-- q={q} --></GRID></GANGLIA_XML>"
+            )
+        });
+        let registry = Arc::new(Registry::new());
+        let tier = FrontTier::new(
+            handler,
+            || 1,
+            ServeOptions::default(),
+            Arc::clone(&registry),
+        );
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+        let mut session =
+            PersistentSession::connect(&guard.addr(), "dashboard", Duration::from_secs(2)).unwrap();
+        let mut timing = ViewTiming::default();
+        for _ in 0..3 {
+            let doc = session.fetch_parsed("/g", &mut timing).unwrap();
+            assert_eq!(doc.items.len(), 1);
+        }
+        assert!(timing.xml_bytes > 0);
+        // Three identical refreshes: one render, two cache hits.
+        assert_eq!(
+            registry.snapshot().counter("serve.cache_hits_total"),
+            Some(2)
+        );
+        assert!(session.reconnect().is_ok());
+        assert_eq!(session.name(), "dashboard");
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`gmond`] | `ganglia-gmond` | local-area monitor: multicast soft-state membership, pseudo-gmond |
 //! | [`core`] | `ganglia-core` | **gmetad**: polling, fail-over, summarizing store, query engine, archiving |
 //! | [`query`] | `ganglia-query` | path-query language + regex-lite extension |
+//! | [`serve`] | `ganglia-serve` | query-serving front tier: worker pool, response cache, admission control |
 //! | [`web`] | `ganglia-web` | the web-frontend viewer (meta/cluster/host views) |
 //! | [`alarm`] | `ganglia-alarm` | alarm rules + state machine (paper future work) |
 //! | [`sim`] | `ganglia-sim` | deployment simulator and the paper's experiments |
@@ -52,6 +53,7 @@ pub use ganglia_metrics as metrics;
 pub use ganglia_net as net;
 pub use ganglia_query as query;
 pub use ganglia_rrd as rrd;
+pub use ganglia_serve as serve;
 pub use ganglia_sim as sim;
 pub use ganglia_telemetry as telemetry;
 pub use ganglia_web as web;

@@ -1,0 +1,149 @@
+//! The serving cache's correctness contract: a cached response is
+//! byte-identical to a fresh render at the same store revision, and a
+//! revision bump (a poll round installing new snapshots) invalidates
+//! the cache within one request — on the full-dump port, on path
+//! queries, and on `/?filter=telemetry`.
+
+use std::sync::Arc;
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::net::SimNet;
+use ganglia::serve::{Disposition, ServeOptions};
+
+/// Two pseudo-clusters monitored by one gmetad, polled once at t=15.
+fn deployment() -> (Arc<SimNet>, Vec<ServedPseudoCluster>, Arc<Gmetad>) {
+    let net = SimNet::new(1);
+    let served: Vec<ServedPseudoCluster> = (0..2)
+        .map(|c| {
+            ServedPseudoCluster::serve(&net, PseudoGmond::new(format!("c{c}"), 8, 42 + c, 0), 1)
+        })
+        .collect();
+    let mut config = GmetadConfig::new("serving");
+    for (c, cluster) in served.iter().enumerate() {
+        config = config
+            .with_source(DataSourceCfg::new(format!("c{c}"), cluster.addrs().to_vec()).unwrap());
+    }
+    let gmetad = Gmetad::new(config);
+    for result in gmetad.poll_all(&net, 15) {
+        result.expect("initial poll");
+    }
+    (net, served, gmetad)
+}
+
+/// Advance every cluster and poll again, bumping the store revision.
+fn next_round(net: &Arc<SimNet>, served: &[ServedPseudoCluster], gmetad: &Gmetad, now: u64) {
+    for cluster in served {
+        cluster.advance(now);
+    }
+    for result in gmetad.poll_all(net, now) {
+        result.expect("poll round");
+    }
+}
+
+#[test]
+fn cached_dump_is_byte_identical_until_the_next_poll() {
+    let (net, served, gmetad) = deployment();
+    let tier = gmetad.dump_tier(ServeOptions::default());
+
+    let fresh = gmetad.query("/");
+    let first = tier.handle_from("viewer-a", "/");
+    assert_eq!(first.disposition, Disposition::Rendered);
+    assert_eq!(
+        first.body.as_str(),
+        fresh,
+        "first render matches direct query"
+    );
+
+    // Second request — any peer — is served from the cache, and the
+    // bytes are exactly what a fresh render would produce.
+    let second = tier.handle_from("viewer-b", "/");
+    assert_eq!(second.disposition, Disposition::CacheHit);
+    assert_eq!(second.body.as_str(), fresh, "cache hit is byte-identical");
+    assert_eq!(second.body.as_str(), gmetad.query("/"));
+
+    // A poll round bumps the store revision; the very next request
+    // re-renders instead of serving the stale document.
+    let before = gmetad.store().revision();
+    next_round(&net, &served, &gmetad, 30);
+    assert!(gmetad.store().revision() > before, "poll bumps revision");
+
+    let third = tier.handle_from("viewer-a", "/");
+    assert_eq!(
+        third.disposition,
+        Disposition::Rendered,
+        "revision bump invalidates within one request"
+    );
+    assert_ne!(third.body.as_str(), fresh, "new snapshots, new document");
+    assert_eq!(third.body.as_str(), gmetad.query("/"));
+
+    // And the new document is itself cached at the new revision.
+    let fourth = tier.handle_from("viewer-b", "/");
+    assert_eq!(fourth.disposition, Disposition::CacheHit);
+    assert_eq!(fourth.body, third.body);
+}
+
+#[test]
+fn path_queries_cache_per_request_and_invalidate_together() {
+    let (net, served, gmetad) = deployment();
+    let tier = gmetad.query_tier(ServeOptions::default());
+
+    // Distinct queries occupy distinct cache slots.
+    let cluster = tier.handle_from("v", "/c0");
+    let host = tier.handle_from("v", "/c0/c0-0003");
+    assert_eq!(cluster.disposition, Disposition::Rendered);
+    assert_eq!(host.disposition, Disposition::Rendered);
+    assert!(host.body.contains("c0-0003"));
+
+    assert_eq!(
+        tier.handle_from("v", "/c0").disposition,
+        Disposition::CacheHit
+    );
+    assert_eq!(
+        tier.handle_from("v", "/c0/c0-0003").disposition,
+        Disposition::CacheHit
+    );
+    assert_eq!(
+        tier.handle_from("v", "/c0").body.as_str(),
+        gmetad.query("/c0")
+    );
+
+    // One revision bump invalidates every cached query at once.
+    next_round(&net, &served, &gmetad, 30);
+    assert_eq!(
+        tier.handle_from("v", "/c0").disposition,
+        Disposition::Rendered
+    );
+    assert_eq!(
+        tier.handle_from("v", "/c0/c0-0003").disposition,
+        Disposition::Rendered
+    );
+}
+
+#[test]
+fn telemetry_filter_is_invalidated_by_a_revision_bump() {
+    let (net, served, gmetad) = deployment();
+    let tier = gmetad.query_tier(ServeOptions::default());
+
+    let first = tier.handle_from("dash", "/?filter=telemetry");
+    assert_eq!(first.disposition, Disposition::Rendered);
+    assert!(first.body.contains("TELEMETRY"), "{}", first.body);
+
+    // Within one revision the telemetry document is served from the
+    // cache like everything else — the revision key, not the content,
+    // decides freshness.
+    let second = tier.handle_from("dash", "/?filter=telemetry");
+    assert_eq!(second.disposition, Disposition::CacheHit);
+    assert_eq!(second.body, first.body);
+
+    // A poll round invalidates it within one request, so the dashboard
+    // sees the new round's counters immediately.
+    next_round(&net, &served, &gmetad, 30);
+    let third = tier.handle_from("dash", "/?filter=telemetry");
+    assert_eq!(third.disposition, Disposition::Rendered);
+    assert_ne!(
+        third.body, first.body,
+        "fresh telemetry reflects the new poll round"
+    );
+}

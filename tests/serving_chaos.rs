@@ -1,0 +1,186 @@
+//! Chaos on the serving port: a stalling client, a flooding client and
+//! well-behaved clients share one pooled listener. The good clients
+//! must keep getting valid documents, the flooder must be throttled
+//! without collateral damage, the staller must be evicted on its
+//! deadline — and the `serve.*` counters must account for every
+//! rejected request and evicted connection.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ganglia::core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia::gmond::pseudo::ServedPseudoCluster;
+use ganglia::gmond::PseudoGmond;
+use ganglia::net::{Addr, SimNet};
+use ganglia::serve::{KeepAliveClient, PooledServer, ServeOptions};
+
+const STALL_DEADLINE: Duration = Duration::from_millis(300);
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[test]
+fn stallers_and_flooders_do_not_starve_correct_clients() {
+    // One monitored cluster behind a gmetad, polled once.
+    let net = SimNet::new(1);
+    let cluster = ServedPseudoCluster::serve(&net, PseudoGmond::new("c0", 8, 42, 0), 1);
+    let gmetad = Gmetad::new(
+        GmetadConfig::new("chaos")
+            .with_source(DataSourceCfg::new("c0", cluster.addrs().to_vec()).unwrap()),
+    );
+    for result in gmetad.poll_all(&net, 15) {
+        result.expect("poll");
+    }
+
+    // Enough workers that every connection gets one immediately; a
+    // generous per-peer rate budget the good clients stay under and the
+    // flooder blows through; short deadlines so the staller is evicted
+    // while the test watches.
+    let options = ServeOptions::default()
+        .with_workers(8)
+        .with_max_inflight(64)
+        .with_rate_limit(50, 50)
+        .with_deadlines(STALL_DEADLINE, STALL_DEADLINE);
+    let tier = gmetad.dump_tier(options);
+    let registry = Arc::clone(tier.registry());
+    let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).expect("bind loopback");
+    let addr = guard.addr();
+
+    const GOOD_CLIENTS: usize = 3;
+    const GOOD_REQUESTS: usize = 20;
+    const STALLED: usize = 2;
+    const FLOOD_REQUESTS: usize = 200;
+
+    let (good_ok, flood_accepted, flood_rejected, stalled_dropped) = std::thread::scope(|scope| {
+        // Stalling clients: complete the handshake, send nothing,
+        // and wait for the server to hang up on the read deadline.
+        let mut stall_handles = Vec::new();
+        for _ in 0..STALLED {
+            let addr = addr.clone();
+            stall_handles.push(scope.spawn(move || {
+                let socket: std::net::SocketAddr = addr.as_str().parse().unwrap();
+                let mut stream =
+                    TcpStream::connect_timeout(&socket, CLIENT_TIMEOUT).expect("staller connects");
+                stream.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+                let start = Instant::now();
+                let mut buf = [0u8; 64];
+                // EOF (or a reset) proves the server evicted us
+                // rather than letting the connection hang forever.
+                let dropped = matches!(stream.read(&mut buf), Ok(0) | Err(_));
+                assert!(
+                    start.elapsed() < CLIENT_TIMEOUT,
+                    "eviction happens on the deadline, not the client timeout"
+                );
+                dropped
+            }));
+        }
+
+        // The flooder: one keep-alive identity firing requests as
+        // fast as the socket allows. Over budget it still gets
+        // complete, well-formed refusal documents.
+        let flood = scope.spawn({
+            let addr = addr.clone();
+            move || {
+                let mut session = KeepAliveClient::connect(&addr, "flooder", CLIENT_TIMEOUT)
+                    .expect("flooder connects");
+                let (mut accepted, mut rejected) = (0u64, 0u64);
+                for _ in 0..FLOOD_REQUESTS {
+                    let body = session.query("/").expect("refusals are still responses");
+                    assert!(body.contains("<GANGLIA_XML"), "always well-formed: {body}");
+                    if body.contains("rate limited") {
+                        rejected += 1;
+                    } else {
+                        accepted += 1;
+                    }
+                }
+                (accepted, rejected)
+            }
+        });
+
+        // Correct clients: modest request rates, distinct names, so
+        // each has its own untouched rate budget.
+        let mut good_handles = Vec::new();
+        for client in 0..GOOD_CLIENTS {
+            let addr = addr.clone();
+            good_handles.push(scope.spawn(move || {
+                let name = format!("good-{client}");
+                let mut session = KeepAliveClient::connect(&addr, &name, CLIENT_TIMEOUT)
+                    .expect("good client connects");
+                let mut ok = 0u64;
+                for _ in 0..GOOD_REQUESTS {
+                    let body = session.query("/").expect("good client is served");
+                    assert!(body.contains("GANGLIA_XML"), "valid document: {body}");
+                    assert!(
+                        !body.contains("rate limited") && !body.contains("overloaded"),
+                        "good clients are never collateral damage: {body}"
+                    );
+                    ok += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                ok
+            }));
+        }
+
+        let good_ok: u64 = good_handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let (flood_accepted, flood_rejected) = flood.join().unwrap();
+        let stalled_dropped = stall_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|dropped| *dropped)
+            .count();
+        (good_ok, flood_accepted, flood_rejected, stalled_dropped)
+    });
+
+    // Every class of client saw what it should have.
+    assert_eq!(good_ok, (GOOD_CLIENTS * GOOD_REQUESTS) as u64);
+    assert_eq!(flood_accepted + flood_rejected, FLOOD_REQUESTS as u64);
+    assert!(flood_rejected > 0, "the flooder must hit its rate limit");
+    assert!(
+        flood_accepted > 0,
+        "the flooder's budget is throttled, not zeroed"
+    );
+    assert_eq!(stalled_dropped, STALLED, "every staller was hung up on");
+
+    // The counters account for every rejection the clients observed.
+    let deadline = Instant::now() + CLIENT_TIMEOUT;
+    let snap = loop {
+        let snap = registry.snapshot();
+        if snap.counter("serve.evicted_total").unwrap_or(0) >= STALLED as u64
+            || Instant::now() > deadline
+        {
+            break snap;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        snap.counter("serve.ratelimited_total"),
+        Some(flood_rejected),
+        "only the flooder was rate limited"
+    );
+    assert_eq!(
+        snap.counter("serve.evicted_total"),
+        Some(STALLED as u64),
+        "each staller cost exactly one deadline eviction"
+    );
+    assert_eq!(
+        snap.counter("serve.shed_total").unwrap_or(0),
+        0,
+        "nothing was shed at this load"
+    );
+    // Total requests = every accepted or refused query; admission did
+    // not lose or invent any.
+    let requests = snap.counter("serve.requests_total").unwrap_or(0);
+    assert_eq!(
+        requests,
+        good_ok + flood_accepted + flood_rejected,
+        "every request is accounted for"
+    );
+    let hits = snap.counter("serve.cache_hits_total").unwrap_or(0);
+    let misses = snap.counter("serve.cache_misses_total").unwrap_or(0);
+    assert_eq!(
+        hits + misses,
+        good_ok + flood_accepted,
+        "every accepted request either hit or missed the cache"
+    );
+    drop(guard);
+}
