@@ -348,7 +348,7 @@ mod tests {
                 sum: 50.0,
                 num: 10,
                 ty: ganglia_metrics::MetricType::Float,
-                units: String::new(),
+                units: Default::default(),
                 slope: ganglia_metrics::Slope::Both,
                 source: "gmond".into(),
             }],

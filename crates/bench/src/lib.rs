@@ -12,8 +12,24 @@ use std::time::{Duration, Instant};
 use ganglia_core::telemetry::{Histogram, Registry};
 use ganglia_sim::experiments::table1::View;
 use ganglia_sim::experiments::{
-    Fig5Result, Fig6Result, IsolationResult, ServingResult, Table1Result,
+    Fig5Result, Fig6Result, IngestResult, IsolationResult, ServingResult, Table1Result,
 };
+
+/// Allocation counts measured by the `repro_ingest` binary's counting
+/// allocator: total heap allocations per *warm* round (the cold parse
+/// round is excluded on both sides) at 0% churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAllocReport {
+    pub baseline_allocs_per_round: u64,
+    pub delta_allocs_per_round: u64,
+}
+
+impl IngestAllocReport {
+    /// Baseline allocations over delta allocations per unchanged round.
+    pub fn reduction(&self) -> f64 {
+        self.baseline_allocs_per_round as f64 / self.delta_allocs_per_round.max(1) as f64
+    }
+}
 
 /// Render figure 5 as an aligned table (one bar pair per monitor).
 pub fn render_fig5(result: &Fig5Result) -> String {
@@ -267,6 +283,104 @@ pub fn render_serving_json(result: &ServingResult, isolation: &IsolationResult) 
     out
 }
 
+/// Render the ingest churn sweep as an aligned baseline-vs-delta table.
+pub fn render_ingest(result: &IngestResult, allocs: Option<&IngestAllocReport>) -> String {
+    let mut out = String::new();
+    let p = &result.params;
+    let _ = writeln!(
+        out,
+        "Ingest — rebuild-every-round vs delta-aware merge, {} hosts × {} metrics, \
+         {} rounds per churn level",
+        p.hosts, p.metrics_per_host, p.rounds
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12} {:>12} {:>9} {:>12} {:>12} {:>10} {:>11}",
+        "churn",
+        "baseline ms",
+        "delta ms",
+        "speedup",
+        "hosts reuse",
+        "hosts parse",
+        "doc reuse",
+        "byte-ident"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>6.0}% {:>12.2} {:>12.2} {:>8.1}x {:>12} {:>12} {:>10} {:>11}",
+            row.churn * 100.0,
+            row.baseline_elapsed.as_secs_f64() * 1e3,
+            row.delta_elapsed.as_secs_f64() * 1e3,
+            row.speedup(),
+            row.hosts_reused,
+            row.hosts_rebuilt,
+            row.docs_reused,
+            row.byte_identical
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fig3 corpus byte-identical through delta path: {}",
+        result.fig3_identical
+    );
+    if let Some(a) = allocs {
+        let _ = writeln!(
+            out,
+            "allocations per unchanged round: baseline {}, delta {} ({:.1}x reduction)",
+            a.baseline_allocs_per_round,
+            a.delta_allocs_per_round,
+            a.reduction()
+        );
+    }
+    out
+}
+
+/// Render the ingest results as machine-readable JSON for the CI smoke
+/// job. Parseable by [`ganglia_core::telemetry::json::parse`].
+pub fn render_ingest_json(result: &IngestResult, allocs: Option<&IngestAllocReport>) -> String {
+    let mut out = String::from("{");
+    let p = &result.params;
+    let _ = write!(
+        out,
+        "\"experiment\":\"ingest\",\"hosts\":{},\"metrics_per_host\":{},\"rounds\":{},\
+         \"fig3_identical\":{},\"rows\":[",
+        p.hosts, p.metrics_per_host, p.rounds, result.fig3_identical
+    );
+    for (i, row) in result.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"churn\":{:.3},\"report_bytes\":{},\"baseline_us\":{},\"delta_us\":{},\
+             \"speedup\":{:.3},\"hosts_reused\":{},\"hosts_rebuilt\":{},\"docs_reused\":{},\
+             \"byte_identical\":{}}}",
+            row.churn,
+            row.report_bytes,
+            row.baseline_elapsed.as_micros(),
+            row.delta_elapsed.as_micros(),
+            row.speedup(),
+            row.hosts_reused,
+            row.hosts_rebuilt,
+            row.docs_reused,
+            row.byte_identical
+        );
+    }
+    out.push(']');
+    if let Some(a) = allocs {
+        let _ = write!(
+            out,
+            ",\"allocs\":{{\"baseline_per_round\":{},\"delta_per_round\":{},\"reduction\":{:.3}}}",
+            a.baseline_allocs_per_round,
+            a.delta_allocs_per_round,
+            a.reduction()
+        );
+    }
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +473,45 @@ mod tests {
             Some(2)
         );
         assert!(value.get("speedup").is_some());
+    }
+
+    #[test]
+    fn ingest_renderers_produce_table_and_json() {
+        use ganglia_sim::experiments::{run_ingest_churn, IngestParams};
+        let result = run_ingest_churn(
+            &IngestParams {
+                hosts: 8,
+                metrics_per_host: 3,
+                rounds: 4,
+            },
+            &[0.0, 1.0],
+        );
+        let allocs = IngestAllocReport {
+            baseline_allocs_per_round: 1000,
+            delta_allocs_per_round: 20,
+        };
+        let text = render_ingest(&result, Some(&allocs));
+        assert!(text.contains("delta-aware merge"));
+        assert!(text.contains("50.0x reduction"));
+        let json = render_ingest_json(&result, Some(&allocs));
+        let value = ganglia_core::telemetry::json::parse(&json).unwrap();
+        assert_eq!(
+            value.get("experiment").and_then(|v| v.as_str()),
+            Some("ingest")
+        );
+        let ganglia_core::telemetry::json::JsonValue::Array(rows) = value.get("rows").unwrap()
+        else {
+            panic!("rows must be an array");
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("docs_reused").and_then(|v| v.as_u64()),
+            Some(3),
+            "{json}"
+        );
+        assert!(value
+            .get("allocs")
+            .and_then(|a| a.get("reduction"))
+            .is_some());
     }
 }

@@ -199,7 +199,7 @@ fn archive_cluster(
                 let Some(value) = metric.value.as_f64() else {
                     continue; // non-numeric metrics have no history
                 };
-                let key = MetricKey::host_metric(source, &host.name, &metric.name);
+                let key = MetricKey::host_metric(source, host.name.as_str(), metric.name.as_str());
                 // A down host gets unknown samples: its last-known values
                 // must not masquerade as fresh history.
                 let sample = if host.is_up() { value } else { f64::NAN };
@@ -212,7 +212,7 @@ fn archive_cluster(
 
 fn archive_summary(set: &mut RrdSet, source: &str, summary: &SummaryBody, now: u64) {
     for metric in &summary.metrics {
-        let key = MetricKey::summary_metric(source, &metric.name);
+        let key = MetricKey::summary_metric(source, metric.name.as_str());
         let _ = set.update(&key, now, metric.sum);
     }
 }
@@ -296,7 +296,7 @@ mod tests {
                     sum: 17.56,
                     num: 10,
                     ty: ganglia_metrics::MetricType::Float,
-                    units: String::new(),
+                    units: Default::default(),
                     slope: ganglia_metrics::Slope::Both,
                     source: "gmond".into(),
                 }],
@@ -351,7 +351,7 @@ mod tests {
         let mut set = RrdSet::new();
         let mut cluster = cluster_with(2);
         if let ClusterBody::Hosts(hosts) = &mut cluster.body {
-            hosts[0].tn = 10_000; // down
+            std::sync::Arc::make_mut(&mut hosts[0]).tn = 10_000; // down
         }
         let state = state_of(cluster, 15);
         archive_source(&mut set, &state, TreeMode::NLevel, 15);

@@ -232,6 +232,17 @@ impl Gmetad {
         self.registry
             .gauge("archives")
             .set(self.archive_count() as u64);
+        // Intern-table effectiveness. The table is process-global (atoms
+        // are shared across every daemon in this process), so these are
+        // gauges mirroring the global counters, not per-daemon deltas.
+        let interning = ganglia_metrics::intern_stats();
+        self.registry.gauge("ingest.atoms_live").set(interning.live);
+        self.registry
+            .gauge("ingest.intern_hits")
+            .set(interning.hits);
+        self.registry
+            .gauge("ingest.intern_misses")
+            .set(interning.misses);
         if self.config.self_telemetry {
             self.publish_self(now);
         }
@@ -356,8 +367,8 @@ impl Gmetad {
         let counter = |name: &str| snap.counter(name).unwrap_or(0) as f64;
         let metric = |name: &str, value: f64, units: &str| {
             let mut entry = MetricEntry::new(name, MetricValue::Double(value));
-            entry.units = units.to_string();
-            entry.source = "gmetad".to_string();
+            entry.units = units.into();
+            entry.source = "gmetad".into();
             entry
         };
         let serve_requests = counter("serve.requests_total");
@@ -390,6 +401,28 @@ impl Gmetad {
                 "transitions",
             ),
             metric("self.bytes_in_total", counter("bytes_in_total"), "bytes"),
+            // Delta-aware ingest: how much of each round was served from
+            // the fingerprint cache instead of re-parsed.
+            metric(
+                "self.ingest_hosts_reused_total",
+                counter("ingest.hosts_reused"),
+                "hosts",
+            ),
+            metric(
+                "self.ingest_hosts_rebuilt_total",
+                counter("ingest.hosts_rebuilt"),
+                "hosts",
+            ),
+            metric(
+                "self.ingest_docs_reused_total",
+                counter("ingest.docs_reused"),
+                "rounds",
+            ),
+            metric(
+                "self.intern_atoms_live",
+                snap.gauge("ingest.atoms_live").unwrap_or(0) as f64,
+                "atoms",
+            ),
             metric("self.queries_total", queries_total as f64, "queries"),
             metric(
                 "self.queries_per_round",

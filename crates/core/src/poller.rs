@@ -18,9 +18,11 @@
 
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use ganglia_metrics::model::{GridBody, GridNode, SummaryBody};
-use ganglia_metrics::{parse_document, GridItem};
-use ganglia_net::transport::Transport;
+use ganglia_metrics::{GridItem, Ingester};
+use ganglia_net::transport::{FetchBuffer, Transport};
 use ganglia_net::NetError;
 
 use crate::config::{DataSourceCfg, TreeMode};
@@ -88,6 +90,11 @@ pub struct SourcePoller {
     cursor: usize,
     /// Per-endpoint health, parallel to `cfg.addrs`.
     health: Vec<EndpointHealth>,
+    /// Delta-aware parser: reuses the previous round's host nodes and
+    /// summary contributions when their bytes did not change.
+    ingester: Ingester,
+    /// Reusable response buffer (keeps its allocation across rounds).
+    buf: FetchBuffer,
     /// Consecutive fully-failed rounds.
     pub consecutive_failures: u32,
     /// Lifetime counters.
@@ -114,6 +121,8 @@ impl SourcePoller {
             cfg,
             cursor: 0,
             health,
+            ingester: Ingester::new(),
+            buf: FetchBuffer::new(),
             consecutive_failures: 0,
             polls_ok: 0,
             polls_failed: 0,
@@ -180,10 +189,33 @@ impl SourcePoller {
         now: u64,
         budget: &RoundBudget,
     ) -> Result<SourceState, GmetadError> {
+        // The response buffer is moved out for the duration of the round
+        // so the borrow checker lets `self` methods take it by parameter;
+        // it is restored (with its allocation and size hint) either way.
+        let mut buf = std::mem::take(&mut self.buf);
+        let result = self.poll_inner(
+            transport, mode, timeout, policy, meter, now, budget, &mut buf,
+        );
+        self.buf = buf;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn poll_inner(
+        &mut self,
+        transport: &dyn Transport,
+        mode: TreeMode,
+        timeout: Duration,
+        policy: &RetryPolicy,
+        meter: &WorkMeter,
+        now: u64,
+        budget: &RoundBudget,
+        buf: &mut FetchBuffer,
+    ) -> Result<SourceState, GmetadError> {
         let registry = std::sync::Arc::clone(meter.registry());
         let fetch_start = Instant::now();
-        let (served_by, xml) =
-            match self.fetch_with_failover(transport, timeout, policy, meter, now, budget) {
+        let served_by =
+            match self.fetch_with_failover(transport, timeout, policy, meter, now, budget, buf) {
                 Ok(served) => served,
                 Err(failure) => {
                     self.consecutive_failures += 1;
@@ -213,14 +245,16 @@ impl SourcePoller {
         registry
             .histogram(&format!("source.{name}.fetch_us"))
             .record_duration(fetch_start.elapsed());
-        registry.counter("bytes_in_total").add(xml.len() as u64);
+        let bytes = buf.len() as u64;
+        registry.counter("bytes_in_total").add(bytes);
         registry
             .counter(&format!("source.{name}.bytes_in_total"))
-            .add(xml.len() as u64);
+            .add(bytes);
         let parse_start = Instant::now();
-        let doc = match meter.time(WorkCategory::Parse, || parse_document(&xml)) {
-            Ok(doc) => doc,
+        let ingested = match self.ingester.ingest(buf.as_str()) {
+            Ok(ingested) => ingested,
             Err(error) => {
+                meter.record(WorkCategory::Parse, parse_start.elapsed());
                 // A garbage or truncated report counts against the
                 // endpoint that served it: enough of them in a row and
                 // its breaker opens, failing the source over.
@@ -235,16 +269,48 @@ impl SourcePoller {
                 });
             }
         };
+        let stats = ingested.stats;
+        // The ingester times its internal summary merges; book those as
+        // Summarize and the remainder of the call as Parse, mirroring
+        // the split the rebuild-every-round path reported.
+        let total = parse_start.elapsed();
+        meter.record(
+            WorkCategory::Parse,
+            total.saturating_sub(stats.summarize_time),
+        );
+        meter.record_busy_only(WorkCategory::Summarize, stats.summarize_time);
         registry
             .histogram(&format!("source.{}.parse_us", self.cfg.name))
-            .record_duration(parse_start.elapsed());
+            .record_duration(total);
+        registry.counter("ingest.bytes_total").add(stats.bytes);
+        registry
+            .counter("ingest.hosts_reused")
+            .add(stats.hosts_reused);
+        registry
+            .counter("ingest.hosts_rebuilt")
+            .add(stats.hosts_rebuilt);
+        registry
+            .counter("ingest.summaries_reused")
+            .add(stats.summaries_reused);
+        if stats.doc_reused {
+            registry.counter("ingest.docs_reused").inc();
+        }
         self.health[served_by].record_success(now);
         self.polls_ok += 1;
         self.consecutive_failures = 0;
         registry.counter("polls_ok_total").inc();
-        Ok(build_state(&self.cfg.name, doc, mode, meter, now))
+        Ok(build_state_prepared(
+            &self.cfg.name,
+            ingested.doc,
+            ingested.summary,
+            mode,
+            now,
+        ))
     }
 
+    /// Fetch into `buf`, returning the index of the endpoint that
+    /// served the response.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_with_failover(
         &mut self,
         transport: &dyn Transport,
@@ -253,7 +319,8 @@ impl SourcePoller {
         meter: &WorkMeter,
         now: u64,
         budget: &RoundBudget,
-    ) -> Result<(usize, String), FetchFailure> {
+        buf: &mut FetchBuffer,
+    ) -> Result<usize, FetchFailure> {
         let addr_count = self.cfg.addrs.len();
         let mut errors = Vec::new();
         let mut attempted = false;
@@ -273,13 +340,13 @@ impl SourcePoller {
                 break;
             };
             attempted = true;
-            match self.try_endpoint(idx, transport, clamped, policy, meter, now, false) {
-                Ok(xml) => {
+            match self.try_endpoint(idx, transport, clamped, policy, meter, now, false, buf) {
+                Ok(()) => {
                     if attempt > 0 {
                         self.failovers += 1;
                         self.cursor = idx; // stick with the node that works
                     }
-                    return Ok((idx, xml));
+                    return Ok(idx);
                 }
                 Err(e) => errors.push(e),
             }
@@ -299,13 +366,14 @@ impl SourcePoller {
                     deadline_hit = true;
                 }
                 Some(clamped) => {
-                    match self.try_endpoint(idx, transport, clamped, policy, meter, now, true) {
-                        Ok(xml) => {
+                    match self.try_endpoint(idx, transport, clamped, policy, meter, now, true, buf)
+                    {
+                        Ok(()) => {
                             if idx != self.cursor {
                                 self.failovers += 1;
                                 self.cursor = idx;
                             }
-                            return Ok((idx, xml));
+                            return Ok(idx);
                         }
                         Err(e) => errors.push(e),
                     }
@@ -339,11 +407,12 @@ impl SourcePoller {
         meter: &WorkMeter,
         now: u64,
         forced: bool,
-    ) -> Result<String, NetError> {
+        buf: &mut FetchBuffer,
+    ) -> Result<(), NetError> {
         self.health[idx].begin_attempt(now);
         let addr = &self.cfg.addrs[idx];
         let start = Instant::now();
-        let result = transport.fetch(addr, "/", timeout);
+        let result = transport.fetch_into(addr, "/", timeout, buf).map(|_| ());
         let elapsed = start.elapsed();
         if forced {
             meter.record_busy_only(WorkCategory::Fetch, elapsed);
@@ -420,6 +489,39 @@ pub fn build_state(
                     authority: grid.authority,
                     localtime: grid.localtime,
                     body: GridBody::Summary(summary.clone()),
+                },
+                TreeMode::OneLevel => grid,
+            };
+            SourceState::grid(source_name, stored, summary, now)
+        }
+    }
+}
+
+/// [`build_state`] for the delta-aware ingest path: the rollup was
+/// already computed (or reused) by the [`Ingester`], so nothing is
+/// re-summarized here — an unchanged round installs the previous
+/// round's `Arc`'d summary untouched.
+pub fn build_state_prepared(
+    source_name: &str,
+    doc: ganglia_metrics::GangliaDoc,
+    summary: Arc<SummaryBody>,
+    mode: TreeMode,
+    now: u64,
+) -> SourceState {
+    let item = if doc.items.len() == 1 {
+        doc.items.into_iter().next().expect("len checked")
+    } else {
+        GridItem::Grid(GridNode::with_items(source_name.to_string(), doc.items))
+    };
+    match item {
+        GridItem::Cluster(cluster) => SourceState::cluster(source_name, cluster, summary, now),
+        GridItem::Grid(grid) => {
+            let stored = match mode {
+                TreeMode::NLevel => GridNode {
+                    name: grid.name,
+                    authority: grid.authority,
+                    localtime: grid.localtime,
+                    body: GridBody::Summary((*summary).clone()),
                 },
                 TreeMode::OneLevel => grid,
             };

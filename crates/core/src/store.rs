@@ -23,6 +23,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use ganglia_metrics::model::{ClusterBody, ClusterNode, GridNode, HostNode, SummaryBody};
+use ganglia_metrics::Atom;
 
 use crate::health::LifecyclePolicy;
 
@@ -85,11 +86,12 @@ pub struct SourceState {
     pub name: String,
     pub data: SourceData,
     /// Precomputed rollup (computed on the summarization time-scale, not
-    /// at query time — §3.3.1).
-    pub summary: SummaryBody,
+    /// at query time — §3.3.1). Behind an `Arc` so the delta-aware ingest
+    /// path can install a reused summary without copying it.
+    pub summary: Arc<SummaryBody>,
     /// Level-two hash index: host name → index into the cluster's host
     /// vector. Empty for grid sources.
-    pub host_index: HashMap<String, usize>,
+    pub host_index: HashMap<Atom, usize>,
     /// When this snapshot was parsed.
     pub updated_at: u64,
     pub status: SourceStatus,
@@ -101,7 +103,7 @@ impl SourceState {
     pub fn cluster(
         name: impl Into<String>,
         cluster: ClusterNode,
-        summary: SummaryBody,
+        summary: impl Into<Arc<SummaryBody>>,
         now: u64,
     ) -> SourceState {
         let host_index = match &cluster.body {
@@ -115,7 +117,7 @@ impl SourceState {
         SourceState {
             name: name.into(),
             data: SourceData::Cluster(cluster),
-            summary,
+            summary: summary.into(),
             host_index,
             updated_at: now,
             status: SourceStatus::Fresh,
@@ -126,13 +128,13 @@ impl SourceState {
     pub fn grid(
         name: impl Into<String>,
         grid: GridNode,
-        summary: SummaryBody,
+        summary: impl Into<Arc<SummaryBody>>,
         now: u64,
     ) -> SourceState {
         SourceState {
             name: name.into(),
             data: SourceData::Grid(grid),
-            summary,
+            summary: summary.into(),
             host_index: HashMap::new(),
             updated_at: now,
             status: SourceStatus::Fresh,
@@ -147,7 +149,7 @@ impl SourceState {
         let ClusterBody::Hosts(hosts) = &cluster.body else {
             return None;
         };
-        self.host_index.get(name).map(|&i| &hosts[i])
+        self.host_index.get(name).map(|&i| hosts[i].as_ref())
     }
 
     /// Number of hosts described by this source.
@@ -233,11 +235,11 @@ impl Store {
             }
             let mut updated = (**existing).clone();
             updated.status = SourceStatus::Down { since: now };
-            updated.summary = SummaryBody {
+            updated.summary = Arc::new(SummaryBody {
                 hosts_up: 0,
                 hosts_down: existing.summary.hosts_total(),
                 metrics: Vec::new(),
-            };
+            });
             sources.insert(name.to_string(), Arc::new(updated));
             self.revision.fetch_add(1, Ordering::Release);
             return Degradation::Down;

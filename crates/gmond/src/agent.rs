@@ -266,14 +266,14 @@ impl GmondAgent {
                     .metrics
                     .iter()
                     .map(|(metric_name, m)| MetricEntry {
-                        name: metric_name.clone(),
+                        name: metric_name.into(),
                         value: m.value.clone(),
-                        units: m.units.clone(),
+                        units: m.units.as_str().into(),
                         tn: now.saturating_sub(m.last_update) as u32,
                         tmax: m.tmax,
                         dmax: m.dmax,
                         slope: m.slope,
-                        source: "gmond".to_string(),
+                        source: "gmond".into(),
                     })
                     .collect();
                 if self.config.self_telemetry && name == &self.node_name {
@@ -281,7 +281,7 @@ impl GmondAgent {
                 }
                 metrics.sort_by(|a, b| a.name.cmp(&b.name));
                 HostNode {
-                    name: name.clone(),
+                    name: name.into(),
                     ip: view.ip.clone(),
                     reported: view.last_heard,
                     tn: now.saturating_sub(view.last_heard) as u32,
@@ -315,8 +315,8 @@ impl GmondAgent {
     fn self_metrics(&self) -> Vec<MetricEntry> {
         let metric = |metric_name: &str, value: u64, units: &str| {
             let mut entry = MetricEntry::new(metric_name, MetricValue::Double(value as f64));
-            entry.units = units.to_string();
-            entry.source = "gmond".to_string();
+            entry.units = units.into();
+            entry.source = "gmond".into();
             entry.tmax = self.config.heartbeat_interval;
             entry
         };

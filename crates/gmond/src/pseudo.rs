@@ -83,20 +83,20 @@ impl PseudoGmond {
                 let metrics: Vec<MetricEntry> = builtin_metrics()
                     .iter()
                     .map(|def| MetricEntry {
-                        name: def.name.to_string(),
+                        name: def.name.into(),
                         value: host.source.collect(def),
-                        units: def.units.to_string(),
+                        units: def.units.into(),
                         // Spread TN values plausibly inside the collection
                         // interval, deterministic per host.
                         tn: (i as u32 * 3 + def.collect_every / 3) % def.collect_every.max(1),
                         tmax: def.tmax,
                         dmax: def.dmax,
                         slope: def.slope,
-                        source: "gmond".to_string(),
+                        source: "gmond".into(),
                     })
                     .collect();
                 HostNode {
-                    name: host.name.clone(),
+                    name: host.name.as_str().into(),
                     ip: host.ip.clone(),
                     reported: now,
                     tn: (i % 15) as u32,

@@ -1,0 +1,321 @@
+//! Interned strings for the names that repeat across the monitoring tree.
+//!
+//! A wide-area monitor sees the same few hundred strings — metric names,
+//! host names, units, source tags — repeated on every host, in every
+//! cluster, on every poll round. Storing each occurrence as its own
+//! `String` makes ingest allocation-bound (the ceiling identified by the
+//! MDS performance study in PAPERS.md, and the reason libxml2 grew its
+//! dictionary). An [`Atom`] is an `Arc<str>` deduplicated through a
+//! global sharded intern table: the first occurrence allocates, every
+//! later one is a lock-scoped hash lookup and a reference-count bump.
+//!
+//! Equality between atoms is pointer-first (identical spellings share
+//! one allocation), falling back to content comparison so an `Atom` also
+//! compares against plain strings. The table keeps hit/miss counters so
+//! gmetad can publish intern effectiveness through its telemetry.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shard count; a power of two so the selector is a mask. Contention is
+/// light (polling threads intern in bursts), so a handful of shards is
+/// plenty.
+const SHARDS: usize = 16;
+
+struct InternTable {
+    shards: [Mutex<HashSet<Arc<str>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Point-in-time counters for the global intern table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Lookups answered by an existing atom.
+    pub hits: u64,
+    /// Lookups that had to allocate and insert.
+    pub misses: u64,
+    /// Distinct atoms currently in the table.
+    pub live: u64,
+}
+
+impl InternStats {
+    /// Fraction of lookups served from the table, in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+fn table() -> &'static InternTable {
+    static TABLE: OnceLock<InternTable> = OnceLock::new();
+    TABLE.get_or_init(|| InternTable {
+        shards: std::array::from_fn(|_| Mutex::new(HashSet::new())),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+fn shard_of(s: &str) -> usize {
+    // FNV-1a over the bytes; only the low bits pick the shard.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+/// Counters for the process-wide intern table.
+pub fn intern_stats() -> InternStats {
+    let t = table();
+    InternStats {
+        hits: t.hits.load(Ordering::Relaxed),
+        misses: t.misses.load(Ordering::Relaxed),
+        live: t
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("intern shard poisoned").len() as u64)
+            .sum(),
+    }
+}
+
+/// An interned, immutable string. Cheap to clone (refcount bump), cheap
+/// to compare (pointer check first), and deduplicated process-wide.
+#[derive(Clone)]
+pub struct Atom(Arc<str>);
+
+impl Atom {
+    /// Intern `s`, returning the canonical atom for its spelling.
+    pub fn new(s: &str) -> Atom {
+        let t = table();
+        let shard = &t.shards[shard_of(s)];
+        let mut set = shard.lock().expect("intern shard poisoned");
+        if let Some(existing) = set.get(s) {
+            t.hits.fetch_add(1, Ordering::Relaxed);
+            return Atom(Arc::clone(existing));
+        }
+        t.misses.fetch_add(1, Ordering::Relaxed);
+        let arc: Arc<str> = Arc::from(s);
+        set.insert(Arc::clone(&arc));
+        Atom(arc)
+    }
+
+    /// The interned empty string.
+    pub fn empty() -> Atom {
+        static EMPTY: OnceLock<Atom> = OnceLock::new();
+        EMPTY.get_or_init(|| Atom::new("")).clone()
+    }
+
+    /// The atom's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for Atom {
+    fn default() -> Self {
+        Atom::empty()
+    }
+}
+
+impl std::ops::Deref for Atom {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Atom {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Atom) -> bool {
+        // Interning makes equal spellings pointer-equal, but atoms that
+        // crossed a table generation (tests) still compare by content.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Atom {}
+
+impl PartialEq<str> for Atom {
+    fn eq(&self, other: &str) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<&str> for Atom {
+    fn eq(&self, other: &&str) -> bool {
+        *self.0 == **other
+    }
+}
+
+impl PartialEq<String> for Atom {
+    fn eq(&self, other: &String) -> bool {
+        *self.0 == **other
+    }
+}
+
+impl PartialEq<Atom> for str {
+    fn eq(&self, other: &Atom) -> bool {
+        *self == *other.0
+    }
+}
+
+impl PartialEq<Atom> for &str {
+    fn eq(&self, other: &Atom) -> bool {
+        **self == *other.0
+    }
+}
+
+impl PartialEq<Atom> for String {
+    fn eq(&self, other: &Atom) -> bool {
+        **self == *other.0
+    }
+}
+
+// Content hash, consistent with `Borrow<str>` so an `Atom`-keyed map can
+// be probed with a plain `&str`.
+impl Hash for Atom {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Atom) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Atom) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Atom {
+        Atom::new(s)
+    }
+}
+
+impl From<&String> for Atom {
+    fn from(s: &String) -> Atom {
+        Atom::new(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Atom {
+        Atom::new(&s)
+    }
+}
+
+impl From<Atom> for String {
+    fn from(a: Atom) -> String {
+        a.0.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let a = Atom::new("load_one_atom_test");
+        let b = Atom::new("load_one_atom_test");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let a = Atom::new("cpu_num");
+        assert_eq!(a, "cpu_num");
+        assert_eq!(a, *"cpu_num");
+        assert_eq!("cpu_num", a);
+        assert_eq!(a, "cpu_num".to_string());
+        assert_ne!(a, "cpu_user");
+    }
+
+    #[test]
+    fn usable_as_map_key_probed_by_str() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(Atom::new("host-0"), 7usize);
+        assert_eq!(map.get("host-0"), Some(&7));
+        assert_eq!(map.get("host-1"), None);
+    }
+
+    #[test]
+    fn stats_move_on_hits_and_misses() {
+        let before = intern_stats();
+        let _fresh = Atom::new("atom-stats-test-unique-string");
+        let _again = Atom::new("atom-stats-test-unique-string");
+        let after = intern_stats();
+        assert!(after.misses > before.misses);
+        assert!(after.hits > before.hits);
+        assert!(after.live >= 1);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut atoms = [Atom::new("b"), Atom::new("a"), Atom::new("c")];
+        atoms.sort();
+        let joined: Vec<&str> = atoms.iter().map(|a| a.as_str()).collect();
+        assert_eq!(joined, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_atom_is_default() {
+        assert_eq!(Atom::default(), Atom::empty());
+        assert_eq!(Atom::default().as_str(), "");
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = InternStats {
+            hits: 0,
+            misses: 0,
+            live: 0,
+        };
+        assert_eq!(s.hit_ratio(), 0.0);
+        let s = InternStats {
+            hits: 3,
+            misses: 1,
+            live: 4,
+        };
+        assert_eq!(s.hit_ratio(), 0.75);
+    }
+}

@@ -8,10 +8,13 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ganglia_xml::names::{self, attr};
 use ganglia_xml::{Attribute, Event, PullParser, XmlError, XmlWriter};
 
+use crate::atom::Atom;
 use crate::model::{
     ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
     MetricSummary, SummaryBody,
@@ -80,14 +83,14 @@ type Result<T> = std::result::Result<T, ParseError>;
 // Attribute helpers
 // ---------------------------------------------------------------------
 
-fn find<'a, 'b>(attrs: &'a [Attribute<'b>], name: &str) -> Option<&'a str> {
+pub(crate) fn find<'a, 'b>(attrs: &'a [Attribute<'b>], name: &str) -> Option<&'a str> {
     attrs
         .iter()
         .find(|a| a.name == name)
         .map(|a| a.value.as_ref())
 }
 
-fn required<'a>(
+pub(crate) fn required<'a>(
     attrs: &'a [Attribute<'_>],
     element: &'static str,
     name: &'static str,
@@ -102,7 +105,16 @@ fn optional_string(attrs: &[Attribute<'_>], name: &str) -> String {
     find(attrs, name).unwrap_or("").to_string()
 }
 
-fn parse_num<T: FromStr>(
+/// Intern an optional attribute straight from the borrowed value — no
+/// intermediate `String` even when the attribute is present.
+fn optional_atom(attrs: &[Attribute<'_>], name: &str) -> Atom {
+    match find(attrs, name) {
+        Some(value) => Atom::new(value),
+        None => Atom::empty(),
+    }
+}
+
+pub(crate) fn parse_num<T: FromStr>(
     attrs: &[Attribute<'_>],
     element: &'static str,
     name: &'static str,
@@ -176,7 +188,7 @@ pub fn parse_document(input: &str) -> Result<GangliaDoc> {
     Ok(doc)
 }
 
-fn parse_grid(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<GridNode> {
+pub(crate) fn parse_grid(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<GridNode> {
     let name = required(attrs, names::GRID, attr::NAME)?.to_string();
     let authority = optional_string(attrs, attr::AUTHORITY);
     let localtime = parse_num(attrs, names::GRID, attr::LOCALTIME, 0u64)?;
@@ -230,13 +242,16 @@ fn parse_grid(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<Gr
     })
 }
 
-fn parse_cluster(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<ClusterNode> {
+pub(crate) fn parse_cluster(
+    parser: &mut PullParser<'_>,
+    attrs: &[Attribute<'_>],
+) -> Result<ClusterNode> {
     let name = required(attrs, names::CLUSTER, attr::NAME)?.to_string();
     let owner = optional_string(attrs, attr::OWNER);
     let latlong = optional_string(attrs, attr::LATLONG);
     let url = optional_string(attrs, attr::URL);
     let localtime = parse_num(attrs, names::CLUSTER, attr::LOCALTIME, 0u64)?;
-    let mut hosts: Vec<HostNode> = Vec::new();
+    let mut hosts: Vec<Arc<HostNode>> = Vec::new();
     let mut summary: Option<SummaryBody> = None;
     loop {
         match parser.next_event()? {
@@ -245,7 +260,7 @@ fn parse_cluster(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result
                 attributes,
                 ..
             }) => match tag {
-                names::HOST => hosts.push(parse_host(parser, &attributes)?),
+                names::HOST => hosts.push(Arc::new(parse_host(parser, &attributes)?)),
                 names::HOSTS => {
                     let body = summary.get_or_insert_with(SummaryBody::default);
                     body.hosts_up = parse_num(&attributes, names::HOSTS, attr::UP, 0u32)?;
@@ -285,9 +300,9 @@ fn parse_cluster(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result
     })
 }
 
-fn parse_host(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<HostNode> {
+pub(crate) fn parse_host(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<HostNode> {
     let host = HostNode {
-        name: required(attrs, names::HOST, attr::NAME)?.to_string(),
+        name: Atom::new(required(attrs, names::HOST, attr::NAME)?),
         ip: optional_string(attrs, attr::IP),
         reported: parse_num(attrs, names::HOST, attr::REPORTED, 0u64)?,
         tn: parse_num(attrs, names::HOST, attr::TN, 0u32)?,
@@ -327,7 +342,7 @@ fn parse_host(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<Ho
 }
 
 fn parse_metric(attrs: &[Attribute<'_>]) -> Result<MetricEntry> {
-    let name = required(attrs, names::METRIC, attr::NAME)?.to_string();
+    let name = Atom::new(required(attrs, names::METRIC, attr::NAME)?);
     let ty_raw = required(attrs, names::METRIC, attr::TYPE)?;
     let ty: MetricType = ty_raw.parse().map_err(|_| ParseError::BadAttr {
         element: names::METRIC,
@@ -351,17 +366,17 @@ fn parse_metric(attrs: &[Attribute<'_>]) -> Result<MetricEntry> {
     Ok(MetricEntry {
         name,
         value,
-        units: optional_string(attrs, attr::UNITS),
+        units: optional_atom(attrs, attr::UNITS),
         tn: parse_num(attrs, names::METRIC, attr::TN, 0u32)?,
         tmax: parse_num(attrs, names::METRIC, attr::TMAX, 60u32)?,
         dmax: parse_num(attrs, names::METRIC, attr::DMAX, 0u32)?,
         slope,
-        source: optional_string(attrs, attr::SOURCE),
+        source: optional_atom(attrs, attr::SOURCE),
     })
 }
 
-fn parse_metric_summary(attrs: &[Attribute<'_>]) -> Result<MetricSummary> {
-    let name = required(attrs, names::METRICS, attr::NAME)?.to_string();
+pub(crate) fn parse_metric_summary(attrs: &[Attribute<'_>]) -> Result<MetricSummary> {
+    let name = Atom::new(required(attrs, names::METRICS, attr::NAME)?);
     let ty = match find(attrs, attr::TYPE) {
         None => MetricType::Double,
         Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
@@ -383,9 +398,9 @@ fn parse_metric_summary(attrs: &[Attribute<'_>]) -> Result<MetricSummary> {
         sum: parse_num(attrs, names::METRICS, attr::SUM, 0.0f64)?,
         num: parse_num(attrs, names::METRICS, attr::NUM, 0u32)?,
         ty,
-        units: optional_string(attrs, attr::UNITS),
+        units: optional_atom(attrs, attr::UNITS),
         slope,
-        source: optional_string(attrs, attr::SOURCE),
+        source: optional_atom(attrs, attr::SOURCE),
     })
 }
 
@@ -399,13 +414,20 @@ fn skip_element(parser: &mut PullParser<'_>) -> Result<()> {
 // Writing
 // ---------------------------------------------------------------------
 
+/// Output-size hint for `write_document`: the previous render's length
+/// plus slack. Successive renders of a monitoring tree are nearly the
+/// same size, so sizing from the last one avoids the grow-and-copy
+/// cascade a fixed 4096 forces on every full dump.
+static RENDER_SIZE_HINT: AtomicUsize = AtomicUsize::new(4096);
+
 /// Serialize a document to Ganglia XML (with the standard declaration).
 pub fn write_document(doc: &GangliaDoc) -> String {
-    let mut out = String::with_capacity(4096);
+    let mut out = String::with_capacity(RENDER_SIZE_HINT.load(Ordering::Relaxed));
     let mut writer = XmlWriter::new(&mut out);
     writer.declaration();
     write_doc_into(doc, &mut writer);
     writer.finish().expect("writing to String cannot fail");
+    RENDER_SIZE_HINT.store(out.len() + out.len() / 8 + 64, Ordering::Relaxed);
     out
 }
 

@@ -1,0 +1,761 @@
+//! Delta-aware ingest: parse a child report while reusing everything
+//! that did not change since the previous round.
+//!
+//! Between poll rounds a gmond tree is ~95% byte-identical — only a few
+//! metric values move — yet a plain [`crate::parse_document`] call
+//! rebuilds every node and recomputes every summary from scratch. The
+//! [`Ingester`] keeps a per-source cache keyed by content fingerprint:
+//!
+//! * **whole document** — if the report's bytes are identical to the
+//!   previous round, the cached [`GangliaDoc`] (refcounted host nodes)
+//!   and summary are returned without parsing at all;
+//! * **per `<HOST>` subtree** — otherwise each host's byte span is
+//!   delimited with the parser's raw skip (no events, no attribute
+//!   vectors) and fingerprinted; a hit reuses the previous round's
+//!   `Arc<HostNode>` and its cached summary contribution, a miss
+//!   re-parses just that span;
+//! * **cluster summary** — if the roster of host fingerprints is
+//!   unchanged, the cached summary `Arc` is reused outright; otherwise
+//!   the summary is re-merged from the per-host contributions in host
+//!   order, which is bitwise-identical to
+//!   [`SummaryBody::from_hosts`] over the same hosts (same f64 addition
+//!   order, same first-seen metric ordering).
+//!
+//! The invariant the rest of the system depends on: an [`Ingester`]
+//! produces exactly the document and summary a fresh
+//! [`crate::parse_document`] + [`ClusterNode::summary`] would — rendered
+//! XML stays byte-identical, so revision-keyed response caches and RRD
+//! archives never observe the cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ganglia_xml::names::{self, attr};
+use ganglia_xml::{Event, PullParser};
+
+use crate::atom::Atom;
+use crate::codec::{self, ParseError};
+use crate::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, SummaryBody,
+};
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// A fast 64-bit content fingerprint (fx-hash style: 8 bytes per step,
+/// length mixed in). Not cryptographic — it only gates reuse of data we
+/// already hold, so a collision's worst case is serving the previous
+/// round's bytes for one host.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ (bytes.len() as u64).wrapping_mul(K);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    (h.rotate_left(5) ^ tail).wrapping_mul(K)
+}
+
+/// What one [`Ingester::ingest`] round did, for telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Bytes of input processed this round.
+    pub bytes: u64,
+    /// The whole report was byte-identical to the previous round.
+    pub doc_reused: bool,
+    /// Hosts served from the fingerprint cache (includes all detail
+    /// hosts when the whole document was reused).
+    pub hosts_reused: u64,
+    /// Hosts re-parsed because their bytes changed (or were new).
+    pub hosts_rebuilt: u64,
+    /// Cluster summaries reused outright (unchanged host roster).
+    pub summaries_reused: u64,
+    /// Time spent merging summaries this round.
+    pub summarize_time: Duration,
+}
+
+/// The result of one ingest round.
+#[derive(Debug, Clone)]
+pub struct Ingested {
+    /// The parsed document; unchanged hosts share `Arc`s with the
+    /// previous round.
+    pub doc: GangliaDoc,
+    /// The document's rolled-up summary: the single top-level item's
+    /// summary, or the merge of all items in order (exactly what a
+    /// synthetic wrapping grid would compute).
+    pub summary: Arc<SummaryBody>,
+    pub stats: IngestStats,
+}
+
+struct HostEntry {
+    fp: u64,
+    node: Arc<HostNode>,
+    /// `SummaryBody::from_hosts([host])` — this host's additive share of
+    /// the cluster summary.
+    contrib: SummaryBody,
+    round: u64,
+}
+
+struct ClusterCache {
+    hosts: HashMap<Atom, HostEntry>,
+    /// Fingerprint of the ordered roster of host fingerprints the cached
+    /// `summary` was merged from.
+    roster_fp: u64,
+    summary: Arc<SummaryBody>,
+    round: u64,
+}
+
+struct CachedDoc {
+    fp: u64,
+    doc: GangliaDoc,
+    summary: Arc<SummaryBody>,
+    /// Full-detail hosts in `doc` (counted once, for reuse stats).
+    detail_hosts: u64,
+}
+
+/// Per-source delta-aware parser. One per polled data source; not
+/// shared across sources (fingerprints are only meaningful against the
+/// same child's previous report).
+#[derive(Default)]
+pub struct Ingester {
+    clusters: HashMap<String, ClusterCache>,
+    cached: Option<CachedDoc>,
+    round: u64,
+}
+
+impl std::fmt::Debug for Ingester {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ingester")
+            .field("round", &self.round)
+            .field("clusters", &self.clusters.len())
+            .field(
+                "cached_hosts",
+                &self.cached.as_ref().map(|c| c.detail_hosts),
+            )
+            .finish()
+    }
+}
+
+impl Ingester {
+    pub fn new() -> Ingester {
+        Ingester::default()
+    }
+
+    /// Parse `input`, reusing cached subtrees where the bytes match the
+    /// previous round. Produces exactly what `parse_document` + a fresh
+    /// summary computation would.
+    pub fn ingest(&mut self, input: &str) -> Result<Ingested> {
+        let mut stats = IngestStats {
+            bytes: input.len() as u64,
+            ..IngestStats::default()
+        };
+        let doc_fp = fingerprint64(input.as_bytes());
+        if let Some(cached) = &self.cached {
+            if cached.fp == doc_fp {
+                stats.doc_reused = true;
+                stats.hosts_reused = cached.detail_hosts;
+                return Ok(Ingested {
+                    doc: cached.doc.clone(),
+                    summary: Arc::clone(&cached.summary),
+                    stats,
+                });
+            }
+        }
+        self.round += 1;
+        let round = self.round;
+
+        let mut parser = PullParser::new(input);
+        let root = loop {
+            match parser.next_event()? {
+                Some(Event::Start {
+                    name, attributes, ..
+                }) => break (name, attributes),
+                Some(Event::Decl(_) | Event::Comment(_)) => continue,
+                Some(other) => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: "(document)".into(),
+                        tag: format!("{other:?}"),
+                    })
+                }
+                None => return Err(ParseError::BadRoot("(empty)".into())),
+            }
+        };
+        let (root_name, root_attrs) = root;
+        if root_name != names::GANGLIA_XML {
+            return Err(ParseError::BadRoot(root_name.to_string()));
+        }
+        let mut doc = GangliaDoc {
+            version: codec::find(&root_attrs, attr::VERSION)
+                .unwrap_or("")
+                .to_string(),
+            source: codec::find(&root_attrs, attr::SOURCE)
+                .unwrap_or("")
+                .to_string(),
+            items: Vec::new(),
+        };
+        let mut item_summaries: Vec<Arc<SummaryBody>> = Vec::new();
+        loop {
+            match parser.next_event()? {
+                Some(Event::Start {
+                    name, attributes, ..
+                }) => match name {
+                    names::GRID => {
+                        let (grid, summary) = self.ingest_grid(
+                            &mut parser,
+                            &attributes,
+                            input,
+                            "",
+                            round,
+                            &mut stats,
+                        )?;
+                        doc.items.push(GridItem::Grid(grid));
+                        item_summaries.push(summary);
+                    }
+                    names::CLUSTER => {
+                        let (cluster, summary) = self.ingest_cluster(
+                            &mut parser,
+                            &attributes,
+                            input,
+                            "",
+                            round,
+                            &mut stats,
+                        )?;
+                        doc.items.push(GridItem::Cluster(cluster));
+                        item_summaries.push(summary);
+                    }
+                    other => {
+                        return Err(ParseError::UnexpectedTag {
+                            parent: names::GANGLIA_XML.into(),
+                            tag: other.to_string(),
+                        })
+                    }
+                },
+                Some(Event::End { .. }) => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+
+        // Document summary: a single item's summary verbatim, otherwise
+        // the in-order merge a synthetic wrapping grid would compute.
+        let summary = if item_summaries.len() == 1 {
+            item_summaries.pop().expect("len checked")
+        } else {
+            let t0 = Instant::now();
+            let mut merged = SummaryBody::default();
+            for s in &item_summaries {
+                merged.merge(s);
+            }
+            stats.summarize_time += t0.elapsed();
+            Arc::new(merged)
+        };
+
+        // Drop cache entries for clusters and hosts that vanished.
+        self.clusters.retain(|_, c| c.round == round);
+        for cache in self.clusters.values_mut() {
+            cache.hosts.retain(|_, h| h.round == round);
+        }
+        let detail_hosts = count_detail_hosts(&doc);
+        self.cached = Some(CachedDoc {
+            fp: doc_fp,
+            doc: doc.clone(),
+            summary: Arc::clone(&summary),
+            detail_hosts,
+        });
+        Ok(Ingested {
+            doc,
+            summary,
+            stats,
+        })
+    }
+
+    /// Mirror of `codec::parse_grid`, recursing through nested grids and
+    /// routing clusters through the host cache. Returns the node plus
+    /// its summary (what `GridNode::summary()` would compute).
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_grid(
+        &mut self,
+        parser: &mut PullParser<'_>,
+        attrs: &[ganglia_xml::Attribute<'_>],
+        input: &str,
+        path: &str,
+        round: u64,
+        stats: &mut IngestStats,
+    ) -> Result<(GridNode, Arc<SummaryBody>)> {
+        let name = codec::required(attrs, names::GRID, attr::NAME)?.to_string();
+        let authority = codec::find(attrs, attr::AUTHORITY)
+            .unwrap_or("")
+            .to_string();
+        let localtime = codec::parse_num(attrs, names::GRID, attr::LOCALTIME, 0u64)?;
+        let child_path = if path.is_empty() {
+            name.clone()
+        } else {
+            format!("{path}/{name}")
+        };
+        let mut items: Vec<GridItem> = Vec::new();
+        let mut child_summaries: Vec<Arc<SummaryBody>> = Vec::new();
+        let mut summary: Option<SummaryBody> = None;
+        loop {
+            match parser.next_event()? {
+                Some(Event::Start {
+                    name: tag,
+                    attributes,
+                    ..
+                }) => match tag {
+                    names::GRID => {
+                        let (grid, s) = self.ingest_grid(
+                            parser,
+                            &attributes,
+                            input,
+                            &child_path,
+                            round,
+                            stats,
+                        )?;
+                        items.push(GridItem::Grid(grid));
+                        child_summaries.push(s);
+                    }
+                    names::CLUSTER => {
+                        let (cluster, s) = self.ingest_cluster(
+                            parser,
+                            &attributes,
+                            input,
+                            &child_path,
+                            round,
+                            stats,
+                        )?;
+                        items.push(GridItem::Cluster(cluster));
+                        child_summaries.push(s);
+                    }
+                    names::HOSTS => {
+                        let body = summary.get_or_insert_with(SummaryBody::default);
+                        body.hosts_up =
+                            codec::parse_num(&attributes, names::HOSTS, attr::UP, 0u32)?;
+                        body.hosts_down =
+                            codec::parse_num(&attributes, names::HOSTS, attr::DOWN, 0u32)?;
+                        parser.skip_subtree()?;
+                    }
+                    names::METRICS => {
+                        let body = summary.get_or_insert_with(SummaryBody::default);
+                        body.metrics.push(codec::parse_metric_summary(&attributes)?);
+                        parser.skip_subtree()?;
+                    }
+                    other => {
+                        return Err(ParseError::UnexpectedTag {
+                            parent: names::GRID.into(),
+                            tag: other.to_string(),
+                        })
+                    }
+                },
+                Some(Event::End { .. }) => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        let (body, grid_summary) = match summary {
+            Some(s) if items.is_empty() => {
+                let arc = Arc::new(s.clone());
+                (GridBody::Summary(s), arc)
+            }
+            // Expanded form kept; summary recomputed from children, in
+            // order, exactly as `GridNode::summary()` does.
+            Some(_) | None => {
+                let t0 = Instant::now();
+                let mut merged = SummaryBody::default();
+                for s in &child_summaries {
+                    merged.merge(s);
+                }
+                stats.summarize_time += t0.elapsed();
+                (GridBody::Items(items), Arc::new(merged))
+            }
+        };
+        Ok((
+            GridNode {
+                name,
+                authority,
+                localtime,
+                body,
+            },
+            grid_summary,
+        ))
+    }
+
+    /// Mirror of `codec::parse_cluster` with the delta path: each
+    /// `<HOST>` span is fingerprinted before it is parsed.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_cluster(
+        &mut self,
+        parser: &mut PullParser<'_>,
+        attrs: &[ganglia_xml::Attribute<'_>],
+        input: &str,
+        path: &str,
+        round: u64,
+        stats: &mut IngestStats,
+    ) -> Result<(ClusterNode, Arc<SummaryBody>)> {
+        let name = codec::required(attrs, names::CLUSTER, attr::NAME)?.to_string();
+        let owner = codec::find(attrs, attr::OWNER).unwrap_or("").to_string();
+        let latlong = codec::find(attrs, attr::LATLONG).unwrap_or("").to_string();
+        let url = codec::find(attrs, attr::URL).unwrap_or("").to_string();
+        let localtime = codec::parse_num(attrs, names::CLUSTER, attr::LOCALTIME, 0u64)?;
+        let key = if path.is_empty() {
+            name.clone()
+        } else {
+            format!("{path}/{name}")
+        };
+        let cache = self.clusters.entry(key).or_insert_with(|| ClusterCache {
+            hosts: HashMap::new(),
+            roster_fp: 0,
+            summary: Arc::new(SummaryBody::default()),
+            round: 0,
+        });
+
+        let mut hosts: Vec<Arc<HostNode>> = Vec::new();
+        // Host names in document order, with a duplicate flag: the
+        // summary contribution merge needs both.
+        let mut roster: Vec<Atom> = Vec::new();
+        let mut duplicate_names = false;
+        let mut roster_fp = 0xcafe_f00d_dead_beefu64;
+        let mut summary: Option<SummaryBody> = None;
+        loop {
+            match parser.next_event()? {
+                Some(Event::Start {
+                    name: tag,
+                    attributes,
+                    ..
+                }) => match tag {
+                    names::HOST => {
+                        let host_name =
+                            Atom::new(codec::required(&attributes, names::HOST, attr::NAME)?);
+                        let span_start = parser.last_event_start();
+                        parser.skip_subtree_raw()?;
+                        let span = &input[span_start..parser.offset()];
+                        let fp = fingerprint64(span.as_bytes());
+                        roster_fp =
+                            (roster_fp.rotate_left(7) ^ fp).wrapping_mul(0x517c_c1b7_2722_0a95);
+                        let reuse = cache
+                            .hosts
+                            .get(&host_name)
+                            .is_some_and(|entry| entry.fp == fp);
+                        if reuse {
+                            let entry = cache.hosts.get_mut(&host_name).expect("checked above");
+                            if entry.round == round {
+                                duplicate_names = true;
+                            }
+                            entry.round = round;
+                            hosts.push(Arc::clone(&entry.node));
+                            stats.hosts_reused += 1;
+                        } else {
+                            let node = Arc::new(parse_host_span(span)?);
+                            let contrib = SummaryBody::from_hosts([node.as_ref()]);
+                            if cache
+                                .hosts
+                                .get(&host_name)
+                                .is_some_and(|entry| entry.round == round)
+                            {
+                                duplicate_names = true;
+                            }
+                            hosts.push(Arc::clone(&node));
+                            cache.hosts.insert(
+                                host_name.clone(),
+                                HostEntry {
+                                    fp,
+                                    node,
+                                    contrib,
+                                    round,
+                                },
+                            );
+                            stats.hosts_rebuilt += 1;
+                        }
+                        roster.push(host_name);
+                    }
+                    names::HOSTS => {
+                        let body = summary.get_or_insert_with(SummaryBody::default);
+                        body.hosts_up =
+                            codec::parse_num(&attributes, names::HOSTS, attr::UP, 0u32)?;
+                        body.hosts_down =
+                            codec::parse_num(&attributes, names::HOSTS, attr::DOWN, 0u32)?;
+                        parser.skip_subtree()?;
+                    }
+                    names::METRICS => {
+                        let body = summary.get_or_insert_with(SummaryBody::default);
+                        body.metrics.push(codec::parse_metric_summary(&attributes)?);
+                        parser.skip_subtree()?;
+                    }
+                    other => {
+                        return Err(ParseError::UnexpectedTag {
+                            parent: names::CLUSTER.into(),
+                            tag: other.to_string(),
+                        })
+                    }
+                },
+                Some(Event::End { .. }) => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        cache.round = round;
+
+        let (body, cluster_summary) = match (hosts.is_empty(), summary) {
+            (false, Some(_)) => return Err(ParseError::MixedClusterBody(name)),
+            (true, Some(s)) => {
+                let arc = Arc::new(s.clone());
+                (ClusterBody::Summary(s), arc)
+            }
+            (_, None) => {
+                let cluster_summary = if !roster.is_empty()
+                    && cache.roster_fp == roster_fp
+                    && stats_roster_reusable(&cache.summary)
+                {
+                    // Same hosts, same bytes, same order: the previous
+                    // round's merged summary is still exact.
+                    stats.summaries_reused += 1;
+                    Arc::clone(&cache.summary)
+                } else {
+                    let t0 = Instant::now();
+                    let merged = if duplicate_names {
+                        // Pathological roster (two hosts sharing a name):
+                        // the per-name contribution cache cannot represent
+                        // it, so fall back to the direct computation.
+                        SummaryBody::from_hosts(hosts.iter().map(|h| &**h))
+                    } else {
+                        let mut merged = SummaryBody::default();
+                        for host_name in &roster {
+                            let entry = cache.hosts.get(host_name).expect("roster entries cached");
+                            merged.merge(&entry.contrib);
+                        }
+                        merged
+                    };
+                    stats.summarize_time += t0.elapsed();
+                    let merged = Arc::new(merged);
+                    cache.roster_fp = roster_fp;
+                    cache.summary = Arc::clone(&merged);
+                    merged
+                };
+                (ClusterBody::Hosts(hosts), cluster_summary)
+            }
+        };
+        Ok((
+            ClusterNode {
+                name,
+                owner,
+                latlong,
+                url,
+                localtime,
+                body,
+            },
+            cluster_summary,
+        ))
+    }
+}
+
+/// A roster-matched cached summary is always reusable; this hook exists
+/// so the reuse condition reads as one expression above.
+fn stats_roster_reusable(_summary: &Arc<SummaryBody>) -> bool {
+    true
+}
+
+/// Re-parse one `<HOST>...</HOST>` byte span through the full event
+/// path (all well-formedness checks apply).
+fn parse_host_span(span: &str) -> Result<HostNode> {
+    let mut parser = PullParser::new(span);
+    match parser.next_event()? {
+        Some(Event::Start {
+            name: names::HOST,
+            attributes,
+            ..
+        }) => codec::parse_host(&mut parser, &attributes),
+        _ => Err(ParseError::UnexpectedTag {
+            parent: names::CLUSTER.into(),
+            tag: "(host span)".into(),
+        }),
+    }
+}
+
+fn count_detail_hosts(doc: &GangliaDoc) -> u64 {
+    fn in_item(item: &GridItem) -> u64 {
+        match item {
+            GridItem::Cluster(c) => match &c.body {
+                ClusterBody::Hosts(hosts) => hosts.len() as u64,
+                ClusterBody::Summary(_) => 0,
+            },
+            GridItem::Grid(g) => match &g.body {
+                GridBody::Items(items) => items.iter().map(in_item).sum(),
+                GridBody::Summary(_) => 0,
+            },
+        }
+    }
+    doc.items.iter().map(in_item).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{parse_document, write_document};
+
+    fn cluster_xml(hosts: &[(u32, f64)]) -> String {
+        let mut xml = String::from(
+            "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmond\">\
+             <CLUSTER NAME=\"meteor\" LOCALTIME=\"100\">",
+        );
+        for (i, load) in hosts {
+            xml.push_str(&format!(
+                "<HOST NAME=\"n{i}\" IP=\"10.0.0.{i}\" REPORTED=\"90\" TN=\"5\" TMAX=\"20\" DMAX=\"0\">\
+                 <METRIC NAME=\"load_one\" VAL=\"{load}\" TYPE=\"float\" UNITS=\"\" TN=\"5\" TMAX=\"70\" DMAX=\"0\" SLOPE=\"both\" SOURCE=\"gmond\"/>\
+                 <METRIC NAME=\"cpu_num\" VAL=\"2\" TYPE=\"int32\" UNITS=\"CPUs\" TN=\"5\" TMAX=\"1200\" DMAX=\"0\" SLOPE=\"zero\" SOURCE=\"gmond\"/>\
+                 </HOST>"
+            ));
+        }
+        xml.push_str("</CLUSTER></GANGLIA_XML>");
+        xml
+    }
+
+    #[test]
+    fn matches_plain_parse_cold_and_warm() {
+        let a = cluster_xml(&[(0, 0.5), (1, 1.5), (2, 0.25)]);
+        let b = cluster_xml(&[(0, 0.5), (1, 9.0), (2, 0.25)]);
+        let mut ingester = Ingester::new();
+        for xml in [&a, &a, &b, &a] {
+            let got = ingester.ingest(xml).unwrap();
+            let want = parse_document(xml).unwrap();
+            assert_eq!(got.doc, want);
+            let want_summary = match &want.items[0] {
+                GridItem::Cluster(c) => c.summary(),
+                GridItem::Grid(g) => g.summary(),
+            };
+            assert_eq!(*got.summary, want_summary);
+            assert_eq!(write_document(&got.doc), write_document(&want));
+        }
+    }
+
+    #[test]
+    fn identical_round_reuses_document() {
+        let xml = cluster_xml(&[(0, 0.5), (1, 1.5)]);
+        let mut ingester = Ingester::new();
+        let first = ingester.ingest(&xml).unwrap();
+        assert!(!first.stats.doc_reused);
+        assert_eq!(first.stats.hosts_rebuilt, 2);
+        let second = ingester.ingest(&xml).unwrap();
+        assert!(second.stats.doc_reused);
+        assert_eq!(second.stats.hosts_reused, 2);
+        assert!(Arc::ptr_eq(&first.summary, &second.summary));
+        // The reused doc shares host nodes with the first round.
+        let (GridItem::Cluster(c1), GridItem::Cluster(c2)) =
+            (&first.doc.items[0], &second.doc.items[0])
+        else {
+            panic!("expected clusters");
+        };
+        let (ClusterBody::Hosts(h1), ClusterBody::Hosts(h2)) = (&c1.body, &c2.body) else {
+            panic!("expected hosts");
+        };
+        assert!(Arc::ptr_eq(&h1[0], &h2[0]));
+    }
+
+    #[test]
+    fn partial_churn_reuses_unchanged_hosts() {
+        let a = cluster_xml(&[(0, 0.5), (1, 1.5), (2, 0.25)]);
+        let b = cluster_xml(&[(0, 0.5), (1, 7.75), (2, 0.25)]);
+        let mut ingester = Ingester::new();
+        ingester.ingest(&a).unwrap();
+        let second = ingester.ingest(&b).unwrap();
+        assert!(!second.stats.doc_reused);
+        assert_eq!(second.stats.hosts_reused, 2);
+        assert_eq!(second.stats.hosts_rebuilt, 1);
+        assert_eq!(second.doc, parse_document(&b).unwrap());
+    }
+
+    #[test]
+    fn unchanged_roster_reuses_cluster_summary() {
+        let xml = cluster_xml(&[(0, 0.5), (1, 1.5)]);
+        // Two inputs with identical hosts but different whole-document
+        // bytes (comment), so the doc fast path misses but the host
+        // roster matches.
+        let with_comment = xml.replace("</CLUSTER>", "</CLUSTER><!-- tick -->");
+        let mut ingester = Ingester::new();
+        let first = ingester.ingest(&xml).unwrap();
+        let second = ingester.ingest(&with_comment).unwrap();
+        assert!(!second.stats.doc_reused);
+        assert_eq!(second.stats.summaries_reused, 1);
+        assert!(Arc::ptr_eq(&first.summary, &second.summary));
+    }
+
+    #[test]
+    fn vanished_hosts_are_pruned_and_recounted() {
+        let three = cluster_xml(&[(0, 0.5), (1, 1.5), (2, 0.25)]);
+        let two = cluster_xml(&[(0, 0.5), (2, 0.25)]);
+        let mut ingester = Ingester::new();
+        ingester.ingest(&three).unwrap();
+        let shrunk = ingester.ingest(&two).unwrap();
+        assert_eq!(shrunk.summary.hosts_up, 2);
+        assert_eq!(shrunk.doc, parse_document(&two).unwrap());
+        // Bring n1 back: it was pruned, so it must be rebuilt.
+        let back = ingester.ingest(&three).unwrap();
+        assert_eq!(back.stats.hosts_rebuilt, 1);
+        assert_eq!(back.stats.hosts_reused, 2);
+    }
+
+    #[test]
+    fn summary_form_and_grid_docs_match_plain_parse() {
+        let grid = r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmetad">
+<GRID NAME="SDSC" AUTHORITY="http://sdsc/" LOCALTIME="7">
+ <CLUSTER NAME="meteor" LOCALTIME="7">
+  <HOST NAME="n0" IP="1.1.1.1" REPORTED="7" TN="1" TMAX="20" DMAX="0">
+   <METRIC NAME="load_one" VAL="2.0" TYPE="float" SLOPE="both"/>
+  </HOST>
+ </CLUSTER>
+ <GRID NAME="ATTIC" AUTHORITY="http://attic/">
+  <HOSTS UP="10" DOWN="1"/>
+  <METRICS NAME="cpu_num" SUM="20" NUM="10" TYPE="int32"/>
+ </GRID>
+</GRID>
+</GANGLIA_XML>"#;
+        let mut ingester = Ingester::new();
+        for _ in 0..2 {
+            let got = ingester.ingest(grid).unwrap();
+            let want = parse_document(grid).unwrap();
+            assert_eq!(got.doc, want);
+            let GridItem::Grid(g) = &want.items[0] else {
+                panic!("expected grid");
+            };
+            assert_eq!(*got.summary, g.summary());
+        }
+    }
+
+    #[test]
+    fn down_host_contributions_stay_exact() {
+        // TN > TMAX*4 marks the host down: counted, metrics excluded.
+        let xml = "<GANGLIA_XML><CLUSTER NAME=\"c\" LOCALTIME=\"5\">\
+                   <HOST NAME=\"dead\" IP=\"1.1.1.1\" REPORTED=\"1\" TN=\"500\" TMAX=\"20\" DMAX=\"0\">\
+                   <METRIC NAME=\"load_one\" VAL=\"9.0\" TYPE=\"float\" SLOPE=\"both\"/></HOST>\
+                   <HOST NAME=\"alive\" IP=\"1.1.1.2\" REPORTED=\"1\" TN=\"1\" TMAX=\"20\" DMAX=\"0\">\
+                   <METRIC NAME=\"load_one\" VAL=\"1.0\" TYPE=\"float\" SLOPE=\"both\"/></HOST>\
+                   </CLUSTER></GANGLIA_XML>";
+        let mut ingester = Ingester::new();
+        let got = ingester.ingest(xml).unwrap();
+        assert_eq!(got.summary.hosts_up, 1);
+        assert_eq!(got.summary.hosts_down, 1);
+        assert_eq!(got.summary.metric("load_one").unwrap().sum, 1.0);
+    }
+
+    #[test]
+    fn bad_reports_still_error() {
+        let mut ingester = Ingester::new();
+        assert!(ingester.ingest("<BOGUS").is_err());
+        assert!(ingester.ingest("<HTML/>").is_err());
+        // A good round still works after errors.
+        let xml = cluster_xml(&[(0, 0.5)]);
+        assert!(ingester.ingest(&xml).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_repeats() {
+        let a = fingerprint64(b"<HOST NAME=\"n0\"/>");
+        let b = fingerprint64(b"<HOST NAME=\"n1\"/>");
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint64(b"<HOST NAME=\"n0\"/>"));
+        assert_ne!(fingerprint64(b""), fingerprint64(b"\0"));
+    }
+}

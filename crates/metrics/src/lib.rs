@@ -15,16 +15,26 @@
 //! * [`model`] — the typed monitoring tree (`GRID` / `CLUSTER` / `HOST` /
 //!   `METRIC`, and the summary forms `HOSTS` / `METRICS`), including the
 //!   additive-reduction summaries of paper §3.2;
-//! * [`codec`] — streaming conversion between the model and Ganglia XML.
+//! * [`codec`] — streaming conversion between the model and Ganglia XML;
+//! * [`atom`] — the intern table behind the model's [`atom::Atom`] name
+//!   fields: the same few hundred strings repeat across every host and
+//!   every round, so they are stored once and shared;
+//! * [`ingest`] — the delta-aware parse path: fingerprints each `<HOST>`
+//!   subtree and reuses the previous round's `Arc`'d nodes and summary
+//!   contributions when the bytes did not change.
 
+pub mod atom;
 pub mod codec;
 pub mod definition;
+pub mod ingest;
 pub mod model;
 pub mod slope;
 pub mod value;
 
+pub use atom::{intern_stats, Atom, InternStats};
 pub use codec::{parse_document, write_document, ParseError};
 pub use definition::{builtin_metrics, MetricDefinition, MetricRegistry};
+pub use ingest::{fingerprint64, IngestStats, Ingested, Ingester};
 pub use model::{
     ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
     MetricSummary, SummaryBody,

@@ -8,16 +8,22 @@
 //! `NUM` hosts, and liveness collapses to `UP`/`DOWN` counts.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::atom::Atom;
 use crate::slope::Slope;
 use crate::value::{MetricType, MetricValue};
 
 /// One metric sample on one host (`<METRIC .../>`).
+///
+/// The name-like fields (`name`, `units`, `source`) are interned
+/// [`Atom`]s: the same few hundred spellings repeat on every host in
+/// every round, so each is stored once process-wide.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricEntry {
-    pub name: String,
+    pub name: Atom,
     pub value: MetricValue,
-    pub units: String,
+    pub units: Atom,
     /// Seconds since the metric was last updated.
     pub tn: u32,
     /// Maximum expected seconds between updates.
@@ -26,21 +32,21 @@ pub struct MetricEntry {
     pub dmax: u32,
     pub slope: Slope,
     /// Which subsystem reported the metric (`gmond`, `gmetric`, ...).
-    pub source: String,
+    pub source: Atom,
 }
 
 impl MetricEntry {
     /// A metric with Ganglia's default bookkeeping attributes.
-    pub fn new(name: impl Into<String>, value: MetricValue) -> Self {
+    pub fn new(name: impl Into<Atom>, value: MetricValue) -> Self {
         MetricEntry {
             name: name.into(),
             value,
-            units: String::new(),
+            units: Atom::empty(),
             tn: 0,
             tmax: 60,
             dmax: 0,
             slope: Slope::Both,
-            source: "gmond".to_string(),
+            source: Atom::new("gmond"),
         }
     }
 }
@@ -48,7 +54,7 @@ impl MetricEntry {
 /// One host and its metrics (`<HOST ...>`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostNode {
-    pub name: String,
+    pub name: Atom,
     pub ip: String,
     /// When the host last reported (epoch seconds).
     pub reported: u64,
@@ -64,7 +70,7 @@ pub struct HostNode {
 
 impl HostNode {
     /// A host with default bookkeeping.
-    pub fn new(name: impl Into<String>, ip: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Atom>, ip: impl Into<String>) -> Self {
         HostNode {
             name: name.into(),
             ip: ip.into(),
@@ -98,13 +104,13 @@ impl HostNode {
 /// deliberately not recoverable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricSummary {
-    pub name: String,
+    pub name: Atom,
     pub sum: f64,
     pub num: u32,
     pub ty: MetricType,
-    pub units: String,
+    pub units: Atom,
     pub slope: Slope,
-    pub source: String,
+    pub source: Atom,
 }
 
 impl MetricSummary {
@@ -212,9 +218,13 @@ impl SummaryBody {
 }
 
 /// The payload of a cluster: either full host detail or a summary.
+///
+/// Hosts sit behind `Arc` so the delta-aware ingest can carry unchanged
+/// nodes across poll rounds (and snapshot clones) without deep-copying
+/// them; a round where nothing changed clones refcounts, not subtrees.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterBody {
-    Hosts(Vec<HostNode>),
+    Hosts(Vec<Arc<HostNode>>),
     Summary(SummaryBody),
 }
 
@@ -234,6 +244,12 @@ pub struct ClusterNode {
 impl ClusterNode {
     /// A full-detail cluster.
     pub fn with_hosts(name: impl Into<String>, hosts: Vec<HostNode>) -> Self {
+        ClusterNode::with_shared_hosts(name, hosts.into_iter().map(Arc::new).collect())
+    }
+
+    /// A full-detail cluster over already-shared host nodes (the form
+    /// the delta-aware ingest produces).
+    pub fn with_shared_hosts(name: impl Into<String>, hosts: Vec<Arc<HostNode>>) -> Self {
         ClusterNode {
             name: name.into(),
             owner: String::new(),
@@ -247,7 +263,7 @@ impl ClusterNode {
     /// The summary of this cluster, computing it if the body is full.
     pub fn summary(&self) -> SummaryBody {
         match &self.body {
-            ClusterBody::Hosts(hosts) => SummaryBody::from_hosts(hosts.iter()),
+            ClusterBody::Hosts(hosts) => SummaryBody::from_hosts(hosts.iter().map(|h| &**h)),
             ClusterBody::Summary(s) => s.clone(),
         }
     }
@@ -263,7 +279,7 @@ impl ClusterNode {
     /// Find a host by name in a full-detail body.
     pub fn host(&self, name: &str) -> Option<&HostNode> {
         match &self.body {
-            ClusterBody::Hosts(hosts) => hosts.iter().find(|h| h.name == name),
+            ClusterBody::Hosts(hosts) => hosts.iter().find(|h| h.name == name).map(|h| h.as_ref()),
             ClusterBody::Summary(_) => None,
         }
     }
@@ -494,7 +510,7 @@ mod tests {
                 sum: 0.89,
                 num: 1,
                 ty: MetricType::Float,
-                units: String::new(),
+                units: Atom::empty(),
                 slope: Slope::Both,
                 source: "gmond".into(),
             }],

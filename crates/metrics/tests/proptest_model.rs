@@ -35,14 +35,14 @@ fn metric() -> impl Strategy<Value = MetricEntry> {
         0u32..100,
     )
         .prop_map(|(name, value, units, tn, tmax, dmax)| MetricEntry {
-            name,
+            name: name.into(),
             value,
-            units,
+            units: units.into(),
             tn,
             tmax,
             dmax,
             slope: Slope::Both,
-            source: "gmond".to_string(),
+            source: "gmond".into(),
         })
 }
 
@@ -70,13 +70,13 @@ fn summary() -> impl Strategy<Value = SummaryBody> {
             metrics: metrics
                 .into_iter()
                 .map(|(metric_name, sum, num)| MetricSummary {
-                    name: metric_name,
+                    name: metric_name.into(),
                     sum: sum as f64 / 32.0,
                     num,
                     ty: MetricType::Double,
-                    units: String::new(),
+                    units: Default::default(),
                     slope: Slope::Both,
-                    source: "gmond".to_string(),
+                    source: "gmond".into(),
                 })
                 .collect(),
         })
@@ -86,7 +86,9 @@ fn cluster() -> impl Strategy<Value = ClusterNode> {
     (
         name(),
         prop_oneof![
-            proptest::collection::vec(host(), 0..5).prop_map(ClusterBody::Hosts),
+            proptest::collection::vec(host(), 0..5).prop_map(|hs| ClusterBody::Hosts(
+                hs.into_iter().map(std::sync::Arc::new).collect()
+            )),
             summary().prop_map(ClusterBody::Summary),
         ],
     )
@@ -151,6 +153,57 @@ proptest! {
             let other = ba.metric(&m.name).expect("same metric set");
             prop_assert!((m.sum - other.sum).abs() < 1e-9);
             prop_assert_eq!(m.num, other.num);
+        }
+    }
+
+    /// Borrowed-vs-owned parse equality: rewriting every `e` as the
+    /// numeric reference `&#101;` forces the parser's owned-`Cow` slow
+    /// path on every value containing one ('e' appears in no entity
+    /// name, no element/attribute name — those are all uppercase — and
+    /// no escape sequence, so the rewrite is semantically a no-op).
+    /// Both parses must yield the same model and re-render to the same
+    /// bytes.
+    #[test]
+    fn borrowed_and_owned_parses_agree(document in doc()) {
+        let xml = write_document(&document);
+        let owned_xml = xml.replace('e', "&#101;");
+        let borrowed = parse_document(&xml).expect("borrowed parse");
+        let owned = parse_document(&owned_xml)
+            .unwrap_or_else(|e| panic!("owned parse: {e}\n{owned_xml}"));
+        prop_assert_eq!(&borrowed, &owned);
+        prop_assert_eq!(write_document(&borrowed), write_document(&owned));
+    }
+
+    /// Interned roundtrip byte-identity: names/units/sources pass
+    /// through the intern table on parse, and the re-rendered bytes
+    /// must match the original rendering exactly — interning can never
+    /// alter what goes on the wire.
+    #[test]
+    fn intern_roundtrip_is_byte_identical(document in doc()) {
+        let xml = write_document(&document);
+        let reparsed = parse_document(&xml).expect("roundtrip parse");
+        prop_assert_eq!(write_document(&reparsed), xml);
+    }
+
+    /// The delta-aware ingester is behavior-invariant: fed any sequence
+    /// of documents (with repeats, so the whole-document and per-host
+    /// fingerprint paths both fire), every round's document and
+    /// rendering match the plain rebuild-every-round parser.
+    #[test]
+    fn ingester_matches_plain_parse_over_rounds(
+        documents in proptest::collection::vec(doc(), 1..4),
+    ) {
+        let mut ingester = ganglia_metrics::Ingester::new();
+        for document in &documents {
+            let xml = write_document(document);
+            // Twice per document: first exercises per-host reuse across
+            // differing documents, second the whole-document fast path.
+            for _ in 0..2 {
+                let ingested = ingester.ingest(&xml).expect("ingest");
+                let plain = parse_document(&xml).expect("plain parse");
+                prop_assert_eq!(&ingested.doc, &plain);
+                prop_assert_eq!(write_document(&ingested.doc), xml.clone());
+            }
         }
     }
 

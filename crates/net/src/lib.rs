@@ -34,4 +34,4 @@ pub use mcast::{McastBus, McastSubscription};
 pub use sim::SimNet;
 pub use stats::{AddrStats, TrafficReport};
 pub use tcp::TcpTransport;
-pub use transport::{RequestHandler, ServerGuard, Transport};
+pub use transport::{FetchBuffer, RequestHandler, ServerGuard, Transport};

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use crate::addr::Addr;
 use crate::error::NetError;
-use crate::transport::{RequestHandler, ServerGuard, Transport};
+use crate::transport::{FetchBuffer, RequestHandler, ServerGuard, Transport};
 
 /// Per-connection read and write deadlines: a peer that stalls
 /// mid-request or stops draining its response holds a connection thread
@@ -145,6 +145,22 @@ impl Transport for TcpTransport {
     }
 
     fn fetch(&self, addr: &Addr, request: &str, timeout: Duration) -> Result<String, NetError> {
+        let mut buf = FetchBuffer::new();
+        self.fetch_into(addr, request, timeout, &mut buf)?;
+        Ok(buf.into_string())
+    }
+
+    /// Streaming fetch into a reusable buffer: the response is read
+    /// directly into `buf`, which was pre-reserved to the previous
+    /// response's size — steady-state polls of the same child reuse one
+    /// allocation instead of growing a fresh `String` from empty.
+    fn fetch_into(
+        &self,
+        addr: &Addr,
+        request: &str,
+        timeout: Duration,
+        buf: &mut FetchBuffer,
+    ) -> Result<usize, NetError> {
         let socket_addr: SocketAddr = addr
             .as_str()
             .parse()
@@ -166,11 +182,12 @@ impl Transport for TcpTransport {
             .and_then(|()| stream.write_all(b"\n"))
             .map_err(|e| classify_io(addr, e))?;
         let _ = stream.shutdown(Shutdown::Write);
-        let mut response = String::new();
-        stream
-            .read_to_string(&mut response)
+        buf.prepare();
+        let n = stream
+            .read_to_string(&mut buf.text)
             .map_err(|e| classify_io(addr, e))?;
-        Ok(response)
+        buf.learn(n);
+        Ok(n)
     }
 }
 
@@ -331,6 +348,33 @@ mod tests {
         assert_eq!(transport.fetch(&guard.addr(), "q", T).unwrap(), "x");
         drop(stalled); // client closes; server read returns EOF
         drop(guard); // drains promptly — the test not hanging is the assertion
+    }
+
+    #[test]
+    fn fetch_into_reuses_buffer_and_learns_hint() {
+        let transport = TcpTransport::new();
+        let handler: Arc<dyn RequestHandler> = Arc::new(|req: &str| req.repeat(50));
+        let guard = transport.serve(&Addr::new("127.0.0.1:0"), handler).unwrap();
+        let bound = guard.addr();
+        let mut buf = FetchBuffer::new();
+        assert_eq!(buf.hint(), 0);
+        let n = transport.fetch_into(&bound, "abcd", T, &mut buf).unwrap();
+        assert_eq!(n, 200);
+        assert_eq!(buf.len(), 200);
+        assert_eq!(buf.as_str(), "abcd".repeat(50));
+        assert_eq!(buf.hint(), 200);
+        let capacity = buf.capacity();
+        // A same-size follow-up fits in the learned capacity: the buffer
+        // does not grow.
+        let n = transport.fetch_into(&bound, "wxyz", T, &mut buf).unwrap();
+        assert_eq!(n, 200);
+        assert_eq!(buf.as_str(), "wxyz".repeat(50));
+        assert_eq!(buf.capacity(), capacity);
+        // And the result matches the one-shot path byte for byte.
+        assert_eq!(
+            transport.fetch(&bound, "wxyz", T).unwrap(),
+            buf.into_string()
+        );
     }
 
     #[test]

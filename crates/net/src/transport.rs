@@ -32,6 +32,70 @@ pub trait ServerGuard: Send {
     fn addr(&self) -> Addr;
 }
 
+/// A reusable response buffer for [`Transport::fetch_into`].
+///
+/// Keeps its allocation across poll rounds and remembers the previous
+/// response's size, so steady-state fetches read into a right-sized
+/// buffer instead of growing a fresh `String` from empty every time
+/// (a gmond report's size barely moves between rounds).
+#[derive(Debug, Default)]
+pub struct FetchBuffer {
+    pub(crate) text: String,
+    pub(crate) hint: usize,
+}
+
+impl FetchBuffer {
+    /// An empty buffer with no size hint yet.
+    pub fn new() -> FetchBuffer {
+        FetchBuffer::default()
+    }
+
+    /// The most recent response (valid after a successful
+    /// [`Transport::fetch_into`]).
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Length in bytes of the held response.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the buffer holds no response.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The capacity hint learned from the previous response.
+    pub fn hint(&self) -> usize {
+        self.hint
+    }
+
+    /// Current allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.text.capacity()
+    }
+
+    /// Take the response out, consuming the buffer.
+    pub fn into_string(self) -> String {
+        self.text
+    }
+
+    /// Clear the text and pre-reserve to the learned hint, ready for a
+    /// new response.
+    pub(crate) fn prepare(&mut self) {
+        self.text.clear();
+        if self.text.capacity() < self.hint {
+            self.text.reserve(self.hint - self.text.capacity());
+        }
+    }
+
+    /// Record a completed response of `len` bytes.
+    pub(crate) fn learn(&mut self, len: usize) {
+        self.hint = len;
+    }
+}
+
 /// A bidirectional request/response transport.
 pub trait Transport: Send + Sync {
     /// Bind `handler` at `addr`. The endpoint lives until the returned
@@ -45,4 +109,23 @@ pub trait Transport: Send + Sync {
     /// Perform one exchange: send `request` to `addr`, await the full
     /// response.
     fn fetch(&self, addr: &Addr, request: &str, timeout: Duration) -> Result<String, NetError>;
+
+    /// Like [`Transport::fetch`], but reading into a caller-owned
+    /// reusable buffer. Returns the bytes read. On error the buffer's
+    /// contents are unspecified (the next call clears it).
+    ///
+    /// The default delegates to [`Transport::fetch`]; transports that
+    /// stream (like TCP) override it to reuse `buf`'s allocation and its
+    /// size hint from the previous response.
+    fn fetch_into(
+        &self,
+        addr: &Addr,
+        request: &str,
+        timeout: Duration,
+        buf: &mut FetchBuffer,
+    ) -> Result<usize, NetError> {
+        buf.text = self.fetch(addr, request, timeout)?;
+        buf.learn(buf.text.len());
+        Ok(buf.text.len())
+    }
 }

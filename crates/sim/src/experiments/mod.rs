@@ -11,6 +11,7 @@
 pub mod bandwidth;
 pub mod fig5;
 pub mod fig6;
+pub mod ingest;
 pub mod limits;
 pub mod serving;
 pub mod table1;
@@ -19,6 +20,10 @@ pub mod traffic;
 pub use bandwidth::{run_bandwidth, BandwidthResult};
 pub use fig5::{run_fig5, Fig5Params, Fig5Result, Fig5Telemetry};
 pub use fig6::{run_fig6, Fig6Params, Fig6Result};
+pub use ingest::{
+    baseline_pass, byte_identical, churn_corpus, delta_pass, run_ingest_churn, DeltaTotals,
+    IngestParams, IngestResult, IngestRow,
+};
 pub use limits::{run_limits, LimitsResult, LimitsRow};
 pub use serving::{
     run_serving, run_slow_client_isolation, IsolationResult, ServingParams, ServingResult,

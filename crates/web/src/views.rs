@@ -171,7 +171,7 @@ impl ClusterView {
                     down += 1;
                 }
                 rows.push(HostRow {
-                    name: host.name.clone(),
+                    name: host.name.to_string(),
                     ip: host.ip.clone(),
                     up: host.is_up(),
                     load_one: host.metric("load_one").and_then(|m| m.value.as_f64()),
@@ -216,16 +216,16 @@ impl HostView {
             .metrics
             .iter()
             .map(|m| MetricRow {
-                name: m.name.clone(),
+                name: m.name.to_string(),
                 value: m.value.to_string(),
-                units: m.units.clone(),
+                units: m.units.to_string(),
                 type_name: m.value.metric_type().name().to_string(),
             })
             .collect();
         metrics.sort_by(|a, b| a.name.cmp(&b.name));
         HostView {
             cluster: cluster.to_string(),
-            name: host.name.clone(),
+            name: host.name.to_string(),
             ip: host.ip.clone(),
             up: host.is_up(),
             metrics,
@@ -353,7 +353,7 @@ mod tests {
     fn cluster_view_full_resolution() {
         let mut c = cluster("meteor", 3);
         if let ClusterBody::Hosts(hosts) = &mut c.body {
-            hosts[2].tn = 9999; // down
+            std::sync::Arc::make_mut(&mut hosts[2]).tn = 9999; // down
         }
         let view = ClusterView::from_cluster(&c);
         assert_eq!(view.rows.len(), 3);

@@ -37,6 +37,26 @@ fn needs_escape(b: u8) -> bool {
     matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')
 }
 
+/// Stream `raw` into `sink` with reserved characters escaped, without
+/// building an intermediate `String`. Writes the longest clean run
+/// between reserved characters in one call, so plain input is a single
+/// `write_str`.
+pub fn write_escaped<W: std::fmt::Write>(sink: &mut W, raw: &str) -> std::fmt::Result {
+    let mut rest = raw;
+    while let Some(hit) = rest.bytes().position(needs_escape) {
+        sink.write_str(&rest[..hit])?;
+        sink.write_str(match rest.as_bytes()[hit] {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'"' => "&quot;",
+            _ => "&apos;",
+        })?;
+        rest = &rest[hit + 1..];
+    }
+    sink.write_str(rest)
+}
+
 /// Expand entity and numeric character references in `raw`.
 ///
 /// Supports the five predefined entities (`amp`, `lt`, `gt`, `quot`,
@@ -143,6 +163,15 @@ mod tests {
     fn unescape_rejects_out_of_range_codepoint() {
         assert!(unescape("&#x110000;", 0).is_err());
         assert!(unescape("&#xD800;", 0).is_err()); // surrogate
+    }
+
+    #[test]
+    fn write_escaped_matches_escape() {
+        for raw in ["", "plain", "a&b", "<GRID>", "tick ' tock \" done", "üñí"] {
+            let mut out = String::new();
+            write_escaped(&mut out, raw).unwrap();
+            assert_eq!(out, escape(raw));
+        }
     }
 
     #[test]

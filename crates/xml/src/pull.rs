@@ -61,6 +61,8 @@ impl Event<'_> {
 pub struct PullParser<'a> {
     input: &'a str,
     pos: usize,
+    /// Byte offset where the most recently returned event began.
+    event_start: usize,
     /// Open-element stack (names borrowed from input).
     stack: Vec<&'a str>,
     /// End event synthesized for an `<X/>` empty element.
@@ -77,6 +79,7 @@ impl<'a> PullParser<'a> {
         PullParser {
             input,
             pos: 0,
+            event_start: 0,
             stack: Vec::with_capacity(8),
             pending_end: None,
             saw_root_close: false,
@@ -87,6 +90,17 @@ impl<'a> PullParser<'a> {
     /// Byte offset of the next unread input.
     pub fn offset(&self) -> usize {
         self.pos
+    }
+
+    /// Byte offset where the most recently returned event's markup began
+    /// (the `<` of a tag, the first byte of character data). Together
+    /// with [`PullParser::offset`] after [`PullParser::skip_subtree_raw`],
+    /// this delimits an element's exact byte span in the input — the
+    /// basis for content fingerprinting.
+    ///
+    /// A synthesized end event (for `<X/>`) does not move this offset.
+    pub fn last_event_start(&self) -> usize {
+        self.event_start
     }
 
     /// Current element nesting depth.
@@ -123,10 +137,12 @@ impl<'a> PullParser<'a> {
                 return Ok(None);
             }
             if self.bytes()[self.pos] == b'<' {
+                self.event_start = self.pos;
                 return self.parse_markup().map(Some);
             }
             // Character data up to the next '<'.
             let start = self.pos;
+            self.event_start = start;
             let end = self.input[start..]
                 .find('<')
                 .map(|i| start + i)
@@ -368,6 +384,114 @@ impl<'a> PullParser<'a> {
             }
         }
     }
+
+    /// Like [`PullParser::skip_subtree`], but scanning raw bytes without
+    /// materializing any events or attributes — the zero-allocation path
+    /// the delta-aware ingest uses to delimit a `<HOST>` subtree it is
+    /// about to fingerprint. Quoted attribute values (which may contain
+    /// `>`), comments, CDATA sections, and processing instructions are
+    /// honored; close-tag *names* are not checked against open tags, so a
+    /// balanced-but-mismatched subtree passes here that the event path
+    /// would reject. That is safe for fingerprinting: a span whose hash
+    /// misses the cache is re-parsed through the full event path, which
+    /// performs every well-formedness check.
+    pub fn skip_subtree_raw(&mut self) -> XmlResult<()> {
+        if self.pending_end.take().is_some() {
+            // `<X/>`: the subtree is the empty element itself.
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.saw_root_close = true;
+            }
+            return Ok(());
+        }
+        if self.stack.is_empty() {
+            return Ok(());
+        }
+        let bytes = self.bytes();
+        let mut depth = 1usize;
+        while depth > 0 {
+            let Some(lt) = self.input[self.pos..].find('<') else {
+                self.pos = self.input.len();
+                return self.err(XmlErrorKind::UnexpectedEof("subtree"));
+            };
+            self.pos += lt;
+            let rest = &self.input[self.pos..];
+            if let Some(body) = rest.strip_prefix("<!--") {
+                let Some(end) = body.find("-->") else {
+                    return self.err(XmlErrorKind::UnexpectedEof("comment"));
+                };
+                self.pos += 4 + end + 3;
+            } else if let Some(body) = rest.strip_prefix("<![CDATA[") {
+                let Some(end) = body.find("]]>") else {
+                    return self.err(XmlErrorKind::UnexpectedEof("CDATA section"));
+                };
+                self.pos += 9 + end + 3;
+            } else if let Some(body) = rest.strip_prefix("<?") {
+                let Some(end) = body.find("?>") else {
+                    return self.err(XmlErrorKind::UnexpectedEof("processing instruction"));
+                };
+                self.pos += 2 + end + 2;
+            } else if rest.starts_with("<!") {
+                // Declaration (e.g. a stray DOCTYPE): bracket-aware scan,
+                // mirroring `parse_bang`.
+                let mut brackets = 0usize;
+                let mut closed = false;
+                for (i, b) in bytes[self.pos + 2..].iter().enumerate() {
+                    match b {
+                        b'[' => brackets += 1,
+                        b']' => brackets = brackets.saturating_sub(1),
+                        b'>' if brackets == 0 => {
+                            self.pos += 2 + i + 1;
+                            closed = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if !closed {
+                    return self.err(XmlErrorKind::UnexpectedEof("declaration"));
+                }
+            } else if rest.starts_with("</") {
+                // Close tags cannot contain quotes; scan straight to '>'.
+                let Some(end) = rest.find('>') else {
+                    return self.err(XmlErrorKind::UnexpectedEof("close tag"));
+                };
+                self.pos += end + 1;
+                depth -= 1;
+            } else {
+                // Open tag: skip quoted attribute values, watch for '/>'.
+                let mut i = self.pos + 1;
+                let empty;
+                loop {
+                    match bytes.get(i) {
+                        None => return self.err(XmlErrorKind::UnexpectedEof("start tag")),
+                        Some(&q @ (b'"' | b'\'')) => {
+                            let Some(close) = self.input[i + 1..].find(q as char) else {
+                                self.pos = i;
+                                return self.err(XmlErrorKind::UnexpectedEof("attribute value"));
+                            };
+                            i += 1 + close + 1;
+                        }
+                        Some(b'>') => {
+                            empty = i > self.pos && bytes[i - 1] == b'/';
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                self.pos = i;
+                if !empty {
+                    depth += 1;
+                }
+            }
+        }
+        self.stack.pop();
+        if self.stack.is_empty() {
+            self.saw_root_close = true;
+        }
+        Ok(())
+    }
 }
 
 fn is_name_start(b: u8) -> bool {
@@ -519,6 +643,51 @@ mod tests {
             parser.next_event().unwrap().unwrap().start_name(),
             Some("E")
         );
+    }
+
+    #[test]
+    fn raw_skip_matches_event_skip() {
+        let docs = [
+            "<A><B><C/><D>text</D></B><E/></A>",
+            "<A><B X=\"a>b\" Y='c>d'><C/></B><E/></A>",
+            "<A><B><!-- gt > inside --><![CDATA[ x > y ]]><?pi > ?><C/></B><E/></A>",
+            "<A><B/><E/></A>",
+        ];
+        for doc in docs {
+            let mut parser = PullParser::new(doc);
+            parser.next_event().unwrap(); // <A>
+            parser.next_event().unwrap(); // <B ...>
+            let mut raw = parser.clone();
+            parser.skip_subtree().unwrap();
+            raw.skip_subtree_raw().unwrap();
+            assert_eq!(raw.offset(), parser.offset(), "offset diverged on {doc}");
+            assert_eq!(raw.depth(), parser.depth(), "depth diverged on {doc}");
+            // Both parsers resume identically.
+            assert_eq!(
+                raw.next_event().unwrap().unwrap().start_name(),
+                Some("E"),
+                "resume diverged on {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_skip_rejects_truncated_subtree() {
+        let mut parser = PullParser::new("<A><B><C>");
+        parser.next_event().unwrap();
+        parser.next_event().unwrap();
+        assert!(parser.skip_subtree_raw().is_err());
+    }
+
+    #[test]
+    fn event_span_covers_subtree() {
+        let doc = "<A><B X=\"1\"><C/></B><E/></A>";
+        let mut parser = PullParser::new(doc);
+        parser.next_event().unwrap(); // <A>
+        parser.next_event().unwrap(); // <B>
+        let start = parser.last_event_start();
+        parser.skip_subtree_raw().unwrap();
+        assert_eq!(&doc[start..parser.offset()], "<B X=\"1\"><C/></B>");
     }
 
     #[test]

@@ -8,16 +8,23 @@
 
 use std::fmt::{self, Write};
 
-use crate::escape::escape;
+use crate::escape::{escape, write_escaped};
 
 /// The standard header Ganglia puts in front of every report.
 pub const XML_DECLARATION: &str =
     "<?xml version=\"1.0\" encoding=\"ISO-8859-1\" standalone=\"yes\"?>";
 
 /// A streaming writer over any [`fmt::Write`] sink (typically `String`).
+///
+/// Open-element names live in one shared scratch buffer (`names`) with a
+/// stack of start offsets, so deep documents never allocate a `String`
+/// per element on the render hot path.
 pub struct XmlWriter<'w, W: Write> {
     sink: &'w mut W,
-    stack: Vec<String>,
+    /// Start offsets of open-element names within `names`.
+    stack: Vec<usize>,
+    /// Concatenated open-element names; `stack` delimits them.
+    names: String,
     /// Pretty-print with 2-space indentation when set.
     indent: bool,
     /// Writer is positioned at the start of a fresh line.
@@ -31,6 +38,7 @@ impl<'w, W: Write> XmlWriter<'w, W> {
         XmlWriter {
             sink,
             stack: Vec::new(),
+            names: String::new(),
             indent: false,
             at_line_start: true,
             error: None,
@@ -80,7 +88,8 @@ impl<'w, W: Write> XmlWriter<'w, W> {
         self.put(name);
         self.write_attrs(attrs);
         self.put(">");
-        self.stack.push(name.to_string());
+        self.stack.push(self.names.len());
+        self.names.push_str(name);
     }
 
     /// Emit `<name attr.../>`.
@@ -97,8 +106,13 @@ impl<'w, W: Write> XmlWriter<'w, W> {
             self.put(" ");
             self.put(name);
             self.put("=\"");
-            let escaped = escape(value);
-            self.put(&escaped);
+            if self.error.is_none() {
+                // Streamed escaping: no intermediate String even when a
+                // value does contain reserved characters.
+                if let Err(e) = write_escaped(self.sink, value) {
+                    self.error = Some(e);
+                }
+            }
             self.put("\"");
         }
     }
@@ -109,14 +123,22 @@ impl<'w, W: Write> XmlWriter<'w, W> {
     /// Panics if no element is open — that is a bug in the caller, not a
     /// runtime condition.
     pub fn end_element(&mut self) {
-        let name = self
+        let start = self
             .stack
             .pop()
             .expect("end_element called with no element open");
         self.newline_and_indent();
-        self.put("</");
-        self.put(&name);
-        self.put(">");
+        if self.error.is_none() {
+            let write = self
+                .sink
+                .write_str("</")
+                .and_then(|()| self.sink.write_str(&self.names[start..]))
+                .and_then(|()| self.sink.write_str(">"));
+            if let Err(e) = write {
+                self.error = Some(e);
+            }
+        }
+        self.names.truncate(start);
     }
 
     /// Emit escaped character data inside the current element.

@@ -1,0 +1,102 @@
+//! End-to-end check of the delta-aware ingest path: polling an
+//! unchanged source twice must reuse the cached document and host
+//! nodes (visible through `ingest.*` telemetry), and the served XML
+//! must be byte-identical across the reuse — the cache can never leak
+//! into what a parent or browser sees.
+
+use std::sync::Arc;
+
+use ganglia_core::{DataSourceCfg, Gmetad, GmetadConfig};
+use ganglia_net::{Addr, SimNet, Transport};
+
+fn cluster_xml(name: &str, hosts: usize, load: f64) -> String {
+    let mut xml = format!(
+        "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmond\"><CLUSTER NAME=\"{name}\" LOCALTIME=\"10\">"
+    );
+    for i in 0..hosts {
+        xml.push_str(&format!(
+            "<HOST NAME=\"n{i}\" IP=\"1.1.1.{i}\" REPORTED=\"10\" TN=\"1\" TMAX=\"20\" DMAX=\"0\">\
+             <METRIC NAME=\"load_one\" VAL=\"{load}\" TYPE=\"float\" SLOPE=\"both\" UNITS=\"\" TN=\"1\" TMAX=\"70\" DMAX=\"0\" SOURCE=\"gmond\"/>\
+             <METRIC NAME=\"cpu_num\" VAL=\"2\" TYPE=\"int32\" SLOPE=\"zero\" UNITS=\"CPUs\" TN=\"1\" TMAX=\"1200\" DMAX=\"0\" SOURCE=\"gmond\"/>\
+             </HOST>"
+        ));
+    }
+    xml.push_str("</CLUSTER></GANGLIA_XML>");
+    xml
+}
+
+#[test]
+fn unchanged_rounds_reuse_hosts_and_serve_identical_xml() {
+    let net = SimNet::new(11);
+    // A static body: every poll returns byte-identical XML, like a real
+    // gmond between metric updates.
+    let body = cluster_xml("meteor", 8, 0.5);
+    let _guard = net
+        .serve(&Addr::new("meteor/n0"), {
+            let body = body.clone();
+            Arc::new(move |_: &str| body.clone())
+        })
+        .unwrap();
+    let config = GmetadConfig::new("grid")
+        .with_source(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap());
+    let gmetad = Gmetad::new(config);
+
+    assert!(gmetad.poll_all(&net, 15).iter().all(|r| r.is_ok()));
+    let first_dump = gmetad.query("/");
+
+    let snap = gmetad.registry().snapshot();
+    assert_eq!(
+        snap.counter("ingest.hosts_rebuilt"),
+        Some(8),
+        "cold round parses every host"
+    );
+    assert_eq!(snap.counter("ingest.hosts_reused").unwrap_or(0), 0);
+    // Interning is live: the duplicated metric names/units across the 8
+    // hosts hit the table.
+    assert!(
+        snap.gauge("ingest.intern_hits").unwrap_or(0) > 0,
+        "repeated names across hosts must intern-hit"
+    );
+    assert!(snap.gauge("ingest.atoms_live").unwrap_or(0) > 0);
+
+    // Second round, identical bytes: the whole document is reused.
+    assert!(gmetad.poll_all(&net, 30).iter().all(|r| r.is_ok()));
+    let snap = gmetad.registry().snapshot();
+    assert_eq!(snap.counter("ingest.hosts_rebuilt"), Some(8), "no re-parse");
+    assert_eq!(
+        snap.counter("ingest.hosts_reused"),
+        Some(8),
+        "warm round reuses every host"
+    );
+    assert_eq!(snap.counter("ingest.docs_reused"), Some(1));
+
+    // Behavior invariance: apart from the daemon's own clock on the
+    // enclosing GRID element (render-time, not source data), the dump
+    // after reuse is byte-identical.
+    let second_dump = gmetad.query("/");
+    assert_eq!(
+        first_dump.replace("LOCALTIME=\"15\"", "LOCALTIME=\"30\""),
+        second_dump,
+        "reused snapshot must render byte-identically"
+    );
+
+    // Third round with changed values: only changed hosts rebuild.
+    let changed = cluster_xml("meteor", 8, 1.5);
+    drop(_guard);
+    let _guard2 = net
+        .serve(
+            &Addr::new("meteor/n0"),
+            Arc::new(move |_: &str| changed.clone()),
+        )
+        .unwrap();
+    assert!(gmetad.poll_all(&net, 45).iter().all(|r| r.is_ok()));
+    let snap = gmetad.registry().snapshot();
+    assert_eq!(
+        snap.counter("ingest.hosts_rebuilt"),
+        Some(16),
+        "every host's VAL changed, all rebuild"
+    );
+    let third_dump = gmetad.query("/");
+    assert_ne!(first_dump, third_dump, "changed values must show through");
+    assert!(third_dump.contains("VAL=\"1.5\""));
+}
