@@ -15,7 +15,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use ganglia_metrics::model::{ClusterBody, ClusterNode, GridBody, GridItem, GridNode, SummaryBody};
-use ganglia_rrd::{ConsolidationFn, MetricKey, RrdError, RrdSet, Series};
+use ganglia_rrd::{
+    journal_file_name, scan_and_repair, ConsolidationFn, JournalStats, MetricKey, RrdError, RrdSet,
+    Series,
+};
 use parking_lot::{Mutex, RwLock};
 
 use crate::config::TreeMode;
@@ -36,6 +39,48 @@ pub struct ArchiveShards {
     shards: RwLock<HashMap<String, Arc<Mutex<RrdSet>>>>,
     spec: Option<ArchiveSpecFactory>,
     persist_dir: Option<PathBuf>,
+    /// Front each shard with a write-ahead journal under
+    /// `<persist_dir>/.journal/` (requires a persistence root).
+    journal: bool,
+}
+
+/// Journal/durability status of one shard, for operator tooling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardJournal {
+    /// Journal accounting (durable/pending bytes, commits).
+    pub stats: JournalStats,
+    /// Logical time of the shard's last completed checkpoint.
+    pub last_checkpoint_at: Option<u64>,
+    /// Databases updated since their last checkpoint write.
+    pub dirty: usize,
+}
+
+/// Aggregate outcome of [`ArchiveShards::recover`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArchiveRecovery {
+    /// Shards present after recovery.
+    pub shards: usize,
+    /// Databases loaded from checkpointed `.rrd` files.
+    pub loaded: usize,
+    /// Journal records replayed as new updates.
+    pub replayed: u64,
+    /// Journal records already reflected in checkpointed state.
+    pub noops: u64,
+    /// Journals whose torn tail was dropped (0 or 1 each).
+    pub torn_tails: u64,
+    /// Bytes discarded with torn tails.
+    pub torn_bytes: u64,
+    /// Records that failed to replay for any other reason.
+    pub errors: u64,
+}
+
+/// Aggregate progress of an incremental checkpoint pass over shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointTotals {
+    /// RRD files written (each atomically) by this pass.
+    pub files_written: usize,
+    /// Dirty databases still awaiting a write across all shards.
+    pub remaining: usize,
 }
 
 impl ArchiveShards {
@@ -46,10 +91,31 @@ impl ArchiveShards {
             shards: RwLock::new(HashMap::new()),
             spec,
             persist_dir,
+            journal: false,
         }
     }
 
-    fn build_set(&self) -> RrdSet {
+    /// Enable (or disable) journaled persistence for shards created
+    /// after this call. No effect without a persistence root.
+    pub fn with_journal(mut self, journal: bool) -> ArchiveShards {
+        self.journal = journal && self.persist_dir.is_some();
+        self
+    }
+
+    /// Whether shards journal their updates.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal
+    }
+
+    /// The `.journal/` spool directory, when journaling is on.
+    pub fn journal_dir(&self) -> Option<PathBuf> {
+        if !self.journal {
+            return None;
+        }
+        self.persist_dir.as_ref().map(|dir| dir.join(".journal"))
+    }
+
+    fn build_set(&self, source: &str) -> RrdSet {
         let mut set = match &self.spec {
             Some(factory) => {
                 let factory = Arc::clone(factory);
@@ -59,6 +125,9 @@ impl ArchiveShards {
         };
         if let Some(dir) = &self.persist_dir {
             set = set.persist_to(dir.clone());
+            if self.journal {
+                set = set.journal_to(dir.join(".journal").join(journal_file_name(source)), source);
+            }
         }
         set
     }
@@ -71,7 +140,7 @@ impl ArchiveShards {
         let mut shards = self.shards.write();
         let shard = shards
             .entry(source.to_string())
-            .or_insert_with(|| Arc::new(Mutex::new(self.build_set())));
+            .or_insert_with(|| Arc::new(Mutex::new(self.build_set(source))));
         Arc::clone(shard)
     }
 
@@ -80,11 +149,15 @@ impl ArchiveShards {
         self.shards.read().get(source).map(Arc::clone)
     }
 
-    /// Drop `source`'s shard (expired or removed source). Returns the
-    /// number of archives dropped with it.
+    /// Drop `source`'s shard (expired or removed source), deleting its
+    /// journal file with it. Returns the number of archives dropped.
     pub fn remove(&self, source: &str) -> usize {
         match self.shards.write().remove(source) {
-            Some(shard) => shard.lock().len(),
+            Some(shard) => {
+                let mut set = shard.lock();
+                let _ = set.discard_journal();
+                set.len()
+            }
             None => 0,
         }
     }
@@ -144,6 +217,198 @@ impl ArchiveShards {
             flushed += shard.lock().flush()?;
         }
         Ok(flushed)
+    }
+
+    /// Shards sorted by source name, for deterministic sweeps.
+    fn sorted_shards(&self) -> Vec<(String, Arc<Mutex<RrdSet>>)> {
+        let mut shards: Vec<(String, Arc<Mutex<RrdSet>>)> = self
+            .shards
+            .read()
+            .iter()
+            .map(|(name, shard)| (name.clone(), Arc::clone(shard)))
+            .collect();
+        shards.sort_by(|a, b| a.0.cmp(&b.0));
+        shards
+    }
+
+    /// Group-commit every shard's pending journal records. Returns the
+    /// total bytes made durable.
+    pub fn commit_journals(&self) -> Result<u64, RrdError> {
+        let mut bytes = 0;
+        for (_, shard) in self.sorted_shards() {
+            bytes += shard.lock().commit_journal()?;
+        }
+        Ok(bytes)
+    }
+
+    /// Checkpoint every shard: write all dirty databases atomically,
+    /// then truncate each journal. Returns RRD files written.
+    pub fn checkpoint(&self, now: u64) -> Result<usize, RrdError> {
+        let totals = self.checkpoint_partial(now, usize::MAX)?;
+        Ok(totals.files_written)
+    }
+
+    /// Checkpoint at most `max_files` dirty databases across shards (in
+    /// shard-name then key order). A pass that does not finish a shard
+    /// leaves that shard's journal untouched — crash-safe by
+    /// construction, and also the fault-injection point the crash sim
+    /// uses to model dying mid-checkpoint.
+    pub fn checkpoint_partial(
+        &self,
+        now: u64,
+        max_files: usize,
+    ) -> Result<CheckpointTotals, RrdError> {
+        let mut totals = CheckpointTotals::default();
+        let mut budget = max_files;
+        for (_, shard) in self.sorted_shards() {
+            let mut set = shard.lock();
+            if budget > 0 {
+                let progress = set.checkpoint_partial(now, budget)?;
+                totals.files_written += progress.files_written;
+                budget -= progress.files_written.min(budget);
+            }
+            totals.remaining += set.dirty_count();
+        }
+        Ok(totals)
+    }
+
+    /// Journal status for one shard, if it exists and journals.
+    pub fn shard_journal(&self, source: &str) -> Option<ShardJournal> {
+        let shard = self.get(source)?;
+        let set = shard.lock();
+        Some(ShardJournal {
+            stats: set.journal_stats()?,
+            last_checkpoint_at: set.last_checkpoint_at(),
+            dirty: set.dirty_count(),
+        })
+    }
+
+    /// Aggregate journal accounting across every shard.
+    pub fn journal_totals(&self) -> JournalStats {
+        let mut totals = JournalStats::default();
+        for shard in self.shards.read().values() {
+            if let Some(stats) = shard.lock().journal_stats() {
+                totals.durable_bytes += stats.durable_bytes;
+                totals.pending_bytes += stats.pending_bytes;
+                totals.pending_records += stats.pending_records;
+                totals.commits += stats.commits;
+            }
+        }
+        totals
+    }
+
+    /// Every archived key across every shard.
+    pub fn keys(&self) -> Vec<MetricKey> {
+        let mut keys = Vec::new();
+        for shard in self.shards.read().values() {
+            keys.extend(shard.lock().keys().cloned());
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Rebuild in-memory state from disk after a restart: load every
+    /// checkpointed `.rrd` file, then scan each shard journal (dropping
+    /// any torn tail at the first bad CRC) and replay the surviving
+    /// records idempotently on top.
+    ///
+    /// Shards are resurrected from journal headers — each `.wal` file
+    /// names its source — so even a shard that crashed before its first
+    /// checkpoint comes back. Checkpointed directories are mapped back
+    /// to shards by sanitized-name match, with nested (`a/b`) sources
+    /// folding into their owning shard.
+    pub fn recover(&self) -> Result<ArchiveRecovery, RrdError> {
+        let mut report = ArchiveRecovery::default();
+        let Some(root) = self.persist_dir.clone() else {
+            return Ok(report);
+        };
+
+        // 1. Scan journals first: headers name the shards that existed.
+        let mut scans: Vec<(String, ganglia_rrd::JournalScan)> = Vec::new();
+        if self.journal {
+            let journal_dir = root.join(".journal");
+            let entries = match std::fs::read_dir(&journal_dir) {
+                Ok(entries) => Some(entries),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries.into_iter().flatten() {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+                    continue;
+                }
+                let scan = scan_and_repair(&path)?;
+                report.torn_tails += u64::from(scan.torn());
+                report.torn_bytes += scan.torn_bytes;
+                match &scan.label {
+                    Some(label) => {
+                        let label = label.clone();
+                        self.shard(&label); // resurrect the shard
+                        scans.push((label, scan));
+                    }
+                    None => {
+                        // Header unreadable: nothing attributable to
+                        // replay. The file stays for manual forensics.
+                    }
+                }
+            }
+        }
+
+        // 2. Load checkpointed files, routing each source directory to
+        // the shard that owns it.
+        let entries = match std::fs::read_dir(&root) {
+            Ok(entries) => Some(entries),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries.into_iter().flatten() {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let dir_name = entry.file_name().to_string_lossy().into_owned();
+            if dir_name.starts_with('.') {
+                continue; // the journal spool, not a source
+            }
+            let owner = self.owning_shard_label(&dir_name);
+            let shard = self.shard(&owner);
+            report.loaded += shard.lock().load_source_dir(&entry.path())?;
+        }
+
+        // 3. Replay journals on top of the checkpointed baseline.
+        for (label, scan) in scans {
+            let shard = self.shard(&label);
+            let mut set = shard.lock();
+            let stats = ganglia_rrd::replay(&mut set, &scan.records);
+            set.sync_journal()?;
+            report.replayed += stats.applied;
+            report.noops += stats.noops;
+            report.errors += stats.errors;
+        }
+        report.shards = self.shards.read().len();
+        Ok(report)
+    }
+
+    /// Which shard owns the on-disk source directory `dir_name`: the
+    /// shard whose sanitized label matches exactly, else (for 1-level
+    /// nested sources like `ucsd/phys` → `ucsd_phys`) the longest shard
+    /// whose sanitized label is a `_`-joined prefix, else a new shard
+    /// named after the directory itself.
+    fn owning_shard_label(&self, dir_name: &str) -> String {
+        let shards = self.shards.read();
+        let mut best: Option<&String> = None;
+        for label in shards.keys() {
+            let sanitized = ganglia_rrd::sanitize(label);
+            if sanitized == dir_name {
+                return label.clone();
+            }
+            if dir_name.starts_with(&format!("{sanitized}_"))
+                && best.is_none_or(|b| label.len() > b.len())
+            {
+                best = Some(label);
+            }
+        }
+        best.cloned().unwrap_or_else(|| dir_name.to_string())
     }
 }
 

@@ -82,6 +82,27 @@ fn main() -> ExitCode {
 
     let transport = TcpTransport::new();
     let daemon = Gmetad::new(parsed.config);
+    if daemon.archive_journal_enabled() {
+        // Crash recovery: rebuild from checkpointed files plus the
+        // journal, dropping any torn tail left by a mid-write crash.
+        match daemon.recover_archives() {
+            Ok(report) => eprintln!(
+                "gmetad: archive recovery: {} shard(s), {} file(s) loaded, \
+                 {} journal record(s) replayed ({} already checkpointed), \
+                 {} torn tail(s) dropped ({}B)",
+                report.shards,
+                report.loaded,
+                report.replayed,
+                report.noops,
+                report.torn_tails,
+                report.torn_bytes,
+            ),
+            Err(e) => {
+                eprintln!("gmetad: archive recovery failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // Both services run through the serving front tier: a worker pool
     // per port, one shared registry, cache keyed by the store revision.
     let interactive_bind = Addr::new(format!("{}:{}", parsed.bind, parsed.interactive_port));
@@ -126,20 +147,30 @@ fn main() -> ExitCode {
             }
         }
         dump_stats(&daemon);
-        let _ = daemon.flush_archives();
+        if daemon.archive_journal_enabled() {
+            // Leave a clean checkpoint behind rather than a journal to
+            // replay on the next start.
+            let _ = daemon.checkpoint_archives(now);
+        } else {
+            let _ = daemon.flush_archives();
+        }
         println!("{}", daemon.query("/?filter=summary"));
         return ExitCode::SUCCESS;
     }
 
-    // Run until killed; flush archives after every round.
+    // Run until killed. Journal mode commits and checkpoints on its own
+    // cadence inside the poll round; legacy mode rewrites every archive
+    // after each round.
     let stop = Arc::new(AtomicBool::new(false));
     let transport_arc: Arc<dyn Transport> = Arc::new(transport);
     let handle = Arc::clone(&daemon).run_background(transport_arc, Arc::clone(&stop));
     let flush_interval = std::time::Duration::from_secs(daemon.config().poll_interval.max(1));
     loop {
         std::thread::sleep(flush_interval);
-        if let Err(e) = daemon.flush_archives() {
-            eprintln!("gmetad: archive flush failed: {e}");
+        if !daemon.archive_journal_enabled() {
+            if let Err(e) = daemon.flush_archives() {
+                eprintln!("gmetad: archive flush failed: {e}");
+            }
         }
         if stop.load(Ordering::SeqCst) {
             break;
@@ -154,7 +185,25 @@ fn main() -> ExitCode {
 /// data, with a telemetry totals row closing the table.
 fn dump_stats(daemon: &Gmetad) {
     let telemetry = daemon.telemetry_snapshot();
-    let mut rows: Vec<[String; 8]> = daemon
+    let now = daemon.clock();
+    // Per-source journal/durability status: bytes awaiting fsync plus
+    // the age of the last completed checkpoint. "-" when not journaling.
+    let journal_cell = |source: &str| -> String {
+        if !daemon.archive_journal_enabled() {
+            return "-".to_string();
+        }
+        match daemon.archive_journal_stats(source) {
+            Some(shard) => {
+                let age = match shard.last_checkpoint_at {
+                    Some(at) => format!("{}s", now.saturating_sub(at)),
+                    None => "never".to_string(),
+                };
+                format!("{}B cp:{age}", shard.stats.pending_bytes)
+            }
+            None => "-".to_string(),
+        }
+    };
+    let mut rows: Vec<[String; 9]> = daemon
         .poller_stats()
         .iter()
         .map(|row| {
@@ -168,6 +217,7 @@ fn dump_stats(daemon: &Gmetad) {
                 row.breaker.to_string(),
                 row.phase
                     .map_or_else(|| "no-data".to_string(), |p| p.to_string()),
+                journal_cell(&row.name),
             ]
         })
         .collect();
@@ -195,6 +245,15 @@ fn dump_stats(daemon: &Gmetad) {
             "fetch_p99={fetch_p99_us}us in={}B",
             telemetry.counter("bytes_in_total").unwrap_or(0)
         ),
+        if daemon.archive_journal_enabled() {
+            let totals = daemon.archive_journal_totals();
+            format!(
+                "{}B pending ({} commits)",
+                totals.pending_bytes, totals.commits
+            )
+        } else {
+            "-".to_string()
+        },
     ]);
     let headers = [
         "SOURCE",
@@ -205,6 +264,7 @@ fn dump_stats(daemon: &Gmetad) {
         "CONSECF",
         "BREAKER",
         "PHASE",
+        "JOURNAL",
     ];
     let widths: Vec<usize> = headers
         .iter()
@@ -217,10 +277,10 @@ fn dump_stats(daemon: &Gmetad) {
                 .unwrap_or(0)
         })
         .collect();
-    let render = |cells: &[String; 8]| {
+    let render = |cells: &[String; 9]| {
         // Columns 1–5 are numeric: right-aligned.
         format!(
-            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:>w5$} {:<w6$} {}",
+            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:>w5$} {:<w6$} {:<w7$} {}",
             cells[0],
             cells[1],
             cells[2],
@@ -229,6 +289,7 @@ fn dump_stats(daemon: &Gmetad) {
             cells[5],
             cells[6],
             cells[7],
+            cells[8],
             w0 = widths[0],
             w1 = widths[1],
             w2 = widths[2],
@@ -236,6 +297,7 @@ fn dump_stats(daemon: &Gmetad) {
             w4 = widths[4],
             w5 = widths[5],
             w6 = widths[6],
+            w7 = widths[7],
         )
     };
     eprintln!("{}", render(&headers.map(String::from)));

@@ -253,6 +253,26 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
                     }
                 };
             }
+            "archive_journal" => {
+                let [value] = args else {
+                    return Err(err("archive_journal takes one value (on/off)".into()));
+                };
+                config.archive_journal = match value.as_str() {
+                    "on" | "yes" | "true" | "1" => true,
+                    "off" | "no" | "false" | "0" => false,
+                    other => {
+                        return Err(err(format!(
+                            "bad archive_journal value {other:?} (use \"on\" or \"off\")"
+                        )))
+                    }
+                };
+            }
+            "archive_flush_ms" => {
+                config.archive_flush_ms = parse_u64_arg(directive, args, &err)?;
+            }
+            "archive_checkpoint_secs" => {
+                config.archive_checkpoint_secs = parse_u64_arg(directive, args, &err)?;
+            }
             other => {
                 return Err(err(format!("unknown directive {other:?}")));
             }
@@ -498,6 +518,30 @@ fetch_timeout_secs 5
         assert!(parse_conf("gridname \"X\"\npoll_concurrency zap\n").is_err());
         assert!(parse_conf("gridname \"X\"\npoll_concurrency\n").is_err());
         assert!(parse_conf("gridname \"X\"\nround_deadline_secs -3\n").is_err());
+    }
+
+    #[test]
+    fn archive_journal_knobs_parse_and_default_off() {
+        let defaults = parse_conf("gridname \"X\"\n").unwrap().config;
+        assert!(!defaults.archive_journal, "journal is opt-in");
+        assert_eq!(defaults.archive_flush_ms, 1000);
+        assert_eq!(defaults.archive_checkpoint_secs, 300);
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             archive_journal on\n\
+             archive_flush_ms 0\n\
+             archive_checkpoint_secs 60\n",
+        )
+        .unwrap();
+        assert!(parsed.config.archive_journal);
+        assert_eq!(parsed.config.archive_flush_ms, 0);
+        assert_eq!(parsed.config.archive_checkpoint_secs, 60);
+        let off = parse_conf("gridname \"X\"\narchive_journal no\n").unwrap();
+        assert!(!off.config.archive_journal);
+        assert!(parse_conf("gridname \"X\"\narchive_journal maybe\n").is_err());
+        assert!(parse_conf("gridname \"X\"\narchive_journal\n").is_err());
+        assert!(parse_conf("gridname \"X\"\narchive_flush_ms fast\n").is_err());
+        assert!(parse_conf("gridname \"X\"\narchive_checkpoint_secs -1\n").is_err());
     }
 
     #[test]

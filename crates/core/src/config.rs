@@ -118,6 +118,21 @@ pub struct GmetadConfig {
     /// deadline instead of stalling the round. `0` (the default)
     /// disables the budget.
     pub round_deadline_secs: u64,
+    /// Crash-safe archive persistence: append updates to a per-shard
+    /// write-ahead journal (group-committed) and rewrite the fixed-size
+    /// `.rrd` files only at checkpoints, instead of rewriting every
+    /// file on every flush. Requires `ArchiveMode::Directory`; off by
+    /// default (legacy rewrite-per-flush behaviour).
+    pub archive_journal: bool,
+    /// Group-commit cadence for the archive journal, in milliseconds:
+    /// pending journal records are fsynced once at the end of any poll
+    /// round at least this long after the previous commit. `0` commits
+    /// every round. Ignored unless `archive_journal` is on.
+    pub archive_flush_ms: u64,
+    /// Seconds between archive checkpoints (atomic `.rrd` rewrites plus
+    /// journal truncation). `0` checkpoints every round. Ignored unless
+    /// `archive_journal` is on.
+    pub archive_checkpoint_secs: u64,
 }
 
 impl GmetadConfig {
@@ -137,6 +152,9 @@ impl GmetadConfig {
             self_telemetry: false,
             poll_concurrency: 0,
             round_deadline_secs: 0,
+            archive_journal: false,
+            archive_flush_ms: 1000,
+            archive_checkpoint_secs: 300,
         }
     }
 
@@ -197,6 +215,26 @@ impl GmetadConfig {
     /// Builder-style: set the per-round wall-clock budget (`0` = off).
     pub fn with_round_deadline_secs(mut self, secs: u64) -> Self {
         self.round_deadline_secs = secs;
+        self
+    }
+
+    /// Builder-style: enable or disable the archive write-ahead journal.
+    pub fn with_archive_journal(mut self, enabled: bool) -> Self {
+        self.archive_journal = enabled;
+        self
+    }
+
+    /// Builder-style: set the journal group-commit cadence in
+    /// milliseconds (`0` = commit every round).
+    pub fn with_archive_flush_ms(mut self, ms: u64) -> Self {
+        self.archive_flush_ms = ms;
+        self
+    }
+
+    /// Builder-style: set the checkpoint cadence in seconds (`0` =
+    /// checkpoint every round).
+    pub fn with_archive_checkpoint_secs(mut self, secs: u64) -> Self {
+        self.archive_checkpoint_secs = secs;
         self
     }
 }

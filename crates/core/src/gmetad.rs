@@ -28,7 +28,9 @@ use ganglia_rrd::{ConsolidationFn, MetricKey, Series};
 use ganglia_serve::{FrontTier, ServeOptions};
 use ganglia_telemetry::{LogicalClock, Registry, Snapshot, Tracer};
 
-use crate::archive::{archive_source, write_unknowns, ArchiveShards};
+use crate::archive::{
+    archive_source, write_unknowns, ArchiveRecovery, ArchiveShards, CheckpointTotals, ShardJournal,
+};
 use crate::config::{ArchiveMode, GmetadConfig};
 use crate::error::GmetadError;
 use crate::health::BreakerState;
@@ -85,7 +87,16 @@ pub struct Gmetad {
     /// `queries_total` at the end of the previous round, for the
     /// `self.queries_per_round` delta.
     queries_at_last_round: AtomicU64,
+    /// Logical time of the last journal group-commit (journal mode).
+    last_commit_at: AtomicU64,
+    /// Logical time of the last archive checkpoint (journal mode).
+    last_checkpoint_at: AtomicU64,
 }
+
+/// A poll worker group-commits its shard's journal early once this many
+/// bytes are pending, bounding the window one fsync covers; smaller
+/// batches wait for the round-end commit.
+const INLINE_COMMIT_BYTES: u64 = 1 << 20;
 
 impl Gmetad {
     /// Assemble a daemon from its configuration.
@@ -114,7 +125,7 @@ impl Gmetad {
         let tracer = Tracer::new(Arc::clone(&registry), logical_clock.clone()).with_event_log(256);
         Arc::new(Gmetad {
             store: Store::new(),
-            archives: ArchiveShards::new(spec, persist_dir),
+            archives: ArchiveShards::new(spec, persist_dir).with_journal(config.archive_journal),
             meter: Arc::new(WorkMeter::with_registry(Arc::clone(&registry))),
             pollers: RwLock::new(pollers),
             clock: AtomicU64::new(0),
@@ -122,6 +133,8 @@ impl Gmetad {
             tracer,
             logical_clock,
             queries_at_last_round: AtomicU64::new(0),
+            last_commit_at: AtomicU64::new(0),
+            last_checkpoint_at: AtomicU64::new(0),
             config,
         })
     }
@@ -243,6 +256,31 @@ impl Gmetad {
         self.registry
             .gauge("ingest.intern_misses")
             .set(interning.misses);
+        if self.archives.journal_enabled() {
+            // Group commit: one fsync per shard covers the whole round's
+            // updates, on the configured cadence (0 = every round). The
+            // checkpoint applies journaled updates to the fixed-size
+            // `.rrd` files and truncates the journals; both cadences run
+            // on the logical clock so simulated rounds are deterministic.
+            let last_commit = self.last_commit_at.load(Ordering::Relaxed);
+            if now.saturating_sub(last_commit).saturating_mul(1000) >= self.config.archive_flush_ms
+            {
+                let _ = self.commit_archive_journal();
+                self.last_commit_at.store(now, Ordering::Relaxed);
+            }
+            let last_checkpoint = self.last_checkpoint_at.load(Ordering::Relaxed);
+            if now.saturating_sub(last_checkpoint) >= self.config.archive_checkpoint_secs {
+                let _ = self.checkpoint_archives(now);
+                self.last_checkpoint_at.store(now, Ordering::Relaxed);
+            }
+            let totals = self.archives.journal_totals();
+            self.registry
+                .gauge("archive.journal_bytes")
+                .set(totals.durable_bytes);
+            self.registry
+                .gauge("archive.journal_pending_bytes")
+                .set(totals.pending_bytes);
+        }
         if self.config.self_telemetry {
             self.publish_self(now);
         }
@@ -289,6 +327,23 @@ impl Gmetad {
                     self.meter.time(WorkCategory::Archive, || {
                         archive_source(&mut set, &state, self.config.tree_mode, now)
                     });
+                    // A very large source can outgrow the round-end group
+                    // commit; fsync its shard early so the pending batch
+                    // stays bounded. Other shards are untouched.
+                    if set.journal_pending_bytes() >= INLINE_COMMIT_BYTES {
+                        let commit_start = Instant::now();
+                        match set.commit_journal() {
+                            Ok(_) => {
+                                self.registry.counter("archive.journal_commits_total").inc();
+                                self.registry
+                                    .histogram("archive.journal_commit_us")
+                                    .record_duration(commit_start.elapsed());
+                            }
+                            Err(_) => {
+                                self.registry.counter("archive.journal_errors_total").inc();
+                            }
+                        }
+                    }
                 }
                 self.store.replace(state);
                 Ok(())
@@ -435,6 +490,11 @@ impl Gmetad {
                 "updates",
             ),
             metric("self.archives", self.archive_count() as f64, "archives"),
+            metric(
+                "self.archive_journal_bytes",
+                snap.gauge("archive.journal_bytes").unwrap_or(0) as f64,
+                "bytes",
+            ),
             metric(
                 "self.sources",
                 snap.gauge("sources").unwrap_or(0) as f64,
@@ -613,6 +673,85 @@ impl Gmetad {
     /// Flush archives to disk if a persistence directory is configured.
     pub fn flush_archives(&self) -> Result<usize, ganglia_rrd::RrdError> {
         self.archives.flush()
+    }
+
+    /// Whether the archive tier journals updates (requires both
+    /// `archive_journal on` and a persistence directory).
+    pub fn archive_journal_enabled(&self) -> bool {
+        self.archives.journal_enabled()
+    }
+
+    /// Rebuild archive state from disk after a restart: load every
+    /// checkpointed `.rrd` file, drop any torn journal tail at the first
+    /// bad CRC, and replay surviving journal records idempotently.
+    pub fn recover_archives(&self) -> Result<ArchiveRecovery, ganglia_rrd::RrdError> {
+        let report = self.archives.recover()?;
+        self.registry
+            .counter("archive.replayed_total")
+            .add(report.replayed);
+        self.registry
+            .counter("archive.torn_tails_total")
+            .add(report.torn_tails);
+        Ok(report)
+    }
+
+    /// Group-commit every shard's pending journal records (one fsync per
+    /// shard). Returns the bytes made durable.
+    pub fn commit_archive_journal(&self) -> Result<u64, ganglia_rrd::RrdError> {
+        let commit_start = Instant::now();
+        match self.archives.commit_journals() {
+            Ok(bytes) => {
+                self.registry.counter("archive.journal_commits_total").inc();
+                self.registry
+                    .histogram("archive.journal_commit_us")
+                    .record_duration(commit_start.elapsed());
+                Ok(bytes)
+            }
+            Err(e) => {
+                self.registry.counter("archive.journal_errors_total").inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Checkpoint every shard: atomically rewrite all dirty `.rrd` files
+    /// and truncate the journals. Returns the files written.
+    pub fn checkpoint_archives(&self, now: u64) -> Result<usize, ganglia_rrd::RrdError> {
+        let checkpoint_start = Instant::now();
+        let files = self.archives.checkpoint(now)?;
+        self.registry.counter("archive.checkpoints_total").inc();
+        self.registry
+            .counter("archive.checkpoint_files_total")
+            .add(files as u64);
+        self.registry
+            .histogram("archive.checkpoint_us")
+            .record_duration(checkpoint_start.elapsed());
+        Ok(files)
+    }
+
+    /// Checkpoint at most `max_files` dirty databases (incremental I/O
+    /// bound; a shard's journal is truncated only once it fully drains).
+    pub fn checkpoint_archives_partial(
+        &self,
+        now: u64,
+        max_files: usize,
+    ) -> Result<CheckpointTotals, ganglia_rrd::RrdError> {
+        self.archives.checkpoint_partial(now, max_files)
+    }
+
+    /// Every archived metric key, sorted (crash-consistency audits).
+    pub fn archive_keys(&self) -> Vec<MetricKey> {
+        self.archives.keys()
+    }
+
+    /// Journal/durability status of one source's shard.
+    pub fn archive_journal_stats(&self, source: &str) -> Option<ShardJournal> {
+        self.archives.shard_journal(source)
+    }
+
+    /// Aggregate journal accounting across every shard.
+    pub fn archive_journal_totals(&self) -> ganglia_rrd::JournalStats {
+        self.archives.journal_totals()
     }
 
     /// Per-source poller statistics and health.

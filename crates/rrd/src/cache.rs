@@ -11,15 +11,17 @@
 //! work; persistence to a directory tree is optional (the paper ran the
 //! archives on tmpfs to isolate CPU cost from disk I/O, §4.1).
 
-use std::collections::HashMap;
-use std::path::PathBuf;
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 
 use crate::error::RrdError;
+use crate::journal::{Journal, JournalRecord, JournalStats};
+use crate::recover::{replay, scan_and_repair, ReplayStats};
 use crate::rrd::{Rrd, Series};
 use crate::spec::{ganglia_default_spec, ConsolidationFn, RrdSpec};
 
 /// Identifies one archived time series.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MetricKey {
     /// Data source (cluster or grid) name.
     pub source: String,
@@ -69,7 +71,9 @@ impl MetricKey {
 }
 
 /// Replace path-hostile characters so keys map to safe file names.
-fn sanitize(part: &str) -> String {
+/// Public because shard recovery needs to map source labels back to
+/// the directory names [`MetricKey::rel_path`] produced.
+pub fn sanitize(part: &str) -> String {
     part.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
@@ -93,10 +97,43 @@ pub struct RrdSet {
     make_spec: SpecFactory,
     /// Persist databases under this directory when set.
     root: Option<PathBuf>,
+    /// Write-ahead journal fronting the persistence root, when enabled.
+    journal: Option<Journal>,
+    /// Keys updated since their database was last checkpointed. Ordered
+    /// so incremental checkpoints walk files deterministically.
+    dirty: BTreeSet<MetricKey>,
+    /// Logical time of the last completed checkpoint.
+    last_checkpoint_at: Option<u64>,
     /// Total updates across all databases (archiving work done).
     update_count: u64,
     /// Databases created over the set's lifetime.
     create_count: u64,
+}
+
+/// Progress of an incremental checkpoint pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointProgress {
+    /// Files written (atomically) by this pass.
+    pub files_written: usize,
+    /// Dirty databases still awaiting a write.
+    pub remaining: usize,
+    /// Whether the journal was truncated (all dirty state persisted).
+    pub completed: bool,
+}
+
+/// Outcome of [`RrdSet::recover`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SetRecovery {
+    /// Databases loaded from `.rrd` files.
+    pub loaded: usize,
+    /// Journal records replayed as new updates.
+    pub replayed: u64,
+    /// Journal records skipped as already applied.
+    pub noops: u64,
+    /// 1 if a torn journal tail was found and dropped.
+    pub torn_tails: u64,
+    /// Bytes discarded with the torn tail.
+    pub torn_bytes: u64,
 }
 
 impl Default for RrdSet {
@@ -112,6 +149,9 @@ impl RrdSet {
             databases: HashMap::new(),
             make_spec: Box::new(|key, start| ganglia_default_spec(key.metric.clone(), start)),
             root: None,
+            journal: None,
+            dirty: BTreeSet::new(),
+            last_checkpoint_at: None,
             update_count: 0,
             create_count: 0,
         }
@@ -133,11 +173,49 @@ impl RrdSet {
         self
     }
 
+    /// Front the persistence root with a write-ahead journal at `path`,
+    /// labelled with the owning shard's source name. With a journal
+    /// attached, updates are made durable by [`RrdSet::commit_journal`]
+    /// (group commit) and `.rrd` files are only rewritten by
+    /// [`RrdSet::checkpoint`]. Requires a persistence root to be of any
+    /// durable use.
+    pub fn journal_to(mut self, path: impl Into<PathBuf>, label: impl Into<String>) -> Self {
+        self.journal = Some(Journal::new(path, label));
+        self
+    }
+
+    /// Whether a journal is attached.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
     /// Update (creating if necessary) the database for `key`.
     ///
     /// A `NAN` value records an explicitly unknown sample — the "zero
     /// record" gmetad keeps while a monitored host is down (§3.1).
+    /// With a journal attached, every accepted update is also buffered
+    /// as a journal record; it becomes durable at the next group
+    /// commit.
     pub fn update(&mut self, key: &MetricKey, t: u64, value: f64) -> Result<(), RrdError> {
+        self.apply_unjournaled(key, t, value)?;
+        if let Some(journal) = &mut self.journal {
+            journal.append(&JournalRecord {
+                key: key.clone(),
+                ts: t,
+                value,
+            });
+        }
+        Ok(())
+    }
+
+    /// Apply an update without journaling it — the replay path, and the
+    /// shared core of [`RrdSet::update`]. Marks the database dirty.
+    pub fn apply_unjournaled(
+        &mut self,
+        key: &MetricKey,
+        t: u64,
+        value: f64,
+    ) -> Result<(), RrdError> {
         let rrd = match self.databases.get_mut(key) {
             Some(rrd) => rrd,
             None => {
@@ -150,6 +228,7 @@ impl RrdSet {
         };
         rrd.update(t, &[value])?;
         self.update_count += 1;
+        self.dirty.insert(key.clone());
         Ok(())
     }
 
@@ -198,6 +277,11 @@ impl RrdSet {
 
     /// Write every database to the persistence root, if one is set.
     /// Returns the number of files written.
+    ///
+    /// This is the legacy rewrite-everything path (and the baseline the
+    /// `repro_archive` bench measures against); journaled sets persist
+    /// through [`RrdSet::commit_journal`] + [`RrdSet::checkpoint`]
+    /// instead.
     pub fn flush(&self) -> Result<usize, RrdError> {
         let Some(root) = &self.root else {
             return Ok(0);
@@ -206,6 +290,119 @@ impl RrdSet {
             crate::file::save(rrd, &root.join(key.rel_path()))?;
         }
         Ok(self.databases.len())
+    }
+
+    /// Group-commit buffered journal records (one write + one fsync).
+    /// Returns bytes made durable; `Ok(0)` when no journal is attached
+    /// or nothing was pending.
+    pub fn commit_journal(&mut self) -> Result<u64, RrdError> {
+        match &mut self.journal {
+            Some(journal) => journal.commit(),
+            None => Ok(0),
+        }
+    }
+
+    /// Journal accounting, if a journal is attached.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats())
+    }
+
+    /// Bytes buffered in the journal awaiting the next commit.
+    pub fn journal_pending_bytes(&self) -> u64 {
+        self.journal.as_ref().map_or(0, |j| j.pending_bytes())
+    }
+
+    /// Logical time of the last completed checkpoint.
+    pub fn last_checkpoint_at(&self) -> Option<u64> {
+        self.last_checkpoint_at
+    }
+
+    /// Number of databases with updates not yet checkpointed to disk.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Checkpoint every dirty database to the persistence root, then
+    /// truncate the journal. Returns the number of files written.
+    pub fn checkpoint(&mut self, now: u64) -> Result<usize, RrdError> {
+        let progress = self.checkpoint_partial(now, usize::MAX)?;
+        Ok(progress.files_written)
+    }
+
+    /// Checkpoint at most `max_files` dirty databases (in key order),
+    /// each via atomic write-temp → fsync → rename → fsync(dir). Only
+    /// when *no* dirty databases remain is the journal truncated and
+    /// the checkpoint time recorded — a crash mid-pass leaves the
+    /// journal intact, so replay still reconstructs everything.
+    pub fn checkpoint_partial(
+        &mut self,
+        now: u64,
+        max_files: usize,
+    ) -> Result<CheckpointProgress, RrdError> {
+        let Some(root) = self.root.clone() else {
+            return Ok(CheckpointProgress::default());
+        };
+        let batch: Vec<MetricKey> = self.dirty.iter().take(max_files).cloned().collect();
+        let mut files_written = 0;
+        for key in &batch {
+            if let Some(rrd) = self.databases.get(key) {
+                crate::file::save(rrd, &root.join(key.rel_path()))?;
+                files_written += 1;
+            }
+            self.dirty.remove(key);
+        }
+        let completed = self.dirty.is_empty();
+        if completed {
+            if let Some(journal) = &mut self.journal {
+                journal.truncate()?;
+            }
+            self.last_checkpoint_at = Some(now);
+        }
+        Ok(CheckpointProgress {
+            files_written,
+            remaining: self.dirty.len(),
+            completed,
+        })
+    }
+
+    /// Recover after a restart: load every `.rrd` file under the root,
+    /// then scan this set's journal (repairing any torn tail) and
+    /// replay its records idempotently. Pending journal content is kept
+    /// until the next checkpoint truncates it.
+    pub fn recover(&mut self) -> Result<SetRecovery, RrdError> {
+        let mut outcome = SetRecovery {
+            loaded: self.load_all()?,
+            ..SetRecovery::default()
+        };
+        let Some(journal) = &mut self.journal else {
+            return Ok(outcome);
+        };
+        let path = journal.path().to_path_buf();
+        let scan = scan_and_repair(&path)?;
+        journal.sync_durable_bytes()?;
+        outcome.torn_tails = u64::from(scan.torn());
+        outcome.torn_bytes = scan.torn_bytes;
+        let stats: ReplayStats = replay(self, &scan.records);
+        outcome.replayed = stats.applied;
+        outcome.noops = stats.noops;
+        Ok(outcome)
+    }
+
+    /// Re-read the journal file length from disk (after an external
+    /// scan/repair touched the file behind this set's back).
+    pub fn sync_journal(&mut self) -> Result<(), RrdError> {
+        match &mut self.journal {
+            Some(journal) => journal.sync_durable_bytes(),
+            None => Ok(()),
+        }
+    }
+
+    /// Delete the journal file (shard removal / retirement).
+    pub fn discard_journal(&mut self) -> Result<(), RrdError> {
+        match &mut self.journal {
+            Some(journal) => journal.remove(),
+            None => Ok(()),
+        }
     }
 
     /// Load every `.rrd` file under the persistence root.
@@ -219,29 +416,47 @@ impl RrdSet {
             if !source_dir.file_type()?.is_dir() {
                 continue;
             }
-            for host_entry in std::fs::read_dir(source_dir.path())? {
-                let host_dir = host_entry?;
-                if !host_dir.file_type()?.is_dir() {
+            // Dot-directories (e.g. the `.journal/` spool) are not
+            // source directories.
+            if source_dir.file_name().to_string_lossy().starts_with('.') {
+                continue;
+            }
+            loaded += self.load_source_dir(&source_dir.path())?;
+        }
+        Ok(loaded)
+    }
+
+    /// Load one source directory (`<root>/<source>/<host>/<metric>.rrd`)
+    /// into the set, keying entries by the on-disk directory and file
+    /// names. Returns the number of databases loaded.
+    pub fn load_source_dir(&mut self, dir: &Path) -> Result<usize, RrdError> {
+        let source: String = match dir.file_name() {
+            Some(name) => name.to_string_lossy().into_owned(),
+            None => return Ok(0),
+        };
+        let mut loaded = 0;
+        for host_entry in read_dir_or_empty(dir)? {
+            let host_dir = host_entry?;
+            if !host_dir.file_type()?.is_dir() {
+                continue;
+            }
+            for file_entry in std::fs::read_dir(host_dir.path())? {
+                let file = file_entry?;
+                let path = file.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("rrd") {
                     continue;
                 }
-                for file_entry in std::fs::read_dir(host_dir.path())? {
-                    let file = file_entry?;
-                    let path = file.path();
-                    if path.extension().and_then(|e| e.to_str()) != Some("rrd") {
-                        continue;
-                    }
-                    let rrd = crate::file::load(&path)?;
-                    let key = MetricKey {
-                        source: source_dir.file_name().to_string_lossy().into_owned(),
-                        host: host_dir.file_name().to_string_lossy().into_owned(),
-                        metric: path
-                            .file_stem()
-                            .map(|s| s.to_string_lossy().into_owned())
-                            .unwrap_or_default(),
-                    };
-                    self.databases.insert(key, rrd);
-                    loaded += 1;
-                }
+                let rrd = crate::file::load(&path)?;
+                let key = MetricKey {
+                    source: source.clone(),
+                    host: host_dir.file_name().to_string_lossy().into_owned(),
+                    metric: path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                };
+                self.databases.insert(key, rrd);
+                loaded += 1;
             }
         }
         Ok(loaded)
@@ -358,5 +573,103 @@ mod tests {
         let mut set = RrdSet::new();
         assert_eq!(set.load_all().unwrap(), 0);
         assert_eq!(set.flush().unwrap(), 0);
+    }
+
+    fn journaled_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ganglia-rrdset-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled_set(dir: &std::path::Path) -> RrdSet {
+        RrdSet::new()
+            .persist_to(dir)
+            .journal_to(dir.join(".journal").join("meteor.wal"), "meteor")
+    }
+
+    #[test]
+    fn journaled_updates_survive_restart_without_checkpoint() {
+        let dir = journaled_dir("nockpt");
+        let key = MetricKey::host_metric("meteor", "n0", "load_one");
+        let mut set = journaled_set(&dir);
+        set.update(&key, 15, 0.5).unwrap();
+        set.update(&key, 30, 0.7).unwrap();
+        assert!(set.journal_pending_bytes() > 0);
+        set.commit_journal().unwrap();
+        assert_eq!(set.journal_pending_bytes(), 0);
+        drop(set); // crash before any checkpoint: no .rrd files exist
+
+        let mut restored = journaled_set(&dir);
+        let outcome = restored.recover().unwrap();
+        assert_eq!(outcome.loaded, 0);
+        assert_eq!(outcome.replayed, 2);
+        assert_eq!(outcome.torn_tails, 0);
+        let series = restored
+            .fetch(&key, ConsolidationFn::Average, 0, 30)
+            .unwrap()
+            .unwrap();
+        assert!(series.known_count() > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_journal_and_replay_is_idempotent() {
+        let dir = journaled_dir("ckpt");
+        let key = MetricKey::host_metric("meteor", "n0", "load_one");
+        let mut set = journaled_set(&dir);
+        set.update(&key, 15, 1.0).unwrap();
+        set.commit_journal().unwrap();
+        assert_eq!(set.dirty_count(), 1);
+        assert_eq!(set.checkpoint(20).unwrap(), 1);
+        assert_eq!(set.dirty_count(), 0);
+        assert_eq!(set.last_checkpoint_at(), Some(20));
+        // Post-checkpoint update, committed but not checkpointed.
+        set.update(&key, 30, 2.0).unwrap();
+        set.commit_journal().unwrap();
+        let expect = set
+            .fetch(&key, ConsolidationFn::Average, 0, 30)
+            .unwrap()
+            .unwrap();
+        drop(set);
+
+        let mut restored = journaled_set(&dir);
+        let outcome = restored.recover().unwrap();
+        assert_eq!(outcome.loaded, 1); // checkpointed file
+        assert_eq!(outcome.replayed, 1); // only the post-checkpoint update
+        let got = restored
+            .fetch(&key, ConsolidationFn::Average, 0, 30)
+            .unwrap()
+            .unwrap();
+        assert_eq!(expect.start, got.start);
+        for (a, b) in expect.values.iter().zip(&got.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_checkpoint_keeps_journal_until_complete() {
+        let dir = journaled_dir("partial");
+        let mut set = journaled_set(&dir);
+        for i in 0..4u32 {
+            let key = MetricKey::host_metric("meteor", format!("n{i}"), "load_one");
+            set.update(&key, 15, f64::from(i)).unwrap();
+        }
+        set.commit_journal().unwrap();
+        let journal_len = set.journal_stats().unwrap().durable_bytes;
+        let progress = set.checkpoint_partial(20, 2).unwrap();
+        assert_eq!(progress.files_written, 2);
+        assert_eq!(progress.remaining, 2);
+        assert!(!progress.completed);
+        // Journal untouched: a crash here must still be able to replay.
+        assert_eq!(set.journal_stats().unwrap().durable_bytes, journal_len);
+        assert_eq!(set.last_checkpoint_at(), None);
+        let progress = set.checkpoint_partial(21, usize::MAX).unwrap();
+        assert!(progress.completed);
+        assert!(set.journal_stats().unwrap().durable_bytes < journal_len);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

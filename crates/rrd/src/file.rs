@@ -79,6 +79,16 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
     let start = input.get_u64();
     let last_update = input.get_u64();
     let update_count = input.get_u64();
+    // Bound every field that feeds later arithmetic so adversarial
+    // files cannot trigger overflow, however implausible: timestamps
+    // below 2^48 (about 8.9 million years) and steps below 2^32 keep
+    // all products and sums comfortably inside u64.
+    if step == 0 || step > 1 << 32 {
+        return Err(bad("implausible step"));
+    }
+    if start > 1 << 48 || last_update > 1 << 48 || last_update < start {
+        return Err(bad("implausible timestamps"));
+    }
     let ds_count = input.get_u32() as usize;
     if ds_count == 0 || ds_count > 1 << 16 {
         return Err(bad("implausible data source count"));
@@ -89,7 +99,8 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
     let mut pdp_known = Vec::with_capacity(ds_count);
     for _ in 0..ds_count {
         let name = get_string(&mut input)?;
-        need(1 + 8 * 5, input)?;
+        // dst byte + heartbeat/min/max + last_raw/pdp_sum/pdp_known.
+        need(1 + 8 * 6, input)?;
         let dst = DataSourceType::from_u8(input.get_u8()).ok_or_else(|| bad("bad ds type"))?;
         let heartbeat = input.get_u64();
         let min = input.get_f64();
@@ -103,7 +114,12 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
         });
         last_raw.push(input.get_f64());
         pdp_sum.push(input.get_f64());
-        pdp_known.push(input.get_u64());
+        let known = input.get_u64();
+        // Known seconds accumulate within the current step only.
+        if known > step {
+            return Err(bad("pdp accumulator exceeds step"));
+        }
+        pdp_known.push(known);
     }
     need(4, input)?;
     let rra_count = input.get_u32() as usize;
@@ -118,7 +134,7 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
         let xff = input.get_f64();
         let pdp_per_row = input.get_u64() as usize;
         let rows = input.get_u64() as usize;
-        if pdp_per_row == 0 || rows == 0 || rows > 1 << 24 {
+        if pdp_per_row == 0 || pdp_per_row > 1 << 20 || rows == 0 || rows > 1 << 24 {
             return Err(bad("implausible archive dimensions"));
         }
         let def = RraDef {
@@ -132,8 +148,27 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
         let next = input.get_u64() as usize;
         let written = input.get_u64() as usize;
         let last_row_time = input.get_u64();
-        if next >= rows || written > rows || steps_in_cdp > pdp_per_row.max(1) {
+        // `steps_in_cdp == pdp_per_row` is unreachable at rest (the row
+        // would have been finalized) and would hang the feed loop.
+        if next >= rows || written > rows || steps_in_cdp >= pdp_per_row {
             return Err(bad("inconsistent archive cursor"));
+        }
+        // Until the ring first wraps, the write cursor tracks the row
+        // count exactly.
+        if written < rows && next != written {
+            return Err(bad("inconsistent archive cursor"));
+        }
+        // Rows complete at pdp-aligned boundaries no later than the
+        // database clock, and the first one no earlier than one full
+        // row of steps — so `last_row_time >= written * row_secs` and
+        // `<= last_update` hold for every engine-written file. Both are
+        // load-bearing: they keep `earliest_row_time`'s subtraction
+        // in range even after further (possibly early-finalizing)
+        // updates on the decoded state.
+        let row_secs = step * pdp_per_row as u64; // bounded: 2^32 * 2^20
+        if last_row_time > last_update || (written > 0 && last_row_time < written as u64 * row_secs)
+        {
+            return Err(bad("inconsistent archive row time"));
         }
         need(ds_count * 12 + rows * ds_count * 8, input)?;
         let mut cdp_agg = Vec::with_capacity(ds_count);
@@ -142,7 +177,12 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
         }
         let mut cdp_known = Vec::with_capacity(ds_count);
         for _ in 0..ds_count {
-            cdp_known.push(input.get_u32());
+            let known = input.get_u32();
+            // Known PDPs accumulate within the row in progress only.
+            if known as usize > steps_in_cdp {
+                return Err(bad("cdp accumulator exceeds row progress"));
+            }
+            cdp_known.push(known);
         }
         let mut data = Vec::with_capacity(rows * ds_count);
         for _ in 0..rows * ds_count {
@@ -177,15 +217,47 @@ pub fn decode(mut input: &[u8]) -> Result<Rrd, RrdError> {
     })
 }
 
-/// Write a database to a file (atomic-ish: write then rename).
+/// Write a database to a file, atomically and durably: write-temp →
+/// fsync(file) → rename → fsync(dir). A crash at any instant leaves
+/// either the old complete file or the new complete file — never a torn
+/// mixture — and a completed rename survives power loss.
 pub fn save(rrd: &Rrd, path: &Path) -> Result<(), RrdError> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
+    write_atomic(path, &encode(rrd))
+}
+
+/// Atomic, durable file replacement (the checkpoint write primitive).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), RrdError> {
+    use std::io::Write;
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => {
+            std::fs::create_dir_all(parent)?;
+            Some(parent)
+        }
+        other => other,
+    };
+    // Temp name carries the pid so two processes sharing an archive
+    // root never collide on the scratch file.
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    let result = (|| -> Result<(), RrdError> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = parent {
+            // The rename is only durable once the directory entry is.
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, encode(rrd))?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    result
 }
 
 /// Load a database from a file.

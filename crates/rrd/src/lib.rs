@@ -25,12 +25,16 @@
 pub mod cache;
 pub mod error;
 pub mod file;
+pub mod journal;
+pub mod recover;
 pub mod rrd;
 pub mod spec;
 pub mod xport;
 
-pub use cache::{MetricKey, RrdSet};
+pub use cache::{sanitize, CheckpointProgress, MetricKey, RrdSet, SetRecovery};
 pub use error::RrdError;
+pub use journal::{journal_file_name, Journal, JournalRecord, JournalStats};
+pub use recover::{read_label, replay, scan_and_repair, scan_journal, JournalScan, ReplayStats};
 pub use rrd::{Rrd, Series};
 pub use spec::{
     ganglia_default_spec, ConsolidationFn, DataSourceDef, DataSourceType, RraDef, RrdSpec,

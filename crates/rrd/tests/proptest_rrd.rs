@@ -30,8 +30,84 @@ fn update_stream() -> impl Strategy<Value = Vec<(u64, f64)>> {
     })
 }
 
+/// Exercise a decoded database the way gmetad would: keep updating and
+/// fetching. Any panic here means `decode` accepted state the engine
+/// cannot actually operate on.
+fn exercise(mut rrd: Rrd) {
+    let t = rrd.last_update().saturating_add(15);
+    let _ = rrd.update(t, &[1.0]);
+    let _ = rrd.update(t.saturating_add(400), &[2.0]);
+    // Fetch a bounded window; the result size is linear in the window,
+    // so an unbounded 0..t fetch with a corrupted (huge) clock would
+    // measure allocator throughput, not decode hardening.
+    let _ = rrd.fetch(
+        0,
+        ConsolidationFn::Average,
+        t.saturating_sub(5_000),
+        t.saturating_add(1_000),
+    );
+}
+
+#[test]
+fn decode_survives_truncation_and_corruption_at_every_offset() {
+    // Compact spec keeps the byte image small enough to attack every
+    // single offset exhaustively.
+    let spec = RrdSpec {
+        step: 15,
+        start: 0,
+        data_sources: vec![DataSourceDef::gauge("m", 60)],
+        archives: vec![RraDef::average(1, 32), RraDef::average(8, 32)],
+    };
+    let mut rrd = Rrd::create(spec).unwrap();
+    for i in 1..=100u64 {
+        rrd.update(i * 15, &[(i % 13) as f64]).unwrap();
+    }
+    let image = ganglia_rrd::file::encode(&rrd);
+    // Truncation at every prefix length: decode must error cleanly
+    // (only the full image is valid) and never panic.
+    for cut in 0..image.len() {
+        assert!(
+            ganglia_rrd::file::decode(&image[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+    // Single-byte corruption at every offset: decode either rejects the
+    // file or yields a database that still updates and fetches without
+    // panicking (a flipped float payload is indistinguishable from a
+    // legitimate value and need not be rejected).
+    for i in 0..image.len() {
+        let mut mangled = image.clone();
+        mangled[i] ^= 0xFF;
+        if let Ok(back) = ganglia_rrd::file::decode(&mangled) {
+            exercise(back);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_never_panics_on_mutated_images(
+        stream in update_stream(),
+        mutations in proptest::collection::vec((0usize..50_000, 0u8..=255), 1..16),
+        cut in 0usize..50_000,
+    ) {
+        let mut rrd = Rrd::create(ganglia_default_spec("m", 0)).unwrap();
+        for (t, v) in &stream {
+            rrd.update(*t, &[*v]).unwrap();
+        }
+        let mut image = ganglia_rrd::file::encode(&rrd);
+        for (offset, byte) in mutations {
+            let len = image.len();
+            image[offset % len] = byte;
+        }
+        // `cut == len` (mod len+1) leaves the image whole.
+        image.truncate(cut % (image.len() + 1));
+        if let Ok(back) = ganglia_rrd::file::decode(&image) {
+            exercise(back);
+        }
+    }
 
     #[test]
     fn arbitrary_streams_never_panic_and_fetch_is_sane(stream in update_stream()) {

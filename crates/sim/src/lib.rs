@@ -18,10 +18,12 @@
 //!   download+parse times).
 
 pub mod cpu;
+pub mod crash;
 pub mod deploy;
 pub mod experiments;
 pub mod topology;
 
 pub use cpu::{CpuReport, MonitorCpu};
+pub use crash::{run_crash_replay, CrashMode, CrashParams, CrashReport};
 pub use deploy::{Deployment, DeploymentParams};
 pub use topology::{fig2_tree, ClusterSpec, MonitorSpec, TreeSpec};

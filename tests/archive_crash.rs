@@ -1,0 +1,71 @@
+//! Crash-consistency sweep for the journaled archive engine.
+//!
+//! Each case kills a journaling gmetad at a different round with a
+//! different seed — tearing the journal at a random byte offset (and
+//! sometimes corrupting the kept bytes) or abandoning a checkpoint
+//! halfway — then recovers and finishes the run. The recovered daemon's
+//! every archived series must match a never-crashed control bitwise.
+
+use ganglia_sim::{run_crash_replay, CrashMode, CrashParams, CrashReport};
+
+fn sweep(mode: CrashMode, tag: &str, seeds: &[u64]) -> Vec<CrashReport> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let params = CrashParams {
+                seed,
+                hosts: 6,
+                rounds: 12,
+                // Spread crashes across the run, including the first
+                // journaled round and the final one.
+                crash_round: 1 + (seed % 12),
+                mode,
+                checkpoint_every: seed % 5,
+            };
+            let dir = std::env::temp_dir().join(format!(
+                "ganglia-crash-sweep-{tag}-{i}-{}",
+                std::process::id()
+            ));
+            let report = run_crash_replay(&dir, &params);
+            let _ = std::fs::remove_dir_all(&dir);
+            assert!(
+                report.consistent(),
+                "seed {seed} ({mode:?}, crash round {}): \
+                 recovered daemon diverged from control: {report:?}",
+                params.crash_round,
+            );
+            assert!(report.keys > 0, "seed {seed}: nothing archived");
+            report
+        })
+        .collect()
+}
+
+#[test]
+fn torn_append_crashes_recover_bit_exact_across_seeds() {
+    let reports = sweep(
+        CrashMode::TornAppend,
+        "torn",
+        &[3, 17, 42, 101, 271, 577, 1009, 2027, 4099, 8191],
+    );
+    // The sweep must actually exercise the fault path: across the seeds
+    // some journals end mid-record (torn tails dropped) and some records
+    // survive to be replayed.
+    let torn: u64 = reports.iter().map(|r| r.torn_tails).sum();
+    let replayed: u64 = reports.iter().map(|r| r.replayed + r.noops).sum();
+    assert!(torn > 0, "no seed produced a torn tail: {reports:?}");
+    assert!(replayed > 0, "no seed replayed journal records");
+}
+
+#[test]
+fn partial_checkpoint_crashes_recover_bit_exact_across_seeds() {
+    let reports = sweep(
+        CrashMode::PartialCheckpoint,
+        "partial",
+        &[5, 23, 57, 131, 313, 641, 1201, 2593, 5003, 9173],
+    );
+    // Abandoned checkpoints leave the journal intact; recovery must have
+    // replayed on top of the half-written baseline.
+    let replayed: u64 = reports.iter().map(|r| r.replayed + r.noops).sum();
+    assert!(replayed > 0, "no seed replayed journal records");
+}
