@@ -356,7 +356,7 @@ mod tests {
         let grid = GridNode {
             name: "attic".into(),
             authority: String::new(),
-            localtime: 0,
+            localtime: None,
             body: GridBody::Summary(summary),
         };
         let doc = GangliaDoc {

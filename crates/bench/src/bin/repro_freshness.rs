@@ -1,0 +1,227 @@
+//! Measure root-visible data age across federation depths and prove
+//! the freshness instrumentation end to end.
+//!
+//! Usage: `repro_freshness [hosts] [steady_rounds] [--smoke] [--json <path>]`
+//!
+//! Drives monitor chains of 2–4 levels under both poll orders
+//! (children-first best case, parents-first worst case) and both tree
+//! modes, reading root-visible age from the `freshness.*` instruments.
+//! `--smoke` self-checks the acceptance bars: the JSON must parse,
+//! every configuration must keep root age within
+//! `levels × poll_interval + ε`, the worst-case order must actually
+//! accumulate lag (the measurement isn't inert), a live
+//! `/?filter=trace` fetch must return round-correlated poll events,
+//! and a report with no `REPORTED` stamps must count as missing — not
+//! record ~56-year ages.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ganglia_bench::{render_freshness, render_freshness_json};
+use ganglia_core::freshness::record_freshness;
+use ganglia_core::telemetry::json::{self, JsonValue};
+use ganglia_core::telemetry::Registry;
+use ganglia_core::TreeMode;
+use ganglia_metrics::model::{ClusterNode, GangliaDoc, HostNode};
+use ganglia_sim::experiments::{run_propagation_lag, PropagationParams, BOUND_EPSILON_S};
+use ganglia_sim::{chain_tree, Deployment, DeploymentParams};
+
+/// Drive a 2-level chain and fetch its root's trace log over the
+/// simulated network. Returns an error string on the first check that
+/// fails.
+fn trace_check() -> Result<(), String> {
+    let rounds = 3u64;
+    let mut deployment = Deployment::build(
+        chain_tree(2, 4),
+        DeploymentParams {
+            mode: TreeMode::NLevel,
+            poll_interval: 15,
+            seed: 11,
+            archive: false,
+            ..DeploymentParams::default()
+        },
+    );
+    deployment.run_rounds(rounds);
+    let doc = deployment
+        .viewer("m0")
+        .fetch_trace()
+        .map_err(|e| format!("trace fetch failed: {e}"))?;
+    if doc.get("source").and_then(JsonValue::as_str) != Some("gmetad:m0") {
+        return Err("trace source is not gmetad:m0".into());
+    }
+    if doc.get("round").and_then(JsonValue::as_u64) != Some(rounds) {
+        return Err(format!("trace round is not {rounds}"));
+    }
+    let mut polls = 0u64;
+    let mut last_poll_round = 0u64;
+    let mut i = 0;
+    while let Some(event) = doc.get("events").and_then(|e| e.index(i)) {
+        i += 1;
+        let round = event
+            .get("round")
+            .and_then(JsonValue::as_u64)
+            .ok_or("event without a round id")?;
+        if round == 0 || round > rounds {
+            return Err(format!("event round {round} outside 1..={rounds}"));
+        }
+        if event.get("path").and_then(JsonValue::as_str) == Some("round.poll") {
+            polls += 1;
+            if event.get("source").and_then(JsonValue::as_str) != Some("m1") {
+                return Err("poll event not attributed to source m1".into());
+            }
+            if event.get("outcome").and_then(JsonValue::as_str) != Some("ok") {
+                return Err("poll event outcome is not ok".into());
+            }
+            if round < last_poll_round {
+                return Err("poll rounds are not monotone".into());
+            }
+            last_poll_round = round;
+        }
+    }
+    if polls != rounds {
+        return Err(format!("expected {rounds} poll events, saw {polls}"));
+    }
+    Ok(())
+}
+
+/// A report with every `REPORTED`/`LOCALTIME` absent must land in the
+/// `freshness.missing_ts` counter, never in an age histogram (the old
+/// default-to-zero read would have recorded ~56 years).
+fn missing_ts_check() -> Result<(), String> {
+    let registry = Registry::new();
+    let hosts: Vec<HostNode> = (0..3)
+        .map(|i| HostNode::new(format!("h{i}"), "10.0.0.1"))
+        .collect();
+    let doc = GangliaDoc::gmond(ClusterNode::with_hosts("bare", hosts));
+    record_freshness(&registry, "bare", &doc, 1_700_000_000);
+    let snap = registry.snapshot();
+    // 3 host REPORTED + 1 cluster LOCALTIME, all absent.
+    if snap.counter("freshness.missing_ts") != Some(4) {
+        return Err(format!(
+            "missing_ts counted {:?}, expected Some(4)",
+            snap.counter("freshness.missing_ts")
+        ));
+    }
+    if let Some(ages) = snap.histogram("freshness.age_s") {
+        return Err(format!(
+            "missing stamps recorded {} age samples (max {}s)",
+            ages.count, ages.max
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut hosts = None;
+    let mut steady_rounds = None;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("repro_freshness: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let Ok(n) = other.parse::<u64>() else {
+                    eprintln!("repro_freshness: unknown argument {other:?}");
+                    return ExitCode::from(2);
+                };
+                if hosts.is_none() {
+                    hosts = Some(n as usize);
+                } else {
+                    steady_rounds = Some(n);
+                }
+            }
+        }
+    }
+    let params = PropagationParams {
+        hosts: hosts.unwrap_or(8).max(1),
+        steady_rounds: steady_rounds.unwrap_or(4).max(1),
+        ..PropagationParams::default()
+    };
+
+    eprintln!(
+        "running propagation lag: chains of {:?} levels, intervals {:?}s, \
+         {} hosts, {} steady rounds...",
+        params.levels, params.poll_intervals, params.hosts, params.steady_rounds
+    );
+    let start = std::time::Instant::now();
+    let result = run_propagation_lag(&params);
+    let elapsed: Duration = start.elapsed();
+
+    print!("{}", render_freshness(&result));
+    println!("({} configurations in {elapsed:?})", result.rows.len());
+
+    let rendered = render_freshness_json(&result);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("repro_freshness: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} bytes)", rendered.len());
+    }
+
+    if smoke {
+        // Self-check 1: the JSON artifact parses with our own parser.
+        if let Err(e) = json::parse(&rendered) {
+            eprintln!("smoke FAILED: JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check 2: every configuration within its freshness bound.
+        if !result.all_within_bound() {
+            for row in result.rows.iter().filter(|r| r.root_age_p99_s > r.bound_s) {
+                eprintln!(
+                    "smoke FAILED: {:?} levels={} interval={} top_down={}: \
+                     age {}s > bound {}s",
+                    row.mode,
+                    row.levels,
+                    row.poll_interval,
+                    row.top_down,
+                    row.root_age_p99_s,
+                    row.bound_s
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        // Self-check 3: the worst-case order really accumulates a poll
+        // interval per monitor-to-monitor hop — an all-zero sweep would
+        // mean the instruments went inert, not that the tree is fresh.
+        let inert = result
+            .rows
+            .iter()
+            .filter(|r| r.top_down && r.levels >= 2)
+            .any(|r| r.root_age_p99_s < (r.levels as u64 - 1) * r.poll_interval);
+        if inert || result.worst_age_s() == 0 {
+            eprintln!(
+                "smoke FAILED: parents-first order shows no accumulated lag \
+                 (worst {}s) — freshness instruments inert?",
+                result.worst_age_s()
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 4: the root's trace log serves round-correlated
+        // poll events over the wire.
+        if let Err(e) = trace_check() {
+            eprintln!("smoke FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check 5: absent timestamps count, never age.
+        if let Err(e) = missing_ts_check() {
+            eprintln!("smoke FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "smoke ok: {} configurations within levels*interval+{BOUND_EPSILON_S}s, \
+             worst age {}s, trace + missing-ts checks pass",
+            result.rows.len(),
+            result.worst_age_s()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -10,9 +10,11 @@ use std::fmt::Write;
 use std::time::{Duration, Instant};
 
 use ganglia_core::telemetry::{Histogram, Registry};
+use ganglia_core::TreeMode;
 use ganglia_sim::experiments::table1::View;
 use ganglia_sim::experiments::{
-    Fig5Result, Fig6Result, IngestResult, IsolationResult, ServingResult, Table1Result,
+    Fig5Result, Fig6Result, IngestResult, IsolationResult, PropagationResult, ServingResult,
+    Table1Result,
 };
 
 /// Allocation counts measured by the `repro_ingest` binary's counting
@@ -381,6 +383,85 @@ pub fn render_ingest_json(result: &IngestResult, allocs: Option<&IngestAllocRepo
     out
 }
 
+fn mode_label(mode: TreeMode) -> &'static str {
+    match mode {
+        TreeMode::OneLevel => "1-level",
+        TreeMode::NLevel => "N-level",
+    }
+}
+
+/// Render the propagation-lag sweep as an aligned table: one row per
+/// (mode, depth, interval, poll order), root-visible age against its
+/// `levels × interval + ε` bound.
+pub fn render_freshness(result: &PropagationResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Propagation lag — root-visible p99 data age by federation depth"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:>10} {:<14} {:>12} {:>10}",
+        "mode", "levels", "interval", "poll order", "root age s", "bound s"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>10} {:<14} {:>12} {:>10}{}",
+            mode_label(row.mode),
+            row.levels,
+            row.poll_interval,
+            if row.top_down {
+                "parents-first"
+            } else {
+                "children-first"
+            },
+            row.root_age_p99_s,
+            row.bound_s,
+            if row.root_age_p99_s <= row.bound_s {
+                ""
+            } else {
+                "   EXCEEDED"
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "worst age {}s, all within bound: {}",
+        result.worst_age_s(),
+        result.all_within_bound()
+    );
+    out
+}
+
+/// Render the sweep as JSON (parseable by our own parser).
+pub fn render_freshness_json(result: &PropagationResult) -> String {
+    let mut out = String::from("{\"experiment\":\"freshness\",\"rows\":[");
+    for (i, row) in result.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"mode\":\"{}\",\"levels\":{},\"poll_interval_s\":{},\"top_down\":{},\
+             \"root_age_p99_s\":{},\"bound_s\":{}}}",
+            mode_label(row.mode),
+            row.levels,
+            row.poll_interval,
+            row.top_down,
+            row.root_age_p99_s,
+            row.bound_s
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"worst_age_s\":{},\"all_within_bound\":{}}}",
+        result.worst_age_s(),
+        result.all_within_bound()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +554,36 @@ mod tests {
             Some(2)
         );
         assert!(value.get("speedup").is_some());
+    }
+
+    #[test]
+    fn freshness_renderers_produce_table_and_json() {
+        use ganglia_sim::experiments::{run_propagation_lag, PropagationParams};
+        let result = run_propagation_lag(&PropagationParams {
+            levels: vec![2],
+            poll_intervals: vec![15],
+            hosts: 4,
+            steady_rounds: 2,
+            seed: 3,
+        });
+        let text = render_freshness(&result);
+        assert!(text.contains("parents-first"));
+        assert!(text.contains("children-first"));
+        assert!(text.contains("all within bound: true"));
+        assert!(!text.contains("EXCEEDED"));
+        let json = render_freshness_json(&result);
+        let value = ganglia_core::telemetry::json::parse(&json).unwrap();
+        assert_eq!(
+            value.get("experiment").and_then(|v| v.as_str()),
+            Some("freshness")
+        );
+        let ganglia_core::telemetry::json::JsonValue::Array(rows) = value.get("rows").unwrap()
+        else {
+            panic!("rows must be an array");
+        };
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].get("levels").and_then(|v| v.as_u64()), Some(2));
+        assert!(value.get("all_within_bound").is_some(), "{json}");
     }
 
     #[test]

@@ -552,7 +552,7 @@ mod tests {
         let grid = GridNode {
             name: "attic".into(),
             authority: String::new(),
-            localtime: 0,
+            localtime: None,
             body: GridBody::Summary(SummaryBody {
                 hosts_up: 10,
                 hosts_down: 0,

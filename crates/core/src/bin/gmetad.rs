@@ -203,7 +203,13 @@ fn dump_stats(daemon: &Gmetad) {
             None => "-".to_string(),
         }
     };
-    let mut rows: Vec<[String; 9]> = daemon
+    // Per-source p99 data age (host REPORTED ages, falling back to hop
+    // lag for summary-only grid sources). "-" before the first poll.
+    let age_cell = |source: &str| -> String {
+        ganglia_core::freshness::source_age_p99(&telemetry, source)
+            .map_or_else(|| "-".to_string(), |age| format!("{age}s"))
+    };
+    let mut rows: Vec<[String; 10]> = daemon
         .poller_stats()
         .iter()
         .map(|row| {
@@ -214,6 +220,7 @@ fn dump_stats(daemon: &Gmetad) {
                 row.polls_backoff.to_string(),
                 row.failovers.to_string(),
                 row.consecutive_failures.to_string(),
+                age_cell(&row.name),
                 row.breaker.to_string(),
                 row.phase
                     .map_or_else(|| "no-data".to_string(), |p| p.to_string()),
@@ -237,6 +244,10 @@ fn dump_stats(daemon: &Gmetad) {
             .to_string(),
         "-".to_string(),
         "-".to_string(),
+        telemetry
+            .histogram("freshness.age_s")
+            .filter(|h| h.count > 0)
+            .map_or_else(|| "-".to_string(), |h| format!("{}s", h.quantile(0.99))),
         format!(
             "{} open(s)",
             telemetry.counter("breaker_opens_total").unwrap_or(0)
@@ -262,6 +273,7 @@ fn dump_stats(daemon: &Gmetad) {
         "BACKOFF",
         "FAILOVERS",
         "CONSECF",
+        "AGE",
         "BREAKER",
         "PHASE",
         "JOURNAL",
@@ -277,10 +289,10 @@ fn dump_stats(daemon: &Gmetad) {
                 .unwrap_or(0)
         })
         .collect();
-    let render = |cells: &[String; 9]| {
-        // Columns 1–5 are numeric: right-aligned.
+    let render = |cells: &[String; 10]| {
+        // Columns 1–6 are numeric: right-aligned.
         format!(
-            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:>w5$} {:<w6$} {:<w7$} {}",
+            "gmetad: {:<w0$} {:>w1$} {:>w2$} {:>w3$} {:>w4$} {:>w5$} {:>w6$} {:<w7$} {:<w8$} {}",
             cells[0],
             cells[1],
             cells[2],
@@ -290,6 +302,7 @@ fn dump_stats(daemon: &Gmetad) {
             cells[6],
             cells[7],
             cells[8],
+            cells[9],
             w0 = widths[0],
             w1 = widths[1],
             w2 = widths[2],
@@ -298,6 +311,7 @@ fn dump_stats(daemon: &Gmetad) {
             w5 = widths[5],
             w6 = widths[6],
             w7 = widths[7],
+            w8 = widths[8],
         )
     };
     eprintln!("{}", render(&headers.map(String::from)));

@@ -175,6 +175,22 @@ impl Gmetad {
             .to_xml(&format!("gmetad:{}", self.config.grid_name))
     }
 
+    /// The trace document served for `/?filter=trace`: this daemon's
+    /// bounded span-event log as JSON, oldest first, each event carrying
+    /// the poll-round id, source, stage, logical open/close stamps,
+    /// elapsed microseconds, and outcome. `round` is the id of the
+    /// round in progress (or just finished) when the query arrived, so
+    /// a client can correlate the answer it got with the round that
+    /// produced the data.
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"source\":{},\"round\":{},\"events\":{}}}",
+            ganglia_telemetry::json_string(&format!("gmetad:{}", self.config.grid_name)),
+            self.tracer.current_round(),
+            self.tracer.events_json(),
+        )
+    }
+
     /// Set the logical clock (experiment drivers).
     pub fn set_clock(&self, now: u64) {
         self.clock.store(now, Ordering::Relaxed);
@@ -196,6 +212,10 @@ impl Gmetad {
     /// attempt's timeout is clamped to the round's remaining budget.
     pub fn poll_all(&self, transport: &dyn Transport, now: u64) -> Vec<Result<(), GmetadError>> {
         self.set_clock(now);
+        // Every span opened during this round — the round itself, each
+        // source's poll, the query spans racing it — carries this id,
+        // so the trace log can be sliced by round.
+        self.tracer.begin_round();
         let round = self.tracer.span("round");
         let round_start = Instant::now();
         let deadline = Duration::from_secs(self.config.round_deadline_secs);
@@ -302,8 +322,12 @@ impl Gmetad {
         let inflight = self.registry.gauge("poll_inflight");
         inflight.add(1);
         let slot_start = Instant::now();
+        // Opened before the slot lock so the span times what the old
+        // histogram did: lock wait included.
+        let mut trace = self.tracer.span("round.poll");
         let mut poller = slot.lock();
         let name = poller.cfg().name.clone();
+        trace.set_source(&name);
         let backoff_before = poller.polls_backoff;
         let outcome = poller.poll_bounded(
             transport,
@@ -377,15 +401,24 @@ impl Gmetad {
             }
         };
         let elapsed = slot_start.elapsed();
-        let (per_source, per_round) = if idle {
-            ("round_idle_us", "round.poll_idle_us")
+        // A backoff round reclassifies the trace span so its near-free
+        // timing records under `round.poll_idle_us` (the span's drop
+        // feeds the path-named histogram); real polls land in
+        // `round.poll_us` with their outcome stamped for the trace log.
+        let per_source = if idle {
+            trace.set_path("round.poll_idle");
+            trace.set_outcome("backoff");
+            "round_idle_us"
         } else {
-            ("round_us", "round.poll_us")
+            if result.is_err() {
+                trace.set_outcome("failed");
+            }
+            "round_us"
         };
+        drop(trace);
         self.registry
             .histogram(&format!("source.{name}.{per_source}"))
             .record_duration(elapsed);
-        self.registry.histogram(per_round).record_duration(elapsed);
         inflight.sub(1);
         result
     }
@@ -533,13 +566,41 @@ impl Gmetad {
                 p99_ms("serve.latency_us"),
                 "ms",
             ),
+            // Federation-wide freshness: p99 host data age and per-hop
+            // grid lag as seen at this level, plus the two edge-policy
+            // counters. Republished as self.* so a root query reads the
+            // whole tree's lag profile level by level.
+            metric(
+                "self.freshness_age_p99_s",
+                snap.histogram("freshness.age_s")
+                    .map(|h| h.quantile(0.99) as f64)
+                    .unwrap_or(0.0),
+                "s",
+            ),
+            metric(
+                "self.freshness_hop_lag_p99_s",
+                snap.histogram("freshness.hop_lag_s")
+                    .map(|h| h.quantile(0.99) as f64)
+                    .unwrap_or(0.0),
+                "s",
+            ),
+            metric(
+                "self.freshness_missing_ts_total",
+                counter("freshness.missing_ts"),
+                "stamps",
+            ),
+            metric(
+                "self.freshness_skew_total",
+                counter("freshness.skew_total"),
+                "stamps",
+            ),
         ];
         let mut host = HostNode::new(self.self_host_name(), "127.0.0.1");
-        host.reported = now;
+        host.reported = Some(now);
         host.tn = 0;
         host.metrics = metrics;
         let mut cluster = ClusterNode::with_hosts(self.self_cluster_name(), vec![host]);
-        cluster.localtime = now;
+        cluster.localtime = Some(now);
         let summary = self
             .meter
             .time(WorkCategory::Summarize, || cluster.summary());
@@ -566,6 +627,12 @@ impl Gmetad {
             if query.filter == Some(Filter::Telemetry) {
                 self.registry.counter("telemetry_queries_total").inc();
                 return self.telemetry_xml();
+            }
+            // Likewise `?filter=trace`: the structured span-event log,
+            // as JSON rather than XML — it's for tooling, not browsers.
+            if query.filter == Some(Filter::Trace) {
+                self.registry.counter("trace_queries_total").inc();
+                return self.trace_json();
             }
         }
         self.registry.counter("queries_total").inc();
@@ -1023,5 +1090,67 @@ mod tests {
         let xml = root.query("/");
         assert!(xml.contains("AUTHORITY=\"http://sdsc/ganglia/\""));
         assert!(xml.contains("<HOSTS UP=\"8\""));
+    }
+
+    #[test]
+    fn polls_feed_freshness_histograms() {
+        let (net, served, gmetad) = deploy(TreeMode::NLevel);
+        // The pseudo cluster last rendered at t=0; polling at t=15 sees
+        // 15-second-old host reports and a 15-second hop lag.
+        gmetad.poll_all(&net, 15);
+        let snap = gmetad.telemetry_snapshot();
+        let ages = snap.histogram("freshness.source.meteor.age_s").unwrap();
+        assert_eq!(ages.count, 8);
+        assert_eq!(ages.max, 15);
+        assert_eq!(snap.histogram("freshness.hop_lag_s").unwrap().max, 15);
+        assert_eq!(snap.counter("freshness.missing_ts"), None);
+        // A re-render at poll time drives the ages to zero.
+        served.advance(30);
+        gmetad.poll_all(&net, 30);
+        let snap = gmetad.telemetry_snapshot();
+        assert_eq!(
+            snap.histogram("freshness.source.meteor.age_s").unwrap().min,
+            0
+        );
+    }
+
+    #[test]
+    fn trace_filter_serves_round_correlated_json() {
+        use ganglia_telemetry::json;
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        gmetad.poll_all(&net, 30);
+        let raw = gmetad.query("/?filter=trace");
+        let doc = json::parse(&raw).expect("trace output is valid JSON");
+        assert_eq!(
+            doc.get("source").and_then(|v| v.as_str()),
+            Some("gmetad:sdsc")
+        );
+        assert_eq!(doc.get("round").and_then(|v| v.as_u64()), Some(2));
+        let events = doc.get("events").expect("events array");
+        let mut polls = 0;
+        let mut last_poll_round = 0;
+        let mut i = 0;
+        while let Some(event) = events.index(i) {
+            i += 1;
+            let round = event.get("round").and_then(|v| v.as_u64()).unwrap();
+            assert!((1..=2).contains(&round), "round {round} out of range");
+            if event.get("stage").and_then(|v| v.as_str()) == Some("poll") {
+                polls += 1;
+                assert_eq!(event.get("source").and_then(|v| v.as_str()), Some("meteor"));
+                assert_eq!(event.get("outcome").and_then(|v| v.as_str()), Some("ok"));
+                assert!(round >= last_poll_round, "poll rounds must be monotone");
+                last_poll_round = round;
+            }
+        }
+        assert_eq!(polls, 2, "one poll event per round");
+        // Failures stamp their outcome into the trace.
+        net.partition_prefix("meteor", true);
+        gmetad.poll_all(&net, 45);
+        let raw = gmetad.query("/?filter=trace");
+        assert!(
+            raw.contains("\"outcome\":\"failed\""),
+            "failed poll missing from trace: {raw}"
+        );
     }
 }

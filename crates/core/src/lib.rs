@@ -43,6 +43,9 @@
 //!   as a synthetic `<grid>-monitor` cluster of `self.*` metrics —
 //!   archived, summarized, and path-queryable like any other source —
 //!   and serves the raw instruments for `/?filter=telemetry`;
+//! * [`freshness`] — federation-wide data-age accounting: per-depth
+//!   and per-source histograms of host data age and per-hop grid lag,
+//!   with explicit handling of missing timestamps and clock skew;
 //! * [`join`] — extension (paper §5 future work): MDS-style
 //!   self-organizing tree membership with certificate-checked join
 //!   messages and soft-state pruning;
@@ -54,6 +57,7 @@ pub mod archive;
 pub mod conf;
 pub mod config;
 pub mod error;
+pub mod freshness;
 pub mod gmetad;
 pub mod health;
 pub mod instrument;

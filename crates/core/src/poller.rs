@@ -299,6 +299,7 @@ impl SourcePoller {
         self.polls_ok += 1;
         self.consecutive_failures = 0;
         registry.counter("polls_ok_total").inc();
+        crate::freshness::record_freshness(&registry, &self.cfg.name, &ingested.doc, now);
         Ok(build_state_prepared(
             &self.cfg.name,
             ingested.doc,

@@ -279,7 +279,7 @@ mod tests {
         let grid = GridNode {
             name: "attic".into(),
             authority: "http://attic/ganglia/".into(),
-            localtime: 90,
+            localtime: Some(90),
             body: GridBody::Summary(summary.clone()),
         };
         store.replace(SourceState::grid("attic", grid, summary, 100));

@@ -540,7 +540,7 @@ mod tests {
         let grid = GridNode {
             name: "attic".into(),
             authority: "http://attic/".into(),
-            localtime: 0,
+            localtime: None,
             body: GridBody::Summary(summary.clone()),
         };
         let state = SourceState::grid("attic", grid, summary, 5);

@@ -283,7 +283,7 @@ impl GmondAgent {
                 HostNode {
                     name: name.into(),
                     ip: view.ip.clone(),
-                    reported: view.last_heard,
+                    reported: Some(view.last_heard),
                     tn: now.saturating_sub(view.last_heard) as u32,
                     tmax: self.config.heartbeat_interval,
                     dmax: self.config.host_dmax,
@@ -298,7 +298,7 @@ impl GmondAgent {
         cluster.owner = self.config.owner.clone();
         cluster.latlong = self.config.latlong.clone();
         cluster.url = self.config.url.clone();
-        cluster.localtime = now;
+        cluster.localtime = Some(now);
         GangliaDoc::gmond(cluster)
     }
 

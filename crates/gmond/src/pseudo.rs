@@ -98,7 +98,7 @@ impl PseudoGmond {
                 HostNode {
                     name: host.name.as_str().into(),
                     ip: host.ip.clone(),
-                    reported: now,
+                    reported: Some(now),
                     tn: (i % 15) as u32,
                     tmax: 20,
                     dmax: 0,
@@ -109,7 +109,7 @@ impl PseudoGmond {
             })
             .collect();
         let mut cluster = ClusterNode::with_hosts(self.cluster_name.clone(), host_nodes);
-        cluster.localtime = now;
+        cluster.localtime = Some(now);
         cluster.owner = "pseudo".to_string();
         self.doc = GangliaDoc::gmond(cluster);
         self.xml = codec::write_document(&self.doc);

@@ -130,6 +130,26 @@ pub(crate) fn parse_num<T: FromStr>(
     }
 }
 
+/// Like [`parse_num`] but absence stays absent (`None`) instead of
+/// collapsing into a default. Used for the `#IMPLIED` timestamp
+/// attributes (`REPORTED`, `LOCALTIME`), where a default of 0 would
+/// read as epoch 1970 — ~56 years of data age. Malformed values are
+/// still hard errors.
+pub(crate) fn parse_opt_num<T: FromStr>(
+    attrs: &[Attribute<'_>],
+    element: &'static str,
+    name: &'static str,
+) -> Result<Option<T>> {
+    match find(attrs, name) {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| ParseError::BadAttr {
+            element,
+            attr: name.to_string(),
+            value: raw.to_string(),
+        }),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Parsing
 // ---------------------------------------------------------------------
@@ -191,7 +211,7 @@ pub fn parse_document(input: &str) -> Result<GangliaDoc> {
 pub(crate) fn parse_grid(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -> Result<GridNode> {
     let name = required(attrs, names::GRID, attr::NAME)?.to_string();
     let authority = optional_string(attrs, attr::AUTHORITY);
-    let localtime = parse_num(attrs, names::GRID, attr::LOCALTIME, 0u64)?;
+    let localtime = parse_opt_num::<u64>(attrs, names::GRID, attr::LOCALTIME)?;
     let mut items: Vec<GridItem> = Vec::new();
     let mut summary: Option<SummaryBody> = None;
     loop {
@@ -250,7 +270,7 @@ pub(crate) fn parse_cluster(
     let owner = optional_string(attrs, attr::OWNER);
     let latlong = optional_string(attrs, attr::LATLONG);
     let url = optional_string(attrs, attr::URL);
-    let localtime = parse_num(attrs, names::CLUSTER, attr::LOCALTIME, 0u64)?;
+    let localtime = parse_opt_num::<u64>(attrs, names::CLUSTER, attr::LOCALTIME)?;
     let mut hosts: Vec<Arc<HostNode>> = Vec::new();
     let mut summary: Option<SummaryBody> = None;
     loop {
@@ -304,7 +324,7 @@ pub(crate) fn parse_host(parser: &mut PullParser<'_>, attrs: &[Attribute<'_>]) -
     let host = HostNode {
         name: Atom::new(required(attrs, names::HOST, attr::NAME)?),
         ip: optional_string(attrs, attr::IP),
-        reported: parse_num(attrs, names::HOST, attr::REPORTED, 0u64)?,
+        reported: parse_opt_num::<u64>(attrs, names::HOST, attr::REPORTED)?,
         tn: parse_num(attrs, names::HOST, attr::TN, 0u32)?,
         tmax: parse_num(attrs, names::HOST, attr::TMAX, 20u32)?,
         dmax: parse_num(attrs, names::HOST, attr::DMAX, 0u32)?,
@@ -454,15 +474,15 @@ pub fn write_item<W: fmt::Write>(item: &GridItem, writer: &mut XmlWriter<W>) {
 /// Open a `GRID` start tag with full attributes; the caller writes the
 /// body and must call `end_element`.
 pub fn open_grid<W: fmt::Write>(grid: &GridNode, writer: &mut XmlWriter<W>) {
-    let localtime = grid.localtime.to_string();
-    writer.start_element(
-        names::GRID,
-        &[
-            (attr::NAME, &grid.name),
-            (attr::AUTHORITY, &grid.authority),
-            (attr::LOCALTIME, &localtime),
-        ],
-    );
+    // LOCALTIME is #IMPLIED: an absent timestamp stays absent on the
+    // wire so downstream freshness accounting sees the truth.
+    let localtime = grid.localtime.map(|t| t.to_string());
+    let mut attrs: Vec<(&str, &str)> =
+        vec![(attr::NAME, &grid.name), (attr::AUTHORITY, &grid.authority)];
+    if let Some(localtime) = &localtime {
+        attrs.push((attr::LOCALTIME, localtime));
+    }
+    writer.start_element(names::GRID, &attrs);
 }
 
 /// Serialize a grid element.
@@ -482,17 +502,16 @@ pub fn write_grid<W: fmt::Write>(grid: &GridNode, writer: &mut XmlWriter<W>) {
 /// Open a `CLUSTER` start tag with full attributes; the caller writes
 /// the body and must call `end_element`.
 pub fn open_cluster<W: fmt::Write>(cluster: &ClusterNode, writer: &mut XmlWriter<W>) {
-    let localtime = cluster.localtime.to_string();
-    writer.start_element(
-        names::CLUSTER,
-        &[
-            (attr::NAME, &cluster.name),
-            (attr::LOCALTIME, &localtime),
-            (attr::OWNER, &cluster.owner),
-            (attr::LATLONG, &cluster.latlong),
-            (attr::URL, &cluster.url),
-        ],
-    );
+    let localtime = cluster.localtime.map(|t| t.to_string());
+    let mut attrs: Vec<(&str, &str)> = Vec::with_capacity(5);
+    attrs.push((attr::NAME, &cluster.name));
+    if let Some(localtime) = &localtime {
+        attrs.push((attr::LOCALTIME, localtime));
+    }
+    attrs.push((attr::OWNER, &cluster.owner));
+    attrs.push((attr::LATLONG, &cluster.latlong));
+    attrs.push((attr::URL, &cluster.url));
+    writer.start_element(names::CLUSTER, &attrs);
 }
 
 /// Serialize a cluster element.
@@ -512,24 +531,23 @@ pub fn write_cluster<W: fmt::Write>(cluster: &ClusterNode, writer: &mut XmlWrite
 /// Open a `HOST` start tag with full attributes; the caller writes the
 /// body and must call `end_element`.
 pub fn open_host<W: fmt::Write>(host: &HostNode, writer: &mut XmlWriter<W>) {
-    let reported = host.reported.to_string();
+    let reported = host.reported.map(|t| t.to_string());
     let tn = host.tn.to_string();
     let tmax = host.tmax.to_string();
     let dmax = host.dmax.to_string();
     let started = host.gmond_started.to_string();
-    writer.start_element(
-        names::HOST,
-        &[
-            (attr::NAME, &host.name),
-            (attr::IP, &host.ip),
-            (attr::REPORTED, &reported),
-            (attr::TN, &tn),
-            (attr::TMAX, &tmax),
-            (attr::DMAX, &dmax),
-            (attr::LOCATION, &host.location),
-            (attr::STARTED, &started),
-        ],
-    );
+    let mut attrs: Vec<(&str, &str)> = Vec::with_capacity(8);
+    attrs.push((attr::NAME, &host.name));
+    attrs.push((attr::IP, &host.ip));
+    if let Some(reported) = &reported {
+        attrs.push((attr::REPORTED, reported));
+    }
+    attrs.push((attr::TN, &tn));
+    attrs.push((attr::TMAX, &tmax));
+    attrs.push((attr::DMAX, &dmax));
+    attrs.push((attr::LOCATION, &host.location));
+    attrs.push((attr::STARTED, &started));
+    writer.start_element(names::HOST, &attrs);
 }
 
 /// Serialize a host element with its metrics.
@@ -771,6 +789,48 @@ mod tests {
         };
         assert_eq!(s.hosts_up, 500);
         assert_eq!(c.host_count(), 502);
+    }
+
+    #[test]
+    fn missing_timestamps_stay_absent_through_a_roundtrip() {
+        // REPORTED/LOCALTIME are #IMPLIED in the DTD: absence must not
+        // collapse into epoch 0 (which would read as ~56 years of lag).
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="c"><HOST NAME="h" IP="1.1.1.1"/></CLUSTER></GANGLIA_XML>"#;
+        let doc = parse_document(xml).unwrap();
+        let GridItem::Cluster(c) = &doc.items[0] else {
+            panic!()
+        };
+        assert_eq!(c.localtime, None);
+        assert_eq!(c.host("h").unwrap().reported, None);
+        let rendered = write_document(&doc);
+        assert!(!rendered.contains("LOCALTIME"), "{rendered}");
+        assert!(!rendered.contains("REPORTED"), "{rendered}");
+        assert_eq!(parse_document(&rendered).unwrap(), doc);
+        // Present timestamps still round-trip as values.
+        let doc = parse_document(FIG3).unwrap();
+        let GridItem::Grid(sdsc) = &doc.items[0] else {
+            panic!()
+        };
+        let GridBody::Items(items) = &sdsc.body else {
+            panic!()
+        };
+        let GridItem::Cluster(meteor) = &items[0] else {
+            panic!()
+        };
+        assert_eq!(meteor.localtime, Some(1058918400));
+        assert_eq!(
+            meteor.host("compute-0-0").unwrap().reported,
+            Some(1058918395)
+        );
+    }
+
+    #[test]
+    fn malformed_timestamp_is_still_a_hard_error() {
+        let xml = r#"<GANGLIA_XML><CLUSTER NAME="c" LOCALTIME="yesterday"/></GANGLIA_XML>"#;
+        assert!(matches!(
+            parse_document(xml).unwrap_err(),
+            ParseError::BadAttr { .. }
+        ));
     }
 
     #[test]

@@ -291,7 +291,7 @@ impl Ingester {
         let authority = codec::find(attrs, attr::AUTHORITY)
             .unwrap_or("")
             .to_string();
-        let localtime = codec::parse_num(attrs, names::GRID, attr::LOCALTIME, 0u64)?;
+        let localtime = codec::parse_opt_num::<u64>(attrs, names::GRID, attr::LOCALTIME)?;
         let child_path = if path.is_empty() {
             name.clone()
         } else {
@@ -400,7 +400,7 @@ impl Ingester {
         let owner = codec::find(attrs, attr::OWNER).unwrap_or("").to_string();
         let latlong = codec::find(attrs, attr::LATLONG).unwrap_or("").to_string();
         let url = codec::find(attrs, attr::URL).unwrap_or("").to_string();
-        let localtime = codec::parse_num(attrs, names::CLUSTER, attr::LOCALTIME, 0u64)?;
+        let localtime = codec::parse_opt_num::<u64>(attrs, names::CLUSTER, attr::LOCALTIME)?;
         let key = if path.is_empty() {
             name.clone()
         } else {

@@ -56,8 +56,11 @@ impl MetricEntry {
 pub struct HostNode {
     pub name: Atom,
     pub ip: String,
-    /// When the host last reported (epoch seconds).
-    pub reported: u64,
+    /// When the host last reported (epoch seconds). `None` when the
+    /// report carried no `REPORTED` attribute (it is `#IMPLIED` in the
+    /// DTD) — explicit absence, so freshness accounting can skip the
+    /// host instead of treating it as epoch 0 (~56 years stale).
+    pub reported: Option<u64>,
     /// Seconds since the host's last heartbeat.
     pub tn: u32,
     pub tmax: u32,
@@ -74,7 +77,7 @@ impl HostNode {
         HostNode {
             name: name.into(),
             ip: ip.into(),
-            reported: 0,
+            reported: None,
             tn: 0,
             tmax: 20,
             dmax: 0,
@@ -236,8 +239,9 @@ pub struct ClusterNode {
     pub latlong: String,
     /// Where a higher-resolution view of this cluster lives.
     pub url: String,
-    /// The cluster's local time when the report was generated.
-    pub localtime: u64,
+    /// The cluster's local time when the report was generated. `None`
+    /// when the report carried no `LOCALTIME` attribute.
+    pub localtime: Option<u64>,
     pub body: ClusterBody,
 }
 
@@ -255,7 +259,7 @@ impl ClusterNode {
             owner: String::new(),
             latlong: String::new(),
             url: String::new(),
-            localtime: 0,
+            localtime: None,
             body: ClusterBody::Hosts(hosts),
         }
     }
@@ -325,7 +329,9 @@ pub struct GridNode {
     /// nodes follow these pointers to locate the highest-resolution view
     /// (paper §3.2).
     pub authority: String,
-    pub localtime: u64,
+    /// The grid's local time when the report was generated. `None`
+    /// when the report carried no `LOCALTIME` attribute.
+    pub localtime: Option<u64>,
     pub body: GridBody,
 }
 
@@ -335,7 +341,7 @@ impl GridNode {
         GridNode {
             name: name.into(),
             authority: String::new(),
-            localtime: 0,
+            localtime: None,
             body: GridBody::Items(items),
         }
     }
@@ -546,7 +552,7 @@ mod tests {
         let grid = GridNode {
             name: "ATTIC".into(),
             authority: "http://attic/".into(),
-            localtime: 0,
+            localtime: None,
             body: GridBody::Summary(stored.clone()),
         };
         assert_eq!(grid.summary(), stored);

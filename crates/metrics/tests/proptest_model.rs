@@ -51,7 +51,7 @@ fn host() -> impl Strategy<Value = HostNode> {
         |(host_name, tn, metrics)| {
             let mut host = HostNode::new(host_name, "10.1.2.3");
             host.tn = tn;
-            host.reported = 1000;
+            host.reported = Some(1000);
             host.metrics = metrics;
             host
         },
@@ -97,7 +97,7 @@ fn cluster() -> impl Strategy<Value = ClusterNode> {
             owner: "owner".to_string(),
             latlong: String::new(),
             url: "http://x/".to_string(),
-            localtime: 123,
+            localtime: Some(123),
             body,
         })
 }
@@ -114,7 +114,7 @@ fn grid() -> impl Strategy<Value = GridNode> {
         .prop_map(|(grid_name, body)| GridNode {
             name: grid_name,
             authority: "http://auth/".to_string(),
-            localtime: 5,
+            localtime: Some(5),
             body,
         })
 }

@@ -15,6 +15,10 @@ pub enum Filter {
     /// standalone `TELEMETRY` document instead of monitoring data.
     /// Only meaningful on the root path.
     Telemetry,
+    /// Return the answering daemon's bounded span-event trace log as a
+    /// JSON document (round ids, sources, stages, outcomes). Only
+    /// meaningful on the root path.
+    Trace,
 }
 
 /// One path segment: an exact name or a `~pattern`.
@@ -117,6 +121,7 @@ impl Query {
                 match param.split_once('=') {
                     Some(("filter", "summary")) => filter = Some(Filter::Summary),
                     Some(("filter", "telemetry")) => filter = Some(Filter::Telemetry),
+                    Some(("filter", "trace")) => filter = Some(Filter::Trace),
                     _ => return Err(QueryError::BadParameter(param.to_string())),
                 }
             }
@@ -153,6 +158,7 @@ impl fmt::Display for Query {
         match self.filter {
             Some(Filter::Summary) => f.write_str("?filter=summary")?,
             Some(Filter::Telemetry) => f.write_str("?filter=telemetry")?,
+            Some(Filter::Trace) => f.write_str("?filter=trace")?,
             None => {}
         }
         Ok(())
@@ -198,6 +204,14 @@ mod tests {
         assert_eq!(q.filter, Some(Filter::Telemetry));
         assert!(q.is_root());
         assert_eq!(q.to_string(), "/?filter=telemetry");
+    }
+
+    #[test]
+    fn trace_filter() {
+        let q = Query::parse("/?filter=trace").unwrap();
+        assert_eq!(q.filter, Some(Filter::Trace));
+        assert!(q.is_root());
+        assert_eq!(q.to_string(), "/?filter=trace");
     }
 
     #[test]

@@ -218,6 +218,33 @@ impl Deployment {
         }
     }
 
+    /// Advance one poll round polling parents *before* children — the
+    /// worst-case propagation order. A parent sees only what its child
+    /// assembled last round, so every monitor level adds one full poll
+    /// interval of data age by the time leaf data reaches the root. A
+    /// live deployment with unsynchronized pollers lands between this
+    /// and [`run_round`]'s children-first best case.
+    ///
+    /// [`run_round`]: Deployment::run_round
+    pub fn run_round_top_down(&mut self) {
+        self.now += self.params.poll_interval;
+        self.rounds_since_reset += 1;
+        for served in self.clusters.values() {
+            served.advance(self.now);
+        }
+        for name in self.tree.breadth_first() {
+            let monitor = &self.monitors[&name];
+            let _ = monitor.poll_all(&self.net, self.now);
+        }
+    }
+
+    /// Advance several worst-case (parents-first) rounds.
+    pub fn run_rounds_top_down(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.run_round_top_down();
+        }
+    }
+
     /// Zero every monitor's meter and the round counter (start of a
     /// measurement window).
     pub fn reset_meters(&mut self) {

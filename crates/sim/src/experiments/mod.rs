@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod ingest;
 pub mod limits;
+pub mod propagation;
 pub mod serving;
 pub mod table1;
 pub mod traffic;
@@ -25,6 +26,9 @@ pub use ingest::{
     IngestParams, IngestResult, IngestRow,
 };
 pub use limits::{run_limits, LimitsResult, LimitsRow};
+pub use propagation::{
+    run_propagation_lag, PropagationParams, PropagationResult, PropagationRow, BOUND_EPSILON_S,
+};
 pub use serving::{
     run_serving, run_slow_client_isolation, IsolationResult, ServingParams, ServingResult,
     ServingSide,

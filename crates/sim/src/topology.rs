@@ -177,9 +177,53 @@ pub fn fig2_tree(hosts_per_cluster: usize) -> TreeSpec {
     }
 }
 
+/// A monitor chain of `levels` gmetads — `m0` (root) polls `m1` polls
+/// … polls `m{levels-1}` — with one cluster of `hosts` hosts at the
+/// deepest monitor. The propagation-lag experiment drives this shape to
+/// measure how data age accumulates per federation level.
+pub fn chain_tree(levels: usize, hosts: usize) -> TreeSpec {
+    assert!(levels >= 1, "a chain needs at least one monitor");
+    let monitors = (0..levels)
+        .map(|i| MonitorSpec {
+            name: format!("m{i}"),
+            children: if i + 1 < levels {
+                vec![format!("m{}", i + 1)]
+            } else {
+                Vec::new()
+            },
+            local_clusters: if i + 1 == levels {
+                vec![ClusterSpec {
+                    name: "leaf-c0".to_string(),
+                    hosts,
+                }]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    TreeSpec {
+        root: "m0".to_string(),
+        monitors,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chain_is_valid_and_linear() {
+        for levels in 1..=4 {
+            let tree = chain_tree(levels, 8);
+            tree.validate().unwrap();
+            assert_eq!(tree.monitors.len(), levels);
+            assert_eq!(tree.cluster_count(), 1);
+            assert_eq!(tree.host_count(), 8);
+            let bfs = tree.breadth_first();
+            assert_eq!(bfs.first().map(String::as_str), Some("m0"));
+            assert_eq!(bfs.last().cloned(), Some(format!("m{}", levels - 1)));
+        }
+    }
 
     #[test]
     fn fig2_matches_the_paper() {

@@ -330,7 +330,7 @@ fn push_pairs(out: &mut String, pairs: &[(String, u64)]) {
 }
 
 /// Escape a string for JSON output.
-pub(crate) fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

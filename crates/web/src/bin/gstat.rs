@@ -6,13 +6,14 @@
 //! gstat --gmetad 127.0.0.1:8652 --cluster meteor --host compute-0-0
 //! gstat --gmetad 127.0.0.1:8652 --one-level          # legacy full-dump client
 //! gstat --gmetad 127.0.0.1:8652 --telemetry          # the agent's own health
+//! gstat --gmetad 127.0.0.1:8652 --trace              # round-correlated trace log
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use ganglia_net::{Addr, TcpTransport};
-use ganglia_web::render::{render_cluster, render_host, render_meta};
+use ganglia_web::render::{render_cluster, render_host, render_meta, render_trace};
 use ganglia_web::{Frontend, NLevelFrontend, OneLevelFrontend, ViewerClient};
 
 struct Options {
@@ -21,6 +22,7 @@ struct Options {
     host: Option<String>,
     one_level: bool,
     telemetry: bool,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,6 +32,7 @@ fn parse_args() -> Result<Options, String> {
         host: None,
         one_level: false,
         telemetry: false,
+        trace: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Options, String> {
             "--host" | "-H" => options.host = Some(value("--host")?),
             "--one-level" => options.one_level = true,
             "--telemetry" | "-t" => options.telemetry = true,
+            "--trace" | "-T" => options.trace = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -58,7 +62,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("gstat: {e}");
             eprintln!(
-                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level] [--telemetry]"
+                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level] [--telemetry] [--trace]"
             );
             return ExitCode::from(2);
         }
@@ -67,6 +71,20 @@ fn main() -> ExitCode {
         Arc::new(TcpTransport::new()),
         Addr::new(options.gmetad.clone()),
     );
+    if options.trace {
+        // Structured trace view: the agent's bounded span-event log,
+        // round-correlated, as an aligned table.
+        return match client.fetch_trace() {
+            Ok(doc) => {
+                print!("{}", render_trace(&doc));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gstat: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if options.telemetry {
         // Self-telemetry view: the agent's own counters and latency
         // quantiles, rendered as tables.

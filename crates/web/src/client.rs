@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use ganglia_metrics::{parse_document, GangliaDoc, ParseError};
 use ganglia_net::transport::Transport;
 use ganglia_net::{Addr, NetError};
+use ganglia_telemetry::json::{self, JsonValue};
 use ganglia_telemetry::{Registry, Snapshot, TelemetryError};
 
 use crate::timing::ViewTiming;
@@ -21,6 +22,8 @@ pub enum ViewerError {
     NotFound(String),
     /// A `?filter=telemetry` response did not parse as a TELEMETRY doc.
     Telemetry(TelemetryError),
+    /// A `?filter=trace` response did not parse as JSON.
+    Trace(json::JsonError),
 }
 
 impl std::fmt::Display for ViewerError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for ViewerError {
             ViewerError::Parse(e) => write!(f, "bad gmeta response: {e}"),
             ViewerError::NotFound(what) => write!(f, "{what} not found"),
             ViewerError::Telemetry(e) => write!(f, "bad telemetry response: {e}"),
+            ViewerError::Trace(e) => write!(f, "bad trace response: {e}"),
         }
     }
 }
@@ -117,6 +121,16 @@ impl ViewerClient {
             .fetch(&self.gmeta, "/?filter=telemetry", self.timeout)?;
         Snapshot::parse_xml(&xml).map_err(ViewerError::Telemetry)
     }
+
+    /// Fetch the agent's structured trace log (`?filter=trace`): a JSON
+    /// document with the current poll-round id and the bounded span-
+    /// event ring (round, source, stage, timestamps, outcome per event).
+    pub fn fetch_trace(&self) -> Result<JsonValue, ViewerError> {
+        let raw = self
+            .transport
+            .fetch(&self.gmeta, "/?filter=trace", self.timeout)?;
+        json::parse(&raw).map_err(ViewerError::Trace)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +214,39 @@ mod tests {
         assert_eq!(source, "gmetad:wide");
         assert_eq!(snap.counter("polls_ok_total"), Some(7));
         assert_eq!(snap.histogram("fetch_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn fetch_trace_parses_the_event_log() {
+        let net = SimNet::new(1);
+        let _g = net
+            .serve(
+                &Addr::new("gmeta"),
+                Arc::new(|q: &str| {
+                    assert_eq!(q, "/?filter=trace");
+                    "{\"source\":\"gmetad:wide\",\"round\":3,\"events\":[\
+                     {\"round\":3,\"source\":\"sdsc\",\"stage\":\"poll\",\
+                      \"path\":\"round.poll\",\"opened_at\":45,\"closed_at\":45,\
+                      \"us\":120,\"outcome\":\"ok\"}]}"
+                        .to_string()
+                }),
+            )
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        let doc = client.fetch_trace().unwrap();
+        assert_eq!(doc.get("round").and_then(|v| v.as_u64()), Some(3));
+        let event = doc.get("events").and_then(|e| e.index(0)).unwrap();
+        assert_eq!(event.get("stage").and_then(|v| v.as_str()), Some("poll"));
+    }
+
+    #[test]
+    fn bad_trace_json_is_reported() {
+        let net = SimNet::new(1);
+        let _g = net
+            .serve(&Addr::new("gmeta"), Arc::new(|_: &str| "{oops".to_string()))
+            .unwrap();
+        let client = ViewerClient::new(Arc::new(Arc::clone(&net)), Addr::new("gmeta"));
+        assert!(matches!(client.fetch_trace(), Err(ViewerError::Trace(_))));
     }
 
     #[test]

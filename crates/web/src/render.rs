@@ -88,6 +88,40 @@ pub fn render_host(view: &HostView) -> String {
     out
 }
 
+/// Render a `?filter=trace` document (see `ViewerClient::fetch_trace`)
+/// as an aligned table, one span event per line, oldest first.
+pub fn render_trace(doc: &ganglia_telemetry::json::JsonValue) -> String {
+    let source = doc.get("source").and_then(|v| v.as_str()).unwrap_or("?");
+    let round = doc.get("round").and_then(|v| v.as_u64()).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Trace: {source} — round {round} ===");
+    let _ = writeln!(
+        out,
+        "{:>6} {:<20} {:<12} {:>10} {:>10} {:>10}  OUTCOME",
+        "ROUND", "SOURCE", "STAGE", "OPENED", "CLOSED", "US"
+    );
+    let mut i = 0;
+    while let Some(event) = doc.get("events").and_then(|e| e.index(i)) {
+        i += 1;
+        let str_field = |key: &str| event.get(key).and_then(|v| v.as_str()).unwrap_or("?");
+        let num_field = |key: &str| event.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        let source = str_field("source");
+        let _ = writeln!(
+            out,
+            "{:>6} {:<20} {:<12} {:>10} {:>10} {:>10}  {}",
+            num_field("round"),
+            if source.is_empty() { "-" } else { source },
+            str_field("stage"),
+            num_field("opened_at"),
+            num_field("closed_at"),
+            num_field("us"),
+            str_field("outcome"),
+        );
+    }
+    let _ = writeln!(out, "({i} event(s))");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +168,25 @@ mod tests {
         let text = render_cluster(&view);
         assert!(text.contains("NO"));
         assert!(text.contains("1.25"));
+    }
+
+    #[test]
+    fn trace_rendering_tabulates_events() {
+        let doc = ganglia_telemetry::json::parse(
+            "{\"source\":\"gmetad:wide\",\"round\":4,\"events\":[\
+             {\"round\":3,\"source\":\"sdsc\",\"stage\":\"poll\",\
+              \"path\":\"round.poll\",\"opened_at\":45,\"closed_at\":45,\
+              \"us\":120,\"outcome\":\"ok\"},\
+             {\"round\":4,\"source\":\"\",\"stage\":\"round\",\
+              \"path\":\"round\",\"opened_at\":60,\"closed_at\":60,\
+              \"us\":900,\"outcome\":\"ok\"}]}",
+        )
+        .unwrap();
+        let text = render_trace(&doc);
+        assert!(text.contains("gmetad:wide — round 4"));
+        assert!(text.contains("sdsc"));
+        assert!(text.contains("poll"));
+        assert!(text.contains("(2 event(s))"));
     }
 
     #[test]
