@@ -11,6 +11,14 @@
 //! allocate ≥10× less than the baseline, and every rendered document
 //! (the churn corpora and the paper's figure-3 grid) must be
 //! byte-identical between the two paths.
+//!
+//! The worst case is gated too: at 100% churn — every host's bytes
+//! change every round, so the fingerprint cache never hits — the delta
+//! path must still be at least as fast as the plain parser (speedup ≥
+//! 1.0x) and must not allocate more than the baseline plus a small
+//! constant. This is the regression bar: the streaming no-DOM rebuild
+//! path means a full-churn round costs no more than `parse_document`,
+//! and these gates keep it that way.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -55,11 +63,11 @@ fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
     (out, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
-/// Per-warm-round allocation counts at 0% churn: parse the cold round
-/// outside the counted window on both sides, then count `rounds - 1`
-/// byte-identical rounds.
-fn measure_allocs(params: &IngestParams) -> IngestAllocReport {
-    let corpus = churn_corpus(params, 0.0, 0x5eed_0001);
+/// Per-warm-round allocation counts at one churn level: parse the cold
+/// round outside the counted window on both sides, then count
+/// `rounds - 1` warm rounds.
+fn measure_allocs(params: &IngestParams, churn: f64) -> IngestAllocReport {
+    let corpus = churn_corpus(params, churn, 0x5eed_0001);
     let warm_rounds = (corpus.len() - 1) as u64;
 
     // Baseline has no cross-round state; warm rounds cost the same as
@@ -76,10 +84,18 @@ fn measure_allocs(params: &IngestParams) -> IngestAllocReport {
     });
 
     IngestAllocReport {
+        churn,
         baseline_allocs_per_round: baseline / warm_rounds,
         delta_allocs_per_round: delta / warm_rounds,
     }
 }
+
+/// Allocation overhead the delta path may add over the baseline at
+/// 100% churn, per round — a constant, deliberately independent of
+/// host count: cache bookkeeping (roster vectors, the cached-doc
+/// clone, map growth) costs a handful of allocations per round, never
+/// per host.
+const FULL_CHURN_ALLOC_SLACK: i64 = 192;
 
 fn main() -> ExitCode {
     let mut hosts = None;
@@ -121,10 +137,10 @@ fn main() -> ExitCode {
         params.hosts, params.metrics_per_host, params.rounds, churns
     );
     let result = run_ingest_churn(&params, &churns);
-    let allocs = measure_allocs(&params);
-    print!("{}", render_ingest(&result, Some(&allocs)));
+    let allocs = [measure_allocs(&params, 0.0), measure_allocs(&params, 1.0)];
+    print!("{}", render_ingest(&result, &allocs));
 
-    let rendered = render_ingest_json(&result, Some(&allocs));
+    let rendered = render_ingest_json(&result, &allocs);
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, &rendered) {
             eprintln!("repro_ingest: cannot write {path}: {e}");
@@ -170,19 +186,56 @@ fn main() -> ExitCode {
         }
         // Self-check 5: an unchanged round allocates ≥10× less than the
         // rebuild-every-round baseline on the counted path.
-        if allocs.reduction() < 10.0 {
+        let zero_allocs = &allocs[0];
+        if zero_allocs.reduction() < 10.0 {
             eprintln!(
                 "smoke FAILED: allocation reduction {:.1}x < 10x (baseline {}/round, delta {}/round)",
-                allocs.reduction(),
-                allocs.baseline_allocs_per_round,
-                allocs.delta_allocs_per_round
+                zero_allocs.reduction(),
+                zero_allocs.baseline_allocs_per_round,
+                zero_allocs.delta_allocs_per_round
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 6 (the worst-case gate): at 100% churn the cache
+        // never hits, and the delta path must still not be slower than
+        // plain parse+merge. This is the bar the streaming no-DOM
+        // rebuild path exists to hold.
+        let Some(full) = result.rows.iter().find(|r| r.churn >= 1.0) else {
+            eprintln!("smoke FAILED: churn sweep is missing the 100% row");
+            return ExitCode::FAILURE;
+        };
+        if full.speedup() < 1.0 {
+            eprintln!(
+                "smoke FAILED: 100%-churn speedup {:.2}x < 1.0x (baseline {:?}, delta {:?}) — \
+                 the delta path regressed the worst case",
+                full.speedup(),
+                full.baseline_elapsed,
+                full.delta_elapsed
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 7: a full-churn round's allocations are bounded by
+        // the baseline's plus a constant — cache bookkeeping must stay
+        // O(1) per round, not O(hosts).
+        let full_allocs = &allocs[1];
+        if full_allocs.overhead() > FULL_CHURN_ALLOC_SLACK {
+            eprintln!(
+                "smoke FAILED: 100%-churn allocation overhead {:+}/round exceeds {} \
+                 (baseline {}/round, delta {}/round)",
+                full_allocs.overhead(),
+                FULL_CHURN_ALLOC_SLACK,
+                full_allocs.baseline_allocs_per_round,
+                full_allocs.delta_allocs_per_round
             );
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "smoke ok: 0%-churn speedup {:.1}x, alloc reduction {:.1}x, byte-identical",
+            "smoke ok: 0%-churn speedup {:.1}x, 100%-churn speedup {:.2}x, \
+             alloc reduction {:.1}x, 100%-churn alloc overhead {:+}, byte-identical",
             zero.speedup(),
-            allocs.reduction()
+            full.speedup(),
+            zero_allocs.reduction(),
+            full_allocs.overhead()
         );
     }
     ExitCode::SUCCESS

@@ -18,18 +18,27 @@ use ganglia_sim::experiments::{
 };
 
 /// Allocation counts measured by the `repro_ingest` binary's counting
-/// allocator: total heap allocations per *warm* round (the cold parse
-/// round is excluded on both sides) at 0% churn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// allocator at one churn level: total heap allocations per *warm*
+/// round (the cold parse round is excluded on both sides).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IngestAllocReport {
+    /// Fraction of hosts whose bytes change every round.
+    pub churn: f64,
     pub baseline_allocs_per_round: u64,
     pub delta_allocs_per_round: u64,
 }
 
 impl IngestAllocReport {
-    /// Baseline allocations over delta allocations per unchanged round.
+    /// Baseline allocations over delta allocations per round.
     pub fn reduction(&self) -> f64 {
         self.baseline_allocs_per_round as f64 / self.delta_allocs_per_round.max(1) as f64
+    }
+
+    /// Delta-path allocations beyond the baseline's, per round. The
+    /// worst-case gate bounds this by a constant: the streaming rebuild
+    /// must not add per-host allocation overhead.
+    pub fn overhead(&self) -> i64 {
+        self.delta_allocs_per_round as i64 - self.baseline_allocs_per_round as i64
     }
 }
 
@@ -286,7 +295,7 @@ pub fn render_serving_json(result: &ServingResult, isolation: &IsolationResult) 
 }
 
 /// Render the ingest churn sweep as an aligned baseline-vs-delta table.
-pub fn render_ingest(result: &IngestResult, allocs: Option<&IngestAllocReport>) -> String {
+pub fn render_ingest(result: &IngestResult, allocs: &[IngestAllocReport]) -> String {
     let mut out = String::new();
     let p = &result.params;
     let _ = writeln!(
@@ -326,13 +335,16 @@ pub fn render_ingest(result: &IngestResult, allocs: Option<&IngestAllocReport>) 
         "fig3 corpus byte-identical through delta path: {}",
         result.fig3_identical
     );
-    if let Some(a) = allocs {
+    for a in allocs {
         let _ = writeln!(
             out,
-            "allocations per unchanged round: baseline {}, delta {} ({:.1}x reduction)",
+            "allocations per round at {:.0}% churn: baseline {}, delta {} \
+             ({:.1}x reduction, overhead {:+})",
+            a.churn * 100.0,
             a.baseline_allocs_per_round,
             a.delta_allocs_per_round,
-            a.reduction()
+            a.reduction(),
+            a.overhead()
         );
     }
     out
@@ -340,7 +352,7 @@ pub fn render_ingest(result: &IngestResult, allocs: Option<&IngestAllocReport>) 
 
 /// Render the ingest results as machine-readable JSON for the CI smoke
 /// job. Parseable by [`ganglia_core::telemetry::json::parse`].
-pub fn render_ingest_json(result: &IngestResult, allocs: Option<&IngestAllocReport>) -> String {
+pub fn render_ingest_json(result: &IngestResult, allocs: &[IngestAllocReport]) -> String {
     let mut out = String::from("{");
     let p = &result.params;
     let _ = write!(
@@ -370,14 +382,24 @@ pub fn render_ingest_json(result: &IngestResult, allocs: Option<&IngestAllocRepo
         );
     }
     out.push(']');
-    if let Some(a) = allocs {
-        let _ = write!(
-            out,
-            ",\"allocs\":{{\"baseline_per_round\":{},\"delta_per_round\":{},\"reduction\":{:.3}}}",
-            a.baseline_allocs_per_round,
-            a.delta_allocs_per_round,
-            a.reduction()
-        );
+    if !allocs.is_empty() {
+        out.push_str(",\"allocs\":[");
+        for (i, a) in allocs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"churn\":{:.3},\"baseline_per_round\":{},\"delta_per_round\":{},\
+                 \"reduction\":{:.3},\"overhead\":{}}}",
+                a.churn,
+                a.baseline_allocs_per_round,
+                a.delta_allocs_per_round,
+                a.reduction(),
+                a.overhead()
+            );
+        }
+        out.push(']');
     }
     out.push('}');
     out
@@ -597,14 +619,23 @@ mod tests {
             },
             &[0.0, 1.0],
         );
-        let allocs = IngestAllocReport {
-            baseline_allocs_per_round: 1000,
-            delta_allocs_per_round: 20,
-        };
-        let text = render_ingest(&result, Some(&allocs));
+        let allocs = [
+            IngestAllocReport {
+                churn: 0.0,
+                baseline_allocs_per_round: 1000,
+                delta_allocs_per_round: 20,
+            },
+            IngestAllocReport {
+                churn: 1.0,
+                baseline_allocs_per_round: 1000,
+                delta_allocs_per_round: 990,
+            },
+        ];
+        let text = render_ingest(&result, &allocs);
         assert!(text.contains("delta-aware merge"));
         assert!(text.contains("50.0x reduction"));
-        let json = render_ingest_json(&result, Some(&allocs));
+        assert!(text.contains("overhead -10"));
+        let json = render_ingest_json(&result, &allocs);
         let value = ganglia_core::telemetry::json::parse(&json).unwrap();
         assert_eq!(
             value.get("experiment").and_then(|v| v.as_str()),
@@ -620,9 +651,17 @@ mod tests {
             Some(3),
             "{json}"
         );
-        assert!(value
-            .get("allocs")
-            .and_then(|a| a.get("reduction"))
-            .is_some());
+        let ganglia_core::telemetry::json::JsonValue::Array(alloc_rows) =
+            value.get("allocs").unwrap()
+        else {
+            panic!("allocs must be an array");
+        };
+        assert_eq!(alloc_rows.len(), 2);
+        assert!(alloc_rows[0].get("reduction").is_some());
+        assert_eq!(
+            alloc_rows[1].get("overhead").and_then(|v| v.as_f64()),
+            Some(-10.0),
+            "{json}"
+        );
     }
 }

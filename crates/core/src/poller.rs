@@ -292,6 +292,12 @@ impl SourcePoller {
         registry
             .counter("ingest.summaries_reused")
             .add(stats.summaries_reused);
+        registry
+            .counter("ingest.summaries_direct")
+            .add(stats.summaries_direct);
+        registry
+            .counter("ingest.dup_fallbacks")
+            .add(stats.dup_fallbacks);
         if stats.doc_reused {
             registry.counter("ingest.docs_reused").inc();
         }

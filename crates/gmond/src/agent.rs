@@ -64,6 +64,9 @@ pub struct GmondAgent {
     packets_tx: Counter,
     packets_rx: Counter,
     decode_errors: Counter,
+    /// Output-size predictor for the TCP report (per-agent, not global:
+    /// cluster sizes differ wildly between agents in one process).
+    render_hint: ganglia_metrics::RenderHint,
 }
 
 impl GmondAgent {
@@ -95,6 +98,7 @@ impl GmondAgent {
             packets_tx,
             packets_rx,
             decode_errors,
+            render_hint: ganglia_metrics::RenderHint::new(),
         }
     }
 
@@ -304,8 +308,8 @@ impl GmondAgent {
 
     /// The cluster report serialized to Ganglia XML (what the TCP port
     /// serves).
-    pub fn xml_report(&self, now: u64) -> String {
-        ganglia_metrics::codec::write_document(&self.report(now))
+    pub fn xml_report(&mut self, now: u64) -> String {
+        ganglia_metrics::codec::write_document_hinted(&self.report(now), &mut self.render_hint)
     }
 
     /// The agent's own telemetry as `self.*` metric entries ("monitor

@@ -112,7 +112,9 @@ impl PseudoGmond {
         cluster.localtime = Some(now);
         cluster.owner = "pseudo".to_string();
         self.doc = GangliaDoc::gmond(cluster);
-        self.xml = codec::write_document(&self.doc);
+        // Render in place: the buffer keeps its allocation across
+        // rounds, so steady-state advances are realloc-free.
+        codec::render_document_into(&self.doc, &mut self.xml);
     }
 
     /// The current report as a typed document.

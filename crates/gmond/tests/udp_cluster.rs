@@ -62,7 +62,7 @@ fn udp_mesh_cluster_converges_and_reports() {
     }
 
     // Any agent now serves the complete cluster report.
-    for agent in &agents {
+    for agent in &mut agents {
         let doc = ganglia_metrics::parse_document(&agent.xml_report(0)).expect("well-formed");
         assert_eq!(doc.host_count(), 3, "from {}", agent.node_name());
     }

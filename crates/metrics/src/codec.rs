@@ -8,7 +8,6 @@
 
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ganglia_xml::names::{self, attr};
@@ -434,21 +433,81 @@ fn skip_element(parser: &mut PullParser<'_>) -> Result<()> {
 // Writing
 // ---------------------------------------------------------------------
 
-/// Output-size hint for `write_document`: the previous render's length
-/// plus slack. Successive renders of a monitoring tree are nearly the
-/// same size, so sizing from the last one avoids the grow-and-copy
-/// cascade a fixed 4096 forces on every full dump.
-static RENDER_SIZE_HINT: AtomicUsize = AtomicUsize::new(4096);
+/// Per-call-site output-size predictor for repeated renders.
+///
+/// Successive renders of the same monitoring tree are nearly the same
+/// size, so sizing the output from the previous round avoids the
+/// grow-and-copy cascade a fixed capacity forces on every full dump.
+/// The hint is a high watermark with decay: it jumps to a larger render
+/// immediately, but after a one-off spike (a temporarily huge roster, a
+/// burst of string metrics) it drifts back down by 1/8 of the gap each
+/// render, so one outlier cannot pin an oversized allocation forever.
+///
+/// Unlike a process-global hint, each call site owns its own — the
+/// gmond TCP report and a gmetad grid dump have wildly different sizes
+/// and must not fight over one predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderHint {
+    watermark: usize,
+}
+
+impl Default for RenderHint {
+    fn default() -> RenderHint {
+        RenderHint { watermark: 4096 }
+    }
+}
+
+impl RenderHint {
+    pub fn new() -> RenderHint {
+        RenderHint::default()
+    }
+
+    /// Capacity to pre-reserve for the next render.
+    pub fn capacity(&self) -> usize {
+        self.watermark + self.watermark / 8 + 64
+    }
+
+    /// Record a completed render of `len` bytes: jump up immediately,
+    /// decay down geometrically.
+    pub fn observe(&mut self, len: usize) {
+        if len >= self.watermark {
+            self.watermark = len;
+        } else {
+            self.watermark -= (self.watermark - len) / 8;
+        }
+    }
+}
 
 /// Serialize a document to Ganglia XML (with the standard declaration).
+///
+/// One-shot form: starts from a fixed capacity. Call sites that render
+/// repeatedly should hold a [`RenderHint`] and use
+/// [`write_document_hinted`], or reuse a buffer with
+/// [`render_document_into`].
 pub fn write_document(doc: &GangliaDoc) -> String {
-    let mut out = String::with_capacity(RENDER_SIZE_HINT.load(Ordering::Relaxed));
-    let mut writer = XmlWriter::new(&mut out);
+    let mut out = String::with_capacity(4096);
+    render_document_into(doc, &mut out);
+    out
+}
+
+/// Serialize with a caller-owned size predictor: the output is
+/// pre-sized to the hint's capacity and the hint learns the result.
+pub fn write_document_hinted(doc: &GangliaDoc, hint: &mut RenderHint) -> String {
+    let mut out = String::with_capacity(hint.capacity());
+    render_document_into(doc, &mut out);
+    hint.observe(out.len());
+    out
+}
+
+/// Serialize into a reusable buffer (cleared first, declaration
+/// included). The buffer keeps its allocation across renders, which is
+/// the strongest form of per-call-site sizing: no predictor needed.
+pub fn render_document_into(doc: &GangliaDoc, out: &mut String) {
+    out.clear();
+    let mut writer = XmlWriter::new(out);
     writer.declaration();
     write_doc_into(doc, &mut writer);
     writer.finish().expect("writing to String cannot fail");
-    RENDER_SIZE_HINT.store(out.len() + out.len() / 8 + 64, Ordering::Relaxed);
-    out
 }
 
 /// Serialize a document into an existing writer (no declaration).
@@ -684,6 +743,42 @@ mod tests {
         let xml = write_document(&doc);
         let again = parse_document(&xml).unwrap();
         assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn render_hint_learns_and_decays() {
+        let mut hint = RenderHint::new();
+        let doc = parse_document(FIG3).unwrap();
+        let first = write_document_hinted(&doc, &mut hint);
+        // The hint learned the render size: the next render fits its
+        // suggested capacity without growing.
+        assert!(hint.capacity() >= first.len());
+        let second = write_document_hinted(&doc, &mut hint);
+        assert_eq!(first, second);
+        assert_eq!(first, write_document(&doc));
+        // A spike raises the watermark immediately; steady observations
+        // of a small size decay it back down.
+        hint.observe(1_000_000);
+        assert!(hint.capacity() >= 1_000_000);
+        for _ in 0..64 {
+            hint.observe(first.len());
+        }
+        assert!(
+            hint.capacity() < 4 * first.len().max(4096),
+            "watermark should decay toward the steady-state render size"
+        );
+    }
+
+    #[test]
+    fn render_into_reuses_buffer_and_matches() {
+        let doc = parse_document(FIG3).unwrap();
+        let mut buf = String::new();
+        render_document_into(&doc, &mut buf);
+        assert_eq!(buf, write_document(&doc));
+        let cap = buf.capacity();
+        render_document_into(&doc, &mut buf);
+        assert_eq!(buf, write_document(&doc));
+        assert_eq!(buf.capacity(), cap, "re-render must not reallocate");
     }
 
     #[test]

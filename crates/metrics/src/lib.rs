@@ -29,10 +29,14 @@ pub mod definition;
 pub mod ingest;
 pub mod model;
 pub mod slope;
+pub mod stream;
 pub mod value;
 
 pub use atom::{intern_stats, Atom, InternStats};
-pub use codec::{parse_document, write_document, ParseError};
+pub use codec::{
+    parse_document, render_document_into, write_document, write_document_hinted, ParseError,
+    RenderHint,
+};
 pub use definition::{builtin_metrics, MetricDefinition, MetricRegistry};
 pub use ingest::{fingerprint64, IngestStats, Ingested, Ingester};
 pub use model::{
@@ -40,4 +44,5 @@ pub use model::{
     MetricSummary, SummaryBody,
 };
 pub use slope::Slope;
+pub use stream::parse_document_streaming;
 pub use value::{MetricType, MetricValue};

@@ -192,6 +192,41 @@ impl SummaryBody {
         summary
     }
 
+    /// [`SummaryBody::from_hosts`] specialized to a single host: the
+    /// identical result (same first-seen metric ordering, same addition
+    /// sequence) with a linear probe instead of a per-call `HashMap`.
+    /// This is how the streaming ingest computes a host's cached summary
+    /// contribution without allocating bookkeeping per host.
+    pub fn from_host(host: &HostNode) -> SummaryBody {
+        let mut summary = SummaryBody::default();
+        if !host.is_up() {
+            summary.hosts_down = 1;
+            return summary;
+        }
+        summary.hosts_up = 1;
+        for metric in &host.metrics {
+            let Some(x) = metric.value.as_f64() else {
+                continue; // non-numeric metrics are not summarizable
+            };
+            match summary.metrics.iter_mut().find(|m| m.name == metric.name) {
+                Some(entry) => {
+                    entry.sum += x;
+                    entry.num += 1;
+                }
+                None => summary.metrics.push(MetricSummary {
+                    name: metric.name.clone(),
+                    sum: x,
+                    num: 1,
+                    ty: metric.value.metric_type(),
+                    units: metric.units.clone(),
+                    slope: metric.slope,
+                    source: metric.source.clone(),
+                }),
+            }
+        }
+        summary
+    }
+
     /// Merge another summary into this one. This is the additive
     /// composition step a gmeta performs when rolling child summaries up
     /// into a grid summary.

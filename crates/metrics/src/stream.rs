@@ -1,0 +1,565 @@
+//! Streaming no-DOM construction of model nodes.
+//!
+//! [`crate::codec::parse_document`] drives the *eventful* pull API: every
+//! start tag materializes a `Vec<Attribute>` and every entity-escaped
+//! value an owned `String`. That is fine for a one-shot parse, but the
+//! delta-aware [`crate::ingest::Ingester`] re-parses host subtrees every
+//! round, and at 100% churn those per-event allocations made the delta
+//! path *slower* than the plain parser it was supposed to beat.
+//!
+//! This module is the allocation-lean twin: an event-driven state machine
+//! over [`PullParser::next_event_into`] that writes attribute spans and
+//! expanded entities into one reusable [`AttrScratch`] per source and
+//! builds `HostNode` / `SummaryBody` values directly from the scratch —
+//! no `Vec<Attribute>`, no `Cow`, no intermediate DOM. The only
+//! allocations left on a host re-parse are the ones the *result* needs
+//! (the node's own strings and metric vector).
+//!
+//! Two invariants the rest of the system depends on, enforced by unit
+//! tests here and the adversarial proptests in
+//! `tests/proptest_stream.rs`:
+//!
+//! * **value identity** — for any input, [`parse_document_streaming`]
+//!   produces exactly the document [`crate::codec::parse_document`]
+//!   produces (hence byte-identical renders);
+//! * **error identity** — for any malformed input, both parsers fail
+//!   with the *same* [`ParseError`] value. The helpers below perform the
+//!   identical checks in the identical order as their `codec` twins, and
+//!   `next_event_into` mirrors `next_event`'s well-formedness checks, so
+//!   this holds by construction.
+//!
+//! Scratch ownership rule (see also [`AttrScratch`]): spans handed out
+//! for one event die at the next `next_event_into` call. Every helper
+//! here therefore copies what it keeps (into an interned `Atom` or an
+//! owned `String`) before the parser advances.
+
+use std::sync::Arc;
+
+use ganglia_xml::names::{self, attr};
+use ganglia_xml::{AttrScratch, PullParser, StreamEvent};
+
+use crate::atom::Atom;
+use crate::codec::ParseError;
+use crate::model::{
+    ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,
+    MetricSummary, SummaryBody,
+};
+use crate::slope::Slope;
+use crate::value::{MetricType, MetricValue};
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+// ---------------------------------------------------------------------
+// Scratch-backed attribute helpers (twins of the `codec` helpers over
+// `&[Attribute]`, same error construction in the same order)
+// ---------------------------------------------------------------------
+
+pub(crate) fn find<'s>(input: &'s str, scratch: &'s AttrScratch, name: &str) -> Option<&'s str> {
+    scratch.get(input, name)
+}
+
+pub(crate) fn required<'s>(
+    input: &'s str,
+    scratch: &'s AttrScratch,
+    element: &'static str,
+    name: &'static str,
+) -> Result<&'s str> {
+    find(input, scratch, name).ok_or(ParseError::MissingAttr {
+        element,
+        attr: name,
+    })
+}
+
+pub(crate) fn optional_string(input: &str, scratch: &AttrScratch, name: &str) -> String {
+    find(input, scratch, name).unwrap_or("").to_string()
+}
+
+pub(crate) fn optional_atom(input: &str, scratch: &AttrScratch, name: &str) -> Atom {
+    match find(input, scratch, name) {
+        Some(value) => Atom::new(value),
+        None => Atom::empty(),
+    }
+}
+
+pub(crate) fn parse_num<T: std::str::FromStr>(
+    input: &str,
+    scratch: &AttrScratch,
+    element: &'static str,
+    name: &'static str,
+    default: T,
+) -> Result<T> {
+    match find(input, scratch, name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element,
+            attr: name.to_string(),
+            value: raw.to_string(),
+        }),
+    }
+}
+
+pub(crate) fn parse_opt_num<T: std::str::FromStr>(
+    input: &str,
+    scratch: &AttrScratch,
+    element: &'static str,
+    name: &'static str,
+) -> Result<Option<T>> {
+    match find(input, scratch, name) {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| ParseError::BadAttr {
+            element,
+            attr: name.to_string(),
+            value: raw.to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Element parsers
+// ---------------------------------------------------------------------
+
+/// Header attributes of a `GRID` start tag, copied out of the scratch
+/// before the parser advances past it.
+pub(crate) struct GridHeader {
+    pub name: String,
+    pub authority: String,
+    pub localtime: Option<u64>,
+}
+
+pub(crate) fn grid_header(input: &str, scratch: &AttrScratch) -> Result<GridHeader> {
+    Ok(GridHeader {
+        name: required(input, scratch, names::GRID, attr::NAME)?.to_string(),
+        authority: optional_string(input, scratch, attr::AUTHORITY),
+        localtime: parse_opt_num::<u64>(input, scratch, names::GRID, attr::LOCALTIME)?,
+    })
+}
+
+/// Header attributes of a `CLUSTER` start tag.
+pub(crate) struct ClusterHeader {
+    pub name: String,
+    pub owner: String,
+    pub latlong: String,
+    pub url: String,
+    pub localtime: Option<u64>,
+}
+
+pub(crate) fn cluster_header(input: &str, scratch: &AttrScratch) -> Result<ClusterHeader> {
+    Ok(ClusterHeader {
+        name: required(input, scratch, names::CLUSTER, attr::NAME)?.to_string(),
+        owner: optional_string(input, scratch, attr::OWNER),
+        latlong: optional_string(input, scratch, attr::LATLONG),
+        url: optional_string(input, scratch, attr::URL),
+        localtime: parse_opt_num::<u64>(input, scratch, names::CLUSTER, attr::LOCALTIME)?,
+    })
+}
+
+/// Parse one `METRIC` start tag's attributes from the scratch. Twin of
+/// `codec::parse_metric`, checks in the same order.
+pub(crate) fn parse_metric_scratch(input: &str, scratch: &AttrScratch) -> Result<MetricEntry> {
+    let name = Atom::new(required(input, scratch, names::METRIC, attr::NAME)?);
+    let ty_raw = required(input, scratch, names::METRIC, attr::TYPE)?;
+    let ty: MetricType = ty_raw.parse().map_err(|_| ParseError::BadAttr {
+        element: names::METRIC,
+        attr: attr::TYPE.to_string(),
+        value: ty_raw.to_string(),
+    })?;
+    let val_raw = required(input, scratch, names::METRIC, attr::VAL)?;
+    let value = MetricValue::parse(ty, val_raw).map_err(|_| ParseError::BadAttr {
+        element: names::METRIC,
+        attr: attr::VAL.to_string(),
+        value: val_raw.to_string(),
+    })?;
+    let slope = match find(input, scratch, attr::SLOPE) {
+        None => Slope::Unspecified,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRIC,
+            attr: attr::SLOPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    Ok(MetricEntry {
+        name,
+        value,
+        units: optional_atom(input, scratch, attr::UNITS),
+        tn: parse_num(input, scratch, names::METRIC, attr::TN, 0u32)?,
+        tmax: parse_num(input, scratch, names::METRIC, attr::TMAX, 60u32)?,
+        dmax: parse_num(input, scratch, names::METRIC, attr::DMAX, 0u32)?,
+        slope,
+        source: optional_atom(input, scratch, attr::SOURCE),
+    })
+}
+
+/// Parse one `METRICS` summary tag's attributes from the scratch. Twin
+/// of `codec::parse_metric_summary`.
+pub(crate) fn parse_metric_summary_scratch(
+    input: &str,
+    scratch: &AttrScratch,
+) -> Result<MetricSummary> {
+    let name = Atom::new(required(input, scratch, names::METRICS, attr::NAME)?);
+    let ty = match find(input, scratch, attr::TYPE) {
+        None => MetricType::Double,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRICS,
+            attr: attr::TYPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    let slope = match find(input, scratch, attr::SLOPE) {
+        None => Slope::Unspecified,
+        Some(raw) => raw.parse().map_err(|_| ParseError::BadAttr {
+            element: names::METRICS,
+            attr: attr::SLOPE.to_string(),
+            value: raw.to_string(),
+        })?,
+    };
+    Ok(MetricSummary {
+        name,
+        sum: parse_num(input, scratch, names::METRICS, attr::SUM, 0.0f64)?,
+        num: parse_num(input, scratch, names::METRICS, attr::NUM, 0u32)?,
+        ty,
+        units: optional_atom(input, scratch, attr::UNITS),
+        slope,
+        source: optional_atom(input, scratch, attr::SOURCE),
+    })
+}
+
+/// Parse a `HOST` element body whose start event was just returned (its
+/// attributes are still in the scratch). `metrics_hint` pre-sizes the
+/// metric vector from the previous round's observation so a steady-state
+/// host parse does not grow-and-copy.
+pub(crate) fn parse_host_streaming(
+    parser: &mut PullParser<'_>,
+    input: &str,
+    scratch: &mut AttrScratch,
+    metrics_hint: usize,
+) -> Result<HostNode> {
+    let mut host = HostNode {
+        name: Atom::new(required(input, scratch, names::HOST, attr::NAME)?),
+        ip: optional_string(input, scratch, attr::IP),
+        reported: parse_opt_num::<u64>(input, scratch, names::HOST, attr::REPORTED)?,
+        tn: parse_num(input, scratch, names::HOST, attr::TN, 0u32)?,
+        tmax: parse_num(input, scratch, names::HOST, attr::TMAX, 20u32)?,
+        dmax: parse_num(input, scratch, names::HOST, attr::DMAX, 0u32)?,
+        location: optional_string(input, scratch, attr::LOCATION),
+        gmond_started: parse_num(input, scratch, names::HOST, attr::STARTED, 0u64)?,
+        metrics: Vec::with_capacity(metrics_hint),
+    };
+    loop {
+        match parser.next_event_into(scratch)? {
+            Some(StreamEvent::Start { name: tag, .. }) => match tag {
+                names::METRIC => {
+                    host.metrics.push(parse_metric_scratch(input, scratch)?);
+                    parser.skip_subtree_into(scratch)?;
+                }
+                // Later gmond versions attach EXTRA_DATA; tolerated.
+                names::EXTRA_DATA | names::EXTRA_ELEMENT => parser.skip_subtree_into(scratch)?,
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::HOST.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(StreamEvent::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    Ok(host)
+}
+
+/// Parse one `<HOST>...</HOST>` byte span through the streaming machine.
+/// This is the Ingester's span-miss path: full well-formedness checks
+/// apply, but the only allocations are the node's own.
+pub(crate) fn parse_host_span_streaming(
+    span: &str,
+    scratch: &mut AttrScratch,
+    metrics_hint: usize,
+) -> Result<HostNode> {
+    let mut parser = PullParser::new(span);
+    match parser.next_event_into(scratch)? {
+        Some(StreamEvent::Start {
+            name: names::HOST, ..
+        }) => parse_host_streaming(&mut parser, span, scratch, metrics_hint),
+        _ => Err(ParseError::UnexpectedTag {
+            parent: names::CLUSTER.into(),
+            tag: "(host span)".into(),
+        }),
+    }
+}
+
+fn parse_grid_streaming(
+    parser: &mut PullParser<'_>,
+    input: &str,
+    scratch: &mut AttrScratch,
+    header: GridHeader,
+) -> Result<GridNode> {
+    let mut items: Vec<GridItem> = Vec::new();
+    let mut summary: Option<SummaryBody> = None;
+    loop {
+        match parser.next_event_into(scratch)? {
+            Some(StreamEvent::Start { name: tag, .. }) => match tag {
+                names::GRID => {
+                    let hdr = grid_header(input, scratch)?;
+                    items.push(GridItem::Grid(parse_grid_streaming(
+                        parser, input, scratch, hdr,
+                    )?));
+                }
+                names::CLUSTER => {
+                    let hdr = cluster_header(input, scratch)?;
+                    items.push(GridItem::Cluster(parse_cluster_streaming(
+                        parser, input, scratch, hdr,
+                    )?));
+                }
+                names::HOSTS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.hosts_up = parse_num(input, scratch, names::HOSTS, attr::UP, 0u32)?;
+                    body.hosts_down = parse_num(input, scratch, names::HOSTS, attr::DOWN, 0u32)?;
+                    parser.skip_subtree_into(scratch)?;
+                }
+                names::METRICS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.metrics
+                        .push(parse_metric_summary_scratch(input, scratch)?);
+                    parser.skip_subtree_into(scratch)?;
+                }
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::GRID.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(StreamEvent::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let body = match summary {
+        Some(s) if items.is_empty() => GridBody::Summary(s),
+        // A grid reporting both nested items and its own rolled-up summary
+        // keeps the expanded form; summaries are recomputable.
+        Some(_) | None => GridBody::Items(items),
+    };
+    Ok(GridNode {
+        name: header.name,
+        authority: header.authority,
+        localtime: header.localtime,
+        body,
+    })
+}
+
+fn parse_cluster_streaming(
+    parser: &mut PullParser<'_>,
+    input: &str,
+    scratch: &mut AttrScratch,
+    header: ClusterHeader,
+) -> Result<ClusterNode> {
+    let mut hosts: Vec<Arc<HostNode>> = Vec::new();
+    let mut summary: Option<SummaryBody> = None;
+    loop {
+        match parser.next_event_into(scratch)? {
+            Some(StreamEvent::Start { name: tag, .. }) => match tag {
+                names::HOST => {
+                    hosts.push(Arc::new(parse_host_streaming(parser, input, scratch, 0)?))
+                }
+                names::HOSTS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.hosts_up = parse_num(input, scratch, names::HOSTS, attr::UP, 0u32)?;
+                    body.hosts_down = parse_num(input, scratch, names::HOSTS, attr::DOWN, 0u32)?;
+                    parser.skip_subtree_into(scratch)?;
+                }
+                names::METRICS => {
+                    let body = summary.get_or_insert_with(SummaryBody::default);
+                    body.metrics
+                        .push(parse_metric_summary_scratch(input, scratch)?);
+                    parser.skip_subtree_into(scratch)?;
+                }
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::CLUSTER.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(StreamEvent::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let body = match (hosts.is_empty(), summary) {
+        (false, None) => ClusterBody::Hosts(hosts),
+        (true, Some(s)) => ClusterBody::Summary(s),
+        (true, None) => ClusterBody::Hosts(Vec::new()),
+        (false, Some(_)) => return Err(ParseError::MixedClusterBody(header.name)),
+    };
+    Ok(ClusterNode {
+        name: header.name,
+        owner: header.owner,
+        latlong: header.latlong,
+        url: header.url,
+        localtime: header.localtime,
+        body,
+    })
+}
+
+/// Parse a complete Ganglia XML report through the streaming machine,
+/// reusing `scratch` for every event. Produces exactly what
+/// [`crate::codec::parse_document`] produces — same document on success,
+/// same [`ParseError`] on failure.
+pub fn parse_document_streaming_with(input: &str, scratch: &mut AttrScratch) -> Result<GangliaDoc> {
+    let mut parser = PullParser::new(input);
+    // Skip prolog (declaration, DOCTYPE, comments) to the root element.
+    let root_name = loop {
+        match parser.next_event_into(scratch)? {
+            Some(StreamEvent::Start { name, .. }) => break name,
+            Some(StreamEvent::Decl(_) | StreamEvent::Comment(_)) => continue,
+            // Text / End before the root never reach here: the parser
+            // itself rejects them (TrailingContent / UnmatchedClose).
+            Some(other) => {
+                return Err(ParseError::UnexpectedTag {
+                    parent: "(document)".into(),
+                    tag: format!("{other:?}"),
+                })
+            }
+            None => return Err(ParseError::BadRoot("(empty)".into())),
+        }
+    };
+    if root_name != names::GANGLIA_XML {
+        return Err(ParseError::BadRoot(root_name.to_string()));
+    }
+    // The root's attributes are still live in the scratch here.
+    let mut doc = GangliaDoc {
+        version: optional_string(input, scratch, attr::VERSION),
+        source: optional_string(input, scratch, attr::SOURCE),
+        items: Vec::new(),
+    };
+    loop {
+        match parser.next_event_into(scratch)? {
+            Some(StreamEvent::Start { name, .. }) => match name {
+                names::GRID => {
+                    let hdr = grid_header(input, scratch)?;
+                    doc.items.push(GridItem::Grid(parse_grid_streaming(
+                        &mut parser,
+                        input,
+                        scratch,
+                        hdr,
+                    )?));
+                }
+                names::CLUSTER => {
+                    let hdr = cluster_header(input, scratch)?;
+                    doc.items.push(GridItem::Cluster(parse_cluster_streaming(
+                        &mut parser,
+                        input,
+                        scratch,
+                        hdr,
+                    )?));
+                }
+                other => {
+                    return Err(ParseError::UnexpectedTag {
+                        parent: names::GANGLIA_XML.into(),
+                        tag: other.to_string(),
+                    })
+                }
+            },
+            Some(StreamEvent::End { .. }) => break,
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    Ok(doc)
+}
+
+/// [`parse_document_streaming_with`] with a throwaway scratch — the
+/// one-shot form used by tests and callers without a per-source scratch.
+pub fn parse_document_streaming(input: &str) -> Result<GangliaDoc> {
+    let mut scratch = AttrScratch::new();
+    parse_document_streaming_with(input, &mut scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{parse_document, write_document};
+
+    fn assert_same_outcome(input: &str) {
+        let eventful = parse_document(input);
+        let streaming = parse_document_streaming(input);
+        match (eventful, streaming) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "documents diverged on {input:?}");
+                assert_eq!(write_document(&a), write_document(&b));
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverged on {input:?}"),
+            (a, b) => panic!("outcome diverged on {input:?}: eventful={a:?} streaming={b:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_matches_eventful_on_representative_docs() {
+        for doc in [
+            r#"<GANGLIA_XML VERSION="2.5.4" SOURCE="gmond"><CLUSTER NAME="c" LOCALTIME="9">
+<HOST NAME="n0" IP="10.0.0.1" REPORTED="7" TN="5" TMAX="20" DMAX="0">
+<METRIC NAME="load_one" VAL="0.89" TYPE="float" UNITS="" TN="10" TMAX="70" DMAX="0" SLOPE="both" SOURCE="gmond"/>
+</HOST></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><GRID NAME="top" AUTHORITY="http://x/"><GRID NAME="sub">
+<HOSTS UP="10" DOWN="1"/><METRICS NAME="cpu_num" SUM="20" NUM="10" TYPE="int32"/>
+</GRID></GRID></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="big"><HOSTS UP="500" DOWN="2"/>
+<METRICS NAME="load_one" SUM="215.5" NUM="500" TYPE="float"/></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c"/></GANGLIA_XML>"#,
+            "<?xml version=\"1.0\"?><!-- p --><GANGLIA_XML/>",
+            // Entity-escaped and numeric-char-ref attribute values.
+            r#"<GANGLIA_XML><CLUSTER NAME="a &amp; b" OWNER="&#65;&#x42;"><HOST NAME="h &lt;1&gt;" IP="1.1.1.1"/></CLUSTER></GANGLIA_XML>"#,
+        ] {
+            assert_same_outcome(doc);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_eventful_on_malformed_docs() {
+        for doc in [
+            "",
+            "   ",
+            "<HTML/>",
+            "<GANGLIA_XML><BOGUS/></GANGLIA_XML>",
+            r#"<GANGLIA_XML><CLUSTER><HOST NAME="x"/></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c"><HOST NAME="h"><METRIC NAME="m" VAL="x" TYPE="int32"/></HOST></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c"><HOST NAME="h" IP="1.1.1.1"/><HOSTS UP="1" DOWN="0"/></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c"><GRID NAME="g"/></CLUSTER></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c" LOCALTIME="yesterday"/></GANGLIA_XML>"#,
+            r#"<GANGLIA_XML><CLUSTER NAME="c&bad;"/></GANGLIA_XML>"#,
+            "<GANGLIA_XML><CLUSTER NAME=\"c\">",
+            "<GANGLIA_XML></GANGLIA_XML>junk",
+        ] {
+            assert_same_outcome(doc);
+        }
+    }
+
+    #[test]
+    fn host_span_streaming_matches_eventful_span_parse() {
+        let span = r#"<HOST NAME="n0" IP="10.0.0.1" REPORTED="7" TN="5" TMAX="20" DMAX="0" LOCATION="r1,u2" STARTED="3">
+<METRIC NAME="load_one" VAL="0.89" TYPE="float" SLOPE="both"/>
+<EXTRA_DATA><EXTRA_ELEMENT NAME="x"/></EXTRA_DATA>
+</HOST>"#;
+        let mut scratch = AttrScratch::new();
+        let node = parse_host_span_streaming(span, &mut scratch, 4).unwrap();
+        assert_eq!(node.name.as_str(), "n0");
+        assert_eq!(node.ip, "10.0.0.1");
+        assert_eq!(node.reported, Some(7));
+        assert_eq!(node.location, "r1,u2");
+        assert_eq!(node.gmond_started, 3);
+        assert_eq!(node.metrics.len(), 1);
+        assert_eq!(node.metrics[0].name.as_str(), "load_one");
+        // Non-HOST spans are rejected the same way the eventful span
+        // parser rejects them.
+        assert!(matches!(
+            parse_host_span_streaming(
+                "<METRIC NAME=\"x\" VAL=\"1\" TYPE=\"int32\"/>",
+                &mut scratch,
+                0
+            ),
+            Err(ParseError::UnexpectedTag { .. })
+        ));
+    }
+}

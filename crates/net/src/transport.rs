@@ -81,18 +81,32 @@ impl FetchBuffer {
         self.text
     }
 
-    /// Clear the text and pre-reserve to the learned hint, ready for a
-    /// new response.
+    /// Clear the text and right-size the allocation for a new response:
+    /// reserve up to the learned hint, and release capacity that a
+    /// one-off huge response left behind once the decayed hint shows it
+    /// is no longer representative (capacity > 4x hint). Without the
+    /// release, one pathological dump would pin its allocation for the
+    /// life of the poller.
     pub(crate) fn prepare(&mut self) {
         self.text.clear();
+        if self.hint > 0 && self.text.capacity() > self.hint.saturating_mul(4) {
+            self.text.shrink_to(self.hint + self.hint / 8);
+        }
         if self.text.capacity() < self.hint {
             self.text.reserve(self.hint - self.text.capacity());
         }
     }
 
-    /// Record a completed response of `len` bytes.
+    /// Record a completed response of `len` bytes. The hint is a high
+    /// watermark with decay: it jumps up to a larger response
+    /// immediately, but drifts back down by 1/8 of the gap per round so
+    /// a single spike cannot inflate every future reservation.
     pub(crate) fn learn(&mut self, len: usize) {
-        self.hint = len;
+        if len >= self.hint {
+            self.hint = len;
+        } else {
+            self.hint -= (self.hint - len) / 8;
+        }
     }
 }
 
@@ -127,5 +141,53 @@ pub trait Transport: Send + Sync {
         buf.text = self.fetch(addr, request, timeout)?;
         buf.learn(buf.text.len());
         Ok(buf.text.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FetchBuffer;
+
+    #[test]
+    fn hint_jumps_up_and_decays_down() {
+        let mut buf = FetchBuffer::new();
+        buf.learn(10_000);
+        assert_eq!(buf.hint(), 10_000);
+        // A spike raises the watermark immediately...
+        buf.learn(1_000_000);
+        assert_eq!(buf.hint(), 1_000_000);
+        // ...then steady small responses decay it geometrically.
+        let mut last = buf.hint();
+        for _ in 0..64 {
+            buf.learn(10_000);
+            assert!(buf.hint() <= last);
+            last = buf.hint();
+        }
+        assert!(
+            buf.hint() < 40_000,
+            "watermark should decay near steady-state size, got {}",
+            buf.hint()
+        );
+    }
+
+    #[test]
+    fn prepare_releases_capacity_after_spike() {
+        let mut buf = FetchBuffer::new();
+        // Simulate one huge response pinning a large allocation.
+        buf.text = String::with_capacity(1 << 20);
+        buf.learn(1 << 20);
+        // Steady small responses decay the hint until the capacity is
+        // more than 4x the watermark, at which point prepare shrinks.
+        for _ in 0..64 {
+            buf.learn(8_192);
+            buf.prepare();
+        }
+        assert!(
+            buf.capacity() < (1 << 20) / 4,
+            "oversized allocation should be released, capacity {}",
+            buf.capacity()
+        );
+        // The buffer still reserves to the hint for the next read.
+        assert!(buf.capacity() >= buf.hint());
     }
 }

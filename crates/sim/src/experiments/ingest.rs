@@ -232,13 +232,28 @@ pub fn run_ingest_churn(params: &IngestParams, churns: &[f64]) -> IngestResult {
         .map(|&churn| {
             let corpus = churn_corpus(params, churn, 0x5eed_0001);
             let report_bytes = corpus[0].len();
-            let start = Instant::now();
-            let check = baseline_pass(&corpus);
-            let baseline_elapsed = start.elapsed();
-            assert_ne!(check, u64::MAX, "checksum consumed");
-            let start = Instant::now();
-            let totals = delta_pass(&corpus);
-            let delta_elapsed = start.elapsed();
+            // Best of five *interleaved* repetitions per pass: the CI
+            // gates compare these two times as a ratio, and minimums
+            // are far less sensitive to scheduler noise than single
+            // shots. Interleaving matters as much as repeating — a
+            // noisy-neighbor burst lasting one pass then degrades a
+            // baseline rep and a delta rep alike instead of landing
+            // entirely on whichever side happened to be running. Each
+            // delta repetition uses a fresh ingester, so the reps are
+            // independent and the reuse totals identical.
+            const REPS: usize = 5;
+            let mut baseline_elapsed = Duration::MAX;
+            let mut delta_elapsed = Duration::MAX;
+            let mut totals = DeltaTotals::default();
+            for _ in 0..REPS {
+                let start = Instant::now();
+                let check = baseline_pass(&corpus);
+                baseline_elapsed = baseline_elapsed.min(start.elapsed());
+                assert_ne!(check, u64::MAX, "checksum consumed");
+                let start = Instant::now();
+                totals = delta_pass(&corpus);
+                delta_elapsed = delta_elapsed.min(start.elapsed());
+            }
             IngestRow {
                 churn,
                 report_bytes,

@@ -64,13 +64,24 @@ pub fn write_escaped<W: std::fmt::Write>(sink: &mut W, raw: &str) -> std::fmt::R
 /// `offset` is the position of `raw` in the original document, used to
 /// report errors against the full input.
 pub fn unescape(raw: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
-    let Some(first_amp) = raw.find('&') else {
+    if !raw.contains('&') {
         return Ok(Cow::Borrowed(raw));
-    };
+    }
     let mut out = String::with_capacity(raw.len());
-    out.push_str(&raw[..first_amp]);
-    let mut rest = &raw[first_amp..];
-    let mut pos = first_amp;
+    unescape_into(raw, offset, &mut out)?;
+    Ok(Cow::Owned(out))
+}
+
+/// Expand entity and numeric character references in `raw`, appending the
+/// result to `out` instead of allocating a fresh string.
+///
+/// This is the scratch-buffer form of [`unescape`] used by the streaming
+/// no-DOM ingest path: the caller owns `out` and reuses its allocation
+/// across events, so a steady stream of escaped attribute values costs no
+/// per-event allocation once the scratch has grown to its working size.
+pub fn unescape_into(raw: &str, offset: usize, out: &mut String) -> XmlResult<()> {
+    let mut rest = raw;
+    let mut pos = 0usize;
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         pos += amp;
@@ -89,7 +100,7 @@ pub fn unescape(raw: &str, offset: usize) -> XmlResult<Cow<'_, str>> {
         pos += 1 + semi + 1;
     }
     out.push_str(rest);
-    Ok(Cow::Owned(out))
+    Ok(())
 }
 
 fn truncate_for_error(s: &str) -> String {

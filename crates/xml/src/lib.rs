@@ -32,5 +32,5 @@ pub mod writer;
 
 pub use dom::Element;
 pub use error::{XmlError, XmlResult};
-pub use pull::{Attribute, Event, PullParser};
+pub use pull::{AttrScratch, Attribute, Event, PullParser, StreamEvent};
 pub use writer::XmlWriter;

@@ -13,7 +13,7 @@
 use std::borrow::Cow;
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
-use crate::escape::unescape;
+use crate::escape::{unescape, unescape_into};
 
 /// One attribute on a start tag.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,115 @@ impl Event<'_> {
             _ => None,
         }
     }
+}
+
+/// Where an attribute value (or text run) lives: either a span of the
+/// original input (the no-entity fast path) or a span of the scratch
+/// arena (entities were expanded in place). Offsets, not references, so
+/// [`AttrScratch`] carries no lifetime and can be reused across
+/// documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueSpan {
+    Input { start: usize, end: usize },
+    Arena { start: usize, end: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RawAttr {
+    name_start: usize,
+    name_end: usize,
+    value: ValueSpan,
+}
+
+/// Reusable per-source scratch for the borrowing event API
+/// ([`PullParser::next_event_into`]).
+///
+/// The eventful [`Event::Start`] allocates a `Vec<Attribute>` per start
+/// tag and an owned `String` per entity-escaped value. `AttrScratch`
+/// instead records attribute name/value *spans* and expands entities
+/// into one arena `String`, both reused across events — so a steady
+/// event stream performs no per-event allocation once the scratch has
+/// grown to its working size.
+///
+/// Ownership rule: the scratch is cleared at the top of every
+/// `next_event_into` call, so spans handed out for one event are only
+/// valid until the next call. Callers that need a value beyond that
+/// must copy it out (e.g. into an interned `Atom`).
+#[derive(Debug, Default)]
+pub struct AttrScratch {
+    attrs: Vec<RawAttr>,
+    text: Option<ValueSpan>,
+    arena: String,
+}
+
+impl AttrScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes recorded for the current start event.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.attrs.clear();
+        self.arena.clear();
+        self.text = None;
+    }
+
+    fn resolve<'s>(&'s self, input: &'s str, span: ValueSpan) -> &'s str {
+        match span {
+            ValueSpan::Input { start, end } => &input[start..end],
+            ValueSpan::Arena { start, end } => &self.arena[start..end],
+        }
+    }
+
+    /// Name of attribute `i`, resolved against the same `input` the
+    /// parser was created over.
+    pub fn name<'s>(&self, input: &'s str, i: usize) -> &'s str {
+        let a = &self.attrs[i];
+        &input[a.name_start..a.name_end]
+    }
+
+    /// Value of attribute `i`, entities expanded.
+    pub fn value<'s>(&'s self, input: &'s str, i: usize) -> &'s str {
+        self.resolve(input, self.attrs[i].value)
+    }
+
+    /// Look an attribute up by name.
+    pub fn get<'s>(&'s self, input: &'s str, name: &str) -> Option<&'s str> {
+        (0..self.attrs.len())
+            .find(|&i| self.name(input, i) == name)
+            .map(|i| self.value(input, i))
+    }
+
+    /// Character data of the current [`StreamEvent::Text`] event,
+    /// entities expanded. `None` for non-text events.
+    pub fn text<'s>(&'s self, input: &'s str) -> Option<&'s str> {
+        self.text.map(|span| self.resolve(input, span))
+    }
+}
+
+/// A parse event from the borrowing API. Attribute values and text live
+/// in the caller's [`AttrScratch`]; only input-borrowed names ride on
+/// the event itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent<'a> {
+    /// `<NAME ...>` or `<NAME ... />`; attributes are in the scratch.
+    Start { name: &'a str, empty: bool },
+    /// `</NAME>` (or the synthesized end of an empty element).
+    End { name: &'a str },
+    /// Non-whitespace character data; content is in the scratch.
+    Text,
+    /// `<!-- ... -->`, body only.
+    Comment(&'a str),
+    /// `<?...?>` or `<!DOCTYPE ...>`, body only. Not interpreted.
+    Decl(&'a str),
 }
 
 /// The pull parser. Create with [`PullParser::new`], then call
@@ -492,6 +601,213 @@ impl<'a> PullParser<'a> {
         }
         Ok(())
     }
+
+    /// Byte span of `s` within the parser's input. `s` must be a slice
+    /// of the input (all borrowed event payloads are).
+    fn span_of(&self, s: &str) -> (usize, usize) {
+        let off = s.as_ptr() as usize - self.input.as_ptr() as usize;
+        (off, off + s.len())
+    }
+
+    /// Produce the next event without allocating: attribute spans and
+    /// expanded entities land in `scratch`, which is cleared on entry.
+    /// This is the streaming-ingest twin of [`PullParser::next_event`] —
+    /// it performs the identical well-formedness checks in the identical
+    /// order, so a document that errors under one API errors with the
+    /// same [`XmlError`] under the other.
+    pub fn next_event_into(
+        &mut self,
+        scratch: &mut AttrScratch,
+    ) -> XmlResult<Option<StreamEvent<'a>>> {
+        scratch.clear();
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.saw_root_close = true;
+            }
+            return Ok(Some(StreamEvent::End { name }));
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return self.err(XmlErrorKind::UnclosedElements(self.stack.len()));
+                }
+                if !self.saw_root_open {
+                    return self.err(XmlErrorKind::NoRootElement);
+                }
+                return Ok(None);
+            }
+            if self.bytes()[self.pos] == b'<' {
+                self.event_start = self.pos;
+                let after_lt = self.pos + 1;
+                if after_lt >= self.input.len() {
+                    return self.err(XmlErrorKind::UnexpectedEof("markup"));
+                }
+                return match self.bytes()[after_lt] {
+                    b'?' => self.parse_pi().map(|ev| match ev {
+                        Event::Decl(body) => Some(StreamEvent::Decl(body)),
+                        _ => unreachable!("parse_pi yields Decl"),
+                    }),
+                    b'!' => self.parse_bang().map(|ev| {
+                        Some(match ev {
+                            Event::Comment(body) => StreamEvent::Comment(body),
+                            Event::Decl(body) => StreamEvent::Decl(body),
+                            Event::Text(Cow::Borrowed(body)) => {
+                                // CDATA: raw text, never entity-expanded.
+                                let (start, end) = self.span_of(body);
+                                scratch.text = Some(ValueSpan::Input { start, end });
+                                StreamEvent::Text
+                            }
+                            _ => unreachable!("parse_bang yields Comment/Decl/borrowed Text"),
+                        })
+                    }),
+                    b'/' => self.parse_close_tag().map(|ev| match ev {
+                        Event::End { name } => Some(StreamEvent::End { name }),
+                        _ => unreachable!("parse_close_tag yields End"),
+                    }),
+                    _ => self.parse_open_tag_into(scratch).map(Some),
+                };
+            }
+            // Character data up to the next '<'.
+            let start = self.pos;
+            self.event_start = start;
+            let end = self.input[start..]
+                .find('<')
+                .map(|i| start + i)
+                .unwrap_or(self.input.len());
+            self.pos = end;
+            let raw = &self.input[start..end];
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                continue; // inter-tag whitespace carries no information
+            }
+            if self.stack.is_empty() {
+                return self.err(XmlErrorKind::TrailingContent);
+            }
+            scratch.text = Some(if raw.contains('&') {
+                let arena_start = scratch.arena.len();
+                unescape_into(raw, start, &mut scratch.arena)?;
+                ValueSpan::Arena {
+                    start: arena_start,
+                    end: scratch.arena.len(),
+                }
+            } else {
+                ValueSpan::Input { start, end }
+            });
+            return Ok(Some(StreamEvent::Text));
+        }
+    }
+
+    fn parse_open_tag_into(&mut self, scratch: &mut AttrScratch) -> XmlResult<StreamEvent<'a>> {
+        if self.saw_root_close && self.stack.is_empty() {
+            return self.err(XmlErrorKind::TrailingContent);
+        }
+        self.pos += 1; // consume '<'
+        let name = self.take_name()?;
+        loop {
+            self.skip_ws();
+            match self.peek_byte() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name);
+                    self.saw_root_open = true;
+                    return Ok(StreamEvent::Start { name, empty: false });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek_byte() != Some(b'>') {
+                        return self.err(XmlErrorKind::UnexpectedChar {
+                            expected: "'>' after '/'",
+                            found: self.peek_char(),
+                        });
+                    }
+                    self.pos += 1;
+                    self.stack.push(name);
+                    self.saw_root_open = true;
+                    self.pending_end = Some(name);
+                    return Ok(StreamEvent::Start { name, empty: true });
+                }
+                Some(_) => self.take_attribute_into(scratch)?,
+                None => return self.err(XmlErrorKind::UnexpectedEof("start tag")),
+            }
+        }
+    }
+
+    fn take_attribute_into(&mut self, scratch: &mut AttrScratch) -> XmlResult<()> {
+        let name_start = self.pos;
+        let name = self.take_name()?;
+        let name_end = self.pos;
+        self.skip_ws();
+        if self.peek_byte() != Some(b'=') {
+            return self.err(XmlErrorKind::UnexpectedChar {
+                expected: "'=' in attribute",
+                found: self.peek_char(),
+            });
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let quote = match self.peek_byte() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return self.err(XmlErrorKind::UnexpectedChar {
+                    expected: "quoted attribute value",
+                    found: self.peek_char(),
+                })
+            }
+        };
+        self.pos += 1;
+        let value_start = self.pos;
+        let Some(end) = self.input[value_start..].find(quote as char) else {
+            return self.err(XmlErrorKind::UnexpectedEof("attribute value"));
+        };
+        let raw = &self.input[value_start..value_start + end];
+        self.pos = value_start + end + 1;
+        // Unescape before the duplicate check so a bad entity reports
+        // first, matching the eventful path's error order.
+        let value = if raw.contains('&') {
+            let arena_start = scratch.arena.len();
+            unescape_into(raw, value_start, &mut scratch.arena)?;
+            ValueSpan::Arena {
+                start: arena_start,
+                end: scratch.arena.len(),
+            }
+        } else {
+            ValueSpan::Input {
+                start: value_start,
+                end: value_start + end,
+            }
+        };
+        if scratch
+            .attrs
+            .iter()
+            .any(|a| &self.input[a.name_start..a.name_end] == name)
+        {
+            return self.err(XmlErrorKind::DuplicateAttribute(name.to_string()));
+        }
+        scratch.attrs.push(RawAttr {
+            name_start,
+            name_end,
+            value,
+        });
+        Ok(())
+    }
+
+    /// [`PullParser::skip_subtree`] over the borrowing API: skips the
+    /// element whose start event was just returned via
+    /// [`PullParser::next_event_into`], performing full well-formedness
+    /// checks but no allocation.
+    pub fn skip_subtree_into(&mut self, scratch: &mut AttrScratch) -> XmlResult<()> {
+        let target = self.stack.len();
+        if target == 0 {
+            return Ok(());
+        }
+        loop {
+            match self.next_event_into(scratch)? {
+                Some(StreamEvent::End { .. }) if self.stack.len() < target => return Ok(()),
+                Some(_) => continue,
+                None => return Ok(()),
+            }
+        }
+    }
 }
 
 fn is_name_start(b: u8) -> bool {
@@ -688,6 +1004,171 @@ mod tests {
         let start = parser.last_event_start();
         parser.skip_subtree_raw().unwrap();
         assert_eq!(&doc[start..parser.offset()], "<B X=\"1\"><C/></B>");
+    }
+
+    /// Drain a document through the borrowing API, materializing each
+    /// event into the eventful `Event` shape so the two streams can be
+    /// compared exactly.
+    fn all_stream_events(input: &str) -> XmlResult<Vec<Event<'_>>> {
+        let mut parser = PullParser::new(input);
+        let mut scratch = AttrScratch::new();
+        let mut out = Vec::new();
+        while let Some(ev) = parser.next_event_into(&mut scratch)? {
+            out.push(match ev {
+                StreamEvent::Start { name, empty } => Event::Start {
+                    name,
+                    attributes: (0..scratch.len())
+                        .map(|i| Attribute {
+                            name: scratch.name(input, i),
+                            value: Cow::Owned(scratch.value(input, i).to_string()),
+                        })
+                        .collect(),
+                    empty,
+                },
+                StreamEvent::End { name } => Event::End { name },
+                StreamEvent::Text => {
+                    Event::Text(Cow::Owned(scratch.text(input).unwrap().to_string()))
+                }
+                StreamEvent::Comment(body) => Event::Comment(body),
+                StreamEvent::Decl(body) => Event::Decl(body),
+            });
+        }
+        Ok(out)
+    }
+
+    fn assert_streams_match(doc: &str) {
+        let eventful = all_events(doc);
+        let streaming = all_stream_events(doc);
+        match (eventful, streaming) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len(), "event count diverged on {doc:?}");
+                for (x, y) in a.iter().zip(&b) {
+                    // Values compare by content; Cow Borrowed/Owned differ.
+                    assert_eq!(x, y, "event diverged on {doc:?}");
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverged on {doc:?}"),
+            (a, b) => panic!("outcome diverged on {doc:?}: eventful={a:?} streaming={b:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_matches_eventful_on_well_formed_docs() {
+        for doc in [
+            r#"<METRIC NAME="cpu_num" VAL="2" TYPE="int"/>"#,
+            "<A><B>hello &amp; goodbye</B></A>",
+            "<A>\n  <B/>\n</A>",
+            "<A X='1'/>",
+            r#"<A X="a&lt;b" Y="&#65;&#x42;">t&amp;u</A>"#,
+            "<?xml version=\"1.0\"?><!DOCTYPE G [ <!ELEMENT G (X)*> ]><!-- c --><G/>",
+            "<A><![CDATA[x < y & z]]></A>",
+            "<A><B X=\"a>b\" Y='c>d'><C/></B><E/></A>",
+        ] {
+            assert_streams_match(doc);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_eventful_on_malformed_docs() {
+        for doc in [
+            "<A><B></A></B>",
+            "<A><B>",
+            r#"<A X="1" X="2"/>"#,
+            "<A/><B/>",
+            "<A/>junk",
+            "junk<A/>",
+            "   ",
+            "<A X=\"1/>",
+            "<A X=1/>",
+            "<A X/>",
+            "<A><B>x&bogus;y</B></A>",
+            r#"<A X="a&nope;b"/>"#,
+            r#"<A X="a&amp"/>"#,
+            "<A",
+            "<",
+            "<A><!-- never closed",
+            "<A><![CDATA[never closed",
+            "<?pi never closed",
+            "<!DOCTYPE G [ <!x> ",
+        ] {
+            assert_streams_match(doc);
+        }
+    }
+
+    #[test]
+    fn scratch_values_escaped_and_plain() {
+        let doc = r#"<A PLAIN="p" ESC="a&lt;b" NUM="&#65;&#x42;c"/>"#;
+        let mut parser = PullParser::new(doc);
+        let mut scratch = AttrScratch::new();
+        let ev = parser.next_event_into(&mut scratch).unwrap().unwrap();
+        assert_eq!(
+            ev,
+            StreamEvent::Start {
+                name: "A",
+                empty: true
+            }
+        );
+        assert_eq!(scratch.len(), 3);
+        assert_eq!(scratch.get(doc, "PLAIN"), Some("p"));
+        assert_eq!(scratch.get(doc, "ESC"), Some("a<b"));
+        assert_eq!(scratch.get(doc, "NUM"), Some("ABc"));
+        assert_eq!(scratch.get(doc, "MISSING"), None);
+        // The synthesized end clears the scratch.
+        let ev = parser.next_event_into(&mut scratch).unwrap().unwrap();
+        assert_eq!(ev, StreamEvent::End { name: "A" });
+        assert!(scratch.is_empty());
+        assert!(parser.next_event_into(&mut scratch).unwrap().is_none());
+    }
+
+    #[test]
+    fn streaming_performs_no_alloc_after_warmup() {
+        // Parse once to grow the scratch, then confirm a second pass
+        // reuses it: spans must resolve even though the arena was
+        // cleared and refilled in place.
+        let doc = r#"<A><M N="a&amp;b" V="1"/><M N="c&amp;d" V="2"/></A>"#;
+        let mut scratch = AttrScratch::new();
+        for _ in 0..2 {
+            let mut parser = PullParser::new(doc);
+            let mut values = Vec::new();
+            while let Some(ev) = parser.next_event_into(&mut scratch).unwrap() {
+                if let StreamEvent::Start { name: "M", .. } = ev {
+                    values.push(scratch.get(doc, "N").unwrap().to_string());
+                }
+            }
+            assert_eq!(values, ["a&b", "c&d"]);
+        }
+    }
+
+    #[test]
+    fn skip_subtree_into_matches_event_skip() {
+        let docs = [
+            "<A><B><C/><D>text</D></B><E/></A>",
+            "<A><B X=\"a>b\" Y='c>d'><C/></B><E/></A>",
+            "<A><B/><E/></A>",
+        ];
+        let mut scratch = AttrScratch::new();
+        for doc in docs {
+            let mut parser = PullParser::new(doc);
+            parser.next_event_into(&mut scratch).unwrap(); // <A>
+            parser.next_event_into(&mut scratch).unwrap(); // <B ...>
+            let mut eventful = parser.clone();
+            eventful.skip_subtree().unwrap();
+            parser.skip_subtree_into(&mut scratch).unwrap();
+            assert_eq!(
+                parser.offset(),
+                eventful.offset(),
+                "offset diverged on {doc}"
+            );
+            assert_eq!(parser.depth(), eventful.depth(), "depth diverged on {doc}");
+            assert_eq!(
+                parser.next_event_into(&mut scratch).unwrap().unwrap(),
+                StreamEvent::Start {
+                    name: "E",
+                    empty: true
+                },
+                "resume diverged on {doc}"
+            );
+        }
     }
 
     #[test]

@@ -100,3 +100,53 @@ fn unchanged_rounds_reuse_hosts_and_serve_identical_xml() {
     assert_ne!(first_dump, third_dump, "changed values must show through");
     assert!(third_dump.contains("VAL=\"1.5\""));
 }
+
+/// The worst case end-to-end: every host's bytes change every round,
+/// so neither the whole-document nor the per-host fingerprint cache
+/// ever hits. The delta ingester must rebuild everything through the
+/// streaming path and still serve XML byte-identical to a cold gmetad
+/// that parsed the same bytes from scratch.
+#[test]
+fn full_churn_rounds_rebuild_everything_and_stay_byte_identical() {
+    let net = SimNet::new(23);
+    let hosts = 8;
+    let rounds = 6u64;
+
+    let config = GmetadConfig::new("grid")
+        .with_source(DataSourceCfg::new("meteor", vec![Addr::new("meteor/n0")]).unwrap());
+    let warm = Gmetad::new(config.clone());
+
+    for round in 0..rounds {
+        // A fresh body each round: the load value moves on every host,
+        // so every `<HOST>` span's fingerprint misses.
+        let body = cluster_xml("meteor", hosts, 0.25 + round as f64);
+        let guard = net
+            .serve(&Addr::new("meteor/n0"), {
+                let body = body.clone();
+                Arc::new(move |_: &str| body.clone())
+            })
+            .unwrap();
+        let now = 15 * (round + 1);
+        assert!(warm.poll_all(&net, now).iter().all(|r| r.is_ok()));
+
+        // Reference: a cold gmetad with no cache sees the same bytes.
+        let cold = Gmetad::new(config.clone());
+        assert!(cold.poll_all(&net, now).iter().all(|r| r.is_ok()));
+        assert_eq!(
+            warm.query("/"),
+            cold.query("/"),
+            "round {round}: cached ingest must serve the same bytes as a cold parse"
+        );
+        drop(guard);
+    }
+
+    // The cache never pretended to hit: every host rebuilt every round,
+    // nothing reused.
+    let snap = warm.registry().snapshot();
+    assert_eq!(
+        snap.counter("ingest.hosts_rebuilt"),
+        Some(hosts as u64 * rounds)
+    );
+    assert_eq!(snap.counter("ingest.hosts_reused").unwrap_or(0), 0);
+    assert_eq!(snap.counter("ingest.docs_reused").unwrap_or(0), 0);
+}
