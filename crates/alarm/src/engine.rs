@@ -87,13 +87,27 @@ impl AlarmEngine {
         for rule in &self.rules {
             walk_items(&doc.items, rule, &mut observations);
         }
+        self.apply_observations(observations, now, sink)
+    }
+
+    /// Drive the hysteresis state machine with pre-gathered
+    /// `(rule name, subject, value)` observations — the document walker
+    /// above and the GQL subscription feed ([`crate::feed`]) both end
+    /// here, so the two ingest paths share one lifecycle.
+    pub fn apply_observations(
+        &mut self,
+        observations: Vec<(String, String, f64)>,
+        now: u64,
+        sink: &dyn AlarmSink,
+    ) -> Vec<AlarmEvent> {
         let mut events = Vec::new();
         for (rule_name, subject, value) in observations {
-            let rule = self
-                .rules
-                .iter()
-                .find(|r| r.name == rule_name)
-                .expect("observation references its own rule");
+            // An observation for a rule this engine doesn't know is
+            // dropped rather than panicking: feeds are configured
+            // separately from the engine.
+            let Some(rule) = self.rules.iter().find(|r| r.name == rule_name) else {
+                continue;
+            };
             let violated = rule.comparison.violated_by(value);
             let key = (rule_name.clone(), subject.clone());
             let current = self.states.get(&key).copied().unwrap_or(AlarmStatus::Ok);

@@ -11,11 +11,17 @@
 //! condition must hold for a rule's `hold_secs` before the alarm fires,
 //! and an alarm clears only when the condition stops holding. Raised and
 //! cleared transitions are delivered to an [`sink::AlarmSink`].
+//!
+//! Rules can also ride the GQL subscription pipeline instead of
+//! re-walking documents: [`feed`] compiles each rule to a continuous
+//! query and maps the pushed rows back into the same state machine.
 
 pub mod engine;
+pub mod feed;
 pub mod rule;
 pub mod sink;
 
 pub use engine::{AlarmEngine, AlarmEvent, AlarmKind, AlarmStatus};
+pub use feed::{rule_expr, rule_observations, AlarmFeed};
 pub use rule::{Comparison, Matcher, Rule, Signal};
 pub use sink::{AlarmSink, MemorySink};

@@ -1,0 +1,139 @@
+//! Measure continuous-query subscriptions: pushed delta frames vs a
+//! client re-polling the same GQL query every round, across churn
+//! levels.
+//!
+//! Usage: `repro_query [hosts] [rounds] [--smoke] [--json <path>]`
+//!
+//! `--json <path>` also writes the result as JSON. `--smoke` runs a
+//! CI-sized sweep and self-checks the PR's acceptance bars: the JSON
+//! must parse, every churn level must be delta-consistent (the replayed
+//! mirror renders byte-identically to a fresh server-side evaluation
+//! after every round), push latency must never exceed one poll round,
+//! and at 10% churn the pushed delta traffic must be at most 10% of
+//! what the re-polling client downloads.
+
+use std::process::ExitCode;
+
+use ganglia_bench::{render_query, render_query_json};
+use ganglia_core::telemetry::json;
+use ganglia_sim::experiments::{run_query_churn, QueryParams};
+
+/// The smoke gate on 10%-churn delta traffic, as a fraction of the
+/// re-poll traffic over the same rounds.
+const LOW_CHURN_FRACTION_BAR: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let mut hosts = None;
+    let mut rounds = None;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("repro_query: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let Ok(n) = other.parse::<u64>() else {
+                    eprintln!("repro_query: unknown argument {other:?}");
+                    return ExitCode::from(2);
+                };
+                if hosts.is_none() {
+                    hosts = Some(n as usize);
+                } else {
+                    rounds = Some(n as usize);
+                }
+            }
+        }
+    }
+    let params = QueryParams {
+        hosts: hosts.unwrap_or(if smoke { 64 } else { 128 }).max(1),
+        rounds: rounds.unwrap_or(if smoke { 20 } else { 40 }).max(2),
+        ..QueryParams::default()
+    };
+    let churns = [0.0, 0.1, 1.0];
+    eprintln!(
+        "running query: {} hosts, {} rounds of {:?} at churn {:?}...",
+        params.hosts, params.rounds, params.expr, churns
+    );
+    let result = run_query_churn(&params, &churns);
+    print!("{}", render_query(&result));
+
+    let rendered = render_query_json(&result);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("repro_query: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} bytes)", rendered.len());
+    }
+
+    if smoke {
+        // Self-check 1: the JSON artifact parses with our own parser.
+        if let Err(e) = json::parse(&rendered) {
+            eprintln!("smoke FAILED: JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check 2: delta consistency at every churn level — the
+        // whole point of the protocol.
+        if let Some(bad) = result.rows.iter().find(|r| !r.consistent) {
+            eprintln!(
+                "smoke FAILED: churn {:.0}% replayed mirror diverged from a fresh evaluation",
+                bad.churn * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 3: push latency is bounded by one poll round.
+        if let Some(slow) = result.rows.iter().find(|r| r.max_latency_rounds > 1) {
+            eprintln!(
+                "smoke FAILED: churn {:.0}% pushed a frame {} rounds late",
+                slow.churn * 100.0,
+                slow.max_latency_rounds
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 4: at 10% churn the pushed bytes are at most 10%
+        // of the re-polling client's download.
+        let Some(low) = result.rows.iter().find(|r| (r.churn - 0.1).abs() < 1e-9) else {
+            eprintln!("smoke FAILED: churn sweep is missing the 10% row");
+            return ExitCode::FAILURE;
+        };
+        if low.delta_fraction() > LOW_CHURN_FRACTION_BAR {
+            eprintln!(
+                "smoke FAILED: 10%-churn delta traffic is {:.1}% of re-poll traffic \
+                 (bar {:.0}%; {} vs {} bytes)",
+                low.delta_fraction() * 100.0,
+                LOW_CHURN_FRACTION_BAR * 100.0,
+                low.delta_bytes,
+                low.repoll_bytes
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 5: a quiet store pushes nothing at all.
+        let zero = &result.rows[0];
+        if zero.delta_bytes != 0 {
+            eprintln!(
+                "smoke FAILED: 0%-churn pushed {} delta bytes (expected 0)",
+                zero.delta_bytes
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "smoke ok: 10%-churn delta traffic {:.1}% of re-poll, worst push lag {} round(s), \
+             delta-consistent at every churn level",
+            low.delta_fraction() * 100.0,
+            result
+                .rows
+                .iter()
+                .map(|r| r.max_latency_rounds)
+                .max()
+                .unwrap_or(0)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -13,8 +13,8 @@ use ganglia_core::telemetry::{Histogram, Registry};
 use ganglia_core::TreeMode;
 use ganglia_sim::experiments::table1::View;
 use ganglia_sim::experiments::{
-    Fig5Result, Fig6Result, IngestResult, IsolationResult, PropagationResult, ServingResult,
-    Table1Result,
+    Fig5Result, Fig6Result, IngestResult, IsolationResult, PropagationResult, QueryResult,
+    ServingResult, Table1Result,
 };
 
 /// Allocation counts measured by the `repro_ingest` binary's counting
@@ -402,6 +402,71 @@ pub fn render_ingest_json(result: &IngestResult, allocs: &[IngestAllocReport]) -
         out.push(']');
     }
     out.push('}');
+    out
+}
+
+/// Render the continuous-query sweep as an aligned table: pushed delta
+/// traffic against the cost of re-polling the same query, per churn
+/// level.
+pub fn render_query(result: &QueryResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Continuous queries — pushed deltas vs a re-polling client, {} hosts, \
+         {} rounds, expr {:?}",
+        result.params_hosts, result.params_rounds, result.expr
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>6} {:>12} {:>12} {:>10} {:>7} {:>9} {:>11}",
+        "churn", "rows", "delta B", "re-poll B", "fraction", "quiet", "lag (rd)", "consistent"
+    );
+    for row in &result.rows {
+        let _ = writeln!(
+            out,
+            "{:>6.0}% {:>6} {:>12} {:>12} {:>9.1}% {:>7} {:>9} {:>11}",
+            row.churn * 100.0,
+            row.result_rows,
+            row.delta_bytes,
+            row.repoll_bytes,
+            row.delta_fraction() * 100.0,
+            row.quiet_rounds,
+            row.max_latency_rounds,
+            row.consistent
+        );
+    }
+    out
+}
+
+/// The continuous-query sweep as a JSON artifact (`BENCH_query.json`).
+pub fn render_query_json(result: &QueryResult) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"experiment\":\"query\",\"hosts\":{},\"rounds\":{},\"expr\":{:?},\"rows\":[",
+        result.params_hosts, result.params_rounds, result.expr
+    );
+    for (i, row) in result.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"churn\":{:.3},\"result_rows\":{},\"snapshot_bytes\":{},\"delta_bytes\":{},\
+             \"repoll_bytes\":{},\"delta_fraction\":{:.4},\"quiet_rounds\":{},\
+             \"max_latency_rounds\":{},\"consistent\":{}}}",
+            row.churn,
+            row.result_rows,
+            row.snapshot_bytes,
+            row.delta_bytes,
+            row.repoll_bytes,
+            row.delta_fraction(),
+            row.quiet_rounds,
+            row.max_latency_rounds,
+            row.consistent
+        );
+    }
+    out.push_str("]}");
     out
 }
 

@@ -273,6 +273,36 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
             "archive_checkpoint_secs" => {
                 config.archive_checkpoint_secs = parse_u64_arg(directive, args, &err)?;
             }
+            "subscriptions" => {
+                let [value] = args else {
+                    return Err(err("subscriptions takes one value (on/off)".into()));
+                };
+                config.subscriptions = match value.as_str() {
+                    "on" | "yes" | "true" | "1" => true,
+                    "off" | "no" | "false" | "0" => false,
+                    other => {
+                        return Err(err(format!(
+                            "bad subscriptions value {other:?} (use \"on\" or \"off\")"
+                        )))
+                    }
+                };
+            }
+            "max_subscriptions" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                if value == 0 {
+                    return Err(err("max_subscriptions must be positive".into()));
+                }
+                config.max_subscriptions = usize::try_from(value)
+                    .map_err(|_| err(format!("max_subscriptions {value} is too large")))?;
+            }
+            "sub_queue_depth" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                if value == 0 {
+                    return Err(err("sub_queue_depth must be positive".into()));
+                }
+                config.sub_queue_depth = usize::try_from(value)
+                    .map_err(|_| err(format!("sub_queue_depth {value} is too large")))?;
+            }
             other => {
                 return Err(err(format!("unknown directive {other:?}")));
             }
@@ -542,6 +572,31 @@ fetch_timeout_secs 5
         assert!(parse_conf("gridname \"X\"\narchive_journal\n").is_err());
         assert!(parse_conf("gridname \"X\"\narchive_flush_ms fast\n").is_err());
         assert!(parse_conf("gridname \"X\"\narchive_checkpoint_secs -1\n").is_err());
+    }
+
+    #[test]
+    fn subscription_knobs_parse_and_default_on() {
+        let defaults = parse_conf("gridname \"X\"\n").unwrap().config;
+        assert!(defaults.subscriptions, "subscriptions default on");
+        assert_eq!(defaults.max_subscriptions, 64);
+        assert_eq!(defaults.sub_queue_depth, 8);
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             subscriptions off\n\
+             max_subscriptions 16\n\
+             sub_queue_depth 2\n",
+        )
+        .unwrap();
+        assert!(!parsed.config.subscriptions);
+        assert_eq!(parsed.config.max_subscriptions, 16);
+        assert_eq!(parsed.config.sub_queue_depth, 2);
+        let on = parse_conf("gridname \"X\"\nsubscriptions yes\n").unwrap();
+        assert!(on.config.subscriptions);
+        assert!(parse_conf("gridname \"X\"\nsubscriptions maybe\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nsubscriptions\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nmax_subscriptions 0\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nmax_subscriptions lots\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nsub_queue_depth 0\n").is_err());
     }
 
     #[test]

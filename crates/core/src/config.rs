@@ -133,6 +133,14 @@ pub struct GmetadConfig {
     /// journal truncation). `0` checkpoints every round. Ignored unless
     /// `archive_journal` is on.
     pub archive_checkpoint_secs: u64,
+    /// Whether the interactive port accepts `#subscribe <gql expr>`
+    /// continuous queries (delta frames pushed after each poll round).
+    pub subscriptions: bool,
+    /// Concurrent subscriptions admitted before `#subscribe` is refused.
+    pub max_subscriptions: usize,
+    /// Unread delta frames a subscriber may accumulate before its
+    /// subscription is evicted (each frame covers one poll round).
+    pub sub_queue_depth: usize,
 }
 
 impl GmetadConfig {
@@ -155,6 +163,9 @@ impl GmetadConfig {
             archive_journal: false,
             archive_flush_ms: 1000,
             archive_checkpoint_secs: 300,
+            subscriptions: true,
+            max_subscriptions: 64,
+            sub_queue_depth: 8,
         }
     }
 
@@ -235,6 +246,25 @@ impl GmetadConfig {
     /// checkpoint every round).
     pub fn with_archive_checkpoint_secs(mut self, secs: u64) -> Self {
         self.archive_checkpoint_secs = secs;
+        self
+    }
+
+    /// Builder-style: enable or disable continuous-query subscriptions.
+    pub fn with_subscriptions(mut self, enabled: bool) -> Self {
+        self.subscriptions = enabled;
+        self
+    }
+
+    /// Builder-style: set the subscription capacity (at least 1).
+    pub fn with_max_subscriptions(mut self, max: usize) -> Self {
+        self.max_subscriptions = max.max(1);
+        self
+    }
+
+    /// Builder-style: set the per-subscriber frame queue depth (at
+    /// least 1).
+    pub fn with_sub_queue_depth(mut self, depth: usize) -> Self {
+        self.sub_queue_depth = depth.max(1);
         self
     }
 }

@@ -23,9 +23,10 @@ use ganglia_metrics::model::{ClusterNode, HostNode, MetricEntry};
 use ganglia_metrics::MetricValue;
 use ganglia_net::transport::{RequestHandler, ServerGuard, Transport};
 use ganglia_net::Addr;
-use ganglia_query::{Filter, Query};
+use ganglia_query::gql::{error_xml, render_xml};
+use ganglia_query::{Filter, GqlQuery, Query, RootRef, RowSet};
 use ganglia_rrd::{ConsolidationFn, MetricKey, Series};
-use ganglia_serve::{FrontTier, ServeOptions};
+use ganglia_serve::{FrontTier, ServeOptions, SubscriptionRegistry};
 use ganglia_telemetry::{LogicalClock, Registry, Snapshot, Tracer};
 
 use crate::archive::{
@@ -91,6 +92,9 @@ pub struct Gmetad {
     last_commit_at: AtomicU64,
     /// Logical time of the last archive checkpoint (journal mode).
     last_checkpoint_at: AtomicU64,
+    /// Continuous-query subscriptions, created on first use (the
+    /// registry needs an `Arc<Gmetad>` to evaluate against).
+    subs: OnceLock<Arc<SubscriptionRegistry>>,
 }
 
 /// A poll worker group-commits its shard's journal early once this many
@@ -135,6 +139,7 @@ impl Gmetad {
             queries_at_last_round: AtomicU64::new(0),
             last_commit_at: AtomicU64::new(0),
             last_checkpoint_at: AtomicU64::new(0),
+            subs: OnceLock::new(),
             config,
         })
     }
@@ -303,6 +308,14 @@ impl Gmetad {
         }
         if self.config.self_telemetry {
             self.publish_self(now);
+        }
+        // Push continuous-query deltas for whatever this round changed.
+        // After the store swaps (and after publish_self, so self.*
+        // subscribers see this round's numbers), before the round span
+        // closes — a push round-trip is bounded by one poll round.
+        if let Some(subs) = self.subs.get() {
+            self.meter
+                .time(WorkCategory::QueryServe, || subs.run_round());
         }
         drop(round);
         results
@@ -517,6 +530,37 @@ impl Gmetad {
                 queries_total.saturating_sub(queries_last) as f64,
                 "queries",
             ),
+            // The GQL query/subscription surface.
+            metric(
+                "self.gql_queries_total",
+                counter("query.gql_total"),
+                "queries",
+            ),
+            metric(
+                "self.query_errors_total",
+                counter("query.errors_total"),
+                "queries",
+            ),
+            metric(
+                "self.subs_active",
+                snap.gauge("sub.active").unwrap_or(0) as f64,
+                "subscriptions",
+            ),
+            metric(
+                "self.sub_frames_total",
+                counter("sub.pushed_frames_total"),
+                "frames",
+            ),
+            metric(
+                "self.sub_bytes_total",
+                counter("sub.pushed_bytes_total"),
+                "bytes",
+            ),
+            metric(
+                "self.sub_evicted_total",
+                counter("sub.evicted_total"),
+                "subscriptions",
+            ),
             metric(
                 "self.archive_updates_total",
                 self.archive_updates() as f64,
@@ -615,10 +659,79 @@ impl Gmetad {
         self.store.replace(state);
     }
 
+    /// Evaluate a parsed GQL query over this daemon's store, returning
+    /// the row set and the store revision it reflects. Down sources
+    /// contribute in summary form (their rewritten `hosts_down`
+    /// summaries), exactly as path queries serve them; in `summary`
+    /// scope the daemon's own grid rollup appears as one more node.
+    /// Retries if a poll round swaps the store mid-walk, so the rows
+    /// and revision always correspond.
+    pub fn gql_rows(&self, query: &GqlQuery) -> (RowSet, u64) {
+        loop {
+            let revision = self.store.revision();
+            let sources = self.store.list();
+            let root_summary = self.store.root_summary();
+            let mut roots: Vec<RootRef<'_>> = Vec::with_capacity(sources.len() + 1);
+            for state in &sources {
+                let down = matches!(state.status, crate::store::SourceStatus::Down { .. });
+                match (&state.data, down) {
+                    (crate::store::SourceData::Cluster(c), false) => {
+                        roots.push(RootRef::Cluster(c));
+                    }
+                    (crate::store::SourceData::Grid(g), false) => {
+                        roots.push(RootRef::Grid(g));
+                    }
+                    (crate::store::SourceData::Cluster(_), true) => {
+                        roots.push(RootRef::ClusterSummary {
+                            name: &state.name,
+                            summary: &state.summary,
+                        });
+                    }
+                    (crate::store::SourceData::Grid(_), true) => {
+                        roots.push(RootRef::GridSummary {
+                            name: &state.name,
+                            summary: &state.summary,
+                        });
+                    }
+                }
+            }
+            if query.is_summary() {
+                roots.push(RootRef::GridSummary {
+                    name: &self.config.grid_name,
+                    summary: &root_summary,
+                });
+            }
+            let rows = query.evaluate("", &roots);
+            if self.store.revision() == revision {
+                return (rows, revision);
+            }
+        }
+    }
+
+    /// The continuous-query subscription registry, shared by every tier
+    /// built from this daemon. Created on first use; evaluation holds a
+    /// weak reference so the registry never keeps the daemon alive.
+    pub fn subscription_registry(self: &Arc<Self>) -> Arc<SubscriptionRegistry> {
+        let registry = self.subs.get_or_init(|| {
+            let daemon = Arc::downgrade(self);
+            Arc::new(SubscriptionRegistry::new(
+                Box::new(move |query| match daemon.upgrade() {
+                    Some(daemon) => daemon.gql_rows(query),
+                    None => (Vec::new(), 0),
+                }),
+                self.config.max_subscriptions,
+                self.config.sub_queue_depth,
+                &self.registry,
+            ))
+        });
+        Arc::clone(registry)
+    }
+
     /// Answer one query string (the interactive-port protocol). Malformed
-    /// queries produce a well-formed error document.
+    /// queries produce a well-formed `<ERROR>` document whose `OFFSET`
+    /// attribute is the byte position of the problem in the request.
     pub fn query(&self, raw: &str) -> String {
-        let parsed = Query::parse(raw);
+        let parsed = Query::parse_located(raw);
         // `?filter=telemetry` asks about the daemon, not the monitored
         // tree: answer with a standalone TELEMETRY document. Served
         // outside the QueryServe timing so reading the meters doesn't
@@ -639,19 +752,33 @@ impl Gmetad {
         self.meter.time(WorkCategory::QueryServe, || {
             match parsed {
                 Ok(query) => {
+                    // `?filter=gql:<expr>` evaluates over the whole
+                    // tree, whatever the path says (like telemetry and
+                    // trace, it is a root-level view).
+                    if let Some(Filter::Gql(expr)) = &query.filter {
+                        self.registry.counter("query.gql_total").inc();
+                        return match GqlQuery::parse(expr) {
+                            Ok(compiled) => {
+                                let (rows, revision) = self.gql_rows(&compiled);
+                                render_xml(&rows, revision)
+                            }
+                            // Unreachable in practice — the expression
+                            // was validated when the query parsed — but
+                            // never hang a client over it.
+                            Err(e) => error_xml(e.offset, &e.message),
+                        };
+                    }
                     self.registry
                         .histogram("query.depth")
                         .record(query.depth() as u64);
                     query_engine::answer(&self.store, &self.config, &query, self.clock())
                 }
-                Err(e) => {
-                    // Match gmetad's behaviour of never hanging a client:
-                    // serve an empty document with the error as a comment.
-                    let reason = e.to_string().replace("--", "- -");
-                    format!(
-                        "<?xml version=\"1.0\"?><!-- bad query: {reason} -->\
-                         <GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\"/>"
-                    )
+                Err((e, offset)) => {
+                    // Never hang a client: a malformed query gets a
+                    // complete <ERROR> document pointing at the byte
+                    // where parsing failed.
+                    self.registry.counter("query.errors_total").inc();
+                    error_xml(offset, &e.to_string())
                 }
             }
         })
@@ -681,11 +808,16 @@ impl Gmetad {
             let daemon = Arc::clone(self);
             move || daemon.store.revision()
         };
-        FrontTier::new(
+        let subs = self
+            .config
+            .subscriptions
+            .then(|| self.subscription_registry());
+        FrontTier::new_with_subscriptions(
             self.handler(),
             store_revision,
             options,
             Arc::clone(&self.registry),
+            subs,
         )
     }
 
@@ -1029,12 +1161,70 @@ mod tests {
     }
 
     #[test]
-    fn bad_query_yields_well_formed_document() {
+    fn bad_query_yields_error_document_with_byte_offset() {
         let (net, _served, gmetad) = deploy(TreeMode::NLevel);
         gmetad.poll_all(&net, 15);
+        // "/a//b" — the empty segment is detected at byte 3.
         let response = gmetad.query("/a//b?frob=1");
-        let doc = parse_document(&response).unwrap();
-        assert_eq!(doc.items.len(), 0);
+        assert!(
+            response.starts_with("<?xml version=\"1.0\"?>"),
+            "{response}"
+        );
+        assert!(response.contains("<ERROR SOURCE=\"gmetad\" OFFSET=\"3\">"));
+        assert!(response.contains("empty segment"));
+        // A malformed GQL expression is located within the whole input.
+        let input = "/?filter=gql:metric =";
+        let response = gmetad.query(input);
+        assert!(
+            response.contains("OFFSET=\"20\""),
+            "expected the lone '=' at byte 20: {response}"
+        );
+        assert_eq!(
+            gmetad.telemetry_snapshot().counter("query.errors_total"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn gql_filter_queries_the_tree() {
+        let (net, _served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        let response = gmetad.query("/?filter=gql:metric == load_one | count");
+        assert!(response.contains("<GQL REVISION="), "{response}");
+        // 8 hosts, one load_one each, folded into one count row.
+        assert!(response.contains("VAL=\"8\""), "{response}");
+        assert!(response.contains("N=\"8\""), "{response}");
+        // Summary scope sees the cluster roll-up and the root grid.
+        let response = gmetad.query("/?filter=gql:summary | metric == #hosts_up");
+        assert!(response.contains("CLUSTER=\"meteor\""), "{response}");
+        assert!(response.contains("CLUSTER=\"sdsc\""), "{response}");
+        assert_eq!(
+            gmetad.telemetry_snapshot().counter("query.gql_total"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn subscriptions_push_deltas_after_poll_rounds() {
+        use ganglia_query::{Delta, Mirror};
+        let (net, served, gmetad) = deploy(TreeMode::NLevel);
+        gmetad.poll_all(&net, 15);
+        let subs = gmetad.subscription_registry();
+        let handle = subs
+            .subscribe("viewer", "metric == load_one | avg by cluster")
+            .unwrap();
+        let mut mirror = Mirror::new();
+        mirror.apply(&Delta::parse(&handle.initial).unwrap());
+        assert_eq!(mirror.len(), 1, "one cluster average");
+        // A round that changes readings pushes a delta...
+        served.advance(30);
+        gmetad.poll_all(&net, 30);
+        let frame = handle.next(Duration::from_secs(2)).unwrap();
+        mirror.apply(&Delta::parse(&frame).unwrap());
+        // ...and the replayed mirror matches a fresh one-shot query.
+        let compiled = GqlQuery::parse("metric == load_one | avg by cluster").unwrap();
+        let (rows, revision) = gmetad.gql_rows(&compiled);
+        assert_eq!(mirror.render(), render_xml(&rows, revision));
     }
 
     #[test]

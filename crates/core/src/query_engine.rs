@@ -91,7 +91,7 @@ pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> 
                 }
                 continue;
             }
-            emit_selected(&state.data, rest, query.filter, &mut writer);
+            emit_selected(&state.data, rest, query.filter.as_ref(), &mut writer);
         }
     }
     writer.end_element(); // GRID
@@ -148,7 +148,7 @@ fn emit_source_full<W: std::fmt::Write>(
 fn emit_selected<W: std::fmt::Write>(
     data: &SourceData,
     rest: &[Segment],
-    filter: Option<Filter>,
+    filter: Option<&Filter>,
     writer: &mut XmlWriter<W>,
 ) {
     match data {
@@ -160,11 +160,11 @@ fn emit_selected<W: std::fmt::Write>(
 fn emit_cluster_selected<W: std::fmt::Write>(
     cluster: &ClusterNode,
     rest: &[Segment],
-    filter: Option<Filter>,
+    filter: Option<&Filter>,
     writer: &mut XmlWriter<W>,
 ) {
     if rest.is_empty() {
-        if filter == Some(Filter::Summary) {
+        if filter == Some(&Filter::Summary) {
             // The cluster-summary query (§3.3.2): summary form even when
             // full detail is stored, so very large clusters don't
             // overwhelm the viewer.
@@ -213,7 +213,7 @@ fn emit_host_selected<W: std::fmt::Write>(
 fn emit_grid_selected<W: std::fmt::Write>(
     grid: &GridNode,
     rest: &[Segment],
-    filter: Option<Filter>,
+    filter: Option<&Filter>,
     writer: &mut XmlWriter<W>,
 ) {
     if rest.is_empty() {

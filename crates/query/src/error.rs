@@ -11,6 +11,10 @@ pub enum QueryError {
     BadPattern { pattern: String, reason: String },
     /// The path contained an empty segment (`//`).
     EmptySegment,
+    /// A `filter=gql:` expression failed to parse; `offset` is the byte
+    /// offset **within the expression** (see [`crate::path::Query::parse_located`]
+    /// for the offset within the whole query string).
+    BadExpression { offset: usize, message: String },
 }
 
 impl fmt::Display for QueryError {
@@ -21,6 +25,9 @@ impl fmt::Display for QueryError {
                 write!(f, "bad pattern {pattern:?}: {reason}")
             }
             QueryError::EmptySegment => write!(f, "query path contains an empty segment"),
+            QueryError::BadExpression { offset, message } => {
+                write!(f, "bad gql expression: {message} at byte {offset}")
+            }
         }
     }
 }

@@ -19,9 +19,11 @@
 //!   no pathological backtracking.
 
 pub mod error;
+pub mod gql;
 pub mod path;
 pub mod regex_lite;
 
 pub use error::QueryError;
+pub use gql::{Delta, GqlError, GqlQuery, Mirror, RootRef, Row, RowSet};
 pub use path::{Filter, Query, Segment};
 pub use regex_lite::RegexLite;

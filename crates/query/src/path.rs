@@ -3,10 +3,11 @@
 use std::fmt;
 
 use crate::error::QueryError;
+use crate::gql::GqlQuery;
 use crate::regex_lite::RegexLite;
 
 /// A response filter appended as `?filter=...`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Filter {
     /// Return the selected cluster (or grid) in summary form — the
     /// cluster-summary query of paper §3.3.2.
@@ -19,6 +20,13 @@ pub enum Filter {
     /// JSON document (round ids, sources, stages, outcomes). Only
     /// meaningful on the root path.
     Trace,
+    /// Evaluate a GQL expression (`?filter=gql:<expr>`) over the tree
+    /// and return the row set as a `<GQL>` document. The expression is
+    /// validated at parse time; the raw text is kept so engines can
+    /// compile it against their own evaluation context. Only meaningful
+    /// on the root path. Note `&` cannot appear in the expression (it
+    /// separates query parameters); GQL needs it for nothing.
+    Gql(String),
 }
 
 /// One path segment: an exact name or a `~pattern`.
@@ -90,40 +98,79 @@ impl Query {
     ///
     /// Trailing slashes are ignored (`/meteor/compute-0-0/` from the
     /// paper's fig 4 parses as two segments). A segment starting with `~`
-    /// is a regex pattern.
+    /// is a regex pattern. `?filter=gql:<expr>` attaches a validated GQL
+    /// expression ([`Filter::Gql`]).
     pub fn parse(input: &str) -> Result<Query, QueryError> {
-        let input = input.trim();
-        let (path, params) = match input.split_once('?') {
-            Some((p, q)) => (p, Some(q)),
-            None => (input, None),
+        Query::parse_located(input).map_err(|(error, _)| error)
+    }
+
+    /// [`Query::parse`], but errors also carry the **byte offset into
+    /// `input`** where the problem was detected, so the serve tier can
+    /// point a client at the exact position in what it sent.
+    pub fn parse_located(input: &str) -> Result<Query, (QueryError, usize)> {
+        let lead = input.len() - input.trim_start().len();
+        let trimmed = input.trim();
+        let (path, params) = match trimmed.split_once('?') {
+            // Parameters start one byte past the '?'.
+            Some((p, q)) => (p, Some((q, lead + p.len() + 1))),
+            None => (trimmed, None),
         };
         let mut segments = Vec::new();
-        let trimmed = path.trim_matches('/');
-        if !trimmed.is_empty() {
-            for raw in trimmed.split('/') {
+        let lead_slashes = path.len() - path.trim_start_matches('/').len();
+        let core = path.trim_matches('/');
+        if !core.is_empty() {
+            let mut seg_at = lead + lead_slashes;
+            for raw in core.split('/') {
                 if raw.is_empty() {
-                    return Err(QueryError::EmptySegment);
+                    return Err((QueryError::EmptySegment, seg_at));
                 }
                 if let Some(pattern) = raw.strip_prefix('~') {
-                    let re = RegexLite::new(pattern).map_err(|e| QueryError::BadPattern {
-                        pattern: pattern.to_string(),
-                        reason: e.to_string(),
+                    let re = RegexLite::new(pattern).map_err(|e| {
+                        // Pattern offsets are char-based; convert to a
+                        // byte offset within the input.
+                        let inner: usize = pattern.chars().take(e.offset).map(char::len_utf8).sum();
+                        (
+                            QueryError::BadPattern {
+                                pattern: pattern.to_string(),
+                                reason: e.to_string(),
+                            },
+                            seg_at + 1 + inner,
+                        )
                     })?;
                     segments.push(Segment::Pattern(re));
                 } else {
                     segments.push(Segment::Literal(raw.to_string()));
                 }
+                seg_at += raw.len() + 1;
             }
         }
         let mut filter = None;
-        if let Some(params) = params {
-            for param in params.split('&').filter(|p| !p.is_empty()) {
-                match param.split_once('=') {
-                    Some(("filter", "summary")) => filter = Some(Filter::Summary),
-                    Some(("filter", "telemetry")) => filter = Some(Filter::Telemetry),
-                    Some(("filter", "trace")) => filter = Some(Filter::Trace),
-                    _ => return Err(QueryError::BadParameter(param.to_string())),
+        if let Some((params, params_at)) = params {
+            let mut param_at = params_at;
+            for param in params.split('&') {
+                if !param.is_empty() {
+                    match param.split_once('=') {
+                        Some(("filter", "summary")) => filter = Some(Filter::Summary),
+                        Some(("filter", "telemetry")) => filter = Some(Filter::Telemetry),
+                        Some(("filter", "trace")) => filter = Some(Filter::Trace),
+                        Some(("filter", value)) if value.starts_with("gql:") => {
+                            let expr = &value["gql:".len()..];
+                            let expr_at = param_at + "filter=gql:".len();
+                            GqlQuery::parse(expr).map_err(|e| {
+                                (
+                                    QueryError::BadExpression {
+                                        offset: e.offset,
+                                        message: e.message.clone(),
+                                    },
+                                    expr_at + e.offset,
+                                )
+                            })?;
+                            filter = Some(Filter::Gql(expr.to_string()));
+                        }
+                        _ => return Err((QueryError::BadParameter(param.to_string()), param_at)),
+                    }
                 }
+                param_at += param.len() + 1;
             }
         }
         Ok(Query { segments, filter })
@@ -155,10 +202,11 @@ impl fmt::Display for Query {
                 write!(f, "/{segment}")?;
             }
         }
-        match self.filter {
+        match &self.filter {
             Some(Filter::Summary) => f.write_str("?filter=summary")?,
             Some(Filter::Telemetry) => f.write_str("?filter=telemetry")?,
             Some(Filter::Trace) => f.write_str("?filter=trace")?,
+            Some(Filter::Gql(expr)) => write!(f, "?filter=gql:{expr}")?,
             None => {}
         }
         Ok(())
@@ -256,5 +304,47 @@ mod tests {
         let q = Query::parse("/meteor/compute-0-0/load_one").unwrap();
         assert_eq!(q.depth(), 3);
         assert!(q.segments[2].matches("load_one"));
+    }
+
+    #[test]
+    fn gql_filter_parses_and_round_trips() {
+        let q = Query::parse("/?filter=gql:metric == load_one | top 5").unwrap();
+        assert!(q.is_root());
+        match &q.filter {
+            Some(Filter::Gql(expr)) => assert_eq!(expr, "metric == load_one | top 5"),
+            other => panic!("expected Gql filter, got {other:?}"),
+        }
+        assert_eq!(q.to_string(), "/?filter=gql:metric == load_one | top 5");
+    }
+
+    #[test]
+    fn bad_gql_expression_is_located_in_the_input() {
+        // "/?filter=gql:metric =" — the lone '=' sits at byte 20.
+        let input = "/?filter=gql:metric =";
+        match Query::parse_located(input) {
+            Err((QueryError::BadExpression { offset, .. }, at)) => {
+                assert_eq!(offset, 7); // within the expression
+                assert_eq!(at, 20); // within the whole input
+                assert_eq!(&input[at..], "=");
+            }
+            other => panic!("expected BadExpression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn located_offsets_for_path_errors() {
+        let (e, at) = Query::parse_located("/a//b").unwrap_err();
+        assert_eq!(e, QueryError::EmptySegment);
+        assert_eq!(at, 3);
+
+        let input = "/~compute-(";
+        let (e, at) = Query::parse_located(input).unwrap_err();
+        assert!(matches!(e, QueryError::BadPattern { .. }));
+        assert_eq!(at, input.len()); // error at the unclosed group's end
+
+        let input = "/x?frob=1";
+        let (e, at) = Query::parse_located(input).unwrap_err();
+        assert!(matches!(e, QueryError::BadParameter(_)));
+        assert_eq!(&input[at..], "frob=1");
     }
 }

@@ -13,6 +13,23 @@
 
 use std::fmt;
 
+/// Maximum accepted pattern length in bytes. Patterns arrive from the
+/// network (path queries and GQL expressions), so an adversarial client
+/// must not be able to hand a serve worker an arbitrarily large compile
+/// job.
+pub const MAX_PATTERN_BYTES: usize = 512;
+
+/// Maximum group-nesting depth. Deeply nested `((((...))))` otherwise
+/// turns the recursive-descent parser into a stack-overflow primitive.
+pub const MAX_GROUP_DEPTH: usize = 32;
+
+/// Evaluation step budget per `is_match` call, counted in NFA state
+/// insertions. The simulation is `O(pattern × text)` by construction,
+/// but the budget turns that bound into a hard guarantee: a match that
+/// exhausts it reports "no match" deterministically instead of holding
+/// a serve worker.
+pub const MAX_MATCH_STEPS: usize = 4_000_000;
+
 /// A compiled pattern.
 ///
 /// # Examples
@@ -97,6 +114,8 @@ impl ClassItem {
 struct Parser {
     chars: Vec<char>,
     pos: usize,
+    /// Current `(...)` nesting depth, capped at [`MAX_GROUP_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -168,10 +187,15 @@ impl Parser {
         match self.bump() {
             None => self.err("unexpected end of pattern"),
             Some('(') => {
+                self.depth += 1;
+                if self.depth > MAX_GROUP_DEPTH {
+                    return self.err(format!("groups nested deeper than {MAX_GROUP_DEPTH}"));
+                }
                 let inner = self.parse_alt()?;
                 if self.bump() != Some(')') {
                     return self.err("unclosed group");
                 }
+                self.depth -= 1;
                 Ok(inner)
             }
             Some('[') => self.parse_class(),
@@ -426,9 +450,16 @@ impl Compiler {
 impl RegexLite {
     /// Compile a pattern.
     pub fn new(pattern: &str) -> Result<RegexLite, PatternError> {
+        if pattern.len() > MAX_PATTERN_BYTES {
+            return Err(PatternError {
+                offset: MAX_PATTERN_BYTES,
+                reason: format!("pattern longer than {MAX_PATTERN_BYTES} bytes"),
+            });
+        }
         let mut parser = Parser {
             chars: pattern.chars().collect(),
             pos: 0,
+            depth: 0,
         };
         let ast = parser.parse_alt()?;
         if parser.pos != parser.chars.len() {
@@ -452,15 +483,23 @@ impl RegexLite {
 
     /// Search semantics: does the pattern match anywhere in `text`?
     /// Use `^`/`$` to anchor.
+    ///
+    /// Evaluation is metered by [`MAX_MATCH_STEPS`]; a call that
+    /// exhausts the budget returns `false` deterministically rather
+    /// than continuing to burn a serve worker's time.
     pub fn is_match(&self, text: &str) -> bool {
+        let mut budget = MAX_MATCH_STEPS;
         let chars: Vec<char> = text.chars().collect();
         let len = chars.len();
         let mut current: Vec<bool> = vec![false; self.states.len()];
         let mut next: Vec<bool> = vec![false; self.states.len()];
-        self.add_state(&mut current, self.start, 0, len);
+        self.add_state(&mut current, self.start, 0, len, &mut budget);
         for (pos, &c) in chars.iter().enumerate() {
             if current[self.match_index()] {
                 return true;
+            }
+            if budget == 0 {
+                return false;
             }
             next.iter_mut().for_each(|b| *b = false);
             for (idx, active) in current.iter().enumerate() {
@@ -468,8 +507,10 @@ impl RegexLite {
                     continue;
                 }
                 match &self.states[idx] {
-                    State::Char(x, n) if *x == c => self.add_state(&mut next, *n, pos + 1, len),
-                    State::Any(n) => self.add_state(&mut next, *n, pos + 1, len),
+                    State::Char(x, n) if *x == c => {
+                        self.add_state(&mut next, *n, pos + 1, len, &mut budget)
+                    }
+                    State::Any(n) => self.add_state(&mut next, *n, pos + 1, len, &mut budget),
                     State::Class {
                         negated,
                         items,
@@ -477,17 +518,17 @@ impl RegexLite {
                     } => {
                         let inside = items.iter().any(|i| i.matches(c));
                         if inside != *negated {
-                            self.add_state(&mut next, *n, pos + 1, len);
+                            self.add_state(&mut next, *n, pos + 1, len, &mut budget);
                         }
                     }
                     _ => {}
                 }
             }
             // Unanchored search: a match may begin at the next position.
-            self.add_state(&mut next, self.start, pos + 1, len);
+            self.add_state(&mut next, self.start, pos + 1, len, &mut budget);
             std::mem::swap(&mut current, &mut next);
         }
-        current[self.match_index()]
+        budget > 0 && current[self.match_index()]
     }
 
     fn match_index(&self) -> usize {
@@ -495,24 +536,29 @@ impl RegexLite {
     }
 
     /// Epsilon-closure insertion, honouring anchors at position `pos`.
-    fn add_state(&self, set: &mut [bool], idx: usize, pos: usize, len: usize) {
-        if set[idx] {
+    /// Each insertion attempt costs one unit of `budget`; once it hits
+    /// zero the closure stops expanding (the caller then fails the
+    /// whole match, so a truncated closure is never observable as a
+    /// wrong answer).
+    fn add_state(&self, set: &mut [bool], idx: usize, pos: usize, len: usize, budget: &mut usize) {
+        if *budget == 0 || set[idx] {
             return;
         }
+        *budget -= 1;
         set[idx] = true;
         match &self.states[idx] {
             State::Split(a, b) => {
                 let (a, b) = (*a, *b);
-                self.add_state(set, a, pos, len);
-                self.add_state(set, b, pos, len);
+                self.add_state(set, a, pos, len, budget);
+                self.add_state(set, b, pos, len, budget);
             }
             State::StartAnchor(n) if pos == 0 => {
                 let n = *n;
-                self.add_state(set, n, pos, len);
+                self.add_state(set, n, pos, len, budget);
             }
             State::EndAnchor(n) if pos == len => {
                 let n = *n;
-                self.add_state(set, n, pos, len);
+                self.add_state(set, n, pos, len, budget);
             }
             _ => {}
         }
@@ -615,5 +661,58 @@ mod tests {
     fn unicode_text() {
         assert!(m("^über-\\d+$", "über-7"));
         assert!(m(".", "日"));
+    }
+
+    #[test]
+    fn pattern_length_cap() {
+        let ok = "a".repeat(MAX_PATTERN_BYTES);
+        assert!(RegexLite::new(&ok).is_ok());
+        let too_long = "a".repeat(MAX_PATTERN_BYTES + 1);
+        let e = RegexLite::new(&too_long).unwrap_err();
+        assert!(e.reason.contains("longer"));
+    }
+
+    #[test]
+    fn group_depth_cap() {
+        let ok = format!(
+            "{}a{}",
+            "(".repeat(MAX_GROUP_DEPTH),
+            ")".repeat(MAX_GROUP_DEPTH)
+        );
+        assert!(RegexLite::new(&ok).is_ok());
+        let deep = format!(
+            "{}a{}",
+            "(".repeat(MAX_GROUP_DEPTH + 1),
+            ")".repeat(MAX_GROUP_DEPTH + 1)
+        );
+        let e = RegexLite::new(&deep).unwrap_err();
+        assert!(e.reason.contains("nested"));
+    }
+
+    #[test]
+    fn step_budget_fails_closed() {
+        // A stack of nested starred groups has a large epsilon closure
+        // at every input position; with a long-enough text the budget
+        // runs out and the match must report false — quickly — instead
+        // of burning a worker.
+        let mut pattern = String::from("a");
+        for _ in 0..MAX_GROUP_DEPTH {
+            pattern = format!("({pattern}*)");
+        }
+        pattern.push('b');
+        let re = RegexLite::new(&pattern).unwrap();
+        let text = "a".repeat(100_000);
+        let start = std::time::Instant::now();
+        assert!(!re.is_match(&text));
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn budget_does_not_affect_ordinary_matches() {
+        // Typical monitoring patterns over typical names stay far under
+        // the budget and keep their exact semantics.
+        assert!(m("^compute-[0-9]+-[0-9]+$", "compute-31-7"));
+        let re = RegexLite::new("((a|b)*a(a|b)*)+").unwrap();
+        assert!(re.is_match(&"ab".repeat(256)));
     }
 }

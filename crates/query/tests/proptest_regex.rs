@@ -3,6 +3,7 @@
 //! panics or blow-ups on arbitrary patterns (patterns arrive from the
 //! network).
 
+use ganglia_query::regex_lite::{MAX_GROUP_DEPTH, MAX_PATTERN_BYTES};
 use ganglia_query::RegexLite;
 use proptest::prelude::*;
 
@@ -76,6 +77,43 @@ proptest! {
         let outside = RegexLite::new("^[^a-m0-4]$").expect("compiles");
         let text = c.to_string();
         prop_assert_ne!(inside.is_match(&text), outside.is_match(&text));
+    }
+
+    #[test]
+    fn oversized_patterns_are_rejected_not_compiled(
+        pad in MAX_PATTERN_BYTES + 1..MAX_PATTERN_BYTES + 64,
+    ) {
+        // Length is checked before any parsing work happens, so even a
+        // huge garbage pattern costs O(1).
+        let pattern = "a".repeat(pad);
+        prop_assert!(RegexLite::new(&pattern).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_without_stack_overflow(
+        depth in MAX_GROUP_DEPTH + 1..MAX_GROUP_DEPTH + 64,
+        opener in prop::sample::select(vec!["(", "(a", "(a|"]),
+    ) {
+        // Unbalanced or balanced, deeper than the cap must error (never
+        // recurse to a stack overflow). Keep within the length cap so
+        // the depth check is what fires.
+        let mut pattern: String = opener.repeat(depth);
+        pattern.truncate(MAX_PATTERN_BYTES);
+        prop_assert!(RegexLite::new(&pattern).is_err());
+    }
+
+    #[test]
+    fn adversarial_patterns_complete_within_budget(
+        pattern in "[ab()|*+?.\\[\\]^$]{0,64}",
+        text in "[ab]{0,2048}",
+    ) {
+        // Metacharacter soup: whatever compiles must evaluate quickly
+        // (step budget) and never panic.
+        if let Ok(re) = RegexLite::new(&pattern) {
+            let start = std::time::Instant::now();
+            let _ = re.is_match(&text);
+            prop_assert!(start.elapsed() < std::time::Duration::from_secs(1));
+        }
     }
 
     #[test]

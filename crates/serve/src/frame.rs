@@ -28,6 +28,10 @@ use ganglia_net::{Addr, NetError};
 /// The hello line opening a keep-alive session.
 pub const KEEPALIVE_HELLO: &str = "#keepalive";
 
+/// The request line flipping a keep-alive session into continuous-query
+/// push mode: `#subscribe <gql expression>`.
+pub const SUBSCRIBE: &str = "#subscribe";
+
 /// Largest frame a client will accept (a defensive cap, far above any
 /// real dump).
 pub const MAX_FRAME: usize = 256 * 1024 * 1024;
@@ -40,6 +44,13 @@ pub fn parse_hello(line: &str) -> Option<&str> {
         return Some("");
     }
     rest.strip_prefix(' ').map(str::trim)
+}
+
+/// Parse a keep-alive request line as a subscribe. Returns the GQL
+/// expression if the line is a non-empty `#subscribe <expr>`.
+pub fn parse_subscribe(line: &str) -> Option<&str> {
+    let expr = line.strip_prefix(SUBSCRIBE)?.strip_prefix(' ')?.trim();
+    (!expr.is_empty()).then_some(expr)
 }
 
 /// Write one length-prefixed response frame.
@@ -137,6 +148,23 @@ impl KeepAliveClient {
         read_frame(&mut self.reader).map_err(|e| classify(&addr, e))
     }
 
+    /// Ask the server to turn this session into a continuous-query
+    /// subscription. Returns the first response frame: the initial
+    /// snapshot delta (`GQLD ... full=1`) on success, or an `<ERROR>`
+    /// document on refusal — in which case the session stays in
+    /// request mode and [`KeepAliveClient::query`] keeps working.
+    pub fn subscribe(&mut self, expr: &str) -> Result<String, NetError> {
+        self.query(&format!("{SUBSCRIBE} {expr}"))
+    }
+
+    /// Read the next pushed frame on a subscribed session. Blocks up to
+    /// the connect timeout; a quiet round shows up as
+    /// [`NetError::Timeout`], which is retryable.
+    pub fn next_frame(&mut self) -> Result<String, NetError> {
+        let addr = self.peer_addr();
+        read_frame(&mut self.reader).map_err(|e| classify(&addr, e))
+    }
+
     fn peer_addr(&self) -> Addr {
         self.writer
             .peer_addr()
@@ -170,6 +198,19 @@ mod tests {
         assert_eq!(parse_hello("/meteor"), None);
         assert_eq!(parse_hello(""), None);
         assert_eq!(parse_hello("#keepalivex"), None);
+    }
+
+    #[test]
+    fn subscribe_parsing() {
+        assert_eq!(
+            parse_subscribe("#subscribe metric == load_one | top 5"),
+            Some("metric == load_one | top 5")
+        );
+        assert_eq!(parse_subscribe("#subscribe  x "), Some("x"));
+        assert_eq!(parse_subscribe("#subscribe"), None);
+        assert_eq!(parse_subscribe("#subscribe "), None);
+        assert_eq!(parse_subscribe("/meteor"), None);
+        assert_eq!(parse_subscribe("#subscriber x"), None);
     }
 
     #[test]

@@ -32,6 +32,11 @@
 //!   keep-alive protocol (`#keepalive` hello, length-prefixed
 //!   responses) so viewers can issue many queries over one connection
 //!   instead of paying a TCP handshake per exchange.
+//! * [`SubscriptionRegistry`] / the [`subs`] module — continuous-query
+//!   subscriptions: a keep-alive session sends `#subscribe <gql expr>`
+//!   and the tier pushes delta frames after every poll round that
+//!   changes the query's result, instead of the client re-polling and
+//!   re-diffing the full document.
 //!
 //! The tier also serves over the simulated transport: [`FrontTier`]
 //! implements [`RequestHandler`], so `SimNet::serve` accepts it
@@ -50,6 +55,7 @@ pub mod cache;
 pub mod frame;
 pub mod options;
 pub mod pool;
+pub mod subs;
 pub mod tier;
 
 pub use admission::RateLimiter;
@@ -57,4 +63,5 @@ pub use cache::ResponseCache;
 pub use frame::KeepAliveClient;
 pub use options::ServeOptions;
 pub use pool::PooledServer;
+pub use subs::{SubscribeError, SubscriptionHandle, SubscriptionRegistry};
 pub use tier::{error_doc, Disposition, FrontTier, Served};

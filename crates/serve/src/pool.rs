@@ -301,7 +301,37 @@ fn serve_keepalive(
                 return;
             }
         }
-        let served = tier.handle_from(session, line.trim_end_matches(['\r', '\n']));
+        let line = line.trim_end_matches(['\r', '\n']);
+        if let Some(expr) = frame::parse_subscribe(line) {
+            match tier.try_subscribe(session, expr) {
+                Ok(handle) => {
+                    // Push mode: the initial snapshot, then deltas as
+                    // the registry produces them. The connection never
+                    // returns to request mode.
+                    if frame::write_frame(writer, &handle.initial).is_ok() {
+                        push_deltas(reader, writer, tier, &handle);
+                    } else {
+                        tier.record_eviction();
+                    }
+                    if let Some(subs) = tier.subscriptions() {
+                        subs.unsubscribe(handle.id);
+                    }
+                    return;
+                }
+                Err(refusal) => {
+                    // A refused subscribe leaves the session in request
+                    // mode; the framed <ERROR> document says why.
+                    if let Err(e) = frame::write_frame(writer, &refusal) {
+                        if is_timeout(&e) {
+                            tier.record_eviction();
+                        }
+                        return;
+                    }
+                    continue;
+                }
+            }
+        }
+        let served = tier.handle_from(session, line);
         if let Err(e) = frame::write_frame(writer, served.body.as_str()) {
             if is_timeout(&e) {
                 tier.record_eviction();
@@ -309,6 +339,59 @@ fn serve_keepalive(
             return;
         }
     }
+}
+
+/// Serve a subscribed connection: block on the subscription queue and
+/// frame out each delta. Between deltas, poll the socket so a client
+/// that closed (or sent anything further — the push protocol has no
+/// requests) is noticed and its worker freed even on a quiet store.
+fn push_deltas(
+    reader: &mut std::io::BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    tier: &FrontTier,
+    handle: &crate::subs::SubscriptionHandle,
+) {
+    loop {
+        match handle.next(Duration::from_millis(100)) {
+            Ok(body) => {
+                if let Err(e) = frame::write_frame(writer, &body) {
+                    if is_timeout(&e) {
+                        tier.record_eviction();
+                    }
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if subscriber_gone(reader) {
+                    return;
+                }
+            }
+            // The registry evicted this subscription (slow reader).
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Nearly-non-blocking liveness probe on a push-mode connection.
+fn subscriber_gone(reader: &mut std::io::BufReader<TcpStream>) -> bool {
+    use std::io::Read;
+    let saved = reader.get_ref().read_timeout().ok().flatten();
+    if reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return true;
+    }
+    let mut probe = [0u8; 64];
+    let gone = match reader.read(&mut probe) {
+        Ok(0) => true,  // clean close
+        Ok(_) => false, // stray input; the protocol ignores it
+        Err(e) if is_timeout(&e) => false,
+        Err(_) => true,
+    };
+    let _ = reader.get_ref().set_read_timeout(saved);
+    gone
 }
 
 #[cfg(test)]

@@ -1,0 +1,384 @@
+//! Continuous-query subscriptions.
+//!
+//! A one-shot GQL query (`/?filter=gql:<expr>`) answers "what matches
+//! now". A *subscription* answers "keep me told": the client sends
+//! `#subscribe <expr>` on a keep-alive session, receives the full
+//! current result as an initial delta frame, and then — after every
+//! poll round that changes the result — a delta frame carrying only the
+//! rows that were added, changed, or removed. Replaying the deltas into
+//! a [`Mirror`](ganglia_query::Mirror) reconstructs the full result
+//! byte-identically, so a viewer never re-fetches what it already has.
+//!
+//! The registry lives beside the [`FrontTier`](crate::FrontTier)'s
+//! cache and shares its poll-round cadence: the monitoring core calls
+//! [`SubscriptionRegistry::run_round`] once after each poll round
+//! installs new snapshots. Within a round, subscriptions sharing the
+//! same expression source are evaluated **once** and diffed per
+//! subscriber, so a popular query costs one tree walk no matter how
+//! many viewers watch it.
+//!
+//! Back-pressure is eviction, not buffering: each subscription owns a
+//! bounded frame queue, and a subscriber that falls more than
+//! `queue_depth` rounds behind is dropped (`sub.evicted_total`). A
+//! slow reader costs a bounded amount of memory and then its
+//! subscription, never the poll loop — `run_round` only ever does a
+//! non-blocking send.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::Duration;
+
+use ganglia_query::gql::diff;
+use ganglia_query::{Delta, GqlError, GqlQuery, RowSet};
+use ganglia_telemetry::{Counter, Gauge, Registry};
+use parking_lot::Mutex;
+
+/// Evaluates a parsed query against the current store, returning the
+/// row set and the store revision it was computed at.
+pub type EvalFn = dyn Fn(&GqlQuery) -> (RowSet, u64) + Send + Sync;
+
+/// Why a `#subscribe` was refused.
+#[derive(Debug)]
+pub enum SubscribeError {
+    /// The expression failed to parse; the offset points into it.
+    Parse(GqlError),
+    /// The registry is at its subscription capacity.
+    Capacity,
+}
+
+/// One live subscription, held by the connection that serves it.
+/// Dropping the handle (or the whole connection) ends the subscription;
+/// the registry notices on the next round and cleans up.
+pub struct SubscriptionHandle {
+    /// Registry-unique id, for explicit [`SubscriptionRegistry::unsubscribe`].
+    pub id: u64,
+    /// The initial full-snapshot delta frame, already encoded.
+    pub initial: String,
+    rx: Receiver<String>,
+}
+
+impl SubscriptionHandle {
+    /// Wait up to `timeout` for the next pushed delta frame.
+    pub fn next(&self, timeout: Duration) -> Result<String, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+}
+
+struct Subscription {
+    id: u64,
+    peer: String,
+    /// Canonical expression text — the dedup key for per-round
+    /// evaluation sharing.
+    source: String,
+    query: GqlQuery,
+    /// The rows last pushed to this subscriber; the next round diffs
+    /// against these.
+    prev: RowSet,
+    tx: SyncSender<String>,
+}
+
+struct Inner {
+    next_id: u64,
+    subs: Vec<Subscription>,
+}
+
+/// The shared registry of live subscriptions. See the module docs.
+pub struct SubscriptionRegistry {
+    eval: Box<EvalFn>,
+    max_subscriptions: usize,
+    queue_depth: usize,
+    inner: Mutex<Inner>,
+    active: Gauge,
+    opened: Counter,
+    closed: Counter,
+    evicted: Counter,
+    frames: Counter,
+    bytes: Counter,
+}
+
+impl SubscriptionRegistry {
+    /// Build a registry. `eval` runs a parsed query against the live
+    /// store; `max_subscriptions` bounds concurrent subscriptions and
+    /// `queue_depth` bounds how many unread frames a subscriber may
+    /// accumulate before eviction. Instruments register under `sub.*`.
+    pub fn new(
+        eval: Box<EvalFn>,
+        max_subscriptions: usize,
+        queue_depth: usize,
+        registry: &Registry,
+    ) -> SubscriptionRegistry {
+        SubscriptionRegistry {
+            eval,
+            max_subscriptions: max_subscriptions.max(1),
+            queue_depth: queue_depth.max(1),
+            inner: Mutex::new(Inner {
+                next_id: 0,
+                subs: Vec::new(),
+            }),
+            active: registry.gauge("sub.active"),
+            opened: registry.counter("sub.opened_total"),
+            closed: registry.counter("sub.closed_total"),
+            evicted: registry.counter("sub.evicted_total"),
+            frames: registry.counter("sub.pushed_frames_total"),
+            bytes: registry.counter("sub.pushed_bytes_total"),
+        }
+    }
+
+    /// Open a subscription for `peer`. Parses and evaluates `expr`
+    /// immediately; the handle carries the encoded initial snapshot so
+    /// the subscriber starts from the same revision the next diff
+    /// builds on.
+    pub fn subscribe(&self, peer: &str, expr: &str) -> Result<SubscriptionHandle, SubscribeError> {
+        let query = GqlQuery::parse(expr).map_err(SubscribeError::Parse)?;
+        let (rows, revision) = (self.eval)(&query);
+        let initial = Delta::snapshot(&rows, revision).encode();
+        let mut inner = self.inner.lock();
+        if inner.subs.len() >= self.max_subscriptions {
+            return Err(SubscribeError::Capacity);
+        }
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let (tx, rx) = sync_channel(self.queue_depth);
+        inner.subs.push(Subscription {
+            id,
+            peer: peer.to_string(),
+            source: query.source().to_string(),
+            query,
+            prev: rows,
+            tx,
+        });
+        drop(inner);
+        self.opened.inc();
+        self.active.add(1);
+        self.frames.inc();
+        self.bytes.add(initial.len() as u64);
+        Ok(SubscriptionHandle { id, initial, rx })
+    }
+
+    /// Close subscription `id` (idempotent — the registry may already
+    /// have evicted it).
+    pub fn unsubscribe(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        let before = inner.subs.len();
+        inner.subs.retain(|sub| sub.id != id);
+        let removed = before - inner.subs.len();
+        drop(inner);
+        if removed > 0 {
+            self.closed.inc();
+            self.active.sub(1);
+        }
+    }
+
+    /// Live subscription count.
+    pub fn active(&self) -> usize {
+        self.inner.lock().subs.len()
+    }
+
+    /// Re-evaluate every subscribed query and push delta frames. Called
+    /// by the monitoring core once after each poll round; distinct
+    /// subscriptions sharing one expression are evaluated once. A
+    /// subscriber whose queue is full is evicted; one whose connection
+    /// has gone away is closed.
+    pub fn run_round(&self) {
+        let mut inner = self.inner.lock();
+        if inner.subs.is_empty() {
+            return;
+        }
+        // Per-round evaluation cache, keyed by expression source.
+        let mut results: BTreeMap<String, (RowSet, u64)> = BTreeMap::new();
+        let mut closed = 0u64;
+        let mut evicted = 0u64;
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
+        let eval = &self.eval;
+        inner.subs.retain_mut(|sub| {
+            let (rows, revision) = results
+                .entry(sub.source.clone())
+                .or_insert_with(|| eval(&sub.query));
+            let delta = diff(&sub.prev, rows, *revision);
+            sub.prev = rows.clone();
+            if delta.is_empty() {
+                return true;
+            }
+            let frame = delta.encode();
+            let len = frame.len() as u64;
+            match sub.tx.try_send(frame) {
+                Ok(()) => {
+                    frames += 1;
+                    bytes += len;
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    // The subscriber is queue_depth rounds behind:
+                    // drop it rather than buffer without bound. The
+                    // peer name makes the eviction attributable.
+                    let _ = &sub.peer;
+                    evicted += 1;
+                    closed += 1;
+                    false
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    closed += 1;
+                    false
+                }
+            }
+        });
+        drop(inner);
+        self.closed.add(closed);
+        self.evicted.add(evicted);
+        self.frames.add(frames);
+        self.bytes.add(bytes);
+        if closed > 0 {
+            self.active.sub(closed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganglia_query::Row;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn row(metric: &str, value: f64) -> Row {
+        Row {
+            key: format!("|meteor|m0|{metric}"),
+            grid: String::new(),
+            cluster: "meteor".to_string(),
+            host: "m0".to_string(),
+            metric: metric.to_string(),
+            value: Some(value),
+            raw: format!("{value}"),
+            units: String::new(),
+            num: 1,
+        }
+    }
+
+    /// A registry whose rows are controlled by an atomic: revision N
+    /// yields `load_one = N`.
+    fn registry_over(
+        revision: Arc<AtomicU64>,
+        max_subs: usize,
+        depth: usize,
+    ) -> (SubscriptionRegistry, Arc<Registry>) {
+        let telemetry = Arc::new(Registry::new());
+        let eval = Box::new(move |_q: &GqlQuery| {
+            let rev = revision.load(Ordering::SeqCst);
+            (vec![row("load_one", rev as f64)], rev)
+        });
+        let subs = SubscriptionRegistry::new(eval, max_subs, depth, &telemetry);
+        (subs, telemetry)
+    }
+
+    #[test]
+    fn subscribe_pushes_initial_snapshot_then_deltas() {
+        let revision = Arc::new(AtomicU64::new(1));
+        let (subs, _telemetry) = registry_over(Arc::clone(&revision), 4, 4);
+        let handle = subs.subscribe("viewer", "metric == load_one").unwrap();
+        let initial = Delta::parse(&handle.initial).unwrap();
+        assert!(initial.full);
+        assert_eq!(initial.revision, 1);
+        assert_eq!(initial.added.len(), 1);
+
+        // Unchanged store: no frame.
+        subs.run_round();
+        assert!(handle.next(Duration::from_millis(10)).is_err());
+
+        // A change pushes exactly the difference.
+        revision.store(2, Ordering::SeqCst);
+        subs.run_round();
+        let frame = handle.next(Duration::from_millis(500)).unwrap();
+        let delta = Delta::parse(&frame).unwrap();
+        assert!(!delta.full);
+        assert_eq!(delta.revision, 2);
+        assert_eq!(delta.changed.len(), 1);
+        assert!(delta.added.is_empty() && delta.removed.is_empty());
+    }
+
+    #[test]
+    fn bad_expressions_and_capacity_are_refused() {
+        let revision = Arc::new(AtomicU64::new(1));
+        let (subs, _telemetry) = registry_over(revision, 1, 4);
+        assert!(matches!(
+            subs.subscribe("v", "metric ="),
+            Err(SubscribeError::Parse(_))
+        ));
+        let _held = subs.subscribe("v", "metric == load_one").unwrap();
+        assert!(matches!(
+            subs.subscribe("v", "metric == cpu_num"),
+            Err(SubscribeError::Capacity)
+        ));
+    }
+
+    #[test]
+    fn slow_subscribers_are_evicted_not_buffered() {
+        let revision = Arc::new(AtomicU64::new(1));
+        let (subs, telemetry) = registry_over(Arc::clone(&revision), 4, 1);
+        let handle = subs.subscribe("sloth", "metric == load_one").unwrap();
+        // Never read: the depth-1 queue fills on the first delta and
+        // the second one evicts.
+        revision.store(2, Ordering::SeqCst);
+        subs.run_round();
+        revision.store(3, Ordering::SeqCst);
+        subs.run_round();
+        assert_eq!(subs.active(), 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sub.evicted_total"), Some(1));
+        assert_eq!(snap.gauge("sub.active"), Some(0));
+        drop(handle);
+    }
+
+    #[test]
+    fn dropped_handles_are_reaped_on_the_next_round() {
+        let revision = Arc::new(AtomicU64::new(1));
+        let (subs, telemetry) = registry_over(Arc::clone(&revision), 4, 4);
+        let handle = subs.subscribe("v", "metric == load_one").unwrap();
+        drop(handle);
+        revision.store(2, Ordering::SeqCst);
+        subs.run_round();
+        assert_eq!(subs.active(), 0);
+        assert_eq!(telemetry.snapshot().counter("sub.closed_total"), Some(1));
+    }
+
+    #[test]
+    fn shared_expressions_evaluate_once_per_round() {
+        let evals = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&evals);
+        let telemetry = Arc::new(Registry::new());
+        let tick = Arc::new(AtomicU64::new(1));
+        let tick_in_eval = Arc::clone(&tick);
+        let subs = SubscriptionRegistry::new(
+            Box::new(move |_q| {
+                seen.fetch_add(1, Ordering::SeqCst);
+                let rev = tick_in_eval.load(Ordering::SeqCst);
+                (vec![row("load_one", rev as f64)], rev)
+            }),
+            8,
+            4,
+            &telemetry,
+        );
+        let a = subs.subscribe("a", "metric == load_one").unwrap();
+        let b = subs.subscribe("b", "metric == load_one").unwrap();
+        let c = subs.subscribe("c", "metric == cpu_num").unwrap();
+        let before = evals.load(Ordering::SeqCst);
+        tick.store(2, Ordering::SeqCst);
+        subs.run_round();
+        // Two distinct sources, three subscriptions: two evaluations.
+        assert_eq!(evals.load(Ordering::SeqCst) - before, 2);
+        drop((a, b, c));
+    }
+
+    #[test]
+    fn unsubscribe_is_idempotent() {
+        let revision = Arc::new(AtomicU64::new(1));
+        let (subs, telemetry) = registry_over(revision, 4, 4);
+        let handle = subs.subscribe("v", "metric == load_one").unwrap();
+        subs.unsubscribe(handle.id);
+        subs.unsubscribe(handle.id);
+        assert_eq!(subs.active(), 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sub.closed_total"), Some(1));
+        assert_eq!(snap.gauge("sub.active"), Some(0));
+    }
+}

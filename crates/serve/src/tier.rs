@@ -9,6 +9,7 @@ use ganglia_telemetry::{Counter, Gauge, HistogramHandle, Registry};
 use crate::admission::RateLimiter;
 use crate::cache::ResponseCache;
 use crate::options::ServeOptions;
+use crate::subs::{SubscribeError, SubscriptionHandle, SubscriptionRegistry};
 
 /// A well-formed empty Ganglia document carrying `reason` as a comment.
 /// This is how the tier refuses work: the client always reads a
@@ -67,6 +68,7 @@ pub struct FrontTier {
     options: ServeOptions,
     cache: Option<ResponseCache>,
     limiter: Option<RateLimiter>,
+    subs: Option<Arc<SubscriptionRegistry>>,
     inflight: Gauge,
     requests: Counter,
     hits: Counter,
@@ -97,6 +99,19 @@ impl FrontTier {
         options: ServeOptions,
         registry: Arc<Registry>,
     ) -> Arc<FrontTier> {
+        FrontTier::new_with_subscriptions(handler, revision, options, registry, None)
+    }
+
+    /// [`FrontTier::new`], plus a [`SubscriptionRegistry`] so keep-alive
+    /// sessions on this tier can issue `#subscribe <expr>` and receive
+    /// pushed delta frames.
+    pub fn new_with_subscriptions(
+        handler: Arc<dyn RequestHandler>,
+        revision: impl Fn() -> u64 + Send + Sync + 'static,
+        options: ServeOptions,
+        registry: Arc<Registry>,
+        subs: Option<Arc<SubscriptionRegistry>>,
+    ) -> Arc<FrontTier> {
         let cache = options.cache.then(|| {
             ResponseCache::new(
                 options.cache_capacity,
@@ -110,6 +125,7 @@ impl FrontTier {
             revision: Box::new(revision),
             cache,
             limiter,
+            subs,
             inflight: registry.gauge("serve.inflight"),
             requests: registry.counter("serve.requests_total"),
             hits: registry.counter("serve.cache_hits_total"),
@@ -143,6 +159,49 @@ impl FrontTier {
     /// server's accept queue was full).
     pub fn record_shed(&self) {
         self.shed.inc();
+    }
+
+    /// The subscription registry, if this tier was built with one.
+    pub fn subscriptions(&self) -> Option<&Arc<SubscriptionRegistry>> {
+        self.subs.as_ref()
+    }
+
+    /// Try to open a subscription for `peer`. A refusal — subscriptions
+    /// disabled, peer over its rate budget, expression malformed, or
+    /// capacity reached — comes back as a complete `<ERROR>` document
+    /// to frame back to the client, which then stays in request mode.
+    pub fn try_subscribe(&self, peer: &str, expr: &str) -> Result<SubscriptionHandle, String> {
+        let Some(registry) = &self.subs else {
+            return Err(ganglia_query::gql::error_xml(
+                0,
+                "subscriptions are not enabled on this port",
+            ));
+        };
+        // Opening a subscription spends one request token: admission is
+        // per-peer just like one-shot queries, so a subscribe flood is
+        // limited under the same budget.
+        if let Some(limiter) = &self.limiter {
+            if !limiter.allow(peer) {
+                self.ratelimited.inc();
+                return Err(ganglia_query::gql::error_xml(
+                    0,
+                    &format!("rate limited: peer {peer} over budget"),
+                ));
+            }
+        }
+        match registry.subscribe(peer, expr) {
+            Ok(handle) => Ok(handle),
+            Err(SubscribeError::Parse(e)) => {
+                Err(ganglia_query::gql::error_xml(e.offset, &e.message))
+            }
+            Err(SubscribeError::Capacity) => {
+                self.shed.inc();
+                Err(ganglia_query::gql::error_xml(
+                    0,
+                    "subscription capacity reached",
+                ))
+            }
+        }
     }
 
     /// Serve one request on behalf of `peer`. Admission control and the

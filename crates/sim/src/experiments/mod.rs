@@ -14,6 +14,7 @@ pub mod fig6;
 pub mod ingest;
 pub mod limits;
 pub mod propagation;
+pub mod query;
 pub mod serving;
 pub mod table1;
 pub mod traffic;
@@ -29,6 +30,7 @@ pub use limits::{run_limits, LimitsResult, LimitsRow};
 pub use propagation::{
     run_propagation_lag, PropagationParams, PropagationResult, PropagationRow, BOUND_EPSILON_S,
 };
+pub use query::{run_query_churn, QueryParams, QueryResult, QueryRow};
 pub use serving::{
     run_serving, run_slow_client_isolation, IsolationResult, ServingParams, ServingResult,
     ServingSide,

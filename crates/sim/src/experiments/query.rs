@@ -1,0 +1,236 @@
+//! Continuous queries measured: pushed delta traffic vs a re-polling
+//! client, across churn levels.
+//!
+//! A viewer that wants "the load of every host, always current" has two
+//! options against a gmetad: re-issue the one-shot GQL query every poll
+//! round and re-download the full result, or subscribe once and receive
+//! delta frames carrying only the rows that changed. This experiment
+//! drives both against the same churn corpus (the ingest experiment's
+//! generator: a configurable fraction of hosts change one metric value
+//! per round) and accounts the bytes each strategy transfers after the
+//! initial snapshot, which both strategies pay identically.
+//!
+//! Two invariants are checked while measuring and reported in the
+//! result rows:
+//!
+//! * **consistency** — replaying the pushed deltas into a mirror
+//!   renders byte-identically to a fresh server-side evaluation, every
+//!   round;
+//! * **latency** — every pushed frame carries the revision of the round
+//!   that produced it, i.e. a subscriber is never behind a re-polling
+//!   client by more than the round that is currently being pushed
+//!   (worst observed lag is reported in rounds).
+
+use std::sync::Arc;
+
+use ganglia_core::telemetry::Registry;
+use ganglia_metrics::parse_document;
+use ganglia_query::gql::{render_xml, Delta, GqlQuery, Mirror};
+use ganglia_serve::SubscriptionRegistry;
+use parking_lot::Mutex;
+
+use crate::experiments::ingest::{churn_corpus, IngestParams};
+
+/// Shape of the subscription workload.
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// Hosts in the simulated cluster.
+    pub hosts: usize,
+    /// Metrics per host.
+    pub metrics_per_host: usize,
+    /// Poll rounds per churn level (including the snapshot round).
+    pub rounds: usize,
+    /// The continuous query under test. The default selects the
+    /// corpus's churned metric on every host, so result churn tracks
+    /// host churn one-to-one.
+    pub expr: String,
+    pub seed: u64,
+}
+
+impl Default for QueryParams {
+    fn default() -> Self {
+        QueryParams {
+            hosts: 128,
+            metrics_per_host: 24,
+            rounds: 40,
+            expr: "metric == metric_00".to_string(),
+            seed: 0x5eed_0002,
+        }
+    }
+}
+
+/// One measured churn level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// Fraction of hosts whose watched value changes per round.
+    pub churn: f64,
+    /// Rows in the query result.
+    pub result_rows: usize,
+    /// Bytes of the initial snapshot frame (paid once by both sides).
+    pub snapshot_bytes: u64,
+    /// Delta frame bytes pushed across the post-snapshot rounds.
+    pub delta_bytes: u64,
+    /// Bytes a re-polling client downloads over the same rounds
+    /// (one full query response per round).
+    pub repoll_bytes: u64,
+    /// Rounds that pushed no frame because the result was unchanged.
+    pub quiet_rounds: u64,
+    /// Worst observed frame lag, in poll rounds (frame revision vs the
+    /// revision current when the frame was read).
+    pub max_latency_rounds: u64,
+    /// Whether the replayed mirror was byte-identical to a fresh
+    /// evaluation after every round.
+    pub consistent: bool,
+}
+
+impl QueryRow {
+    /// Pushed delta traffic as a fraction of re-poll traffic.
+    pub fn delta_fraction(&self) -> f64 {
+        self.delta_bytes as f64 / (self.repoll_bytes as f64).max(1.0)
+    }
+}
+
+/// The whole churn sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub params_hosts: usize,
+    pub params_rounds: usize,
+    pub expr: String,
+    pub rows: Vec<QueryRow>,
+}
+
+/// Measure one churn level: feed the corpus through a subscription
+/// registry round by round, accounting pushed frame bytes against the
+/// re-poll cost of the same query.
+fn measure(params: &QueryParams, churn: f64) -> QueryRow {
+    let corpus = churn_corpus(
+        &IngestParams {
+            hosts: params.hosts,
+            metrics_per_host: params.metrics_per_host,
+            rounds: params.rounds,
+        },
+        churn,
+        params.seed,
+    );
+    let query = GqlQuery::parse(&params.expr).expect("experiment expression parses");
+
+    // The "store": the current round's evaluated rows at its revision,
+    // swapped in before each run_round like a poll round installing
+    // snapshots.
+    let current: Arc<Mutex<(ganglia_query::RowSet, u64)>> = Arc::new(Mutex::new((Vec::new(), 0)));
+    let eval_state = Arc::clone(&current);
+    let telemetry = Registry::new();
+    let subs = SubscriptionRegistry::new(
+        Box::new(move |_q: &GqlQuery| {
+            let state = eval_state.lock();
+            (state.0.clone(), state.1)
+        }),
+        4,
+        4,
+        &telemetry,
+    );
+
+    // Round 1 installs the first document and takes the snapshot.
+    let doc = parse_document(&corpus[0]).expect("corpus parses");
+    *current.lock() = (query.evaluate_doc(&doc), 1);
+    let handle = subs
+        .subscribe("bench", &params.expr)
+        .expect("subscribe under capacity");
+    let mut mirror = Mirror::new();
+    mirror.apply(&Delta::parse(&handle.initial).expect("snapshot parses"));
+
+    let mut row = QueryRow {
+        churn,
+        result_rows: mirror.len(),
+        snapshot_bytes: handle.initial.len() as u64,
+        delta_bytes: 0,
+        repoll_bytes: 0,
+        quiet_rounds: 0,
+        max_latency_rounds: 0,
+        consistent: true,
+    };
+    for (round, xml) in corpus.iter().enumerate().skip(1) {
+        let revision = round as u64 + 1;
+        let doc = parse_document(xml).expect("corpus parses");
+        let rows = query.evaluate_doc(&doc);
+        let fresh = render_xml(&rows, revision);
+        *current.lock() = (rows, revision);
+        subs.run_round();
+        // What a re-polling client downloads this round regardless of
+        // how little changed.
+        row.repoll_bytes += fresh.len() as u64;
+        match handle.next(std::time::Duration::from_millis(0)) {
+            Ok(frame) => {
+                let delta = Delta::parse(&frame).expect("frame parses");
+                row.max_latency_rounds = row.max_latency_rounds.max(revision - delta.revision);
+                row.delta_bytes += frame.len() as u64;
+                mirror.apply(&delta);
+            }
+            Err(_) => row.quiet_rounds += 1,
+        }
+        // On a quiet round the mirror legitimately keeps the revision
+        // of the last change, so compare row content at the current
+        // revision: a pushed frame makes this the same bytes as
+        // `mirror.render()`.
+        if render_xml(&mirror.rows(), revision) != fresh {
+            row.consistent = false;
+        }
+    }
+    row
+}
+
+/// Run the churn sweep.
+pub fn run_query_churn(params: &QueryParams, churns: &[f64]) -> QueryResult {
+    QueryResult {
+        params_hosts: params.hosts,
+        params_rounds: params.rounds,
+        expr: params.expr.clone(),
+        rows: churns.iter().map(|&c| measure(params, c)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> QueryParams {
+        QueryParams {
+            hosts: 32,
+            metrics_per_host: 6,
+            rounds: 10,
+            ..QueryParams::default()
+        }
+    }
+
+    #[test]
+    fn deltas_are_consistent_and_cheap_at_low_churn() {
+        let result = run_query_churn(&small_params(), &[0.0, 0.1, 1.0]);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert!(row.consistent, "churn {}: mirror diverged", row.churn);
+            assert!(
+                row.max_latency_rounds <= 1,
+                "churn {}: frame lagged {} rounds",
+                row.churn,
+                row.max_latency_rounds
+            );
+            assert_eq!(row.result_rows, 32, "one row per host");
+        }
+        // Nothing changes at 0% churn: no frames at all.
+        assert_eq!(result.rows[0].delta_bytes, 0);
+        assert_eq!(result.rows[0].quiet_rounds, 9);
+        // At 10% churn the pushed traffic is a small fraction of what a
+        // re-polling client downloads.
+        assert!(
+            result.rows[1].delta_fraction() < 0.25,
+            "10% churn delta fraction {:.3}",
+            result.rows[1].delta_fraction()
+        );
+        // Even full churn never costs more than re-polling.
+        assert!(
+            result.rows[2].delta_fraction() <= 1.0,
+            "100% churn delta fraction {:.3}",
+            result.rows[2].delta_fraction()
+        );
+    }
+}

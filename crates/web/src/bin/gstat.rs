@@ -7,14 +7,18 @@
 //! gstat --gmetad 127.0.0.1:8652 --one-level          # legacy full-dump client
 //! gstat --gmetad 127.0.0.1:8652 --telemetry          # the agent's own health
 //! gstat --gmetad 127.0.0.1:8652 --trace              # round-correlated trace log
+//! gstat --gmetad 127.0.0.1:8652 --watch 'metric == load_one | avg by cluster'
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use ganglia_net::{Addr, TcpTransport};
 use ganglia_web::render::{render_cluster, render_host, render_meta, render_trace};
-use ganglia_web::{Frontend, NLevelFrontend, OneLevelFrontend, ViewerClient};
+use ganglia_web::{
+    Frontend, NLevelFrontend, OneLevelFrontend, PersistentSession, ViewerClient, WatchSession,
+};
 
 struct Options {
     gmetad: String,
@@ -23,6 +27,7 @@ struct Options {
     one_level: bool,
     telemetry: bool,
     trace: bool,
+    watch: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -33,6 +38,7 @@ fn parse_args() -> Result<Options, String> {
         one_level: false,
         telemetry: false,
         trace: false,
+        watch: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
             "--one-level" => options.one_level = true,
             "--telemetry" | "-t" => options.telemetry = true,
             "--trace" | "-T" => options.trace = true,
+            "--watch" | "-w" => options.watch = Some(value("--watch")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -56,17 +63,73 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
+/// Print the watch's current rows as an aligned table.
+fn print_watch(watch: &WatchSession, label: &str) {
+    let delta = watch.last_delta();
+    println!(
+        "-- revision {} {} (+{} ~{} -{}) --",
+        watch.revision(),
+        label,
+        delta.added.len(),
+        delta.changed.len(),
+        delta.removed.len()
+    );
+    for row in watch.rows() {
+        let place = match (row.cluster.is_empty(), row.host.is_empty()) {
+            (true, _) => row.grid.clone(),
+            (false, true) => row.cluster.clone(),
+            (false, false) => format!("{}/{}", row.cluster, row.host),
+        };
+        println!(
+            "{:<24} {:<16} {:>12} {}",
+            place, row.metric, row.raw, row.units
+        );
+    }
+}
+
+/// Tail a continuous query: subscribe over a keep-alive session and
+/// reprint the mirrored result every time the server pushes a delta.
+fn run_watch(gmetad: &str, expr: &str) -> ExitCode {
+    let addr = Addr::new(gmetad);
+    let session = match PersistentSession::connect(&addr, "gstat-watch", Duration::from_secs(3600))
+    {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("gstat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut watch = match session.watch(expr) {
+        Ok(watch) => watch,
+        Err(e) => {
+            eprintln!("gstat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_watch(&watch, "(snapshot)");
+    loop {
+        if let Err(e) = watch.next_delta() {
+            eprintln!("gstat: {e}");
+            return ExitCode::FAILURE;
+        }
+        print_watch(&watch, "(delta)");
+    }
+}
+
 fn main() -> ExitCode {
     let options = match parse_args() {
         Ok(options) => options,
         Err(e) => {
             eprintln!("gstat: {e}");
             eprintln!(
-                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level] [--telemetry] [--trace]"
+                "usage: gstat --gmetad <host:port> [--cluster C [--host H]] [--one-level] [--telemetry] [--trace] [--watch EXPR]"
             );
             return ExitCode::from(2);
         }
     };
+    if let Some(expr) = &options.watch {
+        return run_watch(&options.gmetad, expr);
+    }
     let client = ViewerClient::new(
         Arc::new(TcpTransport::new()),
         Addr::new(options.gmetad.clone()),

@@ -37,6 +37,6 @@ pub mod views;
 
 pub use client::ViewerClient;
 pub use frontend::{Frontend, NLevelFrontend, OneLevelFrontend};
-pub use session::PersistentSession;
+pub use session::{PersistentSession, WatchError, WatchSession};
 pub use timing::ViewTiming;
 pub use views::{ClusterView, HostRow, HostView, MetaRow, MetaView, MetricRow, SourceHealth};

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use ganglia_metrics::{parse_document, GangliaDoc};
 use ganglia_net::{Addr, NetError};
+use ganglia_query::gql::{Delta, Mirror, Row};
 use ganglia_serve::KeepAliveClient;
 
 use crate::client::ViewerError;
@@ -80,6 +81,96 @@ impl PersistentSession {
         self.client = KeepAliveClient::connect(&self.addr, &self.name, self.timeout)?;
         Ok(())
     }
+
+    /// Turn the session into a continuous-query watch: send
+    /// `#subscribe <expr>`, apply the initial snapshot frame, and tail
+    /// delta frames from then on. The server answers a refused
+    /// subscription (bad expression, over capacity, subscriptions
+    /// disabled) with an `<ERROR>` document, surfaced here as
+    /// [`WatchError::Refused`].
+    pub fn watch(mut self, expr: &str) -> Result<WatchSession, WatchError> {
+        let initial = self.client.subscribe(expr)?;
+        let delta = Delta::parse(&initial).map_err(|_| WatchError::Refused(initial))?;
+        let mut mirror = Mirror::new();
+        mirror.apply(&delta);
+        Ok(WatchSession {
+            client: self.client,
+            mirror,
+            last: delta,
+        })
+    }
+}
+
+/// Why a watch could not be established.
+#[derive(Debug)]
+pub enum WatchError {
+    /// Transport failure.
+    Net(NetError),
+    /// The server refused the subscription; the payload is its
+    /// `<ERROR>` document (which carries a byte-offset diagnostic for
+    /// malformed expressions).
+    Refused(String),
+}
+
+impl std::fmt::Display for WatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchError::Net(e) => write!(f, "{e}"),
+            WatchError::Refused(doc) => write!(f, "subscription refused: {}", doc.trim()),
+        }
+    }
+}
+
+impl std::error::Error for WatchError {}
+
+impl From<NetError> for WatchError {
+    fn from(e: NetError) -> WatchError {
+        WatchError::Net(e)
+    }
+}
+
+/// A live continuous query: the server pushes one delta frame after
+/// every poll round that changes the query's result, and the session
+/// replays them into a [`Mirror`] that stays byte-identical to a fresh
+/// server-side evaluation.
+pub struct WatchSession {
+    client: KeepAliveClient,
+    mirror: Mirror,
+    last: Delta,
+}
+
+impl WatchSession {
+    /// Block until the server pushes the next delta frame, apply it,
+    /// and return it. An unparseable frame (the stream is no longer a
+    /// subscription) surfaces as [`WatchError::Refused`].
+    pub fn next_delta(&mut self) -> Result<&Delta, WatchError> {
+        let frame = self.client.next_frame()?;
+        let delta = Delta::parse(&frame).map_err(|_| WatchError::Refused(frame))?;
+        self.mirror.apply(&delta);
+        self.last = delta;
+        Ok(&self.last)
+    }
+
+    /// The delta most recently applied (initially the snapshot frame).
+    pub fn last_delta(&self) -> &Delta {
+        &self.last
+    }
+
+    /// The mirrored result rows, in canonical order.
+    pub fn rows(&self) -> Vec<Row> {
+        self.mirror.rows()
+    }
+
+    /// The revision of the last applied frame.
+    pub fn revision(&self) -> u64 {
+        self.mirror.revision()
+    }
+
+    /// Render the mirrored state exactly as the server would render a
+    /// fresh one-shot evaluation of the same query.
+    pub fn render(&self) -> String {
+        self.mirror.render()
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +214,72 @@ mod tests {
         );
         assert!(session.reconnect().is_ok());
         assert_eq!(session.name(), "dashboard");
+    }
+
+    #[test]
+    fn watch_tails_subscription_deltas() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        use ganglia_query::gql::GqlQuery;
+        use ganglia_serve::SubscriptionRegistry;
+
+        // A store stand-in whose single row tracks an atomic: revision N
+        // reports load_one = N.
+        let revision = Arc::new(AtomicU64::new(1));
+        let eval_rev = Arc::clone(&revision);
+        let eval = Box::new(move |_q: &GqlQuery| {
+            let rev = eval_rev.load(Ordering::SeqCst);
+            let row = Row {
+                key: "|meteor|m0|load_one".to_string(),
+                grid: String::new(),
+                cluster: "meteor".to_string(),
+                host: "m0".to_string(),
+                metric: "load_one".to_string(),
+                value: Some(rev as f64),
+                raw: format!("{rev}"),
+                units: String::new(),
+                num: 1,
+            };
+            (vec![row], rev)
+        });
+        let registry = Arc::new(Registry::new());
+        let subs = Arc::new(SubscriptionRegistry::new(eval, 4, 4, &registry));
+        let handler: Arc<dyn RequestHandler> = Arc::new(|_q: &str| String::new());
+        let rev_for_tier = Arc::clone(&revision);
+        let tier = FrontTier::new_with_subscriptions(
+            handler,
+            move || rev_for_tier.load(Ordering::SeqCst),
+            ServeOptions::default(),
+            Arc::clone(&registry),
+            Some(Arc::clone(&subs)),
+        );
+        let guard = PooledServer::bind(&Addr::new("127.0.0.1:0"), tier).unwrap();
+
+        // A malformed expression is refused with an offset diagnostic.
+        let session =
+            PersistentSession::connect(&guard.addr(), "tail", Duration::from_secs(2)).unwrap();
+        match session.watch("metric =") {
+            Err(WatchError::Refused(doc)) => assert!(doc.contains("OFFSET="), "{doc}"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("expected refusal"),
+        }
+
+        let session =
+            PersistentSession::connect(&guard.addr(), "tail", Duration::from_secs(5)).unwrap();
+        let mut watch = session.watch("metric == load_one").unwrap();
+        assert!(watch.last_delta().full);
+        assert_eq!(watch.revision(), 1);
+        assert_eq!(watch.rows().len(), 1);
+
+        // A poll round that changes the store pushes a delta the watch
+        // replays into the same state a fresh evaluation would render.
+        revision.store(2, Ordering::SeqCst);
+        subs.run_round();
+        let delta = watch.next_delta().unwrap();
+        assert!(!delta.full);
+        assert_eq!(delta.changed.len(), 1);
+        assert_eq!(watch.revision(), 2);
+        assert!(watch.render().contains("REVISION=\"2\""));
+        assert_eq!(watch.rows()[0].value, Some(2.0));
     }
 }

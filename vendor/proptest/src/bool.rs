@@ -1,0 +1,36 @@
+//! Boolean strategies (`prop::bool::ANY`, `prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fair coin.
+pub const ANY: Any = Any;
+
+/// Strategy behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `true` with the given probability.
+pub fn weighted(probability: f64) -> Weighted {
+    Weighted(probability)
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted(f64);
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_f64() < self.0
+    }
+}

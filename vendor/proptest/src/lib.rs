@@ -10,8 +10,10 @@
 //! reproducible run-to-run.
 
 pub mod arbitrary;
+pub mod bool;
 pub mod char;
 pub mod collection;
+pub mod option;
 pub mod sample;
 pub mod strategy;
 pub mod string;
@@ -25,7 +27,7 @@ pub mod prelude {
 
     /// Namespace alias matching `proptest::prelude::prop`.
     pub mod prop {
-        pub use crate::{char, collection, sample, strategy, string};
+        pub use crate::{bool, char, collection, option, sample, strategy, string};
     }
 }
 

@@ -1,4 +1,26 @@
-//! Sampling helpers (`prop::sample::Index`).
+//! Sampling helpers (`prop::sample::Index`, `prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed list of options, like real proptest's
+/// `sample::select`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select needs options");
+    Select(options)
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}
 
 /// A position into a runtime-sized collection: generated over the whole
 /// `u64` domain and reduced modulo the collection length at use.
