@@ -1,0 +1,184 @@
+//! Reproduce the federation-scale sweep: sharded store vs the seed's
+//! single-lock store at ~100k synthetic hosts.
+//!
+//! Usage: `repro_federation [grids] [rounds] [--smoke] [--json <path>]`
+//!
+//! Runs [`run_federation_scale`] and prints the throughput, latency,
+//! per-level CPU, and byte-identity tables. `--smoke` self-checks the
+//! acceptance bars:
+//!
+//! 1. some swept shard count sustains ≥4x the seed store's
+//!    replace+root-refresh throughput at 16 writers (the win is
+//!    algorithmic — O(shards) vs O(sources) work per refresh — so it
+//!    holds on a single core);
+//! 2. every uncached root merge touched exactly `shards` summaries and
+//!    zero per-source summaries (the O(shards) witness from the store's
+//!    own counters);
+//! 3. the sharded incremental store renders byte-identical
+//!    `/?filter=summary` XML to the unsharded rebuild-every-round store
+//!    at every churn level;
+//! 4. uncached root latency is sublinear in source count: 4x the
+//!    sources must cost at most 2.5x the latency (linear would be 4x);
+//! 5. the JSON artifact parses with our own parser.
+
+use std::process::ExitCode;
+
+use ganglia_bench::{render_federation, render_federation_json};
+use ganglia_core::telemetry::json;
+use ganglia_sim::experiments::{run_federation_scale, FederationParams};
+
+/// Minimum speedup some shard count must reach over the seed baseline.
+const SPEEDUP_GATE: f64 = 4.0;
+
+/// Latency at the largest source scale may be at most this multiple of
+/// the smallest scale's (which spans 4x the sources under default
+/// params — linear scaling would read 4.0).
+const SUBLINEAR_GATE: f64 = 2.5;
+
+/// Floor applied to the small-scale latency before the ratio check, so
+/// two effectively-constant microsecond readings can't fail on timer
+/// noise.
+const LATENCY_FLOOR_US: f64 = 20.0;
+
+fn main() -> ExitCode {
+    let mut grids = None;
+    let mut rounds = None;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("repro_federation: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                let Ok(n) = other.parse::<u64>() else {
+                    eprintln!("repro_federation: unknown argument {other:?}");
+                    return ExitCode::from(2);
+                };
+                if grids.is_none() {
+                    grids = Some(n as usize);
+                } else {
+                    rounds = Some(n as usize);
+                }
+            }
+        }
+    }
+    let params = FederationParams {
+        grids: grids.unwrap_or(384).max(4),
+        rounds: rounds.unwrap_or(6).max(1),
+        ..FederationParams::default()
+    };
+
+    eprintln!(
+        "running federation scale: {} grids x {} hosts ({} synthetic hosts), \
+         shard counts {:?}, {} writers...",
+        params.grids,
+        params.hosts_per_grid,
+        params.hosts_total(),
+        params.shard_counts,
+        params.writers
+    );
+    let start = std::time::Instant::now();
+    let result = run_federation_scale(&params);
+    let elapsed = start.elapsed();
+
+    print!("{}", render_federation(&result));
+    println!("(completed in {elapsed:?})");
+
+    let rendered = render_federation_json(&result);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("repro_federation: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} ({} bytes)", rendered.len());
+    }
+
+    if smoke {
+        // Self-check 1: the JSON artifact parses with our own parser.
+        if let Err(e) = json::parse(&rendered) {
+            eprintln!("smoke FAILED: JSON does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+        // Self-check 2: ≥4x replace+refresh throughput at 16 writers.
+        let best = result
+            .throughput
+            .iter()
+            .map(|r| r.speedup_over(&result.baseline))
+            .fold(0.0_f64, f64::max);
+        if best < SPEEDUP_GATE {
+            eprintln!(
+                "smoke FAILED: best sharded throughput is {best:.2}x the \
+                 single-lock baseline (need >= {SPEEDUP_GATE}x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        // Self-check 3: the root path is O(shards), never O(sources) —
+        // asserted from the store's own touched-source counters.
+        for row in &result.throughput {
+            if (row.root_merge_inputs_per_merge - row.shards as f64).abs() > f64::EPSILON {
+                eprintln!(
+                    "smoke FAILED: {} shards touched {:.1} summaries per \
+                     uncached root merge (expected exactly {})",
+                    row.shards, row.root_merge_inputs_per_merge, row.shards
+                );
+                return ExitCode::FAILURE;
+            }
+            if row.source_touches != 0 {
+                eprintln!(
+                    "smoke FAILED: {} shards touched {} per-source summaries \
+                     on the root path (expected 0)",
+                    row.shards, row.source_touches
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // Self-check 4: byte identity vs the unsharded seed path.
+        for row in &result.identity {
+            if !row.identical {
+                eprintln!(
+                    "smoke FAILED: sharded render diverged from the unsharded \
+                     seed path at churn {}%",
+                    row.churn_percent
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        // Self-check 5: root latency sublinear in source count.
+        let (Some(small), Some(large)) = (result.latency.first(), result.latency.last()) else {
+            eprintln!("smoke FAILED: latency sweep is empty");
+            return ExitCode::FAILURE;
+        };
+        let budget = SUBLINEAR_GATE * small.root_latency_us.max(LATENCY_FLOOR_US);
+        if large.root_latency_us > budget {
+            eprintln!(
+                "smoke FAILED: root latency grew {:.1}us -> {:.1}us over \
+                 {}x the sources (budget {budget:.1}us)",
+                small.root_latency_us,
+                large.root_latency_us,
+                large.sources / small.sources.max(1)
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "smoke ok: best speedup {best:.2}x, root merges O(shards), \
+             byte-identical at churn {:?}%, latency {:.1}us -> {:.1}us \
+             over {}x sources",
+            result
+                .identity
+                .iter()
+                .map(|r| r.churn_percent)
+                .collect::<Vec<_>>(),
+            small.root_latency_us,
+            large.root_latency_us,
+            large.sources / small.sources.max(1)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -13,8 +13,8 @@ use ganglia_core::telemetry::{Histogram, Registry};
 use ganglia_core::TreeMode;
 use ganglia_sim::experiments::table1::View;
 use ganglia_sim::experiments::{
-    Fig5Result, Fig6Result, IngestResult, IsolationResult, PropagationResult, QueryResult,
-    ServingResult, Table1Result,
+    FederationResult, Fig5Result, Fig6Result, IngestResult, IsolationResult, PropagationResult,
+    QueryResult, ServingResult, Table1Result,
 };
 
 /// Allocation counts measured by the `repro_ingest` binary's counting
@@ -546,6 +546,159 @@ pub fn render_freshness_json(result: &PropagationResult) -> String {
         result.worst_age_s(),
         result.all_within_bound()
     );
+    out
+}
+
+/// Render the federation-scale sweep: throughput vs shard count against
+/// the seed-store baseline, root latency vs source count, per-level CPU,
+/// and the byte-identity churn sweep.
+pub fn render_federation(result: &FederationResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Federation scale — {} grids x {} hosts ({} synthetic hosts), \
+         {} metrics/source",
+        result.params.grids,
+        result.params.hosts_per_grid,
+        result.params.hosts_total(),
+        result.params.metrics_per_host
+    );
+    let _ = writeln!(
+        out,
+        "\nreplace+root-refresh throughput, {} writers:",
+        result.params.writers
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>12} {:>10} {:>14} {:>14}",
+        "store", "ops", "ops/sec", "speedup", "inputs/merge", "source touches"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>12.0} {:>10} {:>14} {:>14}",
+        "seed (1 lock)", result.baseline.ops, result.baseline.ops_per_sec, "1.00x", "-", "-"
+    );
+    for row in &result.throughput {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>12.0} {:>9.2}x {:>14.1} {:>14}",
+            format!("{} shards", row.shards),
+            row.ops,
+            row.ops_per_sec,
+            row.speedup_over(&result.baseline),
+            row.root_merge_inputs_per_merge,
+            row.source_touches
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nuncached root-summary latency, {} shards fixed:",
+        result.params.fixed_shards
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14}",
+        "sources", "hosts", "latency us"
+    );
+    for row in &result.latency {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>14.1}",
+            row.sources, row.hosts, row.root_latency_us
+        );
+    }
+    let _ = writeln!(out, "\nper-level aggregation CPU (N-level tree):");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>12} {:>10}",
+        "level", "nodes", "merges", "cpu ms"
+    );
+    for row in &result.levels {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12} {:>10.2}",
+            row.label, row.nodes, row.merges, row.cpu_ms
+        );
+    }
+    let _ = writeln!(out, "\nbyte identity vs unsharded seed path:");
+    for row in &result.identity {
+        let _ = writeln!(
+            out,
+            "churn {:>3}%: identical={} ({} bytes)",
+            row.churn_percent, row.identical, row.response_bytes
+        );
+    }
+    out
+}
+
+/// Render the federation sweep as JSON (parseable by our own parser).
+pub fn render_federation_json(result: &FederationResult) -> String {
+    let mut out = String::from("{\"experiment\":\"federation\",");
+    let _ = write!(
+        out,
+        "\"grids\":{},\"hosts_per_grid\":{},\"hosts_total\":{},\
+         \"metrics_per_host\":{},\"writers\":{},",
+        result.params.grids,
+        result.params.hosts_per_grid,
+        result.params.hosts_total(),
+        result.params.metrics_per_host,
+        result.params.writers
+    );
+    let _ = write!(
+        out,
+        "\"baseline\":{{\"ops\":{},\"ops_per_sec\":{:.1}}},\"throughput\":[",
+        result.baseline.ops, result.baseline.ops_per_sec
+    );
+    for (i, row) in result.throughput.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shards\":{},\"ops\":{},\"ops_per_sec\":{:.1},\"speedup\":{:.3},\
+             \"root_merge_inputs_per_merge\":{:.1},\"source_touches\":{}}}",
+            row.shards,
+            row.ops,
+            row.ops_per_sec,
+            row.speedup_over(&result.baseline),
+            row.root_merge_inputs_per_merge,
+            row.source_touches
+        );
+    }
+    out.push_str("],\"latency\":[");
+    for (i, row) in result.latency.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"sources\":{},\"hosts\":{},\"root_latency_us\":{:.2}}}",
+            row.sources, row.hosts, row.root_latency_us
+        );
+    }
+    out.push_str("],\"levels\":[");
+    for (i, row) in result.levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"level\":{},\"label\":\"{}\",\"nodes\":{},\"merges\":{},\"cpu_ms\":{:.3}}}",
+            row.level, row.label, row.nodes, row.merges, row.cpu_ms
+        );
+    }
+    out.push_str("],\"identity\":[");
+    for (i, row) in result.identity.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"churn_percent\":{},\"identical\":{},\"response_bytes\":{}}}",
+            row.churn_percent, row.identical, row.response_bytes
+        );
+    }
+    out.push_str("]}");
     out
 }
 

@@ -239,6 +239,14 @@ pub fn parse_conf(input: &str) -> Result<ParsedConf, ConfError> {
             "round_deadline_secs" => {
                 config.round_deadline_secs = parse_u64_arg(directive, args, &err)?;
             }
+            "store_shards" => {
+                let value = parse_u64_arg(directive, args, &err)?;
+                config.store_shards = usize::try_from(value)
+                    .map_err(|_| err(format!("store_shards {value} is too large")))?;
+            }
+            "summary_rebuild_rounds" => {
+                config.summary_rebuild_rounds = parse_u64_arg(directive, args, &err)?;
+            }
             "self_telemetry" => {
                 let [value] = args else {
                     return Err(err("self_telemetry takes one value (on/off)".into()));
@@ -548,6 +556,31 @@ fetch_timeout_secs 5
         assert!(parse_conf("gridname \"X\"\npoll_concurrency zap\n").is_err());
         assert!(parse_conf("gridname \"X\"\npoll_concurrency\n").is_err());
         assert!(parse_conf("gridname \"X\"\nround_deadline_secs -3\n").is_err());
+    }
+
+    #[test]
+    fn store_sharding_knobs_parse_and_default_to_auto() {
+        let defaults = parse_conf("gridname \"X\"\n").unwrap().config;
+        assert_eq!(defaults.store_shards, 0, "0 = align with poll workers");
+        assert_eq!(
+            defaults.summary_rebuild_rounds,
+            crate::store::DEFAULT_REBUILD_ROUNDS
+        );
+        let parsed = parse_conf(
+            "gridname \"X\"\n\
+             store_shards 32\n\
+             summary_rebuild_rounds 16\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.config.store_shards, 32);
+        assert_eq!(parsed.config.summary_rebuild_rounds, 16);
+        // The resolved count follows poll concurrency when automatic.
+        let auto = parse_conf("gridname \"X\"\npoll_concurrency 12\n")
+            .unwrap()
+            .config;
+        assert_eq!(auto.resolved_store_shards(), 12);
+        assert!(parse_conf("gridname \"X\"\nstore_shards many\n").is_err());
+        assert!(parse_conf("gridname \"X\"\nsummary_rebuild_rounds -1\n").is_err());
     }
 
     #[test]

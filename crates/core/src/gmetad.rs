@@ -128,7 +128,10 @@ impl Gmetad {
         let logical_clock = LogicalClock::new();
         let tracer = Tracer::new(Arc::clone(&registry), logical_clock.clone()).with_event_log(256);
         Arc::new(Gmetad {
-            store: Store::new(),
+            store: Store::with_shards(
+                config.resolved_store_shards(),
+                config.summary_rebuild_rounds,
+            ),
             archives: ArchiveShards::new(spec, persist_dir).with_journal(config.archive_journal),
             meter: Arc::new(WorkMeter::with_registry(Arc::clone(&registry))),
             pollers: RwLock::new(pollers),
@@ -267,6 +270,7 @@ impl Gmetad {
         }
         self.registry.gauge("sources").set(slots.len() as u64);
         self.registry.counter("rounds_total").inc();
+        self.publish_store_stats();
         self.registry
             .gauge("archives")
             .set(self.archive_count() as u64);
@@ -436,6 +440,26 @@ impl Gmetad {
         result
     }
 
+    /// Mirror the store's operation counters into the registry after
+    /// each round: shard layout as a gauge, monotone work counters as
+    /// counters (advanced by the delta since the last mirror, so the
+    /// registry stays a faithful running total without extra state).
+    fn publish_store_stats(&self) {
+        let stats = self.store.stats();
+        self.registry.gauge("store.shards").set(stats.shards as u64);
+        let mirror = |name: &str, total: u64| {
+            let counter = self.registry.counter(name);
+            counter.add(total.saturating_sub(counter.get()));
+        };
+        mirror("store.shard_replaces", stats.replaces);
+        mirror("store.root_merges", stats.root_merges);
+        mirror("store.root_merge_inputs", stats.root_merge_inputs);
+        mirror("store.source_touches", stats.source_touches);
+        mirror("store.list_rebuilds", stats.list_rebuilds);
+        mirror("summary.delta_applied", stats.deltas_applied);
+        mirror("summary.rebuilds", stats.summary_rebuilds);
+    }
+
     /// Name of the synthetic cluster this daemon publishes its own
     /// telemetry under when `self_telemetry` is enabled.
     pub fn self_cluster_name(&self) -> String {
@@ -523,6 +547,18 @@ impl Gmetad {
                 "self.intern_atoms_live",
                 snap.gauge("ingest.atoms_live").unwrap_or(0) as f64,
                 "atoms",
+            ),
+            // Sharded-store maintenance: incremental summary work vs
+            // anti-drift rebuilds.
+            metric(
+                "self.summary_deltas_total",
+                counter("summary.delta_applied"),
+                "deltas",
+            ),
+            metric(
+                "self.summary_rebuilds_total",
+                counter("summary.rebuilds"),
+                "rebuilds",
             ),
             metric("self.queries_total", queries_total as f64, "queries"),
             metric(
@@ -672,7 +708,7 @@ impl Gmetad {
             let sources = self.store.list();
             let root_summary = self.store.root_summary();
             let mut roots: Vec<RootRef<'_>> = Vec::with_capacity(sources.len() + 1);
-            for state in &sources {
+            for state in sources.iter() {
                 let down = matches!(state.status, crate::store::SourceStatus::Down { .. });
                 match (&state.data, down) {
                     (crate::store::SourceData::Cluster(c), false) => {

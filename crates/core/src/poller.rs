@@ -909,4 +909,45 @@ mod tests {
             "1-level keeps detail"
         );
     }
+
+    #[test]
+    fn reused_summary_arc_skips_the_store_delta_path() {
+        // The delta-aware ingest reinstalls the previous round's
+        // summary `Arc` when a source did not change; the sharded store
+        // recognizes the identical pointer and skips delta work
+        // entirely. An unchanged round must cost zero summary updates.
+        use crate::store::Store;
+        use ganglia_metrics::ClusterNode;
+        let doc = ganglia_metrics::GangliaDoc::gmond(ClusterNode::with_hosts(
+            "meteor",
+            vec![ganglia_metrics::HostNode::new("n0", "10.0.0.1")],
+        ));
+        let summary: Arc<SummaryBody> = Arc::new(match &doc.items[0] {
+            GridItem::Cluster(c) => c.summary(),
+            GridItem::Grid(g) => g.summary(),
+        });
+        let store = Store::new();
+        store.replace(build_state_prepared(
+            "meteor",
+            doc.clone(),
+            Arc::clone(&summary),
+            TreeMode::NLevel,
+            1,
+        ));
+        let first = store.stats();
+        store.replace(build_state_prepared(
+            "meteor",
+            doc,
+            Arc::clone(&summary),
+            TreeMode::NLevel,
+            2,
+        ));
+        let second = store.stats();
+        assert_eq!(second.replaces, first.replaces + 1);
+        assert_eq!(
+            second.deltas_applied, first.deltas_applied,
+            "unchanged round must not apply a summary delta"
+        );
+        assert_eq!(second.summary_rebuilds, first.summary_rebuilds);
+    }
 }

@@ -48,7 +48,7 @@ pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> 
             // viewer obtains its summaries directly from the gmeta
             // daemon" (§4.3). Total size O(C·m), independent of H.
             codec::write_summary(&store.root_summary(), &mut writer);
-            for state in store.list() {
+            for state in store.list().iter() {
                 match &state.data {
                     SourceData::Cluster(c) => {
                         codec::open_cluster(c, &mut writer);
@@ -63,13 +63,13 @@ pub fn answer(store: &Store, config: &GmetadConfig, query: &Query, now: u64) -> 
                 }
             }
         } else {
-            for state in store.list() {
-                emit_source_full(&state, config.tree_mode, &mut writer);
+            for state in store.list().iter() {
+                emit_source_full(state, config.tree_mode, &mut writer);
             }
         }
     } else {
         // Level one: data sources (patterns may select several).
-        for state in store.list() {
+        for state in store.list().iter() {
             if !query.segments[0].matches(&state.name) {
                 continue;
             }

@@ -7,21 +7,41 @@
 //! subtree: data sources, summaries and cluster nodes, and node metrics."
 //! (paper §3.3.2)
 //!
-//! Concretely: level one is the source map below; level two is a
+//! Concretely: level one is the sharded source map below; level two is a
 //! cluster's host index (or a grid's stored summary); level three is a
 //! host's metric list. Each source's state is an immutable snapshot
 //! behind an `Arc`: the poller builds a fresh snapshot off to the side
 //! and swaps the pointer, so "if a query arrives during parsing, the
 //! previous summary will be returned" (§3.3.1) — queries always see the
 //! latest *fully-parsed* data, never a half-built one.
+//!
+//! # Sharding and incremental summaries
+//!
+//! At federation scale (hundreds of grids, ~100k hosts) the original
+//! single `RwLock<HashMap>` made every poll worker contend on one write
+//! lock, and `root_summary()` re-merged **every** source's summary on
+//! every revision bump — O(sources × metrics) per poll round even when
+//! one host changed. The store is therefore split into `N` shards keyed
+//! by an FNV-1a hash of the source name, so concurrent writers land on
+//! disjoint locks, and each shard maintains a merged [`SummaryBody`] of
+//! its own sources *incrementally*: a mutation applies the
+//! [`SummaryDelta`] between the source's old and new contribution
+//! instead of re-merging the shard. The root summary is then a merge of
+//! ≤N shard summaries — O(shards), not O(sources).
+//!
+//! Because `sum − old + new` can drift from a from-scratch merge by
+//! float rounding, every shard re-merges itself from scratch once per
+//! `rebuild_rounds` mutations (the anti-drift rebuild); see DESIGN.md
+//! §18 for the invariants.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
+use ganglia_metrics::delta::SummaryDelta;
 use ganglia_metrics::model::{ClusterBody, ClusterNode, GridNode, HostNode, SummaryBody};
 use ganglia_metrics::Atom;
 
@@ -161,49 +181,245 @@ impl SourceState {
     }
 }
 
-/// The level-one hash table: data sources by name.
+/// A sorted, shared snapshot of every source (what [`Store::list`]
+/// returns — cached per revision, so repeated queries share one vector).
+pub type SourceListing = Arc<Vec<Arc<SourceState>>>;
+
+/// Default shard count for stores built outside a gmetad config (tests,
+/// ad-hoc tools). `GmetadConfig::resolved_store_shards` aligns the real
+/// daemon's count with its poll concurrency instead.
+pub const DEFAULT_STORE_SHARDS: usize = 8;
+
+/// Default anti-drift cadence: a shard re-merges itself from scratch
+/// after this many applied deltas (0 = never rebuild).
+pub const DEFAULT_REBUILD_ROUNDS: u64 = 64;
+
+/// Upper bound on the shard count: past this, per-shard merge overhead
+/// in `root_summary()` outweighs any lock-spreading benefit.
+pub const MAX_STORE_SHARDS: usize = 256;
+
+/// One shard's mutable state: its slice of the level-one hash table
+/// plus the incrementally-maintained merge of its sources' summaries.
 #[derive(Debug, Default)]
+struct ShardState {
+    sources: HashMap<String, Arc<SourceState>>,
+    /// Merge of every source summary in this shard, maintained by
+    /// [`SummaryDelta`] application on each mutation.
+    summary: SummaryBody,
+    /// Deltas applied since the last from-scratch rebuild.
+    deltas_since_rebuild: u64,
+    /// Global revision at this shard's last mutation (per-shard stamp:
+    /// disjoint writers move disjoint stamps).
+    revision: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    state: RwLock<ShardState>,
+}
+
+/// Monotonic operation counters, mirrored into gmetad telemetry as
+/// `store.*` / `summary.*` after each poll round.
+#[derive(Debug, Default)]
+struct Counters {
+    replaces: AtomicU64,
+    deltas_applied: AtomicU64,
+    summary_rebuilds: AtomicU64,
+    root_merges: AtomicU64,
+    root_merge_inputs: AtomicU64,
+    source_touches: AtomicU64,
+    list_rebuilds: AtomicU64,
+}
+
+/// A point-in-time snapshot of the store's operation counters.
+///
+/// `root_merge_inputs / root_merges` is the number of summaries touched
+/// per uncached root merge — exactly the shard count, which is how the
+/// federation bench asserts the root path is O(shards), not O(sources).
+/// `source_touches` counts per-source summary merges (anti-drift
+/// rebuilds and [`Store::root_summary_full`] calls), the cost the
+/// incremental path avoids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    pub shards: usize,
+    pub replaces: u64,
+    pub deltas_applied: u64,
+    pub summary_rebuilds: u64,
+    pub root_merges: u64,
+    pub root_merge_inputs: u64,
+    pub source_touches: u64,
+    pub list_rebuilds: u64,
+}
+
+type SummaryCache = RwLock<Option<(u64, Arc<SummaryBody>)>>;
+type ListCache = RwLock<Option<(u64, SourceListing)>>;
+
+/// The level-one hash table: data sources by name, sharded by FNV-1a of
+/// the name so concurrent poll workers write disjoint locks.
+#[derive(Debug)]
 pub struct Store {
-    sources: RwLock<HashMap<String, Arc<SourceState>>>,
-    /// Bumped on every replace; invalidates the root-summary cache.
+    shards: Box<[Shard]>,
+    /// How many deltas a shard absorbs before re-merging from scratch
+    /// (anti-drift; 0 = never rebuild).
+    rebuild_rounds: u64,
+    /// Bumped on every mutation; keys both caches below.
     revision: AtomicU64,
-    /// Cached merge of all source summaries, keyed by revision.
-    root_cache: Mutex<Option<(u64, Arc<SummaryBody>)>>,
+    /// Cached merge of the shard summaries, keyed by revision. A
+    /// `RwLock` (not `Mutex`): cache hits are the hot read path and must
+    /// share the lock instead of serializing on it.
+    root_cache: SummaryCache,
+    /// Cached sorted listing, keyed by the same revision.
+    list_cache: ListCache,
+    stats: Counters,
+}
+
+impl Default for Store {
+    fn default() -> Store {
+        Store::new()
+    }
 }
 
 impl Store {
-    /// An empty store.
+    /// An empty store with default sharding ([`DEFAULT_STORE_SHARDS`],
+    /// [`DEFAULT_REBUILD_ROUNDS`]).
     pub fn new() -> Store {
-        Store::default()
+        Store::with_shards(DEFAULT_STORE_SHARDS, DEFAULT_REBUILD_ROUNDS)
     }
 
-    /// Install a fresh snapshot for a source (pointer swap).
+    /// An empty store with an explicit shard count (clamped to
+    /// `1..=`[`MAX_STORE_SHARDS`]) and anti-drift rebuild cadence.
     ///
-    /// The revision bump happens *inside* the write lock: bumping after
-    /// the guard dropped opened a window where [`Store::root_summary`]
-    /// could merge the new sources under the old revision — or, worse,
-    /// stamp an old merge with the new revision and pin it in the cache.
+    /// `rebuild_rounds = 1` degenerates to the unsharded seed behavior
+    /// per shard — every mutation re-merges the shard from scratch —
+    /// which is what the federation bench uses as its reference path;
+    /// `0` disables rebuilds entirely (pure incremental maintenance).
+    pub fn with_shards(shards: usize, rebuild_rounds: u64) -> Store {
+        let count = shards.clamp(1, MAX_STORE_SHARDS);
+        Store {
+            shards: (0..count).map(|_| Shard::default()).collect(),
+            rebuild_rounds,
+            revision: AtomicU64::new(0),
+            root_cache: RwLock::new(None),
+            list_cache: RwLock::new(None),
+            stats: Counters::default(),
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a source name lands in.
+    pub fn shard_index(&self, name: &str) -> usize {
+        (fnv1a(name) % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[self.shard_index(name)]
+    }
+
+    /// Per-shard revision stamps: the global revision at each shard's
+    /// last mutation. Writers to different sources move disjoint stamps.
+    pub fn shard_revisions(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.state.read().revision)
+            .collect()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            shards: self.shards.len(),
+            replaces: self.stats.replaces.load(Ordering::Relaxed),
+            deltas_applied: self.stats.deltas_applied.load(Ordering::Relaxed),
+            summary_rebuilds: self.stats.summary_rebuilds.load(Ordering::Relaxed),
+            root_merges: self.stats.root_merges.load(Ordering::Relaxed),
+            root_merge_inputs: self.stats.root_merge_inputs.load(Ordering::Relaxed),
+            source_touches: self.stats.source_touches.load(Ordering::Relaxed),
+            list_rebuilds: self.stats.list_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump the global revision and stamp the shard, both *inside* the
+    /// shard's write lock: bumping after the guard dropped opened a
+    /// window where [`Store::root_summary`] could merge the new state
+    /// under the old revision — or, worse, stamp an old merge with the
+    /// new revision and pin it in the cache.
+    fn bump(&self, shard: &mut ShardState) {
+        let revision = self.revision.fetch_add(1, Ordering::Release) + 1;
+        shard.revision = revision;
+    }
+
+    /// Fold one source's contribution change into the shard summary:
+    /// apply the delta, or — once per `rebuild_rounds` mutations —
+    /// re-merge the shard from scratch to re-ground float drift.
+    fn absorb(&self, shard: &mut ShardState, delta: SummaryDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        if self.rebuild_rounds > 0 && shard.deltas_since_rebuild + 1 >= self.rebuild_rounds {
+            self.rebuild_shard(shard);
+            return;
+        }
+        delta.apply(&mut shard.summary);
+        shard.deltas_since_rebuild += 1;
+        self.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        #[cfg(debug_assertions)]
+        debug_check_shard_drift(shard);
+    }
+
+    /// Re-merge a shard's summary from its sources (the anti-drift
+    /// rebuild — the only O(shard-size) step on the write path).
+    fn rebuild_shard(&self, shard: &mut ShardState) {
+        let mut merged = SummaryBody::default();
+        for source in shard.sources.values() {
+            merged.merge(&source.summary);
+        }
+        shard.summary = merged;
+        shard.deltas_since_rebuild = 0;
+        self.stats
+            .source_touches
+            .fetch_add(shard.sources.len() as u64, Ordering::Relaxed);
+        self.stats.summary_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Install a fresh snapshot for a source (pointer swap on one shard).
     pub fn replace(&self, state: SourceState) {
-        let name = state.name.clone();
-        let mut sources = self.sources.write();
-        sources.insert(name, Arc::new(state));
-        self.revision.fetch_add(1, Ordering::Release);
+        let shard = self.shard(&state.name);
+        let incoming = Arc::new(state);
+        let mut guard = shard.state.write();
+        let previous = guard
+            .sources
+            .insert(incoming.name.clone(), Arc::clone(&incoming));
+        let delta = match &previous {
+            // The delta-aware ingest reinstalls the same summary `Arc`
+            // when nothing changed: skip even computing the diff.
+            Some(prev) if Arc::ptr_eq(&prev.summary, &incoming.summary) => SummaryDelta::default(),
+            Some(prev) => SummaryDelta::diff(&prev.summary, &incoming.summary),
+            None => SummaryDelta::addition(&incoming.summary),
+        };
+        self.absorb(&mut guard, delta);
+        self.stats.replaces.fetch_add(1, Ordering::Relaxed);
+        self.bump(&mut guard);
     }
 
     /// Mark a source stale as of `now` (its last good snapshot stays
     /// queryable). No-op for unknown sources; keeps an existing stale
     /// timestamp and never un-downs a down source.
     pub fn mark_stale(&self, name: &str, now: u64) {
-        let mut sources = self.sources.write();
-        if let Some(existing) = sources.get(name) {
-            if !matches!(existing.status, SourceStatus::Fresh) {
-                return;
-            }
-            let mut updated = (**existing).clone();
-            updated.status = SourceStatus::Stale { since: now };
-            sources.insert(name.to_string(), Arc::new(updated));
-            self.revision.fetch_add(1, Ordering::Release);
+        let mut guard = self.shard(name).state.write();
+        let Some(existing) = guard.sources.get_mut(name) else {
+            return;
+        };
+        if !matches!(existing.status, SourceStatus::Fresh) {
+            return;
         }
+        // In-place when no query holds the snapshot; copy-on-write (of
+        // the `SourceState` struct, not the `Arc`'d subtrees) otherwise.
+        Arc::make_mut(existing).status = SourceStatus::Stale { since: now };
+        self.bump(&mut guard);
     }
 
     /// Advance a failing source along the staleness lifecycle, based on
@@ -219,101 +435,145 @@ impl Store {
     /// * `TN > expire_after` — prune the snapshot entirely: a source
     ///   dead this long no longer contributes to any view.
     pub fn degrade(&self, name: &str, now: u64, lifecycle: &LifecyclePolicy) -> Degradation {
-        let mut sources = self.sources.write();
-        let Some(existing) = sources.get(name) else {
+        let mut guard = self.shard(name).state.write();
+        let Some(existing) = guard.sources.get(name) else {
             return Degradation::Unknown;
         };
         let tn = now.saturating_sub(existing.updated_at);
         if tn > lifecycle.expire_after_secs {
-            sources.remove(name);
-            self.revision.fetch_add(1, Ordering::Release);
+            let removed = guard.sources.remove(name).expect("present: checked above");
+            self.absorb(&mut guard, SummaryDelta::retraction(&removed.summary));
+            self.bump(&mut guard);
             return Degradation::Expired;
         }
         if tn > lifecycle.down_after_secs {
             if matches!(existing.status, SourceStatus::Down { .. }) {
                 return Degradation::Down;
             }
-            let mut updated = (**existing).clone();
-            updated.status = SourceStatus::Down { since: now };
-            updated.summary = Arc::new(SummaryBody {
+            let entry = guard.sources.get_mut(name).expect("present: checked above");
+            let old_summary = Arc::clone(&entry.summary);
+            let snapshot = Arc::make_mut(entry);
+            snapshot.status = SourceStatus::Down { since: now };
+            snapshot.summary = Arc::new(SummaryBody {
                 hosts_up: 0,
-                hosts_down: existing.summary.hosts_total(),
+                hosts_down: old_summary.hosts_total(),
                 metrics: Vec::new(),
             });
-            sources.insert(name.to_string(), Arc::new(updated));
-            self.revision.fetch_add(1, Ordering::Release);
+            let delta = SummaryDelta::diff(&old_summary, &snapshot.summary);
+            self.absorb(&mut guard, delta);
+            self.bump(&mut guard);
             return Degradation::Down;
         }
         if matches!(existing.status, SourceStatus::Fresh) {
-            let mut updated = (**existing).clone();
-            updated.status = SourceStatus::Stale { since: now };
-            sources.insert(name.to_string(), Arc::new(updated));
-            self.revision.fetch_add(1, Ordering::Release);
+            let entry = guard.sources.get_mut(name).expect("present: checked above");
+            Arc::make_mut(entry).status = SourceStatus::Stale { since: now };
+            self.bump(&mut guard);
         }
         Degradation::Stale
     }
 
     /// Snapshot of one source.
     pub fn get(&self, name: &str) -> Option<Arc<SourceState>> {
-        self.sources.read().get(name).cloned()
+        self.shard(name).state.read().sources.get(name).cloned()
     }
 
-    /// All sources, sorted by name (deterministic output order).
-    pub fn list(&self) -> Vec<Arc<SourceState>> {
-        let mut out: Vec<Arc<SourceState>> = self.sources.read().values().cloned().collect();
+    /// All sources, sorted by name (deterministic output order). Cached
+    /// per revision: the render/query hot path calls this on every
+    /// request, and re-collecting + re-sorting hundreds of sources per
+    /// query dwarfed the lookup it feeds.
+    pub fn list(&self) -> SourceListing {
+        let revision = self.revision.load(Ordering::Acquire);
+        {
+            let cache = self.list_cache.read();
+            if let Some((cached_rev, listing)) = cache.as_ref() {
+                if *cached_rev == revision {
+                    return Arc::clone(listing);
+                }
+            }
+        }
+        // Hold every shard read lock at once so the collected snapshot
+        // and the revision stamped on it are mutually consistent (any
+        // writer bumps the revision inside a shard write lock, which
+        // cannot be mid-flight while we hold all the read locks).
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state.read()).collect();
+        let revision = self.revision.load(Ordering::Acquire);
+        let mut out: Vec<Arc<SourceState>> = guards
+            .iter()
+            .flat_map(|g| g.sources.values().cloned())
+            .collect();
+        drop(guards);
         out.sort_by(|a, b| a.name.cmp(&b.name));
-        out
+        let listing: SourceListing = Arc::new(out);
+        self.stats.list_rebuilds.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.list_cache.write();
+        match cache.as_ref() {
+            // A concurrent caller already cached a newer listing.
+            Some((cached_rev, _)) if *cached_rev > revision => {}
+            _ => *cache = Some((revision, Arc::clone(&listing))),
+        }
+        listing
     }
 
     /// Number of sources present.
     pub fn len(&self) -> usize {
-        self.sources.read().len()
+        self.shards
+            .iter()
+            .map(|s| s.state.read().sources.len())
+            .sum()
     }
 
     /// Whether the store has no sources yet.
     pub fn is_empty(&self) -> bool {
-        self.sources.read().is_empty()
+        self.shards
+            .iter()
+            .all(|s| s.state.read().sources.is_empty())
     }
 
     /// Remove a source entirely (dynamic-membership pruning).
     pub fn remove(&self, name: &str) -> bool {
-        let mut sources = self.sources.write();
-        let removed = sources.remove(name).is_some();
-        if removed {
-            // Bumped under the write lock; see `replace`.
-            self.revision.fetch_add(1, Ordering::Release);
-        }
-        removed
+        let mut guard = self.shard(name).state.write();
+        let Some(removed) = guard.sources.remove(name) else {
+            return false;
+        };
+        self.absorb(&mut guard, SummaryDelta::retraction(&removed.summary));
+        self.bump(&mut guard);
+        true
     }
 
     /// The merged summary of every source — the whole grid in one
-    /// reduction. Cached per store revision so repeated meta-view queries
-    /// cost O(1) after the first.
+    /// reduction. O(shards), not O(sources): each shard already holds
+    /// the incrementally-maintained merge of its own sources, so an
+    /// uncached call merges ≤N shard summaries. Cached per store
+    /// revision so repeated meta-view queries cost O(1) after the first.
     ///
-    /// The revision is read *under the sources read-lock*, so the
-    /// (revision, merge) pair is always consistent: every writer bumps
-    /// the revision while still holding the write lock, so no `replace`
-    /// can slip between the two reads and pin a stale merge under a new
-    /// revision. The cache is only ever advanced, never regressed.
+    /// The revision is read *while holding every shard's read lock*, so
+    /// the (revision, merge) pair is always consistent: every writer
+    /// bumps the revision while still holding its shard's write lock,
+    /// so no mutation can slip between the two reads and pin a stale
+    /// merge under a new revision. The cache is only ever advanced,
+    /// never regressed.
     pub fn root_summary(&self) -> Arc<SummaryBody> {
         {
-            let cache = self.root_cache.lock();
+            let cache = self.root_cache.read();
             if let Some((cached_rev, summary)) = cache.as_ref() {
                 if *cached_rev == self.revision.load(Ordering::Acquire) {
                     return Arc::clone(summary);
                 }
             }
         }
-        let (revision, merged) = {
-            let sources = self.sources.read();
-            let revision = self.revision.load(Ordering::Acquire);
-            let mut merged = SummaryBody::default();
-            for state in sources.values() {
-                merged.merge(&state.summary);
-            }
-            (revision, Arc::new(merged))
-        };
-        let mut cache = self.root_cache.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state.read()).collect();
+        let revision = self.revision.load(Ordering::Acquire);
+        let mut merged = SummaryBody::default();
+        for guard in &guards {
+            merged.merge(&guard.summary);
+        }
+        drop(guards);
+        self.stats.root_merges.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .root_merge_inputs
+            .fetch_add(self.shards.len() as u64, Ordering::Relaxed);
+        let merged = Arc::new(merged);
+        let mut cache = self.root_cache.write();
         match cache.as_ref() {
             // A concurrent caller already cached a newer merge: keep it.
             Some((cached_rev, _)) if *cached_rev > revision => {}
@@ -322,9 +582,78 @@ impl Store {
         merged
     }
 
+    /// The root summary re-merged from every *source* (not the shard
+    /// summaries), with the revision it corresponds to — the
+    /// O(sources × metrics) reference path the incremental maintenance
+    /// replaced. Kept for verification: tests and the federation bench
+    /// assert [`Store::root_summary`] never drifts from this.
+    pub fn root_summary_full(&self) -> (u64, SummaryBody) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state.read()).collect();
+        let revision = self.revision.load(Ordering::Acquire);
+        let mut entries: Vec<&Arc<SourceState>> =
+            guards.iter().flat_map(|g| g.sources.values()).collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut merged = SummaryBody::default();
+        for source in &entries {
+            merged.merge(&source.summary);
+        }
+        self.stats
+            .source_touches
+            .fetch_add(entries.len() as u64, Ordering::Relaxed);
+        (revision, merged)
+    }
+
     /// Current revision (bumps on every mutation).
     pub fn revision(&self) -> u64 {
         self.revision.load(Ordering::Acquire)
+    }
+}
+
+/// FNV-1a over the source name: cheap, stable across runs (no
+/// per-process hasher seed), and well-mixed for short strings.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Debug-build guard: after each delta application, require the shard
+/// summary to still match a from-scratch re-merge (exact integer
+/// counts; sums within float-drift tolerance). Skipped for big shards
+/// (the check is O(shard-size)) and for non-finite sums (NaN/inf are
+/// not comparable and are re-grounded by the periodic rebuild anyway).
+#[cfg(debug_assertions)]
+fn debug_check_shard_drift(shard: &ShardState) {
+    if shard.sources.len() > 64 {
+        return;
+    }
+    let mut expected = SummaryBody::default();
+    for source in shard.sources.values() {
+        expected.merge(&source.summary);
+    }
+    let incremental = &shard.summary;
+    debug_assert_eq!(incremental.hosts_up, expected.hosts_up);
+    debug_assert_eq!(incremental.hosts_down, expected.hosts_down);
+    debug_assert_eq!(incremental.metrics.len(), expected.metrics.len());
+    for metric in &expected.metrics {
+        let Some(ours) = incremental.metric(metric.name.as_str()) else {
+            panic!("incremental summary lost metric {}", metric.name);
+        };
+        debug_assert_eq!(ours.num, metric.num, "NUM drift on {}", metric.name);
+        if !ours.sum.is_finite() || !metric.sum.is_finite() {
+            continue;
+        }
+        let tolerance = 1e-6 * metric.sum.abs().max(1.0);
+        debug_assert!(
+            (ours.sum - metric.sum).abs() <= tolerance,
+            "SUM drift on {}: incremental {} vs full {}",
+            metric.name,
+            ours.sum,
+            metric.sum
+        );
     }
 }
 
@@ -348,6 +677,18 @@ mod tests {
         SourceState::cluster(name, cluster, summary, now)
     }
 
+    /// Order-insensitive exact equality: metric order in a merged
+    /// summary is a merge-history artifact, not part of its value.
+    fn same_value(a: &SummaryBody, b: &SummaryBody) -> bool {
+        a.hosts_up == b.hosts_up
+            && a.hosts_down == b.hosts_down
+            && a.metrics.len() == b.metrics.len()
+            && a.metrics.iter().all(|m| {
+                b.metric(m.name.as_str())
+                    .is_some_and(|o| o.sum.to_bits() == m.sum.to_bits() && o.num == m.num)
+            })
+    }
+
     #[test]
     fn replace_and_lookup() {
         let store = Store::new();
@@ -369,6 +710,21 @@ mod tests {
         // The old snapshot a concurrent query holds is untouched.
         assert_eq!(old.host_count(), 2);
         assert_eq!(store.get("meteor").unwrap().host_count(), 5);
+    }
+
+    #[test]
+    fn snapshots_held_by_queries_survive_lifecycle_mutation() {
+        // `mark_stale`/`degrade` mutate via `Arc::make_mut`, which must
+        // copy-on-write when a query still holds the snapshot.
+        let store = Store::new();
+        store.replace(cluster_state("meteor", 2, 1.0, 10));
+        let held = store.get("meteor").unwrap();
+        store.mark_stale("meteor", 40);
+        assert_eq!(held.status, SourceStatus::Fresh, "held snapshot mutated");
+        assert_eq!(
+            store.get("meteor").unwrap().status,
+            SourceStatus::Stale { since: 40 }
+        );
     }
 
     #[test]
@@ -465,6 +821,32 @@ mod tests {
     }
 
     #[test]
+    fn list_is_cached_per_revision() {
+        let store = Store::new();
+        store.replace(cluster_state("alpha", 1, 1.0, 0));
+        store.replace(cluster_state("zebra", 1, 1.0, 0));
+        let first = store.list();
+        let second = store.list();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same revision shares one sort"
+        );
+        store.replace(cluster_state("mid", 1, 1.0, 0));
+        let third = store.list();
+        assert!(!Arc::ptr_eq(&first, &third));
+        let names: Vec<&str> = third.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+        // Lifecycle mutations invalidate the listing too.
+        store.mark_stale("mid", 9);
+        let fourth = store.list();
+        assert!(!Arc::ptr_eq(&third, &fourth));
+        assert!(matches!(
+            fourth.iter().find(|s| s.name == "mid").unwrap().status,
+            SourceStatus::Stale { .. }
+        ));
+    }
+
+    #[test]
     fn root_summary_merges_and_caches() {
         let store = Store::new();
         store.replace(cluster_state("a", 2, 1.0, 0));
@@ -483,6 +865,74 @@ mod tests {
     }
 
     #[test]
+    fn replaces_to_distinct_sources_move_disjoint_shard_stamps() {
+        let store = Store::with_shards(8, DEFAULT_REBUILD_ROUNDS);
+        // Find two names that land in different shards.
+        let names: Vec<String> = (0..64).map(|i| format!("grid{i:02}")).collect();
+        let a = &names[0];
+        let b = names
+            .iter()
+            .find(|n| store.shard_index(n) != store.shard_index(a))
+            .expect("64 names cover more than one of 8 shards");
+        let before = store.shard_revisions();
+        store.replace(cluster_state(a, 1, 1.0, 0));
+        let after_a = store.shard_revisions();
+        store.replace(cluster_state(b, 1, 1.0, 0));
+        let after_b = store.shard_revisions();
+        let touched = |x: &[u64], y: &[u64]| -> Vec<usize> {
+            x.iter()
+                .zip(y)
+                .enumerate()
+                .filter(|(_, (m, n))| m != n)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(touched(&before, &after_a), vec![store.shard_index(a)]);
+        assert_eq!(touched(&after_a, &after_b), vec![store.shard_index(b)]);
+    }
+
+    #[test]
+    fn incremental_summary_matches_full_remerge_through_lifecycle() {
+        // Small rebuild cadence so the scripted walk crosses several
+        // anti-drift rebuilds; dyadic loads keep float math exact.
+        let lifecycle = LifecyclePolicy {
+            down_after_secs: 60,
+            expire_after_secs: 600,
+        };
+        let store = Store::with_shards(3, 4);
+        let check = |step: &str| {
+            let (_, full) = store.root_summary_full();
+            let incremental = store.root_summary();
+            assert!(
+                same_value(&incremental, &full),
+                "{step}: incremental {incremental:?} != full {full:?}"
+            );
+        };
+        for i in 0..12 {
+            store.replace(cluster_state(&format!("g{i}"), i + 1, 0.25 * i as f64, 100));
+            check("seed replace");
+        }
+        for i in 0..12 {
+            store.replace(cluster_state(&format!("g{i}"), i + 2, 0.5 * i as f64, 110));
+            check("re-replace");
+        }
+        store.degrade("g3", 170, &lifecycle); // stale
+        check("stale");
+        store.degrade("g4", 250, &lifecycle); // down: summary rewritten
+        check("down");
+        store.degrade("g5", 800, &lifecycle); // expired: retracted
+        check("expired");
+        assert!(store.remove("g6"));
+        check("removed");
+        store.replace(cluster_state("g4", 9, 1.75, 900)); // heal
+        check("healed");
+        assert!(store.get("g5").is_none());
+        let stats = store.stats();
+        assert!(stats.deltas_applied > 0, "delta path never exercised");
+        assert!(stats.summary_rebuilds > 0, "rebuild path never exercised");
+    }
+
+    #[test]
     fn root_summary_never_pins_a_stale_merge_under_a_new_revision() {
         // Regression: replace() used to bump the revision after dropping
         // the write lock, so a summarizer interleaved between the insert
@@ -490,29 +940,73 @@ mod tests {
         // and pin it in the cache until the next write. Hammer
         // replace/root_summary from several threads and require the
         // final answer to reflect the final replace.
+        //
+        // Extended for the sharded store: writers spread over many
+        // sources (hence shards and locks), each source keeps a constant
+        // host count so every consistent snapshot has the same total,
+        // and readers cross-check the incremental merge against the
+        // from-scratch path whenever the revision is stable around it.
         use std::sync::atomic::AtomicBool;
-        let store = Store::new();
-        store.replace(cluster_state("s", 1, 1.0, 0));
+        let store = Store::with_shards(8, 4);
+        const SOURCES: usize = 16;
+        const HOSTS_PER_SOURCE: usize = 3;
+        for i in 0..SOURCES {
+            store.replace(cluster_state(&format!("s{i}"), HOSTS_PER_SOURCE, 1.0, 0));
+        }
+        let expected_total = (SOURCES * HOSTS_PER_SOURCE) as u32;
         let stop = AtomicBool::new(false);
         std::thread::scope(|scope| {
             for _ in 0..3 {
                 scope.spawn(|| {
                     while !stop.load(Ordering::Relaxed) {
+                        let before = store.revision();
                         let summary = store.root_summary();
-                        assert!(summary.hosts_total() >= 1);
+                        // Constant per-source host counts: every
+                        // consistent snapshot has the same total.
+                        assert_eq!(summary.hosts_total(), expected_total);
+                        let (full_rev, full) = store.root_summary_full();
+                        if before == full_rev && store.revision() == full_rev {
+                            // No mutation in the window: the incremental
+                            // merge must equal the from-scratch one.
+                            assert!(
+                                same_value(&summary, &full),
+                                "drift at revision {full_rev}: {summary:?} vs {full:?}"
+                            );
+                        }
                     }
                 });
             }
-            for hosts in 2..=64usize {
-                store.replace(cluster_state("s", hosts, 1.0, hosts as u64));
+            let writers: Vec<_> = (0..4)
+                .map(|writer| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        for round in 1..=64u64 {
+                            for i in (writer..SOURCES).step_by(4) {
+                                let load = 0.25 * (round as f64) + i as f64;
+                                store.replace(cluster_state(
+                                    &format!("s{i}"),
+                                    HOSTS_PER_SOURCE,
+                                    load,
+                                    round,
+                                ));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in writers {
+                handle.join().expect("writer thread panicked");
             }
             stop.store(true, Ordering::Relaxed);
         });
+        let (_, full) = store.root_summary_full();
+        let summary = store.root_summary();
         assert_eq!(
-            store.root_summary().hosts_total(),
-            64,
+            summary.hosts_total(),
+            expected_total,
             "cache pinned a stale merge under the latest revision"
         );
+        assert!(same_value(&summary, &full), "final state drifted");
         // And once consistent, repeated reads hit the cache.
         let a = store.root_summary();
         let b = store.root_summary();
@@ -527,6 +1021,27 @@ mod tests {
         assert!(!store.remove("a"));
         assert!(store.is_empty());
         assert_eq!(store.root_summary().hosts_total(), 0);
+    }
+
+    #[test]
+    fn root_merges_touch_shards_not_sources() {
+        let store = Store::with_shards(4, 0); // pure incremental
+        for i in 0..32 {
+            store.replace(cluster_state(&format!("g{i}"), 2, 0.5, 0));
+        }
+        let before = store.stats();
+        let _ = store.root_summary();
+        let after = store.stats();
+        assert_eq!(after.root_merges - before.root_merges, 1);
+        assert_eq!(
+            after.root_merge_inputs - before.root_merge_inputs,
+            4,
+            "uncached root merge must touch one summary per shard"
+        );
+        assert_eq!(
+            after.source_touches, before.source_touches,
+            "incremental root path must not touch per-source summaries"
+        );
     }
 
     #[test]
@@ -547,5 +1062,84 @@ mod tests {
         assert_eq!(state.host_count(), 11);
         assert!(state.host("x").is_none());
         assert!(state.host_index.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Replace source `idx` with `hosts` hosts at a dyadic load.
+            Replace {
+                idx: usize,
+                hosts: usize,
+                eighths: i32,
+            },
+            /// Fail source `idx` with the given poll-gap in seconds.
+            Degrade {
+                idx: usize,
+                gap: u64,
+            },
+            MarkStale {
+                idx: usize,
+            },
+            Remove {
+                idx: usize,
+            },
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                4 => (0usize..12, 1usize..6, -64i32..64)
+                    .prop_map(|(idx, hosts, eighths)| Op::Replace { idx, hosts, eighths }),
+                2 => (0usize..12, prop_oneof![Just(30u64), Just(120), Just(700)])
+                    .prop_map(|(idx, gap)| Op::Degrade { idx, gap }),
+                1 => (0usize..12).prop_map(|idx| Op::MarkStale { idx }),
+                1 => (0usize..12).prop_map(|idx| Op::Remove { idx }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Any interleaving of replace/degrade/stale/remove across
+            /// shards keeps the incremental root summary bit-identical
+            /// (dyadic loads) to a from-scratch merge of the sources.
+            #[test]
+            fn incremental_root_summary_never_drifts(ops in proptest::collection::vec(arb_op(), 1..48)) {
+                let lifecycle = LifecyclePolicy {
+                    down_after_secs: 60,
+                    expire_after_secs: 600,
+                };
+                // Odd shard count + tiny rebuild cadence: exercise both
+                // the delta and the rebuild path.
+                let store = Store::with_shards(5, 3);
+                let mut clock = 100u64;
+                for op in &ops {
+                    clock += 1;
+                    match *op {
+                        Op::Replace { idx, hosts, eighths } => {
+                            let load = f64::from(eighths) / 8.0;
+                            store.replace(cluster_state(&format!("src{idx}"), hosts, load, clock));
+                        }
+                        Op::Degrade { idx, gap } => {
+                            store.degrade(&format!("src{idx}"), clock.saturating_add(gap), &lifecycle);
+                        }
+                        Op::MarkStale { idx } => store.mark_stale(&format!("src{idx}"), clock),
+                        Op::Remove { idx } => {
+                            store.remove(&format!("src{idx}"));
+                        }
+                    }
+                    let (full_rev, full) = store.root_summary_full();
+                    let incremental = store.root_summary();
+                    prop_assert_eq!(full_rev, store.revision());
+                    prop_assert!(
+                        same_value(&incremental, &full),
+                        "after {:?}: incremental {:?} != full {:?}",
+                        op, incremental, full
+                    );
+                }
+            }
+        }
     }
 }

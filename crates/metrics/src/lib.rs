@@ -19,6 +19,9 @@
 //! * [`atom`] — the intern table behind the model's [`atom::Atom`] name
 //!   fields: the same few hundred strings repeat across every host and
 //!   every round, so they are stored once and shared;
+//! * [`delta`] — signed diffs between summary contributions
+//!   ([`delta::SummaryDelta`]), the algebra behind the store's
+//!   incremental root-summary maintenance;
 //! * [`ingest`] — the delta-aware parse path: fingerprints each `<HOST>`
 //!   subtree and reuses the previous round's `Arc`'d nodes and summary
 //!   contributions when the bytes did not change.
@@ -26,6 +29,7 @@
 pub mod atom;
 pub mod codec;
 pub mod definition;
+pub mod delta;
 pub mod ingest;
 pub mod model;
 pub mod slope;
@@ -38,6 +42,7 @@ pub use codec::{
     RenderHint,
 };
 pub use definition::{builtin_metrics, MetricDefinition, MetricRegistry};
+pub use delta::{MetricDelta, SummaryDelta};
 pub use ingest::{fingerprint64, IngestStats, Ingested, Ingester};
 pub use model::{
     ClusterBody, ClusterNode, GangliaDoc, GridBody, GridItem, GridNode, HostNode, MetricEntry,

@@ -9,6 +9,7 @@
 //! much, where load sits in the tree), not absolute numbers.
 
 pub mod bandwidth;
+pub mod federation;
 pub mod fig5;
 pub mod fig6;
 pub mod ingest;
@@ -20,6 +21,10 @@ pub mod table1;
 pub mod traffic;
 
 pub use bandwidth::{run_bandwidth, BandwidthResult};
+pub use federation::{
+    run_federation_scale, FederationParams, FederationResult, IdentityRow, LatencyRow, LevelRow,
+    ThroughputRow,
+};
 pub use fig5::{run_fig5, Fig5Params, Fig5Result, Fig5Telemetry};
 pub use fig6::{run_fig6, Fig6Params, Fig6Result};
 pub use ingest::{

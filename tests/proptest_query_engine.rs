@@ -98,7 +98,7 @@ proptest! {
             &store, &config, &Query::parse("/").unwrap(), 0);
         let full_doc = parse_document(&full).unwrap();
         let full_hosts = full_doc.host_count();
-        for state in store.list() {
+        for state in store.list().iter() {
             let q = Query::parse(&format!("/{}", state.name)).unwrap();
             let xml = query_engine::answer(&store, &config, &q, 0);
             let doc = parse_document(&xml).unwrap();
